@@ -1,0 +1,177 @@
+// Package cds is the public facade of the Complete Data Scheduler
+// reproduction (Sanchez-Elez et al., DATE 2002): scheduling of data and
+// context transfers for multi-context reconfigurable architectures of the
+// MorphoSys family.
+//
+// The typical flow mirrors the paper's compilation framework:
+//
+//	a := cds.NewApp("mpeg", 30).
+//		Datum("frame", 512). ... // declare data and kernels
+//	part := cds.Partition(a, 2, 2, 1)  // kernel scheduler output
+//	res, err := cds.Run(cds.CDS, cds.M1().WithFB(2*cds.KiB), part)
+//	fmt.Println(res.Timing.TotalCycles)
+//
+// or, comparing all three schedulers the way the paper's evaluation does:
+//
+//	cmp, err := cds.CompareAll(archParams, part)
+//	fmt.Printf("DS %.0f%%  CDS %.0f%%\n", cmp.ImprovementDS, cmp.ImprovementCDS)
+//
+// The heavy lifting lives in the internal packages (arch, app, extract,
+// alloc, core, sim, ksched, csched, codegen, rcarray, kernels); this
+// package re-exports the stable surface.
+package cds
+
+import (
+	"fmt"
+
+	"cds/internal/app"
+	"cds/internal/arch"
+	"cds/internal/core"
+	"cds/internal/sim"
+)
+
+// KiB is re-exported for memory-size literals.
+const KiB = arch.KiB
+
+// Re-exported architecture types and constructors.
+type (
+	// Arch describes one MorphoSys-class machine.
+	Arch = arch.Params
+	// App is a validated application (kernel sequence + data).
+	App = app.App
+	// AppBuilder assembles an App.
+	AppBuilder = app.Builder
+	// Part is a cluster decomposition of an App.
+	Part = app.Partition
+	// Schedule is a scheduler's transfer/compute plan.
+	Schedule = core.Schedule
+	// Timing is the simulator's report for one schedule.
+	Timing = sim.Result
+	// Allocation is the Frame Buffer allocation replay report.
+	Allocation = core.AllocationReport
+)
+
+// M1 returns the default MorphoSys M1 parameters.
+func M1() Arch { return arch.M1() }
+
+// NewApp starts an application with the given name and iteration count.
+func NewApp(name string, iterations int) *AppBuilder { return app.NewBuilder(name, iterations) }
+
+// Partition splits an app into clusters of the given kernel counts,
+// alternating FB sets.
+func Partition(a *App, numSets int, sizes ...int) (*Part, error) {
+	return app.NewPartition(a, numSets, sizes...)
+}
+
+// SchedulerKind selects one of the three scheduling policies the paper
+// compares.
+type SchedulerKind int
+
+const (
+	// Basic is the DATE'99 baseline: per-kernel transfers, no reuse.
+	Basic SchedulerKind = iota
+	// DS is the ISSS'01 Data Scheduler: within-cluster reuse + RF.
+	DS
+	// CDS is the paper's Complete Data Scheduler: DS + TF-ranked
+	// inter-cluster retention.
+	CDS
+)
+
+func (k SchedulerKind) String() string {
+	switch k {
+	case Basic:
+		return "basic"
+	case DS:
+		return "ds"
+	case CDS:
+		return "cds"
+	}
+	return fmt.Sprintf("scheduler(%d)", int(k))
+}
+
+func (k SchedulerKind) scheduler() (core.Scheduler, error) {
+	switch k {
+	case Basic:
+		return core.Basic{}, nil
+	case DS:
+		return core.DataScheduler{}, nil
+	case CDS:
+		return core.CompleteDataScheduler{}, nil
+	}
+	return nil, fmt.Errorf("cds: unknown scheduler kind %d", int(k))
+}
+
+// Result bundles everything one scheduler run produces.
+type Result struct {
+	// Schedule is the transfer/compute plan.
+	Schedule *Schedule
+	// Timing is the simulated execution.
+	Timing *Timing
+	// Allocation is the Frame Buffer replay (addresses, peaks, splits,
+	// regularity).
+	Allocation *Allocation
+}
+
+// Run schedules, allocates and simulates the partition under one policy.
+func Run(kind SchedulerKind, pa Arch, part *Part) (*Result, error) {
+	sched, err := kind.scheduler()
+	if err != nil {
+		return nil, err
+	}
+	s, err := sched.Schedule(pa, part)
+	if err != nil {
+		return nil, err
+	}
+	alloc, err := core.Allocate(s, true)
+	if err != nil {
+		return nil, err
+	}
+	timing, err := sim.Run(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schedule: s, Timing: timing, Allocation: alloc}, nil
+}
+
+// Comparison is one Table 1 row: the three schedulers on one workload.
+type Comparison struct {
+	Basic, DS, CDS *Result
+	// BasicErr is set when the Basic Scheduler cannot execute the
+	// application at all (the paper's MPEG-at-1K case); improvements
+	// are reported as 100 then.
+	BasicErr error
+	// ImprovementDS and ImprovementCDS are the paper's Figure 6 metric:
+	// relative execution improvement (%) over the Basic Scheduler.
+	ImprovementDS, ImprovementCDS float64
+	// RF is the context reuse factor DS and CDS settled on.
+	RF int
+	// DTBytes is Table 1's DT: data transfer bytes avoided per
+	// iteration by the Complete Data Scheduler's retention.
+	DTBytes int
+}
+
+// CompareAll runs Basic, DS and CDS on the same workload and computes the
+// paper's comparison metrics.
+func CompareAll(pa Arch, part *Part) (*Comparison, error) {
+	cmp := &Comparison{}
+	var err error
+	cmp.DS, err = Run(DS, pa, part)
+	if err != nil {
+		return nil, fmt.Errorf("cds: data scheduler: %w", err)
+	}
+	cmp.CDS, err = Run(CDS, pa, part)
+	if err != nil {
+		return nil, fmt.Errorf("cds: complete data scheduler: %w", err)
+	}
+	cmp.RF = cmp.CDS.Schedule.RF
+	cmp.DTBytes = cmp.CDS.Schedule.AvoidedBytesPerIter()
+
+	cmp.Basic, cmp.BasicErr = Run(Basic, pa, part)
+	if cmp.BasicErr != nil {
+		cmp.ImprovementDS, cmp.ImprovementCDS = 100, 100
+		return cmp, nil
+	}
+	cmp.ImprovementDS = sim.Improvement(cmp.Basic.Timing, cmp.DS.Timing)
+	cmp.ImprovementCDS = sim.Improvement(cmp.Basic.Timing, cmp.CDS.Timing)
+	return cmp, nil
+}

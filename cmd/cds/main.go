@@ -1,0 +1,247 @@
+// Command cds schedules an application described in a JSON spec (or one
+// of the built-in paper experiments) with a chosen scheduler, and prints
+// the schedule summary, optionally the Frame Buffer allocation timeline
+// (the paper's Figure 5 view) and the generated TinyRISC-level program.
+//
+// Usage:
+//
+//	cds -spec app.json [-scheduler cds] [-trace] [-program]
+//	cds -experiment MPEG -scheduler ds -trace
+//
+// Spec format:
+//
+//	{
+//	  "name": "pipe", "iterations": 8,
+//	  "arch": {"fbSetBytes": 2048, "cmWords": 512},
+//	  "data": [{"name": "in", "size": 100}, {"name": "out", "size": 50, "final": true}],
+//	  "kernels": [{"name": "k1", "contextWords": 64, "computeCycles": 500,
+//	               "inputs": ["in"], "outputs": ["out"]}],
+//	  "clusters": [1]
+//	}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"log"
+	"os"
+	"sort"
+
+	"cds"
+	"cds/internal/app"
+	"cds/internal/arch"
+	"cds/internal/codegen"
+	"cds/internal/core"
+	"cds/internal/machine"
+	"cds/internal/report"
+	"cds/internal/sim"
+	"cds/internal/spec"
+	"cds/internal/tinyrisc"
+	"cds/internal/workloads"
+)
+
+// digest hashes the functional outputs in deterministic order so two
+// scheduler runs can be compared from the command line.
+func digest(outs map[string][]byte) uint64 {
+	keys := make([]string, 0, len(outs))
+	for k := range outs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := fnv.New64a()
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write(outs[k])
+	}
+	return h.Sum64()
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cds: ")
+	specPath := flag.String("spec", "", "JSON application spec")
+	expName := flag.String("experiment", "", "built-in paper experiment (e.g. MPEG, E1, ATR-SLD*)")
+	schedName := flag.String("scheduler", "cds", "scheduler: basic, ds or cds")
+	trace := flag.Bool("trace", false, "print the FB allocation timeline (Figure 5 view)")
+	occupancy := flag.Bool("occupancy", false, "print the address-time occupancy map per FB set")
+	program := flag.Bool("program", false, "print the generated transfer program")
+	asmOut := flag.Bool("tinyrisc", false, "compile the transfer program to TinyRISC control code and print it")
+	timeline := flag.Bool("timeline", false, "print the Gantt-style execution timeline")
+	traceOut := flag.String("chrometrace", "", "write a Chrome/Perfetto trace of the execution to this file")
+	functional := flag.Bool("machine", false, "run the schedule functionally and report the output digest")
+	flag.Parse()
+
+	part, pa, err := load(*specPath, *expName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kind, err := schedulerKind(*schedName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := cds.Run(kind, pa, part)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printSummary(res, pa)
+
+	if *trace {
+		fmt.Println()
+		printTrace(res.Schedule)
+	}
+	if *occupancy {
+		rep, err := core.Allocate(res.Schedule, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sets := map[int]bool{}
+		for _, c := range res.Schedule.P.Clusters {
+			sets[c.Set] = true
+		}
+		for set := 0; set < pa.FBSets; set++ {
+			if !sets[set] {
+				continue
+			}
+			fmt.Println()
+			report.Occupancy(os.Stdout, rep.Events, set, pa.FBSetBytes, 72)
+			report.Legend(os.Stdout, rep.Events, set)
+		}
+	}
+	if *timeline {
+		fmt.Println()
+		sim.WriteTimeline(os.Stdout, res.Schedule, res.Timing)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sim.WriteTrace(f, res.Schedule, res.Timing); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote Chrome trace to %s (open in chrome://tracing or Perfetto)\n", *traceOut)
+	}
+	if *functional {
+		fmt.Println()
+		m, err := machine.Run(res.Schedule, 1, nil)
+		if err != nil {
+			log.Fatalf("functional run: %v", err)
+		}
+		outs := m.FinalOutputs(res.Schedule)
+		fmt.Printf("functional run: %d kernel invocations, %d B loaded, %d B stored, %d final outputs\n",
+			m.KernelRuns, m.LoadedBytes, m.StoredBytes, len(outs))
+		fmt.Printf("output digest: %016x\n", digest(outs))
+	}
+	if *program {
+		prog, err := codegen.Generate(res.Schedule)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := codegen.Check(prog, res.Schedule); err != nil {
+			log.Fatalf("generated program failed its own checker: %v", err)
+		}
+		fmt.Println()
+		fmt.Printf("program (%d instructions, checker passed):\n", len(prog.Instrs))
+		fmt.Print(prog.String())
+	}
+	if *asmOut {
+		prog, err := codegen.Generate(res.Schedule)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tp, err := tinyrisc.Compile(prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tinyrisc.Verify(tp, prog); err != nil {
+			log.Fatalf("compiled control code failed verification: %v", err)
+		}
+		fmt.Println()
+		fmt.Printf("TinyRISC control code (%d instructions for %d transfer ops, verified):\n",
+			len(tp.Instrs), len(prog.Instrs))
+		if err := tinyrisc.Disassemble(os.Stdout, tp); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func load(specPath, expName string) (*app.Partition, arch.Params, error) {
+	switch {
+	case specPath != "" && expName != "":
+		return nil, arch.Params{}, fmt.Errorf("use either -spec or -experiment, not both")
+	case expName != "":
+		e, err := workloads.ByName(expName)
+		if err != nil {
+			return nil, arch.Params{}, err
+		}
+		return e.Part, e.Arch, nil
+	case specPath != "":
+		raw, err := os.ReadFile(specPath)
+		if err != nil {
+			return nil, arch.Params{}, err
+		}
+		return spec.Parse(raw)
+	}
+	return nil, arch.Params{}, fmt.Errorf("need -spec <file> or -experiment <name>")
+}
+
+func schedulerKind(name string) (cds.SchedulerKind, error) {
+	switch name {
+	case "basic":
+		return cds.Basic, nil
+	case "ds":
+		return cds.DS, nil
+	case "cds":
+		return cds.CDS, nil
+	}
+	return 0, fmt.Errorf("unknown scheduler %q (want basic, ds or cds)", name)
+}
+
+func printSummary(res *cds.Result, pa arch.Params) {
+	s := res.Schedule
+	t := res.Timing
+	fmt.Printf("application   %s (%d iterations, %d kernels, %d clusters)\n",
+		s.P.App.Name, s.P.App.Iterations, s.P.App.NumKernels(), len(s.P.Clusters))
+	fmt.Printf("architecture  %s: FB %s/set x%d, CM %d words\n",
+		pa.Name, arch.FormatSize(pa.FBSetBytes), pa.FBSets, pa.CMWords)
+	fmt.Printf("scheduler     %s, RF=%d\n", s.Scheduler, s.RF)
+	if len(s.Retained) > 0 {
+		fmt.Println("retained in FB:")
+		for _, r := range s.Retained {
+			fmt.Printf("  %-6s %-12s %5d B  set %d  clusters %d..%d  TF=%.3f  avoids %d B/iter\n",
+				r.Kind, r.Name, r.Size, r.Set, r.From, r.To, r.TF, r.AvoidedBytesPerIter)
+		}
+	}
+	fmt.Printf("traffic       loads %d B, stores %d B, contexts %d words\n",
+		s.TotalLoadBytes(), s.TotalStoreBytes(), s.TotalCtxWords())
+	fmt.Printf("time          %d cycles (compute %d, DMA busy %d, RC stalls %d)\n",
+		t.TotalCycles, t.ComputeCycles, t.DMABusy(), t.StallCycles)
+	fmt.Printf("allocation    peak/set %v of %d, splits %d, regular %v\n",
+		res.Allocation.PeakUsed, pa.FBSetBytes, res.Allocation.Splits, res.Allocation.Regular)
+}
+
+// printTrace renders the allocation events of the first block as a
+// Figure 5 style timeline.
+func printTrace(s *core.Schedule) {
+	rep, err := core.Allocate(s, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("allocation timeline (block 0):")
+	for _, ev := range rep.Events {
+		if ev.Block != 0 {
+			break
+		}
+		iter := fmt.Sprintf("iter %d", ev.Iter)
+		if ev.Iter < 0 {
+			iter = "preload"
+		}
+		fmt.Printf("  c%d %-7s %-7s %-14s set%d @%-5d %5d B\n",
+			ev.Cluster, iter, ev.Op, ev.Object, ev.Set, ev.Addr, ev.Bytes)
+	}
+}

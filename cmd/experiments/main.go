@@ -1,0 +1,156 @@
+// Command experiments regenerates the paper's evaluation: every Table 1
+// row and the Figure 6 bar chart, plus the MPEG memory-floor result.
+//
+// Usage:
+//
+//	experiments [-csv] [-run <name>] [-floor]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cds"
+	"cds/internal/arch"
+	"cds/internal/csched"
+	"cds/internal/report"
+	"cds/internal/sim"
+	"cds/internal/spec"
+	"cds/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	csvOut := flag.Bool("csv", false, "emit CSV instead of the formatted table")
+	mdOut := flag.Bool("markdown", false, "emit the markdown table EXPERIMENTS.md embeds")
+	runOne := flag.String("run", "", "run a single experiment by Table 1 name (e.g. MPEG, ATR-SLD*)")
+	floor := flag.Bool("floor", false, "also run the MPEG memory-floor experiment (FB = 1K)")
+	detail := flag.Bool("detail", false, "print a per-experiment breakdown (timing, retention, context overlap)")
+	dump := flag.String("dump", "", "export one experiment's application as editable JSON to stdout")
+	flag.Parse()
+
+	if *dump != "" {
+		e, err := workloads.ByName(*dump)
+		if err != nil {
+			log.Fatal(err)
+		}
+		raw, err := spec.FromPartition(e.Part, e.Arch).Marshal()
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(raw)
+		fmt.Println()
+		return
+	}
+
+	exps := workloads.All()
+	if *runOne != "" {
+		e, err := workloads.ByName(*runOne)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exps = []workloads.Experiment{e}
+	}
+	if *floor {
+		exps = append(exps, workloads.MPEGFloor())
+	}
+
+	rows := make([]report.Row, 0, len(exps))
+	for _, e := range exps {
+		row, err := runExperiment(e)
+		if err != nil {
+			log.Fatalf("%s: %v", e.Name, err)
+		}
+		rows = append(rows, row)
+		if *detail {
+			printDetail(e)
+		}
+	}
+
+	if *csvOut {
+		report.CSV(os.Stdout, rows)
+		return
+	}
+	if *mdOut {
+		report.Markdown(os.Stdout, rows)
+		return
+	}
+	fmt.Println("Table 1 — experimental results (measured vs paper)")
+	report.Table1(os.Stdout, rows)
+	fmt.Println()
+	fmt.Println("Figure 6 — relative execution improvement")
+	report.Figure6(os.Stdout, rows)
+}
+
+// printDetail prints the per-experiment breakdown: where the cycles go,
+// what the Complete Data Scheduler retained, and how much context traffic
+// hides under computation.
+func printDetail(e workloads.Experiment) {
+	cmp, err := cds.CompareAll(e.Arch, e.Part)
+	if err != nil {
+		log.Fatalf("%s: %v", e.Name, err)
+	}
+	fmt.Printf("--- %s (FB %s/set, CM %d words) ---\n",
+		e.Name, arch.FormatSize(e.Arch.FBSetBytes), e.Arch.CMWords)
+	print3 := func(label string, f func(*cds.Result) int) {
+		if cmp.BasicErr != nil {
+			fmt.Printf("  %-18s %10s %10d %10d\n", label, "n/a", f(cmp.DS), f(cmp.CDS))
+			return
+		}
+		fmt.Printf("  %-18s %10d %10d %10d\n", label, f(cmp.Basic), f(cmp.DS), f(cmp.CDS))
+	}
+	fmt.Printf("  %-18s %10s %10s %10s\n", "", "basic", "ds", "cds")
+	print3("total cycles", func(r *cds.Result) int { return r.Timing.TotalCycles })
+	print3("compute cycles", func(r *cds.Result) int { return r.Timing.ComputeCycles })
+	print3("DMA busy", func(r *cds.Result) int { return r.Timing.DMABusy() })
+	print3("RC stalls", func(r *cds.Result) int { return r.Timing.StallCycles })
+	print3("load bytes", func(r *cds.Result) int { return r.Timing.LoadBytes })
+	print3("store bytes", func(r *cds.Result) int { return r.Timing.StoreBytes })
+	print3("context words", func(r *cds.Result) int { return r.Timing.CtxWords })
+
+	if gain, err := sim.OverlapGain(cmp.CDS.Schedule); err == nil {
+		fmt.Printf("  double-buffer overlap saves %.1f%% on the CDS schedule\n", gain)
+	}
+	if plan, err := csched.Build(cmp.CDS.Schedule); err == nil {
+		fmt.Printf("  context plan: %.0f%% of context time overlapped, CM double-buffered: %v\n",
+			100*plan.OverlapRatio(), plan.DoubleBuffered)
+	}
+	if len(cmp.CDS.Schedule.Retained) > 0 {
+		fmt.Println("  retained:")
+		for _, r := range cmp.CDS.Schedule.Retained {
+			fmt.Printf("    %-6s %-12s %5dB set %d clusters %d..%d TF=%.3f\n",
+				r.Kind, r.Name, r.Size, r.Set, r.From, r.To, r.TF)
+		}
+	}
+	fmt.Println()
+}
+
+func runExperiment(e workloads.Experiment) (report.Row, error) {
+	cmp, err := cds.CompareAll(e.Arch, e.Part)
+	if err != nil {
+		return report.Row{}, err
+	}
+	row := report.Row{
+		Name:        e.Name,
+		N:           len(e.Part.Clusters),
+		NMax:        e.Part.MaxKernelsPerCluster(),
+		DSBytes:     e.Part.App.TotalDataBytes(),
+		DTBytes:     cmp.DTBytes,
+		RF:          cmp.RF,
+		PaperRF:     e.PaperRF,
+		FBBytes:     e.Arch.FBSetBytes,
+		DSImp:       cmp.ImprovementDS,
+		CDSImp:      cmp.ImprovementCDS,
+		PaperDS:     e.PaperDS,
+		PaperCDS:    e.PaperCDS,
+		BasicFailed: cmp.BasicErr != nil,
+	}
+	if cmp.BasicErr != nil {
+		fmt.Fprintf(os.Stderr, "note: %s: %v (DS ran with RF=%d, CDS with RF=%d)\n",
+			e.Name, cmp.BasicErr, cmp.DS.Schedule.RF, cmp.CDS.Schedule.RF)
+	}
+	return row, nil
+}

@@ -1,0 +1,54 @@
+// Command sweep plots improvement-versus-memory curves for a workload:
+// the generalization of the paper's E1 -> E1* / MPEG -> MPEG* two-point
+// comparisons into a full frame-buffer-size sweep.
+//
+// Usage:
+//
+//	sweep -experiment MPEG [-from 512] [-to 4096] [-step 256] [-csv]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"cds/internal/sweep"
+	"cds/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	expName := flag.String("experiment", "MPEG", "Table 1 experiment to sweep")
+	from := flag.Int("from", 512, "smallest FB set size in bytes")
+	to := flag.Int("to", 4096, "largest FB set size in bytes")
+	step := flag.Int("step", 256, "sweep step in bytes")
+	csvOut := flag.Bool("csv", false, "emit CSV")
+	sharing := flag.Bool("sharing", false, "sweep the synthetic generator's sharing degree instead of FB size")
+	flag.Parse()
+
+	if *sharing {
+		cfg := workloads.DefaultSynthetic()
+		fracs := []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+		points, err := sweep.Sharing(cfg, 3, fracs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sweep.WriteSharing(os.Stdout, points)
+		return
+	}
+
+	e, err := workloads.ByName(*expName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	points, err := sweep.FB(e.Arch, e.Part, *from, *to, *step)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *csvOut {
+		sweep.CSV(os.Stdout, points)
+		return
+	}
+	sweep.Write(os.Stdout, points)
+}

@@ -1,0 +1,59 @@
+// ATR example: the paper's second experiment family. Automatic target
+// recognition correlates a shared image region against shared template
+// banks; how the kernels are grouped into clusters decides which scheduler
+// can exploit the sharing. This example runs the three ATR-SLD kernel
+// schedules and shows the paper's pattern: the schedule that zeroes the
+// Data Scheduler's gain is the one where the Complete Data Scheduler's
+// retention shines the most.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cds"
+	"cds/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("ATR second-level detection: 8 correlator/peak-detector pairs,")
+	fmt.Println("shared image region and two shared template banks, FB = 8K/set")
+	fmt.Println()
+	fmt.Printf("%-11s %-24s %8s %8s %10s\n", "schedule", "clusters", "DS impr", "CDS impr", "retained")
+
+	for variant := 0; variant < 3; variant++ {
+		e := workloads.ATRSLD(variant)
+		cmp, err := cds.CompareAll(e.Arch, e.Part)
+		if err != nil {
+			log.Fatalf("%s: %v", e.Name, err)
+		}
+		shape := ""
+		for i, c := range e.Part.Clusters {
+			if i > 0 {
+				shape += "+"
+			}
+			shape += fmt.Sprintf("%d", len(c.Kernels))
+		}
+		fmt.Printf("%-11s %-24s %7.1f%% %7.1f%% %7d B\n",
+			e.Name, shape, cmp.ImprovementDS, cmp.ImprovementCDS,
+			retainedBytes(cmp))
+	}
+
+	fmt.Println()
+	fmt.Println("Reading the table:")
+	fmt.Println("  - big clusters duplicate the image/template transfers per correlator,")
+	fmt.Println("    so the Data Scheduler's per-cluster dedup already helps;")
+	fmt.Println("  - one-pair clusters have nothing to dedup (DS gains 0%), but spread")
+	fmt.Println("    the shared data across four same-set clusters, so retention by the")
+	fmt.Println("    Complete Data Scheduler is at its most valuable.")
+}
+
+func retainedBytes(cmp *cds.Comparison) int {
+	total := 0
+	for _, r := range cmp.CDS.Schedule.Retained {
+		total += r.Size
+	}
+	return total
+}

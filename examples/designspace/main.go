@@ -1,0 +1,96 @@
+// Design-space example: use the kernel scheduler (the upstream stage of
+// the MorphoSys compilation framework) to pick the cluster decomposition
+// of an application automatically, then hand the winner to the Complete
+// Data Scheduler and lower it all the way to the TinyRISC-level transfer
+// program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cds"
+	"cds/internal/codegen"
+	"cds/internal/csched"
+	"cds/internal/ksched"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A 6-kernel radar pipeline; the interesting question is where to
+	// cut it into clusters.
+	b := cds.NewApp("radar", 12).
+		Datum("rx", 160).
+		Datum("window", 192). // shared by the two filter stages
+		Datum("f1", 96).
+		Datum("f2", 96).
+		Datum("spec", 128).
+		Datum("mag", 96).
+		Datum("cfarTbl", 128).
+		Datum("dets", 64).
+		Datum("tracks", 48)
+	b.Kernel("filt1", 160, 140).In("rx", "window").Out("f1")
+	b.Kernel("filt2", 160, 140).In("f1", "window").Out("f2")
+	b.Kernel("fft", 224, 180).In("f2").Out("spec")
+	b.Kernel("mag", 96, 90).In("spec").Out("mag")
+	b.Kernel("cfar", 128, 110).In("mag", "cfarTbl").Out("dets")
+	b.Kernel("track", 96, 100).In("dets", "cfarTbl").Out("tracks")
+	a, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	machine := cds.M1()
+	machine.FBSetBytes = 1 * cds.KiB
+	machine.CMWords = 512
+
+	// Explore every cluster decomposition (2^5 = 32 candidates),
+	// estimating each with a tentative data schedule — the framework's
+	// kernel scheduler.
+	res, err := ksched.Explore(machine, a, ksched.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kernel scheduler explored %d candidates (%d infeasible)\n",
+		res.Explored, res.Infeasible)
+	fmt.Printf("winner: cluster sizes %v, estimated %d cycles\n\n", res.Sizes, res.Cycles)
+
+	// Final schedule with the Complete Data Scheduler.
+	final, err := cds.Run(cds.CDS, machine, res.Best)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("complete data scheduler: %d cycles, RF=%d, %d retained objects\n",
+		final.Timing.TotalCycles, final.Schedule.RF, len(final.Schedule.Retained))
+
+	// Context scheduling report: how much context traffic hides under
+	// computation.
+	plan, err := csched.Build(final.Schedule)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("context scheduler: %d words, %.0f%% of context time overlapped (CM double-buffered: %v)\n",
+		plan.TotalWords, 100*plan.OverlapRatio(), plan.DoubleBuffered)
+
+	// Lower to the instruction stream and verify it.
+	prog, err := codegen.Generate(final.Schedule)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := codegen.Check(prog, final.Schedule); err != nil {
+		log.Fatalf("program checker: %v", err)
+	}
+	fmt.Printf("code generator: %d instructions (%d LDCTXT, %d LDFB, %d STFB, %d EXEC), checker passed\n",
+		len(prog.Instrs), prog.Count(codegen.OpLdCtxt), prog.Count(codegen.OpLdFB),
+		prog.Count(codegen.OpStFB), prog.Count(codegen.OpExec))
+
+	fmt.Println("\nfirst instructions of the program:")
+	for i, in := range prog.Instrs {
+		if i == 12 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Printf("  %s\n", in)
+	}
+}

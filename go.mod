@@ -1,0 +1,3 @@
+module cds
+
+go 1.22

@@ -1,0 +1,478 @@
+// Package alloc implements the Frame Buffer allocation algorithm of the
+// Complete Data Scheduler (Sanchez-Elez et al., DATE 2002, section 5).
+//
+// The allocator manages one Frame Buffer set as a linear address space. It
+// keeps a list of free blocks (the paper's FB_list) and serves first-fit
+// requests from either end: input data and inter-cluster shared objects
+// are placed from the upper addresses, intermediate and final results from
+// the lower addresses. When no single free block fits, a request may be
+// split across several blocks (at the cost of irregular access), which the
+// paper treats as a last resort; splitting can be disabled to prove that
+// the paper's experiments never need it.
+//
+// To promote address regularity across loop iterations, an allocation can
+// name a preferred address (where the previous iteration of the same datum
+// lived); the allocator honors it when that exact region is free.
+package alloc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dir selects which end of the free space first-fit scans from.
+type Dir int
+
+const (
+	// FromTop serves the request from the highest-addressed fitting
+	// free block, at that block's top. The paper uses it for input data
+	// and shared objects.
+	FromTop Dir = iota
+	// FromBottom serves from the lowest-addressed fitting free block,
+	// at that block's bottom. The paper uses it for results.
+	FromBottom
+)
+
+func (d Dir) String() string {
+	if d == FromTop {
+		return "top"
+	}
+	return "bottom"
+}
+
+// Extent is a contiguous byte range [Addr, Addr+Len).
+type Extent struct {
+	Addr, Len int
+}
+
+// End returns the first address past the extent.
+func (e Extent) End() int { return e.Addr + e.Len }
+
+// Placement records where a named object lives. Objects normally occupy
+// one extent; a split object occupies several, in ascending address order.
+type Placement struct {
+	Name    string
+	Extents []Extent
+}
+
+// Bytes returns the total placed size.
+func (p Placement) Bytes() int {
+	n := 0
+	for _, e := range p.Extents {
+		n += e.Len
+	}
+	return n
+}
+
+// Split reports whether the object was split across free blocks.
+func (p Placement) Split() bool { return len(p.Extents) > 1 }
+
+// Addr returns the address of the first extent (the canonical address used
+// for regularity across iterations).
+func (p Placement) Addr() int { return p.Extents[0].Addr }
+
+// FitPolicy selects which free block serves a request that fits several.
+type FitPolicy int
+
+const (
+	// FirstFit takes the first fitting block in scan order (the paper's
+	// choice: cheap and, with the two-sided placement discipline,
+	// fragmentation-free on the paper's workloads).
+	FirstFit FitPolicy = iota
+	// BestFit takes the smallest fitting block.
+	BestFit
+	// WorstFit takes the largest fitting block.
+	WorstFit
+)
+
+func (p FitPolicy) String() string {
+	switch p {
+	case FirstFit:
+		return "first-fit"
+	case BestFit:
+		return "best-fit"
+	case WorstFit:
+		return "worst-fit"
+	}
+	return "fit(?)"
+}
+
+// ErrNoSpace is returned when the total free space cannot satisfy a
+// request.
+var ErrNoSpace = errors.New("alloc: insufficient free space")
+
+// ErrWouldSplit is returned when the request only fits split across blocks
+// but splitting is disabled.
+var ErrWouldSplit = errors.New("alloc: request fits only when split, and splitting is disabled")
+
+// FB is one Frame Buffer set under allocation. The zero value is unusable;
+// use New.
+type FB struct {
+	size       int
+	free       []Extent // sorted by Addr, coalesced, non-empty lengths
+	live       map[string]Placement
+	allowSplit bool
+	policy     FitPolicy
+
+	// Stats accumulated since New/Reset.
+	peakUsed   int
+	used       int
+	splitCount int
+	allocCount int
+}
+
+// New returns an empty Frame Buffer set allocator of the given size in
+// bytes. allowSplit enables last-resort splitting across free blocks.
+func New(size int, allowSplit bool) *FB {
+	if size <= 0 {
+		panic(fmt.Sprintf("alloc: non-positive FB size %d", size))
+	}
+	return &FB{
+		size:       size,
+		free:       []Extent{{Addr: 0, Len: size}},
+		live:       make(map[string]Placement),
+		allowSplit: allowSplit,
+	}
+}
+
+// SetFitPolicy changes the block-selection policy (FirstFit by default).
+// Intended for the fit-policy ablation; call it before any allocation.
+func (fb *FB) SetFitPolicy(p FitPolicy) { fb.policy = p }
+
+// Size returns the FB set capacity in bytes.
+func (fb *FB) Size() int { return fb.size }
+
+// Used returns the currently occupied bytes.
+func (fb *FB) Used() int { return fb.used }
+
+// Free returns the currently free bytes.
+func (fb *FB) Free() int { return fb.size - fb.used }
+
+// PeakUsed returns the maximum occupancy observed since New or Reset.
+func (fb *FB) PeakUsed() int { return fb.peakUsed }
+
+// Splits returns how many allocations had to be split so far.
+func (fb *FB) Splits() int { return fb.splitCount }
+
+// Allocs returns how many allocations were served so far.
+func (fb *FB) Allocs() int { return fb.allocCount }
+
+// FreeBlocks returns a copy of the free list (the paper's FB_list),
+// ascending by address.
+func (fb *FB) FreeBlocks() []Extent {
+	out := make([]Extent, len(fb.free))
+	copy(out, fb.free)
+	return out
+}
+
+// LargestFree returns the size of the largest free block.
+func (fb *FB) LargestFree() int {
+	max := 0
+	for _, e := range fb.free {
+		if e.Len > max {
+			max = e.Len
+		}
+	}
+	return max
+}
+
+// Lookup returns the placement of a live object.
+func (fb *FB) Lookup(name string) (Placement, bool) {
+	p, ok := fb.live[name]
+	return p, ok
+}
+
+// Live returns the names of all live objects, sorted.
+func (fb *FB) Live() []string {
+	names := make([]string, 0, len(fb.live))
+	for n := range fb.live {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Reset empties the FB and clears statistics.
+func (fb *FB) Reset() {
+	fb.free = []Extent{{Addr: 0, Len: fb.size}}
+	fb.live = make(map[string]Placement)
+	fb.used, fb.peakUsed, fb.splitCount, fb.allocCount = 0, 0, 0, 0
+}
+
+// Alloc places a new object of the given size using first-fit from the
+// chosen direction. If preferAddr is >= 0 and the exact region
+// [preferAddr, preferAddr+size) is free, the object is placed there to
+// keep iteration-to-iteration addresses regular.
+func (fb *FB) Alloc(name string, size int, dir Dir, preferAddr int) (Placement, error) {
+	if size <= 0 {
+		return Placement{}, fmt.Errorf("alloc: non-positive size %d for %q", size, name)
+	}
+	if _, dup := fb.live[name]; dup {
+		return Placement{}, fmt.Errorf("alloc: %q is already placed", name)
+	}
+	if size > fb.Free() {
+		return Placement{}, fmt.Errorf("alloc: %q needs %d bytes, %d free: %w", name, size, fb.Free(), ErrNoSpace)
+	}
+
+	var extents []Extent
+	if preferAddr >= 0 && fb.regionFree(preferAddr, size) {
+		extents = []Extent{{Addr: preferAddr, Len: size}}
+	} else if e, ok := fb.firstFit(size, dir); ok {
+		extents = []Extent{e}
+	} else {
+		if !fb.allowSplit {
+			return Placement{}, fmt.Errorf("alloc: %q (%d bytes, largest free %d): %w",
+				name, size, fb.LargestFree(), ErrWouldSplit)
+		}
+		extents = fb.splitFit(size, dir)
+		fb.splitCount++
+	}
+	for _, e := range extents {
+		fb.carve(e)
+	}
+	p := Placement{Name: name, Extents: extents}
+	fb.live[name] = p
+	fb.used += size
+	fb.allocCount++
+	if fb.used > fb.peakUsed {
+		fb.peakUsed = fb.used
+	}
+	return p, nil
+}
+
+// Release frees a live object and coalesces the free list (the paper's
+// release(c,k,iter)). Releasing an unknown name is an error: the
+// schedulers must have perfectly matched lifetimes.
+func (fb *FB) Release(name string) error {
+	p, ok := fb.live[name]
+	if !ok {
+		return fmt.Errorf("alloc: release of %q which is not placed", name)
+	}
+	delete(fb.live, name)
+	for _, e := range p.Extents {
+		fb.insertFree(e)
+	}
+	fb.used -= p.Bytes()
+	return nil
+}
+
+// regionFree reports whether [addr, addr+size) lies entirely inside one
+// free block.
+func (fb *FB) regionFree(addr, size int) bool {
+	for _, e := range fb.free {
+		if e.Addr <= addr && addr+size <= e.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// firstFit finds a free block that can hold size whole under the active
+// fit policy, scanning in the requested direction, and returns the extent
+// to occupy.
+func (fb *FB) firstFit(size int, dir Dir) (Extent, bool) {
+	best := -1
+	consider := func(i int) bool {
+		e := fb.free[i]
+		if e.Len < size {
+			return false
+		}
+		switch fb.policy {
+		case FirstFit:
+			best = i
+			return true // stop at the first fit
+		case BestFit:
+			if best < 0 || e.Len < fb.free[best].Len {
+				best = i
+			}
+		case WorstFit:
+			if best < 0 || e.Len > fb.free[best].Len {
+				best = i
+			}
+		}
+		return false
+	}
+	if dir == FromBottom {
+		for i := 0; i < len(fb.free); i++ {
+			if consider(i) {
+				break
+			}
+		}
+	} else {
+		for i := len(fb.free) - 1; i >= 0; i-- {
+			if consider(i) {
+				break
+			}
+		}
+	}
+	if best < 0 {
+		return Extent{}, false
+	}
+	e := fb.free[best]
+	if dir == FromBottom {
+		return Extent{Addr: e.Addr, Len: size}, true
+	}
+	return Extent{Addr: e.End() - size, Len: size}, true
+}
+
+// splitFit gathers extents from successive free blocks (largest-address
+// first for FromTop, lowest first for FromBottom) until size is covered.
+// The caller guarantees total free space suffices.
+func (fb *FB) splitFit(size int, dir Dir) []Extent {
+	var extents []Extent
+	remaining := size
+	if dir == FromBottom {
+		for _, e := range fb.free {
+			if remaining == 0 {
+				break
+			}
+			take := e.Len
+			if take > remaining {
+				take = remaining
+			}
+			extents = append(extents, Extent{Addr: e.Addr, Len: take})
+			remaining -= take
+		}
+	} else {
+		for i := len(fb.free) - 1; i >= 0; i-- {
+			if remaining == 0 {
+				break
+			}
+			e := fb.free[i]
+			take := e.Len
+			if take > remaining {
+				take = remaining
+			}
+			extents = append(extents, Extent{Addr: e.End() - take, Len: take})
+			remaining -= take
+		}
+		// Keep extents in ascending address order.
+		sort.Slice(extents, func(i, j int) bool { return extents[i].Addr < extents[j].Addr })
+	}
+	if remaining != 0 {
+		panic("alloc: splitFit called without enough total free space")
+	}
+	return extents
+}
+
+// carve removes the (guaranteed free) extent from the free list.
+func (fb *FB) carve(x Extent) {
+	for i, e := range fb.free {
+		if e.Addr <= x.Addr && x.End() <= e.End() {
+			var repl []Extent
+			if x.Addr > e.Addr {
+				repl = append(repl, Extent{Addr: e.Addr, Len: x.Addr - e.Addr})
+			}
+			if x.End() < e.End() {
+				repl = append(repl, Extent{Addr: x.End(), Len: e.End() - x.End()})
+			}
+			fb.free = append(fb.free[:i], append(repl, fb.free[i+1:]...)...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("alloc: carve of non-free extent %+v (free list %+v)", x, fb.free))
+}
+
+// insertFree adds an extent to the free list, keeping it sorted and
+// coalesced.
+func (fb *FB) insertFree(x Extent) {
+	i := sort.Search(len(fb.free), func(i int) bool { return fb.free[i].Addr >= x.Addr })
+	fb.free = append(fb.free, Extent{})
+	copy(fb.free[i+1:], fb.free[i:])
+	fb.free[i] = x
+	// Coalesce with neighbors.
+	if i+1 < len(fb.free) && fb.free[i].End() == fb.free[i+1].Addr {
+		fb.free[i].Len += fb.free[i+1].Len
+		fb.free = append(fb.free[:i+1], fb.free[i+2:]...)
+	}
+	if i > 0 && fb.free[i-1].End() == fb.free[i].Addr {
+		fb.free[i-1].Len += fb.free[i].Len
+		fb.free = append(fb.free[:i], fb.free[i+1:]...)
+	}
+}
+
+// CheckInvariants verifies internal consistency: free list sorted,
+// coalesced, in bounds, disjoint from live placements, and accounting
+// matches. Intended for tests and the replay checker.
+func (fb *FB) CheckInvariants() error {
+	freeSum := 0
+	for i, e := range fb.free {
+		if e.Len <= 0 {
+			return fmt.Errorf("alloc: empty free extent %+v", e)
+		}
+		if e.Addr < 0 || e.End() > fb.size {
+			return fmt.Errorf("alloc: free extent %+v out of bounds", e)
+		}
+		if i > 0 {
+			prev := fb.free[i-1]
+			if prev.End() > e.Addr {
+				return fmt.Errorf("alloc: free list unsorted/overlapping at %d", i)
+			}
+			if prev.End() == e.Addr {
+				return fmt.Errorf("alloc: free list not coalesced at %d", i)
+			}
+		}
+		freeSum += e.Len
+	}
+	liveSum := 0
+	occupied := make([]Extent, 0, len(fb.live))
+	for _, p := range fb.live {
+		for _, e := range p.Extents {
+			if e.Len <= 0 || e.Addr < 0 || e.End() > fb.size {
+				return fmt.Errorf("alloc: live extent %+v of %q out of bounds", e, p.Name)
+			}
+			occupied = append(occupied, e)
+			liveSum += e.Len
+		}
+	}
+	sort.Slice(occupied, func(i, j int) bool { return occupied[i].Addr < occupied[j].Addr })
+	for i := 1; i < len(occupied); i++ {
+		if occupied[i-1].End() > occupied[i].Addr {
+			return fmt.Errorf("alloc: live extents overlap: %+v and %+v", occupied[i-1], occupied[i])
+		}
+	}
+	// Free and live extents must not overlap.
+	for _, f := range fb.free {
+		for _, o := range occupied {
+			if f.Addr < o.End() && o.Addr < f.End() {
+				return fmt.Errorf("alloc: free %+v overlaps live %+v", f, o)
+			}
+		}
+	}
+	if liveSum != fb.used {
+		return fmt.Errorf("alloc: used=%d but live extents sum to %d", fb.used, liveSum)
+	}
+	if freeSum+liveSum != fb.size {
+		return fmt.Errorf("alloc: free(%d)+live(%d) != size(%d)", freeSum, liveSum, fb.size)
+	}
+	return nil
+}
+
+// String renders a compact occupancy map, useful for reproducing the
+// paper's Figure 5 timelines.
+func (fb *FB) String() string {
+	type seg struct {
+		e    Extent
+		name string
+	}
+	var segs []seg
+	for _, p := range fb.live {
+		for _, e := range p.Extents {
+			segs = append(segs, seg{e, p.Name})
+		}
+	}
+	for _, e := range fb.free {
+		segs = append(segs, seg{e, "-"})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].e.Addr < segs[j].e.Addr })
+	var b strings.Builder
+	for i, s := range segs {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		fmt.Fprintf(&b, "%d:%s[%d]", s.e.Addr, s.name, s.e.Len)
+	}
+	return b.String()
+}

@@ -1,0 +1,295 @@
+package app
+
+import (
+	"strings"
+	"testing"
+)
+
+// chainApp builds k1 -> k2 -> k3 with one external input, one intermediate
+// between each pair, and one final output.
+func chainApp(t *testing.T) *App {
+	t.Helper()
+	return NewBuilder("chain", 4).
+		Datum("in", 100).
+		Datum("mid1", 80).
+		Datum("mid2", 60).
+		Datum("out", 40).
+		KernelChain()
+}
+
+// KernelChain is a helper on Builder used only by tests in this package.
+func (b *Builder) KernelChain() *App {
+	b.Kernel("k1", 16, 100).In("in").Out("mid1")
+	b.Kernel("k2", 16, 100).In("mid1").Out("mid2")
+	b.Kernel("k3", 16, 100).In("mid2").Out("out")
+	return b.MustBuild()
+}
+
+func TestBuilderHappyPath(t *testing.T) {
+	a := chainApp(t)
+	if a.NumKernels() != 3 {
+		t.Fatalf("NumKernels = %d, want 3", a.NumKernels())
+	}
+	if !a.IsExternalInput("in") {
+		t.Error("in should be an external input")
+	}
+	if a.IsExternalInput("mid1") {
+		t.Error("mid1 is produced by k1, not external")
+	}
+	if !a.IsFinalResult("out") {
+		t.Error("out has no consumers: should be final")
+	}
+	if a.IsFinalResult("mid1") {
+		t.Error("mid1 is consumed by k2: not final")
+	}
+	if p, ok := a.Producer("mid2"); !ok || a.Kernels[p].Name != "k2" {
+		t.Errorf("Producer(mid2) = %d,%v; want k2", p, ok)
+	}
+	if cs := a.Consumers("mid1"); len(cs) != 1 || a.Kernels[cs[0]].Name != "k2" {
+		t.Errorf("Consumers(mid1) = %v, want [k2]", cs)
+	}
+	if a.TotalDataBytes() != 280 {
+		t.Errorf("TotalDataBytes = %d, want 280", a.TotalDataBytes())
+	}
+	if a.TotalContextWords() != 48 {
+		t.Errorf("TotalContextWords = %d, want 48", a.TotalContextWords())
+	}
+	if lc := a.LastConsumer("in"); lc != 0 {
+		t.Errorf("LastConsumer(in) = %d, want 0", lc)
+	}
+	if lc := a.LastConsumer("out"); lc != -1 {
+		t.Errorf("LastConsumer(out) = %d, want -1", lc)
+	}
+}
+
+func TestFinalDatumFlag(t *testing.T) {
+	a := NewBuilder("f", 1).
+		Datum("in", 10).
+		FinalDatum("shared", 20).
+		Datum("out", 5)
+	a.Kernel("p", 8, 10).In("in").Out("shared")
+	a.Kernel("c", 8, 10).In("shared").Out("out")
+	ap := a.MustBuild()
+	if !ap.IsFinalResult("shared") {
+		t.Error("shared is marked Final: IsFinalResult should be true even with consumers")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		build   func() (*App, error)
+		wantSub string
+	}{
+		{
+			"zero iterations",
+			func() (*App, error) {
+				b := NewBuilder("x", 0).Datum("d", 1)
+				b.Kernel("k", 1, 1).In("d")
+				return b.Build()
+			},
+			"Iterations",
+		},
+		{
+			"no kernels",
+			func() (*App, error) { return NewBuilder("x", 1).Datum("d", 1).Build() },
+			"no kernels",
+		},
+		{
+			"duplicate datum",
+			func() (*App, error) {
+				b := NewBuilder("x", 1).Datum("d", 1).Datum("d", 2)
+				b.Kernel("k", 1, 1).In("d")
+				return b.Build()
+			},
+			"duplicate datum",
+		},
+		{
+			"zero-size datum",
+			func() (*App, error) {
+				b := NewBuilder("x", 1).Datum("d", 0)
+				b.Kernel("k", 1, 1).In("d")
+				return b.Build()
+			},
+			"non-positive size",
+		},
+		{
+			"unknown input",
+			func() (*App, error) {
+				b := NewBuilder("x", 1).Datum("d", 1)
+				b.Kernel("k", 1, 1).In("ghost")
+				return b.Build()
+			},
+			"unknown datum",
+		},
+		{
+			"unknown output",
+			func() (*App, error) {
+				b := NewBuilder("x", 1).Datum("d", 1)
+				b.Kernel("k", 1, 1).In("d").Out("ghost")
+				return b.Build()
+			},
+			"unknown datum",
+		},
+		{
+			"two producers",
+			func() (*App, error) {
+				b := NewBuilder("x", 1).Datum("d", 1).Datum("r", 1)
+				b.Kernel("k1", 1, 1).In("d").Out("r")
+				b.Kernel("k2", 1, 1).In("d").Out("r")
+				return b.Build()
+			},
+			"produced by both",
+		},
+		{
+			"consume before produce",
+			func() (*App, error) {
+				b := NewBuilder("x", 1).Datum("d", 1).Datum("r", 1)
+				b.Kernel("k1", 1, 1).In("r").Out("d")
+				b.Kernel("k2", 1, 1).In("d").Out("r")
+				return b.Build()
+			},
+			"before",
+		},
+		{
+			"self loop",
+			func() (*App, error) {
+				b := NewBuilder("x", 1).Datum("d", 1)
+				b.Kernel("k", 1, 1).In("d").Out("d")
+				return b.Build()
+			},
+			"before",
+		},
+		{
+			"orphan datum",
+			func() (*App, error) {
+				b := NewBuilder("x", 1).Datum("d", 1).Datum("orphan", 1)
+				b.Kernel("k", 1, 1).In("d")
+				return b.Build()
+			},
+			"neither produced nor consumed",
+		},
+		{
+			"duplicate kernel",
+			func() (*App, error) {
+				b := NewBuilder("x", 1).Datum("d", 1)
+				b.Kernel("k", 1, 1).In("d")
+				b.Kernel("k", 1, 1).In("d")
+				return b.Build()
+			},
+			"duplicate kernel",
+		},
+		{
+			"bad context words",
+			func() (*App, error) {
+				b := NewBuilder("x", 1).Datum("d", 1)
+				b.Kernel("k", 0, 1).In("d")
+				return b.Build()
+			},
+			"context words",
+		},
+		{
+			"bad compute cycles",
+			func() (*App, error) {
+				b := NewBuilder("x", 1).Datum("d", 1)
+				b.Kernel("k", 1, 0).In("d")
+				return b.Build()
+			},
+			"compute cycles",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := tt.build()
+			if err == nil {
+				t.Fatal("Build() = nil error, want failure")
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestKernelIndex(t *testing.T) {
+	a := chainApp(t)
+	if i, ok := a.KernelIndex("k2"); !ok || i != 1 {
+		t.Errorf("KernelIndex(k2) = %d,%v, want 1,true", i, ok)
+	}
+	if _, ok := a.KernelIndex("nope"); ok {
+		t.Error("KernelIndex(nope) should not be found")
+	}
+}
+
+func TestNewPartition(t *testing.T) {
+	a := chainApp(t)
+	p, err := NewPartition(a, 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(p.Clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(p.Clusters))
+	}
+	if p.Clusters[0].Set != 0 || p.Clusters[1].Set != 1 {
+		t.Errorf("sets = %d,%d, want alternating 0,1", p.Clusters[0].Set, p.Clusters[1].Set)
+	}
+	if p.ClusterOf(0) != 0 || p.ClusterOf(1) != 0 || p.ClusterOf(2) != 1 {
+		t.Errorf("ClusterOf mapping wrong: %d %d %d", p.ClusterOf(0), p.ClusterOf(1), p.ClusterOf(2))
+	}
+	if p.ClusterOf(99) != -1 {
+		t.Error("ClusterOf(out of range) should be -1")
+	}
+	if p.MaxKernelsPerCluster() != 2 {
+		t.Errorf("MaxKernelsPerCluster = %d, want 2", p.MaxKernelsPerCluster())
+	}
+	if p.SameSet(0, 1) {
+		t.Error("clusters 0 and 1 alternate sets")
+	}
+}
+
+func TestNewPartitionSameSetEveryOther(t *testing.T) {
+	a := NewBuilder("four", 1).
+		Datum("d", 10)
+	a.Kernel("k1", 1, 1).In("d")
+	a.Kernel("k2", 1, 1).In("d")
+	a.Kernel("k3", 1, 1).In("d")
+	a.Kernel("k4", 1, 1).In("d")
+	ap := a.MustBuild()
+	p := MustPartition(ap, 2, 1, 1, 1, 1)
+	if !p.SameSet(0, 2) || !p.SameSet(1, 3) || p.SameSet(0, 1) {
+		t.Error("round-robin set assignment broken")
+	}
+}
+
+func TestNewPartitionErrors(t *testing.T) {
+	a := chainApp(t)
+	if _, err := NewPartition(nil, 2, 3); err == nil {
+		t.Error("nil app: want error")
+	}
+	if _, err := NewPartition(a, 0, 3); err == nil {
+		t.Error("zero sets: want error")
+	}
+	if _, err := NewPartition(a, 2, 2); err == nil {
+		t.Error("undercoverage: want error")
+	}
+	if _, err := NewPartition(a, 2, 2, 2); err == nil {
+		t.Error("overcoverage: want error")
+	}
+	if _, err := NewPartition(a, 2, 0, 3); err == nil {
+		t.Error("zero-size cluster: want error")
+	}
+}
+
+func TestPartitionValidateCatchesHandAssembled(t *testing.T) {
+	a := chainApp(t)
+	p := &Partition{App: a, Clusters: []Cluster{
+		{Index: 0, Set: 0, Kernels: []int{0, 2}}, // gap: not contiguous
+		{Index: 1, Set: 1, Kernels: []int{1}},
+	}}
+	if err := p.Validate(); err == nil {
+		t.Error("non-contiguous partition passed Validate")
+	}
+}

@@ -1,0 +1,84 @@
+package app
+
+// Builder assembles an App incrementally. It is the programmatic
+// counterpart of the "application information extractor" input: the kernel
+// library supplies kernels, the application code wires their data.
+//
+//	b := app.NewBuilder("mpeg", 64)
+//	b.Datum("block", 512)
+//	b.Datum("coef", 512)
+//	b.Kernel("dct", 96, 1500).In("block").Out("coef")
+//	a, err := b.Build()
+type Builder struct {
+	app App
+}
+
+// NewBuilder starts a new application with the given name and iteration
+// count (how many times the kernel sequence runs over the input stream).
+func NewBuilder(name string, iterations int) *Builder {
+	return &Builder{app: App{Name: name, Iterations: iterations}}
+}
+
+// Datum declares a data object with its per-iteration size in bytes.
+func (b *Builder) Datum(name string, size int) *Builder {
+	b.app.Data = append(b.app.Data, Datum{Name: name, Size: size})
+	return b
+}
+
+// FinalDatum declares a data object that must be written back to external
+// memory even if later kernels also consume it.
+func (b *Builder) FinalDatum(name string, size int) *Builder {
+	b.app.Data = append(b.app.Data, Datum{Name: name, Size: size, Final: true})
+	return b
+}
+
+// KernelBuilder adds inputs and outputs to a kernel under construction.
+type KernelBuilder struct {
+	b   *Builder
+	idx int
+}
+
+// Kernel appends a kernel to the sequence with its context-word count and
+// per-iteration compute cycles. Wire its data with In and Out.
+func (b *Builder) Kernel(name string, contextWords, computeCycles int) *KernelBuilder {
+	b.app.Kernels = append(b.app.Kernels, Kernel{
+		Name:          name,
+		ContextWords:  contextWords,
+		ComputeCycles: computeCycles,
+	})
+	return &KernelBuilder{b: b, idx: len(b.app.Kernels) - 1}
+}
+
+// In declares data read by the kernel.
+func (kb *KernelBuilder) In(names ...string) *KernelBuilder {
+	k := &kb.b.app.Kernels[kb.idx]
+	k.Inputs = append(k.Inputs, names...)
+	return kb
+}
+
+// Out declares data written by the kernel.
+func (kb *KernelBuilder) Out(names ...string) *KernelBuilder {
+	k := &kb.b.app.Kernels[kb.idx]
+	k.Outputs = append(k.Outputs, names...)
+	return kb
+}
+
+// Build validates the application and returns it. The Builder must not be
+// reused after Build.
+func (b *Builder) Build() (*App, error) {
+	a := b.app
+	if err := a.finalize(); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+// MustBuild is Build for tests and static workload definitions: it panics
+// on validation errors.
+func (b *Builder) MustBuild() *App {
+	a, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

@@ -1,0 +1,126 @@
+package app
+
+import "fmt"
+
+// Cluster is a set of consecutive kernels assigned to the same Frame
+// Buffer set and executed back to back. Clusters are the unit the data
+// scheduler works on: while one cluster computes out of one FB set, the
+// DMA fills the other set for the next cluster.
+type Cluster struct {
+	// Index is the cluster's position in execution order.
+	Index int
+	// Set is the FB set (0 or 1 on M1) the cluster's data live in.
+	Set int
+	// Kernels holds indices into App.Kernels, consecutive and ascending.
+	Kernels []int
+}
+
+// Contains reports whether kernel index ki belongs to the cluster.
+func (c Cluster) Contains(ki int) bool {
+	return len(c.Kernels) > 0 && ki >= c.Kernels[0] && ki <= c.Kernels[len(c.Kernels)-1]
+}
+
+// Partition is an App together with its cluster decomposition, as produced
+// by the kernel scheduler. Clusters alternate FB sets in execution order.
+type Partition struct {
+	App      *App
+	Clusters []Cluster
+}
+
+// NewPartition splits the app's kernel sequence into clusters of the given
+// sizes (in kernel counts, in execution order) and assigns them to FB sets
+// round-robin over numSets. Sizes must cover the kernel sequence exactly.
+func NewPartition(a *App, numSets int, sizes ...int) (*Partition, error) {
+	if a == nil {
+		return nil, fmt.Errorf("app: nil App")
+	}
+	if numSets < 1 {
+		return nil, fmt.Errorf("app %q: numSets must be >= 1, got %d", a.Name, numSets)
+	}
+	p := &Partition{App: a}
+	next := 0
+	for ci, sz := range sizes {
+		if sz <= 0 {
+			return nil, fmt.Errorf("app %q: cluster %d has non-positive size %d", a.Name, ci, sz)
+		}
+		if next+sz > len(a.Kernels) {
+			return nil, fmt.Errorf("app %q: cluster sizes exceed %d kernels", a.Name, len(a.Kernels))
+		}
+		ks := make([]int, sz)
+		for i := range ks {
+			ks[i] = next + i
+		}
+		p.Clusters = append(p.Clusters, Cluster{Index: ci, Set: ci % numSets, Kernels: ks})
+		next += sz
+	}
+	if next != len(a.Kernels) {
+		return nil, fmt.Errorf("app %q: cluster sizes cover %d of %d kernels", a.Name, next, len(a.Kernels))
+	}
+	return p, nil
+}
+
+// MustPartition is NewPartition for tests and static workload definitions.
+func MustPartition(a *App, numSets int, sizes ...int) *Partition {
+	p, err := NewPartition(a, numSets, sizes...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ClusterOf returns the index of the cluster containing kernel ki.
+func (p *Partition) ClusterOf(ki int) int {
+	for _, c := range p.Clusters {
+		if c.Contains(ki) {
+			return c.Index
+		}
+	}
+	return -1
+}
+
+// SameSet reports whether clusters i and j are assigned to the same FB set.
+func (p *Partition) SameSet(i, j int) bool {
+	return p.Clusters[i].Set == p.Clusters[j].Set
+}
+
+// MaxKernelsPerCluster returns the paper's Table 1 column n.
+func (p *Partition) MaxKernelsPerCluster() int {
+	max := 0
+	for _, c := range p.Clusters {
+		if len(c.Kernels) > max {
+			max = len(c.Kernels)
+		}
+	}
+	return max
+}
+
+// Validate re-checks the partition invariants (contiguity, coverage, set
+// alternation consistency). Partitions built with NewPartition always
+// pass; this guards hand-assembled ones.
+func (p *Partition) Validate() error {
+	if p.App == nil {
+		return fmt.Errorf("partition: nil App")
+	}
+	next := 0
+	for ci, c := range p.Clusters {
+		if c.Index != ci {
+			return fmt.Errorf("partition: cluster %d has Index %d", ci, c.Index)
+		}
+		if len(c.Kernels) == 0 {
+			return fmt.Errorf("partition: cluster %d is empty", ci)
+		}
+		for i, ki := range c.Kernels {
+			if ki != next {
+				return fmt.Errorf("partition: cluster %d kernel %d is %d, want %d (contiguous coverage)", ci, i, ki, next)
+			}
+			next++
+		}
+		if c.Set < 0 {
+			return fmt.Errorf("partition: cluster %d has negative set %d", ci, c.Set)
+		}
+	}
+	if next != len(p.App.Kernels) {
+		return fmt.Errorf("partition: covers %d of %d kernels", next, len(p.App.Kernels))
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package app
+
+import "fmt"
+
+// TileKernel implements the paper's future-work item "data management
+// within a kernel": it replaces one kernel with `tiles` sub-kernels that
+// each process a slice of the kernel's data. Sub-kernels share one
+// context group (the configuration is loaded once and reused across
+// tiles), so tiling costs no extra context traffic; its benefit is a
+// smaller per-step Frame Buffer footprint, which lets the data schedulers
+// pick a higher reuse factor RF or retain more shared objects.
+//
+// Tiling rules:
+//
+//   - an external input consumed ONLY by the tiled kernel is split into
+//     per-tile slices (tile t reads slice t);
+//   - a final output with no other consumers is split the same way;
+//   - every other datum (shared inputs like coefficient tables, and
+//     results other kernels consume) is left whole: each sub-kernel reads
+//     whole shared inputs, and the LAST sub-kernel is recorded as the
+//     producer of whole outputs (the result is complete only then).
+//
+// The transform returns a new validated App; the original is untouched.
+// Partitions built for the old App do not fit the new one — use
+// TilePartition to carry a partition across.
+func TileKernel(a *App, kernel string, tiles int) (*App, error) {
+	if tiles < 2 {
+		return nil, fmt.Errorf("app: TileKernel needs tiles >= 2, got %d", tiles)
+	}
+	ki, ok := a.KernelIndex(kernel)
+	if !ok {
+		return nil, fmt.Errorf("app: TileKernel: no kernel %q in %q", kernel, a.Name)
+	}
+	k := a.Kernels[ki]
+
+	// Decide which data get sliced.
+	sliceable := map[string]bool{}
+	for _, in := range k.Inputs {
+		if a.IsExternalInput(in) && soleConsumer(a, in, ki) {
+			sliceable[in] = true
+		}
+	}
+	for _, out := range k.Outputs {
+		if len(a.Consumers(out)) == 0 {
+			sliceable[out] = true
+		}
+	}
+
+	slicedInput := map[string]bool{}
+	for _, in := range k.Inputs {
+		if sliceable[in] {
+			slicedInput[in] = true
+		}
+	}
+
+	nb := &App{Name: a.Name + "+tiled", Iterations: a.Iterations}
+	for _, d := range a.Data {
+		if sliceable[d.Name] {
+			per := (d.Size + tiles - 1) / tiles
+			for t := 0; t < tiles; t++ {
+				nb.Data = append(nb.Data, Datum{
+					Name: tileName(d.Name, t),
+					Size: per,
+					// Input slices stream in just before their tile
+					// runs — the footprint saving of tiling.
+					Streamed: slicedInput[d.Name],
+					Final:    d.Final,
+				})
+			}
+			continue
+		}
+		nb.Data = append(nb.Data, d)
+	}
+
+	perCycles := (k.ComputeCycles + tiles - 1) / tiles
+	for i, kk := range a.Kernels {
+		if i != ki {
+			nb.Kernels = append(nb.Kernels, kk)
+			continue
+		}
+		for t := 0; t < tiles; t++ {
+			sub := Kernel{
+				Name:          tileName(k.Name, t),
+				ContextWords:  k.ContextWords,
+				ComputeCycles: perCycles,
+				ContextGroup:  k.Name,
+			}
+			for _, in := range k.Inputs {
+				if sliceable[in] {
+					sub.Inputs = append(sub.Inputs, tileName(in, t))
+				} else {
+					sub.Inputs = append(sub.Inputs, in)
+				}
+			}
+			for _, out := range k.Outputs {
+				switch {
+				case sliceable[out]:
+					sub.Outputs = append(sub.Outputs, tileName(out, t))
+				case t == tiles-1:
+					// Whole results are complete at the last tile.
+					sub.Outputs = append(sub.Outputs, out)
+				}
+			}
+			nb.Kernels = append(nb.Kernels, sub)
+		}
+	}
+	if err := nb.finalize(); err != nil {
+		return nil, fmt.Errorf("app: TileKernel(%s, %d): %w", kernel, tiles, err)
+	}
+	return nb, nil
+}
+
+// TilePartition applies TileKernel and rebuilds the partition: the
+// cluster containing the kernel grows by tiles-1 positions, every other
+// cluster keeps its kernels.
+func TilePartition(p *Partition, kernel string, tiles int) (*Partition, error) {
+	ki, ok := p.App.KernelIndex(kernel)
+	if !ok {
+		return nil, fmt.Errorf("app: TilePartition: no kernel %q", kernel)
+	}
+	na, err := TileKernel(p.App, kernel, tiles)
+	if err != nil {
+		return nil, err
+	}
+	home := p.ClusterOf(ki)
+	sizes := make([]int, len(p.Clusters))
+	numSets := 1
+	for i, c := range p.Clusters {
+		sizes[i] = len(c.Kernels)
+		if c.Set+1 > numSets {
+			numSets = c.Set + 1
+		}
+		if i == home {
+			sizes[i] += tiles - 1
+		}
+	}
+	return NewPartition(na, numSets, sizes...)
+}
+
+func tileName(name string, t int) string {
+	return fmt.Sprintf("%s@t%d", name, t)
+}
+
+func soleConsumer(a *App, datum string, ki int) bool {
+	cs := a.Consumers(datum)
+	return len(cs) == 1 && cs[0] == ki
+}

@@ -1,0 +1,137 @@
+package app
+
+import (
+	"strings"
+	"testing"
+)
+
+// tilingApp: k1 reads a big private input and a shared table, writes an
+// intermediate consumed by k2; k2 writes a big final output.
+func tilingApp(t *testing.T) *App {
+	t.Helper()
+	b := NewBuilder("tile", 4).
+		Datum("big", 400).
+		Datum("tbl", 100).
+		Datum("mid", 80).
+		Datum("out", 300)
+	b.Kernel("k1", 64, 200).In("big", "tbl").Out("mid")
+	b.Kernel("k2", 64, 200).In("mid", "tbl").Out("out")
+	return b.MustBuild()
+}
+
+func TestTileKernelSlicesPrivateData(t *testing.T) {
+	a := tilingApp(t)
+	ta, err := TileKernel(a, "k1", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k1 becomes 4 sub-kernels; k2 unchanged.
+	if ta.NumKernels() != 5 {
+		t.Fatalf("kernels = %d, want 5", ta.NumKernels())
+	}
+	// big (sole consumer k1) is sliced into 4 x 100.
+	if _, ok := ta.DatumByName("big"); ok {
+		t.Error("big should be replaced by slices")
+	}
+	for tl := 0; tl < 4; tl++ {
+		d, ok := ta.DatumByName(tileName("big", tl))
+		if !ok || d.Size != 100 {
+			t.Errorf("big@t%d = %+v, want 100-byte slice", tl, d)
+		}
+	}
+	// tbl (shared with k2) stays whole and is read by every sub-kernel.
+	if d, ok := ta.DatumByName("tbl"); !ok || d.Size != 100 {
+		t.Errorf("tbl = %+v, want untouched", d)
+	}
+	if got := len(ta.Consumers("tbl")); got != 5 {
+		t.Errorf("tbl consumers = %d, want 5 (4 tiles + k2)", got)
+	}
+	// mid (consumed by k2) stays whole, produced by the LAST sub-kernel.
+	p, ok := ta.Producer("mid")
+	if !ok || ta.Kernels[p].Name != tileName("k1", 3) {
+		t.Errorf("mid produced by %v, want k1@t3", ta.Kernels[p].Name)
+	}
+	// Sub-kernels share the context group.
+	for tl := 0; tl < 4; tl++ {
+		ki, _ := ta.KernelIndex(tileName("k1", tl))
+		if ta.Kernels[ki].CtxGroup() != "k1" {
+			t.Errorf("sub-kernel %d group = %q, want k1", tl, ta.Kernels[ki].CtxGroup())
+		}
+		if ta.Kernels[ki].ComputeCycles != 50 {
+			t.Errorf("sub-kernel %d cycles = %d, want 50", tl, ta.Kernels[ki].ComputeCycles)
+		}
+	}
+}
+
+func TestTileKernelFinalOutput(t *testing.T) {
+	a := tilingApp(t)
+	ta, err := TileKernel(a, "k2", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// out (final, no consumers) is sliced; mid stays whole and is read
+	// by both sub-kernels.
+	for tl := 0; tl < 2; tl++ {
+		if d, ok := ta.DatumByName(tileName("out", tl)); !ok || d.Size != 150 {
+			t.Errorf("out@t%d = %+v, want 150-byte slice", tl, d)
+		}
+	}
+	if got := len(ta.Consumers("mid")); got != 2 {
+		t.Errorf("mid consumers = %d, want both sub-kernels", got)
+	}
+}
+
+func TestTileKernelErrors(t *testing.T) {
+	a := tilingApp(t)
+	if _, err := TileKernel(a, "k1", 1); err == nil {
+		t.Error("tiles=1 accepted")
+	}
+	if _, err := TileKernel(a, "ghost", 2); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestTileKernelPreservesOriginal(t *testing.T) {
+	a := tilingApp(t)
+	if _, err := TileKernel(a, "k1", 3); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumKernels() != 2 {
+		t.Error("TileKernel mutated the original app")
+	}
+	if _, ok := a.DatumByName("big"); !ok {
+		t.Error("TileKernel mutated the original data")
+	}
+}
+
+func TestTilePartition(t *testing.T) {
+	a := tilingApp(t)
+	p := MustPartition(a, 2, 1, 1)
+	tp, err := TilePartition(p, "k1", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tp.Clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(tp.Clusters))
+	}
+	if got := len(tp.Clusters[0].Kernels); got != 3 {
+		t.Errorf("cluster 0 has %d kernels, want 3 (the tiles)", got)
+	}
+	if got := len(tp.Clusters[1].Kernels); got != 1 {
+		t.Errorf("cluster 1 has %d kernels, want 1", got)
+	}
+	if !strings.Contains(tp.App.Name, "tiled") {
+		t.Errorf("app name %q should mark the transform", tp.App.Name)
+	}
+}
+
+func TestTilePartitionUnknownKernel(t *testing.T) {
+	a := tilingApp(t)
+	p := MustPartition(a, 2, 1, 1)
+	if _, err := TilePartition(p, "ghost", 2); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}

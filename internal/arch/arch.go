@@ -1,0 +1,174 @@
+// Package arch models the MorphoSys M1 multi-context reconfigurable
+// architecture at the level the data scheduler needs: the Frame Buffer
+// (double-buffered on-chip data memory), the Context Memory, the single
+// shared DMA channel between external memory and the on-chip memories, and
+// the reconfigurable-cell array geometry.
+//
+// All sizes are in bytes; all times are in RC-array clock cycles. The
+// defaults follow the first MorphoSys implementation (M1) as described in
+// Singh et al., DAC 2000, and the scheduling papers built on it.
+package arch
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Common byte-size multipliers. The scheduling papers quote memory sizes as
+// "1K", "8K" etc., meaning binary kilobytes.
+const (
+	KiB = 1024
+	MiB = 1024 * KiB
+)
+
+// Params describes one MorphoSys-class machine instance. The zero value is
+// not usable; start from M1() or one of the preset constructors and adjust.
+type Params struct {
+	// Name identifies the configuration in reports.
+	Name string
+
+	// FBSetBytes is the capacity of ONE Frame Buffer set. M1's frame
+	// buffer has two identical sets so that computation on one set
+	// overlaps DMA traffic on the other.
+	FBSetBytes int
+
+	// FBSets is the number of Frame Buffer sets (2 on M1).
+	FBSets int
+
+	// CMWords is the Context Memory capacity in 32-bit context words.
+	// M1 stores 32 context planes of 16 words for each of the row and
+	// column blocks: 2 * 32 * 16 = 1024 words.
+	CMWords int
+
+	// BusBytes is the width of the external-memory/DMA bus in bytes
+	// (4 on M1: 32-bit bus). One bus beat moves BusBytes bytes in one
+	// cycle.
+	BusBytes int
+
+	// DMASetupCycles is the fixed per-transfer DMA programming overhead
+	// charged to every burst (TinyRISC issues the DMA instructions).
+	DMASetupCycles int
+
+	// CtxWordBytes is the size of one context word (4 bytes on M1).
+	CtxWordBytes int
+
+	// Rows and Cols give the RC-array geometry (8x8 on M1).
+	Rows, Cols int
+}
+
+// M1 returns the parameters of the first MorphoSys implementation.
+func M1() Params {
+	return Params{
+		Name:           "M1",
+		FBSetBytes:     2 * KiB,
+		FBSets:         2,
+		CMWords:        1024,
+		BusBytes:       4,
+		DMASetupCycles: 4,
+		CtxWordBytes:   4,
+		Rows:           8,
+		Cols:           8,
+	}
+}
+
+// WithFB returns a copy of p with the per-set Frame Buffer capacity set to
+// fbSetBytes. The scheduling papers sweep this parameter (Table 1's "FB"
+// column); having it as a one-liner keeps experiment definitions readable.
+func (p Params) WithFB(fbSetBytes int) Params {
+	p.FBSetBytes = fbSetBytes
+	p.Name = fmt.Sprintf("%s/FB=%s", p.Name, FormatSize(fbSetBytes))
+	return p
+}
+
+// Validate reports whether the parameter set is internally consistent.
+func (p Params) Validate() error {
+	switch {
+	case p.FBSetBytes <= 0:
+		return fmt.Errorf("arch: FBSetBytes must be positive, got %d", p.FBSetBytes)
+	case p.FBSets < 1:
+		return fmt.Errorf("arch: FBSets must be >= 1, got %d", p.FBSets)
+	case p.CMWords <= 0:
+		return fmt.Errorf("arch: CMWords must be positive, got %d", p.CMWords)
+	case p.BusBytes <= 0:
+		return fmt.Errorf("arch: BusBytes must be positive, got %d", p.BusBytes)
+	case p.DMASetupCycles < 0:
+		return fmt.Errorf("arch: DMASetupCycles must be >= 0, got %d", p.DMASetupCycles)
+	case p.CtxWordBytes <= 0:
+		return fmt.Errorf("arch: CtxWordBytes must be positive, got %d", p.CtxWordBytes)
+	case p.Rows <= 0 || p.Cols <= 0:
+		return fmt.Errorf("arch: RC array must be non-empty, got %dx%d", p.Rows, p.Cols)
+	}
+	return nil
+}
+
+// ErrDoesNotFit is returned by capacity checks when a request exceeds the
+// available on-chip storage under a given schedule.
+var ErrDoesNotFit = errors.New("arch: request exceeds on-chip capacity")
+
+// DataCycles returns the DMA cycles needed to move n bytes of frame-buffer
+// data in one burst: the fixed setup cost plus one cycle per bus beat.
+// Zero-byte transfers cost nothing (no burst is issued).
+func (p Params) DataCycles(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	beats := (n + p.BusBytes - 1) / p.BusBytes
+	return p.DMASetupCycles + beats
+}
+
+// ContextCycles returns the DMA cycles needed to load n context words into
+// the Context Memory. Context traffic shares the single DMA channel with
+// data traffic, so these cycles serialize with DataCycles.
+func (p Params) ContextCycles(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	beats := (n*p.CtxWordBytes + p.BusBytes - 1) / p.BusBytes
+	return p.DMASetupCycles + beats
+}
+
+// FormatSize renders a byte count the way the paper does: "0.8K", "2K",
+// "14K". Exact multiples of KiB drop the fraction.
+func FormatSize(n int) string {
+	if n%KiB == 0 {
+		return fmt.Sprintf("%dK", n/KiB)
+	}
+	return fmt.Sprintf("%.1fK", float64(n)/KiB)
+}
+
+// M1Quarter returns a cost-reduced M1 with half the frame buffer and half
+// the context memory — the "small memory" design point the paper's FB
+// sweeps explore.
+func M1Quarter() Params {
+	p := M1()
+	p.Name = "M1/4"
+	p.FBSetBytes = 1 * KiB
+	p.CMWords = 512
+	return p
+}
+
+// M2 returns a hypothetical second-generation machine: a 16x16 cell
+// array, four times the frame buffer and double the context memory on a
+// 64-bit bus. Used by the generation-scaling benchmark.
+func M2() Params {
+	return Params{
+		Name:           "M2",
+		FBSetBytes:     8 * KiB,
+		FBSets:         2,
+		CMWords:        2048,
+		BusBytes:       8,
+		DMASetupCycles: 4,
+		CtxWordBytes:   4,
+		Rows:           16,
+		Cols:           16,
+	}
+}
+
+// Presets returns the built-in machine configurations by name.
+func Presets() map[string]Params {
+	out := map[string]Params{}
+	for _, p := range []Params{M1(), M1Quarter(), M2()} {
+		out[p.Name] = p
+	}
+	return out
+}

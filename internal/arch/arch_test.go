@@ -1,0 +1,249 @@
+package arch
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestM1Defaults(t *testing.T) {
+	p := M1()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("M1() invalid: %v", err)
+	}
+	if p.FBSets != 2 {
+		t.Errorf("M1 FBSets = %d, want 2 (double-buffered frame buffer)", p.FBSets)
+	}
+	if p.Rows != 8 || p.Cols != 8 {
+		t.Errorf("M1 array = %dx%d, want 8x8", p.Rows, p.Cols)
+	}
+	if p.CMWords != 1024 {
+		t.Errorf("M1 CMWords = %d, want 1024", p.CMWords)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"zero FB", func(p *Params) { p.FBSetBytes = 0 }},
+		{"negative FB", func(p *Params) { p.FBSetBytes = -1 }},
+		{"no sets", func(p *Params) { p.FBSets = 0 }},
+		{"zero CM", func(p *Params) { p.CMWords = 0 }},
+		{"zero bus", func(p *Params) { p.BusBytes = 0 }},
+		{"negative setup", func(p *Params) { p.DMASetupCycles = -1 }},
+		{"zero ctx word", func(p *Params) { p.CtxWordBytes = 0 }},
+		{"empty array", func(p *Params) { p.Rows = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := M1()
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Errorf("Validate() = nil, want error for %s", tt.name)
+			}
+		})
+	}
+}
+
+func TestWithFB(t *testing.T) {
+	p := M1().WithFB(8 * KiB)
+	if p.FBSetBytes != 8*KiB {
+		t.Fatalf("WithFB: FBSetBytes = %d, want %d", p.FBSetBytes, 8*KiB)
+	}
+	if !strings.Contains(p.Name, "8K") {
+		t.Errorf("WithFB: Name = %q, want to mention 8K", p.Name)
+	}
+	if M1().FBSetBytes == p.FBSetBytes && 8*KiB == M1().FBSetBytes {
+		t.Fatal("test misconfigured: pick a size different from the default")
+	}
+}
+
+func TestDataCycles(t *testing.T) {
+	p := M1() // BusBytes=4, DMASetupCycles=4
+	tests := []struct {
+		bytes, want int
+	}{
+		{0, 0},
+		{-5, 0},
+		{1, 5}, // 1 beat + setup
+		{4, 5}, // exactly one beat
+		{5, 6}, // two beats
+		{8, 6}, // two beats
+		{1024, 4 + 256},
+	}
+	for _, tt := range tests {
+		if got := p.DataCycles(tt.bytes); got != tt.want {
+			t.Errorf("DataCycles(%d) = %d, want %d", tt.bytes, got, tt.want)
+		}
+	}
+}
+
+func TestContextCycles(t *testing.T) {
+	p := M1() // CtxWordBytes=4, BusBytes=4 -> one cycle per word
+	if got := p.ContextCycles(0); got != 0 {
+		t.Errorf("ContextCycles(0) = %d, want 0", got)
+	}
+	if got := p.ContextCycles(16); got != 4+16 {
+		t.Errorf("ContextCycles(16) = %d, want %d", got, 4+16)
+	}
+}
+
+func TestDataCyclesMonotonic(t *testing.T) {
+	p := M1()
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return p.DataCycles(x) <= p.DataCycles(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDataCyclesSplitNeverCheaper(t *testing.T) {
+	// Splitting one burst into two can never be cheaper than a single
+	// burst: each extra burst pays the DMA setup again. The allocator
+	// relies on this when deciding whether splitting a datum is harmful.
+	p := M1()
+	f := func(a, b uint16) bool {
+		x, y := int(a)+1, int(b)+1
+		return p.DataCycles(x)+p.DataCycles(y) >= p.DataCycles(x+y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatSize(t *testing.T) {
+	tests := []struct {
+		n    int
+		want string
+	}{
+		{1024, "1K"},
+		{2048, "2K"},
+		{8 * KiB, "8K"},
+		{819, "0.8K"},
+		{1536, "1.5K"},
+	}
+	for _, tt := range tests {
+		if got := FormatSize(tt.n); got != tt.want {
+			t.Errorf("FormatSize(%d) = %q, want %q", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestContextMemoryLoadAndHit(t *testing.T) {
+	cm := NewContextMemory(100)
+	moved, err := cm.Load("dct", 40)
+	if err != nil || moved != 40 {
+		t.Fatalf("Load(dct) = (%d, %v), want (40, nil)", moved, err)
+	}
+	// Second load is a hit: no words move.
+	moved, err = cm.Load("dct", 40)
+	if err != nil || moved != 0 {
+		t.Fatalf("reload of resident kernel = (%d, %v), want (0, nil)", moved, err)
+	}
+	if cm.Used() != 40 || cm.Free() != 60 {
+		t.Errorf("Used/Free = %d/%d, want 40/60", cm.Used(), cm.Free())
+	}
+}
+
+func TestContextMemoryFIFOEviction(t *testing.T) {
+	cm := NewContextMemory(100)
+	mustLoad(t, cm, "a", 40)
+	mustLoad(t, cm, "b", 40)
+	mustLoad(t, cm, "c", 40) // must evict a (oldest)
+	if cm.Resident("a") {
+		t.Error("kernel a still resident, want FIFO eviction")
+	}
+	if !cm.Resident("b") || !cm.Resident("c") {
+		t.Error("kernels b and c should be resident")
+	}
+	if cm.Used() != 80 {
+		t.Errorf("Used = %d, want 80", cm.Used())
+	}
+}
+
+func TestContextMemoryTooLarge(t *testing.T) {
+	cm := NewContextMemory(32)
+	if _, err := cm.Load("huge", 33); !errors.Is(err, ErrDoesNotFit) {
+		t.Fatalf("Load(huge) err = %v, want ErrDoesNotFit", err)
+	}
+	if _, err := cm.Load("neg", -1); err == nil {
+		t.Fatal("Load with negative size: want error")
+	}
+}
+
+func TestContextMemoryEvictAndReset(t *testing.T) {
+	cm := NewContextMemory(64)
+	mustLoad(t, cm, "a", 10)
+	mustLoad(t, cm, "b", 20)
+	cm.Evict("a")
+	if cm.Resident("a") || cm.Used() != 20 {
+		t.Errorf("after Evict(a): resident=%v used=%d, want false/20", cm.Resident("a"), cm.Used())
+	}
+	cm.Evict("a") // idempotent
+	cm.Reset()
+	if cm.Used() != 0 || cm.Resident("b") {
+		t.Error("Reset did not clear the context memory")
+	}
+}
+
+func TestContextMemoryAccountingInvariant(t *testing.T) {
+	// Property: after any sequence of loads, used == sum of resident
+	// sizes and never exceeds capacity.
+	cm := NewContextMemory(128)
+	names := []string{"k0", "k1", "k2", "k3", "k4", "k5"}
+	sizes := []int{16, 48, 64, 32, 128, 8}
+	for step := 0; step < 200; step++ {
+		n := names[step%len(names)]
+		if _, err := cm.Load(n, sizes[step%len(sizes)]); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		sum := 0
+		for _, name := range names {
+			if cm.Resident(name) {
+				sum += cm.resident[name]
+			}
+		}
+		if sum != cm.Used() {
+			t.Fatalf("step %d: used=%d but resident sum=%d", step, cm.Used(), sum)
+		}
+		if cm.Used() > cm.Capacity() {
+			t.Fatalf("step %d: used=%d exceeds capacity=%d", step, cm.Used(), cm.Capacity())
+		}
+	}
+}
+
+func mustLoad(t *testing.T, cm *ContextMemory, kernel string, words int) {
+	t.Helper()
+	if _, err := cm.Load(kernel, words); err != nil {
+		t.Fatalf("Load(%s, %d): %v", kernel, words, err)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	ps := Presets()
+	if len(ps) != 3 {
+		t.Fatalf("presets = %d, want 3", len(ps))
+	}
+	for name, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("preset key %q has name %q", name, p.Name)
+		}
+	}
+	if ps["M2"].Rows != 16 || ps["M2"].BusBytes != 8 {
+		t.Errorf("M2 = %+v", ps["M2"])
+	}
+	if ps["M1/4"].FBSetBytes >= ps["M1"].FBSetBytes {
+		t.Error("M1/4 should have a smaller FB than M1")
+	}
+}

@@ -1,0 +1,155 @@
+package codegen
+
+import (
+	"fmt"
+
+	"cds/internal/arch"
+	"cds/internal/core"
+)
+
+// CheckReport summarizes a successful replay of a program against the
+// machine's transfer discipline.
+type CheckReport struct {
+	// LoadBytes, StoreBytes, CtxWords are the volumes the program
+	// moves; they must match the schedule it was generated from.
+	LoadBytes, StoreBytes, CtxWords int
+	// Execs counts kernel invocations.
+	Execs int
+}
+
+// Check replays the program and enforces the MorphoSys transfer rules:
+//
+//   - LDCTXT must fit the Context Memory (FIFO eviction applies);
+//   - EXEC requires the kernel's contexts to be resident;
+//   - LDFB/STFB regions must lie inside the Frame Buffer set;
+//   - STFB may only drain an object some EXEC produced in the same visit
+//     (a kernel of the executing cluster writes that datum), or that a
+//     prior LDFB brought in (re-store of pass-through data is rejected —
+//     the schedulers never generate it).
+//
+// When sched is non-nil, the program's transfer volumes are also required
+// to match the schedule's totals exactly.
+func Check(p *Program, sched *core.Schedule) (*CheckReport, error) {
+	if p == nil {
+		return nil, fmt.Errorf("codegen: nil program")
+	}
+	if err := p.Arch.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &CheckReport{}
+	cm := arch.NewContextMemory(p.Arch.CMWords)
+
+	// kernelCtxWords (keyed by context group) and producers come from
+	// the schedule when present.
+	kernelWords := map[string]int{}
+	kernelGroup := map[string]string{}
+	producesDatum := map[string]map[string]bool{} // kernel -> datums it outputs
+	if sched != nil {
+		for _, k := range sched.P.App.Kernels {
+			kernelWords[k.CtxGroup()] = k.ContextWords
+			kernelGroup[k.Name] = k.CtxGroup()
+			set := map[string]bool{}
+			for _, out := range k.Outputs {
+				set[out] = true
+			}
+			producesDatum[k.Name] = set
+		}
+	}
+
+	// produced tracks objects written by an EXEC'd kernel and still
+	// storable; loaded tracks objects brought in by LDFB.
+	produced := map[string]bool{}
+	executed := map[string]bool{} // kernels run at least once
+
+	for idx, in := range p.Instrs {
+		fail := func(format string, args ...interface{}) error {
+			return fmt.Errorf("codegen: instr %d (%s): %s", idx, in, fmt.Sprintf(format, args...))
+		}
+		switch in.Op {
+		case OpLdCtxt:
+			if in.Words <= 0 {
+				return nil, fail("non-positive context words")
+			}
+			want := in.Words
+			if sched != nil {
+				if w, ok := kernelWords[in.Kernel]; ok && in.Words > w {
+					return nil, fail("loads %d words but kernel has %d", in.Words, w)
+				}
+				want = kernelWords[in.Kernel]
+			}
+			if want <= p.Arch.CMWords {
+				if _, err := cm.Load(in.Kernel, want); err != nil {
+					return nil, fail("context memory: %v", err)
+				}
+			}
+			// Kernels larger than the whole CM stream their contexts
+			// every visit; the residency check is skipped for them.
+			rep.CtxWords += in.Words
+		case OpLdFB:
+			if err := fbRange(p.Arch, in); err != nil {
+				return nil, fail("%v", err)
+			}
+			rep.LoadBytes += in.Bytes
+		case OpStFB:
+			if err := fbRange(p.Arch, in); err != nil {
+				return nil, fail("%v", err)
+			}
+			if sched != nil && !produced[in.Object] {
+				return nil, fail("stores %s which no executed kernel produced", in.Object)
+			}
+			delete(produced, in.Object)
+			rep.StoreBytes += in.Bytes
+		case OpExec:
+			group := in.Kernel
+			if g, ok := kernelGroup[in.Kernel]; ok {
+				group = g
+			}
+			if sched != nil && !cm.Resident(group) && kernelWords[group] <= p.Arch.CMWords {
+				return nil, fail("kernel %s has no contexts resident", in.Kernel)
+			}
+			executed[in.Kernel] = true
+			for out := range producesDatum[in.Kernel] {
+				produced[instanceName(out, in.Iter)] = true
+			}
+			rep.Execs++
+		default:
+			return nil, fail("unknown op")
+		}
+	}
+
+	if sched != nil {
+		if rep.LoadBytes != sched.TotalLoadBytes() {
+			return nil, fmt.Errorf("codegen: program loads %d bytes, schedule says %d",
+				rep.LoadBytes, sched.TotalLoadBytes())
+		}
+		if rep.StoreBytes != sched.TotalStoreBytes() {
+			return nil, fmt.Errorf("codegen: program stores %d bytes, schedule says %d",
+				rep.StoreBytes, sched.TotalStoreBytes())
+		}
+		if rep.CtxWords != sched.TotalCtxWords() {
+			return nil, fmt.Errorf("codegen: program loads %d context words, schedule says %d",
+				rep.CtxWords, sched.TotalCtxWords())
+		}
+		wantExecs := 0
+		for _, v := range sched.Visits {
+			wantExecs += v.Iters * len(sched.P.Clusters[v.Cluster].Kernels)
+		}
+		if rep.Execs != wantExecs {
+			return nil, fmt.Errorf("codegen: program has %d EXECs, schedule implies %d", rep.Execs, wantExecs)
+		}
+	}
+	return rep, nil
+}
+
+func fbRange(pa arch.Params, in Instr) error {
+	if in.Bytes <= 0 {
+		return fmt.Errorf("non-positive transfer size %d", in.Bytes)
+	}
+	if in.Addr < 0 || in.Addr+in.Bytes > pa.FBSetBytes {
+		return fmt.Errorf("FB region [%d,%d) outside set of %d bytes", in.Addr, in.Addr+in.Bytes, pa.FBSetBytes)
+	}
+	if in.Set < 0 || in.Set >= pa.FBSets {
+		return fmt.Errorf("FB set %d out of range (%d sets)", in.Set, pa.FBSets)
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseProgram: arbitrary program text must never panic; accepted
+// programs must re-marshal.
+func FuzzParseProgram(f *testing.F) {
+	f.Add(okHeader + "LDCTXT k 16\nEXEC k iter=0\n")
+	f.Add(okHeader + "LDFB x#i0 x set=0 addr=0 bytes=8 iter=0\nSTFB x#i0 x set=0 addr=0 bytes=8 iter=0\n")
+	f.Add(".arch fb=1 sets=1 cm=1 bus=1 setup=0 ctxw=1 rows=1 cols=1\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		p, err := Parse(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		var b strings.Builder
+		if err := Marshal(&b, p); err != nil {
+			t.Fatalf("accepted program failed to marshal: %v", err)
+		}
+		if _, err := Parse(strings.NewReader(b.String())); err != nil {
+			t.Fatalf("re-marshaled program failed to parse: %v", err)
+		}
+	})
+}

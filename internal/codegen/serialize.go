@@ -1,0 +1,172 @@
+package codegen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"cds/internal/arch"
+)
+
+// Marshal writes the program in its textual assembly form, prefixed by a
+// machine-description header, so programs can be saved, diffed and
+// reloaded. Parse reads the same format back.
+//
+//	.arch fb=2048 sets=2 cm=512 bus=4 setup=4 ctxw=4 rows=8 cols=8
+//	.visit cluster=0 block=0
+//	LDCTXT sad 224
+//	LDFB curMB#i0 set=0 addr=832 bytes=224 iter=0
+//	EXEC sad iter=0
+//	STFB mv#i0 set=0 addr=0 bytes=64 iter=0
+func Marshal(w io.Writer, p *Program) error {
+	if p == nil {
+		return fmt.Errorf("codegen: nil program")
+	}
+	a := p.Arch
+	if _, err := fmt.Fprintf(w, ".arch fb=%d sets=%d cm=%d bus=%d setup=%d ctxw=%d rows=%d cols=%d\n",
+		a.FBSetBytes, a.FBSets, a.CMWords, a.BusBytes, a.DMASetupCycles, a.CtxWordBytes, a.Rows, a.Cols); err != nil {
+		return err
+	}
+	curCluster, curBlock := -1, -1
+	for _, in := range p.Instrs {
+		if in.Cluster != curCluster || in.Block != curBlock {
+			curCluster, curBlock = in.Cluster, in.Block
+			if _, err := fmt.Fprintf(w, ".visit cluster=%d block=%d\n", curCluster, curBlock); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch in.Op {
+		case OpLdCtxt:
+			_, err = fmt.Fprintf(w, "LDCTXT %s %d\n", in.Kernel, in.Words)
+		case OpLdFB:
+			_, err = fmt.Fprintf(w, "LDFB %s %s set=%d addr=%d bytes=%d iter=%d ext=%d\n",
+				in.Object, in.Datum, in.Set, in.Addr, in.Bytes, in.Iter, in.ExtAddr)
+		case OpStFB:
+			_, err = fmt.Fprintf(w, "STFB %s %s set=%d addr=%d bytes=%d iter=%d ext=%d\n",
+				in.Object, in.Datum, in.Set, in.Addr, in.Bytes, in.Iter, in.ExtAddr)
+		case OpExec:
+			_, err = fmt.Fprintf(w, "EXEC %s iter=%d\n", in.Kernel, in.Iter)
+		default:
+			err = fmt.Errorf("codegen: cannot marshal op %v", in.Op)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Parse reads a program in the Marshal format.
+func Parse(r io.Reader) (*Program, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	p := &Program{}
+	cluster, block := -1, -1
+	sawArch := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		fail := func(format string, args ...interface{}) error {
+			return fmt.Errorf("codegen: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case ".arch":
+			kv, err := parseKVs(fields[1:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			p.Arch = arch.Params{
+				Name:           "parsed",
+				FBSetBytes:     kv["fb"],
+				FBSets:         kv["sets"],
+				CMWords:        kv["cm"],
+				BusBytes:       kv["bus"],
+				DMASetupCycles: kv["setup"],
+				CtxWordBytes:   kv["ctxw"],
+				Rows:           kv["rows"],
+				Cols:           kv["cols"],
+			}
+			if err := p.Arch.Validate(); err != nil {
+				return nil, fail("%v", err)
+			}
+			sawArch = true
+		case ".visit":
+			kv, err := parseKVs(fields[1:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			cluster, block = kv["cluster"], kv["block"]
+		case "LDCTXT":
+			if len(fields) != 3 {
+				return nil, fail("LDCTXT wants kernel and words")
+			}
+			var words int
+			if _, err := fmt.Sscanf(fields[2], "%d", &words); err != nil {
+				return nil, fail("bad word count %q", fields[2])
+			}
+			p.Instrs = append(p.Instrs, Instr{Op: OpLdCtxt, Kernel: fields[1], Words: words,
+				Cluster: cluster, Block: block, Iter: -1, ExtAddr: -1})
+		case "LDFB", "STFB":
+			if len(fields) != 7 && len(fields) != 8 {
+				return nil, fail("%s wants object, datum and 4-5 fields", fields[0])
+			}
+			kv, err := parseKVs(fields[3:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			op := OpLdFB
+			if fields[0] == "STFB" {
+				op = OpStFB
+			}
+			ext := -1
+			if v, ok := kv["ext"]; ok {
+				ext = v
+			}
+			p.Instrs = append(p.Instrs, Instr{Op: op, Object: fields[1], Datum: fields[2],
+				Set: kv["set"], Addr: kv["addr"], Bytes: kv["bytes"], Iter: kv["iter"],
+				ExtAddr: ext, Cluster: cluster, Block: block})
+		case "EXEC":
+			if len(fields) != 3 {
+				return nil, fail("EXEC wants kernel and iter")
+			}
+			kv, err := parseKVs(fields[2:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			p.Instrs = append(p.Instrs, Instr{Op: OpExec, Kernel: fields[1], Iter: kv["iter"],
+				Cluster: cluster, Block: block, ExtAddr: -1})
+		default:
+			return nil, fail("unknown directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawArch {
+		return nil, fmt.Errorf("codegen: missing .arch header")
+	}
+	return p, nil
+}
+
+func parseKVs(fields []string) (map[string]int, error) {
+	kv := map[string]int{}
+	for _, f := range fields {
+		eq := strings.IndexByte(f, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("malformed field %q", f)
+		}
+		var v int
+		if _, err := fmt.Sscanf(f[eq+1:], "%d", &v); err != nil {
+			return nil, fmt.Errorf("malformed value in %q", f)
+		}
+		kv[f[:eq]] = v
+	}
+	return kv, nil
+}

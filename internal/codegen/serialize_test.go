@@ -1,0 +1,84 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"cds/internal/core"
+)
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	for _, sched := range []core.Scheduler{core.Basic{}, core.CompleteDataScheduler{}} {
+		p, s := generate(t, sched, 400, 4)
+		var b strings.Builder
+		if err := Marshal(&b, p); err != nil {
+			t.Fatalf("%s: %v", sched.Name(), err)
+		}
+		q, err := Parse(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("%s: %v", sched.Name(), err)
+		}
+		if len(q.Instrs) != len(p.Instrs) {
+			t.Fatalf("%s: %d instrs after round trip, want %d", sched.Name(), len(q.Instrs), len(p.Instrs))
+		}
+		for i := range p.Instrs {
+			a, bI := p.Instrs[i], q.Instrs[i]
+			if a.Op != bI.Op || a.Kernel != bI.Kernel || a.Object != bI.Object ||
+				a.Datum != bI.Datum || a.Set != bI.Set || a.Addr != bI.Addr ||
+				a.Bytes != bI.Bytes || a.Words != bI.Words || a.ExtAddr != bI.ExtAddr ||
+				a.Cluster != bI.Cluster || a.Block != bI.Block {
+				t.Fatalf("%s: instr %d differs:\n got %+v\nwant %+v", sched.Name(), i, bI, a)
+			}
+		}
+		// The parsed program still passes the machine-discipline check
+		// against the original schedule.
+		if _, err := Check(q, s); err != nil {
+			t.Fatalf("%s: parsed program failed check: %v", sched.Name(), err)
+		}
+		// Arch fields survive.
+		if q.Arch.FBSetBytes != p.Arch.FBSetBytes || q.Arch.CMWords != p.Arch.CMWords {
+			t.Errorf("%s: arch header lost: %+v", sched.Name(), q.Arch)
+		}
+	}
+}
+
+func TestMarshalNil(t *testing.T) {
+	if err := Marshal(&strings.Builder{}, nil); err == nil {
+		t.Error("nil program marshaled")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name, text string
+	}{
+		{"no header", "EXEC k iter=0\n"},
+		{"bad arch", ".arch fb=0 sets=2 cm=1 bus=4 setup=4 ctxw=4 rows=8 cols=8\n"},
+		{"garbage directive", ".arch fb=64 sets=2 cm=1 bus=4 setup=4 ctxw=4 rows=8 cols=8\nFROB x\n"},
+		{"short LDCTXT", okHeader + "LDCTXT k\n"},
+		{"bad words", okHeader + "LDCTXT k ten\n"},
+		{"short LDFB", okHeader + "LDFB x#i0 x set=0\n"},
+		{"malformed kv", okHeader + "EXEC k iter\n"},
+		{"bad kv value", okHeader + "EXEC k iter=x\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse(strings.NewReader(tt.text)); err == nil {
+				t.Errorf("Parse accepted %q", tt.text)
+			}
+		})
+	}
+}
+
+const okHeader = ".arch fb=1024 sets=2 cm=512 bus=4 setup=4 ctxw=4 rows=8 cols=8\n.visit cluster=0 block=0\n"
+
+func TestParseSkipsCommentsAndBlanks(t *testing.T) {
+	text := okHeader + "# a comment\n\nEXEC k iter=0\n"
+	p, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Instrs) != 1 || p.Instrs[0].Op != OpExec {
+		t.Errorf("parsed %+v", p.Instrs)
+	}
+}

@@ -1,0 +1,375 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"cds/internal/alloc"
+)
+
+// AllocOp is the kind of one allocation-trace event.
+type AllocOp int
+
+const (
+	// OpAlloc places an object instance in the Frame Buffer.
+	OpAlloc AllocOp = iota
+	// OpRelease frees an object instance.
+	OpRelease
+)
+
+func (o AllocOp) String() string {
+	if o == OpAlloc {
+		return "alloc"
+	}
+	return "release"
+}
+
+// AllocEvent is one step of the Frame Buffer allocation replay. The
+// sequence of events reproduces the paper's Figure 5 timelines.
+type AllocEvent struct {
+	Op  AllocOp
+	Set int
+	// Object is the placed instance name ("<datum>#b<block>i<iter>");
+	// Datum is the underlying application datum.
+	Object string
+	Datum  string
+	// Addr is the first extent's address; Bytes the full size; Split
+	// whether the instance had to be split across free blocks.
+	Addr, Bytes int
+	Split       bool
+	// Cluster, Block, Iter locate the event in the schedule. Iter is -1
+	// for the pre-visit input loading phase.
+	Cluster, Block, Iter int
+	// Kernel is the kernel index (into App.Kernels) whose execution
+	// step this event belongs to, or -1 for pre-visit loading and
+	// end-of-visit releases.
+	Kernel int
+}
+
+// AllocationReport summarizes the full allocation replay of a schedule.
+type AllocationReport struct {
+	// Events lists every alloc/release in replay order.
+	Events []AllocEvent
+	// PeakUsed gives the high-water occupancy of each FB set.
+	PeakUsed map[int]int
+	// Splits counts instances that had to be split across free blocks
+	// (the paper reports zero for all its experiments).
+	Splits int
+	// Regular reports whether every object instance kept the same
+	// address across all RF blocks (the paper's regularity goal).
+	Regular bool
+	// IrregularObjects lists the instances that moved between blocks.
+	IrregularObjects []string
+}
+
+// instance names the per-iteration copy of a datum within a block.
+func instance(datum string, iter int) string {
+	return fmt.Sprintf("%s#i%d", datum, iter)
+}
+
+// AllocOptions tunes the allocation replay; the zero value is the paper's
+// configuration except for splitting, which Allocate exposes directly.
+type AllocOptions struct {
+	// AllowSplit enables the paper's last-resort splitting across free
+	// blocks.
+	AllowSplit bool
+	// FitPolicy selects the free-block choice (first-fit by default;
+	// best/worst-fit exist for the ablation).
+	FitPolicy alloc.FitPolicy
+	// OneSided disables the paper's two-sided placement: results are
+	// allocated from the top like everything else. Exists to measure
+	// what the data-top/results-bottom discipline buys.
+	OneSided bool
+}
+
+// Allocate replays the schedule through the Frame Buffer allocator of
+// section 5 (first-fit, shared objects and input data from the top,
+// results from the bottom, release at last use, address regularity across
+// blocks) and verifies that every visit's working set actually fits.
+// allowSplit enables the paper's last-resort splitting.
+func Allocate(s *Schedule, allowSplit bool) (*AllocationReport, error) {
+	return AllocateWithOptions(s, AllocOptions{AllowSplit: allowSplit})
+}
+
+// AllocateWithOptions is Allocate with an explicit allocator policy.
+func AllocateWithOptions(s *Schedule, opts AllocOptions) (*AllocationReport, error) {
+	rep := &AllocationReport{PeakUsed: map[int]int{}, Regular: true}
+	a := s.P.App
+
+	// One allocator per FB set.
+	fbs := map[int]*alloc.FB{}
+	for _, c := range s.P.Clusters {
+		if _, ok := fbs[c.Set]; !ok {
+			fb := alloc.New(s.Arch.FBSetBytes, opts.AllowSplit)
+			fb.SetFitPolicy(opts.FitPolicy)
+			fbs[c.Set] = fb
+		}
+	}
+
+	// prefer remembers each instance's address from the previous block.
+	// The key includes the allocating cluster: two clusters on one set
+	// may each load their own copy of the same datum, at different
+	// addresses.
+	type prefKey struct {
+		set      int
+		cluster  int
+		instance string
+	}
+	prefer := map[prefKey]int{}
+	irregular := map[string]bool{}
+
+	place := func(fb *alloc.FB, set int, datum, inst string, dir alloc.Dir, ev AllocEvent) error {
+		pk := prefKey{set, ev.Cluster, inst}
+		want, hadPref := prefer[pk]
+		if !hadPref {
+			want = -1
+		}
+		p, err := fb.Alloc(inst, a.SizeOf(datum), dir, want)
+		if err != nil {
+			return fmt.Errorf("core: allocation replay failed for %s (cluster %d block %d): %w",
+				inst, ev.Cluster, ev.Block, err)
+		}
+		if hadPref && p.Addr() != want {
+			irregular[inst] = true
+		}
+		prefer[pk] = p.Addr()
+		ev.Op = OpAlloc
+		ev.Set = set
+		ev.Object = inst
+		ev.Datum = datum
+		ev.Addr = p.Addr()
+		ev.Bytes = p.Bytes()
+		ev.Split = p.Split()
+		rep.Events = append(rep.Events, ev)
+		return nil
+	}
+	free := func(fb *alloc.FB, set int, inst string, ev AllocEvent) error {
+		p, ok := fb.Lookup(inst)
+		if !ok {
+			return fmt.Errorf("core: allocation replay: release of absent %s (cluster %d block %d)",
+				inst, ev.Cluster, ev.Block)
+		}
+		if err := fb.Release(inst); err != nil {
+			return err
+		}
+		ev.Op = OpRelease
+		ev.Set = set
+		ev.Object = inst
+		ev.Addr = p.Addr()
+		ev.Bytes = p.Bytes()
+		rep.Events = append(rep.Events, ev)
+		return nil
+	}
+
+	// Retention lookups; cross-set retained objects register for every
+	// set so consumers anywhere skip re-allocation.
+	setsInUse := map[int]bool{}
+	for _, c := range s.P.Clusters {
+		setsInUse[c.Set] = true
+	}
+	retainedByKey := map[retKey]Retained{}
+	for _, r := range s.Retained {
+		retainedByKey[retKey{r.Name, r.Set}] = r
+		if r.CrossSet {
+			for set := range setsInUse {
+				retainedByKey[retKey{r.Name, set}] = r
+			}
+		}
+	}
+
+	resultDir := alloc.FromBottom
+	if opts.OneSided {
+		resultDir = alloc.FromTop
+	}
+
+	for _, v := range s.Visits {
+		ci := s.Info.Clusters[v.Cluster]
+		c := ci.Cluster
+		fb := fbs[c.Set]
+		pinned := pinnedFor(s.Retained, c)
+		remote := remoteFor(s.Retained, c)
+		ev := AllocEvent{Cluster: c.Index, Block: v.Block, Iter: -1, Kernel: -1}
+
+		// Phase 1: shared data this cluster loads, farthest-reaching
+		// first (Figure 4: for v = last cluster down to c+2).
+		var sharedHere []Retained
+		for _, r := range s.Retained {
+			if r.Kind == RetainedData && r.Set == c.Set && r.From == c.Index {
+				sharedHere = append(sharedHere, r)
+			}
+		}
+		sort.Slice(sharedHere, func(i, j int) bool {
+			if sharedHere[i].To != sharedHere[j].To {
+				return sharedHere[i].To > sharedHere[j].To
+			}
+			return sharedHere[i].Name < sharedHere[j].Name
+		})
+		for _, r := range sharedHere {
+			for iter := 0; iter < v.Iters; iter++ {
+				if err := place(fb, c.Set, r.Name, instance(r.Name, iter), alloc.FromTop, ev); err != nil {
+					return rep, err
+				}
+			}
+		}
+
+		// Phase 2: per-kernel input data, last kernel first
+		// (Figure 4: for k = last kernel down to first). Streamed
+		// inputs are deferred to phase 3.
+		for i := len(ci.PerKernel) - 1; i >= 0; i-- {
+			for _, d := range ci.PerKernel[i].D {
+				if _, resident := retainedByKey[retKey{d, c.Set}]; resident {
+					// Retained object: either loaded in phase 1
+					// by this cluster or still resident from an
+					// earlier cluster of the block.
+					continue
+				}
+				if a.IsStreamed(d) {
+					continue
+				}
+				for iter := 0; iter < v.Iters; iter++ {
+					if err := place(fb, c.Set, d, instance(d, iter), alloc.FromTop, ev); err != nil {
+						return rep, err
+					}
+				}
+			}
+		}
+
+		// releaseAfter[k] lists intermediates whose last consumer is
+		// kernel k.
+		releaseAfter := map[int][]string{}
+		for _, kc := range ci.PerKernel {
+			for out, t := range kc.R {
+				releaseAfter[t] = append(releaseAfter[t], out)
+			}
+		}
+		for _, names := range releaseAfter {
+			sort.Strings(names)
+		}
+
+		// Phase 3: execution. The paper's Figure 4 pseudo-code walks
+		// iteration-major, but its execution model (Figure 3's loop
+		// fission) runs each kernel for all RF iterations back to
+		// back; releases must follow the EXECUTION order or reused
+		// space would be overwritten while a later kernel still needs
+		// it. We therefore walk kernel-major: for k, for iter.
+		for _, kc := range ci.PerKernel {
+			k := a.Kernels[kc.Kernel]
+			for iter := 0; iter < v.Iters; iter++ {
+				ev := ev
+				ev.Iter = iter
+				ev.Kernel = kc.Kernel
+				// Streamed inputs arrive just before their first
+				// consuming kernel of this iteration.
+				for _, in := range k.Inputs {
+					if !a.IsStreamed(in) || remote[in] {
+						continue
+					}
+					if _, already := fb.Lookup(instance(in, iter)); already {
+						continue
+					}
+					if err := place(fb, c.Set, in, instance(in, iter), alloc.FromTop, ev); err != nil {
+						return rep, err
+					}
+				}
+				for _, out := range k.Outputs {
+					dir := resultDir
+					if _, isRetained := retainedByKey[retKey{out, c.Set}]; isRetained {
+						// Shared results go to the top: they are
+						// data for the next clusters.
+						dir = alloc.FromTop
+					}
+					if err := place(fb, c.Set, out, instance(out, iter), dir, ev); err != nil {
+						return rep, err
+					}
+				}
+				if !s.InPlaceRelease {
+					continue
+				}
+				for _, d := range kc.D {
+					if pinned[d] || remote[d] {
+						continue
+					}
+					if err := free(fb, c.Set, instance(d, iter), ev); err != nil {
+						return rep, err
+					}
+				}
+				for _, out := range releaseAfter[kc.Kernel] {
+					if pinned[out] || remote[out] {
+						continue
+					}
+					if err := free(fb, c.Set, instance(out, iter), ev); err != nil {
+						return rep, err
+					}
+				}
+			}
+		}
+
+		// Phase 4: end of visit. Persistent results leave once their
+		// store completes; without in-place release everything else
+		// leaves too; retained objects whose span ends here leave.
+		for iter := 0; iter < v.Iters; iter++ {
+			ev := ev
+			ev.Iter = iter
+			for _, out := range ci.PersistentOut {
+				if pinned[out] || remote[out] {
+					continue
+				}
+				if err := free(fb, c.Set, instance(out, iter), ev); err != nil {
+					return rep, err
+				}
+			}
+			if !s.InPlaceRelease {
+				for _, kc := range ci.PerKernel {
+					for _, d := range kc.D {
+						if pinned[d] || remote[d] {
+							continue
+						}
+						if err := free(fb, c.Set, instance(d, iter), ev); err != nil {
+							return rep, err
+						}
+					}
+					for out := range kc.R {
+						if pinned[out] || remote[out] {
+							continue
+						}
+						if err := free(fb, c.Set, instance(out, iter), ev); err != nil {
+							return rep, err
+						}
+					}
+				}
+			}
+			for _, r := range s.Retained {
+				if r.To != c.Index {
+					continue
+				}
+				// The object lives in its home set's FB even when
+				// the final consumer runs on another set.
+				if r.Set == c.Set || r.CrossSet {
+					if err := free(fbs[r.Set], r.Set, instance(r.Name, iter), ev); err != nil {
+						return rep, err
+					}
+				}
+			}
+		}
+
+		if err := fb.CheckInvariants(); err != nil {
+			return rep, fmt.Errorf("core: allocator invariants after cluster %d block %d: %w",
+				c.Index, v.Block, err)
+		}
+	}
+
+	// Every FB set must be empty at the end: all lifetimes matched.
+	for set, fb := range fbs {
+		if fb.Used() != 0 {
+			return rep, fmt.Errorf("core: %d bytes leaked in FB set %d: %v", fb.Used(), set, fb.Live())
+		}
+		rep.PeakUsed[set] = fb.PeakUsed()
+		rep.Splits += fb.Splits()
+	}
+	for inst := range irregular {
+		rep.IrregularObjects = append(rep.IrregularObjects, inst)
+	}
+	sort.Strings(rep.IrregularObjects)
+	rep.Regular = len(rep.IrregularObjects) == 0
+	return rep, nil
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"testing"
+
+	"cds/internal/app"
+)
+
+func scheduleOrFatal(t *testing.T, s Scheduler, fb int, part *app.Partition) *Schedule {
+	t.Helper()
+	sched, err := s.Schedule(testArch(fb), part)
+	if err != nil {
+		t.Fatalf("%s.Schedule: %v", s.Name(), err)
+	}
+	return sched
+}
+
+func TestAllocateCDSPipe(t *testing.T) {
+	part := pipeApp(t, 4)
+	s := scheduleOrFatal(t, CompleteDataScheduler{}, 360, part)
+	rep, err := Allocate(s, false)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if rep.Splits != 0 {
+		t.Errorf("splits = %d, want 0", rep.Splits)
+	}
+	if !rep.Regular {
+		t.Errorf("irregular objects: %v", rep.IrregularObjects)
+	}
+	for set, peak := range rep.PeakUsed {
+		if peak > 360 {
+			t.Errorf("set %d peak = %d exceeds FB size 360", set, peak)
+		}
+	}
+	if len(rep.Events) == 0 {
+		t.Fatal("no allocation events recorded")
+	}
+	// Every alloc is matched by a release (the Allocate leak check
+	// passed), and counts must be even and balanced.
+	allocs, releases := 0, 0
+	for _, ev := range rep.Events {
+		switch ev.Op {
+		case OpAlloc:
+			allocs++
+		case OpRelease:
+			releases++
+		}
+	}
+	if allocs != releases {
+		t.Errorf("allocs = %d, releases = %d, want equal", allocs, releases)
+	}
+}
+
+func TestAllocatePeakWithinAnalyticBound(t *testing.T) {
+	part := pipeApp(t, 4)
+	for _, sched := range []Scheduler{Basic{}, DataScheduler{}, CompleteDataScheduler{}} {
+		s := scheduleOrFatal(t, sched, 400, part)
+		rep, err := Allocate(s, true)
+		if err != nil {
+			t.Fatalf("%s: %v", sched.Name(), err)
+		}
+		// The analytic feasibility bound is RF * max footprint with
+		// retention pinned; the replayed peak must never exceed it.
+		for _, ci := range s.Info.Clusters {
+			opts := FootprintOpts{
+				InPlaceRelease: s.InPlaceRelease,
+				Pinned:         pinnedFor(s.Retained, ci.Cluster),
+			}
+			bound := s.RF * ClusterFootprint(s.Info, ci.Cluster.Index, opts)
+			if peak := rep.PeakUsed[ci.Cluster.Set]; peak > 400 {
+				t.Errorf("%s: set %d peak %d exceeds FB", sched.Name(), ci.Cluster.Set, peak)
+			}
+			_ = bound
+		}
+		maxBound := 0
+		for set := range rep.PeakUsed {
+			bound := 0
+			for _, ci := range s.Info.Clusters {
+				if ci.Cluster.Set != set {
+					continue
+				}
+				opts := FootprintOpts{
+					InPlaceRelease: s.InPlaceRelease,
+					Pinned:         pinnedFor(s.Retained, ci.Cluster),
+				}
+				if b := s.RF * ClusterFootprint(s.Info, ci.Cluster.Index, opts); b > bound {
+					bound = b
+				}
+			}
+			if rep.PeakUsed[set] > bound {
+				t.Errorf("%s: set %d peak %d exceeds analytic bound %d",
+					sched.Name(), set, rep.PeakUsed[set], bound)
+			}
+			if bound > maxBound {
+				maxBound = bound
+			}
+		}
+	}
+}
+
+func TestAllocateSharedOnTopResultsOnBottom(t *testing.T) {
+	part := pipeApp(t, 4)
+	s := scheduleOrFatal(t, CompleteDataScheduler{}, 2048, part)
+	rep, err := Allocate(s, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// inA (retained shared datum) must sit above out2 (final result) on
+	// set 0, and rB (retained shared result) must also go to the top.
+	var inAAddr, out2Addr, rBAddr = -1, -1, -1
+	for _, ev := range rep.Events {
+		if ev.Op != OpAlloc || ev.Set != 0 {
+			continue
+		}
+		switch ev.Datum {
+		case "inA":
+			inAAddr = ev.Addr
+		case "out2":
+			out2Addr = ev.Addr
+		case "rB":
+			rBAddr = ev.Addr
+		}
+	}
+	if inAAddr < 0 || out2Addr < 0 || rBAddr < 0 {
+		t.Fatalf("missing events: inA=%d out2=%d rB=%d", inAAddr, out2Addr, rBAddr)
+	}
+	if inAAddr <= out2Addr {
+		t.Errorf("shared datum inA at %d should be above final result out2 at %d", inAAddr, out2Addr)
+	}
+	if rBAddr <= out2Addr {
+		t.Errorf("shared result rB at %d should be above final result out2 at %d", rBAddr, out2Addr)
+	}
+}
+
+func TestAllocateBasicAndDS(t *testing.T) {
+	part := pipeApp(t, 5) // odd iterations: exercises the remainder block
+	for _, sched := range []Scheduler{Basic{}, DataScheduler{}} {
+		s := scheduleOrFatal(t, sched, 400, part)
+		rep, err := Allocate(s, false)
+		if err != nil {
+			t.Fatalf("%s: %v", sched.Name(), err)
+		}
+		if !rep.Regular {
+			t.Errorf("%s: irregular objects %v", sched.Name(), rep.IrregularObjects)
+		}
+		if rep.Splits != 0 {
+			t.Errorf("%s: splits = %d, want 0", sched.Name(), rep.Splits)
+		}
+	}
+}
+
+func TestAllocateRegularAcrossBlocks(t *testing.T) {
+	part := pipeApp(t, 8) // 4 blocks at RF=2
+	s := scheduleOrFatal(t, CompleteDataScheduler{}, 360, part)
+	rep, err := Allocate(s, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Regular {
+		t.Errorf("allocation not regular across blocks: %v", rep.IrregularObjects)
+	}
+	// The same datum+iteration instance, allocated by the same cluster,
+	// must land on the same address in every block.
+	type key struct {
+		set, cluster int
+		object       string
+	}
+	addrs := map[key]int{}
+	for _, ev := range rep.Events {
+		if ev.Op != OpAlloc {
+			continue
+		}
+		k := key{ev.Set, ev.Cluster, ev.Object}
+		if prev, seen := addrs[k]; seen && prev != ev.Addr {
+			t.Errorf("%s (cluster %d) moved from %d to %d between blocks", ev.Object, ev.Cluster, prev, ev.Addr)
+		}
+		addrs[k] = ev.Addr
+	}
+}
+
+func TestAllocOpString(t *testing.T) {
+	if OpAlloc.String() != "alloc" || OpRelease.String() != "release" {
+		t.Error("AllocOp.String broken")
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"cds/internal/app"
+	"cds/internal/extract"
+)
+
+// FootprintOpts controls the per-iteration Frame Buffer footprint model.
+type FootprintOpts struct {
+	// InPlaceRelease enables the Data Scheduler's space reuse: data and
+	// intermediate results are released at their last in-cluster use so
+	// later results can take their place. The Basic Scheduler keeps
+	// everything live until the cluster ends.
+	InPlaceRelease bool
+	// Pinned names inter-cluster objects retained in the FB. Pinned
+	// objects occupy space for the whole cluster execution (they are
+	// never released early), and pinned objects merely passing through
+	// (neither produced nor consumed by the cluster) still count.
+	Pinned map[string]bool
+	// Remote names objects this cluster reads from ANOTHER FB set
+	// (cross-set retention): they occupy no space here and are neither
+	// loaded nor released by this cluster.
+	Remote map[string]bool
+}
+
+// ClusterFootprint returns the paper's DS(C): the peak Frame Buffer bytes
+// one iteration of cluster c needs under the given options. Multiply by RF
+// for a visit executing RF iterations.
+//
+// The walk mirrors cluster execution: all external inputs are resident at
+// the start; each kernel's outputs materialize while its inputs are still
+// live; dead objects are released after the kernel (when InPlaceRelease).
+func ClusterFootprint(info *extract.Info, c int, opts FootprintOpts) int {
+	a := info.P.App
+	ci := info.Clusters[c]
+
+	// live tracks resident bytes by object name.
+	live := map[string]int{}
+	cur := 0
+	add := func(name string) {
+		if _, ok := live[name]; ok {
+			return
+		}
+		sz := a.SizeOf(name)
+		live[name] = sz
+		cur += sz
+	}
+	drop := func(name string) {
+		if sz, ok := live[name]; ok {
+			delete(live, name)
+			cur -= sz
+		}
+	}
+
+	// Pinned objects spanning the cluster occupy space from the start,
+	// even if the cluster never touches them — unless this cluster is
+	// the one that produces them, in which case they materialize at
+	// their producing kernel like any other output.
+	producedHere := map[string]bool{}
+	for _, ki := range ci.Cluster.Kernels {
+		for _, out := range a.Kernels[ki].Outputs {
+			producedHere[out] = true
+		}
+	}
+	for name := range opts.Pinned {
+		if !producedHere[name] {
+			add(name)
+		}
+	}
+	// External inputs are loaded before the cluster starts — except
+	// remote ones (which stay in their home set) and streamed ones
+	// (which arrive just before their first consuming kernel).
+	for _, name := range ci.ExternalIn {
+		if !opts.Remote[name] && !a.IsStreamed(name) {
+			add(name)
+		}
+	}
+	peak := cur
+
+	// lastUse maps each object to the kernel position after which it
+	// may be released.
+	lastUse := map[string]int{}
+	for ki, kc := range ci.PerKernel {
+		_ = ki
+		for _, d := range kc.D {
+			lastUse[d] = kc.Kernel
+		}
+		for out, t := range kc.R {
+			lastUse[out] = t
+		}
+	}
+
+	for _, kc := range ci.PerKernel {
+		k := a.Kernels[kc.Kernel]
+		// Streamed inputs arrive just in time for their first
+		// consumer.
+		for _, in := range k.Inputs {
+			if a.IsStreamed(in) && !opts.Remote[in] {
+				add(in)
+			}
+		}
+		// Outputs materialize during the kernel's execution, while
+		// its inputs are still resident.
+		for _, out := range k.Outputs {
+			add(out)
+		}
+		if cur > peak {
+			peak = cur
+		}
+		if !opts.InPlaceRelease {
+			continue
+		}
+		for name, last := range lastUse {
+			if last == kc.Kernel && !opts.Pinned[name] && !opts.Remote[name] {
+				drop(name)
+			}
+		}
+	}
+	return peak
+}
+
+// MaxClusterFootprint returns the largest ClusterFootprint over the
+// clusters assigned to the given FB set (set < 0 means all clusters).
+func MaxClusterFootprint(info *extract.Info, set int, opts FootprintOpts) int {
+	max := 0
+	for _, ci := range info.Clusters {
+		if set >= 0 && ci.Cluster.Set != set {
+			continue
+		}
+		if fp := ClusterFootprint(info, ci.Cluster.Index, opts); fp > max {
+			max = fp
+		}
+	}
+	return max
+}
+
+// pinnedFor returns the set of retained object names whose residency span
+// covers cluster c ON ITS OWN SET. Retained objects live on one FB set;
+// clusters on other sets see them as remote (see remoteFor).
+func pinnedFor(retained []Retained, c app.Cluster) map[string]bool {
+	pinned := map[string]bool{}
+	for _, r := range retained {
+		if r.Set == c.Set && r.From <= c.Index && c.Index <= r.To {
+			pinned[r.Name] = true
+		}
+	}
+	return pinned
+}
+
+// remoteFor returns the retained objects cluster c accesses in ANOTHER
+// set's FB under the cross-set reuse extension: they cost c no space, no
+// loads and no releases.
+func remoteFor(retained []Retained, c app.Cluster) map[string]bool {
+	remote := map[string]bool{}
+	for _, r := range retained {
+		if r.CrossSet && r.Set != c.Set && r.From <= c.Index && c.Index <= r.To {
+			remote[r.Name] = true
+		}
+	}
+	return remote
+}
+
+// feasibleRF reports whether every cluster fits its FB set when executing
+// rf iterations per visit with the given retained objects.
+func feasibleRF(fbSetBytes int, info *extract.Info, rf int, inPlace bool, retained []Retained) (bool, *InfeasibleError) {
+	for _, ci := range info.Clusters {
+		opts := FootprintOpts{
+			InPlaceRelease: inPlace,
+			Pinned:         pinnedFor(retained, ci.Cluster),
+			Remote:         remoteFor(retained, ci.Cluster),
+		}
+		need := rf * ClusterFootprint(info, ci.Cluster.Index, opts)
+		if need > fbSetBytes {
+			return false, &InfeasibleError{
+				Cluster: ci.Cluster.Index,
+				Need:    need,
+				Have:    fbSetBytes,
+			}
+		}
+	}
+	return true, nil
+}

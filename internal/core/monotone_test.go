@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"cds/internal/app"
+	"cds/internal/extract"
+)
+
+// randomInfo builds a random partitioned application's extractor output.
+func randomInfo(rng *rand.Rand) *extract.Info {
+	nk := 2 + rng.Intn(6)
+	b := app.NewBuilder("mono", 2+rng.Intn(6))
+	nIn := 1 + rng.Intn(3)
+	if nIn > nk {
+		nIn = nk
+	}
+	for i := 0; i < nIn; i++ {
+		b.Datum(mname("in", i), 20+rng.Intn(200))
+	}
+	for k := 0; k < nk; k++ {
+		b.Datum(mname("r", k), 20+rng.Intn(200))
+	}
+	for k := 0; k < nk; k++ {
+		kb := b.Kernel(mname("k", k), 16+rng.Intn(128), 50+rng.Intn(300))
+		kb.In(mname("in", k%nIn))
+		if k > 0 && rng.Intn(2) == 0 {
+			kb.In(mname("r", rng.Intn(k)))
+		}
+		kb.Out(mname("r", k))
+	}
+	a, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	var sizes []int
+	left := nk
+	for left > 0 {
+		s := 1 + rng.Intn(left)
+		sizes = append(sizes, s)
+		left -= s
+	}
+	return extract.Analyze(app.MustPartition(a, 2, sizes...))
+}
+
+func mname(p string, i int) string { return p + string(rune('a'+i)) }
+
+// TestPropertyRFMonotoneInFB: more frame buffer never lowers the common
+// reuse factor.
+func TestPropertyRFMonotoneInFB(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		info := randomInfo(rng)
+		prev := 0
+		for fb := 256; fb <= 8192; fb *= 2 {
+			rf := CommonRF(fb, info, true, nil)
+			if rf < prev {
+				t.Fatalf("trial %d: RF dropped from %d to %d when FB grew to %d", trial, prev, rf, fb)
+			}
+			prev = rf
+		}
+	}
+}
+
+// TestPropertyFootprintMonotoneInPins: pinning more objects never shrinks
+// a cluster's footprint.
+func TestPropertyFootprintMonotoneInPins(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 100; trial++ {
+		info := randomInfo(rng)
+		for c := range info.Clusters {
+			base := ClusterFootprint(info, c, FootprintOpts{InPlaceRelease: true})
+			pinned := map[string]bool{}
+			for _, name := range info.Clusters[c].ExternalIn {
+				pinned[name] = true
+				fp := ClusterFootprint(info, c, FootprintOpts{InPlaceRelease: true, Pinned: copyset(pinned)})
+				if fp < base {
+					t.Fatalf("trial %d cluster %d: footprint dropped from %d to %d after pinning %s",
+						trial, c, base, fp, name)
+				}
+				base = fp
+			}
+		}
+	}
+}
+
+// TestPropertyBasicFootprintDominates: the no-release footprint is always
+// at least the in-place-release footprint.
+func TestPropertyBasicFootprintDominates(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 150; trial++ {
+		info := randomInfo(rng)
+		for c := range info.Clusters {
+			inPlace := ClusterFootprint(info, c, FootprintOpts{InPlaceRelease: true})
+			noRelease := ClusterFootprint(info, c, FootprintOpts{InPlaceRelease: false})
+			if noRelease < inPlace {
+				t.Fatalf("trial %d cluster %d: basic footprint %d below DS footprint %d",
+					trial, c, noRelease, inPlace)
+			}
+		}
+	}
+}
+
+// TestPropertyRetentionNeverIncreasesTraffic: on random workloads, CDS
+// schedules never move more data than DS schedules.
+func TestPropertyRetentionNeverIncreasesTraffic(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 60; trial++ {
+		info := randomInfo(rng)
+		part := info.P
+		pa := testArch(1 << (9 + rng.Intn(4))) // 512..4096
+		ds, err := (DataScheduler{}).Schedule(pa, part)
+		if err != nil {
+			continue // may not fit; fine
+		}
+		cdsS, err := (CompleteDataScheduler{}).Schedule(pa, part)
+		if err != nil {
+			t.Fatalf("trial %d: CDS failed where DS fit: %v", trial, err)
+		}
+		if cdsS.TotalLoadBytes() > ds.TotalLoadBytes() {
+			t.Fatalf("trial %d: CDS loads %d > DS %d", trial, cdsS.TotalLoadBytes(), ds.TotalLoadBytes())
+		}
+		if cdsS.TotalStoreBytes() > ds.TotalStoreBytes() {
+			t.Fatalf("trial %d: CDS stores %d > DS %d", trial, cdsS.TotalStoreBytes(), ds.TotalStoreBytes())
+		}
+		if cdsS.TotalCtxWords() > ds.TotalCtxWords() {
+			t.Fatalf("trial %d: CDS contexts %d > DS %d", trial, cdsS.TotalCtxWords(), ds.TotalCtxWords())
+		}
+	}
+}
+
+func copyset(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

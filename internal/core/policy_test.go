@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"cds/internal/alloc"
+	"cds/internal/app"
+)
+
+func TestRFSweepNeverWorseInDMACost(t *testing.T) {
+	part := pipeApp(t, 8)
+	for _, fb := range []int{360, 512, 1024, 2048} {
+		mx, err := (CompleteDataScheduler{}).Schedule(testArch(fb), part)
+		if err != nil {
+			t.Fatalf("FB=%d: %v", fb, err)
+		}
+		sw, err := (CompleteDataScheduler{RF: RFSweep}).Schedule(testArch(fb), part)
+		if err != nil {
+			t.Fatalf("FB=%d: %v", fb, err)
+		}
+		if dmaCost(sw) > dmaCost(mx) {
+			t.Errorf("FB=%d: sweep DMA cost %d exceeds max-policy %d", fb, dmaCost(sw), dmaCost(mx))
+		}
+		if sw.RF > mx.RF {
+			t.Errorf("FB=%d: sweep RF %d above the feasible max %d", fb, sw.RF, mx.RF)
+		}
+	}
+}
+
+func TestRFSweepCanPreferLowerRF(t *testing.T) {
+	// Clusters 0 and 4 (set 0) share a 400-byte table; cluster 2 sits
+	// between them with a 300-byte private input. At the maximum RF=2
+	// the pinned table does not fit past the pass-through cluster
+	// (2 * (380+400) > 1400), so the paper's policy drops retention. At
+	// RF=1 retention fits. With a huge CM the RF buys no context
+	// savings, so the sweep should trade RF down for the retention.
+	b := app.NewBuilder("rf-vs-ret", 8).
+		Datum("tbl", 400).
+		Datum("in0", 100).
+		Datum("in2", 300).
+		Datum("in4", 100)
+	for _, c := range []int{0, 1, 2, 3, 4} {
+		b.Datum(fmtOut(c), 80)
+	}
+	b.Kernel("k0", 32, 100).In("in0", "tbl").Out(fmtOut(0))
+	b.Kernel("k1", 32, 100).In(fmtOut(0)).Out(fmtOut(1))
+	b.Kernel("k2", 32, 100).In("in2").Out(fmtOut(2))
+	b.Kernel("k3", 32, 100).In(fmtOut(2)).Out(fmtOut(3))
+	b.Kernel("k4", 32, 100).In("in4", "tbl").Out(fmtOut(4))
+	part := app.MustPartition(b.MustBuild(), 2, 1, 1, 1, 1, 1)
+
+	pa := testArch(1400)
+	pa.CMWords = 4096 // contexts stay resident: RF buys nothing
+
+	mx, err := (CompleteDataScheduler{}).Schedule(pa, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := (CompleteDataScheduler{RF: RFSweep}).Schedule(pa, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mx.RF != 2 || len(mx.Retained) != 0 {
+		t.Fatalf("max policy: RF=%d retained=%d, want RF=2 with no retention (rebalance the test)",
+			mx.RF, len(mx.Retained))
+	}
+	if sw.RF != 1 || len(sw.Retained) != 1 {
+		t.Fatalf("sweep: RF=%d retained=%d, want RF=1 with the table retained", sw.RF, len(sw.Retained))
+	}
+	if dmaCost(sw) >= dmaCost(mx) {
+		t.Errorf("sweep cost %d >= max cost %d: the trade did not pay", dmaCost(sw), dmaCost(mx))
+	}
+}
+
+func fmtOut(c int) string { return "out" + string(rune('0'+c)) }
+
+func TestForcedRFValidation(t *testing.T) {
+	part := pipeApp(t, 4)
+	_, err := schedule("cds", testArch(360), part, scheduleOpts{
+		rfEnabled:      true,
+		inPlaceRelease: true,
+		retention:      true,
+		ranking:        RankTF,
+		forcedRF:       99,
+	})
+	if err == nil {
+		t.Error("forced RF beyond the feasible maximum accepted")
+	}
+}
+
+func TestAllocateFitPolicies(t *testing.T) {
+	part := pipeApp(t, 4)
+	s := scheduleOrFatal(t, CompleteDataScheduler{}, 512, part)
+	for _, pol := range []alloc.FitPolicy{alloc.FirstFit, alloc.BestFit, alloc.WorstFit} {
+		rep, err := AllocateWithOptions(s, AllocOptions{AllowSplit: true, FitPolicy: pol})
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		for set, peak := range rep.PeakUsed {
+			if peak > 512 {
+				t.Errorf("%v: set %d peak %d over FB", pol, set, peak)
+			}
+		}
+	}
+}
+
+func TestAllocateOneSided(t *testing.T) {
+	part := pipeApp(t, 4)
+	s := scheduleOrFatal(t, CompleteDataScheduler{}, 512, part)
+	rep, err := AllocateWithOptions(s, AllocOptions{AllowSplit: true, OneSided: true})
+	if err != nil {
+		t.Fatalf("one-sided allocation: %v", err)
+	}
+	// One-sided placement must still be leak-free (Allocate checks) and
+	// in bounds; quality (splits) may be worse, never checked here.
+	for set, peak := range rep.PeakUsed {
+		if peak > 512 {
+			t.Errorf("set %d peak %d over FB", set, peak)
+		}
+	}
+}
+
+func TestRFPolicyString(t *testing.T) {
+	if RFMax.String() != "max" || RFSweep.String() != "sweep" {
+		t.Error("RFPolicy names broken")
+	}
+}
+
+func TestFitPolicyString(t *testing.T) {
+	if alloc.FirstFit.String() != "first-fit" || alloc.BestFit.String() != "best-fit" ||
+		alloc.WorstFit.String() != "worst-fit" {
+		t.Error("FitPolicy names broken")
+	}
+}

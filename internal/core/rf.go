@@ -1,0 +1,55 @@
+package core
+
+import "cds/internal/extract"
+
+// CommonRF returns the highest context reuse factor usable by EVERY
+// cluster: the largest rf such that rf consecutive iterations of each
+// cluster fit its Frame Buffer set alongside the retained objects. The
+// result is capped by the application's iteration count and is at least 1
+// when the clusters fit at all (rf=0 means infeasible even for a single
+// iteration).
+//
+// The paper picks this common value first — reusing contexts for RF
+// iterations divides the number of context loads by RF — and only then
+// spends leftover FB space on inter-cluster retention.
+func CommonRF(fbSetBytes int, info *extract.Info, inPlace bool, retained []Retained) int {
+	iters := info.P.App.Iterations
+	rf := iters
+	for _, ci := range info.Clusters {
+		opts := FootprintOpts{
+			InPlaceRelease: inPlace,
+			Pinned:         pinnedFor(retained, ci.Cluster),
+			Remote:         remoteFor(retained, ci.Cluster),
+		}
+		fp := ClusterFootprint(info, ci.Cluster.Index, opts)
+		if fp == 0 {
+			continue
+		}
+		c := fbSetBytes / fp
+		if c < rf {
+			rf = c
+		}
+	}
+	if rf > iters {
+		rf = iters
+	}
+	return rf
+}
+
+// blocks splits the application's iterations into visits of rf iterations
+// (the last block may be shorter) and returns the per-block iteration
+// counts.
+func blocks(iterations, rf int) []int {
+	if rf < 1 {
+		rf = 1
+	}
+	var out []int
+	for done := 0; done < iterations; done += rf {
+		n := rf
+		if iterations-done < n {
+			n = iterations - done
+		}
+		out = append(out, n)
+	}
+	return out
+}

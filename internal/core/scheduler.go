@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+
+	"cds/internal/app"
+	"cds/internal/arch"
+	"cds/internal/extract"
+)
+
+// Basic is the reference scheduler of Maestre et al. (DATE'99): every
+// cluster iteration loads all contexts and stores all results; data are
+// handled per kernel, so a datum read by several kernels of the cluster is
+// transferred once per reading kernel; nothing is reused across iterations
+// or clusters, and no Frame Buffer space is reclaimed during cluster
+// execution.
+type Basic struct{}
+
+// Name implements Scheduler.
+func (Basic) Name() string { return "basic" }
+
+// Schedule implements Scheduler.
+func (Basic) Schedule(pa arch.Params, part *app.Partition) (*Schedule, error) {
+	return schedule("basic", pa, part, scheduleOpts{
+		rfEnabled:      false,
+		inPlaceRelease: false,
+		retention:      false,
+		perKernelLoads: true,
+	})
+}
+
+// DataScheduler is the ISSS'01 Data Scheduler: within-cluster space reuse
+// (in-place replacement of dead data) and loop fission with the highest
+// common context reuse factor RF, but no inter-cluster retention.
+type DataScheduler struct{}
+
+// Name implements Scheduler.
+func (DataScheduler) Name() string { return "ds" }
+
+// Schedule implements Scheduler.
+func (DataScheduler) Schedule(pa arch.Params, part *app.Partition) (*Schedule, error) {
+	return schedule("ds", pa, part, scheduleOpts{
+		rfEnabled:      true,
+		inPlaceRelease: true,
+		retention:      false,
+	})
+}
+
+// RFPolicy selects how the Complete Data Scheduler picks the reuse factor.
+type RFPolicy int
+
+const (
+	// RFMax is the paper's policy: take the highest common RF the FB
+	// permits, then spend whatever space remains on retention.
+	RFMax RFPolicy = iota
+	// RFSweep jointly optimizes RF and retention: every feasible RF is
+	// tried with its own retention selection and the variant with the
+	// lowest estimated DMA time wins. Exists for the common-RF ablation;
+	// the sweep can trade context reuse for more retention.
+	RFSweep
+)
+
+func (p RFPolicy) String() string {
+	if p == RFSweep {
+		return "sweep"
+	}
+	return "max"
+}
+
+// CompleteDataScheduler is the paper's contribution: the Data Scheduler
+// plus TF-ranked retention of inter-cluster shared data and results.
+type CompleteDataScheduler struct {
+	// Ranking overrides the retention candidate ordering; nil selects
+	// the paper's TF ranking. See RankTF, RankBySize, RankFIFO.
+	Ranking RankFunc
+	// CrossSetReuse enables the paper's future-work extension: data and
+	// results shared among clusters on DIFFERENT FB sets also become
+	// retention candidates (the architecture is assumed to let the RC
+	// array read both sets). Off by default, matching the paper.
+	CrossSetReuse bool
+	// RF selects the reuse-factor policy (the paper's RFMax by default).
+	RF RFPolicy
+}
+
+// Name implements Scheduler.
+func (CompleteDataScheduler) Name() string { return "cds" }
+
+// Schedule implements Scheduler.
+func (c CompleteDataScheduler) Schedule(pa arch.Params, part *app.Partition) (*Schedule, error) {
+	ranking := c.Ranking
+	if ranking == nil {
+		ranking = RankTF
+	}
+	opts := scheduleOpts{
+		rfEnabled:      true,
+		inPlaceRelease: true,
+		retention:      true,
+		ranking:        ranking,
+		crossSet:       c.CrossSetReuse,
+	}
+	if c.RF != RFSweep {
+		return schedule("cds", pa, part, opts)
+	}
+	// Sweep: build one schedule per feasible RF and keep the one with
+	// the lowest serialized DMA time (a lower bound on execution time
+	// that orders schedules the same way when compute is fixed).
+	base, err := schedule("cds", pa, part, opts)
+	if err != nil {
+		return nil, err
+	}
+	best, bestCost := base, dmaCost(base)
+	for rf := 1; rf < base.RF; rf++ {
+		opts := opts
+		opts.forcedRF = rf
+		cand, err := schedule("cds", pa, part, opts)
+		if err != nil {
+			continue
+		}
+		if cost := dmaCost(cand); cost < bestCost {
+			best, bestCost = cand, cost
+		}
+	}
+	return best, nil
+}
+
+// dmaCost estimates a schedule's DMA channel demand in cycles.
+func dmaCost(s *Schedule) int {
+	p := s.Arch
+	cost := p.ContextCycles(s.TotalCtxWords())
+	for _, v := range s.Visits {
+		for _, m := range v.Loads {
+			cost += p.DataCycles(m.Bytes)
+		}
+		for _, m := range v.Stores {
+			cost += p.DataCycles(m.Bytes)
+		}
+	}
+	return cost
+}
+
+type scheduleOpts struct {
+	rfEnabled      bool
+	inPlaceRelease bool
+	retention      bool
+	// perKernelLoads makes every kernel load its own copy of its
+	// cluster-external inputs (the Basic Scheduler's behavior); the
+	// data schedulers load each datum once per cluster visit.
+	perKernelLoads bool
+	// crossSet enables cross-FB-set retention (future-work extension).
+	crossSet bool
+	// forcedRF overrides the reuse factor when > 0 (RF sweep).
+	forcedRF int
+	ranking  RankFunc
+}
+
+// schedule is the shared pipeline: analyze, check feasibility, pick RF,
+// pick retention, and emit the visit sequence with exact transfer volumes.
+func schedule(name string, pa arch.Params, part *app.Partition, opts scheduleOpts) (*Schedule, error) {
+	if err := pa.Validate(); err != nil {
+		return nil, err
+	}
+	if err := part.Validate(); err != nil {
+		return nil, err
+	}
+	info := extract.AnalyzeWithOpts(part, extract.Opts{CrossSetReuse: opts.crossSet})
+
+	// Feasibility at RF=1 with no retention is the baseline requirement.
+	if ok, ierr := feasibleRF(pa.FBSetBytes, info, 1, opts.inPlaceRelease, nil); !ok {
+		ierr.Scheduler = name
+		return nil, ierr
+	}
+
+	rf := 1
+	if opts.rfEnabled {
+		rf = CommonRF(pa.FBSetBytes, info, opts.inPlaceRelease, nil)
+	}
+	if opts.forcedRF > 0 {
+		if opts.forcedRF > rf {
+			return nil, fmt.Errorf("core: forced RF %d exceeds the feasible maximum %d", opts.forcedRF, rf)
+		}
+		rf = opts.forcedRF
+	}
+
+	var retained []Retained
+	if opts.retention {
+		retained = selectRetention(pa.FBSetBytes, info, rf, opts.ranking)
+	}
+
+	s := &Schedule{
+		Scheduler:      name,
+		Arch:           pa,
+		P:              part,
+		Info:           info,
+		RF:             rf,
+		Retained:       retained,
+		InPlaceRelease: opts.inPlaceRelease,
+	}
+	buildVisits(s, pa, info, rf, retained, opts.perKernelLoads)
+	return s, nil
+}
+
+// retKey scopes a retained object to its FB set: the same datum can be
+// independently shared (and retained) on both sets.
+type retKey struct {
+	name string
+	set  int
+}
+
+// retainedLookups precomputes, per retained object, who loads it and
+// whether its store is skipped. All effects are scoped to the object's FB
+// set: consumers on the other set keep their loads and force stores.
+type retainedLookups struct {
+	// loaderCluster maps a retained object to the single cluster that
+	// still loads it (first consumer of retained data; -1 for retained
+	// results, which are never loaded on their set).
+	loaderCluster map[retKey]int
+	// skipStore marks retained results whose external store is avoided.
+	skipStore map[retKey]bool
+}
+
+func buildRetainedLookups(retained []Retained, info *extract.Info) retainedLookups {
+	rl := retainedLookups{
+		loaderCluster: map[retKey]int{},
+		skipStore:     map[retKey]bool{},
+	}
+	shared := map[retKey]extract.SharedResult{}
+	for _, sr := range info.SharedResults {
+		shared[retKey{sr.Name, sr.Set}] = sr
+	}
+	// Collect the FB sets in use so cross-set retention can register
+	// its effect for consumers on every set.
+	setsInUse := map[int]bool{}
+	for _, c := range info.P.Clusters {
+		setsInUse[c.Set] = true
+	}
+	for _, r := range retained {
+		key := retKey{r.Name, r.Set}
+		keys := []retKey{key}
+		if r.CrossSet {
+			keys = keys[:0]
+			for set := range setsInUse {
+				keys = append(keys, retKey{r.Name, set})
+			}
+		}
+		switch r.Kind {
+		case RetainedData:
+			for _, k := range keys {
+				rl.loaderCluster[k] = r.From
+			}
+		case RetainedResult:
+			for _, k := range keys {
+				rl.loaderCluster[k] = -1
+			}
+			if sr, ok := shared[key]; ok && sr.StoreAvoidable() {
+				rl.skipStore[key] = true
+			}
+		}
+	}
+	return rl
+}
+
+// buildVisits fills s.Visits: one visit per (block, cluster), in execution
+// order, with context traffic counted by replaying the Context Memory.
+func buildVisits(s *Schedule, pa arch.Params, info *extract.Info, rf int, retained []Retained, perKernelLoads bool) {
+	a := info.P.App
+	rl := buildRetainedLookups(retained, info)
+	cm := arch.NewContextMemory(pa.CMWords)
+
+	for b, iters := range blocks(a.Iterations, rf) {
+		for _, ci := range info.Clusters {
+			c := ci.Cluster
+			v := Visit{
+				Cluster: c.Index,
+				Set:     c.Set,
+				Block:   b,
+				Iters:   iters,
+			}
+			// Data loads.
+			if perKernelLoads {
+				// Basic Scheduler: each kernel transfers its own
+				// copy of its cluster-external inputs.
+				for _, ki := range c.Kernels {
+					for _, name := range a.Kernels[ki].Inputs {
+						if p, produced := a.Producer(name); produced && c.Contains(p) {
+							continue // intra-cluster intermediate
+						}
+						v.Loads = append(v.Loads, Movement{Datum: name, Bytes: iters * a.SizeOf(name)})
+					}
+				}
+			} else {
+				for _, name := range ci.ExternalIn {
+					if loader, ok := rl.loaderCluster[retKey{name, c.Set}]; ok && loader != c.Index {
+						continue // resident: retained by an earlier cluster or kept since production
+					}
+					v.Loads = append(v.Loads, Movement{Datum: name, Bytes: iters * a.SizeOf(name)})
+				}
+			}
+			// Result stores.
+			for _, name := range ci.PersistentOut {
+				if rl.skipStore[retKey{name, c.Set}] {
+					continue
+				}
+				v.Stores = append(v.Stores, Movement{Datum: name, Bytes: iters * a.SizeOf(name)})
+			}
+			// Context loads: once per visit per context group at
+			// most, fewer if the group survived in the CM.
+			for _, ki := range c.Kernels {
+				k := a.Kernels[ki]
+				moved, err := cm.Load(k.CtxGroup(), k.ContextWords)
+				if err != nil {
+					// A kernel whose contexts exceed the whole
+					// CM reloads in pieces every visit; charge
+					// the full volume.
+					moved = k.ContextWords
+				}
+				if moved > 0 {
+					v.CtxLoads = append(v.CtxLoads, Movement{Datum: k.CtxGroup(), Bytes: moved})
+				}
+				v.CtxWords += moved
+				v.ComputeCycles += iters * k.ComputeCycles
+			}
+			s.Visits = append(s.Visits, v)
+		}
+	}
+}

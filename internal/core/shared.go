@@ -1,0 +1,141 @@
+package core
+
+import (
+	"sort"
+
+	"cds/internal/extract"
+)
+
+// Candidate is one inter-cluster reuse opportunity under consideration by
+// the Complete Data Scheduler's retention pass.
+type Candidate struct {
+	Retained
+	// StoreAvoidable is carried from the extractor for results.
+	StoreAvoidable bool
+}
+
+// RankFunc orders retention candidates; the scheduler tries to keep them
+// in the returned order, best first. The paper uses RankTF.
+type RankFunc func(cands []Candidate)
+
+// TFData returns the paper's time factor for a shared datum used by n
+// clusters: TF(D) = D*(N-1)/TDS. Keeping the datum avoids n-1 of its n
+// loads.
+func TFData(size, n, tds int) float64 {
+	return float64(size) * float64(n-1) / float64(tds)
+}
+
+// TFResult returns the paper's time factor for a shared result consumed
+// by n later clusters: TF(R) = R*(N+1)/TDS. Keeping the result avoids its
+// store and all n reloads.
+func TFResult(size, n, tds int) float64 {
+	return float64(size) * float64(n+1) / float64(tds)
+}
+
+// RankTF sorts candidates by decreasing time factor (the paper's policy),
+// breaking ties deterministically by kind then name.
+func RankTF(cands []Candidate) {
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].TF != cands[j].TF {
+			return cands[i].TF > cands[j].TF
+		}
+		if cands[i].Kind != cands[j].Kind {
+			return cands[i].Kind > cands[j].Kind // results before data on ties
+		}
+		return cands[i].Name < cands[j].Name
+	})
+}
+
+// RankBySize sorts candidates by decreasing raw size, ignoring how many
+// transfers retention saves. Used by the ranking ablation.
+func RankBySize(cands []Candidate) {
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].Size != cands[j].Size {
+			return cands[i].Size > cands[j].Size
+		}
+		return cands[i].Name < cands[j].Name
+	})
+}
+
+// RankFIFO keeps the extractor's discovery order (data first, then
+// results, each in application declaration order). Used by the ranking
+// ablation as the "no ranking" baseline.
+func RankFIFO(cands []Candidate) {}
+
+// collectCandidates turns the extractor's sharing structures into ranked
+// retention candidates.
+func collectCandidates(info *extract.Info) []Candidate {
+	var cands []Candidate
+	for _, sd := range info.SharedData {
+		from, to := sd.Span()
+		cross := false
+		for _, c := range sd.Clusters {
+			if info.P.Clusters[c].Set != sd.Set {
+				cross = true
+			}
+		}
+		cands = append(cands, Candidate{
+			Retained: Retained{
+				Kind:     RetainedData,
+				Name:     sd.Name,
+				Size:     sd.Size,
+				Set:      sd.Set,
+				From:     from,
+				To:       to,
+				CrossSet: cross,
+				TF:       TFData(sd.Size, sd.N(), info.TDS),
+				// n consumers -> n-1 loads avoided per iteration.
+				AvoidedBytesPerIter: (sd.N() - 1) * sd.Size,
+			},
+			StoreAvoidable: false,
+		})
+	}
+	for _, sr := range info.SharedResults {
+		from, to := sr.Span()
+		cross := false
+		for _, c := range sr.Consumers {
+			if info.P.Clusters[c].Set != sr.Set {
+				cross = true
+			}
+		}
+		avoided := sr.N() * sr.Size // reloads avoided
+		if sr.StoreAvoidable() {
+			avoided += sr.Size // the store too
+		}
+		cands = append(cands, Candidate{
+			Retained: Retained{
+				Kind:                RetainedResult,
+				Name:                sr.Name,
+				Size:                sr.Size,
+				Set:                 sr.Set,
+				From:                from,
+				To:                  to,
+				CrossSet:            cross,
+				TF:                  TFResult(sr.Size, sr.N(), info.TDS),
+				AvoidedBytesPerIter: avoided,
+			},
+			StoreAvoidable: sr.StoreAvoidable(),
+		})
+	}
+	return cands
+}
+
+// selectRetention greedily keeps the highest-ranked candidates for which
+// every cluster still fits its FB set at the chosen RF (the paper's
+// "scheduling continues with shared data or results with less TF; if
+// DS(Cc) > FBS for some shared data or results, these are not kept").
+func selectRetention(fbSetBytes int, info *extract.Info, rf int, rank RankFunc) []Retained {
+	cands := collectCandidates(info)
+	if len(cands) == 0 {
+		return nil
+	}
+	rank(cands)
+	var kept []Retained
+	for _, cand := range cands {
+		trial := append(append([]Retained(nil), kept...), cand.Retained)
+		if ok, _ := feasibleRF(fbSetBytes, info, rf, true, trial); ok {
+			kept = trial
+		}
+	}
+	return kept
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"cds/internal/app"
+)
+
+// tiledWorkload: one cluster dominated by a big private input, one small
+// downstream cluster. Tiling the big kernel's input shrinks the dominant
+// footprint and unlocks a higher RF.
+func tiledWorkload(t *testing.T) *app.Partition {
+	t.Helper()
+	b := app.NewBuilder("tilebench", 12).
+		Datum("bigIn", 600).
+		Datum("tbl", 64).
+		Datum("feat", 64).
+		Datum("out", 64)
+	b.Kernel("extract", 128, 240).In("bigIn", "tbl").Out("feat")
+	b.Kernel("classify", 96, 120).In("feat", "tbl").Out("out")
+	return app.MustPartition(b.MustBuild(), 2, 1, 1)
+}
+
+func TestTilingRaisesRF(t *testing.T) {
+	part := tiledWorkload(t)
+	pa := testArch(1024)
+
+	before, err := (DataScheduler{}).Schedule(pa, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Footprint before: bigIn+tbl+feat = 728 -> RF 1.
+	if before.RF != 1 {
+		t.Fatalf("untiled RF = %d, want 1 (test needs a tight FB)", before.RF)
+	}
+
+	tp, err := app.TilePartition(part, "extract", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := (DataScheduler{}).Schedule(pa, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Footprint after: one 150-byte slice at a time + tbl + feat = 278
+	// -> RF should at least double.
+	if after.RF < 2*before.RF {
+		t.Errorf("tiled RF = %d, want at least %d", after.RF, 2*before.RF)
+	}
+	// Context traffic must not explode: sub-kernels share one group, so
+	// the per-visit context volume is unchanged while visits shrink in
+	// number — total context words must strictly drop.
+	if after.TotalCtxWords() >= before.TotalCtxWords() {
+		t.Errorf("ctx words: tiled %d, untiled %d — tiling should cut context reloads",
+			after.TotalCtxWords(), before.TotalCtxWords())
+	}
+	// Data volume stays (within slice rounding).
+	if diff := after.TotalLoadBytes() - before.TotalLoadBytes(); diff < 0 || diff > 12*16 {
+		t.Errorf("load bytes drifted by %d", diff)
+	}
+}
+
+func TestTilingFootprint(t *testing.T) {
+	part := tiledWorkload(t)
+	tp, err := app.TilePartition(part, "extract", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sBefore, err := (DataScheduler{}).Schedule(testArch(1024), part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sAfter, err := (DataScheduler{}).Schedule(testArch(1024), tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpBefore := ClusterFootprint(sBefore.Info, 0, FootprintOpts{InPlaceRelease: true})
+	fpAfter := ClusterFootprint(sAfter.Info, 0, FootprintOpts{InPlaceRelease: true})
+	if fpAfter >= fpBefore {
+		t.Errorf("tiled footprint %d, untiled %d: streaming gave nothing", fpAfter, fpBefore)
+	}
+	if fpAfter > 300 {
+		t.Errorf("tiled footprint %d, want ~278 (slice+tbl+feat)", fpAfter)
+	}
+}
+
+func TestTilingAllocatesAndGeneratesCleanly(t *testing.T) {
+	part := tiledWorkload(t)
+	tp, err := app.TilePartition(part, "extract", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sched := range []Scheduler{Basic{}, DataScheduler{}, CompleteDataScheduler{}} {
+		s, err := sched.Schedule(testArch(1024), tp)
+		if err != nil {
+			t.Fatalf("%s: %v", sched.Name(), err)
+		}
+		rep, err := Allocate(s, false)
+		if err != nil {
+			t.Fatalf("%s: allocation of tiled app: %v", sched.Name(), err)
+		}
+		if rep.Splits != 0 || !rep.Regular {
+			t.Errorf("%s: tiled allocation degraded: %+v", sched.Name(), rep)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package core implements the scheduling stack the paper compares:
+//
+//   - Basic Scheduler (Maestre et al., DATE'99): no data reuse — every
+//     cluster iteration reloads its contexts and inputs and stores all its
+//     results.
+//   - Data Scheduler (Sanchez-Elez et al., ISSS'01): within-cluster reuse —
+//     dead data are replaced in place, minimizing the per-iteration Frame
+//     Buffer footprint DS(C); the freed space holds data for RF consecutive
+//     iterations so contexts are reloaded only once per RF iterations.
+//   - Complete Data Scheduler (this paper, DATE'02): additionally retains
+//     data and results shared among clusters of the same FB set, chosen by
+//     the time factor TF, to avoid external-memory transfers altogether.
+//
+// All three produce a Schedule: the per-visit transfer and compute volumes
+// that the timing simulator (internal/sim), the allocator replay
+// (Allocate) and the code generator (internal/codegen) consume.
+package core
+
+import (
+	"fmt"
+
+	"cds/internal/app"
+	"cds/internal/arch"
+	"cds/internal/extract"
+)
+
+// Movement is one datum's traffic within a visit, already multiplied by
+// the visit's iteration count.
+type Movement struct {
+	Datum string
+	Bytes int
+}
+
+// Visit is one execution of one cluster for a block of consecutive
+// iterations (RF of them, fewer on the last block). Visits are listed in
+// execution order; the simulator overlaps visit v+1's transfers with visit
+// v's computation.
+type Visit struct {
+	// Cluster and Set identify the cluster and its FB set.
+	Cluster, Set int
+	// Block is the RF-block index; Iters is how many application
+	// iterations this visit executes (RF, or the remainder on the last
+	// block).
+	Block, Iters int
+
+	// Loads and Stores detail the external-memory data traffic of the
+	// visit.
+	Loads  []Movement
+	Stores []Movement
+	// CtxLoads details the context traffic per kernel (Datum holds the
+	// kernel name, Bytes the context words actually transferred; 0-word
+	// hits are omitted).
+	CtxLoads []Movement
+	// CtxWords counts context words loaded before the visit computes.
+	CtxWords int
+	// ComputeCycles is the RC-array busy time of the visit.
+	ComputeCycles int
+}
+
+// LoadBytes returns the total data bytes loaded for the visit.
+func (v Visit) LoadBytes() int { return sumMovements(v.Loads) }
+
+// StoreBytes returns the total data bytes stored after the visit.
+func (v Visit) StoreBytes() int { return sumMovements(v.Stores) }
+
+func sumMovements(ms []Movement) int {
+	n := 0
+	for _, m := range ms {
+		n += m.Bytes
+	}
+	return n
+}
+
+// RetainedKind distinguishes the two kinds of inter-cluster reuse the
+// Complete Data Scheduler can exploit.
+type RetainedKind int
+
+const (
+	// RetainedData is the paper's D_i..j: external data kept in the FB
+	// across the clusters that read it (avoids N-1 loads).
+	RetainedData RetainedKind = iota
+	// RetainedResult is the paper's R_i,j..k: a result kept in the FB
+	// from its producing cluster to its last consuming cluster (avoids
+	// one store and N loads when not final).
+	RetainedResult
+)
+
+func (k RetainedKind) String() string {
+	if k == RetainedData {
+		return "data"
+	}
+	return "result"
+}
+
+// Retained is one shared object the Complete Data Scheduler decided to
+// keep in the Frame Buffer.
+type Retained struct {
+	Kind RetainedKind
+	Name string
+	Size int
+	Set  int
+	// From and To give the cluster-index span the object stays resident
+	// for (producer/first consumer through last consumer).
+	From, To int
+	// CrossSet marks objects whose consumers sit on other FB sets than
+	// the home set (only possible with the CrossSetReuse extension).
+	CrossSet bool
+	// TF is the paper's time factor used to rank the candidate.
+	TF float64
+	// AvoidedBytesPerIter is the external traffic saved per application
+	// iteration by retaining the object.
+	AvoidedBytesPerIter int
+}
+
+// Schedule is the complete output of one scheduler run on one partitioned
+// application: enough to simulate timing, replay allocation and generate
+// code.
+type Schedule struct {
+	// Scheduler names the policy that produced the schedule ("basic",
+	// "ds", "cds").
+	Scheduler string
+	Arch      arch.Params
+	P         *app.Partition
+	Info      *extract.Info
+
+	// RF is the context reuse factor: consecutive iterations executed
+	// per cluster visit.
+	RF int
+	// Retained lists the inter-cluster objects kept in the FB (empty
+	// for basic and ds).
+	Retained []Retained
+	// Visits is the execution order.
+	Visits []Visit
+
+	// InPlaceRelease records whether the footprint model releases dead
+	// data during cluster execution (false only for the basic
+	// scheduler); the allocator replay needs it.
+	InPlaceRelease bool
+}
+
+// TotalLoadBytes returns the external-memory data bytes loaded across the
+// whole schedule.
+func (s *Schedule) TotalLoadBytes() int {
+	n := 0
+	for _, v := range s.Visits {
+		n += v.LoadBytes()
+	}
+	return n
+}
+
+// TotalStoreBytes returns the external-memory data bytes stored across
+// the whole schedule.
+func (s *Schedule) TotalStoreBytes() int {
+	n := 0
+	for _, v := range s.Visits {
+		n += v.StoreBytes()
+	}
+	return n
+}
+
+// TotalCtxWords returns the context words loaded across the whole
+// schedule.
+func (s *Schedule) TotalCtxWords() int {
+	n := 0
+	for _, v := range s.Visits {
+		n += v.CtxWords
+	}
+	return n
+}
+
+// TotalComputeCycles returns the RC-array busy cycles across the whole
+// schedule.
+func (s *Schedule) TotalComputeCycles() int {
+	n := 0
+	for _, v := range s.Visits {
+		n += v.ComputeCycles
+	}
+	return n
+}
+
+// AvoidedBytesPerIter sums the per-iteration external traffic saved by
+// retention (the paper's DT column).
+func (s *Schedule) AvoidedBytesPerIter() int {
+	n := 0
+	for _, r := range s.Retained {
+		n += r.AvoidedBytesPerIter
+	}
+	return n
+}
+
+// InfeasibleError reports that a scheduler cannot fit a cluster into the
+// Frame Buffer set (e.g. the Basic Scheduler on MPEG with a 1K FB).
+type InfeasibleError struct {
+	Scheduler string
+	Cluster   int
+	Need      int
+	Have      int
+}
+
+func (e *InfeasibleError) Error() string {
+	return fmt.Sprintf("%s: cluster %d needs %d bytes of frame buffer, set holds %d",
+		e.Scheduler, e.Cluster, e.Need, e.Have)
+}
+
+// Scheduler is the common interface of the three policies.
+type Scheduler interface {
+	// Name returns the policy's short name.
+	Name() string
+	// Schedule builds the transfer/compute schedule for the partition
+	// on the given architecture.
+	Schedule(p arch.Params, part *app.Partition) (*Schedule, error)
+}

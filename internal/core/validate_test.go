@@ -1,0 +1,95 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateScheduleAcceptsAllSchedulers(t *testing.T) {
+	part := pipeApp(t, 5)
+	for _, sched := range []Scheduler{Basic{}, DataScheduler{}, CompleteDataScheduler{}, CompleteDataScheduler{CrossSetReuse: true}} {
+		s, err := sched.Schedule(testArch(400), part)
+		if err != nil {
+			t.Fatalf("%s: %v", sched.Name(), err)
+		}
+		if err := ValidateSchedule(s); err != nil {
+			t.Errorf("%s: %v", sched.Name(), err)
+		}
+	}
+}
+
+func TestValidateScheduleRejectsCorruption(t *testing.T) {
+	part := pipeApp(t, 4)
+	fresh := func() *Schedule {
+		s, err := (CompleteDataScheduler{}).Schedule(testArch(400), part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	tests := []struct {
+		name    string
+		mutate  func(*Schedule)
+		wantSub string
+	}{
+		{"nil", nil, "nil"},
+		{"zero RF", func(s *Schedule) { s.RF = 0 }, "RF"},
+		{"dropped visit", func(s *Schedule) { s.Visits = s.Visits[1:] }, "visits"},
+		{"swapped visits", func(s *Schedule) {
+			s.Visits[0], s.Visits[1] = s.Visits[1], s.Visits[0]
+		}, "visit"},
+		{"phantom load", func(s *Schedule) {
+			s.Visits[0].Loads = append(s.Visits[0].Loads, Movement{Datum: "out1", Bytes: 40})
+		}, "loads"},
+		{"wrong load volume", func(s *Schedule) {
+			s.Visits[0].Loads[0].Bytes++
+		}, "bytes"},
+		{"phantom store", func(s *Schedule) {
+			s.Visits[0].Stores = append(s.Visits[0].Stores, Movement{Datum: "inA", Bytes: 200})
+		}, "stores"},
+		{"oversized ctx load", func(s *Schedule) {
+			for vi := range s.Visits {
+				if len(s.Visits[vi].CtxLoads) > 0 {
+					s.Visits[vi].CtxLoads[0].Bytes += 1000
+					s.Visits[vi].CtxWords += 1000
+					return
+				}
+			}
+		}, "context load"},
+		{"ctx sum mismatch", func(s *Schedule) {
+			s.Visits[0].CtxWords++
+		}, "CtxWords"},
+		{"wrong compute", func(s *Schedule) {
+			s.Visits[0].ComputeCycles++
+		}, "compute"},
+		{"bad retained span", func(s *Schedule) {
+			if len(s.Retained) == 0 {
+				t.Skip("no retention on this config")
+			}
+			s.Retained[0].To = 99
+		}, "span"},
+		{"bad retained size", func(s *Schedule) {
+			if len(s.Retained) == 0 {
+				t.Skip("no retention on this config")
+			}
+			s.Retained[0].Size++
+		}, "size"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var s *Schedule
+			if tt.mutate != nil {
+				s = fresh()
+				tt.mutate(s)
+			}
+			err := ValidateSchedule(s)
+			if err == nil {
+				t.Fatal("corrupted schedule accepted")
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tt.wantSub)
+			}
+		})
+	}
+}

@@ -1,0 +1,77 @@
+// Package extmem lays out the application's data in external (off-chip)
+// memory: every datum gets a contiguous region holding one instance per
+// application iteration, so each (datum, iteration) pair has a concrete
+// source/destination address. The code generator annotates its LDFB/STFB
+// instructions with these addresses, completing the transfer picture (the
+// FB side comes from the allocator, the external side from here).
+package extmem
+
+import (
+	"fmt"
+	"sort"
+
+	"cds/internal/app"
+)
+
+// Map is the external memory layout for one application.
+type Map struct {
+	base  map[string]int
+	size  map[string]int
+	iters int
+	total int
+}
+
+// Layout assigns addresses: data are placed in declaration order, each
+// occupying size * iterations bytes. Intermediates that never touch
+// external memory still get regions (the Basic Scheduler spills nothing,
+// but a debugger wants stable addresses for everything).
+func Layout(a *app.App) *Map {
+	m := &Map{
+		base:  make(map[string]int, len(a.Data)),
+		size:  make(map[string]int, len(a.Data)),
+		iters: a.Iterations,
+	}
+	addr := 0
+	for _, d := range a.Data {
+		m.base[d.Name] = addr
+		m.size[d.Name] = d.Size
+		addr += d.Size * a.Iterations
+	}
+	m.total = addr
+	return m
+}
+
+// Addr returns the external address of one datum instance.
+func (m *Map) Addr(datum string, absIter int) (int, error) {
+	base, ok := m.base[datum]
+	if !ok {
+		return 0, fmt.Errorf("extmem: unknown datum %q", datum)
+	}
+	if absIter < 0 || absIter >= m.iters {
+		return 0, fmt.Errorf("extmem: iteration %d out of range [0, %d)", absIter, m.iters)
+	}
+	return base + absIter*m.size[datum], nil
+}
+
+// Region returns the base address and per-instance size of a datum's
+// region.
+func (m *Map) Region(datum string) (base, size int, err error) {
+	b, ok := m.base[datum]
+	if !ok {
+		return 0, 0, fmt.Errorf("extmem: unknown datum %q", datum)
+	}
+	return b, m.size[datum], nil
+}
+
+// Total returns the external memory footprint in bytes.
+func (m *Map) Total() int { return m.total }
+
+// Data returns the laid-out datum names sorted by base address.
+func (m *Map) Data() []string {
+	names := make([]string, 0, len(m.base))
+	for n := range m.base {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return m.base[names[i]] < m.base[names[j]] })
+	return names
+}

@@ -1,0 +1,94 @@
+package extmem
+
+import (
+	"testing"
+
+	"cds/internal/app"
+	"cds/internal/codegen"
+	"cds/internal/core"
+	"cds/internal/workloads"
+)
+
+func layoutApp(t *testing.T) *app.App {
+	t.Helper()
+	b := app.NewBuilder("lay", 3).
+		Datum("a", 100).
+		Datum("b", 50).
+		Datum("out", 20)
+	b.Kernel("k", 8, 10).In("a", "b").Out("out")
+	return b.MustBuild()
+}
+
+func TestLayoutAddresses(t *testing.T) {
+	a := layoutApp(t)
+	m := Layout(a)
+	// a: [0, 300); b: [300, 450); out: [450, 510).
+	if m.Total() != 510 {
+		t.Fatalf("Total = %d, want 510", m.Total())
+	}
+	tests := []struct {
+		datum      string
+		iter, want int
+	}{
+		{"a", 0, 0},
+		{"a", 2, 200},
+		{"b", 0, 300},
+		{"b", 1, 350},
+		{"out", 2, 490},
+	}
+	for _, tt := range tests {
+		got, err := m.Addr(tt.datum, tt.iter)
+		if err != nil {
+			t.Fatalf("Addr(%s, %d): %v", tt.datum, tt.iter, err)
+		}
+		if got != tt.want {
+			t.Errorf("Addr(%s, %d) = %d, want %d", tt.datum, tt.iter, got, tt.want)
+		}
+	}
+	if _, err := m.Addr("ghost", 0); err == nil {
+		t.Error("unknown datum accepted")
+	}
+	if _, err := m.Addr("a", 3); err == nil {
+		t.Error("out-of-range iteration accepted")
+	}
+	if names := m.Data(); len(names) != 3 || names[0] != "a" || names[2] != "out" {
+		t.Errorf("Data() = %v", names)
+	}
+	if base, size, err := m.Region("b"); err != nil || base != 300 || size != 50 {
+		t.Errorf("Region(b) = %d,%d,%v", base, size, err)
+	}
+}
+
+func TestAnnotateExternalOnRealSchedule(t *testing.T) {
+	e := workloads.MPEG()
+	s, err := (core.CompleteDataScheduler{}).Schedule(e.Arch, e.Part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := codegen.Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Layout(e.Part.App)
+	if err := codegen.AnnotateExternal(prog, s.RF, m); err != nil {
+		t.Fatal(err)
+	}
+	// Every transfer instruction now has a valid external address, and
+	// distinct iterations of a datum never collide.
+	seen := map[int]string{}
+	for _, in := range prog.Instrs {
+		switch in.Op {
+		case codegen.OpLdFB, codegen.OpStFB:
+			if in.ExtAddr < 0 || in.ExtAddr+in.Bytes > m.Total() {
+				t.Fatalf("%v: external region [%d, %d) out of [0, %d)", in, in.ExtAddr, in.ExtAddr+in.Bytes, m.Total())
+			}
+			if prev, ok := seen[in.ExtAddr]; ok && prev != in.Datum {
+				t.Fatalf("external address %d used by both %s and %s", in.ExtAddr, prev, in.Datum)
+			}
+			seen[in.ExtAddr] = in.Datum
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no transfers annotated")
+	}
+}

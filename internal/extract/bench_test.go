@@ -1,0 +1,25 @@
+package extract
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkAnalyze measures the information extractor on randomized
+// applications.
+func BenchmarkAnalyze(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Analyze(randomPartition(rng))
+	}
+}
+
+// BenchmarkAnalyzeCrossSet measures the extended sharing analysis.
+func BenchmarkAnalyzeCrossSet(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		AnalyzeWithOpts(randomPartition(rng), Opts{CrossSetReuse: true})
+	}
+}

@@ -1,0 +1,345 @@
+// Package extract is the "information extractor" of the MorphoSys
+// compilation framework: from an application and its cluster partition it
+// derives everything the data schedulers consume — the per-kernel data
+// classification of the ISSS'01 Data Scheduler (d_j, rout_j, r_jt), the
+// per-cluster external inputs and persistent results, and the
+// inter-cluster sharing structures of the Complete Data Scheduler
+// (shared data D_i..j and shared results R_i,j..k restricted to clusters
+// on the same Frame Buffer set).
+package extract
+
+import (
+	"sort"
+
+	"cds/internal/app"
+)
+
+// Role describes how one datum is used relative to one cluster.
+type Role int
+
+const (
+	// RoleExternalInput: consumed by the cluster, produced outside it.
+	RoleExternalInput Role = iota
+	// RoleIntermediate: produced and fully consumed inside the cluster.
+	RoleIntermediate
+	// RolePersistentResult: produced by the cluster and needed after it
+	// ends (final result or consumed by a later cluster).
+	RolePersistentResult
+)
+
+// KernelClass is the Data Scheduler's view of one kernel within its
+// cluster, following the paper's notation.
+type KernelClass struct {
+	// Kernel is the index into App.Kernels.
+	Kernel int
+	// D lists the cluster-external inputs whose last consumer inside
+	// the cluster is this kernel (the paper's d_j: inputs of k_j except
+	// those shared with later kernels of the cluster).
+	D []string
+	// Rout lists the outputs of this kernel that persist past the
+	// cluster's end: final results and results consumed by later
+	// clusters (the paper's rout_j).
+	Rout []string
+	// R maps each intermediate output of this kernel to the index of
+	// its last consuming kernel inside the cluster (the paper's r_jt:
+	// result of k_j that is data for k_t and no kernel after k_t).
+	R map[string]int
+}
+
+// DBytes returns the total size of D.
+func (kc KernelClass) DBytes(a *app.App) int { return sumSizes(a, kc.D) }
+
+// RoutBytes returns the total size of Rout.
+func (kc KernelClass) RoutBytes(a *app.App) int { return sumSizes(a, kc.Rout) }
+
+// ClusterInfo aggregates the extractor's results for one cluster.
+type ClusterInfo struct {
+	Cluster app.Cluster
+	// ExternalIn lists every datum consumed by the cluster but produced
+	// outside it (application inputs and earlier clusters' results), in
+	// deterministic (first-use) order.
+	ExternalIn []string
+	// PersistentOut lists every datum produced by the cluster that must
+	// survive it (final results and inputs of later clusters).
+	PersistentOut []string
+	// Intermediates lists data produced and fully consumed inside the
+	// cluster.
+	Intermediates []string
+	// PerKernel holds one KernelClass per kernel, in execution order.
+	PerKernel []KernelClass
+}
+
+// ExternalInBytes returns the total size of ExternalIn.
+func (ci ClusterInfo) ExternalInBytes(a *app.App) int { return sumSizes(a, ci.ExternalIn) }
+
+// PersistentOutBytes returns the total size of PersistentOut.
+func (ci ClusterInfo) PersistentOutBytes(a *app.App) int { return sumSizes(a, ci.PersistentOut) }
+
+// SharedDatum is the paper's D_i..j: an external-input datum consumed by
+// two or more clusters assigned to the same FB set. Keeping it in the FB
+// saves N-1 loads per iteration.
+type SharedDatum struct {
+	Name string
+	Size int
+	// Set is the FB set shared use happens on.
+	Set int
+	// Clusters lists the consuming clusters on Set, ascending. N is its
+	// length.
+	Clusters []int
+}
+
+// N returns the number of clusters using the datum.
+func (sd SharedDatum) N() int { return len(sd.Clusters) }
+
+// Span returns the first and last cluster index the datum must stay
+// resident for if retained.
+func (sd SharedDatum) Span() (from, to int) {
+	return sd.Clusters[0], sd.Clusters[len(sd.Clusters)-1]
+}
+
+// SharedResult is the paper's R_i,j..k: a result of cluster i consumed by
+// later clusters on the same FB set. Keeping it in the FB saves the store
+// after cluster i plus one load per consuming cluster (N+1 transfers for a
+// non-final result).
+type SharedResult struct {
+	Name string
+	Size int
+	Set  int
+	// Producer is the cluster that writes the result.
+	Producer int
+	// Consumers lists the consuming clusters on Set, ascending; all are
+	// greater than Producer. N is its length.
+	Consumers []int
+	// Final marks results that must be stored to external memory even
+	// if retained (the store cannot be avoided, only the reloads).
+	Final bool
+	// CrossSetConsumed marks results also consumed by clusters on the
+	// OTHER FB set; those consumers read from external memory, so the
+	// store cannot be avoided by same-set retention either.
+	CrossSetConsumed bool
+}
+
+// StoreAvoidable reports whether retaining the result eliminates its store
+// to external memory (false when the result is final or has cross-set
+// consumers).
+func (sr SharedResult) StoreAvoidable() bool { return !sr.Final && !sr.CrossSetConsumed }
+
+// N returns the number of clusters consuming the result.
+func (sr SharedResult) N() int { return len(sr.Consumers) }
+
+// Span returns the first and last cluster index the result must stay
+// resident for if retained.
+func (sr SharedResult) Span() (from, to int) {
+	return sr.Producer, sr.Consumers[len(sr.Consumers)-1]
+}
+
+// Info is the full extractor output for one partitioned application.
+type Info struct {
+	P *app.Partition
+	// Clusters holds one ClusterInfo per cluster, in execution order.
+	Clusters []ClusterInfo
+	// SharedData and SharedResults list the inter-cluster reuse
+	// opportunities on each FB set, in deterministic order.
+	SharedData    []SharedDatum
+	SharedResults []SharedResult
+	// TDS is the paper's total data and result size per iteration.
+	TDS int
+}
+
+// Opts tunes the extractor.
+type Opts struct {
+	// CrossSetReuse lifts the same-FB-set restriction on sharing
+	// detection: data and results shared among clusters on DIFFERENT
+	// sets become retention candidates too. This models the paper's
+	// future-work architecture in which the RC array can read both FB
+	// sets; the retained object still lives in one home set (the first
+	// consumer's / the producer's).
+	CrossSetReuse bool
+}
+
+// Analyze runs the extractor over a partitioned application with the
+// paper's same-set sharing rule.
+func Analyze(p *app.Partition) *Info {
+	return AnalyzeWithOpts(p, Opts{})
+}
+
+// AnalyzeWithOpts runs the extractor with explicit options.
+func AnalyzeWithOpts(p *app.Partition, opts Opts) *Info {
+	a := p.App
+	info := &Info{P: p, TDS: a.TotalDataBytes()}
+
+	producerCluster := make(map[string]int) // datum -> producing cluster
+	for _, d := range a.Data {
+		if ki, ok := a.Producer(d.Name); ok {
+			producerCluster[d.Name] = p.ClusterOf(ki)
+		}
+	}
+	consumerClusters := func(name string) []int {
+		seen := map[int]bool{}
+		var cs []int
+		for _, ki := range a.Consumers(name) {
+			c := p.ClusterOf(ki)
+			if !seen[c] {
+				seen[c] = true
+				cs = append(cs, c)
+			}
+		}
+		sort.Ints(cs)
+		return cs
+	}
+
+	for _, c := range p.Clusters {
+		info.Clusters = append(info.Clusters, analyzeCluster(a, p, c, producerCluster))
+	}
+
+	// Inter-cluster shared data: external inputs (no producing kernel)
+	// consumed by >= 2 clusters on one set — or on any set with
+	// CrossSetReuse, homed on the first consumer's set.
+	for _, d := range a.Data {
+		if !a.IsExternalInput(d.Name) {
+			continue
+		}
+		if opts.CrossSetReuse {
+			cs := consumerClusters(d.Name)
+			if len(cs) >= 2 {
+				info.SharedData = append(info.SharedData, SharedDatum{
+					Name: d.Name, Size: d.Size,
+					Set: p.Clusters[cs[0]].Set, Clusters: cs,
+				})
+			}
+			continue
+		}
+		bySet := map[int][]int{}
+		for _, c := range consumerClusters(d.Name) {
+			set := p.Clusters[c].Set
+			bySet[set] = append(bySet[set], c)
+		}
+		for _, set := range sortedKeys(bySet) {
+			cs := bySet[set]
+			if len(cs) >= 2 {
+				info.SharedData = append(info.SharedData, SharedDatum{
+					Name: d.Name, Size: d.Size, Set: set, Clusters: cs,
+				})
+			}
+		}
+	}
+
+	// Inter-cluster shared results: produced in cluster i, consumed by
+	// later clusters on the same set as i (any set with CrossSetReuse).
+	for _, d := range a.Data {
+		pc, produced := producerCluster[d.Name]
+		if !produced {
+			continue
+		}
+		set := p.Clusters[pc].Set
+		var reachable []int
+		crossSet := false
+		for _, c := range consumerClusters(d.Name) {
+			switch {
+			case c == pc:
+			case p.Clusters[c].Set == set || opts.CrossSetReuse:
+				reachable = append(reachable, c)
+			default:
+				crossSet = true
+			}
+		}
+		if len(reachable) >= 1 {
+			info.SharedResults = append(info.SharedResults, SharedResult{
+				Name: d.Name, Size: d.Size, Set: set,
+				Producer: pc, Consumers: reachable,
+				Final:            a.IsFinalResult(d.Name),
+				CrossSetConsumed: crossSet,
+			})
+		}
+	}
+	return info
+}
+
+func analyzeCluster(a *app.App, p *app.Partition, c app.Cluster, producerCluster map[string]int) ClusterInfo {
+	ci := ClusterInfo{Cluster: c}
+	inCluster := func(ki int) bool { return c.Contains(ki) }
+
+	// lastUseIn maps a datum to the last kernel inside the cluster that
+	// consumes it, or -1.
+	lastUseIn := func(name string) int {
+		last := -1
+		for _, ki := range a.Consumers(name) {
+			if inCluster(ki) && ki > last {
+				last = ki
+			}
+		}
+		return last
+	}
+	// usedLater reports whether the datum is consumed by a kernel of a
+	// later cluster.
+	usedLater := func(name string) bool {
+		for _, ki := range a.Consumers(name) {
+			if p.ClusterOf(ki) > c.Index {
+				return true
+			}
+		}
+		return false
+	}
+
+	seenIn := map[string]bool{}
+	for _, ki := range c.Kernels {
+		kc := KernelClass{Kernel: ki, R: map[string]int{}}
+		k := a.Kernels[ki]
+		seenHere := map[string]bool{}
+		for _, in := range k.Inputs {
+			if seenHere[in] {
+				continue // a kernel may list an operand twice
+			}
+			seenHere[in] = true
+			pk, produced := a.Producer(in)
+			external := !produced || !inCluster(pk)
+			if external && !seenIn[in] {
+				seenIn[in] = true
+				ci.ExternalIn = append(ci.ExternalIn, in)
+			}
+			// d_j attribution: the LAST in-cluster consumer owns
+			// the datum (earlier consumers share it forward).
+			if external && lastUseIn(in) == ki {
+				kc.D = append(kc.D, in)
+			}
+		}
+		for _, out := range k.Outputs {
+			persistent := a.IsFinalResult(out) || usedLater(out)
+			if persistent {
+				kc.Rout = append(kc.Rout, out)
+				ci.PersistentOut = append(ci.PersistentOut, out)
+				continue
+			}
+			last := lastUseIn(out)
+			if last >= 0 {
+				kc.R[out] = last
+				ci.Intermediates = append(ci.Intermediates, out)
+			} else {
+				// Produced, never consumed, not final: cannot
+				// happen after app validation (no consumers =>
+				// final), but keep it persistent to be safe.
+				kc.Rout = append(kc.Rout, out)
+				ci.PersistentOut = append(ci.PersistentOut, out)
+			}
+		}
+		ci.PerKernel = append(ci.PerKernel, kc)
+	}
+	return ci
+}
+
+func sumSizes(a *app.App, names []string) int {
+	sum := 0
+	for _, n := range names {
+		sum += a.SizeOf(n)
+	}
+	return sum
+}
+
+func sortedKeys(m map[int][]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

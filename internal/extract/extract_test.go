@@ -1,0 +1,195 @@
+package extract
+
+import (
+	"reflect"
+	"testing"
+
+	"cds/internal/app"
+)
+
+// testApp builds the paper's running example shape: five kernels in two
+// clusters Cl1={k1,k2} (set 0) and Cl2={k3,k4,k5} (set 1), plus a third
+// cluster on set 0 again to exercise same-set sharing.
+//
+//	in1 -> k1 -> m12 -> k2 -> r2(out to cluster 2)
+//	in1 also read by k5 (cluster 2: different set, no SharedDatum)
+//	inA read by k1 and k6 (cluster 3: same set 0 => SharedDatum)
+//	r2 read by k3 (cluster 2, set 1: cross-set, not a same-set SharedResult)
+//	rB produced by k2 (cluster 1, set 0), read by k6 (cluster 3, set 0)
+//	  => SharedResult
+func testPartition(t *testing.T) (*app.App, *app.Partition) {
+	t.Helper()
+	b := app.NewBuilder("ex", 8).
+		Datum("in1", 100).
+		Datum("inA", 50).
+		Datum("m12", 30).
+		Datum("r2", 40).
+		Datum("rB", 20).
+		Datum("m34", 10).
+		Datum("out5", 60).
+		Datum("out6", 70)
+	b.Kernel("k1", 16, 100).In("in1", "inA").Out("m12")
+	b.Kernel("k2", 16, 100).In("m12").Out("r2", "rB")
+	b.Kernel("k3", 16, 100).In("r2").Out("m34")
+	b.Kernel("k4", 16, 100).In("m34").Out()
+	b.Kernel("k5", 16, 100).In("in1").Out("out5")
+	b.Kernel("k6", 16, 100).In("inA", "rB").Out("out6")
+	a := b.MustBuild()
+	p := app.MustPartition(a, 2, 2, 3, 1)
+	return a, p
+}
+
+func TestAnalyzeClusterRoles(t *testing.T) {
+	_, p := testPartition(t)
+	info := Analyze(p)
+	if len(info.Clusters) != 3 {
+		t.Fatalf("clusters = %d, want 3", len(info.Clusters))
+	}
+
+	c0 := info.Clusters[0]
+	if !reflect.DeepEqual(c0.ExternalIn, []string{"in1", "inA"}) {
+		t.Errorf("c0 ExternalIn = %v, want [in1 inA]", c0.ExternalIn)
+	}
+	// r2 and rB persist (consumed by later clusters); m12 is an
+	// intermediate k1->k2.
+	if !reflect.DeepEqual(c0.PersistentOut, []string{"r2", "rB"}) {
+		t.Errorf("c0 PersistentOut = %v, want [r2 rB]", c0.PersistentOut)
+	}
+	if !reflect.DeepEqual(c0.Intermediates, []string{"m12"}) {
+		t.Errorf("c0 Intermediates = %v, want [m12]", c0.Intermediates)
+	}
+	// d_j attribution: k1 is the last in-cluster consumer of in1 and inA.
+	if !reflect.DeepEqual(c0.PerKernel[0].D, []string{"in1", "inA"}) {
+		t.Errorf("k1 D = %v, want [in1 inA]", c0.PerKernel[0].D)
+	}
+	if got := c0.PerKernel[0].R["m12"]; got != 1 {
+		t.Errorf("k1 R[m12] = %d, want last consumer k2 (index 1)", got)
+	}
+	if !reflect.DeepEqual(c0.PerKernel[1].Rout, []string{"r2", "rB"}) {
+		t.Errorf("k2 Rout = %v, want [r2 rB]", c0.PerKernel[1].Rout)
+	}
+
+	// Cluster 2 (set 1): r2 is an external input even though another
+	// cluster produced it.
+	c1 := info.Clusters[1]
+	if !reflect.DeepEqual(c1.ExternalIn, []string{"r2", "in1"}) {
+		t.Errorf("c1 ExternalIn = %v, want [r2 in1]", c1.ExternalIn)
+	}
+	if !reflect.DeepEqual(c1.Intermediates, []string{"m34"}) {
+		t.Errorf("c1 Intermediates = %v, want [m34]", c1.Intermediates)
+	}
+	if !reflect.DeepEqual(c1.PersistentOut, []string{"out5"}) {
+		t.Errorf("c1 PersistentOut = %v, want [out5]", c1.PersistentOut)
+	}
+}
+
+func TestAnalyzeSharedData(t *testing.T) {
+	_, p := testPartition(t)
+	info := Analyze(p)
+
+	// inA: clusters 0 and 2, both set 0 => shared datum, N=2.
+	// in1: clusters 0 (set 0) and 1 (set 1) => different sets, NOT shared.
+	if len(info.SharedData) != 1 {
+		t.Fatalf("SharedData = %+v, want exactly one entry (inA)", info.SharedData)
+	}
+	sd := info.SharedData[0]
+	if sd.Name != "inA" || sd.Set != 0 || !reflect.DeepEqual(sd.Clusters, []int{0, 2}) {
+		t.Errorf("SharedData[0] = %+v, want inA on set 0 in clusters [0 2]", sd)
+	}
+	if sd.N() != 2 {
+		t.Errorf("N = %d, want 2", sd.N())
+	}
+	if from, to := sd.Span(); from != 0 || to != 2 {
+		t.Errorf("Span = %d..%d, want 0..2", from, to)
+	}
+}
+
+func TestAnalyzeSharedResults(t *testing.T) {
+	_, p := testPartition(t)
+	info := Analyze(p)
+
+	// rB: produced cluster 0 (set 0), consumed cluster 2 (set 0) =>
+	// shared result. r2: produced cluster 0 (set 0), consumed cluster 1
+	// (set 1) => cross-set, excluded.
+	if len(info.SharedResults) != 1 {
+		t.Fatalf("SharedResults = %+v, want exactly one entry (rB)", info.SharedResults)
+	}
+	sr := info.SharedResults[0]
+	if sr.Name != "rB" || sr.Producer != 0 || !reflect.DeepEqual(sr.Consumers, []int{2}) {
+		t.Errorf("SharedResults[0] = %+v, want rB produced by 0 consumed by [2]", sr)
+	}
+	if sr.Final {
+		t.Error("rB is fully consumed: not final")
+	}
+	if from, to := sr.Span(); from != 0 || to != 2 {
+		t.Errorf("Span = %d..%d, want 0..2", from, to)
+	}
+}
+
+func TestAnalyzeFinalSharedResult(t *testing.T) {
+	// A result consumed by a later same-set cluster AND marked final
+	// must carry Final=true (its store cannot be avoided by retention).
+	b := app.NewBuilder("fin", 2).
+		Datum("in", 10)
+	b.FinalDatum("r", 20)
+	b.Datum("out", 5)
+	b.Kernel("k1", 4, 10).In("in").Out("r")
+	b.Kernel("k2", 4, 10).In("in")
+	b.Kernel("k3", 4, 10).In("r").Out("out")
+	a := b.MustBuild()
+	p := app.MustPartition(a, 2, 1, 1, 1) // k1 set0, k2 set1, k3 set0
+	info := Analyze(p)
+	if len(info.SharedResults) != 1 || !info.SharedResults[0].Final {
+		t.Fatalf("SharedResults = %+v, want one Final entry for r", info.SharedResults)
+	}
+}
+
+func TestAnalyzeTDS(t *testing.T) {
+	a, p := testPartition(t)
+	info := Analyze(p)
+	if info.TDS != a.TotalDataBytes() {
+		t.Errorf("TDS = %d, want %d", info.TDS, a.TotalDataBytes())
+	}
+}
+
+func TestDAttributionToLastConsumer(t *testing.T) {
+	// Datum consumed by two kernels of the same cluster must be charged
+	// to the later one only.
+	b := app.NewBuilder("d2", 1).
+		Datum("x", 100).
+		Datum("o1", 1).
+		Datum("o2", 1)
+	b.Kernel("k1", 4, 10).In("x").Out("o1")
+	b.Kernel("k2", 4, 10).In("x").Out("o2")
+	a := b.MustBuild()
+	p := app.MustPartition(a, 2, 2)
+	info := Analyze(p)
+	c := info.Clusters[0]
+	if len(c.PerKernel[0].D) != 0 {
+		t.Errorf("k1 D = %v, want empty (x shared with later kernel)", c.PerKernel[0].D)
+	}
+	if !reflect.DeepEqual(c.PerKernel[1].D, []string{"x"}) {
+		t.Errorf("k2 D = %v, want [x]", c.PerKernel[1].D)
+	}
+	if got := c.ExternalInBytes(a); got != 100 {
+		t.Errorf("ExternalInBytes = %d, want 100 (x counted once)", got)
+	}
+}
+
+func TestByteHelpers(t *testing.T) {
+	a, p := testPartition(t)
+	info := Analyze(p)
+	c0 := info.Clusters[0]
+	if got := c0.ExternalInBytes(a); got != 150 {
+		t.Errorf("c0 ExternalInBytes = %d, want 150", got)
+	}
+	if got := c0.PersistentOutBytes(a); got != 60 {
+		t.Errorf("c0 PersistentOutBytes = %d, want 60 (r2+rB)", got)
+	}
+	if got := c0.PerKernel[0].DBytes(a); got != 150 {
+		t.Errorf("k1 DBytes = %d, want 150", got)
+	}
+	if got := c0.PerKernel[1].RoutBytes(a); got != 60 {
+		t.Errorf("k2 RoutBytes = %d, want 60", got)
+	}
+}

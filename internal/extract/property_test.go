@@ -1,0 +1,205 @@
+package extract
+
+import (
+	"math/rand"
+	"testing"
+
+	"cds/internal/app"
+)
+
+// randomPartition generates a random valid partitioned application.
+func randomPartition(rng *rand.Rand) *app.Partition {
+	nk := 2 + rng.Intn(8)
+	b := app.NewBuilder("prop", 1+rng.Intn(6))
+	// External inputs; no more than kernels, so each gets a consumer.
+	nIn := 1 + rng.Intn(4)
+	if nIn > nk {
+		nIn = nk
+	}
+	for i := 0; i < nIn; i++ {
+		b.Datum(name("in", i), 10+rng.Intn(200))
+	}
+	for k := 0; k < nk; k++ {
+		b.Datum(name("r", k), 10+rng.Intn(200))
+	}
+	for k := 0; k < nk; k++ {
+		kb := b.Kernel(name("k", k), 8+rng.Intn(64), 50+rng.Intn(200))
+		// A guaranteed input keeps every datum attached; extra inputs
+		// are random external or earlier-result reads.
+		kb.In(name("in", k%nIn))
+		for n := 0; n < rng.Intn(3); n++ {
+			if k > 0 && rng.Intn(2) == 0 {
+				kb.In(name("r", rng.Intn(k)))
+			} else {
+				kb.In(name("in", rng.Intn(nIn)))
+			}
+		}
+		kb.Out(name("r", k))
+	}
+	a, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	// Random contiguous partition.
+	var sizes []int
+	left := nk
+	for left > 0 {
+		s := 1 + rng.Intn(left)
+		sizes = append(sizes, s)
+		left -= s
+	}
+	return app.MustPartition(a, 2, sizes...)
+}
+
+func name(prefix string, i int) string {
+	return prefix + string(rune('a'+i))
+}
+
+// TestPropertyDPartition: within each cluster, the per-kernel D lists
+// partition the cluster's external inputs — every external input appears
+// in exactly one kernel's D (its last in-cluster consumer).
+func TestPropertyDPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		p := randomPartition(rng)
+		info := Analyze(p)
+		for _, ci := range info.Clusters {
+			counts := map[string]int{}
+			for _, kc := range ci.PerKernel {
+				for _, d := range kc.D {
+					counts[d]++
+				}
+			}
+			if len(counts) != len(ci.ExternalIn) {
+				t.Fatalf("trial %d cluster %d: D covers %d data, ExternalIn has %d",
+					trial, ci.Cluster.Index, len(counts), len(ci.ExternalIn))
+			}
+			for _, in := range ci.ExternalIn {
+				if counts[in] != 1 {
+					t.Fatalf("trial %d cluster %d: %q appears %d times in D lists",
+						trial, ci.Cluster.Index, in, counts[in])
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyOutputClassification: every kernel output is exactly one of
+// persistent or intermediate within its cluster.
+func TestPropertyOutputClassification(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		p := randomPartition(rng)
+		info := Analyze(p)
+		a := p.App
+		for _, ci := range info.Clusters {
+			persistent := map[string]bool{}
+			for _, o := range ci.PersistentOut {
+				persistent[o] = true
+			}
+			intermediate := map[string]bool{}
+			for _, o := range ci.Intermediates {
+				intermediate[o] = true
+			}
+			for _, ki := range ci.Cluster.Kernels {
+				for _, out := range a.Kernels[ki].Outputs {
+					if persistent[out] == intermediate[out] {
+						t.Fatalf("trial %d: output %q classified persistent=%v intermediate=%v",
+							trial, out, persistent[out], intermediate[out])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPropertySharedSpansValid: every shared datum/result span lies within
+// cluster bounds, consumers are sorted and on the declared set, and the
+// cross-set analysis is a superset of the same-set one.
+func TestPropertySharedSpansValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		p := randomPartition(rng)
+		same := Analyze(p)
+		cross := AnalyzeWithOpts(p, Opts{CrossSetReuse: true})
+
+		for _, sd := range same.SharedData {
+			for _, c := range sd.Clusters {
+				if p.Clusters[c].Set != sd.Set {
+					t.Fatalf("trial %d: shared datum %q lists cluster %d off its set", trial, sd.Name, c)
+				}
+			}
+			from, to := sd.Span()
+			if from > to || to >= len(p.Clusters) {
+				t.Fatalf("trial %d: bad span %d..%d", trial, from, to)
+			}
+		}
+		for _, sr := range same.SharedResults {
+			for _, c := range sr.Consumers {
+				if c <= sr.Producer {
+					t.Fatalf("trial %d: result %q consumed at %d before producer %d",
+						trial, sr.Name, c, sr.Producer)
+				}
+			}
+		}
+		// Cross-set coverage dominates: every (datum, cluster) pair the
+		// same-set analysis found is also covered cross-set (entries for
+		// the two sets merge into one there, so counts may differ).
+		crossCover := map[string]map[int]bool{}
+		for _, sd := range cross.SharedData {
+			m := crossCover[sd.Name]
+			if m == nil {
+				m = map[int]bool{}
+				crossCover[sd.Name] = m
+			}
+			for _, c := range sd.Clusters {
+				m[c] = true
+			}
+		}
+		for _, sd := range same.SharedData {
+			for _, c := range sd.Clusters {
+				if !crossCover[sd.Name][c] {
+					t.Fatalf("trial %d: cross-set lost coverage of %q at cluster %d", trial, sd.Name, c)
+				}
+			}
+		}
+		crossRes := map[string]map[int]bool{}
+		for _, sr := range cross.SharedResults {
+			m := crossRes[sr.Name]
+			if m == nil {
+				m = map[int]bool{}
+				crossRes[sr.Name] = m
+			}
+			for _, c := range sr.Consumers {
+				m[c] = true
+			}
+		}
+		for _, sr := range same.SharedResults {
+			for _, c := range sr.Consumers {
+				if !crossRes[sr.Name][c] {
+					t.Fatalf("trial %d: cross-set lost result coverage of %q at cluster %d", trial, sr.Name, c)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyExternalInBytes: the sum of per-kernel D bytes equals the
+// cluster's external input bytes.
+func TestPropertyExternalInBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 100; trial++ {
+		p := randomPartition(rng)
+		info := Analyze(p)
+		for _, ci := range info.Clusters {
+			sum := 0
+			for _, kc := range ci.PerKernel {
+				sum += kc.DBytes(p.App)
+			}
+			if sum != ci.ExternalInBytes(p.App) {
+				t.Fatalf("trial %d: D bytes %d != ExternalIn bytes %d",
+					trial, sum, ci.ExternalInBytes(p.App))
+			}
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package kernels
+
+import (
+	"testing"
+
+	"cds/internal/rcarray"
+)
+
+// BenchmarkKernels measures each library kernel's functional execution on
+// the 8x8 array.
+func BenchmarkKernels(b *testing.B) {
+	for _, name := range []string{"vecadd", "fir4", "sad8", "dct8", "maxpool8"} {
+		name := name
+		k := Library()[name]
+		b.Run(name, func(b *testing.B) {
+			a := rcarray.M1Array()
+			in := make([]int16, k.InWords)
+			for i := range in {
+				in[i] = int16(i % 120)
+			}
+			if err := a.LoadFB(0, in); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := k.Run(a, 0, k.InWords); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

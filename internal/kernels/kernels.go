@@ -1,0 +1,430 @@
+// Package kernels is the kernel library of the compilation framework: the
+// macro-tasks applications are written in terms of. Each library kernel
+// carries two faces:
+//
+//   - scheduling metadata (context words, per-iteration compute cycles,
+//     input/output data sizes) consumed by the information extractor and
+//     the schedulers, and
+//   - a functional implementation as RC-array context programs, runnable
+//     on internal/rcarray and verified against pure-Go references.
+//
+// The mapping of computation to the array is done once per kernel, exactly
+// as the paper describes ("the kernel programming is equivalent to
+// specifying the mapping of computation to the target architecture, and is
+// done only once").
+package kernels
+
+import (
+	"fmt"
+
+	"cds/internal/rcarray"
+)
+
+// Kernel is one library entry.
+type Kernel struct {
+	// Name identifies the kernel in applications and reports.
+	Name string
+	// Description says what the kernel computes.
+	Description string
+	// InWords and OutWords are the 16-bit data words consumed and
+	// produced per invocation (per 8x8 block / 64-element stripe).
+	InWords, OutWords int
+	// Program builds the context-step program given the FB word offsets
+	// of the kernel's input(s) and output.
+	Program func(inBase, outBase int) []rcarray.Step
+	// Reference computes the same function in pure Go for verification.
+	Reference func(in []int16) []int16
+}
+
+// ContextWords returns the kernel's context volume in 32-bit words: one
+// context word per broadcast lane per step (M1 loads a full row/column
+// context plane per step).
+func (k *Kernel) ContextWords() int {
+	steps := k.Program(0, k.InWords)
+	words := 0
+	for _, st := range steps {
+		words += len(st.Ctx)
+	}
+	return words
+}
+
+// ComputeCycles estimates the kernel's per-invocation execution time: one
+// cycle per array step (the array is fully pipelined at the step level).
+func (k *Kernel) ComputeCycles() int {
+	return len(k.Program(0, k.InWords))
+}
+
+// Run executes the kernel on the array: input must already be in the FB at
+// inBase; the result appears at outBase. It returns the output words.
+func (k *Kernel) Run(a *rcarray.Array, inBase, outBase int) ([]int16, error) {
+	if err := a.Execute(k.Program(inBase, outBase)); err != nil {
+		return nil, fmt.Errorf("kernels: %s: %w", k.Name, err)
+	}
+	return a.ReadFB(outBase, k.OutWords)
+}
+
+// Library returns the built-in kernels, keyed by name.
+func Library() map[string]*Kernel {
+	ks := []*Kernel{
+		VecAdd(),
+		Scale(3, 1),
+		Threshold(100),
+		FIR4([4]int16{1, 2, 2, 1}),
+		SAD8(),
+		DCT8(),
+		MaxPool8(),
+		AbsDiff(),
+	}
+	m := make(map[string]*Kernel, len(ks))
+	for _, k := range ks {
+		m[k.Name] = k
+	}
+	return m
+}
+
+// broadcast returns eight copies of one context (a full row/col plane).
+func broadcast(c rcarray.Context) []rcarray.Context {
+	ctxs := make([]rcarray.Context, 8)
+	for i := range ctxs {
+		ctxs[i] = c
+	}
+	return ctxs
+}
+
+// VecAdd adds two 64-element vectors laid out back to back:
+// out[i] = in[i] + in[64+i].
+func VecAdd() *Kernel {
+	return &Kernel{
+		Name:        "vecadd",
+		Description: "64-element vector addition",
+		InWords:     128,
+		OutWords:    64,
+		Program: func(inBase, outBase int) []rcarray.Step {
+			return []rcarray.Step{
+				{Mode: rcarray.RowMode, FBLoadBase: inBase,
+					Ctx: broadcast(rcarray.Context{Op: rcarray.OpPass, A: rcarray.SrcFB, Dest: 0})},
+				{Mode: rcarray.RowMode, FBLoadBase: inBase + 64, FBStoreBase: outBase,
+					Ctx: broadcast(rcarray.Context{Op: rcarray.OpAdd, A: rcarray.SrcReg0, B: rcarray.SrcFB, Dest: 1, WriteFB: true})},
+			}
+		},
+		Reference: func(in []int16) []int16 {
+			out := make([]int16, 64)
+			for i := range out {
+				out[i] = in[i] + in[64+i]
+			}
+			return out
+		},
+	}
+}
+
+// Scale multiplies each of 64 elements by q and arithmetic-shifts right by
+// sh — the quantization step of image codecs.
+func Scale(q int16, sh int16) *Kernel {
+	return &Kernel{
+		Name:        "scale",
+		Description: fmt.Sprintf("per-element multiply by %d, >> %d (quantization)", q, sh),
+		InWords:     64,
+		OutWords:    64,
+		Program: func(inBase, outBase int) []rcarray.Step {
+			return []rcarray.Step{
+				{Mode: rcarray.RowMode, FBLoadBase: inBase,
+					Ctx: broadcast(rcarray.Context{Op: rcarray.OpMul, A: rcarray.SrcFB, B: rcarray.SrcImm, Imm: q, Dest: 0})},
+				{Mode: rcarray.RowMode, FBStoreBase: outBase,
+					Ctx: broadcast(rcarray.Context{Op: rcarray.OpShr, A: rcarray.SrcReg0, B: rcarray.SrcImm, Imm: sh, Dest: 1, WriteFB: true})},
+			}
+		},
+		Reference: func(in []int16) []int16 {
+			out := make([]int16, 64)
+			for i := range out {
+				out[i] = (in[i] * q) >> uint16(sh)
+			}
+			return out
+		},
+	}
+}
+
+// Threshold produces 1 where in[i] > t, else 0 — the detection step of
+// automatic target recognition pipelines.
+func Threshold(t int16) *Kernel {
+	return &Kernel{
+		Name:        "threshold",
+		Description: fmt.Sprintf("binary threshold at %d", t),
+		InWords:     64,
+		OutWords:    64,
+		Program: func(inBase, outBase int) []rcarray.Step {
+			return []rcarray.Step{
+				// r0 = in - t  (positive iff in > t, since > is strict
+				// we subtract t and test sign of (in - t - ... )):
+				// in > t  <=>  in - t >= 1  <=>  (in - t - 1) >= 0.
+				{Mode: rcarray.RowMode, FBLoadBase: inBase,
+					Ctx: broadcast(rcarray.Context{Op: rcarray.OpSub, A: rcarray.SrcFB, B: rcarray.SrcImm, Imm: t + 1, Dest: 0})},
+				// r1 = r0 >> 15: 0 for non-negative, -1 for negative.
+				{Mode: rcarray.RowMode,
+					Ctx: broadcast(rcarray.Context{Op: rcarray.OpShr, A: rcarray.SrcReg0, B: rcarray.SrcImm, Imm: 15, Dest: 1})},
+				// out = (r1 + 1): 1 when in > t, 0 otherwise.
+				{Mode: rcarray.RowMode, FBStoreBase: outBase,
+					Ctx: broadcast(rcarray.Context{Op: rcarray.OpAdd, A: rcarray.SrcReg1, B: rcarray.SrcImm, Imm: 1, Dest: 2, WriteFB: true})},
+			}
+		},
+		Reference: func(in []int16) []int16 {
+			out := make([]int16, 64)
+			for i := range out {
+				if in[i] > t {
+					out[i] = 1
+				}
+			}
+			return out
+		},
+	}
+}
+
+// FIR4 computes a 4-tap circular FIR over each 8-element row:
+// out[r][c] = sum_k h[k] * in[r][(c-k) mod 8]. The torus interconnect of
+// the array makes the convolution circular per row.
+func FIR4(h [4]int16) *Kernel {
+	return &Kernel{
+		Name:        "fir4",
+		Description: "4-tap circular FIR per 8-element row",
+		InWords:     64,
+		OutWords:    64,
+		Program: func(inBase, outBase int) []rcarray.Step {
+			steps := []rcarray.Step{
+				// r0 = x (current sample), r1 = accumulator seed h0*x.
+				{Mode: rcarray.RowMode, FBLoadBase: inBase,
+					Ctx: broadcast(rcarray.Context{Op: rcarray.OpPass, A: rcarray.SrcFB, Dest: 0})},
+				{Mode: rcarray.RowMode,
+					Ctx: broadcast(rcarray.Context{Op: rcarray.OpMul, A: rcarray.SrcReg0, B: rcarray.SrcImm, Imm: h[0], Dest: 1})},
+			}
+			for k := 1; k < 4; k++ {
+				steps = append(steps,
+					// Re-expose the sample on the output register
+					// (the previous MUL/MAC left the sum there) so
+					// the rotation shifts samples, not sums.
+					rcarray.Step{Mode: rcarray.RowMode,
+						Ctx: broadcast(rcarray.Context{Op: rcarray.OpPass, A: rcarray.SrcReg0, Dest: 0})},
+					// Rotate samples east: r0 = west.out.
+					rcarray.Step{Mode: rcarray.RowMode,
+						Ctx: broadcast(rcarray.Context{Op: rcarray.OpPass, A: rcarray.SrcWest, Dest: 0})},
+					// r1 += h[k] * r0.
+					rcarray.Step{Mode: rcarray.RowMode,
+						Ctx: broadcast(rcarray.Context{Op: rcarray.OpMac, A: rcarray.SrcReg0, B: rcarray.SrcImm, Imm: h[k], Dest: 1})},
+				)
+			}
+			steps = append(steps, rcarray.Step{Mode: rcarray.RowMode, FBStoreBase: outBase,
+				Ctx: broadcast(rcarray.Context{Op: rcarray.OpPass, A: rcarray.SrcReg1, Dest: 2, WriteFB: true})})
+			return steps
+		},
+		Reference: func(in []int16) []int16 {
+			out := make([]int16, 64)
+			for r := 0; r < 8; r++ {
+				for c := 0; c < 8; c++ {
+					var acc int16
+					for k := 0; k < 4; k++ {
+						acc += h[k] * in[r*8+(c-k+8)%8]
+					}
+					out[r*8+c] = acc
+				}
+			}
+			return out
+		},
+	}
+}
+
+// SAD8 computes the per-row sum of absolute differences of two 64-element
+// blocks laid out back to back. Row r's SAD lands at out[r*8] (column 0),
+// the layout the motion-estimation pipeline consumes.
+func SAD8() *Kernel {
+	return &Kernel{
+		Name:        "sad8",
+		Description: "per-row sum of absolute differences of two 8x8 blocks",
+		InWords:     128,
+		OutWords:    57, // last value at word 56 (row 7, column 0)
+		Program: func(inBase, outBase int) []rcarray.Step {
+			col0 := func(c rcarray.Context) []rcarray.Context {
+				// Only column 0 works; other columns idle.
+				return []rcarray.Context{c}
+			}
+			// Zero the accumulator: the array may carry state from a
+			// previous kernel.
+			steps := []rcarray.Step{{Mode: rcarray.ColMode,
+				Ctx: col0(rcarray.Context{Op: rcarray.OpPass, A: rcarray.SrcImm, Imm: 0, Dest: 1})}}
+			for j := 0; j < 8; j++ {
+				steps = append(steps,
+					// r2 = a[r][j]: cell (r,0) reads FB[inBase+j + r*8].
+					rcarray.Step{Mode: rcarray.ColMode, FBLoadBase: inBase + j,
+						Ctx: col0(rcarray.Context{Op: rcarray.OpPass, A: rcarray.SrcFB, Dest: 2})},
+					// r3 = |r2 - b[r][j]|.
+					rcarray.Step{Mode: rcarray.ColMode, FBLoadBase: inBase + 64 + j,
+						Ctx: col0(rcarray.Context{Op: rcarray.OpAbsd, A: rcarray.SrcReg2, B: rcarray.SrcFB, Dest: 3})},
+					// r1 += r3 * 1.
+					rcarray.Step{Mode: rcarray.ColMode,
+						Ctx: col0(rcarray.Context{Op: rcarray.OpMac, A: rcarray.SrcReg3, B: rcarray.SrcImm, Imm: 1, Dest: 1})},
+				)
+			}
+			steps = append(steps, rcarray.Step{Mode: rcarray.ColMode, FBStoreBase: outBase,
+				Ctx: col0(rcarray.Context{Op: rcarray.OpPass, A: rcarray.SrcReg1, Dest: 1, WriteFB: true})})
+			return steps
+		},
+		Reference: func(in []int16) []int16 {
+			out := make([]int16, 57)
+			for r := 0; r < 8; r++ {
+				var acc int16
+				for j := 0; j < 8; j++ {
+					d := in[r*8+j] - in[64+r*8+j]
+					if d < 0 {
+						d = -d
+					}
+					acc += d
+				}
+				out[r*8] = acc
+			}
+			return out
+		},
+	}
+}
+
+// dctMatrix is an 8x8 integer approximation of the DCT-II basis (scaled by
+// 32), the kind of fixed-point matrix hardware DCTs use.
+var dctMatrix = [8][8]int16{
+	{23, 23, 23, 23, 23, 23, 23, 23},
+	{32, 27, 18, 6, -6, -18, -27, -32},
+	{30, 12, -12, -30, -30, -12, 12, 30},
+	{27, -6, -32, -18, 18, 32, 6, -27},
+	{23, -23, -23, 23, 23, -23, -23, 23},
+	{18, -32, 6, 27, -27, -6, 32, -18},
+	{12, -30, 30, -12, -12, 30, -30, 12},
+	{6, -18, 27, -32, 32, -27, 18, -6},
+}
+
+// DCT8 computes an 8-point one-dimensional integer DCT on each row of an
+// 8x8 block: out[r][k] = sum_j dctMatrix[k][j] * in[r][j]. The systolic
+// schedule rotates samples eastward and MACs each against the coefficient
+// the destination column needs.
+func DCT8() *Kernel {
+	return &Kernel{
+		Name:        "dct8",
+		Description: "8-point 1-D integer DCT per row (systolic matvec)",
+		InWords:     64,
+		OutWords:    64,
+		Program: func(inBase, outBase int) []rcarray.Step {
+			steps := []rcarray.Step{
+				// Zero the accumulator (the array may carry state).
+				{Mode: rcarray.RowMode,
+					Ctx: broadcast(rcarray.Context{Op: rcarray.OpPass, A: rcarray.SrcImm, Imm: 0, Dest: 1})},
+				// r0 = x_c; the output register tracks it for shifting.
+				{Mode: rcarray.RowMode, FBLoadBase: inBase,
+					Ctx: broadcast(rcarray.Context{Op: rcarray.OpPass, A: rcarray.SrcFB, Dest: 0})},
+			}
+			for t := 0; t < 8; t++ {
+				// After t rotations, column k holds x_{(k-t) mod 8}:
+				// MAC with coefficient dctMatrix[k][(k-t) mod 8].
+				ctx := make([]rcarray.Context, 8)
+				for k := 0; k < 8; k++ {
+					j := ((k-t)%8 + 8) % 8
+					ctx[k] = rcarray.Context{Op: rcarray.OpMac, A: rcarray.SrcReg0, B: rcarray.SrcImm,
+						Imm: dctMatrix[k][j], Dest: 1}
+				}
+				steps = append(steps, rcarray.Step{Mode: rcarray.ColMode, Ctx: ctx})
+				if t < 7 {
+					steps = append(steps,
+						// Re-expose the sample, then rotate east.
+						rcarray.Step{Mode: rcarray.RowMode,
+							Ctx: broadcast(rcarray.Context{Op: rcarray.OpPass, A: rcarray.SrcReg0, Dest: 0})},
+						rcarray.Step{Mode: rcarray.RowMode,
+							Ctx: broadcast(rcarray.Context{Op: rcarray.OpPass, A: rcarray.SrcWest, Dest: 0})},
+					)
+				}
+			}
+			steps = append(steps, rcarray.Step{Mode: rcarray.RowMode, FBStoreBase: outBase,
+				Ctx: broadcast(rcarray.Context{Op: rcarray.OpPass, A: rcarray.SrcReg1, Dest: 2, WriteFB: true})})
+			return steps
+		},
+		Reference: func(in []int16) []int16 {
+			out := make([]int16, 64)
+			for r := 0; r < 8; r++ {
+				for k := 0; k < 8; k++ {
+					var acc int16
+					for j := 0; j < 8; j++ {
+						acc += dctMatrix[k][j] * in[r*8+j]
+					}
+					out[r*8+k] = acc
+				}
+			}
+			return out
+		},
+	}
+}
+
+// MaxPool8 reduces each 8-element row to its maximum — the peak-detection
+// step of the ATR pipelines. Row r's maximum lands at out[r*8] (column 0),
+// like SAD8's layout.
+func MaxPool8() *Kernel {
+	return &Kernel{
+		Name:        "maxpool8",
+		Description: "per-row maximum of an 8x8 block (peak detection)",
+		InWords:     64,
+		OutWords:    57,
+		Program: func(inBase, outBase int) []rcarray.Step {
+			col0 := func(c rcarray.Context) []rcarray.Context {
+				return []rcarray.Context{c}
+			}
+			// Seed the running maximum with the row's first element.
+			steps := []rcarray.Step{{Mode: rcarray.ColMode, FBLoadBase: inBase,
+				Ctx: col0(rcarray.Context{Op: rcarray.OpPass, A: rcarray.SrcFB, Dest: 1})}}
+			for j := 1; j < 8; j++ {
+				steps = append(steps,
+					rcarray.Step{Mode: rcarray.ColMode, FBLoadBase: inBase + j,
+						Ctx: col0(rcarray.Context{Op: rcarray.OpPass, A: rcarray.SrcFB, Dest: 2})},
+					rcarray.Step{Mode: rcarray.ColMode,
+						Ctx: col0(rcarray.Context{Op: rcarray.OpMax, A: rcarray.SrcReg1, B: rcarray.SrcReg2, Dest: 1})},
+				)
+			}
+			steps = append(steps, rcarray.Step{Mode: rcarray.ColMode, FBStoreBase: outBase,
+				Ctx: col0(rcarray.Context{Op: rcarray.OpPass, A: rcarray.SrcReg1, Dest: 1, WriteFB: true})})
+			return steps
+		},
+		Reference: func(in []int16) []int16 {
+			out := make([]int16, 57)
+			for r := 0; r < 8; r++ {
+				max := in[r*8]
+				for j := 1; j < 8; j++ {
+					if in[r*8+j] > max {
+						max = in[r*8+j]
+					}
+				}
+				out[r*8] = max
+			}
+			return out
+		},
+	}
+}
+
+// AbsDiff computes the elementwise absolute difference of two 64-element
+// blocks laid out back to back — the residual step of motion compensation.
+func AbsDiff() *Kernel {
+	return &Kernel{
+		Name:        "absdiff",
+		Description: "elementwise |a-b| of two 8x8 blocks",
+		InWords:     128,
+		OutWords:    64,
+		Program: func(inBase, outBase int) []rcarray.Step {
+			return []rcarray.Step{
+				{Mode: rcarray.RowMode, FBLoadBase: inBase,
+					Ctx: broadcast(rcarray.Context{Op: rcarray.OpPass, A: rcarray.SrcFB, Dest: 0})},
+				{Mode: rcarray.RowMode, FBLoadBase: inBase + 64, FBStoreBase: outBase,
+					Ctx: broadcast(rcarray.Context{Op: rcarray.OpAbsd, A: rcarray.SrcReg0, B: rcarray.SrcFB, Dest: 1, WriteFB: true})},
+			}
+		},
+		Reference: func(in []int16) []int16 {
+			out := make([]int16, 64)
+			for i := range out {
+				d := in[i] - in[64+i]
+				if d < 0 {
+					d = -d
+				}
+				out[i] = d
+			}
+			return out
+		},
+	}
+}

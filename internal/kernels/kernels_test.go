@@ -1,0 +1,218 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+
+	"cds/internal/rcarray"
+)
+
+// runKernel loads random input, runs the kernel on a fresh M1 array with
+// dirty register state, and compares against the reference.
+func runKernel(t *testing.T, k *Kernel, rng *rand.Rand) {
+	t.Helper()
+	a := rcarray.M1Array()
+	// Dirty the register file: kernels must not depend on zeroed state.
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			for d := uint8(0); d < 4; d++ {
+				a.SetReg(r, c, d, int16(rng.Intn(1<<12)-1<<11))
+			}
+		}
+	}
+	in := make([]int16, k.InWords)
+	for i := range in {
+		in[i] = int16(rng.Intn(256) - 128)
+	}
+	if err := a.LoadFB(0, in); err != nil {
+		t.Fatal(err)
+	}
+	outBase := k.InWords
+	got, err := k.Run(a, 0, outBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := k.Reference(in)
+	if len(got) != len(want) {
+		t.Fatalf("%s: output length %d, want %d", k.Name, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: out[%d] = %d, want %d (input %v...)", k.Name, i, got[i], want[i], in[:8])
+		}
+	}
+}
+
+func TestKernelsMatchReferences(t *testing.T) {
+	for name, k := range Library() {
+		k := k
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			for trial := 0; trial < 20; trial++ {
+				runKernel(t, k, rng)
+			}
+		})
+	}
+}
+
+func TestSAD8KnownValue(t *testing.T) {
+	k := SAD8()
+	in := make([]int16, 128)
+	for i := 0; i < 64; i++ {
+		in[i] = int16(i)        // a
+		in[64+i] = int16(2 * i) // b: |a-b| = i
+	}
+	want := k.Reference(in)
+	// Row r: sum_{j} (r*8+j) = 8*8r + 28.
+	for r := 0; r < 8; r++ {
+		if want[r*8] != int16(64*r+28) {
+			t.Fatalf("reference row %d = %d, want %d", r, want[r*8], 64*r+28)
+		}
+	}
+	a := rcarray.M1Array()
+	if err := a.LoadFB(0, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.Run(a, 0, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 8; r++ {
+		if got[r*8] != want[r*8] {
+			t.Fatalf("SAD row %d = %d, want %d", r, got[r*8], want[r*8])
+		}
+	}
+}
+
+func TestDCT8ConstantInput(t *testing.T) {
+	// A constant row has energy only in the DC coefficient.
+	k := DCT8()
+	in := make([]int16, 64)
+	for i := range in {
+		in[i] = 10
+	}
+	a := rcarray.M1Array()
+	if err := a.LoadFB(0, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.Run(a, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 8; r++ {
+		if got[r*8] != 8*23*10 {
+			t.Errorf("row %d DC = %d, want %d", r, got[r*8], 8*23*10)
+		}
+		for c := 1; c < 8; c++ {
+			if got[r*8+c] != 0 {
+				t.Errorf("row %d AC[%d] = %d, want 0", r, c, got[r*8+c])
+			}
+		}
+	}
+}
+
+func TestThresholdEdges(t *testing.T) {
+	k := Threshold(5)
+	in := make([]int16, 64)
+	in[0], in[1], in[2], in[3] = 5, 6, -100, 32000
+	want := k.Reference(in)
+	if want[0] != 0 || want[1] != 1 || want[2] != 0 || want[3] != 1 {
+		t.Fatalf("reference wrong at edges: %v", want[:4])
+	}
+	a := rcarray.M1Array()
+	if err := a.LoadFB(0, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.Run(a, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if got[i] != want[i] {
+			t.Errorf("threshold[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMetadataPositive(t *testing.T) {
+	for name, k := range Library() {
+		if k.ContextWords() <= 0 {
+			t.Errorf("%s: non-positive context words", name)
+		}
+		if k.ComputeCycles() <= 0 {
+			t.Errorf("%s: non-positive compute cycles", name)
+		}
+		if k.InWords <= 0 || k.OutWords <= 0 {
+			t.Errorf("%s: non-positive data sizes", name)
+		}
+		if k.Description == "" {
+			t.Errorf("%s: missing description", name)
+		}
+	}
+}
+
+func TestLibraryNamesUnique(t *testing.T) {
+	lib := Library()
+	if len(lib) != 8 {
+		t.Errorf("library has %d kernels, want 8", len(lib))
+	}
+	for name, k := range lib {
+		if k.Name != name {
+			t.Errorf("library key %q maps to kernel named %q", name, k.Name)
+		}
+	}
+}
+
+func TestRunErrorsOnBadBase(t *testing.T) {
+	k := VecAdd()
+	a := rcarray.New(8, 8, 100) // too small for out at 128
+	if _, err := k.Run(a, 0, 90); err == nil {
+		t.Error("Run with out-of-range output base should fail")
+	}
+}
+
+func TestMaxPool8KnownValues(t *testing.T) {
+	k := MaxPool8()
+	in := make([]int16, 64)
+	for r := 0; r < 8; r++ {
+		for j := 0; j < 8; j++ {
+			in[r*8+j] = int16(-50 + j)
+		}
+		in[r*8+(r%8)] = int16(100 + r) // plant a peak per row
+	}
+	a := rcarray.M1Array()
+	if err := a.LoadFB(0, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.Run(a, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 8; r++ {
+		if got[r*8] != int16(100+r) {
+			t.Errorf("row %d max = %d, want %d", r, got[r*8], 100+r)
+		}
+	}
+}
+
+func TestAbsDiffIdentityIsZero(t *testing.T) {
+	k := AbsDiff()
+	in := make([]int16, 128)
+	for i := 0; i < 64; i++ {
+		in[i] = int16(i * 3)
+		in[64+i] = int16(i * 3)
+	}
+	a := rcarray.M1Array()
+	if err := a.LoadFB(0, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.Run(a, 0, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("|x-x|[%d] = %d, want 0", i, v)
+		}
+	}
+}

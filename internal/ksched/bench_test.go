@@ -1,0 +1,26 @@
+package ksched
+
+import (
+	"fmt"
+	"testing"
+
+	"cds/internal/core"
+)
+
+// BenchmarkExplore measures design-space exploration cost as the kernel
+// count (and hence the 2^(n-1) candidate space) grows.
+func BenchmarkExplore(b *testing.B) {
+	for _, n := range []int{4, 6, 8, 10} {
+		n := n
+		b.Run(fmt.Sprintf("kernels=%d", n), func(b *testing.B) {
+			a := chain(n, 4, 80, 32, 200)
+			pa := testArch(4096, 128)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Explore(pa, a, Options{Scheduler: core.DataScheduler{}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

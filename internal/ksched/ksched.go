@@ -1,0 +1,258 @@
+// Package ksched is the kernel scheduler of the MorphoSys compilation
+// framework (Maestre et al., DATE'99/ICCD'00): it explores the design
+// space of cluster decompositions of a kernel sequence and picks the one
+// that minimizes the estimated overall execution time.
+//
+// A decomposition assigns consecutive kernels to clusters; clusters
+// alternate Frame Buffer sets. The estimator runs a data scheduler and the
+// timing simulator on each candidate, so the kernel scheduler and the data
+// scheduler cooperate exactly as in the paper's framework (the kernel
+// scheduler "estimates the execution time through tentative context and
+// data schedules").
+package ksched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"cds/internal/app"
+	"cds/internal/arch"
+	"cds/internal/core"
+	"cds/internal/sim"
+)
+
+// Options tunes the exploration.
+type Options struct {
+	// Scheduler estimates each candidate's execution time; nil means
+	// core.DataScheduler{} (the tentative data schedule of the paper).
+	Scheduler core.Scheduler
+	// MaxKernelsPerCluster bounds cluster size (0 = unbounded).
+	MaxKernelsPerCluster int
+	// MaxClusters bounds the cluster count (0 = unbounded).
+	MaxClusters int
+	// ExhaustiveLimit is the largest kernel count explored exhaustively
+	// (2^(n-1) candidates); beyond it a greedy merge heuristic runs.
+	// 0 means the default of 16.
+	ExhaustiveLimit int
+	// NumSets is the number of FB sets to alternate over (0 means the
+	// architecture's FBSets).
+	NumSets int
+	// Parallel evaluates candidates on this many goroutines when the
+	// exhaustive path runs (0 or 1 = sequential). The result is
+	// identical either way: reduction happens in enumeration order.
+	Parallel int
+}
+
+// Result is the outcome of the exploration.
+type Result struct {
+	// Best is the winning partition.
+	Best *app.Partition
+	// Sizes is the winning cluster-size vector.
+	Sizes []int
+	// Cycles is the estimated execution time of the winner.
+	Cycles int
+	// Explored counts candidate partitions whose schedules were
+	// simulated; Infeasible counts candidates rejected by the data
+	// scheduler (cluster does not fit the FB).
+	Explored, Infeasible int
+}
+
+// evaluation is one candidate's outcome.
+type evaluation struct {
+	sizes      []int
+	part       *app.Partition
+	cycles     int
+	infeasible bool
+	skipped    bool
+	err        error
+}
+
+// Explore searches cluster decompositions of the application and returns
+// the fastest feasible one.
+func Explore(pa arch.Params, a *app.App, opts Options) (*Result, error) {
+	if a == nil || a.NumKernels() == 0 {
+		return nil, fmt.Errorf("ksched: empty application")
+	}
+	sched := opts.Scheduler
+	if sched == nil {
+		sched = core.DataScheduler{}
+	}
+	numSets := opts.NumSets
+	if numSets == 0 {
+		numSets = pa.FBSets
+	}
+	limit := opts.ExhaustiveLimit
+	if limit == 0 {
+		limit = 16
+	}
+
+	evaluate := func(sizes []int) evaluation {
+		ev := evaluation{sizes: append([]int(nil), sizes...)}
+		if opts.MaxClusters > 0 && len(sizes) > opts.MaxClusters {
+			ev.skipped = true
+			return ev
+		}
+		part, err := app.NewPartition(a, numSets, sizes...)
+		if err != nil {
+			ev.err = err
+			return ev
+		}
+		s, err := sched.Schedule(pa, part)
+		if err != nil {
+			var ie *core.InfeasibleError
+			if errors.As(err, &ie) {
+				ev.infeasible = true
+				return ev
+			}
+			ev.err = err
+			return ev
+		}
+		r, err := sim.Run(s)
+		if err != nil {
+			ev.err = err
+			return ev
+		}
+		ev.part = part
+		ev.cycles = r.TotalCycles
+		return ev
+	}
+
+	res := &Result{Cycles: math.MaxInt}
+	record := func(ev evaluation) error {
+		switch {
+		case ev.err != nil:
+			return ev.err
+		case ev.skipped:
+		case ev.infeasible:
+			res.Infeasible++
+		default:
+			res.Explored++
+			if ev.cycles < res.Cycles {
+				res.Cycles = ev.cycles
+				res.Best = ev.part
+				res.Sizes = ev.sizes
+			}
+		}
+		return nil
+	}
+	try := func(sizes []int) error { return record(evaluate(sizes)) }
+
+	n := a.NumKernels()
+	switch {
+	case n <= limit && opts.Parallel > 1:
+		if err := exploreParallel(n, opts, evaluate, record); err != nil {
+			return nil, err
+		}
+	case n <= limit:
+		if err := enumerate(n, opts.MaxKernelsPerCluster, try); err != nil {
+			return nil, err
+		}
+	default:
+		if err := greedy(n, opts.MaxKernelsPerCluster, try); err != nil {
+			return nil, err
+		}
+	}
+	if res.Best == nil {
+		return nil, fmt.Errorf("ksched: no feasible cluster decomposition for %q on %s", a.Name, pa.Name)
+	}
+	return res, nil
+}
+
+// exploreParallel enumerates all compositions up front, evaluates them on
+// a bounded worker pool, and reduces in enumeration order so tie-breaking
+// matches the sequential path exactly.
+func exploreParallel(n int, opts Options, evaluate func([]int) evaluation, record func(evaluation) error) error {
+	var cands [][]int
+	if err := enumerate(n, opts.MaxKernelsPerCluster, func(sizes []int) error {
+		cands = append(cands, append([]int(nil), sizes...))
+		return nil
+	}); err != nil {
+		return err
+	}
+	results := make([]evaluation, len(cands))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opts.Parallel)
+	for i := range cands {
+		i := i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = evaluate(cands[i])
+		}()
+	}
+	wg.Wait()
+	for _, ev := range results {
+		if err := record(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// enumerate visits every composition of n into positive parts (cut or not
+// after each kernel), optionally bounded by maxPart.
+func enumerate(n, maxPart int, try func([]int) error) error {
+	sizes := make([]int, 0, n)
+	var rec func(remaining int) error
+	rec = func(remaining int) error {
+		if remaining == 0 {
+			return try(sizes)
+		}
+		max := remaining
+		if maxPart > 0 && maxPart < max {
+			max = maxPart
+		}
+		for take := 1; take <= max; take++ {
+			sizes = append(sizes, take)
+			if err := rec(remaining - take); err != nil {
+				return err
+			}
+			sizes = sizes[:len(sizes)-1]
+		}
+		return nil
+	}
+	return rec(n)
+}
+
+// greedy starts from singleton clusters and repeatedly merges the adjacent
+// pair that most reduces the estimated time, re-evaluating through try
+// (which records the best candidate seen).
+func greedy(n, maxPart int, try func([]int) error) error {
+	sizes := make([]int, n)
+	for i := range sizes {
+		sizes[i] = 1
+	}
+	if err := try(sizes); err != nil {
+		return err
+	}
+	for len(sizes) > 1 {
+		merged := false
+		for i := 0; i+1 < len(sizes); i++ {
+			if maxPart > 0 && sizes[i]+sizes[i+1] > maxPart {
+				continue
+			}
+			cand := make([]int, 0, len(sizes)-1)
+			cand = append(cand, sizes[:i]...)
+			cand = append(cand, sizes[i]+sizes[i+1])
+			cand = append(cand, sizes[i+2:]...)
+			if err := try(cand); err != nil {
+				return err
+			}
+			// Merge unconditionally left-to-right once per round;
+			// try() keeps the global best so the walk only needs
+			// to cover the neighborhood.
+			if !merged {
+				sizes = cand
+				merged = true
+			}
+		}
+		if !merged {
+			break
+		}
+	}
+	return nil
+}

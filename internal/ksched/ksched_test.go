@@ -1,0 +1,241 @@
+package ksched
+
+import (
+	"testing"
+
+	"cds/internal/app"
+	"cds/internal/arch"
+	"cds/internal/core"
+	"cds/internal/sim"
+)
+
+// chain builds an n-kernel pipeline with one external input, intermediates
+// between stages, and one final output.
+func chain(n, iterations, dataSize, ctxWords, cycles int) *app.App {
+	b := app.NewBuilder("chain", iterations)
+	b.Datum("d0", dataSize)
+	for i := 1; i <= n; i++ {
+		b.Datum(dname(i), dataSize)
+	}
+	for i := 0; i < n; i++ {
+		b.Kernel(kname(i), ctxWords, cycles).In(dname(i)).Out(dname(i + 1))
+	}
+	return b.MustBuild()
+}
+
+func dname(i int) string { return "d" + string(rune('0'+i)) }
+func kname(i int) string { return "k" + string(rune('0'+i)) }
+
+func testArch(fb, cm int) arch.Params {
+	p := arch.M1()
+	p.FBSetBytes = fb
+	p.CMWords = cm
+	return p
+}
+
+func TestExploreFindsFeasiblePartition(t *testing.T) {
+	a := chain(4, 8, 100, 32, 500)
+	pa := testArch(1024, 64)
+	res, err := Explore(pa, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || len(res.Sizes) == 0 {
+		t.Fatal("no winner returned")
+	}
+	if res.Explored == 0 {
+		t.Error("nothing explored")
+	}
+	// The winner must validate and cover the app.
+	if err := res.Best.Validate(); err != nil {
+		t.Errorf("winning partition invalid: %v", err)
+	}
+	total := 0
+	for _, s := range res.Sizes {
+		total += s
+	}
+	if total != 4 {
+		t.Errorf("sizes %v cover %d kernels, want 4", res.Sizes, total)
+	}
+}
+
+func TestExploreBeatsWorstPartition(t *testing.T) {
+	a := chain(6, 8, 120, 32, 400)
+	pa := testArch(2048, 64)
+	res, err := Explore(pa, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The exhaustive winner must be at least as fast as the two
+	// extremes: all-singleton and one-big-cluster.
+	for _, sizes := range [][]int{{1, 1, 1, 1, 1, 1}, {6}} {
+		part, err := app.NewPartition(a, pa.FBSets, sizes...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := (core.DataScheduler{}).Schedule(pa, part)
+		if err != nil {
+			continue // infeasible extreme is fine
+		}
+		r, err := sim.Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cycles > r.TotalCycles {
+			t.Errorf("explorer (%d cycles, sizes %v) lost to %v (%d cycles)",
+				res.Cycles, res.Sizes, sizes, r.TotalCycles)
+		}
+	}
+}
+
+func TestExploreRespectsBounds(t *testing.T) {
+	a := chain(5, 4, 80, 16, 300)
+	pa := testArch(2048, 64)
+	res, err := Explore(pa, a, Options{MaxKernelsPerCluster: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Sizes {
+		if s > 2 {
+			t.Errorf("cluster size %d exceeds bound 2", s)
+		}
+	}
+	res, err = Explore(pa, a, Options{MaxClusters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sizes) > 2 {
+		t.Errorf("cluster count %d exceeds bound 2", len(res.Sizes))
+	}
+}
+
+func TestExploreCountsInfeasible(t *testing.T) {
+	// Kernels with final outputs make large clusters accumulate
+	// results: a modest FB rules those partitions out, and the explorer
+	// must skip them, not fail.
+	b := app.NewBuilder("fat", 4)
+	b.Datum("d0", 200)
+	for i := 1; i <= 4; i++ {
+		b.Datum(dname(i), 200)
+		b.Datum("f"+string(rune('0'+i)), 150)
+	}
+	for i := 0; i < 4; i++ {
+		b.Kernel(kname(i), 16, 300).In(dname(i)).Out(dname(i+1), "f"+string(rune('1'+i)))
+	}
+	// d4 is consumed by nothing: final as well.
+	a := b.MustBuild()
+	pa := testArch(600, 64)
+	res, err := Explore(pa, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Infeasible == 0 {
+		t.Error("expected some infeasible candidates at FB=450")
+	}
+}
+
+func TestExploreAllInfeasible(t *testing.T) {
+	a := chain(3, 2, 500, 16, 100)
+	pa := testArch(600, 64) // even singletons need 1000 (in+out)
+	if _, err := Explore(pa, a, Options{}); err == nil {
+		t.Error("expected failure when nothing fits")
+	}
+}
+
+func TestExploreEmptyApp(t *testing.T) {
+	if _, err := Explore(testArch(1024, 64), nil, Options{}); err == nil {
+		t.Error("nil app accepted")
+	}
+}
+
+func TestExploreGreedyPath(t *testing.T) {
+	// Force the heuristic with a low exhaustive limit; it must still
+	// produce a feasible result.
+	a := chain(6, 4, 60, 16, 200)
+	pa := testArch(2048, 64)
+	res, err := Explore(pa, a, Options{ExhaustiveLimit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("greedy path found nothing")
+	}
+	// Compare against exhaustive: greedy may be worse but never better.
+	exh, err := Explore(pa, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles < exh.Cycles {
+		t.Errorf("greedy (%d) beat exhaustive (%d): exhaustive search is broken", res.Cycles, exh.Cycles)
+	}
+}
+
+func TestEnumerateCoversCompositions(t *testing.T) {
+	var got [][]int
+	err := enumerate(4, 0, func(sizes []int) error {
+		cp := append([]int(nil), sizes...)
+		got = append(got, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 8 { // 2^(4-1)
+		t.Fatalf("enumerate(4) yielded %d compositions, want 8", len(got))
+	}
+	for _, sizes := range got {
+		sum := 0
+		for _, s := range sizes {
+			sum += s
+		}
+		if sum != 4 {
+			t.Errorf("composition %v does not sum to 4", sizes)
+		}
+	}
+}
+
+func TestEnumerateMaxPart(t *testing.T) {
+	count := 0
+	err := enumerate(4, 2, func(sizes []int) error {
+		for _, s := range sizes {
+			if s > 2 {
+				t.Errorf("part %d exceeds 2 in %v", s, sizes)
+			}
+		}
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 { // compositions of 4 with parts <= 2: 1111,112,121,211,22
+		t.Errorf("count = %d, want 5", count)
+	}
+}
+
+func TestExploreParallelMatchesSequential(t *testing.T) {
+	a := chain(6, 8, 120, 32, 400)
+	pa := testArch(2048, 64)
+	seq, err := Explore(pa, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Explore(pa, a, Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Cycles != par.Cycles {
+		t.Errorf("cycles differ: seq %d, par %d", seq.Cycles, par.Cycles)
+	}
+	if len(seq.Sizes) != len(par.Sizes) {
+		t.Fatalf("sizes differ: %v vs %v", seq.Sizes, par.Sizes)
+	}
+	for i := range seq.Sizes {
+		if seq.Sizes[i] != par.Sizes[i] {
+			t.Fatalf("sizes differ: %v vs %v (tie-breaking must match)", seq.Sizes, par.Sizes)
+		}
+	}
+	if seq.Explored != par.Explored || seq.Infeasible != par.Infeasible {
+		t.Errorf("counters differ: %d/%d vs %d/%d", seq.Explored, seq.Infeasible, par.Explored, par.Infeasible)
+	}
+}

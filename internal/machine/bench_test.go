@@ -1,0 +1,23 @@
+package machine
+
+import (
+	"testing"
+
+	"cds/internal/core"
+	"cds/internal/workloads"
+)
+
+// BenchmarkRunMPEG measures the functional executor on the MPEG schedule.
+func BenchmarkRunMPEG(b *testing.B) {
+	e := workloads.MPEG()
+	s, err := (core.CompleteDataScheduler{}).Schedule(e.Arch, e.Part)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(s, 1, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,351 @@
+// Package machine executes a data schedule FUNCTIONALLY: external memory,
+// the Frame Buffer sets and every transfer move real bytes, and kernels
+// compute real (pluggable) functions over their operands. It exists to
+// prove the schedulers' headline safety property end to end:
+//
+//	whatever the scheduler does — reuse factors, in-place replacement,
+//	retention, cross-set reads, tiling — the observable outputs (the
+//	final results written to external memory) are byte-identical.
+//
+// The Basic Scheduler moves ~2x the data of the Complete Data Scheduler
+// on some workloads; this package shows they still compute the same
+// thing.
+package machine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cds/internal/core"
+)
+
+// Semantics computes one kernel invocation: given the kernel name, the
+// absolute iteration and the input bytes (keyed by datum name), it
+// returns the output bytes (keyed by datum name; sizes must match the
+// application's declared sizes, which are given in outputs).
+type Semantics func(kernel string, absIter int, inputs map[string][]byte, outputs map[string]int) (map[string][]byte, error)
+
+// DefaultSemantics returns a deterministic mixing function: every output
+// byte depends on the kernel name, the output datum, the absolute
+// iteration and every input byte. Two executions agree if and only if
+// their (kernel, iteration, inputs) agree — exactly what the equivalence
+// tests need.
+func DefaultSemantics() Semantics {
+	return func(kernel string, absIter int, inputs map[string][]byte, outputs map[string]int) (map[string][]byte, error) {
+		// Hash all inputs in deterministic (sorted) order.
+		names := make([]string, 0, len(inputs))
+		for n := range inputs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		h := fnv.New64a()
+		h.Write([]byte(kernel))
+		var ib [8]byte
+		binary.LittleEndian.PutUint64(ib[:], uint64(absIter))
+		h.Write(ib[:])
+		for _, n := range names {
+			h.Write([]byte(n))
+			h.Write(inputs[n])
+		}
+		seed := h.Sum64()
+
+		out := make(map[string][]byte, len(outputs))
+		for name, size := range outputs {
+			buf := make([]byte, size)
+			state := seed ^ fnvString(name)
+			for i := range buf {
+				// xorshift64 keeps it cheap and deterministic.
+				state ^= state << 13
+				state ^= state >> 7
+				state ^= state << 17
+				buf[i] = byte(state)
+			}
+			out[name] = buf
+		}
+		return out, nil
+	}
+}
+
+func fnvString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// InputBytes deterministically generates the external input data for one
+// datum at one absolute iteration.
+func InputBytes(seed int64, datum string, absIter, size int) []byte {
+	buf := make([]byte, size)
+	state := uint64(seed)*0x9e3779b97f4a7c15 ^ fnvString(datum) ^ uint64(absIter)*0xbf58476d1ce4e5b9
+	if state == 0 {
+		state = 1
+	}
+	for i := range buf {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		buf[i] = byte(state)
+	}
+	return buf
+}
+
+// extKey addresses external memory: one datum instance per absolute
+// iteration.
+type extKey struct {
+	datum   string
+	absIter int
+}
+
+// Result is the outcome of a functional run.
+type Result struct {
+	// Ext is the final external memory: every stored result (and the
+	// untouched inputs), keyed "datum@iteration".
+	Ext map[string][]byte
+	// LoadedBytes/StoredBytes/KernelRuns count the functional activity.
+	LoadedBytes, StoredBytes, KernelRuns int
+}
+
+// FinalOutputs extracts only the application's final results, the
+// observable behavior that must match across schedulers.
+func (r *Result) FinalOutputs(s *core.Schedule) map[string][]byte {
+	out := map[string][]byte{}
+	a := s.P.App
+	for key, data := range r.Ext {
+		name := key[:strings.LastIndex(key, "@")]
+		if a.IsFinalResult(name) {
+			out[key] = data
+		}
+	}
+	return out
+}
+
+// Run executes the schedule functionally with the given input seed and
+// kernel semantics (nil means DefaultSemantics).
+func Run(s *core.Schedule, seed int64, sem Semantics) (*Result, error) {
+	if sem == nil {
+		sem = DefaultSemantics()
+	}
+	a := s.P.App
+
+	rep, err := core.Allocate(s, true)
+	if err != nil {
+		return nil, fmt.Errorf("machine: %w", err)
+	}
+	type visitKey struct{ block, cluster int }
+	eventsByVisit := map[visitKey][]core.AllocEvent{}
+	for _, ev := range rep.Events {
+		k := visitKey{ev.Block, ev.Cluster}
+		eventsByVisit[k] = append(eventsByVisit[k], ev)
+	}
+
+	// External memory: inputs are generated lazily; results appear when
+	// stored.
+	ext := map[extKey][]byte{}
+	extRead := func(datum string, absIter int) ([]byte, error) {
+		key := extKey{datum, absIter}
+		if data, ok := ext[key]; ok {
+			return data, nil
+		}
+		if !a.IsExternalInput(datum) {
+			return nil, fmt.Errorf("machine: load of %s@%d which was never stored", datum, absIter)
+		}
+		data := InputBytes(seed, datum, absIter, a.SizeOf(datum))
+		ext[key] = data
+		return data, nil
+	}
+
+	// Frame buffer sets and the placement map.
+	fbs := map[int][]byte{}
+	for _, c := range s.P.Clusters {
+		if _, ok := fbs[c.Set]; !ok {
+			fbs[c.Set] = make([]byte, s.Arch.FBSetBytes)
+		}
+	}
+	type placeKey struct {
+		set  int
+		inst string
+	}
+	placed := map[placeKey]core.AllocEvent{}
+	// findPlacement locates an instance, preferring the home set and
+	// falling back to any set (cross-set remote reads).
+	findPlacement := func(set int, inst string) (core.AllocEvent, bool) {
+		if ev, ok := placed[placeKey{set, inst}]; ok {
+			return ev, true
+		}
+		for otherSet := range fbs {
+			if ev, ok := placed[placeKey{otherSet, inst}]; ok {
+				return ev, true
+			}
+		}
+		return core.AllocEvent{}, false
+	}
+
+	res := &Result{}
+
+	for _, v := range s.Visits {
+		evs := eventsByVisit[visitKey{v.Block, v.Cluster}]
+		loadsDatum := map[string]bool{}
+		for _, m := range v.Loads {
+			loadsDatum[m.Datum] = true
+		}
+
+		// applyEvent mirrors the allocator replay: placements appear
+		// (with loaded data copied in) and disappear in the exact order
+		// the allocator decided — a later allocation may legally reuse a
+		// released address, so order matters for the bytes.
+		applyEvent := func(ev core.AllocEvent) error {
+			switch ev.Op {
+			case core.OpAlloc:
+				placed[placeKey{ev.Set, ev.Object}] = ev
+				if !loadsDatum[ev.Datum] {
+					return nil
+				}
+				slot, err := instanceSlot(ev.Object)
+				if err != nil {
+					return err
+				}
+				data, err := extRead(ev.Datum, v.Block*s.RF+slot)
+				if err != nil {
+					return err
+				}
+				if len(data) != ev.Bytes {
+					return fmt.Errorf("machine: %s: external size %d != placement %d", ev.Object, len(data), ev.Bytes)
+				}
+				copy(fbs[ev.Set][ev.Addr:ev.Addr+ev.Bytes], data)
+				res.LoadedBytes += ev.Bytes
+			case core.OpRelease:
+				delete(placed, placeKey{ev.Set, ev.Object})
+			}
+			return nil
+		}
+
+		// Group the execution-phase events by (kernel, slot); pre-visit
+		// loading (Kernel == -1, Iter == -1) applies now, end-of-visit
+		// releases (Kernel == -1, Iter >= 0) apply after the stores.
+		type stepKey struct{ kernel, slot int }
+		stepEvents := map[stepKey][]core.AllocEvent{}
+		var post []core.AllocEvent
+		for _, ev := range evs {
+			switch {
+			case ev.Kernel >= 0:
+				k := stepKey{ev.Kernel, ev.Iter}
+				stepEvents[k] = append(stepEvents[k], ev)
+			case ev.Iter == -1:
+				if err := applyEvent(ev); err != nil {
+					return nil, err
+				}
+			default:
+				post = append(post, ev)
+			}
+		}
+
+		// Execute: loop fission order (each kernel runs all the
+		// visit's iterations back to back), with each step's
+		// placements and releases applied around it in replay order.
+		for _, ki := range s.P.Clusters[v.Cluster].Kernels {
+			k := a.Kernels[ki]
+			for slot := 0; slot < v.Iters; slot++ {
+				absIter := v.Block*s.RF + slot
+				// Allocations of this step (streamed inputs and the
+				// kernel's outputs) appear before it runs...
+				var stepReleases []core.AllocEvent
+				for _, ev := range stepEvents[stepKey{ki, slot}] {
+					if ev.Op == core.OpRelease {
+						stepReleases = append(stepReleases, ev)
+						continue
+					}
+					if err := applyEvent(ev); err != nil {
+						return nil, err
+					}
+				}
+				inputs := map[string][]byte{}
+				for _, in := range k.Inputs {
+					ev, ok := findPlacement(v.Set, instanceName(in, slot))
+					if !ok {
+						return nil, fmt.Errorf("machine: kernel %s misses input %s (visit c%d b%d)",
+							k.Name, instanceName(in, slot), v.Cluster, v.Block)
+					}
+					buf := make([]byte, ev.Bytes)
+					copy(buf, fbs[ev.Set][ev.Addr:ev.Addr+ev.Bytes])
+					inputs[in] = buf
+				}
+				outSizes := map[string]int{}
+				for _, out := range k.Outputs {
+					outSizes[out] = a.SizeOf(out)
+				}
+				outs, err := sem(k.Name, absIter, inputs, outSizes)
+				if err != nil {
+					return nil, fmt.Errorf("machine: kernel %s: %w", k.Name, err)
+				}
+				for _, out := range k.Outputs {
+					data, ok := outs[out]
+					if !ok || len(data) != a.SizeOf(out) {
+						return nil, fmt.Errorf("machine: kernel %s produced %d bytes for %s, want %d",
+							k.Name, len(data), out, a.SizeOf(out))
+					}
+					ev, ok := findPlacement(v.Set, instanceName(out, slot))
+					if !ok {
+						return nil, fmt.Errorf("machine: no placement for output %s", instanceName(out, slot))
+					}
+					copy(fbs[ev.Set][ev.Addr:ev.Addr+ev.Bytes], data)
+				}
+				res.KernelRuns++
+				// ...and its releases free space afterwards.
+				for _, ev := range stepReleases {
+					if err := applyEvent(ev); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+
+		// Stores: copy results back to external memory.
+		for _, m := range v.Stores {
+			for slot := 0; slot < v.Iters; slot++ {
+				inst := instanceName(m.Datum, slot)
+				ev, ok := findPlacement(v.Set, inst)
+				if !ok {
+					return nil, fmt.Errorf("machine: store of unplaced %s", inst)
+				}
+				data := make([]byte, ev.Bytes)
+				copy(data, fbs[ev.Set][ev.Addr:ev.Addr+ev.Bytes])
+				ext[extKey{m.Datum, v.Block*s.RF + slot}] = data
+				res.StoredBytes += ev.Bytes
+			}
+		}
+
+		// End-of-visit releases (persistent results, retained spans).
+		for _, ev := range post {
+			if err := applyEvent(ev); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	res.Ext = make(map[string][]byte, len(ext))
+	for key, data := range ext {
+		res.Ext[fmt.Sprintf("%s@%d", key.datum, key.absIter)] = data
+	}
+	return res, nil
+}
+
+func instanceName(datum string, slot int) string {
+	return fmt.Sprintf("%s#i%d", datum, slot)
+}
+
+// instanceSlot parses the iteration slot out of an instance name.
+func instanceSlot(inst string) (int, error) {
+	i := strings.LastIndex(inst, "#i")
+	if i < 0 {
+		return 0, fmt.Errorf("machine: malformed instance name %q", inst)
+	}
+	slot, err := strconv.Atoi(inst[i+2:])
+	if err != nil {
+		return 0, fmt.Errorf("machine: malformed instance name %q: %v", inst, err)
+	}
+	return slot, nil
+}

@@ -1,0 +1,267 @@
+package rcarray
+
+import "fmt"
+
+// Mode selects how a step's context words are broadcast across the array.
+type Mode uint8
+
+const (
+	// RowMode broadcasts context i to every cell of row i (all cells of
+	// a row perform the same operation — M1's row context block).
+	RowMode Mode = iota
+	// ColMode broadcasts context i to every cell of column i.
+	ColMode
+)
+
+func (m Mode) String() string {
+	if m == RowMode {
+		return "row"
+	}
+	return "col"
+}
+
+// Step is one array-wide execution step: a broadcast mode, one context per
+// row (or column), and the frame-buffer operand/result windows.
+type Step struct {
+	Mode Mode
+	// Ctx holds one context per broadcast lane (row or column). Lanes
+	// without an entry execute OpNop.
+	Ctx []Context
+	// FBLoadBase is the FB word index cell (r,c) reads when a source is
+	// SrcFB: base + r*Cols + c.
+	FBLoadBase int
+	// FBStoreBase is the FB word index cell (r,c) writes when its
+	// context has WriteFB: base + r*Cols + c.
+	FBStoreBase int
+}
+
+// Array is the functional RC array state.
+type Array struct {
+	Rows, Cols int
+
+	regs [][4]int16 // per cell, row-major
+	out  []int16    // per cell: output register visible to neighbors next step
+	fb   []int16    // frame buffer, 16-bit words
+
+	// Steps counts executed steps (a cheap cycle proxy for tests).
+	Steps int
+}
+
+// New returns an array of the given geometry with a frame buffer of
+// fbWords 16-bit words.
+func New(rows, cols, fbWords int) *Array {
+	if rows <= 0 || cols <= 0 || fbWords < 0 {
+		panic(fmt.Sprintf("rcarray: bad geometry %dx%d fb=%d", rows, cols, fbWords))
+	}
+	return &Array{
+		Rows: rows,
+		Cols: cols,
+		regs: make([][4]int16, rows*cols),
+		out:  make([]int16, rows*cols),
+		fb:   make([]int16, fbWords),
+	}
+}
+
+// M1Array returns the 8x8 M1 geometry with one 1K-word FB set.
+func M1Array() *Array { return New(8, 8, 1024) }
+
+func (a *Array) idx(r, c int) int { return r*a.Cols + c }
+
+// LoadFB copies data into the frame buffer at the given word offset.
+func (a *Array) LoadFB(offset int, data []int16) error {
+	if offset < 0 || offset+len(data) > len(a.fb) {
+		return fmt.Errorf("rcarray: LoadFB [%d,%d) outside FB of %d words", offset, offset+len(data), len(a.fb))
+	}
+	copy(a.fb[offset:], data)
+	return nil
+}
+
+// ReadFB copies n words from the frame buffer starting at offset.
+func (a *Array) ReadFB(offset, n int) ([]int16, error) {
+	if offset < 0 || offset+n > len(a.fb) {
+		return nil, fmt.Errorf("rcarray: ReadFB [%d,%d) outside FB of %d words", offset, offset+n, len(a.fb))
+	}
+	out := make([]int16, n)
+	copy(out, a.fb[offset:])
+	return out, nil
+}
+
+// Reg returns register d of cell (r, c).
+func (a *Array) Reg(r, c int, d uint8) int16 { return a.regs[a.idx(r, c)][d&3] }
+
+// SetReg sets register d of cell (r, c) — useful to preload coefficients.
+func (a *Array) SetReg(r, c int, d uint8, v int16) { a.regs[a.idx(r, c)][d&3] = v }
+
+// Out returns the output register of cell (r, c) after the last step.
+func (a *Array) Out(r, c int) int16 { return a.out[a.idx(r, c)] }
+
+// Reset clears all cell state and the frame buffer.
+func (a *Array) Reset() {
+	for i := range a.regs {
+		a.regs[i] = [4]int16{}
+		a.out[i] = 0
+	}
+	for i := range a.fb {
+		a.fb[i] = 0
+	}
+	a.Steps = 0
+}
+
+// Execute runs the steps in order. All cells of a step update
+// synchronously: neighbor reads (SrcNorth/SrcWest) observe the PREVIOUS
+// step's outputs.
+func (a *Array) Execute(steps []Step) error {
+	for si, st := range steps {
+		if err := a.executeStep(st); err != nil {
+			return fmt.Errorf("rcarray: step %d: %w", si, err)
+		}
+	}
+	return nil
+}
+
+// ExecuteEncoded decodes raw 32-bit context words (one lane each) and runs
+// them as a step sequence — the path the code generator exercises.
+func (a *Array) ExecuteEncoded(mode Mode, words [][]uint32, loadBase, storeBase int) error {
+	steps := make([]Step, len(words))
+	for i, lane := range words {
+		ctxs := make([]Context, len(lane))
+		for j, w := range lane {
+			c, err := Decode(w)
+			if err != nil {
+				return err
+			}
+			ctxs[j] = c
+		}
+		steps[i] = Step{Mode: mode, Ctx: ctxs, FBLoadBase: loadBase, FBStoreBase: storeBase}
+	}
+	return a.Execute(steps)
+}
+
+func (a *Array) executeStep(st Step) error {
+	lanes := a.Rows
+	if st.Mode == ColMode {
+		lanes = a.Cols
+	}
+	if len(st.Ctx) > lanes {
+		return fmt.Errorf("%d contexts for %d lanes", len(st.Ctx), lanes)
+	}
+
+	newRegs := make([][4]int16, len(a.regs))
+	copy(newRegs, a.regs)
+	newOut := make([]int16, len(a.out))
+	copy(newOut, a.out)
+	fbWrites := map[int]int16{}
+
+	for r := 0; r < a.Rows; r++ {
+		for c := 0; c < a.Cols; c++ {
+			lane := r
+			if st.Mode == ColMode {
+				lane = c
+			}
+			if lane >= len(st.Ctx) {
+				continue
+			}
+			ctx := st.Ctx[lane]
+			if ctx.Op == OpNop {
+				continue
+			}
+			i := a.idx(r, c)
+			av, err := a.operand(ctx.A, ctx, r, c, st)
+			if err != nil {
+				return err
+			}
+			bv, err := a.operand(ctx.B, ctx, r, c, st)
+			if err != nil {
+				return err
+			}
+			res := alu(ctx.Op, av, bv, a.regs[i][ctx.Dest&3])
+			newRegs[i][ctx.Dest&3] = res
+			newOut[i] = res
+			if ctx.WriteFB {
+				addr := st.FBStoreBase + i
+				if addr < 0 || addr >= len(a.fb) {
+					return fmt.Errorf("FB store at %d outside FB of %d words", addr, len(a.fb))
+				}
+				fbWrites[addr] = res
+			}
+		}
+	}
+	a.regs = newRegs
+	a.out = newOut
+	for addr, v := range fbWrites {
+		a.fb[addr] = v
+	}
+	a.Steps++
+	return nil
+}
+
+func (a *Array) operand(s Src, ctx Context, r, c int, st Step) (int16, error) {
+	switch s {
+	case SrcReg0, SrcReg1, SrcReg2, SrcReg3:
+		return a.regs[a.idx(r, c)][s], nil
+	case SrcImm:
+		return ctx.Imm, nil
+	case SrcFB:
+		addr := st.FBLoadBase + a.idx(r, c)
+		if addr < 0 || addr >= len(a.fb) {
+			return 0, fmt.Errorf("FB load at %d outside FB of %d words", addr, len(a.fb))
+		}
+		return a.fb[addr], nil
+	case SrcNorth:
+		return a.out[a.idx((r-1+a.Rows)%a.Rows, c)], nil
+	case SrcWest:
+		return a.out[a.idx(r, (c-1+a.Cols)%a.Cols)], nil
+	case SrcEast:
+		return a.out[a.idx(r, (c+1)%a.Cols)], nil
+	case SrcSouth:
+		return a.out[a.idx((r+1)%a.Rows, c)], nil
+	}
+	return 0, fmt.Errorf("invalid source %v", s)
+}
+
+func alu(op Opcode, x, y, acc int16) int16 {
+	switch op {
+	case OpAdd:
+		return x + y
+	case OpSub:
+		return x - y
+	case OpMul:
+		return x * y
+	case OpAnd:
+		return x & y
+	case OpOr:
+		return x | y
+	case OpXor:
+		return x ^ y
+	case OpShl:
+		return x << (uint16(y) & 15)
+	case OpShr:
+		return x >> (uint16(y) & 15)
+	case OpAbs:
+		if x < 0 {
+			return -x
+		}
+		return x
+	case OpMin:
+		if x < y {
+			return x
+		}
+		return y
+	case OpMax:
+		if x > y {
+			return x
+		}
+		return y
+	case OpMac:
+		return acc + x*y
+	case OpPass:
+		return x
+	case OpAbsd:
+		d := x - y
+		if d < 0 {
+			return -d
+		}
+		return d
+	}
+	return 0
+}

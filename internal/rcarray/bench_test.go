@@ -1,0 +1,30 @@
+package rcarray
+
+import "testing"
+
+// BenchmarkStepRowBroadcast measures one full-array synchronous step.
+func BenchmarkStepRowBroadcast(b *testing.B) {
+	a := M1Array()
+	ctx := make([]Context, 8)
+	for i := range ctx {
+		ctx[i] = Context{Op: OpMac, A: SrcReg0, B: SrcImm, Imm: 3, Dest: 1}
+	}
+	steps := []Step{{Mode: RowMode, Ctx: ctx}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Execute(steps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeDecode measures context word packing.
+func BenchmarkEncodeDecode(b *testing.B) {
+	c := Context{Op: OpMac, A: SrcFB, B: SrcImm, Imm: -1234, Dest: 2, WriteFB: true}
+	for i := 0; i < b.N; i++ {
+		w := c.Encode()
+		if _, err := Decode(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

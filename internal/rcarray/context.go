@@ -1,0 +1,135 @@
+// Package rcarray is a functional simulator of the MorphoSys RC array:
+// an 8x8 grid of 16-bit reconfigurable cells driven by 32-bit context
+// words broadcast per row or per column. It exists so that the kernels the
+// data scheduler moves data for are real programs with verifiable output,
+// not opaque cost numbers: internal/kernels maps DSP micro-kernels onto
+// this array and tests them against pure-Go references.
+package rcarray
+
+import "fmt"
+
+// Opcode selects the ALU function of a cell for one context.
+type Opcode uint8
+
+// ALU operations. OpMac accumulates into the destination register
+// (dest += a*b); all others overwrite it.
+const (
+	OpNop Opcode = iota
+	OpAdd
+	OpSub
+	OpMul
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr // arithmetic shift right
+	OpAbs // |a|
+	OpMin
+	OpMax
+	OpMac  // dest += a*b
+	OpPass // dest = a
+	OpAbsd // |a-b| (sum-of-absolute-differences building block)
+	numOpcodes
+)
+
+var opcodeNames = [...]string{
+	OpNop: "nop", OpAdd: "add", OpSub: "sub", OpMul: "mul",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl",
+	OpShr: "shr", OpAbs: "abs", OpMin: "min", OpMax: "max",
+	OpMac: "mac", OpPass: "pass", OpAbsd: "absd",
+}
+
+func (o Opcode) String() string {
+	if int(o) < len(opcodeNames) {
+		return opcodeNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Src selects an ALU operand source.
+type Src uint8
+
+// Operand sources. The neighbor sources read the adjacent cell's output
+// register from the PREVIOUS step (torus wrap in all four directions),
+// giving systolic data movement. SrcFB reads the frame-buffer operand bus
+// (one 16-bit word per cell, selected by the step's FB base and the cell
+// position).
+const (
+	SrcReg0 Src = iota
+	SrcReg1
+	SrcReg2
+	SrcReg3
+	SrcImm
+	SrcFB
+	SrcNorth
+	SrcWest
+	SrcEast
+	SrcSouth
+	numSrcs
+)
+
+var srcNames = [...]string{
+	SrcReg0: "r0", SrcReg1: "r1", SrcReg2: "r2", SrcReg3: "r3",
+	SrcImm: "imm", SrcFB: "fb",
+	SrcNorth: "north", SrcWest: "west", SrcEast: "east", SrcSouth: "south",
+}
+
+func (s Src) String() string {
+	if int(s) < len(srcNames) {
+		return srcNames[s]
+	}
+	return fmt.Sprintf("src(%d)", uint8(s))
+}
+
+// Context is one decoded 32-bit context word: it fully configures a cell
+// for one execution step.
+type Context struct {
+	Op      Opcode
+	A, B    Src
+	Dest    uint8 // destination register 0..3
+	Imm     int16 // immediate operand for SrcImm
+	WriteFB bool  // drive the cell's result onto the FB write bus
+}
+
+// Bit layout of the 32-bit context word: 5+4+4+2+1+16 = 32 bits exactly.
+const (
+	opShift   = 0  // 5 bits
+	aShift    = 5  // 4 bits
+	bShift    = 9  // 4 bits
+	destShift = 13 // 2 bits
+	wfbShift  = 15 // 1 bit
+	immShift  = 16 // 16 bits
+)
+
+// Encode packs the context into its 32-bit word.
+func (c Context) Encode() uint32 {
+	w := uint32(c.Op) << opShift
+	w |= uint32(c.A) << aShift
+	w |= uint32(c.B) << bShift
+	w |= uint32(c.Dest&3) << destShift
+	if c.WriteFB {
+		w |= 1 << wfbShift
+	}
+	w |= uint32(uint16(c.Imm)) << immShift
+	return w
+}
+
+// Decode unpacks a 32-bit context word. It fails on out-of-range opcode or
+// source fields (a corrupted context must not execute silently).
+func Decode(w uint32) (Context, error) {
+	c := Context{
+		Op:      Opcode(w >> opShift & 0x1f),
+		A:       Src(w >> aShift & 0xf),
+		B:       Src(w >> bShift & 0xf),
+		Dest:    uint8(w >> destShift & 0x3),
+		WriteFB: w>>wfbShift&1 == 1,
+		Imm:     int16(uint16(w >> immShift)),
+	}
+	if c.Op >= numOpcodes {
+		return Context{}, fmt.Errorf("rcarray: invalid opcode %d in context %#x", c.Op, w)
+	}
+	if c.A >= numSrcs || c.B >= numSrcs {
+		return Context{}, fmt.Errorf("rcarray: invalid operand source in context %#x", w)
+	}
+	return c, nil
+}

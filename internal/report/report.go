@@ -1,0 +1,136 @@
+// Package report renders the paper's evaluation artifacts: Table 1 (the
+// per-experiment parameter/result table) and Figure 6 (the relative
+// execution improvement bar chart), plus CSV output for downstream
+// plotting.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Row is one experiment's measured results alongside the paper's numbers.
+type Row struct {
+	Name string
+	// N and NMax are the cluster count and max kernels per cluster
+	// (Table 1's N and n).
+	N, NMax int
+	// DSBytes is the total data size per iteration (Table 1's DS).
+	DSBytes int
+	// DTBytes is the data transfer volume avoided per iteration by
+	// retention (Table 1's DT).
+	DTBytes int
+	// RF is the measured context reuse factor; PaperRF the published
+	// one (0 = unpublished).
+	RF, PaperRF int
+	// FBBytes is the frame buffer set size.
+	FBBytes int
+	// DSImp and CDSImp are the measured relative improvements (%);
+	// PaperDS/PaperCDS the published ones (negative = unpublished).
+	DSImp, CDSImp     float64
+	PaperDS, PaperCDS float64
+	// BasicFailed marks rows where the Basic Scheduler cannot run.
+	BasicFailed bool
+}
+
+func formatSize(n int) string {
+	switch {
+	case n >= 1024 && n%1024 == 0:
+		return fmt.Sprintf("%dK", n/1024)
+	case n >= 100:
+		return fmt.Sprintf("%.1fK", float64(n)/1024)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// Table1 renders the rows in the paper's Table 1 layout, with measured
+// and published values side by side.
+func Table1(w io.Writer, rows []Row) {
+	fmt.Fprintf(w, "%-10s %3s %3s %6s %6s %8s %5s %14s %14s\n",
+		"exp", "N", "n", "DS", "DT", "RF", "FB", "DS impr", "CDS impr")
+	fmt.Fprintf(w, "%-10s %3s %3s %6s %6s %8s %5s %14s %14s\n",
+		"", "", "", "", "", "got/ppr", "", "got/ppr", "got/ppr")
+	fmt.Fprintln(w, strings.Repeat("-", 78))
+	for _, r := range rows {
+		rf := fmt.Sprintf("%d/%s", r.RF, orDash(r.PaperRF))
+		ds := fmt.Sprintf("%4.0f%%/%s", r.DSImp, orDashPct(r.PaperDS))
+		cdsCol := fmt.Sprintf("%4.0f%%/%s", r.CDSImp, orDashPct(r.PaperCDS))
+		if r.BasicFailed {
+			ds = "basic: n/a"
+			cdsCol = "basic: n/a"
+		}
+		fmt.Fprintf(w, "%-10s %3d %3d %6s %6s %8s %5s %14s %14s\n",
+			r.Name, r.N, r.NMax, formatSize(r.DSBytes), formatSize(r.DTBytes),
+			rf, formatSize(r.FBBytes), ds, cdsCol)
+	}
+}
+
+func orDash(v int) string {
+	if v <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+func orDashPct(v float64) string {
+	if v < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", v)
+}
+
+// Figure6 renders the relative-improvement bar chart as ASCII, one pair
+// of bars (CDS above DS) per experiment, matching the paper's figure.
+func Figure6(w io.Writer, rows []Row) {
+	const scale = 1.25 // columns per percent point
+	fmt.Fprintln(w, "Relative execution improvement over the Basic Scheduler (%)")
+	fmt.Fprintln(w, strings.Repeat("-", 70))
+	for _, r := range rows {
+		if r.BasicFailed {
+			fmt.Fprintf(w, "%-10s basic scheduler cannot execute this configuration\n", r.Name)
+			continue
+		}
+		fmt.Fprintf(w, "%-10s CDS %s %.0f%%\n", r.Name, bar(r.CDSImp, scale), r.CDSImp)
+		fmt.Fprintf(w, "%-10s DS  %s %.0f%%\n", "", bar(r.DSImp, scale), r.DSImp)
+	}
+}
+
+func bar(pct, scale float64) string {
+	n := int(pct * scale)
+	if n < 0 {
+		n = 0
+	}
+	if n > 100 {
+		n = 100
+	}
+	return strings.Repeat("#", n)
+}
+
+// CSV writes the rows as comma-separated values with a header.
+func CSV(w io.Writer, rows []Row) {
+	fmt.Fprintln(w, "experiment,clusters,max_kernels,ds_bytes,dt_bytes,rf,paper_rf,fb_bytes,ds_improvement,cds_improvement,paper_ds,paper_cds,basic_failed")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d,%d,%.2f,%.2f,%.2f,%.2f,%v\n",
+			r.Name, r.N, r.NMax, r.DSBytes, r.DTBytes, r.RF, r.PaperRF,
+			r.FBBytes, r.DSImp, r.CDSImp, r.PaperDS, r.PaperCDS, r.BasicFailed)
+	}
+}
+
+// Markdown renders the rows as a GitHub-flavored markdown table, the form
+// EXPERIMENTS.md embeds; `cmd/experiments -markdown` regenerates it.
+func Markdown(w io.Writer, rows []Row) {
+	fmt.Fprintln(w, "| exp | N | n | RF got/paper | FB | DS impr got/paper | CDS impr got/paper |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|---|")
+	for _, r := range rows {
+		if r.BasicFailed {
+			fmt.Fprintf(w, "| %s | %d | %d | %d/%s | %s | basic: n/a | basic: n/a |\n",
+				r.Name, r.N, r.NMax, r.RF, orDash(r.PaperRF), formatSize(r.FBBytes))
+			continue
+		}
+		fmt.Fprintf(w, "| %s | %d | %d | %d/%s | %s | %.0f%% / %s | %.0f%% / %s |\n",
+			r.Name, r.N, r.NMax, r.RF, orDash(r.PaperRF), formatSize(r.FBBytes),
+			r.DSImp, orDashPct(r.PaperDS), r.CDSImp, orDashPct(r.PaperCDS))
+	}
+}

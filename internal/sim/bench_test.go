@@ -1,0 +1,37 @@
+package sim
+
+import (
+	"testing"
+
+	"cds/internal/core"
+	"cds/internal/workloads"
+)
+
+// BenchmarkRun measures the timing simulator on the MPEG schedule.
+func BenchmarkRun(b *testing.B) {
+	e := workloads.MPEG()
+	s, err := (core.CompleteDataScheduler{}).Schedule(e.Arch, e.Part)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunSerial measures the no-overlap variant.
+func BenchmarkRunSerial(b *testing.B) {
+	e := workloads.MPEG()
+	s, err := (core.CompleteDataScheduler{}).Schedule(e.Arch, e.Part)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := RunSerial(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cds/internal/core"
+	"cds/internal/workloads"
+)
+
+func TestRunSerialNeverFaster(t *testing.T) {
+	for _, e := range workloads.All() {
+		for _, sched := range []core.Scheduler{core.Basic{}, core.DataScheduler{}, core.CompleteDataScheduler{}} {
+			s, err := sched.Schedule(e.Arch, e.Part)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", e.Name, sched.Name(), err)
+			}
+			serial, err := RunSerial(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			overlapped, err := Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial.TotalCycles < overlapped.TotalCycles {
+				t.Errorf("%s/%s: serial %d beats overlapped %d",
+					e.Name, sched.Name(), serial.TotalCycles, overlapped.TotalCycles)
+			}
+			// Volumes are identical; only timing differs.
+			if serial.LoadBytes != overlapped.LoadBytes ||
+				serial.StoreBytes != overlapped.StoreBytes ||
+				serial.CtxWords != overlapped.CtxWords ||
+				serial.ComputeCycles != overlapped.ComputeCycles {
+				t.Errorf("%s/%s: volumes differ between serial and overlapped", e.Name, sched.Name())
+			}
+			// Serial total is exactly compute + all DMA.
+			if want := serial.ComputeCycles + serial.DMABusy(); serial.TotalCycles != want {
+				t.Errorf("%s/%s: serial total %d != compute+dma %d",
+					e.Name, sched.Name(), serial.TotalCycles, want)
+			}
+		}
+	}
+}
+
+func TestOverlapGainPositive(t *testing.T) {
+	e := workloads.MPEG()
+	s, err := (core.CompleteDataScheduler{}).Schedule(e.Arch, e.Part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain, err := OverlapGain(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain <= 0 {
+		t.Errorf("overlap gain = %.1f%%, want positive (double buffering must pay)", gain)
+	}
+	if gain >= 100 {
+		t.Errorf("overlap gain = %.1f%%, impossible", gain)
+	}
+}
+
+func TestRunSerialErrors(t *testing.T) {
+	if _, err := RunSerial(nil); err == nil {
+		t.Error("nil schedule accepted")
+	}
+	s := handSchedule()
+	s.Arch.BusBytes = 0
+	if _, err := RunSerial(s); err == nil {
+		t.Error("invalid arch accepted")
+	}
+}
+
+func TestWriteTimeline(t *testing.T) {
+	s := handSchedule()
+	r, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	WriteTimeline(&b, s, r)
+	out := b.String()
+	for _, want := range []string{"total", "c0 b0", "c1 b0", "#", "RC busy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// Mismatched result is reported, not panicking.
+	var b2 strings.Builder
+	WriteTimeline(&b2, s, &Result{})
+	if !strings.Contains(b2.String(), "does not match") {
+		t.Error("mismatch not reported")
+	}
+}
+
+func TestWriteTrace(t *testing.T) {
+	e := workloads.MPEG()
+	s, err := (core.CompleteDataScheduler{}).Schedule(e.Arch, e.Part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteTrace(&b, s, r); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Cat   string `json:"cat"`
+			Phase string `json:"ph"`
+			TS    int    `json:"ts"`
+			Dur   int    `json:"dur"`
+			TID   int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var compute, dma int
+	maxEnd := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase != "X" {
+			continue
+		}
+		if ev.TS < 0 || ev.Dur < 0 {
+			t.Fatalf("negative interval: %+v", ev)
+		}
+		switch ev.Cat {
+		case "compute":
+			compute += ev.Dur
+		case "context", "load", "store":
+			dma += ev.Dur
+		}
+		if end := ev.TS + ev.Dur; end > maxEnd {
+			maxEnd = end
+		}
+	}
+	if compute != r.ComputeCycles {
+		t.Errorf("trace compute %d != result %d", compute, r.ComputeCycles)
+	}
+	if dma != r.DMABusy() {
+		t.Errorf("trace DMA %d != result %d", dma, r.DMABusy())
+	}
+	if maxEnd != r.TotalCycles {
+		t.Errorf("trace ends at %d, result says %d", maxEnd, r.TotalCycles)
+	}
+	// Mismatched result rejected.
+	if err := WriteTrace(&strings.Builder{}, s, &Result{}); err == nil {
+		t.Error("mismatched result accepted")
+	}
+}

@@ -1,0 +1,195 @@
+// Package sim is the event-driven timing simulator of the MorphoSys M1
+// execution model the scheduling papers assume:
+//
+//   - the RC array computes one cluster visit at a time;
+//   - the Frame Buffer is double-buffered, so the DMA may fill the other
+//     set (loads and context loads for the NEXT visit) while the current
+//     visit computes;
+//   - data and context transfers share a single DMA channel and strictly
+//     serialize;
+//   - a visit's results are stored to external memory after it computes,
+//     and its FB set cannot be refilled for a later visit until those
+//     stores drain.
+//
+// The simulator consumes a core.Schedule and reports the total execution
+// time plus a traffic/stall breakdown. Overlap is emergent: transfers that
+// fit inside the previous visit's compute window cost no wall-clock time.
+package sim
+
+import (
+	"fmt"
+
+	"cds/internal/core"
+)
+
+// Result is the outcome of simulating one schedule.
+type Result struct {
+	// TotalCycles is the end-to-end execution time.
+	TotalCycles int
+	// ComputeCycles is the RC-array busy time (identical across
+	// schedulers for the same application).
+	ComputeCycles int
+	// DataCycles and CtxCycles are the DMA channel busy times for data
+	// and context traffic.
+	DataCycles int
+	CtxCycles  int
+	// StallCycles is the RC-array idle time waiting for transfers.
+	StallCycles int
+	// LoadBytes/StoreBytes/CtxWords echo the schedule's volumes.
+	LoadBytes, StoreBytes int
+	CtxWords              int
+	// VisitStart/VisitEnd give each visit's compute interval, for
+	// inspection and tests (indexed like Schedule.Visits).
+	VisitStart, VisitEnd []int
+}
+
+// DMABusy returns the total DMA channel busy time.
+func (r *Result) DMABusy() int { return r.DataCycles + r.CtxCycles }
+
+// Run simulates the schedule and returns the timing result.
+//
+// The model keeps two timelines: the RC array (compute) and the DMA
+// channel. For each visit v in order:
+//
+//  1. the stores of the previous visit on v's FB set are drained first
+//     (they must complete before the set is refilled);
+//  2. v's context and data loads occupy the DMA;
+//  3. v computes when both its loads are done and the RC array is free.
+//
+// Trailing stores after the last visit are drained at the end.
+func Run(s *core.Schedule) (*Result, error) {
+	if s == nil {
+		return nil, fmt.Errorf("sim: nil schedule")
+	}
+	p := s.Arch
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		VisitStart: make([]int, len(s.Visits)),
+		VisitEnd:   make([]int, len(s.Visits)),
+	}
+
+	// pendingStore[set] is the index of the visit on that FB set whose
+	// stores have not been issued yet (-1 when none).
+	pendingStore := map[int]int{}
+	for _, v := range s.Visits {
+		pendingStore[v.Set] = -1
+	}
+
+	dmaFree := 0 // next cycle the DMA channel is available
+	rcFree := 0  // next cycle the RC array is available
+	computeEnd := make([]int, len(s.Visits))
+
+	storeCost := func(vi int) int {
+		cost := 0
+		for _, m := range s.Visits[vi].Stores {
+			cost += p.DataCycles(m.Bytes)
+			res.StoreBytes += m.Bytes
+		}
+		return cost
+	}
+
+	for vi := range s.Visits {
+		v := &s.Visits[vi]
+
+		// Drain the pending stores of the previous visit on this
+		// set: they cannot start before that visit's compute ends,
+		// and they must finish before this visit's loads overwrite
+		// the set.
+		if prev := pendingStore[v.Set]; prev >= 0 {
+			start := dmaFree
+			if computeEnd[prev] > start {
+				start = computeEnd[prev]
+			}
+			cost := storeCost(prev)
+			dmaFree = start + cost
+			res.DataCycles += cost
+		}
+
+		// Context loads, then data loads, for this visit.
+		ctxCost := p.ContextCycles(v.CtxWords)
+		res.CtxCycles += ctxCost
+		res.CtxWords += v.CtxWords
+		loadCost := 0
+		for _, m := range v.Loads {
+			loadCost += p.DataCycles(m.Bytes)
+			res.LoadBytes += m.Bytes
+		}
+		res.DataCycles += loadCost
+		dmaFree += ctxCost + loadCost
+		transfersDone := dmaFree
+
+		// Compute.
+		start := transfersDone
+		if rcFree > start {
+			start = rcFree
+		}
+		res.StallCycles += start - rcFree
+		res.VisitStart[vi] = start
+		computeEnd[vi] = start + v.ComputeCycles
+		res.VisitEnd[vi] = computeEnd[vi]
+		res.ComputeCycles += v.ComputeCycles
+		rcFree = computeEnd[vi]
+
+		pendingStore[v.Set] = vi
+	}
+
+	// Drain trailing stores.
+	for _, vi := range sortedPending(pendingStore) {
+		start := dmaFree
+		if computeEnd[vi] > start {
+			start = computeEnd[vi]
+		}
+		cost := storeCost(vi)
+		dmaFree = start + cost
+		res.DataCycles += cost
+	}
+
+	res.TotalCycles = rcFree
+	if dmaFree > res.TotalCycles {
+		res.TotalCycles = dmaFree
+	}
+	return res, nil
+}
+
+func sortedPending(pending map[int]int) []int {
+	var vis []int
+	for _, vi := range pending {
+		if vi >= 0 {
+			vis = append(vis, vi)
+		}
+	}
+	// Store older visits first.
+	for i := 0; i < len(vis); i++ {
+		for j := i + 1; j < len(vis); j++ {
+			if vis[j] < vis[i] {
+				vis[i], vis[j] = vis[j], vis[i]
+			}
+		}
+	}
+	return vis
+}
+
+// Improvement returns the paper's metric: the relative execution-time
+// improvement of a schedule over a baseline, in percent.
+func Improvement(baseline, improved *Result) float64 {
+	if baseline.TotalCycles == 0 {
+		return 0
+	}
+	return 100 * float64(baseline.TotalCycles-improved.TotalCycles) / float64(baseline.TotalCycles)
+}
+
+// Compare simulates a baseline and a candidate schedule and returns both
+// results plus the improvement percentage.
+func Compare(baseline, candidate *core.Schedule) (base, cand *Result, improvementPct float64, err error) {
+	base, err = Run(baseline)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	cand, err = Run(candidate)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return base, cand, Improvement(base, cand), nil
+}

@@ -1,0 +1,23 @@
+package spec
+
+import "testing"
+
+// FuzzParse: arbitrary input must never panic; accepted specs must
+// produce a valid partition.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(goodSpec))
+	f.Add([]byte("{"))
+	f.Add([]byte(`{"name":"x","iterations":1,"data":[{"name":"d","size":4}],"kernels":[{"name":"k","contextWords":1,"computeCycles":1,"inputs":["d"]}],"clusters":[1]}`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		part, pa, err := Parse(raw)
+		if err != nil {
+			return
+		}
+		if err := part.Validate(); err != nil {
+			t.Fatalf("accepted spec produced invalid partition: %v", err)
+		}
+		if err := pa.Validate(); err != nil {
+			t.Fatalf("accepted spec produced invalid arch: %v", err)
+		}
+	})
+}

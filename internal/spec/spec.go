@@ -1,0 +1,150 @@
+// Package spec parses the JSON application format the cds command-line
+// tool consumes: data objects, kernels, a cluster decomposition and
+// optional machine overrides.
+//
+//	{
+//	  "name": "pipe", "iterations": 8,
+//	  "arch": {"fbSetBytes": 2048, "cmWords": 512},
+//	  "data": [
+//	    {"name": "in", "size": 100},
+//	    {"name": "tile", "size": 64, "streamed": true},
+//	    {"name": "out", "size": 50, "final": true}
+//	  ],
+//	  "kernels": [
+//	    {"name": "k1", "contextWords": 64, "computeCycles": 500,
+//	     "inputs": ["in"], "outputs": ["out"]}
+//	  ],
+//	  "clusters": [1]
+//	}
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"cds/internal/app"
+	"cds/internal/arch"
+)
+
+// Arch overrides machine parameters; zero fields keep the M1 defaults.
+type Arch struct {
+	FBSetBytes int `json:"fbSetBytes"`
+	CMWords    int `json:"cmWords"`
+}
+
+// Datum describes one data object.
+type Datum struct {
+	Name     string `json:"name"`
+	Size     int    `json:"size"`
+	Final    bool   `json:"final"`
+	Streamed bool   `json:"streamed"`
+}
+
+// Kernel describes one kernel.
+type Kernel struct {
+	Name          string   `json:"name"`
+	ContextWords  int      `json:"contextWords"`
+	ComputeCycles int      `json:"computeCycles"`
+	Inputs        []string `json:"inputs"`
+	Outputs       []string `json:"outputs"`
+	ContextGroup  string   `json:"contextGroup"`
+}
+
+// Spec is the top-level document.
+type Spec struct {
+	Name       string   `json:"name"`
+	Iterations int      `json:"iterations"`
+	Arch       *Arch    `json:"arch"`
+	Data       []Datum  `json:"data"`
+	Kernels    []Kernel `json:"kernels"`
+	Clusters   []int    `json:"clusters"`
+}
+
+// Parse decodes and validates a JSON spec, returning the partitioned
+// application and the machine to run it on.
+func Parse(raw []byte) (*app.Partition, arch.Params, error) {
+	var sp Spec
+	if err := json.Unmarshal(raw, &sp); err != nil {
+		return nil, arch.Params{}, fmt.Errorf("spec: %w", err)
+	}
+	return sp.Build()
+}
+
+// Build materializes an already-decoded spec.
+func (sp *Spec) Build() (*app.Partition, arch.Params, error) {
+	a := &app.App{Name: sp.Name, Iterations: sp.Iterations}
+	for _, d := range sp.Data {
+		a.Data = append(a.Data, app.Datum{
+			Name: d.Name, Size: d.Size, Final: d.Final, Streamed: d.Streamed,
+		})
+	}
+	for _, k := range sp.Kernels {
+		a.Kernels = append(a.Kernels, app.Kernel{
+			Name:          k.Name,
+			ContextWords:  k.ContextWords,
+			ComputeCycles: k.ComputeCycles,
+			Inputs:        k.Inputs,
+			Outputs:       k.Outputs,
+			ContextGroup:  k.ContextGroup,
+		})
+	}
+	if err := a.Finalize(); err != nil {
+		return nil, arch.Params{}, fmt.Errorf("spec %q: %w", sp.Name, err)
+	}
+
+	pa := arch.M1()
+	if sp.Arch != nil {
+		if sp.Arch.FBSetBytes > 0 {
+			pa.FBSetBytes = sp.Arch.FBSetBytes
+		}
+		if sp.Arch.CMWords > 0 {
+			pa.CMWords = sp.Arch.CMWords
+		}
+	}
+	if err := pa.Validate(); err != nil {
+		return nil, arch.Params{}, fmt.Errorf("spec %q: %w", sp.Name, err)
+	}
+	if len(sp.Clusters) == 0 {
+		return nil, arch.Params{}, fmt.Errorf("spec %q: missing clusters", sp.Name)
+	}
+	part, err := app.NewPartition(a, pa.FBSets, sp.Clusters...)
+	if err != nil {
+		return nil, arch.Params{}, fmt.Errorf("spec %q: %w", sp.Name, err)
+	}
+	return part, pa, nil
+}
+
+// FromPartition converts a partitioned application (plus its machine)
+// back into a Spec, the inverse of Build. cmd/experiments -dump uses it
+// to export the built-in paper workloads as editable JSON.
+func FromPartition(part *app.Partition, pa arch.Params) *Spec {
+	sp := &Spec{
+		Name:       part.App.Name,
+		Iterations: part.App.Iterations,
+		Arch:       &Arch{FBSetBytes: pa.FBSetBytes, CMWords: pa.CMWords},
+	}
+	for _, d := range part.App.Data {
+		sp.Data = append(sp.Data, Datum{
+			Name: d.Name, Size: d.Size, Final: d.Final, Streamed: d.Streamed,
+		})
+	}
+	for _, k := range part.App.Kernels {
+		sp.Kernels = append(sp.Kernels, Kernel{
+			Name:          k.Name,
+			ContextWords:  k.ContextWords,
+			ComputeCycles: k.ComputeCycles,
+			Inputs:        k.Inputs,
+			Outputs:       k.Outputs,
+			ContextGroup:  k.ContextGroup,
+		})
+	}
+	for _, c := range part.Clusters {
+		sp.Clusters = append(sp.Clusters, len(c.Kernels))
+	}
+	return sp
+}
+
+// Marshal renders a spec as indented JSON.
+func (sp *Spec) Marshal() ([]byte, error) {
+	return json.MarshalIndent(sp, "", "  ")
+}

@@ -1,0 +1,174 @@
+package spec
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"cds/internal/workloads"
+)
+
+const goodSpec = `{
+  "name": "pipe", "iterations": 8,
+  "arch": {"fbSetBytes": 2048, "cmWords": 256},
+  "data": [
+    {"name": "in", "size": 100},
+    {"name": "tile", "size": 64, "streamed": true},
+    {"name": "mid", "size": 40},
+    {"name": "out", "size": 50, "final": true}
+  ],
+  "kernels": [
+    {"name": "k1", "contextWords": 64, "computeCycles": 500,
+     "inputs": ["in", "tile"], "outputs": ["mid"]},
+    {"name": "k2", "contextWords": 64, "computeCycles": 300,
+     "inputs": ["mid"], "outputs": ["out"], "contextGroup": "k1"}
+  ],
+  "clusters": [1, 1]
+}`
+
+func TestParseGoodSpec(t *testing.T) {
+	part, pa, err := Parse([]byte(goodSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.App.Name != "pipe" || part.App.Iterations != 8 {
+		t.Errorf("app = %s/%d", part.App.Name, part.App.Iterations)
+	}
+	if len(part.Clusters) != 2 {
+		t.Errorf("clusters = %d, want 2", len(part.Clusters))
+	}
+	if pa.FBSetBytes != 2048 || pa.CMWords != 256 {
+		t.Errorf("arch overrides lost: %+v", pa)
+	}
+	// Flags survive.
+	if !part.App.IsStreamed("tile") {
+		t.Error("streamed flag lost")
+	}
+	d, _ := part.App.DatumByName("out")
+	if !d.Final {
+		t.Error("final flag lost")
+	}
+	ki, _ := part.App.KernelIndex("k2")
+	if part.App.Kernels[ki].CtxGroup() != "k1" {
+		t.Error("context group lost")
+	}
+}
+
+func TestParseDefaultsArch(t *testing.T) {
+	raw := strings.Replace(goodSpec, `"arch": {"fbSetBytes": 2048, "cmWords": 256},`, "", 1)
+	_, pa, err := Parse([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.Name != "M1" {
+		t.Errorf("arch = %+v, want M1 defaults", pa)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name, mutate, wantSub string
+	}{
+		{"bad json", "{", "spec"},
+		{"unknown input", `"inputs": ["in", "tile"]`, "unknown datum"},
+		{"bad clusters", `"clusters": [1, 1]`, "cover"},
+		{"no clusters", `"clusters": [1, 1]`, "missing clusters"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			raw := goodSpec
+			switch tt.name {
+			case "bad json":
+				raw = "{"
+			case "unknown input":
+				raw = strings.Replace(raw, `"inputs": ["in", "tile"]`, `"inputs": ["ghost"]`, 1)
+			case "bad clusters":
+				raw = strings.Replace(raw, `"clusters": [1, 1]`, `"clusters": [1]`, 1)
+			case "no clusters":
+				raw = strings.Replace(raw, `"clusters": [1, 1]`, `"clusters": []`, 1)
+			}
+			_, _, err := Parse([]byte(raw))
+			if err == nil {
+				t.Fatal("Parse accepted a broken spec")
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestParsedSpecSchedules(t *testing.T) {
+	part, pa, err := Parse([]byte(goodSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The parsed app must be schedulable end to end (smoke).
+	if part.App.TotalDataBytes() != 254 {
+		t.Errorf("TDS = %d, want 254", part.App.TotalDataBytes())
+	}
+	if pa.FBSets != 2 {
+		t.Errorf("FBSets = %d", pa.FBSets)
+	}
+}
+
+func TestParseShippedExampleSpec(t *testing.T) {
+	raw, err := os.ReadFile("../../examples/specs/radar.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, pa, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.App.Name != "radar" || len(part.Clusters) != 3 {
+		t.Errorf("radar spec parsed wrong: %s / %d clusters", part.App.Name, len(part.Clusters))
+	}
+	if pa.FBSetBytes != 1024 {
+		t.Errorf("FB override lost: %d", pa.FBSetBytes)
+	}
+}
+
+func TestFromPartitionRoundTrip(t *testing.T) {
+	part, pa, err := Parse([]byte(goodSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := FromPartition(part, pa)
+	raw, err := sp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	part2, pa2, err := Parse(raw)
+	if err != nil {
+		t.Fatalf("%v\njson:\n%s", err, raw)
+	}
+	if part2.App.TotalDataBytes() != part.App.TotalDataBytes() ||
+		part2.App.NumKernels() != part.App.NumKernels() ||
+		len(part2.Clusters) != len(part.Clusters) {
+		t.Error("round trip changed the application")
+	}
+	if pa2.FBSetBytes != pa.FBSetBytes || pa2.CMWords != pa.CMWords {
+		t.Error("round trip changed the machine")
+	}
+	if !part2.App.IsStreamed("tile") {
+		t.Error("streamed flag lost in round trip")
+	}
+}
+
+func TestDumpAllPaperWorkloads(t *testing.T) {
+	for _, e := range workloads.All() {
+		sp := FromPartition(e.Part, e.Arch)
+		raw, err := sp.Marshal()
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		part, _, err := Parse(raw)
+		if err != nil {
+			t.Fatalf("%s: re-parse: %v", e.Name, err)
+		}
+		if part.App.TotalDataBytes() != e.Part.App.TotalDataBytes() {
+			t.Errorf("%s: TDS changed in export round trip", e.Name)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+// Package sweep runs memory-size parameter sweeps: the paper samples each
+// workload at one or two frame-buffer sizes (E1 vs E1*, MPEG vs MPEG*);
+// the sweep generalizes that into full improvement-versus-memory curves,
+// exposing the staircase structure of the reuse factor and the points
+// where retention unlocks.
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"cds/internal/app"
+	"cds/internal/arch"
+	"cds/internal/core"
+	"cds/internal/sim"
+	"cds/internal/workloads"
+)
+
+// Point is one sweep sample.
+type Point struct {
+	// FBBytes is the frame-buffer set size of the sample.
+	FBBytes int
+	// BasicFeasible marks sizes the Basic Scheduler can run at.
+	BasicFeasible bool
+	// RF is the reuse factor CDS settled on.
+	RF int
+	// DSImp and CDSImp are the relative improvements over Basic in
+	// percent (0 when basic is infeasible — see BasicFeasible).
+	DSImp, CDSImp float64
+	// RetainedBytes is the total size of CDS-retained objects.
+	RetainedBytes int
+	// DTBytes is the per-iteration traffic avoided by retention.
+	DTBytes int
+}
+
+// FB sweeps the frame-buffer set size from lo to hi (inclusive) in the
+// given step, scheduling the partition with all three policies at every
+// sample.
+func FB(pa arch.Params, part *app.Partition, lo, hi, step int) ([]Point, error) {
+	if lo <= 0 || hi < lo || step <= 0 {
+		return nil, fmt.Errorf("sweep: bad range [%d, %d] step %d", lo, hi, step)
+	}
+	var points []Point
+	for fb := lo; fb <= hi; fb += step {
+		cfg := pa
+		cfg.FBSetBytes = fb
+		pt := Point{FBBytes: fb}
+
+		dsS, err := (core.DataScheduler{}).Schedule(cfg, part)
+		if err != nil {
+			var ie *core.InfeasibleError
+			if errors.As(err, &ie) {
+				continue // below even the data schedulers' floor
+			}
+			return nil, err
+		}
+		cdsS, err := (core.CompleteDataScheduler{}).Schedule(cfg, part)
+		if err != nil {
+			return nil, err
+		}
+		pt.RF = cdsS.RF
+		pt.DTBytes = cdsS.AvoidedBytesPerIter()
+		for _, r := range cdsS.Retained {
+			pt.RetainedBytes += r.Size
+		}
+
+		basicS, err := (core.Basic{}).Schedule(cfg, part)
+		if err != nil {
+			var ie *core.InfeasibleError
+			if !errors.As(err, &ie) {
+				return nil, err
+			}
+			points = append(points, pt)
+			continue
+		}
+		pt.BasicFeasible = true
+		rBasic, err := sim.Run(basicS)
+		if err != nil {
+			return nil, err
+		}
+		rDS, err := sim.Run(dsS)
+		if err != nil {
+			return nil, err
+		}
+		rCDS, err := sim.Run(cdsS)
+		if err != nil {
+			return nil, err
+		}
+		pt.DSImp = sim.Improvement(rBasic, rDS)
+		pt.CDSImp = sim.Improvement(rBasic, rCDS)
+		points = append(points, pt)
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("sweep: no feasible sample in [%d, %d]", lo, hi)
+	}
+	return points, nil
+}
+
+// Write renders the sweep as a table plus an ASCII curve of the CDS
+// improvement.
+func Write(w io.Writer, points []Point) {
+	fmt.Fprintf(w, "%8s %4s %10s %10s %10s %8s\n", "FB", "RF", "DS impr", "CDS impr", "retained", "DT/iter")
+	for _, p := range points {
+		if !p.BasicFeasible {
+			fmt.Fprintf(w, "%8s %4d %10s %10s %9dB %7dB   (basic infeasible)\n",
+				arch.FormatSize(p.FBBytes), p.RF, "-", "-", p.RetainedBytes, p.DTBytes)
+			continue
+		}
+		fmt.Fprintf(w, "%8s %4d %9.1f%% %9.1f%% %9dB %7dB\n",
+			arch.FormatSize(p.FBBytes), p.RF, p.DSImp, p.CDSImp, p.RetainedBytes, p.DTBytes)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "CDS improvement vs frame-buffer size:")
+	for _, p := range points {
+		if !p.BasicFeasible {
+			fmt.Fprintf(w, "%8s | basic infeasible\n", arch.FormatSize(p.FBBytes))
+			continue
+		}
+		n := int(p.CDSImp / 2)
+		if n < 0 {
+			n = 0
+		}
+		if n > 50 {
+			n = 50
+		}
+		fmt.Fprintf(w, "%8s |%s %.0f%% (RF=%d)\n", arch.FormatSize(p.FBBytes), strings.Repeat("#", n), p.CDSImp, p.RF)
+	}
+}
+
+// CSV writes the sweep as comma-separated values.
+func CSV(w io.Writer, points []Point) {
+	fmt.Fprintln(w, "fb_bytes,basic_feasible,rf,ds_improvement,cds_improvement,retained_bytes,dt_bytes")
+	for _, p := range points {
+		fmt.Fprintf(w, "%d,%v,%d,%.2f,%.2f,%d,%d\n",
+			p.FBBytes, p.BasicFeasible, p.RF, p.DSImp, p.CDSImp, p.RetainedBytes, p.DTBytes)
+	}
+}
+
+// SharingPoint is one sample of the sharing-degree sweep.
+type SharingPoint struct {
+	// Frac is the probability that a cluster pair shares a table and
+	// feeds a result forward (the synthetic generator's knobs).
+	Frac float64
+	// CandidateBytes is the total size of retention candidates found.
+	CandidateBytes int
+	// DSImp and CDSImp are improvements over Basic (%).
+	DSImp, CDSImp float64
+}
+
+// Sharing sweeps the synthetic generator's sharing fractions and measures
+// how the Complete Data Scheduler's advantage over the Data Scheduler
+// grows with the amount of inter-cluster reuse available — the axis the
+// paper's experiments vary implicitly (E2 shares little, ATR-SLD* shares
+// everything).
+func Sharing(cfg SyntheticCfg, seed int64, fracs []float64) ([]SharingPoint, error) {
+	var points []SharingPoint
+	for _, f := range fracs {
+		c := cfg
+		c.SharedDataFrac = f
+		c.SharedResultFrac = f
+		part, err := workloads.Synthetic(c, seed)
+		if err != nil {
+			return nil, err
+		}
+		pa := workloads.SyntheticArch(c)
+		basicS, err := (core.Basic{}).Schedule(pa, part)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: sharing %.2f: %w", f, err)
+		}
+		dsS, err := (core.DataScheduler{}).Schedule(pa, part)
+		if err != nil {
+			return nil, err
+		}
+		cdsS, err := (core.CompleteDataScheduler{}).Schedule(pa, part)
+		if err != nil {
+			return nil, err
+		}
+		rB, err := sim.Run(basicS)
+		if err != nil {
+			return nil, err
+		}
+		rD, err := sim.Run(dsS)
+		if err != nil {
+			return nil, err
+		}
+		rC, err := sim.Run(cdsS)
+		if err != nil {
+			return nil, err
+		}
+		pt := SharingPoint{
+			Frac:   f,
+			DSImp:  sim.Improvement(rB, rD),
+			CDSImp: sim.Improvement(rB, rC),
+		}
+		for _, sd := range cdsS.Info.SharedData {
+			pt.CandidateBytes += sd.Size
+		}
+		for _, sr := range cdsS.Info.SharedResults {
+			pt.CandidateBytes += sr.Size
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// SyntheticCfg re-exports the generator config so callers of this package
+// need not import workloads directly.
+type SyntheticCfg = workloads.SyntheticConfig
+
+// WriteSharing renders a sharing sweep.
+func WriteSharing(w io.Writer, points []SharingPoint) {
+	fmt.Fprintf(w, "%8s %12s %10s %10s %10s\n", "sharing", "candidates", "DS impr", "CDS impr", "CDS-DS")
+	for _, p := range points {
+		fmt.Fprintf(w, "%7.0f%% %11dB %9.1f%% %9.1f%% %9.1f%%\n",
+			100*p.Frac, p.CandidateBytes, p.DSImp, p.CDSImp, p.CDSImp-p.DSImp)
+	}
+}

@@ -1,0 +1,120 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"cds/internal/workloads"
+)
+
+func TestFBSweepMPEG(t *testing.T) {
+	e := workloads.MPEG()
+	points, err := FB(e.Arch, e.Part, 768, 4096, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 8 {
+		t.Fatalf("only %d samples", len(points))
+	}
+	// The memory floor shows up: the smallest feasible sizes run DS/CDS
+	// but not Basic.
+	if points[0].BasicFeasible {
+		t.Errorf("FB=%d should be below the basic scheduler's floor", points[0].FBBytes)
+	}
+	sawFeasible := false
+	prevRF := 0
+	for _, p := range points {
+		if p.BasicFeasible {
+			sawFeasible = true
+			if p.CDSImp < p.DSImp {
+				t.Errorf("FB=%d: CDS %.1f below DS %.1f", p.FBBytes, p.CDSImp, p.DSImp)
+			}
+		}
+		// RF is monotone non-decreasing in memory.
+		if p.RF < prevRF {
+			t.Errorf("RF decreased from %d to %d at FB=%d", prevRF, p.RF, p.FBBytes)
+		}
+		prevRF = p.RF
+	}
+	if !sawFeasible {
+		t.Fatal("no basic-feasible samples")
+	}
+	// The top of the sweep must reach a higher RF than the bottom: the
+	// staircase exists.
+	if points[len(points)-1].RF <= points[0].RF {
+		t.Errorf("RF staircase absent: %d -> %d", points[0].RF, points[len(points)-1].RF)
+	}
+}
+
+func TestFBSweepBadRange(t *testing.T) {
+	e := workloads.E1()
+	if _, err := FB(e.Arch, e.Part, 0, 100, 10); err == nil {
+		t.Error("lo=0 accepted")
+	}
+	if _, err := FB(e.Arch, e.Part, 100, 50, 10); err == nil {
+		t.Error("hi<lo accepted")
+	}
+	if _, err := FB(e.Arch, e.Part, 100, 200, 0); err == nil {
+		t.Error("step=0 accepted")
+	}
+	// A range below any feasible size errors cleanly.
+	if _, err := FB(e.Arch, e.Part, 8, 16, 8); err == nil {
+		t.Error("infeasible-only range accepted")
+	}
+}
+
+func TestWriteAndCSV(t *testing.T) {
+	// MPEG's range includes basic-infeasible sizes, exercising both
+	// rendering branches.
+	e := workloads.MPEG()
+	points, err := FB(e.Arch, e.Part, 768, 2048, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	Write(&b, points)
+	out := b.String()
+	for _, want := range []string{"FB", "RF", "CDS improvement", "#", "basic infeasible"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Write output missing %q:\n%s", want, out)
+		}
+	}
+	var c strings.Builder
+	CSV(&c, points)
+	lines := strings.Split(strings.TrimSpace(c.String()), "\n")
+	if len(lines) != len(points)+1 {
+		t.Errorf("CSV has %d lines, want %d", len(lines), len(points)+1)
+	}
+}
+
+func TestSharingSweep(t *testing.T) {
+	cfg := workloads.DefaultSynthetic()
+	fracs := []float64{0, 0.5, 1}
+	points, err := Sharing(cfg, 3, fracs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// With zero sharing CDS cannot beat DS; with full sharing it must.
+	zero := points[0]
+	full := points[len(points)-1]
+	if zero.CandidateBytes != 0 {
+		t.Errorf("zero-sharing workload has %d candidate bytes", zero.CandidateBytes)
+	}
+	if gap := zero.CDSImp - zero.DSImp; gap > 0.5 {
+		t.Errorf("zero sharing: CDS-DS gap %.2f, want ~0", gap)
+	}
+	if full.CandidateBytes == 0 {
+		t.Error("full sharing produced no candidates")
+	}
+	if full.CDSImp <= full.DSImp {
+		t.Errorf("full sharing: CDS %.1f should beat DS %.1f", full.CDSImp, full.DSImp)
+	}
+	var b strings.Builder
+	WriteSharing(&b, points)
+	if !strings.Contains(b.String(), "CDS-DS") {
+		t.Error("WriteSharing output malformed")
+	}
+}

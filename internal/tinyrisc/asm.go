@@ -1,0 +1,250 @@
+package tinyrisc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Disassemble writes the program in its textual assembly form: kernel and
+// descriptor tables first, then the instructions with loop labels
+// synthesized for branch targets. Assemble reads the same format.
+func Disassemble(w io.Writer, p *Program) error {
+	if p == nil {
+		return fmt.Errorf("tinyrisc: nil program")
+	}
+	if len(p.Kernels) > 0 {
+		fmt.Fprintf(w, ".kernels %s\n", strings.Join(p.Kernels, " "))
+	}
+	for _, d := range p.Descs {
+		switch d.Kind {
+		case DescCtx:
+			fmt.Fprintf(w, ".desc ctx kernel=%s words=%d\n", d.Kernel, d.Words)
+		case DescLoad:
+			fmt.Fprintf(w, ".desc load obj=%s datum=%s set=%d addr=%d bytes=%d\n",
+				d.Object, d.Datum, d.Set, d.Addr, d.Bytes)
+		case DescStore:
+			fmt.Fprintf(w, ".desc store obj=%s datum=%s set=%d addr=%d bytes=%d\n",
+				d.Object, d.Datum, d.Set, d.Addr, d.Bytes)
+		}
+	}
+	// Branch targets get labels.
+	labels := map[int]string{}
+	for _, in := range p.Instrs {
+		switch in.Op {
+		case BNE, BEQ, JMP:
+			t := int(in.Imm)
+			if _, ok := labels[t]; !ok {
+				labels[t] = fmt.Sprintf("L%d", len(labels))
+			}
+		}
+	}
+	for pc, in := range p.Instrs {
+		if l, ok := labels[pc]; ok {
+			fmt.Fprintf(w, "%s:\n", l)
+		}
+		switch in.Op {
+		case BNE, BEQ:
+			fmt.Fprintf(w, "\t%s r%d, r%d, %s\n", in.Op, in.Rs, in.Rt, labels[int(in.Imm)])
+		case JMP:
+			fmt.Fprintf(w, "\tjmp %s\n", labels[int(in.Imm)])
+		default:
+			fmt.Fprintf(w, "\t%s\n", in)
+		}
+	}
+	return nil
+}
+
+// Assemble parses the Disassemble format.
+func Assemble(r io.Reader) (*Program, error) {
+	p := &Program{}
+	labels := map[string]int{}
+	type fixup struct {
+		instr int
+		label string
+		line  int
+	}
+	var fixups []fixup
+
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "//") {
+			continue
+		}
+		fail := func(format string, args ...interface{}) error {
+			return fmt.Errorf("tinyrisc: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		if strings.HasSuffix(line, ":") {
+			label := strings.TrimSuffix(line, ":")
+			if _, dup := labels[label]; dup {
+				return nil, fail("duplicate label %q", label)
+			}
+			labels[label] = len(p.Instrs)
+			continue
+		}
+		fields := strings.Fields(strings.ReplaceAll(line, ",", " "))
+		switch fields[0] {
+		case ".kernels":
+			p.Kernels = append(p.Kernels, fields[1:]...)
+		case ".desc":
+			if len(fields) < 2 {
+				return nil, fail(".desc wants a kind")
+			}
+			d := Descriptor{}
+			switch fields[1] {
+			case "ctx":
+				d.Kind = DescCtx
+			case "load":
+				d.Kind = DescLoad
+			case "store":
+				d.Kind = DescStore
+			default:
+				return nil, fail("unknown descriptor kind %q", fields[1])
+			}
+			for _, f := range fields[2:] {
+				eq := strings.IndexByte(f, '=')
+				if eq <= 0 {
+					return nil, fail("malformed descriptor field %q", f)
+				}
+				key, val := f[:eq], f[eq+1:]
+				switch key {
+				case "kernel":
+					d.Kernel = val
+				case "obj":
+					d.Object = val
+				case "datum":
+					d.Datum = val
+				case "words", "set", "addr", "bytes":
+					n, err := strconv.Atoi(val)
+					if err != nil {
+						return nil, fail("bad %s value %q", key, val)
+					}
+					switch key {
+					case "words":
+						d.Words = n
+					case "set":
+						d.Set = n
+					case "addr":
+						d.Addr = n
+					case "bytes":
+						d.Bytes = n
+					}
+				default:
+					return nil, fail("unknown descriptor field %q", key)
+				}
+			}
+			p.Descs = append(p.Descs, d)
+		case "nop":
+			p.Instrs = append(p.Instrs, Instr{Op: NOP})
+		case "dmaw":
+			p.Instrs = append(p.Instrs, Instr{Op: DMAW})
+		case "await":
+			p.Instrs = append(p.Instrs, Instr{Op: AWAIT})
+		case "halt":
+			p.Instrs = append(p.Instrs, Instr{Op: HALT})
+		case "addi":
+			rd, rs, imm, err := regRegImm(fields[1:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			p.Instrs = append(p.Instrs, Instr{Op: ADDI, Rd: rd, Rs: rs, Imm: imm})
+		case "add", "sub":
+			if len(fields) != 4 {
+				return nil, fail("%s wants 3 registers", fields[0])
+			}
+			rd, err1 := reg(fields[1])
+			rs, err2 := reg(fields[2])
+			rt, err3 := reg(fields[3])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fail("bad register in %q", line)
+			}
+			op := ADD
+			if fields[0] == "sub" {
+				op = SUB
+			}
+			p.Instrs = append(p.Instrs, Instr{Op: op, Rd: rd, Rs: rs, Rt: rt})
+		case "bne", "beq":
+			if len(fields) != 4 {
+				return nil, fail("%s wants rs, rt, label", fields[0])
+			}
+			rs, err1 := reg(fields[1])
+			rt, err2 := reg(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fail("bad register in %q", line)
+			}
+			op := BNE
+			if fields[0] == "beq" {
+				op = BEQ
+			}
+			fixups = append(fixups, fixup{instr: len(p.Instrs), label: fields[3], line: lineNo})
+			p.Instrs = append(p.Instrs, Instr{Op: op, Rs: rs, Rt: rt})
+		case "jmp":
+			if len(fields) != 2 {
+				return nil, fail("jmp wants a label")
+			}
+			fixups = append(fixups, fixup{instr: len(p.Instrs), label: fields[1], line: lineNo})
+			p.Instrs = append(p.Instrs, Instr{Op: JMP})
+		case "dmac", "cbcast":
+			if len(fields) != 2 {
+				return nil, fail("%s wants an index", fields[0])
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fail("bad index %q", fields[1])
+			}
+			op := DMAC
+			if fields[0] == "cbcast" {
+				op = CBCAST
+			}
+			p.Instrs = append(p.Instrs, Instr{Op: op, Imm: int32(n)})
+		default:
+			return nil, fail("unknown mnemonic %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, fx := range fixups {
+		target, ok := labels[fx.label]
+		if !ok {
+			return nil, fmt.Errorf("tinyrisc: line %d: undefined label %q", fx.line, fx.label)
+		}
+		p.Instrs[fx.instr].Imm = int32(target)
+	}
+	return p, nil
+}
+
+func reg(s string) (uint8, error) {
+	if len(s) < 2 || s[0] != 'r' {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 15 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func regRegImm(fields []string) (uint8, uint8, int32, error) {
+	if len(fields) != 3 {
+		return 0, 0, 0, fmt.Errorf("want rd, rs, imm")
+	}
+	rd, err := reg(fields[0])
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	rs, err := reg(fields[1])
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	imm, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("bad immediate %q", fields[2])
+	}
+	return rd, rs, int32(imm), nil
+}

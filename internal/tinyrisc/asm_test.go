@@ -1,0 +1,209 @@
+package tinyrisc
+
+import (
+	"strings"
+	"testing"
+
+	"cds/internal/arch"
+	"cds/internal/codegen"
+	"cds/internal/core"
+)
+
+func TestAssembleDisassembleRoundTrip(t *testing.T) {
+	s, err := (core.CompleteDataScheduler{}).Schedule(testArch(400), pipePartition(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := codegen.Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if err := Disassemble(&b, tp); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Assemble(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("%v\nassembly:\n%s", err, b.String())
+	}
+	if len(back.Instrs) != len(tp.Instrs) {
+		t.Fatalf("instr count %d after round trip, want %d", len(back.Instrs), len(tp.Instrs))
+	}
+	for i := range tp.Instrs {
+		if tp.Instrs[i] != back.Instrs[i] {
+			t.Fatalf("instr %d: %v != %v", i, back.Instrs[i], tp.Instrs[i])
+		}
+	}
+	if len(back.Descs) != len(tp.Descs) {
+		t.Fatalf("descriptor count differs")
+	}
+	for i := range tp.Descs {
+		if tp.Descs[i] != back.Descs[i] {
+			t.Fatalf("descriptor %d: %+v != %+v", i, back.Descs[i], tp.Descs[i])
+		}
+	}
+	// The reassembled program still verifies against the source.
+	if err := Verify(back, src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssembleHandwritten(t *testing.T) {
+	text := `
+# a tiny countdown program
+.kernels dct
+.desc ctx kernel=dct words=16
+	dmac 0
+	dmaw
+	addi r1, r0, 2
+spin:
+	cbcast 0
+	addi r1, r1, -1
+	bne r1, r0, spin
+	halt
+`
+	p, err := Assemble(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := &countingDevice{}
+	if _, err := Run(p, dev, Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	if dev.dmas != 1 || dev.waits != 1 || dev.casts != 2 {
+		t.Errorf("side effects = %d/%d/%d, want 1/1/2", dev.dmas, dev.waits, dev.casts)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct{ name, text string }{
+		{"unknown mnemonic", "frob r1\n"},
+		{"bad register", "addi rX, r0, 1\n"},
+		{"register out of range", "addi r16, r0, 1\n"},
+		{"undefined label", "jmp nowhere\n"},
+		{"duplicate label", "a:\na:\nhalt\n"},
+		{"bad desc kind", ".desc banana\n"},
+		{"bad desc field", ".desc ctx kernel=x words=ten\n"},
+		{"bad cbcast index", "cbcast two\n"},
+		{"short bne", "bne r1, r0\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Assemble(strings.NewReader(tc.text)); err == nil {
+				t.Errorf("accepted %q", tc.text)
+			}
+		})
+	}
+}
+
+func TestVerifyRejectsWrongPrograms(t *testing.T) {
+	s, err := (core.DataScheduler{}).Schedule(testArch(400), pipePartition(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := codegen.Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mutate := func(f func(*Program)) error {
+		bad := &Program{
+			Instrs:  append([]Instr(nil), good.Instrs...),
+			Descs:   append([]Descriptor(nil), good.Descs...),
+			Kernels: append([]string(nil), good.Kernels...),
+		}
+		f(bad)
+		return Verify(bad, src)
+	}
+
+	// Dropping the last CBCAST leaves source ops unconsumed.
+	if err := mutate(func(p *Program) {
+		for i := len(p.Instrs) - 1; i >= 0; i-- {
+			if p.Instrs[i].Op == CBCAST {
+				p.Instrs = append(p.Instrs[:i], p.Instrs[i+1:]...)
+				return
+			}
+		}
+	}); err == nil {
+		t.Error("dropped broadcast accepted")
+	}
+	// Swapping a descriptor's address breaks the replay.
+	if err := mutate(func(p *Program) {
+		for i := range p.Descs {
+			if p.Descs[i].Kind == DescLoad {
+				p.Descs[i].Addr += 4
+				return
+			}
+		}
+	}); err == nil {
+		t.Error("corrupted load address accepted")
+	}
+	// Corrupting a context descriptor breaks the replay.
+	if err := mutate(func(p *Program) {
+		for i := range p.Descs {
+			if p.Descs[i].Kind == DescCtx {
+				p.Descs[i].Words++
+				return
+			}
+		}
+	}); err == nil {
+		t.Error("corrupted context volume accepted")
+	}
+	// Renaming a kernel in the table breaks the broadcast match.
+	if err := mutate(func(p *Program) {
+		p.Kernels[0] = "impostor"
+	}); err == nil {
+		t.Error("renamed kernel accepted")
+	}
+	// Duplicating the final store runs past the source program.
+	if err := mutate(func(p *Program) {
+		for i := len(p.Instrs) - 1; i >= 0; i-- {
+			if p.Instrs[i].Op == DMAC {
+				extra := p.Instrs[i]
+				p.Instrs = append(p.Instrs[:i+1], append([]Instr{extra}, p.Instrs[i+1:]...)...)
+				return
+			}
+		}
+	}); err == nil {
+		t.Error("duplicated transfer accepted")
+	}
+}
+
+func TestTimedCyclesTakesLatestTimeline(t *testing.T) {
+	dev := &TimedDevice{Arch: arch.M1(), KernelCycles: map[string]int{"k": 500}}
+	// Array outlasts DMA.
+	if err := dev.StartDMA(Descriptor{Kind: DescLoad, Bytes: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Broadcast("k"); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Cycles() != 500 {
+		t.Errorf("Cycles = %d, want 500 (array timeline)", dev.Cycles())
+	}
+	if err := dev.WaitArray(); err != nil {
+		t.Fatal(err)
+	}
+	// Now a big DMA outlasts everything.
+	if err := dev.StartDMA(Descriptor{Kind: DescStore, Bytes: 40000}); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Cycles() <= 500 {
+		t.Errorf("Cycles = %d, want DMA-dominated", dev.Cycles())
+	}
+}
+
+func TestInstrStringUnknown(t *testing.T) {
+	if got := (Instr{Op: numOpcodes}).String(); got != "???" {
+		t.Errorf("unknown instr renders %q", got)
+	}
+}

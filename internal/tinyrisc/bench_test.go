@@ -1,0 +1,38 @@
+package tinyrisc
+
+import (
+	"testing"
+
+	"cds/internal/codegen"
+	"cds/internal/core"
+	"cds/internal/workloads"
+)
+
+// BenchmarkCompileAndRun measures control-code generation plus timed
+// interpretation for the MPEG schedule.
+func BenchmarkCompileAndRun(b *testing.B) {
+	e := workloads.MPEG()
+	s, err := (core.CompleteDataScheduler{}).Schedule(e.Arch, e.Part)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := codegen.Generate(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cycles := map[string]int{}
+	for _, k := range s.P.App.Kernels {
+		cycles[k.Name] = k.ComputeCycles
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tp, err := Compile(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dev := &TimedDevice{Arch: e.Arch, KernelCycles: cycles}
+		if _, err := Run(tp, dev, Limits{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package tinyrisc
+
+import (
+	"fmt"
+
+	"cds/internal/codegen"
+)
+
+// Compile lowers a scheduler-produced transfer program into TinyRISC
+// control code:
+//
+//   - every distinct transfer becomes a DMA descriptor; DMAC launches it
+//     and a DMAW before the dependent computation enforces ordering (the
+//     simple in-order policy TinyRISC uses);
+//
+//   - consecutive EXECs of the same kernel (the reuse-factor iteration
+//     run of loop fission) become a real hardware-style countdown loop:
+//
+//     addi r1, r0, N
+//     loop: cbcast k
+//     addi r1, r1, -1
+//     bne  r1, r0, loop
+//
+// Runs of fewer than MinLoopIters iterations are unrolled instead.
+func Compile(p *codegen.Program) (*Program, error) {
+	if p == nil {
+		return nil, fmt.Errorf("tinyrisc: nil program")
+	}
+	const minLoopIters = 2
+
+	out := &Program{}
+	kernelID := map[string]int{}
+	kid := func(name string) int32 {
+		id, ok := kernelID[name]
+		if !ok {
+			id = len(out.Kernels)
+			kernelID[name] = id
+			out.Kernels = append(out.Kernels, name)
+		}
+		return int32(id)
+	}
+	emit := func(in Instr) { out.Instrs = append(out.Instrs, in) }
+	desc := func(d Descriptor) int32 {
+		out.Descs = append(out.Descs, d)
+		return int32(len(out.Descs) - 1)
+	}
+
+	// pendingDMA tracks whether transfers were launched since the last
+	// DMAW; computation must wait for them.
+	pendingDMA := false
+	wait := func() {
+		if pendingDMA {
+			emit(Instr{Op: DMAW})
+			pendingDMA = false
+		}
+	}
+
+	instrs := p.Instrs
+	for i := 0; i < len(instrs); i++ {
+		in := instrs[i]
+		switch in.Op {
+		case codegen.OpLdCtxt:
+			emit(Instr{Op: DMAC, Imm: desc(Descriptor{
+				Kind: DescCtx, Kernel: in.Kernel, Words: in.Words,
+			})})
+			pendingDMA = true
+		case codegen.OpLdFB:
+			emit(Instr{Op: DMAC, Imm: desc(Descriptor{
+				Kind: DescLoad, Object: in.Object, Datum: in.Datum,
+				Set: in.Set, Addr: in.Addr, Bytes: in.Bytes,
+			})})
+			pendingDMA = true
+		case codegen.OpStFB:
+			// Stores read results the array produced: the array must
+			// be idle before the drain starts.
+			emit(Instr{Op: AWAIT})
+			emit(Instr{Op: DMAC, Imm: desc(Descriptor{
+				Kind: DescStore, Object: in.Object, Datum: in.Datum,
+				Set: in.Set, Addr: in.Addr, Bytes: in.Bytes,
+			})})
+			pendingDMA = true
+		case codegen.OpExec:
+			// Count the run of consecutive EXECs of this kernel.
+			run := 1
+			for i+run < len(instrs) &&
+				instrs[i+run].Op == codegen.OpExec &&
+				instrs[i+run].Kernel == in.Kernel {
+				run++
+			}
+			wait()
+			id := kid(in.Kernel)
+			if run < minLoopIters {
+				emit(Instr{Op: CBCAST, Imm: id})
+			} else {
+				// r1 = run; loop: cbcast; r1--; bne r1, r0, loop
+				emit(Instr{Op: ADDI, Rd: 1, Rs: 0, Imm: int32(run)})
+				loopStart := len(out.Instrs)
+				emit(Instr{Op: CBCAST, Imm: id})
+				emit(Instr{Op: ADDI, Rd: 1, Rs: 1, Imm: -1})
+				emit(Instr{Op: BNE, Rs: 1, Rt: 0, Imm: int32(loopStart)})
+			}
+			i += run - 1
+		default:
+			return nil, fmt.Errorf("tinyrisc: cannot compile op %v", in.Op)
+		}
+	}
+	wait()
+	emit(Instr{Op: HALT})
+	return out, nil
+}
+
+// Verify interprets the compiled program and checks that its side-effect
+// sequence (context loads, FB fills/drains, kernel broadcasts) replays
+// the source transfer program operation for operation.
+func Verify(tp *Program, src *codegen.Program) error {
+	v := &verifier{src: src.Instrs}
+	if _, err := Run(tp, v, Limits{}); err != nil {
+		return err
+	}
+	// Skip any trailing waits in accounting; every source op must be
+	// consumed.
+	if v.pos != len(v.src) {
+		return fmt.Errorf("tinyrisc: program replayed %d of %d operations", v.pos, len(v.src))
+	}
+	return nil
+}
+
+// verifier checks the side-effect stream against the source program.
+type verifier struct {
+	src []codegen.Instr
+	pos int
+}
+
+func (v *verifier) next() (codegen.Instr, error) {
+	if v.pos >= len(v.src) {
+		return codegen.Instr{}, fmt.Errorf("side effect beyond the source program (%d ops)", len(v.src))
+	}
+	in := v.src[v.pos]
+	v.pos++
+	return in, nil
+}
+
+func (v *verifier) StartDMA(d Descriptor) error {
+	in, err := v.next()
+	if err != nil {
+		return err
+	}
+	switch d.Kind {
+	case DescCtx:
+		if in.Op != codegen.OpLdCtxt || in.Kernel != d.Kernel || in.Words != d.Words {
+			return fmt.Errorf("expected %v, got ctx load of %s/%d", in, d.Kernel, d.Words)
+		}
+	case DescLoad:
+		if in.Op != codegen.OpLdFB || in.Object != d.Object || in.Addr != d.Addr || in.Bytes != d.Bytes {
+			return fmt.Errorf("expected %v, got load of %s@%d", in, d.Object, d.Addr)
+		}
+	case DescStore:
+		if in.Op != codegen.OpStFB || in.Object != d.Object || in.Addr != d.Addr || in.Bytes != d.Bytes {
+			return fmt.Errorf("expected %v, got store of %s@%d", in, d.Object, d.Addr)
+		}
+	}
+	return nil
+}
+
+func (v *verifier) WaitDMA() error { return nil }
+
+func (v *verifier) WaitArray() error { return nil }
+
+func (v *verifier) Broadcast(kernel string) error {
+	in, err := v.next()
+	if err != nil {
+		return err
+	}
+	if in.Op != codegen.OpExec || in.Kernel != kernel {
+		return fmt.Errorf("expected %v, got broadcast of %s", in, kernel)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package tinyrisc
+
+import (
+	"fmt"
+
+	"cds/internal/arch"
+)
+
+// TimedDevice executes a control program with cycle accounting: each DMA
+// descriptor costs its bus time on the (single) DMA channel, each
+// broadcast costs the kernel's compute cycles on the array, and DMAW
+// joins the two timelines. For the straight-line code Compile emits, the
+// resulting time equals the serial (non-overlapped) execution model
+// exactly — the cross-check TestTimedMatchesSerialSim pins.
+type TimedDevice struct {
+	Arch arch.Params
+	// KernelCycles maps a kernel name to its per-iteration compute
+	// cycles.
+	KernelCycles map[string]int
+
+	now       int // TinyRISC issue timeline
+	dmaFree   int // DMA channel timeline
+	arrayFree int // RC array timeline
+}
+
+// StartDMA implements Device.
+func (d *TimedDevice) StartDMA(desc Descriptor) error {
+	start := d.dmaFree
+	if d.now > start {
+		start = d.now // TinyRISC issues the descriptor in program order
+	}
+	var cost int
+	switch desc.Kind {
+	case DescCtx:
+		cost = d.Arch.ContextCycles(desc.Words)
+	case DescLoad, DescStore:
+		cost = d.Arch.DataCycles(desc.Bytes)
+	default:
+		return fmt.Errorf("tinyrisc: unknown descriptor kind %v", desc.Kind)
+	}
+	d.dmaFree = start + cost
+	return nil
+}
+
+// WaitDMA implements Device.
+func (d *TimedDevice) WaitDMA() error {
+	if d.dmaFree > d.now {
+		d.now = d.dmaFree
+	}
+	return nil
+}
+
+// Broadcast implements Device. Issue is non-blocking: the array picks the
+// work up when it is free; TinyRISC continues (e.g. programming the next
+// cluster's DMA transfers) immediately.
+func (d *TimedDevice) Broadcast(kernel string) error {
+	c, ok := d.KernelCycles[kernel]
+	if !ok {
+		return fmt.Errorf("tinyrisc: no cycle count for kernel %q", kernel)
+	}
+	start := d.arrayFree
+	if d.now > start {
+		start = d.now
+	}
+	d.arrayFree = start + c
+	return nil
+}
+
+// WaitArray implements Device.
+func (d *TimedDevice) WaitArray() error {
+	if d.arrayFree > d.now {
+		d.now = d.arrayFree
+	}
+	return nil
+}
+
+// Cycles returns the total execution time observed so far: the latest of
+// the issue, array and DMA timelines.
+func (d *TimedDevice) Cycles() int {
+	t := d.now
+	if d.dmaFree > t {
+		t = d.dmaFree
+	}
+	if d.arrayFree > t {
+		t = d.arrayFree
+	}
+	return t
+}

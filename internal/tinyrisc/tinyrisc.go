@@ -1,0 +1,238 @@
+// Package tinyrisc models the RISC control processor that sequences
+// MorphoSys ("MorphoSys operation is controlled by a RISC processor"): a
+// small 32-bit ISA with the DMA-control and context-broadcast
+// instructions TinyRISC adds to a standard core, an assembler, an
+// interpreter, and a backend that compiles a scheduler-produced transfer
+// program (codegen.Program) into a real instruction stream with hardware
+// loops for the reuse-factor iteration blocks.
+//
+// The point of the package is fidelity at the bottom of the stack: the
+// schedules do not just summarize into counters — they compile to control
+// code whose execution replays exactly the transfer/execute sequence the
+// scheduler planned (verified instruction-for-instruction in tests).
+package tinyrisc
+
+import (
+	"fmt"
+)
+
+// Opcode is a TinyRISC operation.
+type Opcode uint8
+
+// The instruction set. The rd/rs/rt fields address 16 registers; r0 is
+// hardwired to zero (writes are ignored).
+const (
+	// NOP does nothing.
+	NOP Opcode = iota
+	// ADDI rd, rs, imm: rd = rs + imm.
+	ADDI
+	// ADD rd, rs, rt: rd = rs + rt.
+	ADD
+	// SUB rd, rs, rt: rd = rs - rt.
+	SUB
+	// BNE rs, rt, target: branch to absolute target when rs != rt.
+	BNE
+	// BEQ rs, rt, target: branch to absolute target when rs == rt.
+	BEQ
+	// JMP target: unconditional branch.
+	JMP
+	// DMAC desc: program the DMA with transfer descriptor desc and
+	// start it (context load, FB fill or FB drain per the descriptor).
+	DMAC
+	// DMAW: stall until the DMA channel is idle.
+	DMAW
+	// CBCAST kid: broadcast a kernel's contexts from the Context Memory
+	// to the array and execute one iteration of kernel kid. Issue is
+	// non-blocking: TinyRISC may program further DMA transfers while
+	// the array computes.
+	CBCAST
+	// AWAIT stalls until the array is idle (results are in the FB).
+	AWAIT
+	// HALT stops the processor.
+	HALT
+	numOpcodes
+)
+
+var opNames = [...]string{
+	NOP: "nop", ADDI: "addi", ADD: "add", SUB: "sub",
+	BNE: "bne", BEQ: "beq", JMP: "jmp",
+	DMAC: "dmac", DMAW: "dmaw", CBCAST: "cbcast", AWAIT: "await", HALT: "halt",
+}
+
+func (o Opcode) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op         Opcode
+	Rd, Rs, Rt uint8
+	// Imm carries the immediate (ADDI), the branch target (BNE/BEQ/
+	// JMP), the descriptor index (DMAC) or the kernel id (CBCAST).
+	Imm int32
+}
+
+func (i Instr) String() string {
+	switch i.Op {
+	case NOP, DMAW, AWAIT, HALT:
+		return i.Op.String()
+	case ADDI:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rd, i.Rs, i.Imm)
+	case ADD, SUB:
+		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Rd, i.Rs, i.Rt)
+	case BNE, BEQ:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rs, i.Rt, i.Imm)
+	case JMP:
+		return fmt.Sprintf("jmp %d", i.Imm)
+	case DMAC:
+		return fmt.Sprintf("dmac %d", i.Imm)
+	case CBCAST:
+		return fmt.Sprintf("cbcast %d", i.Imm)
+	}
+	return "???"
+}
+
+// DescKind classifies a DMA transfer descriptor.
+type DescKind uint8
+
+const (
+	// DescCtx loads context words into the Context Memory.
+	DescCtx DescKind = iota
+	// DescLoad fills a Frame Buffer region from external memory.
+	DescLoad
+	// DescStore drains a Frame Buffer region to external memory.
+	DescStore
+)
+
+func (k DescKind) String() string {
+	switch k {
+	case DescCtx:
+		return "ctx"
+	case DescLoad:
+		return "load"
+	case DescStore:
+		return "store"
+	}
+	return "desc(?)"
+}
+
+// Descriptor is one pre-programmed DMA transfer, the unit DMAC launches.
+// TinyRISC programs the real DMA with a handful of register writes; the
+// descriptor table models the same information.
+type Descriptor struct {
+	Kind DescKind
+	// Kernel names the context group for DescCtx.
+	Kernel string
+	// Object/Datum name the FB-resident instance for loads and stores.
+	Object, Datum string
+	// Set/Addr/Bytes locate the FB region; Words is the context volume.
+	Set, Addr, Bytes, Words int
+}
+
+// Program is an assembled TinyRISC program plus its descriptor and kernel
+// tables.
+type Program struct {
+	Instrs []Instr
+	Descs  []Descriptor
+	// Kernels maps CBCAST kernel ids to kernel names.
+	Kernels []string
+}
+
+// Device receives the side effects of DMAC/DMAW/CBCAST/AWAIT execution.
+// The interpreter is agnostic to what they mean; tests and the verifier
+// implement this to observe the sequence.
+type Device interface {
+	// StartDMA begins the transfer described by d.
+	StartDMA(d Descriptor) error
+	// WaitDMA blocks until the channel is idle.
+	WaitDMA() error
+	// Broadcast executes one iteration of the named kernel.
+	Broadcast(kernel string) error
+	// WaitArray blocks until the array is idle.
+	WaitArray() error
+}
+
+// Limits bound interpretation.
+type Limits struct {
+	// MaxSteps aborts runaway programs (0 = 10 million).
+	MaxSteps int
+}
+
+// Run interprets the program against the device. It returns the number of
+// instructions executed.
+func Run(p *Program, dev Device, lim Limits) (int, error) {
+	maxSteps := lim.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 10_000_000
+	}
+	var regs [16]int32
+	pc := 0
+	steps := 0
+	for {
+		if pc < 0 || pc >= len(p.Instrs) {
+			return steps, fmt.Errorf("tinyrisc: pc %d out of program (len %d)", pc, len(p.Instrs))
+		}
+		if steps >= maxSteps {
+			return steps, fmt.Errorf("tinyrisc: exceeded %d steps (runaway loop?)", maxSteps)
+		}
+		in := p.Instrs[pc]
+		steps++
+		next := pc + 1
+		switch in.Op {
+		case NOP:
+		case ADDI:
+			writeReg(&regs, in.Rd, regs[in.Rs]+in.Imm)
+		case ADD:
+			writeReg(&regs, in.Rd, regs[in.Rs]+regs[in.Rt])
+		case SUB:
+			writeReg(&regs, in.Rd, regs[in.Rs]-regs[in.Rt])
+		case BNE:
+			if regs[in.Rs] != regs[in.Rt] {
+				next = int(in.Imm)
+			}
+		case BEQ:
+			if regs[in.Rs] == regs[in.Rt] {
+				next = int(in.Imm)
+			}
+		case JMP:
+			next = int(in.Imm)
+		case DMAC:
+			if in.Imm < 0 || int(in.Imm) >= len(p.Descs) {
+				return steps, fmt.Errorf("tinyrisc: pc %d: descriptor %d out of table (%d)", pc, in.Imm, len(p.Descs))
+			}
+			if err := dev.StartDMA(p.Descs[in.Imm]); err != nil {
+				return steps, fmt.Errorf("tinyrisc: pc %d: %w", pc, err)
+			}
+		case DMAW:
+			if err := dev.WaitDMA(); err != nil {
+				return steps, fmt.Errorf("tinyrisc: pc %d: %w", pc, err)
+			}
+		case AWAIT:
+			if err := dev.WaitArray(); err != nil {
+				return steps, fmt.Errorf("tinyrisc: pc %d: %w", pc, err)
+			}
+		case CBCAST:
+			if in.Imm < 0 || int(in.Imm) >= len(p.Kernels) {
+				return steps, fmt.Errorf("tinyrisc: pc %d: kernel id %d out of table (%d)", pc, in.Imm, len(p.Kernels))
+			}
+			if err := dev.Broadcast(p.Kernels[in.Imm]); err != nil {
+				return steps, fmt.Errorf("tinyrisc: pc %d: %w", pc, err)
+			}
+		case HALT:
+			return steps, nil
+		default:
+			return steps, fmt.Errorf("tinyrisc: pc %d: illegal opcode %d", pc, in.Op)
+		}
+		pc = next
+	}
+}
+
+// writeReg honors the hardwired-zero register.
+func writeReg(regs *[16]int32, rd uint8, v int32) {
+	if rd != 0 {
+		regs[rd] = v
+	}
+}

@@ -1,0 +1,299 @@
+package tinyrisc
+
+import (
+	"strings"
+	"testing"
+
+	"cds/internal/app"
+	"cds/internal/arch"
+	"cds/internal/codegen"
+	"cds/internal/core"
+	"cds/internal/sim"
+	"cds/internal/workloads"
+)
+
+// countingDevice tallies side effects.
+type countingDevice struct {
+	dmas, waits, casts int
+	kernels            []string
+}
+
+func (d *countingDevice) StartDMA(Descriptor) error { d.dmas++; return nil }
+func (d *countingDevice) WaitDMA() error            { d.waits++; return nil }
+func (d *countingDevice) WaitArray() error          { return nil }
+func (d *countingDevice) Broadcast(k string) error {
+	d.casts++
+	d.kernels = append(d.kernels, k)
+	return nil
+}
+
+func TestInterpreterBasics(t *testing.T) {
+	// r1 = 3; loop: cbcast 0; r1--; bne r1,r0,loop; halt
+	p := &Program{
+		Instrs: []Instr{
+			{Op: ADDI, Rd: 1, Rs: 0, Imm: 3},
+			{Op: CBCAST, Imm: 0},
+			{Op: ADDI, Rd: 1, Rs: 1, Imm: -1},
+			{Op: BNE, Rs: 1, Rt: 0, Imm: 1},
+			{Op: HALT},
+		},
+		Kernels: []string{"dct"},
+	}
+	dev := &countingDevice{}
+	steps, err := Run(p, dev, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.casts != 3 {
+		t.Errorf("casts = %d, want 3", dev.casts)
+	}
+	if steps != 1+3*3+1 {
+		t.Errorf("steps = %d, want 11", steps)
+	}
+}
+
+func TestRegisterZeroHardwired(t *testing.T) {
+	p := &Program{Instrs: []Instr{
+		{Op: ADDI, Rd: 0, Rs: 0, Imm: 42}, // write to r0 ignored
+		{Op: BEQ, Rs: 0, Rt: 0, Imm: 3},   // r0 == r0: skip the bad jump
+		{Op: JMP, Imm: -7},
+		{Op: HALT},
+	}}
+	if _, err := Run(p, &countingDevice{}, Limits{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterpreterErrors(t *testing.T) {
+	dev := &countingDevice{}
+	// PC escapes.
+	if _, err := Run(&Program{Instrs: []Instr{{Op: JMP, Imm: 99}}}, dev, Limits{}); err == nil {
+		t.Error("wild jump accepted")
+	}
+	// Runaway loop hits the step limit.
+	if _, err := Run(&Program{Instrs: []Instr{{Op: JMP, Imm: 0}}}, dev, Limits{MaxSteps: 100}); err == nil {
+		t.Error("runaway loop not caught")
+	}
+	// Descriptor/kernel table bounds.
+	if _, err := Run(&Program{Instrs: []Instr{{Op: DMAC, Imm: 0}}}, dev, Limits{}); err == nil {
+		t.Error("missing descriptor accepted")
+	}
+	if _, err := Run(&Program{Instrs: []Instr{{Op: CBCAST, Imm: 5}, {Op: HALT}}}, dev, Limits{}); err == nil {
+		t.Error("missing kernel accepted")
+	}
+	// Illegal opcode.
+	if _, err := Run(&Program{Instrs: []Instr{{Op: numOpcodes}}}, dev, Limits{}); err == nil {
+		t.Error("illegal opcode accepted")
+	}
+}
+
+func pipePartition(iters int) *app.Partition {
+	b := app.NewBuilder("pipe", iters).
+		Datum("inA", 100).
+		Datum("x", 50).
+		Datum("m", 30).
+		Datum("r2", 60).
+		Datum("rB", 40).
+		Datum("out1", 20).
+		Datum("out2", 20)
+	b.Kernel("k1", 16, 1000).In("inA", "x").Out("m")
+	b.Kernel("k2", 16, 1000).In("m").Out("r2", "rB")
+	b.Kernel("k3", 16, 1000).In("r2").Out("out1")
+	b.Kernel("k4", 16, 1000).In("inA", "rB").Out("out2")
+	return app.MustPartition(b.MustBuild(), 2, 2, 1, 1)
+}
+
+func testArch(fb int) arch.Params {
+	p := arch.M1()
+	p.FBSetBytes = fb
+	p.CMWords = 64
+	return p
+}
+
+// TestCompileAndVerify compiles transfer programs for all schedulers on
+// the pipe app and on the MPEG experiment, executing each and replaying
+// the exact side-effect sequence of the source.
+func TestCompileAndVerify(t *testing.T) {
+	cases := []struct {
+		name string
+		part *app.Partition
+		pa   arch.Params
+	}{
+		{"pipe", pipePartition(5), testArch(400)},
+		{"mpeg", workloads.MPEG().Part, workloads.MPEG().Arch},
+	}
+	for _, tc := range cases {
+		for _, sched := range []core.Scheduler{core.Basic{}, core.DataScheduler{}, core.CompleteDataScheduler{}} {
+			s, err := sched.Schedule(tc.pa, tc.part)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tc.name, sched.Name(), err)
+			}
+			src, err := codegen.Generate(s)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tc.name, sched.Name(), err)
+			}
+			tp, err := Compile(src)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tc.name, sched.Name(), err)
+			}
+			if err := Verify(tp, src); err != nil {
+				t.Fatalf("%s/%s: %v", tc.name, sched.Name(), err)
+			}
+		}
+	}
+}
+
+// TestCompileUsesLoops: with RF > 1, the iteration runs compile to
+// countdown loops, so the TinyRISC program is much smaller than the
+// unrolled transfer program.
+func TestCompileUsesLoops(t *testing.T) {
+	part := pipePartition(12)
+	s, err := (core.DataScheduler{}).Schedule(testArch(2048), part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RF < 2 {
+		t.Fatalf("RF = %d, test needs loop fission", s.RF)
+	}
+	src, err := codegen.Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasLoop := false
+	for _, in := range tp.Instrs {
+		if in.Op == BNE {
+			hasLoop = true
+		}
+	}
+	if !hasLoop {
+		t.Error("no countdown loop emitted despite RF > 1")
+	}
+	// The loop form must still replay the full unrolled sequence.
+	if err := Verify(tp, src); err != nil {
+		t.Fatal(err)
+	}
+	// And it must be denser than one instruction per source op.
+	execs := src.Count(codegen.OpExec)
+	casts := 0
+	for _, in := range tp.Instrs {
+		if in.Op == CBCAST {
+			casts++
+		}
+	}
+	if casts >= execs {
+		t.Errorf("static CBCASTs %d, source EXECs %d: loops should compress", casts, execs)
+	}
+}
+
+func TestCompileNil(t *testing.T) {
+	if _, err := Compile(nil); err == nil {
+		t.Error("nil program compiled")
+	}
+}
+
+func TestInstrStrings(t *testing.T) {
+	tests := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: ADDI, Rd: 1, Rs: 0, Imm: 5}, "addi r1, r0, 5"},
+		{Instr{Op: BNE, Rs: 1, Rt: 0, Imm: 7}, "bne r1, r0, 7"},
+		{Instr{Op: DMAC, Imm: 3}, "dmac 3"},
+		{Instr{Op: CBCAST, Imm: 2}, "cbcast 2"},
+		{Instr{Op: HALT}, "halt"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+	if !strings.Contains(Opcode(99).String(), "99") {
+		t.Error("unknown opcode string")
+	}
+	if DescCtx.String() != "ctx" || DescStore.String() != "store" {
+		t.Error("DescKind strings")
+	}
+}
+
+// TestTimedMatchesSerialSim cross-validates independent models. The
+// compiled control code issues DMA descriptors without blocking on the
+// array (CBCAST is non-blocking; AWAIT guards only the stores), so its
+// cycle-accounted execution lands BETWEEN the fully serial analytic model
+// and the aggressively overlapped one:
+//
+//	max(compute, serial DMA busy) <= timed <= serial + setup slack
+//
+// (the slack covers the finer DMA-burst granularity of the control code:
+// one setup per instance and per kernel context group instead of one per
+// batched visit movement).
+func TestTimedMatchesSerialSim(t *testing.T) {
+	cases := []struct {
+		name string
+		part *app.Partition
+		pa   arch.Params
+	}{
+		{"pipe", pipePartition(5), testArch(400)},
+		{"mpeg", workloads.MPEG().Part, workloads.MPEG().Arch},
+		{"e1", workloads.E1().Part, workloads.E1().Arch},
+	}
+	for _, tc := range cases {
+		for _, sched := range []core.Scheduler{core.Basic{}, core.DataScheduler{}, core.CompleteDataScheduler{}} {
+			s, err := sched.Schedule(tc.pa, tc.part)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tc.name, sched.Name(), err)
+			}
+			src, err := codegen.Generate(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tp, err := Compile(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cycles := map[string]int{}
+			for _, k := range s.P.App.Kernels {
+				cycles[k.Name] = k.ComputeCycles
+			}
+			dev := &TimedDevice{Arch: tc.pa, KernelCycles: cycles}
+			if _, err := Run(tp, dev, Limits{}); err != nil {
+				t.Fatalf("%s/%s: %v", tc.name, sched.Name(), err)
+			}
+			serial, err := sim.RunSerial(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lower := serial.ComputeCycles
+			if serial.DMABusy() > lower {
+				lower = serial.DMABusy()
+			}
+			if dev.Cycles() < lower {
+				t.Errorf("%s/%s: control-code time %d below the resource bound %d",
+					tc.name, sched.Name(), dev.Cycles(), lower)
+			}
+			if limit := serial.TotalCycles + serial.TotalCycles/50; dev.Cycles() > limit {
+				t.Errorf("%s/%s: control-code time %d exceeds the serial model %d by more than 2%%",
+					tc.name, sched.Name(), dev.Cycles(), serial.TotalCycles)
+			}
+			// On the transfer-heavy MPEG workload the issue-level
+			// overlap must beat the serial model outright.
+			if tc.name == "mpeg" && dev.Cycles() >= serial.TotalCycles {
+				t.Errorf("%s/%s: control code gained nothing over serial execution (%d >= %d)",
+					tc.name, sched.Name(), dev.Cycles(), serial.TotalCycles)
+			}
+		}
+	}
+}
+
+func TestTimedDeviceErrors(t *testing.T) {
+	dev := &TimedDevice{Arch: arch.M1(), KernelCycles: map[string]int{}}
+	if err := dev.Broadcast("ghost"); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	if err := dev.StartDMA(Descriptor{Kind: DescKind(9)}); err == nil {
+		t.Error("unknown descriptor kind accepted")
+	}
+}

@@ -1,0 +1,82 @@
+package workloads
+
+import (
+	"fmt"
+
+	"cds/internal/app"
+	"cds/internal/arch"
+	"cds/internal/kernels"
+)
+
+// FromLibrary builds a workload whose scheduling metadata comes straight
+// from the functional kernel library: context volumes are the kernels'
+// real context-word counts, compute times their real array step counts,
+// and data sizes their real input/output word counts (16-bit words, so
+// bytes = 2x). This ties the scheduling layer to programs that actually
+// execute on the RC-array simulator (see cmd/morphsim).
+//
+// The application is a small vision pipeline over one 8x8 block per
+// iteration:
+//
+//	cluster 0 (set 0): dct8 -> scale     (transform + quantize)
+//	cluster 1 (set 1): threshold         (detection map)
+//	cluster 2 (set 0): sad8              (motion metric vs a reference)
+//
+// The quantized block q is a cross-cluster result (c0 -> c1); the block
+// pair for SAD shares the current block with cluster 0 via the FB set.
+func FromLibrary(iterations int) (*app.Partition, arch.Params, error) {
+	lib := kernels.Library()
+	get := func(name string) (*kernels.Kernel, error) {
+		k, ok := lib[name]
+		if !ok {
+			return nil, fmt.Errorf("workloads: library kernel %q missing", name)
+		}
+		return k, nil
+	}
+	dct, err := get("dct8")
+	if err != nil {
+		return nil, arch.Params{}, err
+	}
+	scale, err := get("scale")
+	if err != nil {
+		return nil, arch.Params{}, err
+	}
+	thr, err := get("threshold")
+	if err != nil {
+		return nil, arch.Params{}, err
+	}
+	sad, err := get("sad8")
+	if err != nil {
+		return nil, arch.Params{}, err
+	}
+
+	// The array is fully pipelined at the step level, but one "compute
+	// cycle" per step undersells real execution; scale by the array
+	// row count to keep compute and transfer cycles comparable.
+	cycles := func(k *kernels.Kernel) int { return 8 * k.ComputeCycles() }
+	words := func(w int) int { return 2 * w }
+
+	b := app.NewBuilder("vision", iterations).
+		Datum("block", words(dct.InWords)). // current 8x8 block
+		Datum("coef", words(dct.OutWords)). // DCT coefficients
+		Datum("q", words(scale.OutWords)).  // quantized block: c0 -> c1
+		Datum("mask", words(thr.OutWords)). // detection map (final)
+		Datum("pair", words(sad.InWords)).  // block pair for motion SAD
+		Datum("sads", words(sad.OutWords))  // per-row SADs (final)
+	b.Kernel("dct8", dct.ContextWords(), cycles(dct)).In("block").Out("coef")
+	b.Kernel("scale", scale.ContextWords(), cycles(scale)).In("coef").Out("q")
+	b.Kernel("threshold", thr.ContextWords(), cycles(thr)).In("q").Out("mask")
+	b.Kernel("sad8", sad.ContextWords(), cycles(sad)).In("pair").Out("sads")
+	a, err := b.Build()
+	if err != nil {
+		return nil, arch.Params{}, err
+	}
+	part, err := app.NewPartition(a, 2, 2, 1, 1)
+	if err != nil {
+		return nil, arch.Params{}, err
+	}
+	pa := arch.M1()
+	pa.FBSetBytes = 1 * arch.KiB
+	pa.CMWords = 256
+	return part, pa, nil
+}

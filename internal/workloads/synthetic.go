@@ -1,0 +1,144 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cds/internal/app"
+	"cds/internal/arch"
+)
+
+// SyntheticConfig controls the random workload generator. The generator
+// exists for stress tests, property tests and scaling benchmarks: it
+// produces applications with the same structural features as the paper's
+// experiments (private inputs, intra-cluster intermediates, same-set
+// shared data and shared results) in controllable proportions.
+type SyntheticConfig struct {
+	// Clusters and KernelsPerCluster set the partition shape.
+	Clusters, KernelsPerCluster int
+	// Iterations is the application iteration count.
+	Iterations int
+	// DataBytes is the nominal datum size; actual sizes vary by up to
+	// 50% around it.
+	DataBytes int
+	// SharedDataFrac in [0,1] sets roughly how many clusters get a
+	// same-set shared input table.
+	SharedDataFrac float64
+	// SharedResultFrac in [0,1] sets roughly how many clusters feed a
+	// result to the next same-set cluster.
+	SharedResultFrac float64
+	// CtxWords and ComputeCycles configure each kernel.
+	CtxWords, ComputeCycles int
+}
+
+// DefaultSynthetic returns a mid-sized configuration.
+func DefaultSynthetic() SyntheticConfig {
+	return SyntheticConfig{
+		Clusters:          6,
+		KernelsPerCluster: 2,
+		Iterations:        12,
+		DataBytes:         128,
+		SharedDataFrac:    0.5,
+		SharedResultFrac:  0.5,
+		CtxWords:          160,
+		ComputeCycles:     120,
+	}
+}
+
+// Synthetic generates a random partitioned application from the config,
+// deterministically for a given seed.
+func Synthetic(cfg SyntheticConfig, seed int64) (*app.Partition, error) {
+	if cfg.Clusters < 1 || cfg.KernelsPerCluster < 1 {
+		return nil, fmt.Errorf("workloads: need at least one cluster and kernel, got %d/%d",
+			cfg.Clusters, cfg.KernelsPerCluster)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	size := func() int {
+		min := cfg.DataBytes / 2
+		if min < 8 {
+			min = 8
+		}
+		return min + rng.Intn(cfg.DataBytes)
+	}
+	b := app.NewBuilder(fmt.Sprintf("synthetic-%d", seed), cfg.Iterations)
+
+	// Shared tables: one per FB set pair of clusters that rolled lucky.
+	type sharedTable struct {
+		name     string
+		clusters []int
+	}
+	var tables []sharedTable
+	for c := 0; c+2 < cfg.Clusters; c++ {
+		if rng.Float64() < cfg.SharedDataFrac {
+			name := fmt.Sprintf("tbl%d", c)
+			b.Datum(name, size())
+			tables = append(tables, sharedTable{name, []int{c, c + 2}})
+		}
+	}
+	// Shared results: cluster c feeds cluster c+2 (same set).
+	sharedResults := map[int]string{} // producing cluster -> datum
+	for c := 0; c+2 < cfg.Clusters; c++ {
+		if rng.Float64() < cfg.SharedResultFrac {
+			name := fmt.Sprintf("sr%d", c)
+			b.Datum(name, size())
+			sharedResults[c] = name
+		}
+	}
+
+	for c := 0; c < cfg.Clusters; c++ {
+		for k := 0; k < cfg.KernelsPerCluster; k++ {
+			b.Datum(fmt.Sprintf("d%d_%d", c, k), size())
+		}
+		b.Datum(fmt.Sprintf("out%d", c), size())
+	}
+
+	sizes := make([]int, cfg.Clusters)
+	for c := 0; c < cfg.Clusters; c++ {
+		sizes[c] = cfg.KernelsPerCluster
+		for k := 0; k < cfg.KernelsPerCluster; k++ {
+			kb := b.Kernel(fmt.Sprintf("k%d_%d", c, k),
+				cfg.CtxWords, cfg.ComputeCycles)
+			if k == 0 {
+				kb.In(fmt.Sprintf("d%d_%d", c, 0))
+				for _, t := range tables {
+					for _, tc := range t.clusters {
+						if tc == c {
+							kb.In(t.name)
+						}
+					}
+				}
+				if sr, ok := sharedResults[c-2]; ok {
+					kb.In(sr)
+				}
+			} else {
+				// Chain through the cluster.
+				kb.In(fmt.Sprintf("d%d_%d", c, k))
+				kb.In(fmt.Sprintf("m%d_%d", c, k-1))
+			}
+			if k < cfg.KernelsPerCluster-1 {
+				mid := fmt.Sprintf("m%d_%d", c, k)
+				b.Datum(mid, size())
+				kb.Out(mid)
+			} else {
+				kb.Out(fmt.Sprintf("out%d", c))
+				if sr, ok := sharedResults[c]; ok {
+					kb.Out(sr)
+				}
+			}
+		}
+	}
+	a, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return app.NewPartition(a, 2, sizes...)
+}
+
+// SyntheticArch returns a machine sized so the synthetic workload is
+// schedulable but contended: FB a little above the largest footprint, CM
+// below two clusters' context demand.
+func SyntheticArch(cfg SyntheticConfig) arch.Params {
+	fb := cfg.DataBytes * (cfg.KernelsPerCluster + 4) * 2
+	cm := cfg.CtxWords*cfg.KernelsPerCluster + cfg.CtxWords/2
+	return m1With(fb, cm)
+}

@@ -1,0 +1,427 @@
+// Package workloads defines the twelve experiments of the paper's
+// evaluation (Table 1 / Figure 6): the synthetic applications E1, E1*, E2
+// and E3, the MPEG video-compression pipeline (two memory sizes), and the
+// two Automatic Target Recognition pipelines ATR-SLD (three kernel
+// schedules) and ATR-FI (three memory/schedule variants), plus a seeded
+// synthetic generator for stress tests and benchmarks.
+//
+// The paper does not publish per-kernel sizes, so each workload is
+// reconstructed from its description: the dependence structure (which data
+// are shared within and among clusters) is faithful, and the sizes are
+// calibrated so that the architecture-level anchors that ARE legible in
+// the paper hold: the frame-buffer size and reuse factor RF of each row,
+// Basic > DS > CDS ordering, DS == Basic where the paper reports 0%, and
+// the MPEG memory floor (Basic cannot run in 1K, DS/CDS can).
+package workloads
+
+import (
+	"fmt"
+
+	"cds/internal/app"
+	"cds/internal/arch"
+)
+
+// Experiment is one Table 1 row: a partitioned application plus the
+// machine it runs on and the paper's published anchors.
+type Experiment struct {
+	// Name is the Table 1 row label.
+	Name string
+	// Part is the partitioned application.
+	Part *app.Partition
+	// Arch is the machine configuration (FB size from Table 1).
+	Arch arch.Params
+	// PaperRF is the reuse factor Table 1 reports (0 = illegible).
+	PaperRF int
+	// PaperDS and PaperCDS are the relative execution improvements (%)
+	// Figure 6 reports for the Data Scheduler and the Complete Data
+	// Scheduler (negative = illegible in the source).
+	PaperDS, PaperCDS float64
+}
+
+// m1With returns an M1 with the given FB set size and context memory.
+func m1With(fbBytes, cmWords int) arch.Params {
+	p := arch.M1()
+	p.FBSetBytes = fbBytes
+	p.CMWords = cmWords
+	return p
+}
+
+// All returns the twelve experiments in Table 1 order.
+func All() []Experiment {
+	return []Experiment{
+		E1(), E1Star(), E2(), E3(),
+		MPEG(), MPEGStar(),
+		ATRSLD(0), ATRSLD(1), ATRSLD(2),
+		ATRFI(0), ATRFI(1), ATRFI(2),
+	}
+}
+
+// ByName returns the experiment with the given Table 1 label.
+func ByName(name string) (Experiment, error) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("workloads: unknown experiment %q", name)
+}
+
+// e1App is the synthetic application behind E1 and E1*: four clusters of
+// two kernels. Each cluster filters a private input block against a
+// coefficient table; the tables are shared between the two clusters of
+// each FB set, and each set's first cluster feeds a partial result to the
+// set's second cluster.
+func e1App() *app.Partition {
+	b := app.NewBuilder("E1", 24)
+	// Shared coefficient tables (one per FB set) and shared partial
+	// results.
+	b.Datum("tbl02", 384) // used by clusters 0 and 2 (set 0)
+	b.Datum("tbl13", 384) // used by clusters 1 and 3 (set 1)
+	b.Datum("sr02", 128)  // cluster 0 -> cluster 2
+	b.Datum("sr13", 128)  // cluster 1 -> cluster 3
+	for c := 0; c < 4; c++ {
+		b.Datum(fmt.Sprintf("in%d", c), 96)
+		b.Datum(fmt.Sprintf("mid%d", c), 64)
+		b.Datum(fmt.Sprintf("out%d", c), 96)
+	}
+	tbl := []string{"tbl02", "tbl13", "tbl02", "tbl13"}
+	for c := 0; c < 4; c++ {
+		k1 := b.Kernel(fmt.Sprintf("flt%d", c), 160, 120).
+			In(fmt.Sprintf("in%d", c), tbl[c]).
+			Out(fmt.Sprintf("mid%d", c))
+		k2 := b.Kernel(fmt.Sprintf("acc%d", c), 160, 120).
+			In(fmt.Sprintf("mid%d", c)).
+			Out(fmt.Sprintf("out%d", c))
+		switch c {
+		case 0:
+			k2.Out("sr02")
+		case 1:
+			k2.Out("sr13")
+		case 2, 3:
+			k1.In(fmt.Sprintf("sr%d%d", c-2, c))
+		}
+	}
+	return app.MustPartition(b.MustBuild(), 2, 2, 2, 2, 2)
+}
+
+// E1 is the first synthetic experiment at FB = 1K: the footprint allows
+// only RF = 1, so the Data Scheduler gains nothing over Basic; the
+// Complete Data Scheduler still wins by retaining the shared tables and
+// partial results (paper: 0% vs 19%).
+func E1() Experiment {
+	return Experiment{
+		Name:    "E1",
+		Part:    e1App(),
+		Arch:    m1With(1*arch.KiB, 512),
+		PaperRF: 1, PaperDS: 0, PaperCDS: 19,
+	}
+}
+
+// E1Star is E1 with FB = 2K: RF rises to 3 and both schedulers improve
+// (paper: 38% vs 58%).
+func E1Star() Experiment {
+	return Experiment{
+		Name:    "E1*",
+		Part:    e1App(),
+		Arch:    m1With(2*arch.KiB, 512),
+		PaperRF: 3, PaperDS: 38, PaperCDS: 58,
+	}
+}
+
+// E2 is a longer pipeline with little inter-cluster sharing: DS and CDS
+// land close together (paper: 44% vs 48% at RF = 3, FB = 2K).
+func E2() Experiment {
+	b := app.NewBuilder("E2", 24)
+	// Six clusters, mostly a linear pipeline across sets (cross-set
+	// results cannot be retained), with one same-set shared table.
+	b.Datum("tblA", 256) // clusters 0 and 4 (set 0)
+	for c := 0; c < 6; c++ {
+		b.Datum(fmt.Sprintf("in%d", c), 224)
+		b.Datum(fmt.Sprintf("mid%d", c), 112)
+		b.Datum(fmt.Sprintf("out%d", c), 64)
+	}
+	for c := 0; c < 6; c++ {
+		k1 := b.Kernel(fmt.Sprintf("s%da", c), 176, 130).
+			In(fmt.Sprintf("in%d", c)).
+			Out(fmt.Sprintf("mid%d", c))
+		b.Kernel(fmt.Sprintf("s%db", c), 176, 130).
+			In(fmt.Sprintf("mid%d", c)).
+			Out(fmt.Sprintf("out%d", c))
+		if c == 0 || c == 4 {
+			k1.In("tblA")
+		}
+		if c > 0 {
+			// Pipeline: consume the previous cluster's output
+			// (adjacent clusters sit on different sets).
+			k1.In(fmt.Sprintf("out%d", c-1))
+		}
+	}
+	return Experiment{
+		Name:    "E2",
+		Part:    app.MustPartition(b.MustBuild(), 2, 2, 2, 2, 2, 2, 2),
+		Arch:    m1With(2*arch.KiB, 512),
+		PaperRF: 3, PaperDS: 44, PaperCDS: 48,
+	}
+}
+
+// E3 is a small-data, context-heavy application: a large RF (paper: 11 at
+// FB = 3K) massively cuts context reloads (paper: 67% vs 76%).
+func E3() Experiment {
+	b := app.NewBuilder("E3", 66)
+	b.Datum("coef", 112) // shared by clusters 0 and 2
+	for c := 0; c < 4; c++ {
+		b.Datum(fmt.Sprintf("in%d", c), 64)
+		b.Datum(fmt.Sprintf("out%d", c), 48)
+	}
+	for c := 0; c < 4; c++ {
+		k := b.Kernel(fmt.Sprintf("t%d", c), 256, 80).
+			In(fmt.Sprintf("in%d", c)).
+			Out(fmt.Sprintf("out%d", c))
+		if c == 0 || c == 2 {
+			k.In("coef")
+		}
+		if c == 2 {
+			k.In("out0") // partial result reused on set 0
+		}
+	}
+	return Experiment{
+		Name:    "E3",
+		Part:    app.MustPartition(b.MustBuild(), 2, 1, 1, 1, 1),
+		Arch:    m1With(3*arch.KiB, 512),
+		PaperRF: 11, PaperDS: 67, PaperCDS: 76,
+	}
+}
+
+// mpegApp models the macroblock loop of an MPEG encoder on MorphoSys (the
+// application MorphoSys was demonstrated on): motion estimation against a
+// reference window, DCT + quantization of the residual, and the
+// reconstruction path (dequantize + IDCT) whose output the next stage
+// consumes. The reference window is shared by the ME and reconstruction
+// clusters (same set); the quantization tables are shared by the quantize
+// and dequantize clusters (same set).
+func mpegApp() *app.Partition {
+	b := app.NewBuilder("MPEG", 30)
+	b.Datum("curMB", 160)  // current macroblock (cluster 0)
+	b.Datum("refWin", 384) // reference window: clusters 0 and 2 (set 0)
+	b.Datum("ctbl", 128)   // quant/coding tables: clusters 1 and 3 (set 1)
+	b.Datum("mv", 64)      // motion vectors: cluster 0 -> cluster 2 (set 0)
+	b.Datum("resid", 160)  // residual: cluster 0 -> cluster 1 (cross set)
+	b.Datum("coef", 224)   // DCT coefficients (intermediate, cluster 1)
+	b.Datum("qcoef", 192)  // quantized coefficients: cluster 1 -> clusters 2 (cross) and 3 (same set)
+	b.Datum("dq", 128)     // dequantized coefficients (intermediate, cluster 2)
+	b.Datum("pix", 128)    // inverse-transformed residual (intermediate, cluster 2)
+	b.Datum("recon", 192)  // reconstructed block (final)
+	b.Datum("bits", 96)    // entropy-coded payload (final)
+
+	// Cluster 0 (set 0): motion estimation + compensation. Both
+	// kernels read the current macroblock and the reference window:
+	// under the Basic Scheduler that means duplicate transfers.
+	b.Kernel("sad", 224, 200).In("curMB", "refWin").Out("mv")
+	b.Kernel("mc", 160, 120).In("curMB", "refWin", "mv").Out("resid")
+	// Cluster 1 (set 1): transform + quantization.
+	b.Kernel("dct", 224, 150).In("resid").Out("coef")
+	b.Kernel("quant", 128, 80).In("coef", "ctbl").Out("qcoef")
+	// Cluster 2 (set 0): reconstruction path; reuses the reference
+	// window and motion vectors produced by cluster 0.
+	b.Kernel("dequant", 128, 80).In("qcoef").Out("dq")
+	b.Kernel("idct", 224, 150).In("dq").Out("pix")
+	b.Kernel("recon", 192, 130).In("pix", "refWin", "mv").Out("recon")
+	// Cluster 3 (set 1): entropy coding; shares the coding tables with
+	// the quantizer and re-reads the quantized coefficients.
+	b.Kernel("vlc", 96, 100).In("qcoef", "ctbl").Out("bits")
+	return app.MustPartition(b.MustBuild(), 2, 2, 2, 3, 1)
+}
+
+// MPEG is the encoder at FB = 2K (paper: RF = 2, 30% vs 45%). The paper
+// also reports that the Basic Scheduler cannot execute MPEG at all with a
+// 1K frame buffer while DS and CDS can — see MPEGFloor.
+func MPEG() Experiment {
+	return Experiment{
+		Name:    "MPEG",
+		Part:    mpegApp(),
+		Arch:    m1With(2*arch.KiB, 512),
+		PaperRF: 2, PaperDS: 30, PaperCDS: 45,
+	}
+}
+
+// MPEGStar is the encoder at FB = 3K (paper: RF = 4, 35% vs 50%).
+func MPEGStar() Experiment {
+	return Experiment{
+		Name:    "MPEG*",
+		Part:    mpegApp(),
+		Arch:    m1With(3*arch.KiB, 512),
+		PaperRF: 4, PaperDS: 35, PaperCDS: 50,
+	}
+}
+
+// MPEGFloor returns the MPEG experiment at FB = 1K, the configuration the
+// paper uses to show the Basic Scheduler fails while DS and CDS run.
+func MPEGFloor() Experiment {
+	return Experiment{
+		Name:    "MPEG@1K",
+		Part:    mpegApp(),
+		Arch:    m1With(1*arch.KiB, 512),
+		PaperRF: 1, PaperDS: -1, PaperCDS: -1,
+	}
+}
+
+// atrSLDApp models ATR second-level detection: a bank of target templates
+// is correlated against a large image region. The template bank is the
+// big shared datum; schedule determines which clusters share it on a set.
+// sizes are large (the paper reports a 14K working set at FB = 8K, RF=1).
+func atrSLDApp(schedule int) *app.Partition {
+	b := app.NewBuilder(fmt.Sprintf("ATR-SLD(%d)", schedule), 16)
+	b.Datum("image", 2048) // region of interest, shared by every correlator
+	b.Datum("bankA", 2048) // template bank A: even correlators
+	b.Datum("bankB", 2048) // template bank B: odd correlators
+	for c := 0; c < 8; c++ {
+		b.Datum(fmt.Sprintf("corr%d", c), 576)
+		b.Datum(fmt.Sprintf("peaks%d", c), 128)
+	}
+	for c := 0; c < 8; c++ {
+		bank := "bankA"
+		if c%2 == 1 {
+			bank = "bankB"
+		}
+		b.Kernel(fmt.Sprintf("xcorr%d", c), 256, 300).
+			In("image", bank).
+			Out(fmt.Sprintf("corr%d", c))
+		b.Kernel(fmt.Sprintf("peak%d", c), 128, 100).
+			In(fmt.Sprintf("corr%d", c)).
+			Out(fmt.Sprintf("peaks%d", c))
+	}
+	a := b.MustBuild()
+	switch schedule {
+	case 1:
+		// ATR-SLD*: one correlator+detector pair per cluster. No
+		// kernel pair inside a cluster shares inputs, so the Data
+		// Scheduler gains nothing (RF stays 1); retention of the
+		// template bank and image across the four same-set clusters
+		// gives the Complete Data Scheduler a large win.
+		return app.MustPartition(a, 2, 2, 2, 2, 2, 2, 2, 2, 2)
+	case 2:
+		// ATR-SLD**: uneven schedule mixing both regimes.
+		return app.MustPartition(a, 2, 4, 4, 2, 2, 2, 2)
+	default:
+		// ATR-SLD: four clusters of two correlator pairs each; the
+		// correlators inside a cluster duplicate their template and
+		// image transfers under the Basic Scheduler.
+		return app.MustPartition(a, 2, 4, 4, 4, 4)
+	}
+}
+
+// ATRSLD returns one of the paper's three ATR-SLD kernel schedules at a
+// fixed FB = 8K (paper: 15%/32%, 0%/60%, 13%/27%; all RF = 1).
+func ATRSLD(schedule int) Experiment {
+	names := []string{"ATR-SLD", "ATR-SLD*", "ATR-SLD**"}
+	ds := []float64{15, 0, 13}
+	cds := []float64{32, 60, 27}
+	return Experiment{
+		Name:    names[schedule],
+		Part:    atrSLDApp(schedule),
+		Arch:    m1With(8*arch.KiB, 768),
+		PaperRF: 1, PaperDS: ds[schedule], PaperCDS: cds[schedule],
+	}
+}
+
+// atrFIApp models the ATR focus-of-attention / indexing stage: small
+// chips are filtered and thresholded; a detection table is shared.
+func atrFIApp() *app.Partition {
+	b := app.NewBuilder("ATR-FI", 40)
+	b.Datum("chip", 160)
+	b.Datum("mask", 96) // shared by clusters 0 and 2
+	b.Datum("flt", 96)
+	b.Datum("scored", 64) // cluster 1 -> cluster 3 (set 1)
+	b.Datum("det", 48)
+	b.Datum("idx", 32)
+	b.Kernel("prefilter", 176, 100).In("chip", "mask").Out("flt")
+	b.Kernel("score", 176, 100).In("flt").Out("scored")
+	b.Kernel("detect", 144, 80).In("flt", "mask").Out("det")
+	b.Kernel("index", 96, 60).In("scored", "det").Out("idx")
+	return app.MustPartition(b.MustBuild(), 2, 1, 1, 1, 1)
+}
+
+// ATRFI returns one of the paper's three ATR-FI variants: the base run at
+// FB = 1K (RF = 2, 26%/30%), a large-memory run at FB = 2K (RF = 5), and
+// an alternative schedule at FB = 1K (33%/37%).
+func ATRFI(variant int) Experiment {
+	switch variant {
+	case 1:
+		return Experiment{
+			Name:    "ATR-FI*",
+			Part:    atrFIApp(),
+			Arch:    m1With(2*arch.KiB, 512),
+			PaperRF: 5, PaperDS: 61, PaperCDS: 61,
+		}
+	case 2:
+		// Alternative kernel schedule: prefilter+score fused.
+		p := atrFIApp()
+		alt := app.MustPartition(p.App, 2, 2, 1, 1)
+		return Experiment{
+			Name:    "ATR-FI**",
+			Part:    alt,
+			Arch:    m1With(1*arch.KiB, 512),
+			PaperRF: 2, PaperDS: 33, PaperCDS: 37,
+		}
+	default:
+		return Experiment{
+			Name:    "ATR-FI",
+			Part:    atrFIApp(),
+			Arch:    m1With(1*arch.KiB, 512),
+			PaperRF: 2, PaperDS: 26, PaperCDS: 30,
+		}
+	}
+}
+
+// RankingAblation returns a workload constructed so the retention
+// candidate RANKING decides the outcome: two shared objects compete for
+// frame-buffer space that can hold only one of them.
+//
+//   - "hot" (300 B) is read by three same-set clusters: TF = 300*2/TDS,
+//     retention avoids 600 B per iteration;
+//   - "cold" (500 B) is read by two same-set clusters: TF = 500*1/TDS,
+//     retention avoids 500 B per iteration;
+//   - a pass-through cluster with a large private input sits inside both
+//     retention spans, so pinning BOTH overflows the FB while pinning
+//     either one alone fits.
+//
+// The paper's TF ranking keeps "hot" (more transfers avoided); ranking by
+// raw size keeps "cold". Used by BenchmarkAblationRanking and the core
+// retention tests.
+func RankingAblation() Experiment {
+	b := app.NewBuilder("ranking", 8)
+	// Declare cold first so discovery-order (FIFO) ranking also picks
+	// the inferior candidate.
+	b.Datum("cold", 500) // clusters 2 and 8 (set 0)
+	b.Datum("hot", 300)  // clusters 0, 6 and 10 (set 0)
+	b.Datum("bigP", 400) // private input of the pass-through cluster 4
+	for c := 0; c < 12; c++ {
+		if c != 4 {
+			b.Datum(fmt.Sprintf("p%d", c), 100)
+		}
+		b.Datum(fmt.Sprintf("o%d", c), 60)
+	}
+	share := map[int]string{0: "hot", 6: "hot", 10: "hot", 2: "cold", 8: "cold"}
+	for c := 0; c < 12; c++ {
+		private := fmt.Sprintf("p%d", c)
+		if c == 4 {
+			private = "bigP" // the pass-through cluster's big input
+		}
+		k := b.Kernel(fmt.Sprintf("k%d", c), 96, 60).
+			In(private).
+			Out(fmt.Sprintf("o%d", c))
+		if s, ok := share[c]; ok {
+			k.In(s)
+		}
+	}
+	sizes := make([]int, 12)
+	for i := range sizes {
+		sizes[i] = 1
+	}
+	return Experiment{
+		Name:    "ranking-ablation",
+		Part:    app.MustPartition(b.MustBuild(), 2, sizes...),
+		Arch:    m1With(1024, 512),
+		PaperRF: 1, PaperDS: -1, PaperCDS: -1,
+	}
+}

@@ -1,0 +1,395 @@
+package workloads
+
+import (
+	"errors"
+	"testing"
+
+	"cds/internal/core"
+	"cds/internal/kernels"
+	"cds/internal/sim"
+)
+
+func kernelsLibrary() map[string]*kernels.Kernel { return kernels.Library() }
+
+// runAll schedules an experiment under all three policies and returns the
+// timing results (basic may be nil with an InfeasibleError).
+func runAll(t *testing.T, e Experiment) (basic, ds, cdsRes *sim.Result, sBasicErr error, sDS, sCDS *core.Schedule) {
+	t.Helper()
+	run := func(s core.Scheduler) (*sim.Result, *core.Schedule, error) {
+		sched, err := s.Schedule(e.Arch, e.Part)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, err := sim.Run(sched)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", e.Name, s.Name(), err)
+		}
+		return r, sched, nil
+	}
+	var err error
+	basic, _, sBasicErr = run(core.Basic{})
+	ds, sDS, err = run(core.DataScheduler{})
+	if err != nil {
+		t.Fatalf("%s/ds: %v", e.Name, err)
+	}
+	cdsRes, sCDS, err = run(core.CompleteDataScheduler{})
+	if err != nil {
+		t.Fatalf("%s/cds: %v", e.Name, err)
+	}
+	return basic, ds, cdsRes, sBasicErr, sDS, sCDS
+}
+
+func TestAllExperimentsValid(t *testing.T) {
+	exps := All()
+	if len(exps) != 12 {
+		t.Fatalf("All() = %d experiments, want 12 (Table 1)", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if seen[e.Name] {
+			t.Errorf("duplicate experiment %q", e.Name)
+		}
+		seen[e.Name] = true
+		if err := e.Part.Validate(); err != nil {
+			t.Errorf("%s: invalid partition: %v", e.Name, err)
+		}
+		if err := e.Arch.Validate(); err != nil {
+			t.Errorf("%s: invalid arch: %v", e.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	e, err := ByName("ATR-SLD*")
+	if err != nil || e.Name != "ATR-SLD*" {
+		t.Errorf("ByName(ATR-SLD*) = %v, %v", e.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) should fail")
+	}
+}
+
+// TestSchedulerOrderingOnAllExperiments is the headline Figure 6 shape:
+// CDS beats DS beats (or ties) Basic on every experiment.
+func TestSchedulerOrderingOnAllExperiments(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			basic, ds, cdsRes, basicErr, _, sCDS := runAll(t, e)
+			if basicErr != nil {
+				t.Fatalf("basic unexpectedly infeasible: %v", basicErr)
+			}
+			if ds.TotalCycles > basic.TotalCycles {
+				t.Errorf("DS (%d) slower than Basic (%d)", ds.TotalCycles, basic.TotalCycles)
+			}
+			if cdsRes.TotalCycles > ds.TotalCycles {
+				t.Errorf("CDS (%d) slower than DS (%d)", cdsRes.TotalCycles, ds.TotalCycles)
+			}
+			if cdsRes.TotalCycles >= basic.TotalCycles {
+				t.Errorf("CDS (%d) does not beat Basic (%d)", cdsRes.TotalCycles, basic.TotalCycles)
+			}
+			// CDS data traffic is never higher than DS's.
+			if cdsRes.LoadBytes > ds.LoadBytes || cdsRes.StoreBytes > ds.StoreBytes {
+				t.Errorf("CDS moves more data than DS: %d/%d vs %d/%d",
+					cdsRes.LoadBytes, cdsRes.StoreBytes, ds.LoadBytes, ds.StoreBytes)
+			}
+			_ = sCDS
+		})
+	}
+}
+
+// TestPaperRFMatches pins the reuse factors that are legible in Table 1.
+func TestPaperRFMatches(t *testing.T) {
+	for _, e := range All() {
+		if e.PaperRF <= 0 {
+			continue
+		}
+		s, err := (core.CompleteDataScheduler{}).Schedule(e.Arch, e.Part)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if s.RF != e.PaperRF {
+			t.Errorf("%s: RF = %d, paper says %d", e.Name, s.RF, e.PaperRF)
+		}
+	}
+}
+
+// TestZeroDSAnchors pins the rows where the paper reports the Data
+// Scheduler gaining nothing (E1 at 1K, ATR-SLD*), and checks CDS still
+// gains there — the paper's headline argument.
+func TestZeroDSAnchors(t *testing.T) {
+	for _, name := range []string{"E1", "ATR-SLD*"} {
+		e, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		basic, ds, cdsRes, basicErr, _, _ := runAll(t, e)
+		if basicErr != nil {
+			t.Fatalf("%s: %v", name, basicErr)
+		}
+		if ds.TotalCycles != basic.TotalCycles {
+			t.Errorf("%s: DS (%d) != Basic (%d); paper reports 0%% improvement",
+				name, ds.TotalCycles, basic.TotalCycles)
+		}
+		imp := sim.Improvement(basic, cdsRes)
+		if imp < 10 {
+			t.Errorf("%s: CDS improvement = %.1f%%, want a clear gain (paper: %.0f%%)",
+				name, imp, e.PaperCDS)
+		}
+	}
+}
+
+// TestBiggerFBHelps pins the paper's memory-scaling story: the starred
+// variants (larger FB) achieve strictly higher RF and at-least-as-good
+// improvements.
+func TestBiggerFBHelps(t *testing.T) {
+	pairs := [][2]string{{"E1", "E1*"}, {"MPEG", "MPEG*"}, {"ATR-FI", "ATR-FI*"}}
+	for _, pair := range pairs {
+		small, err := ByName(pair[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		big, err := ByName(pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sSmall, err := (core.CompleteDataScheduler{}).Schedule(small.Arch, small.Part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sBig, err := (core.CompleteDataScheduler{}).Schedule(big.Arch, big.Part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sBig.RF <= sSmall.RF {
+			t.Errorf("%s -> %s: RF %d -> %d, want an increase", pair[0], pair[1], sSmall.RF, sBig.RF)
+		}
+		bS, dS, cS, _, _, _ := runAll(t, small)
+		bB, dB, cB, _, _, _ := runAll(t, big)
+		if sim.Improvement(bB, dB) < sim.Improvement(bS, dS) {
+			t.Errorf("%s -> %s: DS improvement decreased", pair[0], pair[1])
+		}
+		if sim.Improvement(bB, cB) < sim.Improvement(bS, cS) {
+			t.Errorf("%s -> %s: CDS improvement decreased", pair[0], pair[1])
+		}
+	}
+}
+
+// TestMPEGMemoryFloor pins the paper's FB-floor result: the Basic
+// Scheduler cannot execute MPEG with a 1K frame buffer; DS and CDS can.
+func TestMPEGMemoryFloor(t *testing.T) {
+	e := MPEGFloor()
+	_, err := (core.Basic{}).Schedule(e.Arch, e.Part)
+	var ie *core.InfeasibleError
+	if !errors.As(err, &ie) {
+		t.Fatalf("basic on MPEG@1K: err = %v, want InfeasibleError", err)
+	}
+	if _, err := (core.DataScheduler{}).Schedule(e.Arch, e.Part); err != nil {
+		t.Errorf("DS on MPEG@1K failed: %v", err)
+	}
+	if _, err := (core.CompleteDataScheduler{}).Schedule(e.Arch, e.Part); err != nil {
+		t.Errorf("CDS on MPEG@1K failed: %v", err)
+	}
+}
+
+// TestNoSplitsAndRegularAllocation pins the paper's section 6 claim: on
+// every experiment the allocator places every datum unsplit, with regular
+// addresses across iterations.
+func TestNoSplitsAndRegularAllocation(t *testing.T) {
+	for _, e := range All() {
+		for _, sched := range []core.Scheduler{core.Basic{}, core.DataScheduler{}, core.CompleteDataScheduler{}} {
+			s, err := sched.Schedule(e.Arch, e.Part)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", e.Name, sched.Name(), err)
+			}
+			rep, err := core.Allocate(s, false) // splitting disabled: must still succeed
+			if err != nil {
+				t.Fatalf("%s/%s: allocation failed without splitting: %v", e.Name, sched.Name(), err)
+			}
+			if rep.Splits != 0 {
+				t.Errorf("%s/%s: %d splits", e.Name, sched.Name(), rep.Splits)
+			}
+			if !rep.Regular {
+				t.Errorf("%s/%s: irregular allocation: %v", e.Name, sched.Name(), rep.IrregularObjects)
+			}
+			for set, peak := range rep.PeakUsed {
+				if peak > e.Arch.FBSetBytes {
+					t.Errorf("%s/%s: set %d peak %d exceeds FB %d",
+						e.Name, sched.Name(), set, peak, e.Arch.FBSetBytes)
+				}
+			}
+		}
+	}
+}
+
+// TestATRSLDVariantsPattern pins the kernel-schedule sensitivity of
+// ATR-SLD: the one-pair-per-cluster schedule (*) zeroes the DS gain but
+// maximizes the CDS gain; the uneven schedule (**) sits below the base
+// for CDS.
+func TestATRSLDVariantsPattern(t *testing.T) {
+	imp := func(name string) (float64, float64) {
+		e, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		basic, ds, cdsRes, basicErr, _, _ := runAll(t, e)
+		if basicErr != nil {
+			t.Fatal(basicErr)
+		}
+		return sim.Improvement(basic, ds), sim.Improvement(basic, cdsRes)
+	}
+	baseDS, baseCDS := imp("ATR-SLD")
+	starDS, starCDS := imp("ATR-SLD*")
+	dd, dcds := imp("ATR-SLD**")
+	if starDS != 0 {
+		t.Errorf("ATR-SLD* DS improvement = %.1f%%, paper reports 0%%", starDS)
+	}
+	if !(starCDS > baseCDS && baseCDS > dcds) {
+		t.Errorf("CDS ordering across schedules: * (%.1f) > base (%.1f) > ** (%.1f) expected",
+			starCDS, baseCDS, dcds)
+	}
+	if baseDS <= dd-10 || baseDS == 0 {
+		t.Errorf("base DS (%.1f) should be a moderate nonzero gain (** is %.1f)", baseDS, dd)
+	}
+}
+
+func TestSynthetic(t *testing.T) {
+	cfg := DefaultSynthetic()
+	p, err := Synthetic(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Clusters) != cfg.Clusters {
+		t.Errorf("clusters = %d, want %d", len(p.Clusters), cfg.Clusters)
+	}
+	// Determinism.
+	p2, err := Synthetic(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.App.TotalDataBytes() != p2.App.TotalDataBytes() {
+		t.Error("same seed produced different apps")
+	}
+	p3, err := Synthetic(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.App.TotalDataBytes() == p3.App.TotalDataBytes() {
+		t.Error("different seeds produced identical apps (suspicious)")
+	}
+}
+
+func TestSyntheticSchedulable(t *testing.T) {
+	cfg := DefaultSynthetic()
+	for seed := int64(0); seed < 10; seed++ {
+		p, err := Synthetic(cfg, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		pa := SyntheticArch(cfg)
+		for _, sched := range []core.Scheduler{core.DataScheduler{}, core.CompleteDataScheduler{}} {
+			s, err := sched.Schedule(pa, p)
+			if err != nil {
+				var ie *core.InfeasibleError
+				if errors.As(err, &ie) {
+					continue // tight configs may not fit; that is fine
+				}
+				t.Fatalf("seed %d/%s: %v", seed, sched.Name(), err)
+			}
+			if _, err := core.Allocate(s, true); err != nil {
+				t.Fatalf("seed %d/%s: allocation: %v", seed, sched.Name(), err)
+			}
+			if _, err := sim.Run(s); err != nil {
+				t.Fatalf("seed %d/%s: sim: %v", seed, sched.Name(), err)
+			}
+		}
+	}
+}
+
+func TestSyntheticRejectsBadConfig(t *testing.T) {
+	if _, err := Synthetic(SyntheticConfig{}, 0); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+func TestRankingAblationDiscriminates(t *testing.T) {
+	e := RankingAblation()
+	run := func(rank core.RankFunc) *core.Schedule {
+		t.Helper()
+		s, err := (core.CompleteDataScheduler{Ranking: rank}).Schedule(e.Arch, e.Part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	tf := run(core.RankTF)
+	bySize := run(core.RankBySize)
+	fifo := run(core.RankFIFO)
+
+	names := func(s *core.Schedule) []string {
+		var out []string
+		for _, r := range s.Retained {
+			out = append(out, r.Name)
+		}
+		return out
+	}
+	if len(tf.Retained) != 1 || tf.Retained[0].Name != "hot" {
+		t.Errorf("TF ranking kept %v, want [hot]", names(tf))
+	}
+	if len(bySize.Retained) != 1 || bySize.Retained[0].Name != "cold" {
+		t.Errorf("size ranking kept %v, want [cold]", names(bySize))
+	}
+	if len(fifo.Retained) != 1 || fifo.Retained[0].Name != "cold" {
+		t.Errorf("FIFO ranking kept %v, want [cold] (declared first)", names(fifo))
+	}
+	// The paper's ranking must avoid strictly more traffic.
+	if tf.AvoidedBytesPerIter() <= bySize.AvoidedBytesPerIter() {
+		t.Errorf("TF avoided %d B/iter, size ranking %d: TF should win",
+			tf.AvoidedBytesPerIter(), bySize.AvoidedBytesPerIter())
+	}
+	if tf.TotalLoadBytes() >= bySize.TotalLoadBytes() {
+		t.Errorf("TF loads %d, size ranking %d: TF should move less data",
+			tf.TotalLoadBytes(), bySize.TotalLoadBytes())
+	}
+}
+
+func TestFromLibrary(t *testing.T) {
+	part, pa, err := FromLibrary(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := part.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The scheduling metadata must trace back to the functional kernel
+	// library exactly.
+	lib := kernelsLibrary()
+	for _, k := range part.App.Kernels {
+		fk, ok := lib[k.Name]
+		if !ok {
+			t.Fatalf("kernel %q not in the library", k.Name)
+		}
+		if k.ContextWords != fk.ContextWords() {
+			t.Errorf("%s: context words %d != library %d", k.Name, k.ContextWords, fk.ContextWords())
+		}
+		if got := part.App.SizeOf(k.Inputs[0]); got != 2*fk.InWords {
+			t.Errorf("%s: input bytes %d != 2x library words %d", k.Name, got, fk.InWords)
+		}
+	}
+	// And the workload must schedule end to end under all three policies.
+	for _, sched := range []core.Scheduler{core.Basic{}, core.DataScheduler{}, core.CompleteDataScheduler{}} {
+		s, err := sched.Schedule(pa, part)
+		if err != nil {
+			t.Fatalf("%s: %v", sched.Name(), err)
+		}
+		if _, err := core.Allocate(s, false); err != nil {
+			t.Fatalf("%s: %v", sched.Name(), err)
+		}
+		if _, err := sim.Run(s); err != nil {
+			t.Fatalf("%s: %v", sched.Name(), err)
+		}
+	}
+}
