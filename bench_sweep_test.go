@@ -1,0 +1,37 @@
+package cds_test
+
+// External test package: internal/sweep imports the cds facade (its
+// batch runner fans out cds.CompareAll), so benchmarks touching sweep
+// must live outside package cds to avoid a test-binary import cycle.
+
+import (
+	"testing"
+
+	"cds/internal/sweep"
+	"cds/internal/workloads"
+)
+
+// BenchmarkSweep measures a full frame-buffer sweep over the MPEG
+// workload: many independent (FB size -> three schedulers + simulation)
+// points, the shape the worker pool parallelizes and the analysis cache
+// deduplicates.
+func BenchmarkSweep(b *testing.B) {
+	e := workloads.MPEG()
+	for i := 0; i < b.N; i++ {
+		if _, err := sweep.FB(e.Arch, e.Part, 768, 8192, 128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatch measures the batch runner on an arch x workload grid:
+// three machine generations crossed with every Table 1 row.
+func BenchmarkBatch(b *testing.B) {
+	jobs := sweep.Grid(sweep.PresetArchs("M1/4", "M1", "M2"), workloads.All())
+	for i := 0; i < b.N; i++ {
+		outcomes := sweep.Batch(jobs, 0)
+		if len(outcomes) != len(jobs) {
+			b.Fatalf("outcomes = %d, want %d", len(outcomes), len(jobs))
+		}
+	}
+}

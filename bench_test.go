@@ -311,6 +311,48 @@ func benchName(prefix string, n int) string {
 	return prefix + "=" + strconv.Itoa(n)
 }
 
+// BenchmarkCompareAll measures the wall-clock cost of one full
+// three-scheduler comparison — the unit of work every sweep point and
+// every Table 1 row pays. The synthetic variants grow the cluster count
+// so the analysis and scheduling cost dominates the harness.
+func BenchmarkCompareAll(b *testing.B) {
+	cases := []struct {
+		name string
+		arch Arch
+		part *Part
+	}{}
+	e := workloads.MPEG()
+	cases = append(cases, struct {
+		name string
+		arch Arch
+		part *Part
+	}{"MPEG", e.Arch, e.Part})
+	for _, clusters := range []int{8, 32} {
+		cfg := workloads.DefaultSynthetic()
+		cfg.Clusters = clusters
+		part, err := workloads.Synthetic(cfg, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cases = append(cases, struct {
+			name string
+			arch Arch
+			part *Part
+		}{benchName("synthetic/clusters", clusters), workloads.SyntheticArch(cfg), part})
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := CompareAll(c.arch, c.part); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+
 // BenchmarkAblationOverlap quantifies what the double-buffered Frame
 // Buffer buys: the same CDS schedule simulated with and without
 // transfer/compute overlap, per experiment.

@@ -26,6 +26,7 @@ import (
 
 	"cds/internal/app"
 	"cds/internal/arch"
+	"cds/internal/conc"
 	"cds/internal/core"
 	"cds/internal/sim"
 )
@@ -152,21 +153,38 @@ type Comparison struct {
 
 // CompareAll runs Basic, DS and CDS on the same workload and computes the
 // paper's comparison metrics.
+//
+// The three scheduler runs are independent — they share only the
+// partition, the architecture parameters and the memoized (immutable)
+// analysis — so they fan out across goroutines; DS and CDS errors
+// propagate (DS first, matching the serial order), while a Basic failure
+// is the paper's memory-floor outcome and is reported in BasicErr.
 func CompareAll(pa Arch, part *Part) (*Comparison, error) {
 	cmp := &Comparison{}
-	var err error
-	cmp.DS, err = Run(DS, pa, part)
+	kinds := []SchedulerKind{DS, CDS, Basic}
+	results := make([]*Result, len(kinds))
+	var basicErr error
+	err := conc.ForEach(conc.DefaultLimit(), len(kinds), func(i int) error {
+		r, err := Run(kinds[i], pa, part)
+		if err != nil {
+			if kinds[i] == Basic {
+				// Basic infeasibility (the MPEG-at-1K case) is a
+				// result, not a failure.
+				basicErr = err
+				return nil
+			}
+			return fmt.Errorf("cds: %s scheduler: %w", schedulerLongName(kinds[i]), err)
+		}
+		results[i] = r
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("cds: data scheduler: %w", err)
+		return nil, err
 	}
-	cmp.CDS, err = Run(CDS, pa, part)
-	if err != nil {
-		return nil, fmt.Errorf("cds: complete data scheduler: %w", err)
-	}
+	cmp.DS, cmp.CDS, cmp.Basic = results[0], results[1], results[2]
+	cmp.BasicErr = basicErr
 	cmp.RF = cmp.CDS.Schedule.RF
 	cmp.DTBytes = cmp.CDS.Schedule.AvoidedBytesPerIter()
-
-	cmp.Basic, cmp.BasicErr = Run(Basic, pa, part)
 	if cmp.BasicErr != nil {
 		cmp.ImprovementDS, cmp.ImprovementCDS = 100, 100
 		return cmp, nil
@@ -174,4 +192,16 @@ func CompareAll(pa Arch, part *Part) (*Comparison, error) {
 	cmp.ImprovementDS = sim.Improvement(cmp.Basic.Timing, cmp.DS.Timing)
 	cmp.ImprovementCDS = sim.Improvement(cmp.Basic.Timing, cmp.CDS.Timing)
 	return cmp, nil
+}
+
+func schedulerLongName(k SchedulerKind) string {
+	switch k {
+	case Basic:
+		return "basic"
+	case DS:
+		return "data"
+	case CDS:
+		return "complete data"
+	}
+	return k.String()
 }

@@ -18,6 +18,7 @@ import (
 	"cds/internal/report"
 	"cds/internal/sim"
 	"cds/internal/spec"
+	"cds/internal/sweep"
 	"cds/internal/workloads"
 )
 
@@ -30,6 +31,7 @@ func main() {
 	floor := flag.Bool("floor", false, "also run the MPEG memory-floor experiment (FB = 1K)")
 	detail := flag.Bool("detail", false, "print a per-experiment breakdown (timing, retention, context overlap)")
 	dump := flag.String("dump", "", "export one experiment's application as editable JSON to stdout")
+	workers := flag.Int("workers", 0, "worker pool size for running experiments (0 = one per CPU)")
 	flag.Parse()
 
 	if *dump != "" {
@@ -58,15 +60,22 @@ func main() {
 		exps = append(exps, workloads.MPEGFloor())
 	}
 
+	// The rows are independent comparisons: run them through the sweep
+	// batch pool. Outcomes come back in experiment order, so the table
+	// is deterministic regardless of worker interleaving.
+	jobs := make([]sweep.Job, len(exps))
+	for i, e := range exps {
+		jobs[i] = sweep.Job{Name: e.Name, Arch: e.Arch, Part: e.Part}
+	}
+	outcomes := sweep.Batch(jobs, *workers)
 	rows := make([]report.Row, 0, len(exps))
-	for _, e := range exps {
-		row, err := runExperiment(e)
-		if err != nil {
-			log.Fatalf("%s: %v", e.Name, err)
+	for i, o := range outcomes {
+		if o.Err != nil {
+			log.Fatalf("%s: %v", o.Job.Name, o.Err)
 		}
-		rows = append(rows, row)
+		rows = append(rows, rowFrom(exps[i], o.Cmp))
 		if *detail {
-			printDetail(e)
+			printDetail(exps[i])
 		}
 	}
 
@@ -128,11 +137,7 @@ func printDetail(e workloads.Experiment) {
 	fmt.Println()
 }
 
-func runExperiment(e workloads.Experiment) (report.Row, error) {
-	cmp, err := cds.CompareAll(e.Arch, e.Part)
-	if err != nil {
-		return report.Row{}, err
-	}
+func rowFrom(e workloads.Experiment, cmp *cds.Comparison) report.Row {
 	row := report.Row{
 		Name:        e.Name,
 		N:           len(e.Part.Clusters),
@@ -152,5 +157,5 @@ func runExperiment(e workloads.Experiment) (report.Row, error) {
 		fmt.Fprintf(os.Stderr, "note: %s: %v (DS ran with RF=%d, CDS with RF=%d)\n",
 			e.Name, cmp.BasicErr, cmp.DS.Schedule.RF, cmp.CDS.Schedule.RF)
 	}
-	return row, nil
+	return row
 }

@@ -1,16 +1,20 @@
 // Command sweep plots improvement-versus-memory curves for a workload:
 // the generalization of the paper's E1 -> E1* / MPEG -> MPEG* two-point
-// comparisons into a full frame-buffer-size sweep.
+// comparisons into a full frame-buffer-size sweep. The samples run
+// across a worker pool; -grid batches architecture x workload grids
+// instead (machine presets crossed with every Table 1 row).
 //
 // Usage:
 //
 //	sweep -experiment MPEG [-from 512] [-to 4096] [-step 256] [-csv]
+//	sweep -grid [-archs M1/4,M1,M2] [-workers N] [-csv]
 package main
 
 import (
 	"flag"
 	"log"
 	"os"
+	"strings"
 
 	"cds/internal/sweep"
 	"cds/internal/workloads"
@@ -25,7 +29,24 @@ func main() {
 	step := flag.Int("step", 256, "sweep step in bytes")
 	csvOut := flag.Bool("csv", false, "emit CSV")
 	sharing := flag.Bool("sharing", false, "sweep the synthetic generator's sharing degree instead of FB size")
+	grid := flag.Bool("grid", false, "batch an architecture x workload grid instead of a single-workload FB sweep")
+	archNames := flag.String("archs", "M1/4,M1,M2", "comma-separated machine presets for -grid")
+	workers := flag.Int("workers", 0, "worker pool size for -grid (0 = one per CPU)")
 	flag.Parse()
+
+	if *grid {
+		archs := sweep.PresetArchs(strings.Split(*archNames, ",")...)
+		if len(archs) == 0 {
+			log.Fatalf("no known presets in %q", *archNames)
+		}
+		outcomes := sweep.Batch(sweep.Grid(archs, workloads.All()), *workers)
+		if *csvOut {
+			sweep.CSVBatch(os.Stdout, outcomes)
+			return
+		}
+		sweep.WriteBatch(os.Stdout, outcomes)
+		return
+	}
 
 	if *sharing {
 		cfg := workloads.DefaultSynthetic()

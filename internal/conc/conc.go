@@ -1,0 +1,83 @@
+// Package conc holds the small concurrency primitives the scheduling
+// stack shares: bounded-parallelism fan-out with deterministic
+// first-error propagation. The schedulers, cds.CompareAll and the sweep
+// batch runner all fan out over it, so the concurrency policy (worker
+// caps, error semantics) lives in exactly one place.
+package conc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultLimit returns the default fan-out width: one worker per
+// available CPU. Callers pass it (or any positive cap) to ForEach.
+func DefaultLimit() int { return runtime.GOMAXPROCS(0) }
+
+// ForEach runs fn(i) for every i in [0, n) across at most limit
+// concurrent goroutines (n when limit <= 0) and waits for all started
+// work to finish.
+//
+// Error semantics are deterministic: indices are claimed in ascending
+// order, a failure stops NEW indices from starting (claimed ones run to
+// completion), and the returned error is the one from the LOWEST failed
+// index — the same error a serial loop over [0, n) would have returned
+// first. With limit == 1 the loop degenerates to exactly that serial
+// loop.
+func ForEach(limit, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if limit <= 0 || limit > n {
+		limit = n
+	}
+	if limit == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	var (
+		next atomic.Int64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	next.Store(-1)
+	for w := 0; w < limit; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// Check stop BEFORE claiming so a claimed index always
+				// runs; that is what makes the lowest recorded error
+				// deterministic (see below).
+				if stop.Load() {
+					return
+				}
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					stop.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Every index below a failed one was claimed before it (ascending
+	// claim order) and ran to completion, so the lowest recorded error
+	// is the serial loop's first error.
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package conc
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryIndex(t *testing.T) {
+	for _, limit := range []int{0, 1, 2, 7, 100} {
+		const n = 50
+		var seen [n]atomic.Int32
+		if err := ForEach(limit, n, func(i int) error {
+			seen[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("limit=%d: %v", limit, err)
+		}
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("limit=%d: index %d ran %d times", limit, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndSingle(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { t.Fatal("fn called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	if err := ForEach(4, 1, func(int) error { ran = true; return nil }); err != nil || !ran {
+		t.Fatalf("single item: ran=%v err=%v", ran, err)
+	}
+}
+
+// TestForEachFirstError pins the deterministic error contract: the error
+// of the LOWEST failed index comes back, exactly as a serial loop's
+// first error, no matter how the workers interleave.
+func TestForEachFirstError(t *testing.T) {
+	fail := map[int]bool{3: true, 7: true, 12: true}
+	for _, limit := range []int{1, 2, 4, 16} {
+		for round := 0; round < 20; round++ {
+			err := ForEach(limit, 16, func(i int) error {
+				if fail[i] {
+					return fmt.Errorf("boom at %d", i)
+				}
+				return nil
+			})
+			if err == nil || err.Error() != "boom at 3" {
+				t.Fatalf("limit=%d round=%d: err = %v, want boom at 3", limit, round, err)
+			}
+		}
+	}
+}
+
+// TestForEachStopsDispatch checks a failure prevents later indices from
+// STARTING (already-claimed ones run to completion): with a serial
+// limit, nothing after the failing index runs at all.
+func TestForEachStopsDispatch(t *testing.T) {
+	var maxSeen atomic.Int32
+	boom := errors.New("boom")
+	err := ForEach(1, 100, func(i int) error {
+		maxSeen.Store(int32(i))
+		if i == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := maxSeen.Load(); got != 5 {
+		t.Fatalf("serial run reached index %d, want stop at 5", got)
+	}
+}
+
+func TestDefaultLimit(t *testing.T) {
+	if DefaultLimit() < 1 {
+		t.Fatalf("DefaultLimit() = %d", DefaultLimit())
+	}
+}

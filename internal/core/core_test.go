@@ -101,12 +101,15 @@ func TestCommonRF(t *testing.T) {
 	if got := CommonRF(360, info, true, nil); got != 2 {
 		t.Errorf("CommonRF(360) = %d, want 2", got)
 	}
-	// FBS=180 allows exactly RF=1; FBS=179 allows none (returns 0).
+	// FBS=180 allows exactly RF=1. Below that the raw division yields 0,
+	// but CommonRF clamps to the documented >= 1 floor: callers only
+	// reach it after feasibleRF has proven RF=1 viable, so 0 would just
+	// desynchronize them from blocks()'s rf<1 guard.
 	if got := CommonRF(180, info, true, nil); got != 1 {
 		t.Errorf("CommonRF(180) = %d, want 1", got)
 	}
-	if got := CommonRF(179, info, true, nil); got != 0 {
-		t.Errorf("CommonRF(179) = %d, want 0", got)
+	if got := CommonRF(179, info, true, nil); got != 1 {
+		t.Errorf("CommonRF(179) = %d, want 1 (clamped floor)", got)
 	}
 	// Iteration cap: a huge FB cannot push RF past Iterations.
 	if got := CommonRF(1<<20, info, true, nil); got != 4 {
@@ -120,10 +123,14 @@ func TestBlocks(t *testing.T) {
 		want      []int
 	}{
 		{4, 2, []int{2, 2}},
-		{5, 2, []int{2, 2, 1}},
+		{5, 2, []int{2, 2, 1}},      // tail block shorter than RF
+		{7, 3, []int{3, 3, 1}},      // iterations not divisible by RF
 		{3, 1, []int{1, 1, 1}},
-		{2, 10, []int{2}},
-		{1, 0, []int{1}}, // rf clamped to 1
+		{2, 10, []int{2}},           // rf >= iterations: one block
+		{5, 5, []int{5}},            // rf == iterations exactly
+		{1, 0, []int{1}},            // rf clamped to 1
+		{3, -2, []int{1, 1, 1}},     // negative rf clamped to 1
+		{0, 3, nil},                 // nothing to execute
 	}
 	for _, tt := range tests {
 		got := blocks(tt.iters, tt.rf)
@@ -131,11 +138,16 @@ func TestBlocks(t *testing.T) {
 			t.Errorf("blocks(%d,%d) = %v, want %v", tt.iters, tt.rf, got, tt.want)
 			continue
 		}
+		sum := 0
 		for i := range got {
+			sum += got[i]
 			if got[i] != tt.want[i] {
 				t.Errorf("blocks(%d,%d) = %v, want %v", tt.iters, tt.rf, got, tt.want)
 				break
 			}
+		}
+		if sum != tt.iters {
+			t.Errorf("blocks(%d,%d) covers %d iterations", tt.iters, tt.rf, sum)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"cds/internal/alloc"
@@ -73,6 +74,26 @@ func TestRFSweepCanPreferLowerRF(t *testing.T) {
 }
 
 func fmtOut(c int) string { return "out" + string(rune('0'+c)) }
+
+// TestRFSweepPropagatesErrors pins the sweep's error contract: only the
+// expected infeasible-RF outcome is skipped; genuine failures (here:
+// invalid architecture parameters) surface instead of being silently
+// papered over by the base schedule.
+func TestRFSweepPropagatesErrors(t *testing.T) {
+	part := pipeApp(t, 8)
+	bad := testArch(1024)
+	bad.FBSetBytes = -1
+	if _, err := (CompleteDataScheduler{RF: RFSweep}).Schedule(bad, part); err == nil {
+		t.Error("sweep with invalid arch params succeeded")
+	}
+	// An infeasible partition is an InfeasibleError, not a swallow.
+	tiny := testArch(64)
+	_, err := (CompleteDataScheduler{RF: RFSweep}).Schedule(tiny, part)
+	var ie *InfeasibleError
+	if !errors.As(err, &ie) {
+		t.Errorf("sweep on a too-small FB: err = %v, want InfeasibleError", err)
+	}
+}
 
 func TestForcedRFValidation(t *testing.T) {
 	part := pipeApp(t, 4)

@@ -12,6 +12,15 @@ import "cds/internal/extract"
 // The paper picks this common value first — reusing contexts for RF
 // iterations divides the number of context loads by RF — and only then
 // spends leftover FB space on inter-cluster retention.
+//
+// Invariant: the result is always >= 1. Callers reach CommonRF only
+// after feasibleRF has proven a single iteration fits (schedule() checks
+// RF=1 before picking RF), so a cluster footprint larger than the FB set
+// — which would make the raw division yield 0 — cannot mean "infeasible"
+// here; it can only arise when retention pinning inflates a footprint
+// past the set size, and then RF=1 is still the established floor.
+// Returning 0 would silently make downstream consumers (blocks()
+// defensively treats rf < 1 as 1) disagree about the block structure.
 func CommonRF(fbSetBytes int, info *extract.Info, inPlace bool, retained []Retained) int {
 	iters := info.P.App.Iterations
 	rf := iters
@@ -32,6 +41,9 @@ func CommonRF(fbSetBytes int, info *extract.Info, inPlace bool, retained []Retai
 	}
 	if rf > iters {
 		rf = iters
+	}
+	if rf < 1 {
+		rf = 1
 	}
 	return rf
 }

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"cds/internal/app"
 	"cds/internal/arch"
+	"cds/internal/conc"
 	"cds/internal/extract"
 )
 
@@ -108,13 +110,36 @@ func (c CompleteDataScheduler) Schedule(pa arch.Params, part *app.Partition) (*S
 	if err != nil {
 		return nil, err
 	}
-	best, bestCost := base, dmaCost(base)
-	for rf := 1; rf < base.RF; rf++ {
+	// The candidates are independent, so build them across a bounded
+	// worker pool; they share the base schedule's memoized analysis.
+	// Results land in rf order, keeping the winner selection below
+	// identical to the serial loop's.
+	cands := make([]*Schedule, base.RF-1)
+	err = conc.ForEach(conc.DefaultLimit(), len(cands), func(i int) error {
 		opts := opts
-		opts.forcedRF = rf
+		opts.forcedRF = i + 1
 		cand, err := schedule("cds", pa, part, opts)
 		if err != nil {
-			continue
+			// An RF the footprint model rejects is an expected sweep
+			// outcome; anything else (bad arch params, invalid
+			// partition) is a genuine failure that must surface
+			// instead of silently falling back to the base schedule.
+			var ie *InfeasibleError
+			if errors.As(err, &ie) {
+				return nil
+			}
+			return fmt.Errorf("core: rf sweep at RF=%d: %w", i+1, err)
+		}
+		cands[i] = cand
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	best, bestCost := base, dmaCost(base)
+	for _, cand := range cands {
+		if cand == nil {
+			continue // infeasible RF, skipped above
 		}
 		if cost := dmaCost(cand); cost < bestCost {
 			best, bestCost = cand, cost
@@ -162,7 +187,10 @@ func schedule(name string, pa arch.Params, part *app.Partition, opts scheduleOpt
 	if err := part.Validate(); err != nil {
 		return nil, err
 	}
-	info := extract.AnalyzeWithOpts(part, extract.Opts{CrossSetReuse: opts.crossSet})
+	// The analysis depends only on (partition, cross-set flag), so all
+	// three schedulers, every RF-sweep variant and every FB-sweep point
+	// share one memoized Info; it is immutable from here on.
+	info := extract.AnalyzeCached(part, extract.Opts{CrossSetReuse: opts.crossSet})
 
 	// Feasibility at RF=1 with no retention is the baseline requirement.
 	if ok, ierr := feasibleRF(pa.FBSetBytes, info, 1, opts.inPlaceRelease, nil); !ok {
@@ -303,7 +331,17 @@ func buildVisits(s *Schedule, pa arch.Params, info *extract.Info, rf int, retain
 				v.Stores = append(v.Stores, Movement{Datum: name, Bytes: iters * a.SizeOf(name)})
 			}
 			// Context loads: once per visit per context group at
-			// most, fewer if the group survived in the CM.
+			// most, fewer if the group survived in the CM. The Basic
+			// Scheduler (perKernelLoads) is the DATE'99 baseline with
+			// NO context reuse across cluster iterations: the CM is
+			// reset at every visit boundary so each visit recharges
+			// its full context volume even when the groups would
+			// still be resident — pinning its traffic to
+			// iterations x sum(ContextWords) (per-visit group sharing
+			// from intra-kernel tiling still deduplicates).
+			if perKernelLoads {
+				cm.Reset()
+			}
 			for _, ki := range c.Kernels {
 				k := a.Kernels[ki]
 				moved, err := cm.Load(k.CtxGroup(), k.ContextWords)

@@ -1,0 +1,101 @@
+package extract
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"testing"
+
+	"cds/internal/app"
+)
+
+func cachePart(t testing.TB, name string) *app.Partition {
+	t.Helper()
+	b := app.NewBuilder(name, 4).
+		Datum("in", 100).
+		Datum("mid", 40).
+		Datum("out", 20)
+	b.Kernel("ka", 16, 100).In("in").Out("mid")
+	b.Kernel("kb", 16, 100).In("mid").Out("out")
+	return app.MustPartition(b.MustBuild(), 2, 1, 1)
+}
+
+func TestAnalyzeCachedMemoizes(t *testing.T) {
+	p := cachePart(t, "memo")
+	a := AnalyzeCached(p, Opts{})
+	b := AnalyzeCached(p, Opts{})
+	if a != b {
+		t.Error("same (partition, opts) produced distinct Infos")
+	}
+	// Different options are a different analysis.
+	c := AnalyzeCached(p, Opts{CrossSetReuse: true})
+	if c == a {
+		t.Error("CrossSetReuse shares the same-set analysis")
+	}
+	// A different partition of the same shape is a different key.
+	q := cachePart(t, "memo2")
+	if AnalyzeCached(q, Opts{}) == a {
+		t.Error("distinct partitions share one Info")
+	}
+	// The memoized result matches a fresh analysis structurally.
+	fresh := AnalyzeWithOpts(p, Opts{})
+	if len(a.Clusters) != len(fresh.Clusters) || a.TDS != fresh.TDS ||
+		len(a.SharedData) != len(fresh.SharedData) || len(a.SharedResults) != len(fresh.SharedResults) {
+		t.Error("cached Info differs from a fresh analysis")
+	}
+}
+
+// TestAnalyzeCachedSingleflight checks concurrent first callers share
+// one computation and one result. Run under -race this also proves the
+// cache (and the shared Info) is safe to hit from many goroutines.
+func TestAnalyzeCachedSingleflight(t *testing.T) {
+	p := cachePart(t, "flight")
+	const goroutines = 16
+	results := make([]*Info, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g] = AnalyzeCached(p, Opts{})
+			// Read through the Info the way schedulers do, so the
+			// race detector sees concurrent shared reads.
+			for _, ci := range results[g].Clusters {
+				_ = ci.ExternalInBytes(p.App)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if results[g] != results[0] {
+			t.Fatalf("goroutine %d got a different Info", g)
+		}
+	}
+}
+
+// TestCacheEviction exercises the FIFO bound on a small private cache:
+// old entries fall out, the table never exceeds max.
+func TestCacheEviction(t *testing.T) {
+	c := &analysisCache{
+		max:     2,
+		entries: make(map[cacheKey]*cacheEntry),
+		order:   list.New(),
+	}
+	parts := make([]*app.Partition, 4)
+	infos := make([]*Info, 4)
+	for i := range parts {
+		parts[i] = cachePart(t, fmt.Sprintf("evict%d", i))
+		infos[i] = c.get(parts[i], Opts{})
+	}
+	if n := len(c.entries); n != 2 {
+		t.Fatalf("cache holds %d entries, want max 2", n)
+	}
+	// The two oldest were evicted: re-getting computes a fresh Info.
+	if c.get(parts[0], Opts{}) == infos[0] {
+		t.Error("evicted entry still memoized")
+	}
+	// The newest survives: same pointer comes back.
+	if c.get(parts[3], Opts{}) != infos[3] {
+		t.Error("resident entry recomputed")
+	}
+}

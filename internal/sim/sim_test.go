@@ -134,8 +134,18 @@ func TestImprovement(t *testing.T) {
 	if got := Improvement(base, better); got != 25 {
 		t.Errorf("Improvement = %v, want 25", got)
 	}
+	// The zero-baseline guard: a degenerate (empty) baseline must not
+	// divide by zero — the improvement is defined as 0, whatever the
+	// candidate did.
 	if got := Improvement(&Result{}, better); got != 0 {
 		t.Errorf("Improvement with zero baseline = %v, want 0", got)
+	}
+	if got := Improvement(&Result{}, &Result{}); got != 0 {
+		t.Errorf("Improvement of empty over empty = %v, want 0", got)
+	}
+	// Identical results: exactly 0, not a rounding artifact.
+	if got := Improvement(base, base); got != 0 {
+		t.Errorf("Improvement over itself = %v, want 0", got)
 	}
 	// Worse schedules yield negative improvement.
 	if got := Improvement(better, base); got >= 0 {

@@ -1,0 +1,122 @@
+package sweep
+
+// The batch runner generalizes the single-workload FB sweep into
+// arbitrary architecture x workload grids: every (arch, partition) point
+// is one three-scheduler comparison, the points are independent, and a
+// worker pool runs them concurrently. Results come back in job order and
+// a failing point records its error instead of aborting the batch — a
+// design-space exploration wants the 199 good points AND the one bad
+// one, not an abort.
+
+import (
+	"fmt"
+	"io"
+
+	"cds"
+	"cds/internal/arch"
+	"cds/internal/conc"
+	"cds/internal/workloads"
+)
+
+// Job is one grid point: a named (architecture, partition) pair.
+type Job struct {
+	Name string
+	Arch arch.Params
+	Part *cds.Part
+}
+
+// Outcome pairs a job with its comparison. Err is the per-point failure
+// (nil on success); a batch never aborts on one bad point.
+type Outcome struct {
+	Job Job
+	Cmp *cds.Comparison
+	Err error
+}
+
+// Batch runs cds.CompareAll on every job across a bounded worker pool
+// (workers <= 0 means one per CPU) and returns one Outcome per job, in
+// job order regardless of completion order.
+func Batch(jobs []Job, workers int) []Outcome {
+	out := make([]Outcome, len(jobs))
+	if workers <= 0 {
+		workers = conc.DefaultLimit()
+	}
+	// fn never returns an error: per-point failures are data.
+	_ = conc.ForEach(workers, len(jobs), func(i int) error {
+		out[i].Job = jobs[i]
+		out[i].Cmp, out[i].Err = cds.CompareAll(jobs[i].Arch, jobs[i].Part)
+		return nil
+	})
+	return out
+}
+
+// NamedArch is one architecture column of a grid (e.g. an arch.Presets
+// entry).
+type NamedArch struct {
+	Name   string
+	Params arch.Params
+}
+
+// PresetArchs resolves architecture preset names (arch.Presets keys,
+// e.g. "M1/4", "M1", "M2") into grid columns, skipping unknown names so
+// a grid over a preset list degrades instead of panicking.
+func PresetArchs(names ...string) []NamedArch {
+	presets := arch.Presets()
+	var out []NamedArch
+	for _, name := range names {
+		if p, ok := presets[name]; ok {
+			out = append(out, NamedArch{Name: name, Params: p})
+		}
+	}
+	return out
+}
+
+// Grid crosses architectures with workloads into a job list, named
+// "<arch>/<workload>", workloads varying fastest. Each job runs the
+// workload's partition on the GRID architecture (not the workload's
+// Table 1 one) — that is the point of the cross product.
+func Grid(archs []NamedArch, exps []workloads.Experiment) []Job {
+	jobs := make([]Job, 0, len(archs)*len(exps))
+	for _, na := range archs {
+		for _, e := range exps {
+			jobs = append(jobs, Job{
+				Name: na.Name + "/" + e.Name,
+				Arch: na.Params,
+				Part: e.Part,
+			})
+		}
+	}
+	return jobs
+}
+
+// WriteBatch renders batch outcomes as a table: one row per job, errors
+// inline so a partly-failed grid still reads as a grid.
+func WriteBatch(w io.Writer, outcomes []Outcome) {
+	fmt.Fprintf(w, "%-24s %8s %4s %10s %10s %8s\n", "job", "FB", "RF", "DS impr", "CDS impr", "DT/iter")
+	for _, o := range outcomes {
+		if o.Err != nil {
+			fmt.Fprintf(w, "%-24s %8s  error: %v\n", o.Job.Name, arch.FormatSize(o.Job.Arch.FBSetBytes), o.Err)
+			continue
+		}
+		ds, cdsImp := fmt.Sprintf("%.1f%%", o.Cmp.ImprovementDS), fmt.Sprintf("%.1f%%", o.Cmp.ImprovementCDS)
+		if o.Cmp.BasicErr != nil {
+			ds, cdsImp = "-", "-" // basic infeasible: no baseline
+		}
+		fmt.Fprintf(w, "%-24s %8s %4d %10s %10s %7dB\n",
+			o.Job.Name, arch.FormatSize(o.Job.Arch.FBSetBytes), o.Cmp.RF, ds, cdsImp, o.Cmp.DTBytes)
+	}
+}
+
+// CSVBatch writes batch outcomes as comma-separated values.
+func CSVBatch(w io.Writer, outcomes []Outcome) {
+	fmt.Fprintln(w, "job,fb_bytes,basic_feasible,rf,ds_improvement,cds_improvement,dt_bytes,error")
+	for _, o := range outcomes {
+		if o.Err != nil {
+			fmt.Fprintf(w, "%s,%d,,,,,,%q\n", o.Job.Name, o.Job.Arch.FBSetBytes, o.Err.Error())
+			continue
+		}
+		fmt.Fprintf(w, "%s,%d,%v,%d,%.2f,%.2f,%d,\n",
+			o.Job.Name, o.Job.Arch.FBSetBytes, o.Cmp.BasicErr == nil, o.Cmp.RF,
+			o.Cmp.ImprovementDS, o.Cmp.ImprovementCDS, o.Cmp.DTBytes)
+	}
+}

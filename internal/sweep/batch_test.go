@@ -1,0 +1,106 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"cds/internal/arch"
+	"cds/internal/workloads"
+)
+
+func TestBatchOrderAndErrorCapture(t *testing.T) {
+	e1 := workloads.E1()
+	mpeg := workloads.MPEG()
+	bad := arch.M1()
+	bad.FBSetBytes = -1 // invalid params: this point must fail, alone
+	jobs := []Job{
+		{Name: "e1", Arch: e1.Arch, Part: e1.Part},
+		{Name: "broken", Arch: bad, Part: mpeg.Part},
+		{Name: "mpeg", Arch: mpeg.Arch, Part: mpeg.Part},
+	}
+	outcomes := Batch(jobs, 2)
+	if len(outcomes) != len(jobs) {
+		t.Fatalf("outcomes = %d, want %d", len(outcomes), len(jobs))
+	}
+	for i, o := range outcomes {
+		if o.Job.Name != jobs[i].Name {
+			t.Errorf("outcome %d is %q, want %q (order must match jobs)", i, o.Job.Name, jobs[i].Name)
+		}
+	}
+	if outcomes[0].Err != nil || outcomes[2].Err != nil {
+		t.Errorf("good points failed: %v / %v", outcomes[0].Err, outcomes[2].Err)
+	}
+	if outcomes[1].Err == nil {
+		t.Error("invalid arch point succeeded; its error must be captured")
+	}
+	if outcomes[0].Cmp == nil || outcomes[0].Cmp.ImprovementCDS <= 0 {
+		t.Error("e1 comparison missing or degenerate")
+	}
+}
+
+// TestBatchDeterministic pins that worker interleaving cannot change
+// the numbers: two runs of the same grid are identical.
+func TestBatchDeterministic(t *testing.T) {
+	jobs := Grid(PresetArchs("M1/4", "M1"), workloads.All()[:4])
+	a := Batch(jobs, 4)
+	b := Batch(jobs, 1)
+	for i := range a {
+		if (a[i].Err == nil) != (b[i].Err == nil) {
+			t.Fatalf("%s: error status diverged", a[i].Job.Name)
+		}
+		if a[i].Err != nil {
+			continue
+		}
+		if a[i].Cmp.ImprovementCDS != b[i].Cmp.ImprovementCDS ||
+			a[i].Cmp.ImprovementDS != b[i].Cmp.ImprovementDS ||
+			a[i].Cmp.RF != b[i].Cmp.RF {
+			t.Fatalf("%s: parallel and serial batches disagree", a[i].Job.Name)
+		}
+	}
+}
+
+func TestGridAndPresets(t *testing.T) {
+	archs := PresetArchs("M1", "nope", "M2")
+	if len(archs) != 2 {
+		t.Fatalf("PresetArchs kept %d presets, want 2 (unknown skipped)", len(archs))
+	}
+	exps := workloads.All()[:3]
+	jobs := Grid(archs, exps)
+	if len(jobs) != 6 {
+		t.Fatalf("grid has %d jobs, want 6", len(jobs))
+	}
+	if jobs[0].Name != "M1/"+exps[0].Name || jobs[3].Name != "M2/"+exps[0].Name {
+		t.Errorf("grid naming off: %q, %q", jobs[0].Name, jobs[3].Name)
+	}
+	if jobs[3].Arch.Name != "M2" {
+		t.Errorf("grid job 3 runs on %q, want the M2 preset", jobs[3].Arch.Name)
+	}
+}
+
+func TestBatchRendering(t *testing.T) {
+	e := workloads.E1()
+	bad := arch.M1()
+	bad.FBSetBytes = -1
+	outcomes := Batch([]Job{
+		{Name: "ok", Arch: e.Arch, Part: e.Part},
+		{Name: "bad", Arch: bad, Part: e.Part},
+	}, 0)
+
+	var w strings.Builder
+	WriteBatch(&w, outcomes)
+	out := w.String()
+	for _, want := range []string{"job", "ok", "bad", "error:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteBatch output missing %q:\n%s", want, out)
+		}
+	}
+	var c strings.Builder
+	CSVBatch(&c, outcomes)
+	lines := strings.Split(strings.TrimSpace(c.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSVBatch has %d lines, want 3", len(lines))
+	}
+	if !strings.Contains(lines[2], "\"") {
+		t.Errorf("error row lacks quoted error: %q", lines[2])
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"cds/internal/app"
 	"cds/internal/arch"
+	"cds/internal/conc"
 	"cds/internal/core"
 	"cds/internal/sim"
 	"cds/internal/workloads"
@@ -37,65 +38,89 @@ type Point struct {
 
 // FB sweeps the frame-buffer set size from lo to hi (inclusive) in the
 // given step, scheduling the partition with all three policies at every
-// sample.
+// sample. The samples are independent and run across a worker pool; the
+// returned slice is ordered by FB size exactly as the serial sweep
+// produced it, and the first genuine error (lowest FB size) propagates.
 func FB(pa arch.Params, part *app.Partition, lo, hi, step int) ([]Point, error) {
 	if lo <= 0 || hi < lo || step <= 0 {
 		return nil, fmt.Errorf("sweep: bad range [%d, %d] step %d", lo, hi, step)
 	}
+	n := (hi-lo)/step + 1
+	samples := make([]*Point, n)
+	err := conc.ForEach(conc.DefaultLimit(), n, func(i int) error {
+		pt, ok, err := fbPoint(pa, part, lo+i*step)
+		if err != nil {
+			return err
+		}
+		if ok {
+			samples[i] = &pt
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var points []Point
-	for fb := lo; fb <= hi; fb += step {
-		cfg := pa
-		cfg.FBSetBytes = fb
-		pt := Point{FBBytes: fb}
-
-		dsS, err := (core.DataScheduler{}).Schedule(cfg, part)
-		if err != nil {
-			var ie *core.InfeasibleError
-			if errors.As(err, &ie) {
-				continue // below even the data schedulers' floor
-			}
-			return nil, err
+	for _, pt := range samples {
+		if pt != nil {
+			points = append(points, *pt)
 		}
-		cdsS, err := (core.CompleteDataScheduler{}).Schedule(cfg, part)
-		if err != nil {
-			return nil, err
-		}
-		pt.RF = cdsS.RF
-		pt.DTBytes = cdsS.AvoidedBytesPerIter()
-		for _, r := range cdsS.Retained {
-			pt.RetainedBytes += r.Size
-		}
-
-		basicS, err := (core.Basic{}).Schedule(cfg, part)
-		if err != nil {
-			var ie *core.InfeasibleError
-			if !errors.As(err, &ie) {
-				return nil, err
-			}
-			points = append(points, pt)
-			continue
-		}
-		pt.BasicFeasible = true
-		rBasic, err := sim.Run(basicS)
-		if err != nil {
-			return nil, err
-		}
-		rDS, err := sim.Run(dsS)
-		if err != nil {
-			return nil, err
-		}
-		rCDS, err := sim.Run(cdsS)
-		if err != nil {
-			return nil, err
-		}
-		pt.DSImp = sim.Improvement(rBasic, rDS)
-		pt.CDSImp = sim.Improvement(rBasic, rCDS)
-		points = append(points, pt)
 	}
 	if len(points) == 0 {
 		return nil, fmt.Errorf("sweep: no feasible sample in [%d, %d]", lo, hi)
 	}
 	return points, nil
+}
+
+// fbPoint samples one FB size; ok is false below the data schedulers'
+// feasibility floor (the sample is skipped, not an error).
+func fbPoint(pa arch.Params, part *app.Partition, fb int) (Point, bool, error) {
+	cfg := pa
+	cfg.FBSetBytes = fb
+	pt := Point{FBBytes: fb}
+
+	dsS, err := (core.DataScheduler{}).Schedule(cfg, part)
+	if err != nil {
+		var ie *core.InfeasibleError
+		if errors.As(err, &ie) {
+			return Point{}, false, nil // below even the data schedulers' floor
+		}
+		return Point{}, false, err
+	}
+	cdsS, err := (core.CompleteDataScheduler{}).Schedule(cfg, part)
+	if err != nil {
+		return Point{}, false, err
+	}
+	pt.RF = cdsS.RF
+	pt.DTBytes = cdsS.AvoidedBytesPerIter()
+	for _, r := range cdsS.Retained {
+		pt.RetainedBytes += r.Size
+	}
+
+	basicS, err := (core.Basic{}).Schedule(cfg, part)
+	if err != nil {
+		var ie *core.InfeasibleError
+		if !errors.As(err, &ie) {
+			return Point{}, false, err
+		}
+		return pt, true, nil // basic infeasible: still a sample
+	}
+	pt.BasicFeasible = true
+	rBasic, err := sim.Run(basicS)
+	if err != nil {
+		return Point{}, false, err
+	}
+	rDS, err := sim.Run(dsS)
+	if err != nil {
+		return Point{}, false, err
+	}
+	rCDS, err := sim.Run(cdsS)
+	if err != nil {
+		return Point{}, false, err
+	}
+	pt.DSImp = sim.Improvement(rBasic, rDS)
+	pt.CDSImp = sim.Improvement(rBasic, rCDS)
+	return pt, true, nil
 }
 
 // Write renders the sweep as a table plus an ASCII curve of the CDS
