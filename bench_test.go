@@ -352,7 +352,6 @@ func BenchmarkCompareAll(b *testing.B) {
 	}
 }
 
-
 // BenchmarkAblationOverlap quantifies what the double-buffered Frame
 // Buffer buys: the same CDS schedule simulated with and without
 // transfer/compute overlap, per experiment.

@@ -22,13 +22,16 @@
 package cds
 
 import (
+	"context"
 	"fmt"
 
 	"cds/internal/app"
 	"cds/internal/arch"
 	"cds/internal/conc"
 	"cds/internal/core"
+	"cds/internal/scherr"
 	"cds/internal/sim"
+	"cds/internal/verify"
 )
 
 // KiB is re-exported for memory-size literals.
@@ -114,13 +117,25 @@ type Result struct {
 }
 
 // Run schedules, allocates and simulates the partition under one policy.
+// It is RunCtx with a background context.
 func Run(kind SchedulerKind, pa Arch, part *Part) (*Result, error) {
+	return RunCtx(context.Background(), kind, pa, part)
+}
+
+// RunCtx is Run with cooperative cancellation: once ctx is done the
+// pipeline stops between stages and returns an error matching
+// scherr.ErrCanceled. Failures are classified by the scherr taxonomy
+// (errors.Is against ErrInfeasible, ErrCapacity, ErrCanceled, ...).
+func RunCtx(ctx context.Context, kind SchedulerKind, pa Arch, part *Part) (*Result, error) {
 	sched, err := kind.scheduler()
 	if err != nil {
 		return nil, err
 	}
-	s, err := sched.Schedule(pa, part)
+	s, err := sched.ScheduleCtx(ctx, pa, part)
 	if err != nil {
+		return nil, err
+	}
+	if err := scherr.FromContext(ctx); err != nil {
 		return nil, err
 	}
 	alloc, err := core.Allocate(s, true)
@@ -134,6 +149,22 @@ func Run(kind SchedulerKind, pa Arch, part *Part) (*Result, error) {
 	return &Result{Schedule: s, Timing: timing, Allocation: alloc}, nil
 }
 
+// RunVerified is RunCtx plus a post-hoc pass of the invariant verifier
+// (internal/verify) over the produced schedule: capacity, liveness, DMA
+// serialization and context-residency invariants all have to hold or an
+// error matching scherr.ErrVerify is returned alongside the result that
+// failed. It is the belt-and-braces entry point for untrusted inputs.
+func RunVerified(ctx context.Context, kind SchedulerKind, pa Arch, part *Part) (*Result, error) {
+	res, err := RunCtx(ctx, kind, pa, part)
+	if err != nil {
+		return nil, err
+	}
+	if err := verify.Schedule(res.Schedule); err != nil {
+		return res, fmt.Errorf("cds: %s scheduler: %w", kind, err)
+	}
+	return res, nil
+}
+
 // Comparison is one Table 1 row: the three schedulers on one workload.
 type Comparison struct {
 	Basic, DS, CDS *Result
@@ -141,6 +172,13 @@ type Comparison struct {
 	// application at all (the paper's MPEG-at-1K case); improvements
 	// are reported as 100 then.
 	BasicErr error
+	// DSErr and CDSErr carry that scheduler's failure when it could not
+	// produce a result. A comparison with a failed scheduler still
+	// reports the survivors' results — one scheduler failing does not
+	// lose the other two's work. The errors are typed: branch on them
+	// with errors.Is/As against the scherr taxonomy (and conc.PanicError
+	// for a crashed run).
+	DSErr, CDSErr error
 	// ImprovementDS and ImprovementCDS are the paper's Figure 6 metric:
 	// relative execution improvement (%) over the Basic Scheduler.
 	ImprovementDS, ImprovementCDS float64
@@ -152,46 +190,125 @@ type Comparison struct {
 }
 
 // CompareAll runs Basic, DS and CDS on the same workload and computes the
-// paper's comparison metrics.
+// paper's comparison metrics. It is CompareAllCtx with a background
+// context.
+func CompareAll(pa Arch, part *Part) (*Comparison, error) {
+	return CompareAllCtx(context.Background(), pa, part)
+}
+
+// CompareAllCtx runs Basic, DS and CDS on the same workload and computes
+// the paper's comparison metrics.
 //
 // The three scheduler runs are independent — they share only the
 // partition, the architecture parameters and the memoized (immutable)
-// analysis — so they fan out across goroutines; DS and CDS errors
-// propagate (DS first, matching the serial order), while a Basic failure
-// is the paper's memory-floor outcome and is reported in BasicErr.
-func CompareAll(pa Arch, part *Part) (*Comparison, error) {
+// analysis — so they fan out across goroutines. Each run is isolated:
+// a failure (or panic, surfaced as a *conc.PanicError) in one scheduler
+// is recorded in the matching per-scheduler error field and the other
+// two's results are kept. The returned Comparison is non-nil whenever
+// scheduling was attempted; the returned error summarizes the first
+// DS/CDS failure (DS first, matching the serial order) so existing
+// callers still see failures, while degradation-aware callers read the
+// partial Comparison instead. A Basic failure is the paper's
+// memory-floor outcome and is only reported in BasicErr.
+func CompareAllCtx(ctx context.Context, pa Arch, part *Part) (*Comparison, error) {
+	return compareAll(ctx, pa, part, nil)
+}
+
+// compareAll is the seam CompareAllCtx runs through. override, when
+// non-nil, substitutes the scheduler used for a kind — the fault
+// injection tests use it to crash or fail exactly one scheduler and
+// prove the comparison degrades instead of dying.
+func compareAll(ctx context.Context, pa Arch, part *Part, override func(SchedulerKind) core.Scheduler) (*Comparison, error) {
 	cmp := &Comparison{}
 	kinds := []SchedulerKind{DS, CDS, Basic}
 	results := make([]*Result, len(kinds))
-	var basicErr error
-	err := conc.ForEach(conc.DefaultLimit(), len(kinds), func(i int) error {
-		r, err := Run(kinds[i], pa, part)
-		if err != nil {
-			if kinds[i] == Basic {
-				// Basic infeasibility (the MPEG-at-1K case) is a
-				// result, not a failure.
-				basicErr = err
-				return nil
+	errs := make([]error, len(kinds))
+	// Every job records its own outcome and returns nil, so one
+	// scheduler's failure never stops the siblings from being claimed
+	// (with one worker the fan-out degenerates to a serial loop, and a
+	// returned error would skip the remaining schedulers). Panics are
+	// contained per job by conc.Safe.
+	ferr := conc.ForEach(ctx, conc.DefaultLimit(), len(kinds), func(i int) error {
+		errs[i] = conc.Safe(func() error {
+			var r *Result
+			var err error
+			if override != nil {
+				if sched := override(kinds[i]); sched != nil {
+					r, err = runScheduler(ctx, sched, pa, part)
+				} else {
+					r, err = RunCtx(ctx, kinds[i], pa, part)
+				}
+			} else {
+				r, err = RunCtx(ctx, kinds[i], pa, part)
 			}
-			return fmt.Errorf("cds: %s scheduler: %w", schedulerLongName(kinds[i]), err)
-		}
-		results[i] = r
+			if err != nil {
+				return err
+			}
+			results[i] = r
+			return nil
+		})
 		return nil
 	})
+	if ferr != nil {
+		// Only cancellation reaches here (jobs swallow their errors).
+		return cmp, ferr
+	}
+	cmp.DS, cmp.CDS, cmp.Basic = results[0], results[1], results[2]
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		wrapped := fmt.Errorf("cds: %s scheduler: %w", schedulerLongName(kinds[i]), err)
+		switch kinds[i] {
+		case DS:
+			cmp.DSErr = wrapped
+		case CDS:
+			cmp.CDSErr = wrapped
+		case Basic:
+			// Basic infeasibility (the MPEG-at-1K case) is a result,
+			// not a failure; keep the undecorated error for it.
+			cmp.BasicErr = err
+		}
+	}
+	if cmp.CDS != nil {
+		cmp.RF = cmp.CDS.Schedule.RF
+		cmp.DTBytes = cmp.CDS.Schedule.AvoidedBytesPerIter()
+	}
+	if cmp.BasicErr != nil {
+		cmp.ImprovementDS, cmp.ImprovementCDS = 100, 100
+	} else if cmp.Basic != nil {
+		if cmp.DS != nil {
+			cmp.ImprovementDS = sim.Improvement(cmp.Basic.Timing, cmp.DS.Timing)
+		}
+		if cmp.CDS != nil {
+			cmp.ImprovementCDS = sim.Improvement(cmp.Basic.Timing, cmp.CDS.Timing)
+		}
+	}
+	if cmp.DSErr != nil {
+		return cmp, cmp.DSErr
+	}
+	if cmp.CDSErr != nil {
+		return cmp, cmp.CDSErr
+	}
+	return cmp, nil
+}
+
+// runScheduler runs an explicit core.Scheduler through the same
+// allocate-and-simulate pipeline as RunCtx.
+func runScheduler(ctx context.Context, sched core.Scheduler, pa Arch, part *Part) (*Result, error) {
+	s, err := sched.ScheduleCtx(ctx, pa, part)
 	if err != nil {
 		return nil, err
 	}
-	cmp.DS, cmp.CDS, cmp.Basic = results[0], results[1], results[2]
-	cmp.BasicErr = basicErr
-	cmp.RF = cmp.CDS.Schedule.RF
-	cmp.DTBytes = cmp.CDS.Schedule.AvoidedBytesPerIter()
-	if cmp.BasicErr != nil {
-		cmp.ImprovementDS, cmp.ImprovementCDS = 100, 100
-		return cmp, nil
+	alloc, err := core.Allocate(s, true)
+	if err != nil {
+		return nil, err
 	}
-	cmp.ImprovementDS = sim.Improvement(cmp.Basic.Timing, cmp.DS.Timing)
-	cmp.ImprovementCDS = sim.Improvement(cmp.Basic.Timing, cmp.CDS.Timing)
-	return cmp, nil
+	timing, err := sim.Run(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schedule: s, Timing: timing, Allocation: alloc}, nil
 }
 
 func schedulerLongName(k SchedulerKind) string {

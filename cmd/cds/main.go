@@ -8,6 +8,10 @@
 //	cds -spec app.json [-scheduler cds] [-trace] [-program]
 //	cds -experiment MPEG -scheduler ds -trace
 //
+// A run is cancellable: -timeout bounds it, and SIGINT (Ctrl-C) stops it
+// cooperatively; either way the error printed to stderr matches the
+// scherr.ErrCanceled taxonomy class and the exit status is non-zero.
+//
 // Spec format:
 //
 //	{
@@ -21,11 +25,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"hash/fnv"
-	"log"
 	"os"
+	"os/signal"
 	"sort"
 
 	"cds"
@@ -57,44 +62,77 @@ func digest(outs map[string][]byte) uint64 {
 	return h.Sum64()
 }
 
+type options struct {
+	specPath, expName, schedName string
+	trace, occupancy, program    bool
+	asmOut, timeline, functional bool
+	verified                     bool
+	traceOut                     string
+}
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("cds: ")
-	specPath := flag.String("spec", "", "JSON application spec")
-	expName := flag.String("experiment", "", "built-in paper experiment (e.g. MPEG, E1, ATR-SLD*)")
-	schedName := flag.String("scheduler", "cds", "scheduler: basic, ds or cds")
-	trace := flag.Bool("trace", false, "print the FB allocation timeline (Figure 5 view)")
-	occupancy := flag.Bool("occupancy", false, "print the address-time occupancy map per FB set")
-	program := flag.Bool("program", false, "print the generated transfer program")
-	asmOut := flag.Bool("tinyrisc", false, "compile the transfer program to TinyRISC control code and print it")
-	timeline := flag.Bool("timeline", false, "print the Gantt-style execution timeline")
-	traceOut := flag.String("chrometrace", "", "write a Chrome/Perfetto trace of the execution to this file")
-	functional := flag.Bool("machine", false, "run the schedule functionally and report the output digest")
+	opts := options{}
+	flag.StringVar(&opts.specPath, "spec", "", "JSON application spec")
+	flag.StringVar(&opts.expName, "experiment", "", "built-in paper experiment (e.g. MPEG, E1, ATR-SLD*)")
+	flag.StringVar(&opts.schedName, "scheduler", "cds", "scheduler: basic, ds or cds")
+	flag.BoolVar(&opts.trace, "trace", false, "print the FB allocation timeline (Figure 5 view)")
+	flag.BoolVar(&opts.occupancy, "occupancy", false, "print the address-time occupancy map per FB set")
+	flag.BoolVar(&opts.program, "program", false, "print the generated transfer program")
+	flag.BoolVar(&opts.asmOut, "tinyrisc", false, "compile the transfer program to TinyRISC control code and print it")
+	flag.BoolVar(&opts.timeline, "timeline", false, "print the Gantt-style execution timeline")
+	flag.StringVar(&opts.traceOut, "chrometrace", "", "write a Chrome/Perfetto trace of the execution to this file")
+	flag.BoolVar(&opts.functional, "machine", false, "run the schedule functionally and report the output digest")
+	flag.BoolVar(&opts.verified, "verify", false, "audit the schedule with the post-hoc invariant verifier")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	flag.Parse()
 
-	part, pa, err := load(*specPath, *expName)
-	if err != nil {
-		log.Fatal(err)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
-	kind, err := schedulerKind(*schedName)
+	if err := run(ctx, opts); err != nil {
+		fmt.Fprintf(os.Stderr, "cds: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, opts options) error {
+	part, pa, err := load(opts.specPath, opts.expName)
 	if err != nil {
-		log.Fatal(err)
+		return err
+	}
+	kind, err := schedulerKind(opts.schedName)
+	if err != nil {
+		return err
 	}
 
-	res, err := cds.Run(kind, pa, part)
+	var res *cds.Result
+	if opts.verified {
+		res, err = cds.RunVerified(ctx, kind, pa, part)
+	} else {
+		res, err = cds.RunCtx(ctx, kind, pa, part)
+	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	printSummary(res, pa)
-
-	if *trace {
-		fmt.Println()
-		printTrace(res.Schedule)
+	if opts.verified {
+		fmt.Println("verifier      capacity, liveness, serialization and residency invariants hold")
 	}
-	if *occupancy {
+
+	if opts.trace {
+		fmt.Println()
+		if err := printTrace(res.Schedule); err != nil {
+			return err
+		}
+	}
+	if opts.occupancy {
 		rep, err := core.Allocate(res.Schedule, true)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		sets := map[int]bool{}
 		for _, c := range res.Schedule.P.Clusters {
@@ -109,65 +147,66 @@ func main() {
 			report.Legend(os.Stdout, rep.Events, set)
 		}
 	}
-	if *timeline {
+	if opts.timeline {
 		fmt.Println()
 		sim.WriteTimeline(os.Stdout, res.Schedule, res.Timing)
 	}
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
+	if opts.traceOut != "" {
+		f, err := os.Create(opts.traceOut)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := sim.WriteTrace(f, res.Schedule, res.Timing); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("wrote Chrome trace to %s (open in chrome://tracing or Perfetto)\n", *traceOut)
+		fmt.Printf("wrote Chrome trace to %s (open in chrome://tracing or Perfetto)\n", opts.traceOut)
 	}
-	if *functional {
+	if opts.functional {
 		fmt.Println()
 		m, err := machine.Run(res.Schedule, 1, nil)
 		if err != nil {
-			log.Fatalf("functional run: %v", err)
+			return fmt.Errorf("functional run: %w", err)
 		}
 		outs := m.FinalOutputs(res.Schedule)
 		fmt.Printf("functional run: %d kernel invocations, %d B loaded, %d B stored, %d final outputs\n",
 			m.KernelRuns, m.LoadedBytes, m.StoredBytes, len(outs))
 		fmt.Printf("output digest: %016x\n", digest(outs))
 	}
-	if *program {
+	if opts.program {
 		prog, err := codegen.Generate(res.Schedule)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if _, err := codegen.Check(prog, res.Schedule); err != nil {
-			log.Fatalf("generated program failed its own checker: %v", err)
+			return fmt.Errorf("generated program failed its own checker: %w", err)
 		}
 		fmt.Println()
 		fmt.Printf("program (%d instructions, checker passed):\n", len(prog.Instrs))
 		fmt.Print(prog.String())
 	}
-	if *asmOut {
+	if opts.asmOut {
 		prog, err := codegen.Generate(res.Schedule)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		tp, err := tinyrisc.Compile(prog)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := tinyrisc.Verify(tp, prog); err != nil {
-			log.Fatalf("compiled control code failed verification: %v", err)
+			return fmt.Errorf("compiled control code failed verification: %w", err)
 		}
 		fmt.Println()
 		fmt.Printf("TinyRISC control code (%d instructions for %d transfer ops, verified):\n",
 			len(tp.Instrs), len(prog.Instrs))
 		if err := tinyrisc.Disassemble(os.Stdout, tp); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
+	return nil
 }
 
 func load(specPath, expName string) (*app.Partition, arch.Params, error) {
@@ -227,10 +266,10 @@ func printSummary(res *cds.Result, pa arch.Params) {
 
 // printTrace renders the allocation events of the first block as a
 // Figure 5 style timeline.
-func printTrace(s *core.Schedule) {
+func printTrace(s *core.Schedule) error {
 	rep, err := core.Allocate(s, true)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Println("allocation timeline (block 0):")
 	for _, ev := range rep.Events {
@@ -244,4 +283,5 @@ func printTrace(s *core.Schedule) {
 		fmt.Printf("  c%d %-7s %-7s %-14s set%d @%-5d %5d B\n",
 			ev.Cluster, iter, ev.Op, ev.Object, ev.Set, ev.Addr, ev.Bytes)
 	}
+	return nil
 }

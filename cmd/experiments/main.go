@@ -1,16 +1,21 @@
 // Command experiments regenerates the paper's evaluation: every Table 1
 // row and the Figure 6 bar chart, plus the MPEG memory-floor result.
 //
+// The evaluation is cancellable: -timeout bounds the whole run and
+// SIGINT (Ctrl-C) stops it cooperatively; errors go to stderr and the
+// exit status is non-zero.
+//
 // Usage:
 //
-//	experiments [-csv] [-run <name>] [-floor]
+//	experiments [-csv] [-run <name>] [-floor] [-timeout 30s]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
+	"os/signal"
 
 	"cds"
 	"cds/internal/arch"
@@ -22,41 +27,61 @@ import (
 	"cds/internal/workloads"
 )
 
+type options struct {
+	csvOut, mdOut, floor, detail bool
+	runOne, dump                 string
+	workers                      int
+}
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("experiments: ")
-	csvOut := flag.Bool("csv", false, "emit CSV instead of the formatted table")
-	mdOut := flag.Bool("markdown", false, "emit the markdown table EXPERIMENTS.md embeds")
-	runOne := flag.String("run", "", "run a single experiment by Table 1 name (e.g. MPEG, ATR-SLD*)")
-	floor := flag.Bool("floor", false, "also run the MPEG memory-floor experiment (FB = 1K)")
-	detail := flag.Bool("detail", false, "print a per-experiment breakdown (timing, retention, context overlap)")
-	dump := flag.String("dump", "", "export one experiment's application as editable JSON to stdout")
-	workers := flag.Int("workers", 0, "worker pool size for running experiments (0 = one per CPU)")
+	opts := options{}
+	flag.BoolVar(&opts.csvOut, "csv", false, "emit CSV instead of the formatted table")
+	flag.BoolVar(&opts.mdOut, "markdown", false, "emit the markdown table EXPERIMENTS.md embeds")
+	flag.StringVar(&opts.runOne, "run", "", "run a single experiment by Table 1 name (e.g. MPEG, ATR-SLD*)")
+	flag.BoolVar(&opts.floor, "floor", false, "also run the MPEG memory-floor experiment (FB = 1K)")
+	flag.BoolVar(&opts.detail, "detail", false, "print a per-experiment breakdown (timing, retention, context overlap)")
+	flag.StringVar(&opts.dump, "dump", "", "export one experiment's application as editable JSON to stdout")
+	flag.IntVar(&opts.workers, "workers", 0, "worker pool size for running experiments (0 = one per CPU)")
+	timeout := flag.Duration("timeout", 0, "abort the evaluation after this duration (0 = no limit)")
 	flag.Parse()
 
-	if *dump != "" {
-		e, err := workloads.ByName(*dump)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, opts); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, opts options) error {
+	if opts.dump != "" {
+		e, err := workloads.ByName(opts.dump)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		raw, err := spec.FromPartition(e.Part, e.Arch).Marshal()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		os.Stdout.Write(raw)
 		fmt.Println()
-		return
+		return nil
 	}
 
 	exps := workloads.All()
-	if *runOne != "" {
-		e, err := workloads.ByName(*runOne)
+	if opts.runOne != "" {
+		e, err := workloads.ByName(opts.runOne)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		exps = []workloads.Experiment{e}
 	}
-	if *floor {
+	if opts.floor {
 		exps = append(exps, workloads.MPEGFloor())
 	}
 
@@ -67,40 +92,43 @@ func main() {
 	for i, e := range exps {
 		jobs[i] = sweep.Job{Name: e.Name, Arch: e.Arch, Part: e.Part}
 	}
-	outcomes := sweep.Batch(jobs, *workers)
+	outcomes := sweep.BatchCtx(ctx, jobs, opts.workers)
 	rows := make([]report.Row, 0, len(exps))
 	for i, o := range outcomes {
 		if o.Err != nil {
-			log.Fatalf("%s: %v", o.Job.Name, o.Err)
+			return fmt.Errorf("%s: %w", o.Job.Name, o.Err)
 		}
 		rows = append(rows, rowFrom(exps[i], o.Cmp))
-		if *detail {
-			printDetail(exps[i])
+		if opts.detail {
+			if err := printDetail(ctx, exps[i]); err != nil {
+				return err
+			}
 		}
 	}
 
-	if *csvOut {
+	if opts.csvOut {
 		report.CSV(os.Stdout, rows)
-		return
+		return nil
 	}
-	if *mdOut {
+	if opts.mdOut {
 		report.Markdown(os.Stdout, rows)
-		return
+		return nil
 	}
 	fmt.Println("Table 1 — experimental results (measured vs paper)")
 	report.Table1(os.Stdout, rows)
 	fmt.Println()
 	fmt.Println("Figure 6 — relative execution improvement")
 	report.Figure6(os.Stdout, rows)
+	return nil
 }
 
 // printDetail prints the per-experiment breakdown: where the cycles go,
 // what the Complete Data Scheduler retained, and how much context traffic
 // hides under computation.
-func printDetail(e workloads.Experiment) {
-	cmp, err := cds.CompareAll(e.Arch, e.Part)
+func printDetail(ctx context.Context, e workloads.Experiment) error {
+	cmp, err := cds.CompareAllCtx(ctx, e.Arch, e.Part)
 	if err != nil {
-		log.Fatalf("%s: %v", e.Name, err)
+		return fmt.Errorf("%s: %w", e.Name, err)
 	}
 	fmt.Printf("--- %s (FB %s/set, CM %d words) ---\n",
 		e.Name, arch.FormatSize(e.Arch.FBSetBytes), e.Arch.CMWords)
@@ -135,6 +163,7 @@ func printDetail(e workloads.Experiment) {
 		}
 	}
 	fmt.Println()
+	return nil
 }
 
 func rowFrom(e workloads.Experiment, cmp *cds.Comparison) report.Row {

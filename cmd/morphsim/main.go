@@ -3,50 +3,72 @@
 // threshold) entirely on the simulated array, verifying each stage
 // against its pure-Go reference, and prints the array traffic.
 //
+// Like the other commands, morphsim honors -timeout and SIGINT: the
+// pipeline checks for cancellation between stages, reports the error on
+// stderr and exits non-zero.
+//
 // Usage:
 //
-//	morphsim [-kernel name] [-verbose]
+//	morphsim [-kernel name] [-verbose] [-timeout 10s]
 //
 // Without -kernel, the full pipeline demo runs; with it, the named
 // library kernel runs alone on random data.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
 	"math/rand"
+	"os"
+	"os/signal"
 	"sort"
 
 	"cds/internal/kernels"
 	"cds/internal/rcarray"
+	"cds/internal/scherr"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("morphsim: ")
 	kernelName := flag.String("kernel", "", "run a single library kernel (empty = pipeline demo)")
 	verbose := flag.Bool("verbose", false, "print block contents at each stage")
+	timeout := flag.Duration("timeout", 0, "abort the simulation after this duration (0 = no limit)")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, *kernelName, *verbose); err != nil {
+		fmt.Fprintf(os.Stderr, "morphsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, kernelName string, verbose bool) error {
 	lib := kernels.Library()
-	if *kernelName != "" {
-		k, ok := lib[*kernelName]
+	if kernelName != "" {
+		k, ok := lib[kernelName]
 		if !ok {
 			names := make([]string, 0, len(lib))
 			for n := range lib {
 				names = append(names, n)
 			}
 			sort.Strings(names)
-			log.Fatalf("unknown kernel %q; library has %v", *kernelName, names)
+			return fmt.Errorf("unknown kernel %q; library has %v", kernelName, names)
 		}
-		runOne(k, *verbose)
-		return
+		return runOne(ctx, k, verbose)
 	}
-	pipeline(lib, *verbose)
+	return pipeline(ctx, lib, verbose)
 }
 
-func runOne(k *kernels.Kernel, verbose bool) {
+func runOne(ctx context.Context, k *kernels.Kernel, verbose bool) error {
+	if err := scherr.FromContext(ctx); err != nil {
+		return err
+	}
 	rng := rand.New(rand.NewSource(1))
 	a := rcarray.M1Array()
 	in := make([]int16, k.InWords)
@@ -54,16 +76,16 @@ func runOne(k *kernels.Kernel, verbose bool) {
 		in[i] = int16(rng.Intn(200) - 100)
 	}
 	if err := a.LoadFB(0, in); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	got, err := k.Run(a, 0, k.InWords)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	want := k.Reference(in)
 	for i := range want {
 		if got[i] != want[i] {
-			log.Fatalf("%s: out[%d] = %d, reference says %d", k.Name, i, got[i], want[i])
+			return fmt.Errorf("%s: out[%d] = %d, reference says %d", k.Name, i, got[i], want[i])
 		}
 	}
 	fmt.Printf("%s: %s\n", k.Name, k.Description)
@@ -74,9 +96,10 @@ func runOne(k *kernels.Kernel, verbose bool) {
 		printBlock("input", in)
 		printBlock("output", got)
 	}
+	return nil
 }
 
-func pipeline(lib map[string]*kernels.Kernel, verbose bool) {
+func pipeline(ctx context.Context, lib map[string]*kernels.Kernel, verbose bool) error {
 	a := rcarray.M1Array()
 	block := make([]int16, 64)
 	for i := range block {
@@ -88,7 +111,7 @@ func pipeline(lib map[string]*kernels.Kernel, verbose bool) {
 		}
 	}
 	if err := a.LoadFB(0, block); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Println("pipeline: dct8 -> scale (quantize) -> threshold on one 8x8 block")
 	if verbose {
@@ -100,16 +123,19 @@ func pipeline(lib map[string]*kernels.Kernel, verbose bool) {
 	cur := block
 	totalCtx, totalSteps := 0, 0
 	for _, name := range stages {
+		if err := scherr.FromContext(ctx); err != nil {
+			return err
+		}
 		k := lib[name]
 		out := base + k.InWords
 		got, err := k.Run(a, base, out)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		want := k.Reference(cur)
 		for i := range want {
 			if got[i] != want[i] {
-				log.Fatalf("%s: out[%d] = %d, reference says %d", name, i, got[i], want[i])
+				return fmt.Errorf("%s: out[%d] = %d, reference says %d", name, i, got[i], want[i])
 			}
 		}
 		fmt.Printf("  %-10s ok  (%3d context words, %2d steps)\n", name, k.ContextWords(), k.ComputeCycles())
@@ -131,6 +157,7 @@ func pipeline(lib map[string]*kernels.Kernel, verbose bool) {
 		}
 	}
 	fmt.Printf("threshold detections: %d of 64 positions\n", hot)
+	return nil
 }
 
 func printBlock(label string, data []int16) {

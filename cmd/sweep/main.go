@@ -4,16 +4,23 @@
 // across a worker pool; -grid batches architecture x workload grids
 // instead (machine presets crossed with every Table 1 row).
 //
+// Sweeps are cancellable: -timeout bounds the whole run and SIGINT
+// (Ctrl-C) stops it cooperatively. A canceled grid still prints the
+// points it measured; abandoned points carry an error matching
+// scherr.ErrCanceled.
+//
 // Usage:
 //
 //	sweep -experiment MPEG [-from 512] [-to 4096] [-step 256] [-csv]
-//	sweep -grid [-archs M1/4,M1,M2] [-workers N] [-csv]
+//	sweep -grid [-archs M1/4,M1,M2] [-workers N] [-timeout 30s] [-csv]
 package main
 
 import (
+	"context"
 	"flag"
-	"log"
+	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"cds/internal/sweep"
@@ -21,8 +28,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("sweep: ")
 	expName := flag.String("experiment", "MPEG", "Table 1 experiment to sweep")
 	from := flag.Int("from", 512, "smallest FB set size in bytes")
 	to := flag.Int("to", 4096, "largest FB set size in bytes")
@@ -32,44 +37,72 @@ func main() {
 	grid := flag.Bool("grid", false, "batch an architecture x workload grid instead of a single-workload FB sweep")
 	archNames := flag.String("archs", "M1/4,M1,M2", "comma-separated machine presets for -grid")
 	workers := flag.Int("workers", 0, "worker pool size for -grid (0 = one per CPU)")
+	timeout := flag.Duration("timeout", 0, "abort the sweep after this duration (0 = no limit)")
 	flag.Parse()
 
-	if *grid {
-		archs := sweep.PresetArchs(strings.Split(*archNames, ",")...)
-		if len(archs) == 0 {
-			log.Fatalf("no known presets in %q", *archNames)
-		}
-		outcomes := sweep.Batch(sweep.Grid(archs, workloads.All()), *workers)
-		if *csvOut {
-			sweep.CSVBatch(os.Stdout, outcomes)
-			return
-		}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var err error
+	switch {
+	case *grid:
+		err = runGrid(ctx, *archNames, *workers, *csvOut)
+	case *sharing:
+		err = runSharing(ctx)
+	default:
+		err = runFB(ctx, *expName, *from, *to, *step, *csvOut)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func runGrid(ctx context.Context, archNames string, workers int, csvOut bool) error {
+	archs := sweep.PresetArchs(strings.Split(archNames, ",")...)
+	if len(archs) == 0 {
+		return fmt.Errorf("no known presets in %q", archNames)
+	}
+	outcomes := sweep.BatchCtx(ctx, sweep.Grid(archs, workloads.All()), workers)
+	if csvOut {
+		sweep.CSVBatch(os.Stdout, outcomes)
+	} else {
 		sweep.WriteBatch(os.Stdout, outcomes)
-		return
 	}
+	// Partial results were printed above; a dead context is still a
+	// failed run for the caller's exit status.
+	return ctx.Err()
+}
 
-	if *sharing {
-		cfg := workloads.DefaultSynthetic()
-		fracs := []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
-		points, err := sweep.Sharing(cfg, 3, fracs)
-		if err != nil {
-			log.Fatal(err)
-		}
-		sweep.WriteSharing(os.Stdout, points)
-		return
+func runSharing(ctx context.Context) error {
+	cfg := workloads.DefaultSynthetic()
+	fracs := []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+	points, err := sweep.SharingCtx(ctx, cfg, 3, fracs)
+	if err != nil {
+		return err
 	}
+	sweep.WriteSharing(os.Stdout, points)
+	return nil
+}
 
-	e, err := workloads.ByName(*expName)
+func runFB(ctx context.Context, expName string, from, to, step int, csvOut bool) error {
+	e, err := workloads.ByName(expName)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	points, err := sweep.FB(e.Arch, e.Part, *from, *to, *step)
+	points, err := sweep.FBCtx(ctx, e.Arch, e.Part, from, to, step)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	if *csvOut {
+	if csvOut {
 		sweep.CSV(os.Stdout, points)
-		return
+	} else {
+		sweep.Write(os.Stdout, points)
 	}
-	sweep.Write(os.Stdout, points)
+	return nil
 }

@@ -12,7 +12,7 @@ import (
 
 	"cds"
 	"cds/internal/arch"
-	"cds/internal/core"
+	"cds/internal/scherr"
 	"cds/internal/workloads"
 )
 
@@ -51,8 +51,7 @@ func main() {
 		if basicErr == nil {
 			basicCol = fmt.Sprintf("%d", basicRes.Timing.TotalCycles)
 		} else {
-			var ie *core.InfeasibleError
-			if !errors.As(basicErr, &ie) {
+			if !errors.Is(basicErr, scherr.ErrInfeasible) {
 				log.Fatalf("FB=%dK: unexpected basic error: %v", fbKiB, basicErr)
 			}
 		}

@@ -16,10 +16,11 @@
 package alloc
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 	"strings"
+
+	"cds/internal/scherr"
 )
 
 // Dir selects which end of the free space first-fit scans from.
@@ -100,12 +101,12 @@ func (p FitPolicy) String() string {
 }
 
 // ErrNoSpace is returned when the total free space cannot satisfy a
-// request.
-var ErrNoSpace = errors.New("alloc: insufficient free space")
+// request. It also matches scherr.ErrCapacity under errors.Is.
+var ErrNoSpace = scherr.Sentinel(scherr.ErrCapacity, "alloc: insufficient free space")
 
 // ErrWouldSplit is returned when the request only fits split across blocks
-// but splitting is disabled.
-var ErrWouldSplit = errors.New("alloc: request fits only when split, and splitting is disabled")
+// but splitting is disabled. It also matches scherr.ErrCapacity.
+var ErrWouldSplit = scherr.Sentinel(scherr.ErrCapacity, "alloc: request fits only when split, and splitting is disabled")
 
 // FB is one Frame Buffer set under allocation. The zero value is unusable;
 // use New.

@@ -10,8 +10,9 @@
 package arch
 
 import (
-	"errors"
 	"fmt"
+
+	"cds/internal/scherr"
 )
 
 // Common byte-size multipliers. The scheduling papers quote memory sizes as
@@ -102,8 +103,9 @@ func (p Params) Validate() error {
 }
 
 // ErrDoesNotFit is returned by capacity checks when a request exceeds the
-// available on-chip storage under a given schedule.
-var ErrDoesNotFit = errors.New("arch: request exceeds on-chip capacity")
+// available on-chip storage under a given schedule. It also matches
+// scherr.ErrCapacity under errors.Is.
+var ErrDoesNotFit = scherr.Sentinel(scherr.ErrCapacity, "arch: request exceeds on-chip capacity")
 
 // DataCycles returns the DMA cycles needed to move n bytes of frame-buffer
 // data in one burst: the fixed setup cost plus one cycle per bus beat.

@@ -1,40 +1,100 @@
 // Package conc holds the small concurrency primitives the scheduling
 // stack shares: bounded-parallelism fan-out with deterministic
-// first-error propagation. The schedulers, cds.CompareAll and the sweep
-// batch runner all fan out over it, so the concurrency policy (worker
-// caps, error semantics) lives in exactly one place.
+// first-error propagation, cooperative cancellation and panic
+// containment. The schedulers, cds.CompareAll and the sweep batch runner
+// all fan out over it, so the concurrency policy (worker caps, error
+// semantics, recover discipline) lives in exactly one place.
 package conc
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"cds/internal/scherr"
 )
 
 // DefaultLimit returns the default fan-out width: one worker per
 // available CPU. Callers pass it (or any positive cap) to ForEach.
 func DefaultLimit() int { return runtime.GOMAXPROCS(0) }
 
+// PanicError is a worker panic converted into an ordinary error: the
+// recovered value plus the goroutine stack at the panic site. A panic in
+// one job never kills sibling workers or the caller's process; it
+// propagates through ForEach with the same deterministic lowest-index
+// semantics as any other error.
+type PanicError struct {
+	// Value is the value the job panicked with.
+	Value any
+	// Index is the ForEach index (or Safe call) the panic came from.
+	Index int
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("conc: job %d panicked: %v", e.Index, e.Value)
+}
+
+// Unwrap exposes the panic value when it was itself an error, so
+// errors.Is/As see through a recovered panic(err).
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Safe runs fn, converting a panic into a *PanicError. It is the recover
+// discipline every worker path of the stack shares; callers that fan out
+// by hand (rather than through ForEach) wrap their job bodies in it.
+func Safe(fn func() error) error { return safeCall(0, func(int) error { return fn() }) }
+
+func safeCall(i int, fn func(int) error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Index: i, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
+
 // ForEach runs fn(i) for every i in [0, n) across at most limit
 // concurrent goroutines (n when limit <= 0) and waits for all started
-// work to finish.
+// work to finish before returning — it never leaks a goroutine.
 //
 // Error semantics are deterministic: indices are claimed in ascending
 // order, a failure stops NEW indices from starting (claimed ones run to
 // completion), and the returned error is the one from the LOWEST failed
 // index — the same error a serial loop over [0, n) would have returned
 // first. With limit == 1 the loop degenerates to exactly that serial
-// loop.
-func ForEach(limit, n int, fn func(i int) error) error {
+// loop. A panicking fn is recovered into a *PanicError and propagates
+// the same way; sibling workers are unaffected.
+//
+// Cancellation is cooperative: once ctx is done, no new index starts,
+// and if any index was thereby skipped ForEach returns an error matching
+// both scherr.ErrCanceled and ctx.Err(). A job error at a lower index
+// still wins over cancellation (determinism first); a cancellation that
+// arrives after every index completed is not an error.
+func ForEach(ctx context.Context, limit, n int, fn func(i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if n <= 0 {
-		return nil
+		return scherr.FromContext(ctx)
 	}
 	if limit <= 0 || limit > n {
 		limit = n
 	}
 	if limit == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := ctx.Err(); err != nil {
+				return scherr.Canceled(err)
+			}
+			if err := safeCall(i, fn); err != nil {
 				return err
 			}
 		}
@@ -44,6 +104,7 @@ func ForEach(limit, n int, fn func(i int) error) error {
 	errs := make([]error, n)
 	var (
 		next atomic.Int64
+		done atomic.Int64
 		stop atomic.Bool
 		wg   sync.WaitGroup
 	)
@@ -53,20 +114,21 @@ func ForEach(limit, n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
-				// Check stop BEFORE claiming so a claimed index always
-				// runs; that is what makes the lowest recorded error
-				// deterministic (see below).
-				if stop.Load() {
+				// Check stop (and the context) BEFORE claiming so a
+				// claimed index always runs; that is what makes the
+				// lowest recorded error deterministic (see below).
+				if stop.Load() || ctx.Err() != nil {
 					return
 				}
 				i := int(next.Add(1))
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := safeCall(i, fn); err != nil {
 					errs[i] = err
 					stop.Store(true)
 				}
+				done.Add(1)
 			}
 		}()
 	}
@@ -78,6 +140,10 @@ func ForEach(limit, n int, fn func(i int) error) error {
 		if err != nil {
 			return err
 		}
+	}
+	// No job failed: if cancellation skipped any index, report it.
+	if int(done.Load()) < n {
+		return scherr.Canceled(ctx.Err())
 	}
 	return nil
 }

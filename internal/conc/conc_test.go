@@ -1,6 +1,7 @@
 package conc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -11,7 +12,7 @@ func TestForEachRunsEveryIndex(t *testing.T) {
 	for _, limit := range []int{0, 1, 2, 7, 100} {
 		const n = 50
 		var seen [n]atomic.Int32
-		if err := ForEach(limit, n, func(i int) error {
+		if err := ForEach(context.Background(), limit, n, func(i int) error {
 			seen[i].Add(1)
 			return nil
 		}); err != nil {
@@ -26,11 +27,11 @@ func TestForEachRunsEveryIndex(t *testing.T) {
 }
 
 func TestForEachEmptyAndSingle(t *testing.T) {
-	if err := ForEach(4, 0, func(int) error { t.Fatal("fn called"); return nil }); err != nil {
+	if err := ForEach(context.Background(), 4, 0, func(int) error { t.Fatal("fn called"); return nil }); err != nil {
 		t.Fatal(err)
 	}
 	ran := false
-	if err := ForEach(4, 1, func(int) error { ran = true; return nil }); err != nil || !ran {
+	if err := ForEach(context.Background(), 4, 1, func(int) error { ran = true; return nil }); err != nil || !ran {
 		t.Fatalf("single item: ran=%v err=%v", ran, err)
 	}
 }
@@ -42,7 +43,7 @@ func TestForEachFirstError(t *testing.T) {
 	fail := map[int]bool{3: true, 7: true, 12: true}
 	for _, limit := range []int{1, 2, 4, 16} {
 		for round := 0; round < 20; round++ {
-			err := ForEach(limit, 16, func(i int) error {
+			err := ForEach(context.Background(), limit, 16, func(i int) error {
 				if fail[i] {
 					return fmt.Errorf("boom at %d", i)
 				}
@@ -61,7 +62,7 @@ func TestForEachFirstError(t *testing.T) {
 func TestForEachStopsDispatch(t *testing.T) {
 	var maxSeen atomic.Int32
 	boom := errors.New("boom")
-	err := ForEach(1, 100, func(i int) error {
+	err := ForEach(context.Background(), 1, 100, func(i int) error {
 		maxSeen.Store(int32(i))
 		if i == 5 {
 			return boom

@@ -1,0 +1,193 @@
+package conc
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cds/internal/scherr"
+)
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// base, failing the test if it never does. Polling (instead of a single
+// snapshot) keeps the check robust to the runtime's own bookkeeping
+// goroutines winding down.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines leaked: %d running, want <= %d\n%s",
+				runtime.NumGoroutine(), base, buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestForEachCancelPrompt pins the cancellation contract: once the
+// context is canceled no NEW index starts, the pool drains, the error
+// matches both scherr.ErrCanceled and context.Canceled, and every worker
+// goroutine exits.
+func TestForEachCancelPrompt(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for _, limit := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var started atomic.Int32
+		err := ForEach(ctx, limit, 1000, func(i int) error {
+			if started.Add(1) == 3 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, scherr.ErrCanceled) {
+			t.Fatalf("limit=%d: err = %v, want scherr.ErrCanceled", limit, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("limit=%d: err = %v, must still match context.Canceled", limit, err)
+		}
+		// "Promptly": each worker can be mid-job at cancel time and slip
+		// at most one more claim past the pre-claim check; nothing close
+		// to the full range of 1000 runs.
+		if n := started.Load(); int(n) > 3+2*limit {
+			t.Fatalf("limit=%d: %d jobs started after cancel, want <= %d", limit, n, 3+2*limit)
+		}
+	}
+	waitGoroutines(t, base)
+}
+
+// TestForEachPreCanceled pins the fast path: an already-dead context
+// runs nothing at all.
+func TestForEachPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ForEach(ctx, 4, 50, func(i int) error {
+		t.Error("job ran under a pre-canceled context")
+		return nil
+	})
+	if !errors.Is(err, scherr.ErrCanceled) {
+		t.Fatalf("err = %v, want scherr.ErrCanceled", err)
+	}
+}
+
+// TestForEachDeadline covers the timeout flavor of cancellation: the
+// returned error matches the taxonomy class and context.DeadlineExceeded.
+func TestForEachDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	err := ForEach(ctx, 2, 1<<20, func(i int) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, scherr.ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping DeadlineExceeded", err)
+	}
+}
+
+// TestForEachPanicContained pins panic safety: a panicking job comes
+// back as a *PanicError carrying the panic value, the index and a
+// non-empty stack — and sibling jobs are NOT killed by it.
+func TestForEachPanicContained(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for _, limit := range []int{1, 4} {
+		var ran atomic.Int32
+		err := ForEach(context.Background(), limit, 8, func(i int) error {
+			ran.Add(1)
+			if i == 0 {
+				panic("kaboom")
+			}
+			time.Sleep(time.Millisecond) // give siblings time to be mid-flight
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("limit=%d: err = %v, want *PanicError", limit, err)
+		}
+		if pe.Value != "kaboom" || pe.Index != 0 {
+			t.Fatalf("limit=%d: PanicError = %+v, want value kaboom at index 0", limit, pe)
+		}
+		if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "goroutine") {
+			t.Fatalf("limit=%d: PanicError carries no stack", limit)
+		}
+		if !strings.Contains(err.Error(), "kaboom") {
+			t.Fatalf("limit=%d: rendered error %q hides the panic value", limit, err)
+		}
+		// The panic stops dispatch like any error, but workers already
+		// holding an index complete: at least one job ran, none crashed
+		// the process.
+		if ran.Load() < 1 {
+			t.Fatalf("limit=%d: no jobs ran", limit)
+		}
+	}
+	waitGoroutines(t, base)
+}
+
+// TestForEachPanicSiblingsComplete drives the concurrent case hard: the
+// panic lands at the highest index so every sibling has already been
+// claimed; all of them must run to completion.
+func TestForEachPanicSiblingsComplete(t *testing.T) {
+	const n = 8
+	var done atomic.Int32
+	err := ForEach(context.Background(), n, n, func(i int) error {
+		if i == n-1 {
+			time.Sleep(5 * time.Millisecond) // let siblings claim first
+			panic(i)
+		}
+		time.Sleep(10 * time.Millisecond)
+		done.Add(1)
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != n-1 {
+		t.Fatalf("err = %v, want *PanicError at index %d", err, n-1)
+	}
+	if got := done.Load(); got != n-1 {
+		t.Fatalf("%d siblings completed, want %d — the panic killed workers", got, n-1)
+	}
+}
+
+// TestPanicErrorUnwrap pins the errors.Is/As bridge: a panic with an
+// error value stays matchable through the PanicError wrapper.
+func TestPanicErrorUnwrap(t *testing.T) {
+	sentinel := errors.New("typed panic")
+	err := ForEach(context.Background(), 2, 4, func(i int) error {
+		if i == 0 {
+			panic(sentinel)
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, does not unwrap to the panicked error value", err)
+	}
+	pe := &PanicError{Value: "not an error"}
+	if pe.Unwrap() != nil {
+		t.Fatal("non-error panic value must not unwrap")
+	}
+}
+
+// TestSafeConvertsPanics covers the exported Safe helper used by the
+// comparison and batch layers.
+func TestSafeConvertsPanics(t *testing.T) {
+	if err := Safe(func() error { return nil }); err != nil {
+		t.Fatalf("Safe(nil fn) = %v", err)
+	}
+	boom := errors.New("boom")
+	if err := Safe(func() error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("Safe passes errors through, got %v", err)
+	}
+	err := Safe(func() error { panic("argh") })
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "argh" || len(pe.Stack) == 0 {
+		t.Fatalf("Safe(panic) = %v, want *PanicError with stack", err)
+	}
+}

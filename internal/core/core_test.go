@@ -123,14 +123,14 @@ func TestBlocks(t *testing.T) {
 		want      []int
 	}{
 		{4, 2, []int{2, 2}},
-		{5, 2, []int{2, 2, 1}},      // tail block shorter than RF
-		{7, 3, []int{3, 3, 1}},      // iterations not divisible by RF
+		{5, 2, []int{2, 2, 1}}, // tail block shorter than RF
+		{7, 3, []int{3, 3, 1}}, // iterations not divisible by RF
 		{3, 1, []int{1, 1, 1}},
-		{2, 10, []int{2}},           // rf >= iterations: one block
-		{5, 5, []int{5}},            // rf == iterations exactly
-		{1, 0, []int{1}},            // rf clamped to 1
-		{3, -2, []int{1, 1, 1}},     // negative rf clamped to 1
-		{0, 3, nil},                 // nothing to execute
+		{2, 10, []int{2}},       // rf >= iterations: one block
+		{5, 5, []int{5}},        // rf == iterations exactly
+		{1, 0, []int{1}},        // rf clamped to 1
+		{3, -2, []int{1, 1, 1}}, // negative rf clamped to 1
+		{0, 3, nil},             // nothing to execute
 	}
 	for _, tt := range tests {
 		got := blocks(tt.iters, tt.rf)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -97,7 +98,7 @@ func TestRFSweepPropagatesErrors(t *testing.T) {
 
 func TestForcedRFValidation(t *testing.T) {
 	part := pipeApp(t, 4)
-	_, err := schedule("cds", testArch(360), part, scheduleOpts{
+	_, err := schedule(context.Background(), "cds", testArch(360), part, scheduleOpts{
 		rfEnabled:      true,
 		inPlaceRelease: true,
 		retention:      true,

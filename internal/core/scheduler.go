@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -8,6 +9,7 @@ import (
 	"cds/internal/arch"
 	"cds/internal/conc"
 	"cds/internal/extract"
+	"cds/internal/scherr"
 )
 
 // Basic is the reference scheduler of Maestre et al. (DATE'99): every
@@ -22,8 +24,13 @@ type Basic struct{}
 func (Basic) Name() string { return "basic" }
 
 // Schedule implements Scheduler.
-func (Basic) Schedule(pa arch.Params, part *app.Partition) (*Schedule, error) {
-	return schedule("basic", pa, part, scheduleOpts{
+func (b Basic) Schedule(pa arch.Params, part *app.Partition) (*Schedule, error) {
+	return b.ScheduleCtx(context.Background(), pa, part)
+}
+
+// ScheduleCtx implements Scheduler.
+func (Basic) ScheduleCtx(ctx context.Context, pa arch.Params, part *app.Partition) (*Schedule, error) {
+	return schedule(ctx, "basic", pa, part, scheduleOpts{
 		rfEnabled:      false,
 		inPlaceRelease: false,
 		retention:      false,
@@ -40,8 +47,13 @@ type DataScheduler struct{}
 func (DataScheduler) Name() string { return "ds" }
 
 // Schedule implements Scheduler.
-func (DataScheduler) Schedule(pa arch.Params, part *app.Partition) (*Schedule, error) {
-	return schedule("ds", pa, part, scheduleOpts{
+func (d DataScheduler) Schedule(pa arch.Params, part *app.Partition) (*Schedule, error) {
+	return d.ScheduleCtx(context.Background(), pa, part)
+}
+
+// ScheduleCtx implements Scheduler.
+func (DataScheduler) ScheduleCtx(ctx context.Context, pa arch.Params, part *app.Partition) (*Schedule, error) {
+	return schedule(ctx, "ds", pa, part, scheduleOpts{
 		rfEnabled:      true,
 		inPlaceRelease: true,
 		retention:      false,
@@ -89,6 +101,11 @@ func (CompleteDataScheduler) Name() string { return "cds" }
 
 // Schedule implements Scheduler.
 func (c CompleteDataScheduler) Schedule(pa arch.Params, part *app.Partition) (*Schedule, error) {
+	return c.ScheduleCtx(context.Background(), pa, part)
+}
+
+// ScheduleCtx implements Scheduler.
+func (c CompleteDataScheduler) ScheduleCtx(ctx context.Context, pa arch.Params, part *app.Partition) (*Schedule, error) {
 	ranking := c.Ranking
 	if ranking == nil {
 		ranking = RankTF
@@ -101,31 +118,32 @@ func (c CompleteDataScheduler) Schedule(pa arch.Params, part *app.Partition) (*S
 		crossSet:       c.CrossSetReuse,
 	}
 	if c.RF != RFSweep {
-		return schedule("cds", pa, part, opts)
+		return schedule(ctx, "cds", pa, part, opts)
 	}
 	// Sweep: build one schedule per feasible RF and keep the one with
 	// the lowest serialized DMA time (a lower bound on execution time
 	// that orders schedules the same way when compute is fixed).
-	base, err := schedule("cds", pa, part, opts)
+	base, err := schedule(ctx, "cds", pa, part, opts)
 	if err != nil {
 		return nil, err
 	}
 	// The candidates are independent, so build them across a bounded
 	// worker pool; they share the base schedule's memoized analysis.
 	// Results land in rf order, keeping the winner selection below
-	// identical to the serial loop's.
+	// identical to the serial loop's. The pool inherits ctx: a canceled
+	// sweep stops claiming RFs and reports scherr.ErrCanceled.
 	cands := make([]*Schedule, base.RF-1)
-	err = conc.ForEach(conc.DefaultLimit(), len(cands), func(i int) error {
+	err = conc.ForEach(ctx, conc.DefaultLimit(), len(cands), func(i int) error {
 		opts := opts
 		opts.forcedRF = i + 1
-		cand, err := schedule("cds", pa, part, opts)
+		cand, err := schedule(ctx, "cds", pa, part, opts)
 		if err != nil {
 			// An RF the footprint model rejects is an expected sweep
-			// outcome; anything else (bad arch params, invalid
-			// partition) is a genuine failure that must surface
-			// instead of silently falling back to the base schedule.
-			var ie *InfeasibleError
-			if errors.As(err, &ie) {
+			// outcome, recognized by TYPE via the taxonomy; anything
+			// else (bad arch params, invalid partition, cancellation)
+			// is a genuine failure that must surface instead of
+			// silently falling back to the base schedule.
+			if errors.Is(err, scherr.ErrInfeasible) {
 				return nil
 			}
 			return fmt.Errorf("core: rf sweep at RF=%d: %w", i+1, err)
@@ -180,7 +198,10 @@ type scheduleOpts struct {
 
 // schedule is the shared pipeline: analyze, check feasibility, pick RF,
 // pick retention, and emit the visit sequence with exact transfer volumes.
-func schedule(name string, pa arch.Params, part *app.Partition, opts scheduleOpts) (*Schedule, error) {
+func schedule(ctx context.Context, name string, pa arch.Params, part *app.Partition, opts scheduleOpts) (*Schedule, error) {
+	if err := scherr.FromContext(ctx); err != nil {
+		return nil, fmt.Errorf("core: %s scheduler: %w", name, err)
+	}
 	if err := pa.Validate(); err != nil {
 		return nil, err
 	}

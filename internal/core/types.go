@@ -17,11 +17,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"cds/internal/app"
 	"cds/internal/arch"
 	"cds/internal/extract"
+	"cds/internal/scherr"
 )
 
 // Movement is one datum's traffic within a visit, already multiplied by
@@ -202,11 +204,21 @@ func (e *InfeasibleError) Error() string {
 		e.Scheduler, e.Cluster, e.Need, e.Have)
 }
 
+// Is makes every InfeasibleError match the taxonomy class
+// scherr.ErrInfeasible under errors.Is, so callers can branch on the
+// kind of failure without naming this concrete type.
+func (e *InfeasibleError) Is(target error) bool { return target == scherr.ErrInfeasible }
+
 // Scheduler is the common interface of the three policies.
 type Scheduler interface {
 	// Name returns the policy's short name.
 	Name() string
 	// Schedule builds the transfer/compute schedule for the partition
-	// on the given architecture.
+	// on the given architecture. It is ScheduleCtx with a background
+	// context.
 	Schedule(p arch.Params, part *app.Partition) (*Schedule, error)
+	// ScheduleCtx is Schedule with cooperative cancellation: once ctx
+	// is done the scheduler returns an error matching
+	// scherr.ErrCanceled instead of finishing its work.
+	ScheduleCtx(ctx context.Context, p arch.Params, part *app.Partition) (*Schedule, error)
 }

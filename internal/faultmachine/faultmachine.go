@@ -1,0 +1,145 @@
+// Package faultmachine is the fault-injection harness for the functional
+// machine simulator: it wraps internal/machine with deterministic,
+// seed-driven DMA faults and reports what the schedule did under them.
+//
+// Two fault kinds exist, mirroring what a real DMA channel does when the
+// external memory misbehaves:
+//
+//   - STALLS delay a transfer but deliver the right bytes. A schedule
+//     must SURVIVE them: the run completes and the final outputs are
+//     byte-identical to a fault-free run (the schedule encodes no timing
+//     assumptions about external memory).
+//   - TRANSFER FAILURES lose the transfer entirely. A run must FAIL
+//     LOUDLY: it stops with a typed *FaultError (matching ErrFault under
+//     errors.Is) naming the exact transfer, never with silently corrupt
+//     outputs.
+//
+// Fault placement is a pure function of (Config, transfer sequence), so
+// every run with the same schedule and config injects the identical
+// faults — a failing test reproduces byte-for-byte.
+package faultmachine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"cds/internal/core"
+	"cds/internal/machine"
+)
+
+// ErrFault classifies all injected faults that abort a run. Use
+// errors.Is(err, faultmachine.ErrFault) to distinguish an injected
+// failure from a genuine machine error, and errors.As with *FaultError
+// for the transfer identity.
+var ErrFault = errors.New("faultmachine: injected fault")
+
+// FaultError identifies one injected transfer failure.
+type FaultError struct {
+	// Op is "load" or "store".
+	Op string
+	// Datum and AbsIter identify the transfer that was failed.
+	Datum   string
+	AbsIter int
+	// N is the 1-based index of the transfer in DMA order.
+	N int
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("faultmachine: injected %s failure on %s@%d (transfer %d)", e.Op, e.Datum, e.AbsIter, e.N)
+}
+
+// Is makes every FaultError match ErrFault.
+func (e *FaultError) Is(target error) bool { return target == ErrFault }
+
+// Config selects which transfers fault. The zero value injects nothing.
+type Config struct {
+	// Seed drives the deterministic fault picker; two runs with equal
+	// seeds (and equal transfer sequences) inject identical faults.
+	Seed int64
+	// StallProbPct is the per-transfer probability, in percent [0,100],
+	// of injecting a DMA stall of StallCycles.
+	StallProbPct int
+	// StallCycles is the length of one injected stall (default 32).
+	StallCycles int
+	// FailEvery fails every Nth transfer (1-based count over loads and
+	// stores in DMA order); 0 never fails.
+	FailEvery int
+	// FailLoadsOnly restricts injected failures to loads.
+	FailLoadsOnly bool
+}
+
+// Stats reports what the harness injected during one run.
+type Stats struct {
+	// Transfers counts the external transfers observed (loads+stores).
+	Transfers int
+	// Stalls counts injected stalls; StallCycles sums their length.
+	Stalls, StallCycles int
+}
+
+// injector carries the mutable fault state behind the machine hooks.
+type injector struct {
+	mu    sync.Mutex
+	cfg   Config
+	rng   uint64
+	stats Stats
+}
+
+func newInjector(cfg Config) *injector {
+	if cfg.StallCycles == 0 {
+		cfg.StallCycles = 32
+	}
+	state := uint64(cfg.Seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	if state == 0 {
+		state = 1
+	}
+	return &injector{cfg: cfg, rng: state}
+}
+
+// roll advances the xorshift64 state and returns a value in [0, 100).
+func (in *injector) roll() int {
+	in.rng ^= in.rng << 13
+	in.rng ^= in.rng >> 7
+	in.rng ^= in.rng << 17
+	return int(in.rng % 100)
+}
+
+func (in *injector) transfer(op, datum string, absIter int) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stats.Transfers++
+	n := in.stats.Transfers
+	if in.roll() < in.cfg.StallProbPct {
+		in.stats.Stalls++
+		in.stats.StallCycles += in.cfg.StallCycles
+	}
+	if in.cfg.FailEvery > 0 && n%in.cfg.FailEvery == 0 {
+		if !(in.cfg.FailLoadsOnly && op == "store") {
+			return &FaultError{Op: op, Datum: datum, AbsIter: absIter, N: n}
+		}
+	}
+	return nil
+}
+
+// Hooks returns machine hooks that inject the configured faults; the
+// returned Stats pointer is filled as the run progresses.
+func (in *injector) hooks() *machine.Hooks {
+	return &machine.Hooks{
+		OnLoad: func(datum string, absIter, size int) error {
+			return in.transfer("load", datum, absIter)
+		},
+		OnStore: func(datum string, absIter, size int) error {
+			return in.transfer("store", datum, absIter)
+		},
+	}
+}
+
+// Run executes the schedule on the functional machine under fault
+// injection. On success the outputs are exactly those of a fault-free
+// run (stalls do not corrupt data); on an injected failure the error
+// matches ErrFault and carries a *FaultError naming the transfer.
+func Run(s *core.Schedule, seed int64, sem machine.Semantics, cfg Config) (*machine.Result, Stats, error) {
+	in := newInjector(cfg)
+	res, err := machine.RunWithHooks(s, seed, sem, in.hooks())
+	return res, in.stats, err
+}

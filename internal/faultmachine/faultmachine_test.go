@@ -1,0 +1,114 @@
+package faultmachine
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"cds/internal/core"
+	"cds/internal/machine"
+	"cds/internal/scherr"
+	"cds/internal/workloads"
+)
+
+func mpegSchedule(t *testing.T, sched core.Scheduler) *core.Schedule {
+	t.Helper()
+	e, err := workloads.ByName("MPEG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.Schedule(e.Arch, e.Part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestStallsSurvive pins the harness's survival property: injected DMA
+// stalls delay transfers but the observable outputs stay byte-identical
+// to a fault-free run, for every scheduler.
+func TestStallsSurvive(t *testing.T) {
+	for _, sched := range []core.Scheduler{core.Basic{}, core.DataScheduler{}, core.CompleteDataScheduler{}} {
+		s := mpegSchedule(t, sched)
+		clean, err := machine.Run(s, 7, nil)
+		if err != nil {
+			t.Fatalf("%s: clean run: %v", sched.Name(), err)
+		}
+		faulty, stats, err := Run(s, 7, nil, Config{Seed: 3, StallProbPct: 60})
+		if err != nil {
+			t.Fatalf("%s: stalls must not abort the run: %v", sched.Name(), err)
+		}
+		if stats.Stalls == 0 || stats.Transfers == 0 {
+			t.Fatalf("%s: no faults injected (stats %+v)", sched.Name(), stats)
+		}
+		if len(faulty.Ext) != len(clean.Ext) {
+			t.Fatalf("%s: %d ext entries under stalls, want %d", sched.Name(), len(faulty.Ext), len(clean.Ext))
+		}
+		for k, want := range clean.Ext {
+			if !bytes.Equal(faulty.Ext[k], want) {
+				t.Fatalf("%s: %s differs under stalls", sched.Name(), k)
+			}
+		}
+	}
+}
+
+// TestTransferFailureIsTyped pins the fail-loudly property: a lost
+// transfer aborts the run with a *FaultError that matches ErrFault and
+// names the exact transfer, instead of completing with corrupt outputs.
+func TestTransferFailureIsTyped(t *testing.T) {
+	s := mpegSchedule(t, core.CompleteDataScheduler{})
+	res, stats, err := Run(s, 7, nil, Config{Seed: 3, FailEvery: 5})
+	if err == nil {
+		t.Fatalf("injected failure did not surface (res=%v stats=%+v)", res != nil, stats)
+	}
+	if !errors.Is(err, ErrFault) {
+		t.Fatalf("err = %v, does not match ErrFault", err)
+	}
+	var fe *FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %v, not a *FaultError", err)
+	}
+	if fe.N != 5 || fe.Datum == "" || (fe.Op != "load" && fe.Op != "store") {
+		t.Fatalf("fault identity not filled: %+v", fe)
+	}
+	// An injected fault is a fault, not an infeasibility or a capacity
+	// overflow — the taxonomy keeps the classes disjoint.
+	if errors.Is(err, scherr.ErrInfeasible) || errors.Is(err, scherr.ErrCapacity) {
+		t.Fatalf("fault error leaked into another taxonomy class: %v", err)
+	}
+}
+
+// TestDeterministicInjection pins reproducibility: equal (schedule,
+// seed, config) inject byte-identical fault sequences.
+func TestDeterministicInjection(t *testing.T) {
+	s := mpegSchedule(t, core.DataScheduler{})
+	_, stats1, err1 := Run(s, 7, nil, Config{Seed: 11, StallProbPct: 30, FailEvery: 17})
+	_, stats2, err2 := Run(s, 7, nil, Config{Seed: 11, StallProbPct: 30, FailEvery: 17})
+	if stats1 != stats2 {
+		t.Fatalf("stats diverged: %+v vs %+v", stats1, stats2)
+	}
+	if (err1 == nil) != (err2 == nil) || (err1 != nil && err1.Error() != err2.Error()) {
+		t.Fatalf("errors diverged: %v vs %v", err1, err2)
+	}
+	_, stats3, _ := Run(s, 7, nil, Config{Seed: 12, StallProbPct: 30})
+	if stats3.Stalls == stats1.Stalls && stats3.StallCycles == stats1.StallCycles && stats1.Stalls > 0 {
+		// Different seeds picking the exact same stall set is possible
+		// but wildly unlikely with 30% per-transfer probability; treat
+		// equality as a seed-plumbing bug.
+		t.Fatalf("seed change did not change injection (stats %+v)", stats3)
+	}
+}
+
+// TestLoadsOnlyFilter pins the FailLoadsOnly knob: store transfers pass
+// untouched.
+func TestLoadsOnlyFilter(t *testing.T) {
+	s := mpegSchedule(t, core.Basic{})
+	_, _, err := Run(s, 7, nil, Config{Seed: 1, FailEvery: 1, FailLoadsOnly: true})
+	var fe *FaultError
+	if err == nil || !errors.As(err, &fe) {
+		t.Fatalf("expected an injected load failure, got %v", err)
+	}
+	if fe.Op != "load" {
+		t.Fatalf("FailLoadsOnly produced a %s failure: %+v", fe.Op, fe)
+	}
+}

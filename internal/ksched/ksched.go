@@ -20,6 +20,7 @@ import (
 	"cds/internal/app"
 	"cds/internal/arch"
 	"cds/internal/core"
+	"cds/internal/scherr"
 	"cds/internal/sim"
 )
 
@@ -101,8 +102,7 @@ func Explore(pa arch.Params, a *app.App, opts Options) (*Result, error) {
 		}
 		s, err := sched.Schedule(pa, part)
 		if err != nil {
-			var ie *core.InfeasibleError
-			if errors.As(err, &ie) {
+			if errors.Is(err, scherr.ErrInfeasible) {
 				ev.infeasible = true
 				return ev
 			}

@@ -123,11 +123,33 @@ func (r *Result) FinalOutputs(s *core.Schedule) map[string][]byte {
 	return out
 }
 
+// Hooks intercept the machine's external-memory transfers before the
+// bytes move. A non-nil return aborts the run with that error (wrapped
+// with the transfer's identity), which is how the fault-injection
+// harness (internal/faultmachine) models DMA transfer failures; a nil
+// return lets the transfer proceed untouched. Either hook may be nil.
+type Hooks struct {
+	// OnLoad fires before a datum instance is read from external
+	// memory into the Frame Buffer.
+	OnLoad func(datum string, absIter, size int) error
+	// OnStore fires before a result instance is written back to
+	// external memory.
+	OnStore func(datum string, absIter, size int) error
+}
+
 // Run executes the schedule functionally with the given input seed and
 // kernel semantics (nil means DefaultSemantics).
 func Run(s *core.Schedule, seed int64, sem Semantics) (*Result, error) {
+	return RunWithHooks(s, seed, sem, nil)
+}
+
+// RunWithHooks is Run with transfer interception (see Hooks).
+func RunWithHooks(s *core.Schedule, seed int64, sem Semantics, hooks *Hooks) (*Result, error) {
 	if sem == nil {
 		sem = DefaultSemantics()
+	}
+	if hooks == nil {
+		hooks = &Hooks{}
 	}
 	a := s.P.App
 
@@ -146,6 +168,11 @@ func Run(s *core.Schedule, seed int64, sem Semantics) (*Result, error) {
 	// stored.
 	ext := map[extKey][]byte{}
 	extRead := func(datum string, absIter int) ([]byte, error) {
+		if hooks.OnLoad != nil {
+			if err := hooks.OnLoad(datum, absIter, a.SizeOf(datum)); err != nil {
+				return nil, fmt.Errorf("machine: load of %s@%d: %w", datum, absIter, err)
+			}
+		}
 		key := extKey{datum, absIter}
 		if data, ok := ext[key]; ok {
 			return data, nil
@@ -307,6 +334,11 @@ func Run(s *core.Schedule, seed int64, sem Semantics) (*Result, error) {
 		for _, m := range v.Stores {
 			for slot := 0; slot < v.Iters; slot++ {
 				inst := instanceName(m.Datum, slot)
+				if hooks.OnStore != nil {
+					if err := hooks.OnStore(m.Datum, v.Block*s.RF+slot, a.SizeOf(m.Datum)); err != nil {
+						return nil, fmt.Errorf("machine: store of %s@%d: %w", m.Datum, v.Block*s.RF+slot, err)
+					}
+				}
 				ev, ok := findPlacement(v.Set, inst)
 				if !ok {
 					return nil, fmt.Errorf("machine: store of unplaced %s", inst)

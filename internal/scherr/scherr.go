@@ -1,0 +1,82 @@
+// Package scherr defines the scheduling stack's error taxonomy: a small
+// set of sentinel classes that callers branch on with errors.Is instead of
+// matching message strings or concrete types. Every package of the stack
+// (core, alloc, spec, sweep, the cds facade) wraps its failures so that
+// exactly one of these classes answers "what kind of failure was this?":
+//
+//	errors.Is(err, scherr.ErrInfeasible)  // the workload does not fit
+//	errors.Is(err, scherr.ErrInvalidSpec) // the input was malformed
+//	errors.Is(err, scherr.ErrCapacity)    // an on-chip resource overflowed
+//	errors.Is(err, scherr.ErrCanceled)    // the caller's context ended it
+//	errors.Is(err, scherr.ErrVerify)      // a schedule broke an invariant
+//
+// The sentinels deliberately carry no state; rich detail lives in the
+// concrete error types that wrap them (core.InfeasibleError,
+// verify.Error, conc.PanicError, ...).
+package scherr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrInfeasible classifies scheduling failures where the workload
+	// cannot fit the machine (e.g. a cluster exceeds the Frame Buffer
+	// set). An expected outcome for sweeps probing the memory floor.
+	ErrInfeasible = errors.New("infeasible")
+
+	// ErrInvalidSpec classifies malformed input: a JSON spec, an App or
+	// a Partition that fails structural validation.
+	ErrInvalidSpec = errors.New("invalid spec")
+
+	// ErrCapacity classifies on-chip resource overflows discovered
+	// during replay or simulation: Frame Buffer allocation failures,
+	// Context Memory overflows and the like.
+	ErrCapacity = errors.New("capacity exceeded")
+
+	// ErrCanceled classifies failures caused by the caller's context
+	// being canceled or timing out. Errors carrying it also match
+	// context.Canceled or context.DeadlineExceeded as appropriate.
+	ErrCanceled = errors.New("canceled")
+
+	// ErrVerify classifies post-hoc invariant violations found by the
+	// schedule verifier (internal/verify).
+	ErrVerify = errors.New("verification failed")
+)
+
+// Canceled wraps a context error (context.Canceled or
+// context.DeadlineExceeded) so the result matches both ErrCanceled and
+// the original cause under errors.Is. A nil cause yields nil.
+func Canceled(cause error) error {
+	if cause == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrCanceled, cause)
+}
+
+// Sentinel returns a new sentinel error whose Is chain also matches the
+// given class. Packages use it to keep their own identity-comparable
+// sentinels (alloc.ErrNoSpace, arch.ErrDoesNotFit) while joining the
+// taxonomy: errors.Is matches both the returned value and class.
+func Sentinel(class error, msg string) error {
+	return &sentinel{class: class, msg: msg}
+}
+
+type sentinel struct {
+	class error
+	msg   string
+}
+
+func (s *sentinel) Error() string { return s.msg }
+func (s *sentinel) Unwrap() error { return s.class }
+
+// FromContext converts a context's status into a taxonomy error: nil
+// while the context is live, a Canceled-wrapped error once it is done.
+func FromContext(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return Canceled(ctx.Err())
+}

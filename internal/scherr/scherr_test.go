@@ -1,0 +1,59 @@
+package scherr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestSentinelJoinsClass(t *testing.T) {
+	s := Sentinel(ErrCapacity, "alloc: no space")
+	if s.Error() != "alloc: no space" {
+		t.Fatalf("Error() = %q", s.Error())
+	}
+	if !errors.Is(s, ErrCapacity) {
+		t.Fatal("sentinel does not match its class")
+	}
+	if errors.Is(s, ErrInfeasible) {
+		t.Fatal("sentinel leaked into another class")
+	}
+	// Identity survives wrapping — the point of a sentinel.
+	wrapped := fmt.Errorf("cluster 3: %w", s)
+	if !errors.Is(wrapped, s) || !errors.Is(wrapped, ErrCapacity) {
+		t.Fatal("wrapping lost sentinel identity or class")
+	}
+}
+
+func TestCanceled(t *testing.T) {
+	if Canceled(nil) != nil {
+		t.Fatal("Canceled(nil) must be nil")
+	}
+	err := Canceled(context.DeadlineExceeded)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Canceled(DeadlineExceeded) = %v, must match both", err)
+	}
+}
+
+func TestFromContext(t *testing.T) {
+	if err := FromContext(context.Background()); err != nil {
+		t.Fatalf("live context: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := FromContext(ctx)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("dead context: %v", err)
+	}
+}
+
+func TestClassesAreDistinct(t *testing.T) {
+	classes := []error{ErrInfeasible, ErrInvalidSpec, ErrCapacity, ErrCanceled, ErrVerify}
+	for i, a := range classes {
+		for j, b := range classes {
+			if (i == j) != errors.Is(a, b) {
+				t.Fatalf("class %d vs %d: Is = %v", i, j, errors.Is(a, b))
+			}
+		}
+	}
+}

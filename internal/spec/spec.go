@@ -24,6 +24,7 @@ import (
 
 	"cds/internal/app"
 	"cds/internal/arch"
+	"cds/internal/scherr"
 )
 
 // Arch overrides machine parameters; zero fields keep the M1 defaults.
@@ -61,17 +62,105 @@ type Spec struct {
 }
 
 // Parse decodes and validates a JSON spec, returning the partitioned
-// application and the machine to run it on.
+// application and the machine to run it on. All rejections — malformed
+// JSON included — match scherr.ErrInvalidSpec under errors.Is, and
+// validation errors name the offending field by its JSON path (e.g.
+// "kernels[3].contextWords").
 func Parse(raw []byte) (*app.Partition, arch.Params, error) {
 	var sp Spec
 	if err := json.Unmarshal(raw, &sp); err != nil {
-		return nil, arch.Params{}, fmt.Errorf("spec: %w", err)
+		return nil, arch.Params{}, fmt.Errorf("spec: %w: %w", scherr.ErrInvalidSpec, err)
 	}
 	return sp.Build()
 }
 
-// Build materializes an already-decoded spec.
+// invalid builds a field-path validation error: "spec: <path>: <detail>",
+// matching scherr.ErrInvalidSpec.
+func invalid(path, format string, args ...any) error {
+	return fmt.Errorf("spec: %w: %s: %s", scherr.ErrInvalidSpec, path, fmt.Sprintf(format, args...))
+}
+
+// Validate checks the decoded document field by field, before any
+// application semantics run, so a bad spec is reported by the JSON path
+// the author has to fix rather than by an internal app-model name.
+func (sp *Spec) Validate() error {
+	if sp.Iterations < 1 {
+		return invalid("iterations", "must be >= 1, got %d", sp.Iterations)
+	}
+	dataNames := make(map[string]int, len(sp.Data))
+	for i, d := range sp.Data {
+		path := fmt.Sprintf("data[%d]", i)
+		if d.Name == "" {
+			return invalid(path+".name", "must not be empty")
+		}
+		if d.Size <= 0 {
+			return invalid(path+".size", "must be positive, got %d", d.Size)
+		}
+		if prev, dup := dataNames[d.Name]; dup {
+			return invalid(path+".name", "duplicates data[%d] (%q)", prev, d.Name)
+		}
+		dataNames[d.Name] = i
+	}
+	if len(sp.Kernels) == 0 {
+		return invalid("kernels", "must list at least one kernel")
+	}
+	kernelNames := make(map[string]int, len(sp.Kernels))
+	for i, k := range sp.Kernels {
+		path := fmt.Sprintf("kernels[%d]", i)
+		if k.Name == "" {
+			return invalid(path+".name", "must not be empty")
+		}
+		if prev, dup := kernelNames[k.Name]; dup {
+			return invalid(path+".name", "duplicates kernels[%d] (%q)", prev, k.Name)
+		}
+		kernelNames[k.Name] = i
+		if k.ContextWords <= 0 {
+			return invalid(path+".contextWords", "must be positive, got %d", k.ContextWords)
+		}
+		if k.ComputeCycles <= 0 {
+			return invalid(path+".computeCycles", "must be positive, got %d", k.ComputeCycles)
+		}
+		for j, in := range k.Inputs {
+			if _, ok := dataNames[in]; !ok {
+				return invalid(fmt.Sprintf("%s.inputs[%d]", path, j), "references undeclared datum %q", in)
+			}
+		}
+		for j, out := range k.Outputs {
+			if _, ok := dataNames[out]; !ok {
+				return invalid(fmt.Sprintf("%s.outputs[%d]", path, j), "references undeclared datum %q", out)
+			}
+		}
+	}
+	if len(sp.Clusters) == 0 {
+		return invalid("clusters", "must list at least one cluster size")
+	}
+	total := 0
+	for i, n := range sp.Clusters {
+		if n < 1 {
+			return invalid(fmt.Sprintf("clusters[%d]", i), "must be >= 1, got %d", n)
+		}
+		total += n
+	}
+	if total != len(sp.Kernels) {
+		return invalid("clusters", "sizes sum to %d, but the spec declares %d kernels", total, len(sp.Kernels))
+	}
+	if sp.Arch != nil {
+		if sp.Arch.FBSetBytes < 0 {
+			return invalid("arch.fbSetBytes", "must not be negative, got %d", sp.Arch.FBSetBytes)
+		}
+		if sp.Arch.CMWords < 0 {
+			return invalid("arch.cmWords", "must not be negative, got %d", sp.Arch.CMWords)
+		}
+	}
+	return nil
+}
+
+// Build materializes an already-decoded spec. Validation failures match
+// scherr.ErrInvalidSpec and name the offending field path.
 func (sp *Spec) Build() (*app.Partition, arch.Params, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, arch.Params{}, err
+	}
 	a := &app.App{Name: sp.Name, Iterations: sp.Iterations}
 	for _, d := range sp.Data {
 		a.Data = append(a.Data, app.Datum{
@@ -89,7 +178,9 @@ func (sp *Spec) Build() (*app.Partition, arch.Params, error) {
 		})
 	}
 	if err := a.Finalize(); err != nil {
-		return nil, arch.Params{}, fmt.Errorf("spec %q: %w", sp.Name, err)
+		// Semantic violations the field checks cannot see (dataflow
+		// ordering, double producers, ...) still class as invalid specs.
+		return nil, arch.Params{}, fmt.Errorf("spec %q: %w: %w", sp.Name, scherr.ErrInvalidSpec, err)
 	}
 
 	pa := arch.M1()
@@ -102,14 +193,11 @@ func (sp *Spec) Build() (*app.Partition, arch.Params, error) {
 		}
 	}
 	if err := pa.Validate(); err != nil {
-		return nil, arch.Params{}, fmt.Errorf("spec %q: %w", sp.Name, err)
-	}
-	if len(sp.Clusters) == 0 {
-		return nil, arch.Params{}, fmt.Errorf("spec %q: missing clusters", sp.Name)
+		return nil, arch.Params{}, fmt.Errorf("spec %q: %w: %w", sp.Name, scherr.ErrInvalidSpec, err)
 	}
 	part, err := app.NewPartition(a, pa.FBSets, sp.Clusters...)
 	if err != nil {
-		return nil, arch.Params{}, fmt.Errorf("spec %q: %w", sp.Name, err)
+		return nil, arch.Params{}, fmt.Errorf("spec %q: %w: %w", sp.Name, scherr.ErrInvalidSpec, err)
 	}
 	return part, pa, nil
 }

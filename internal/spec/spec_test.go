@@ -1,10 +1,12 @@
 package spec
 
 import (
+	"errors"
 	"os"
 	"strings"
 	"testing"
 
+	"cds/internal/scherr"
 	"cds/internal/workloads"
 )
 
@@ -65,27 +67,36 @@ func TestParseDefaultsArch(t *testing.T) {
 	}
 }
 
+// TestParseErrors pins the validation contract: every rejection matches
+// scherr.ErrInvalidSpec under errors.Is and names the offending field by
+// its JSON path, so the author of a hand-written spec knows exactly what
+// to fix.
 func TestParseErrors(t *testing.T) {
 	tests := []struct {
-		name, mutate, wantSub string
+		name, old, new, wantSub string
 	}{
-		{"bad json", "{", "spec"},
-		{"unknown input", `"inputs": ["in", "tile"]`, "unknown datum"},
-		{"bad clusters", `"clusters": [1, 1]`, "cover"},
-		{"no clusters", `"clusters": [1, 1]`, "missing clusters"},
+		{"bad json", goodSpec, "{", "spec"},
+		{"zero iterations", `"iterations": 8`, `"iterations": 0`, "iterations"},
+		{"empty datum name", `{"name": "tile", "size": 64, "streamed": true}`,
+			`{"name": "", "size": 64, "streamed": true}`, "data[1].name"},
+		{"bad datum size", `{"name": "mid", "size": 40}`, `{"name": "mid", "size": 0}`, "data[2].size"},
+		{"duplicate datum", `{"name": "mid", "size": 40}`, `{"name": "in", "size": 40}`, "data[2].name"},
+		{"bad context words", `"name": "k2", "contextWords": 64`, `"name": "k2", "contextWords": -3`,
+			"kernels[1].contextWords"},
+		{"bad compute cycles", `"computeCycles": 300`, `"computeCycles": 0`, "kernels[1].computeCycles"},
+		{"unknown input", `"inputs": ["in", "tile"]`, `"inputs": ["ghost"]`, "kernels[0].inputs[0]"},
+		{"unknown output", `"outputs": ["out"]`, `"outputs": ["ghost"]`, "kernels[1].outputs[0]"},
+		{"duplicate kernel", `"name": "k2", "contextWords"`, `"name": "k1", "contextWords"`, "kernels[1].name"},
+		{"cluster sum off", `"clusters": [1, 1]`, `"clusters": [1]`, "clusters"},
+		{"zero cluster", `"clusters": [1, 1]`, `"clusters": [0, 2]`, "clusters[0]"},
+		{"no clusters", `"clusters": [1, 1]`, `"clusters": []`, "clusters"},
+		{"negative FB", `"fbSetBytes": 2048`, `"fbSetBytes": -1`, "arch.fbSetBytes"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			raw := goodSpec
-			switch tt.name {
-			case "bad json":
-				raw = "{"
-			case "unknown input":
-				raw = strings.Replace(raw, `"inputs": ["in", "tile"]`, `"inputs": ["ghost"]`, 1)
-			case "bad clusters":
-				raw = strings.Replace(raw, `"clusters": [1, 1]`, `"clusters": [1]`, 1)
-			case "no clusters":
-				raw = strings.Replace(raw, `"clusters": [1, 1]`, `"clusters": []`, 1)
+			raw := strings.Replace(goodSpec, tt.old, tt.new, 1)
+			if raw == goodSpec {
+				t.Fatalf("mutation %q did not apply", tt.old)
 			}
 			_, _, err := Parse([]byte(raw))
 			if err == nil {
@@ -94,7 +105,33 @@ func TestParseErrors(t *testing.T) {
 			if !strings.Contains(err.Error(), tt.wantSub) {
 				t.Errorf("error %q does not mention %q", err, tt.wantSub)
 			}
+			if !errors.Is(err, scherr.ErrInvalidSpec) {
+				t.Errorf("error %q does not match scherr.ErrInvalidSpec", err)
+			}
 		})
+	}
+}
+
+// TestSemanticErrorsStayTyped covers rejections only app.Finalize can
+// see (dataflow ordering, double producers): they keep the taxonomy
+// class even though they have no single field path.
+func TestSemanticErrorsStayTyped(t *testing.T) {
+	raw := strings.Replace(goodSpec, `"outputs": ["out"], "contextGroup": "k1"`,
+		`"outputs": ["mid"], "contextGroup": "k1"`, 1)
+	_, _, err := Parse([]byte(raw))
+	if err == nil {
+		t.Fatal("double producer accepted")
+	}
+	if !errors.Is(err, scherr.ErrInvalidSpec) {
+		t.Errorf("semantic rejection %q lost the ErrInvalidSpec class", err)
+	}
+}
+
+func TestValidateAcceptsAllPaperWorkloads(t *testing.T) {
+	for _, e := range workloads.All() {
+		if err := FromPartition(e.Part, e.Arch).Validate(); err != nil {
+			t.Errorf("%s: %v", e.Name, err)
+		}
 	}
 }
 

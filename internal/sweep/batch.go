@@ -9,12 +9,14 @@ package sweep
 // one, not an abort.
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"cds"
 	"cds/internal/arch"
 	"cds/internal/conc"
+	"cds/internal/scherr"
 	"cds/internal/workloads"
 )
 
@@ -26,27 +28,56 @@ type Job struct {
 }
 
 // Outcome pairs a job with its comparison. Err is the per-point failure
-// (nil on success); a batch never aborts on one bad point.
+// (nil on success); a batch never aborts on one bad point. With the
+// comparison's own partial-result semantics, Cmp can be non-nil even
+// when Err is set — the surviving schedulers' results are kept.
 type Outcome struct {
 	Job Job
 	Cmp *cds.Comparison
 	Err error
+	// done marks jobs that actually ran (vs. skipped by cancellation).
+	done bool
 }
 
 // Batch runs cds.CompareAll on every job across a bounded worker pool
 // (workers <= 0 means one per CPU) and returns one Outcome per job, in
-// job order regardless of completion order.
+// job order regardless of completion order. It is BatchCtx with a
+// background context.
 func Batch(jobs []Job, workers int) []Outcome {
+	return BatchCtx(context.Background(), jobs, workers)
+}
+
+// BatchCtx is the cancellable batch runner. Once ctx is done no new job
+// starts; jobs that never ran come back with an Err matching
+// scherr.ErrCanceled, so a canceled grid still reports which points were
+// measured and which were abandoned. A panicking job records its
+// *conc.PanicError in its own Outcome without killing sibling workers.
+func BatchCtx(ctx context.Context, jobs []Job, workers int) []Outcome {
 	out := make([]Outcome, len(jobs))
+	for i := range jobs {
+		out[i].Job = jobs[i]
+	}
 	if workers <= 0 {
 		workers = conc.DefaultLimit()
 	}
-	// fn never returns an error: per-point failures are data.
-	_ = conc.ForEach(workers, len(jobs), func(i int) error {
-		out[i].Job = jobs[i]
-		out[i].Cmp, out[i].Err = cds.CompareAll(jobs[i].Arch, jobs[i].Part)
+	// fn never returns an error: per-point failures (panics included,
+	// via conc.Safe) are data. Only cancellation escapes the pool.
+	_ = conc.ForEach(ctx, workers, len(jobs), func(i int) error {
+		out[i].Err = conc.Safe(func() error {
+			var err error
+			out[i].Cmp, err = cds.CompareAllCtx(ctx, jobs[i].Arch, jobs[i].Part)
+			return err
+		})
+		out[i].done = true
 		return nil
 	})
+	if err := scherr.FromContext(ctx); err != nil {
+		for i := range out {
+			if !out[i].done && out[i].Err == nil {
+				out[i].Err = err
+			}
+		}
+	}
 	return out
 }
 

@@ -6,6 +6,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -15,6 +16,7 @@ import (
 	"cds/internal/arch"
 	"cds/internal/conc"
 	"cds/internal/core"
+	"cds/internal/scherr"
 	"cds/internal/sim"
 	"cds/internal/workloads"
 )
@@ -38,17 +40,25 @@ type Point struct {
 
 // FB sweeps the frame-buffer set size from lo to hi (inclusive) in the
 // given step, scheduling the partition with all three policies at every
-// sample. The samples are independent and run across a worker pool; the
-// returned slice is ordered by FB size exactly as the serial sweep
-// produced it, and the first genuine error (lowest FB size) propagates.
+// sample. It is FBCtx with a background context.
 func FB(pa arch.Params, part *app.Partition, lo, hi, step int) ([]Point, error) {
+	return FBCtx(context.Background(), pa, part, lo, hi, step)
+}
+
+// FBCtx is the cancellable FB sweep. The samples are independent and run
+// across a worker pool; the returned slice is ordered by FB size exactly
+// as the serial sweep produced it, and the first genuine error (lowest
+// FB size) propagates. Once ctx is done no new sample starts and the
+// sweep returns an error matching scherr.ErrCanceled; a panicking sample
+// surfaces as a *conc.PanicError without killing sibling workers.
+func FBCtx(ctx context.Context, pa arch.Params, part *app.Partition, lo, hi, step int) ([]Point, error) {
 	if lo <= 0 || hi < lo || step <= 0 {
-		return nil, fmt.Errorf("sweep: bad range [%d, %d] step %d", lo, hi, step)
+		return nil, fmt.Errorf("sweep: bad range [%d, %d] step %d: %w", lo, hi, step, scherr.ErrInvalidSpec)
 	}
 	n := (hi-lo)/step + 1
 	samples := make([]*Point, n)
-	err := conc.ForEach(conc.DefaultLimit(), n, func(i int) error {
-		pt, ok, err := fbPoint(pa, part, lo+i*step)
+	err := conc.ForEach(ctx, conc.DefaultLimit(), n, func(i int) error {
+		pt, ok, err := fbPoint(ctx, pa, part, lo+i*step)
 		if err != nil {
 			return err
 		}
@@ -73,21 +83,21 @@ func FB(pa arch.Params, part *app.Partition, lo, hi, step int) ([]Point, error) 
 }
 
 // fbPoint samples one FB size; ok is false below the data schedulers'
-// feasibility floor (the sample is skipped, not an error).
-func fbPoint(pa arch.Params, part *app.Partition, fb int) (Point, bool, error) {
+// feasibility floor (the sample is skipped, not an error — recognized by
+// TYPE via scherr.ErrInfeasible, not by matching behavior).
+func fbPoint(ctx context.Context, pa arch.Params, part *app.Partition, fb int) (Point, bool, error) {
 	cfg := pa
 	cfg.FBSetBytes = fb
 	pt := Point{FBBytes: fb}
 
-	dsS, err := (core.DataScheduler{}).Schedule(cfg, part)
+	dsS, err := (core.DataScheduler{}).ScheduleCtx(ctx, cfg, part)
 	if err != nil {
-		var ie *core.InfeasibleError
-		if errors.As(err, &ie) {
+		if errors.Is(err, scherr.ErrInfeasible) {
 			return Point{}, false, nil // below even the data schedulers' floor
 		}
 		return Point{}, false, err
 	}
-	cdsS, err := (core.CompleteDataScheduler{}).Schedule(cfg, part)
+	cdsS, err := (core.CompleteDataScheduler{}).ScheduleCtx(ctx, cfg, part)
 	if err != nil {
 		return Point{}, false, err
 	}
@@ -97,10 +107,9 @@ func fbPoint(pa arch.Params, part *app.Partition, fb int) (Point, bool, error) {
 		pt.RetainedBytes += r.Size
 	}
 
-	basicS, err := (core.Basic{}).Schedule(cfg, part)
+	basicS, err := (core.Basic{}).ScheduleCtx(ctx, cfg, part)
 	if err != nil {
-		var ie *core.InfeasibleError
-		if !errors.As(err, &ie) {
+		if !errors.Is(err, scherr.ErrInfeasible) {
 			return Point{}, false, err
 		}
 		return pt, true, nil // basic infeasible: still a sample
@@ -178,10 +187,19 @@ type SharingPoint struct {
 // how the Complete Data Scheduler's advantage over the Data Scheduler
 // grows with the amount of inter-cluster reuse available — the axis the
 // paper's experiments vary implicitly (E2 shares little, ATR-SLD* shares
-// everything).
+// everything). It is SharingCtx with a background context.
 func Sharing(cfg SyntheticCfg, seed int64, fracs []float64) ([]SharingPoint, error) {
+	return SharingCtx(context.Background(), cfg, seed, fracs)
+}
+
+// SharingCtx is the cancellable sharing-degree sweep: between fractions
+// it checks ctx and stops with an error matching scherr.ErrCanceled.
+func SharingCtx(ctx context.Context, cfg SyntheticCfg, seed int64, fracs []float64) ([]SharingPoint, error) {
 	var points []SharingPoint
 	for _, f := range fracs {
+		if err := scherr.FromContext(ctx); err != nil {
+			return nil, fmt.Errorf("sweep: sharing: %w", err)
+		}
 		c := cfg
 		c.SharedDataFrac = f
 		c.SharedResultFrac = f

@@ -1,0 +1,188 @@
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"cds/internal/core"
+)
+
+// checkLiveness replays the allocation events against the execution
+// order (the same replay discipline the functional machine uses, minus
+// the bytes) and asserts the data-flow invariants:
+//
+//   - every datum a kernel reads is PLACED in some Frame Buffer set at
+//     that step (not released earlier — a dead read) and WRITTEN (loaded
+//     from external memory or produced by an earlier kernel — not a read
+//     of garbage);
+//   - every external load brings in either a true external input or a
+//     result some earlier visit stored (the external memory never serves
+//     a datum nothing wrote);
+//   - every store drains a placed, written instance.
+func checkLiveness(s *core.Schedule, rep *core.AllocationReport) error {
+	a := s.P.App
+
+	type visitKey struct{ block, cluster int }
+	eventsByVisit := map[visitKey][]core.AllocEvent{}
+	for _, ev := range rep.Events {
+		k := visitKey{ev.Block, ev.Cluster}
+		eventsByVisit[k] = append(eventsByVisit[k], ev)
+	}
+
+	type placeKey struct {
+		set  int
+		inst string
+	}
+	placed := map[placeKey]bool{}  // instance currently resident
+	written := map[placeKey]bool{} // resident AND carrying real bytes
+	findPlacement := func(set int, inst string) (placeKey, bool) {
+		if placed[placeKey{set, inst}] {
+			return placeKey{set, inst}, true
+		}
+		for k := range placed {
+			if k.inst == inst {
+				return k, true
+			}
+		}
+		return placeKey{}, false
+	}
+
+	type extKey struct {
+		datum   string
+		absIter int
+	}
+	extWritten := map[extKey]bool{} // results stored to external memory
+
+	for vi, v := range s.Visits {
+		evs := eventsByVisit[visitKey{v.Block, v.Cluster}]
+		loadsDatum := map[string]bool{}
+		for _, m := range v.Loads {
+			loadsDatum[m.Datum] = true
+		}
+
+		applyEvent := func(ev core.AllocEvent) error {
+			k := placeKey{ev.Set, ev.Object}
+			switch ev.Op {
+			case core.OpAlloc:
+				placed[k] = true
+				if !loadsDatum[ev.Datum] {
+					return nil
+				}
+				// The placement is filled from external memory: the
+				// datum must exist out there.
+				slot, err := instanceSlot(ev.Object)
+				if err != nil {
+					return err
+				}
+				abs := v.Block*s.RF + slot
+				if !a.IsExternalInput(ev.Datum) && !extWritten[extKey{ev.Datum, abs}] {
+					return violated("liveness", "visit %d loads %s@%d which was never stored to external memory",
+						vi, ev.Datum, abs)
+				}
+				written[k] = true
+			case core.OpRelease:
+				delete(placed, k)
+				delete(written, k)
+			}
+			return nil
+		}
+
+		type stepKey struct{ kernel, slot int }
+		stepEvents := map[stepKey][]core.AllocEvent{}
+		var post []core.AllocEvent
+		for _, ev := range evs {
+			switch {
+			case ev.Kernel >= 0:
+				k := stepKey{ev.Kernel, ev.Iter}
+				stepEvents[k] = append(stepEvents[k], ev)
+			case ev.Iter == -1:
+				if err := applyEvent(ev); err != nil {
+					return err
+				}
+			default:
+				post = append(post, ev)
+			}
+		}
+
+		for _, ki := range s.P.Clusters[v.Cluster].Kernels {
+			k := a.Kernels[ki]
+			for slot := 0; slot < v.Iters; slot++ {
+				var stepReleases []core.AllocEvent
+				for _, ev := range stepEvents[stepKey{ki, slot}] {
+					if ev.Op == core.OpRelease {
+						stepReleases = append(stepReleases, ev)
+						continue
+					}
+					if err := applyEvent(ev); err != nil {
+						return err
+					}
+				}
+				for _, in := range k.Inputs {
+					inst := instanceName(in, slot)
+					pk, ok := findPlacement(v.Set, inst)
+					if !ok {
+						return violated("liveness", "visit %d: kernel %s reads %s which is dead (no live placement)",
+							vi, k.Name, inst)
+					}
+					if !written[pk] {
+						return violated("liveness", "visit %d: kernel %s reads %s which was never written",
+							vi, k.Name, inst)
+					}
+				}
+				for _, out := range k.Outputs {
+					inst := instanceName(out, slot)
+					pk, ok := findPlacement(v.Set, inst)
+					if !ok {
+						return violated("liveness", "visit %d: kernel %s writes %s with no live placement",
+							vi, k.Name, inst)
+					}
+					written[pk] = true
+				}
+				for _, ev := range stepReleases {
+					if err := applyEvent(ev); err != nil {
+						return err
+					}
+				}
+			}
+		}
+
+		for _, m := range v.Stores {
+			for slot := 0; slot < v.Iters; slot++ {
+				inst := instanceName(m.Datum, slot)
+				pk, ok := findPlacement(v.Set, inst)
+				if !ok {
+					return violated("liveness", "visit %d stores %s which is dead (no live placement)", vi, inst)
+				}
+				if !written[pk] {
+					return violated("liveness", "visit %d stores %s which was never written", vi, inst)
+				}
+				extWritten[extKey{m.Datum, v.Block*s.RF + slot}] = true
+			}
+		}
+
+		for _, ev := range post {
+			if err := applyEvent(ev); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func instanceName(datum string, slot int) string {
+	return fmt.Sprintf("%s#i%d", datum, slot)
+}
+
+// instanceSlot parses the iteration slot out of an instance name
+// ("tile#i3" -> 3).
+func instanceSlot(inst string) (int, error) {
+	i := strings.LastIndex(inst, "#i")
+	if i < 0 {
+		return 0, violated("liveness", "malformed instance name %q", inst)
+	}
+	var slot int
+	if _, err := fmt.Sscanf(inst[i+2:], "%d", &slot); err != nil {
+		return 0, violated("liveness", "malformed instance name %q: %v", inst, err)
+	}
+	return slot, nil
+}

@@ -1,0 +1,176 @@
+// Package verify is the post-hoc invariant checker for schedules: it
+// extends the codegen checker's program-level discipline to whole
+// schedules, so any scheduler output — hand-written, fuzzed or produced
+// by a buggy policy — can be audited before it is trusted.
+//
+// Checked invariant families, each named in the returned *Error:
+//
+//	structure     — core.ValidateSchedule's visit/volume consistency
+//	capacity      — the Frame Buffer allocation replay fits every set,
+//	                live bytes never exceed FBSetBytes and placements
+//	                stay in bounds without overlapping
+//	liveness      — no kernel reads a datum instance that is dead
+//	                (released) or never written (neither loaded from
+//	                external memory nor produced by an earlier kernel),
+//	                and every store drains a written placement
+//	serialization — the timing simulator's single-DMA-channel model
+//	                holds: wall clock dominates both the serialized DMA
+//	                busy time and compute+stall, and visits execute in
+//	                order on the RC array
+//	residency     — the generated transfer program passes codegen.Check
+//	                (contexts resident before EXEC, FB ranges legal,
+//	                volumes matching the schedule)
+//
+// All violations match scherr.ErrVerify under errors.Is.
+package verify
+
+import (
+	"fmt"
+
+	"cds/internal/codegen"
+	"cds/internal/core"
+	"cds/internal/scherr"
+	"cds/internal/sim"
+)
+
+// Error is one invariant violation found by the verifier.
+type Error struct {
+	// Invariant names the violated family: "structure", "capacity",
+	// "liveness", "serialization" or "residency".
+	Invariant string
+	// Err details the violation.
+	Err error
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("verify: %s invariant violated: %v", e.Invariant, e.Err)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// Is makes every verifier error match scherr.ErrVerify.
+func (e *Error) Is(target error) bool { return target == scherr.ErrVerify }
+
+func violated(invariant string, format string, args ...any) error {
+	return &Error{Invariant: invariant, Err: fmt.Errorf(format, args...)}
+}
+
+// Schedule audits every invariant family against the schedule. A nil
+// error means the schedule is structurally sound, fits the machine, only
+// reads live written data, respects DMA serialization and keeps contexts
+// resident ahead of every EXEC.
+func Schedule(s *core.Schedule) error {
+	if s == nil {
+		return violated("structure", "nil schedule")
+	}
+	if err := core.ValidateSchedule(s); err != nil {
+		return &Error{Invariant: "structure", Err: err}
+	}
+	rep, err := core.Allocate(s, true)
+	if err != nil {
+		return &Error{Invariant: "capacity", Err: err}
+	}
+	if err := checkCapacity(s, rep); err != nil {
+		return err
+	}
+	if err := checkLiveness(s, rep); err != nil {
+		return err
+	}
+	if err := checkSerialization(s); err != nil {
+		return err
+	}
+	prog, err := codegen.Generate(s)
+	if err != nil {
+		return &Error{Invariant: "residency", Err: err}
+	}
+	if _, err := codegen.Check(prog, s); err != nil {
+		return &Error{Invariant: "residency", Err: err}
+	}
+	return nil
+}
+
+// checkCapacity replays the allocation events and asserts that live
+// bytes never exceed the set capacity, placements stay inside the set
+// and (absent splitting) no two live placements overlap.
+func checkCapacity(s *core.Schedule, rep *core.AllocationReport) error {
+	cap := s.Arch.FBSetBytes
+	type key struct {
+		set  int
+		inst string
+	}
+	live := map[key]core.AllocEvent{}
+	used := map[int]int{}
+	for i, ev := range rep.Events {
+		k := key{ev.Set, ev.Object}
+		switch ev.Op {
+		case core.OpAlloc:
+			if _, dup := live[k]; dup {
+				return violated("capacity", "event %d: %q allocated twice on set %d", i, ev.Object, ev.Set)
+			}
+			if ev.Bytes <= 0 {
+				return violated("capacity", "event %d: %q has non-positive size %d", i, ev.Object, ev.Bytes)
+			}
+			if !ev.Split && (ev.Addr < 0 || ev.Addr+ev.Bytes > cap) {
+				return violated("capacity", "event %d: %q at [%d,%d) outside set of %d bytes",
+					i, ev.Object, ev.Addr, ev.Addr+ev.Bytes, cap)
+			}
+			if rep.Splits == 0 {
+				for ok, oe := range live {
+					if ok.set == ev.Set && ev.Addr < oe.Addr+oe.Bytes && oe.Addr < ev.Addr+ev.Bytes {
+						return violated("capacity", "event %d: %q [%d,%d) overlaps live %q [%d,%d) on set %d",
+							i, ev.Object, ev.Addr, ev.Addr+ev.Bytes, oe.Object, oe.Addr, oe.Addr+oe.Bytes, ev.Set)
+					}
+				}
+			}
+			live[k] = ev
+			used[ev.Set] += ev.Bytes
+			if used[ev.Set] > cap {
+				return violated("capacity", "event %d: set %d holds %d live bytes, capacity %d",
+					i, ev.Set, used[ev.Set], cap)
+			}
+		case core.OpRelease:
+			le, ok := live[k]
+			if !ok {
+				return violated("capacity", "event %d: release of %q which is not live on set %d", i, ev.Object, ev.Set)
+			}
+			delete(live, k)
+			used[ev.Set] -= le.Bytes
+		}
+	}
+	for set, peak := range rep.PeakUsed {
+		if peak > cap {
+			return violated("capacity", "set %d peak occupancy %d exceeds capacity %d", set, peak, cap)
+		}
+	}
+	return nil
+}
+
+// checkSerialization runs the timing simulator and asserts the
+// single-DMA-channel execution model: the wall clock dominates both the
+// serialized DMA busy time and the RC-array timeline (compute plus
+// stalls), and visits start in order after their predecessor's compute.
+func checkSerialization(s *core.Schedule) error {
+	res, err := sim.Run(s)
+	if err != nil {
+		return &Error{Invariant: "serialization", Err: err}
+	}
+	if res.TotalCycles < res.DMABusy() {
+		return violated("serialization", "total %d cycles < serialized DMA busy %d — transfers overlapped on one channel",
+			res.TotalCycles, res.DMABusy())
+	}
+	if res.TotalCycles < res.ComputeCycles+res.StallCycles {
+		return violated("serialization", "total %d cycles < compute %d + stalls %d",
+			res.TotalCycles, res.ComputeCycles, res.StallCycles)
+	}
+	for vi := range res.VisitStart {
+		if res.VisitEnd[vi] < res.VisitStart[vi] {
+			return violated("serialization", "visit %d ends (%d) before it starts (%d)",
+				vi, res.VisitEnd[vi], res.VisitStart[vi])
+		}
+		if vi > 0 && res.VisitStart[vi] < res.VisitEnd[vi-1] {
+			return violated("serialization", "visit %d starts at %d while visit %d computes until %d — RC array double-booked",
+				vi, res.VisitStart[vi], vi-1, res.VisitEnd[vi-1])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package cds
+
+// Tests for the hardened comparison pipeline: one scheduler failing —
+// with a typed error or an outright panic — must not lose the other
+// schedulers' results, and cancellation must surface as the taxonomy's
+// ErrCanceled class.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"cds/internal/app"
+	"cds/internal/arch"
+	"cds/internal/conc"
+	"cds/internal/core"
+	"cds/internal/scherr"
+	"cds/internal/workloads"
+)
+
+// brokenScheduler fails or panics on demand, standing in for a buggy
+// scheduling policy.
+type brokenScheduler struct {
+	err       error
+	panicWith any
+}
+
+func (b brokenScheduler) Name() string { return "broken" }
+
+func (b brokenScheduler) Schedule(pa arch.Params, part *app.Partition) (*core.Schedule, error) {
+	return b.ScheduleCtx(context.Background(), pa, part)
+}
+
+func (b brokenScheduler) ScheduleCtx(ctx context.Context, pa arch.Params, part *app.Partition) (*core.Schedule, error) {
+	if b.panicWith != nil {
+		panic(b.panicWith)
+	}
+	return nil, b.err
+}
+
+// overrideKind substitutes the broken scheduler for exactly one kind.
+func overrideKind(k SchedulerKind, sched core.Scheduler) func(SchedulerKind) core.Scheduler {
+	return func(got SchedulerKind) core.Scheduler {
+		if got == k {
+			return sched
+		}
+		return nil
+	}
+}
+
+// TestCompareAllSurvivesCDSError pins graceful degradation on a typed
+// failure: CDS failing leaves Basic and DS results intact, CDSErr typed
+// and the summary error equal to it.
+func TestCompareAllSurvivesCDSError(t *testing.T) {
+	e := workloads.MPEG()
+	boom := scherr.Sentinel(scherr.ErrCapacity, "synthetic CDS failure")
+	cmp, err := compareAll(context.Background(), e.Arch, e.Part,
+		overrideKind(CDS, brokenScheduler{err: boom}))
+	if err == nil {
+		t.Fatal("CompareAll hid the CDS failure")
+	}
+	if cmp == nil {
+		t.Fatal("no partial comparison returned")
+	}
+	if cmp.Basic == nil || cmp.DS == nil {
+		t.Fatalf("survivor results lost: basic=%v ds=%v", cmp.Basic != nil, cmp.DS != nil)
+	}
+	if cmp.CDS != nil {
+		t.Error("failed scheduler still has a result")
+	}
+	if !errors.Is(cmp.CDSErr, scherr.ErrCapacity) || !errors.Is(cmp.CDSErr, boom) {
+		t.Fatalf("CDSErr = %v, lost its taxonomy class", cmp.CDSErr)
+	}
+	if cmp.DSErr != nil || cmp.BasicErr != nil {
+		t.Fatalf("failure leaked into sibling error fields: %v / %v", cmp.DSErr, cmp.BasicErr)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("summary error %v does not carry the CDS failure", err)
+	}
+	// The survivors' numbers are still the real ones.
+	ref, rerr := Run(DS, e.Arch, e.Part)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if cmp.DS.Timing.TotalCycles != ref.Timing.TotalCycles {
+		t.Error("DS survivor timing diverged from a clean run")
+	}
+	if cmp.ImprovementDS <= 0 {
+		t.Error("DS improvement not computed for the survivor")
+	}
+}
+
+// TestCompareAllSurvivesPanic pins panic containment end to end: a
+// scheduler that panics surfaces as a *conc.PanicError with a stack in
+// its own error slot, while the siblings complete normally.
+func TestCompareAllSurvivesPanic(t *testing.T) {
+	e := workloads.MPEG()
+	for _, kind := range []SchedulerKind{DS, CDS} {
+		cmp, err := compareAll(context.Background(), e.Arch, e.Part,
+			overrideKind(kind, brokenScheduler{panicWith: "scheduler bug"}))
+		if err == nil || cmp == nil {
+			t.Fatalf("%s panic: err=%v cmp=%v", kind, err, cmp != nil)
+		}
+		perKind := cmp.DSErr
+		survivor := cmp.CDS
+		if kind == CDS {
+			perKind, survivor = cmp.CDSErr, cmp.DS
+		}
+		var pe *conc.PanicError
+		if !errors.As(perKind, &pe) {
+			t.Fatalf("%s panic: per-scheduler error %v is not a *conc.PanicError", kind, perKind)
+		}
+		if pe.Value != "scheduler bug" || len(pe.Stack) == 0 {
+			t.Fatalf("%s panic: PanicError lacks value/stack: %+v", kind, pe)
+		}
+		if cmp.Basic == nil || survivor == nil {
+			t.Fatalf("%s panic killed sibling schedulers", kind)
+		}
+		if !errors.As(err, &pe) {
+			t.Fatalf("%s panic: summary error %v hides the panic", kind, err)
+		}
+	}
+}
+
+// TestCompareAllBasicPanicStaysInBasicErr: a Basic crash must not be
+// confused with the paper's memory-floor infeasibility semantics — the
+// panic is typed, so callers can tell "FB too small" from "bug".
+func TestCompareAllBasicPanicStaysInBasicErr(t *testing.T) {
+	e := workloads.MPEG()
+	cmp, err := compareAll(context.Background(), e.Arch, e.Part,
+		overrideKind(Basic, brokenScheduler{panicWith: "basic bug"}))
+	if err != nil {
+		t.Fatalf("a Basic failure is a result, not a comparison error: %v", err)
+	}
+	var pe *conc.PanicError
+	if !errors.As(cmp.BasicErr, &pe) {
+		t.Fatalf("BasicErr = %v, want the contained panic", cmp.BasicErr)
+	}
+	if errors.Is(cmp.BasicErr, scherr.ErrInfeasible) {
+		t.Fatal("a panic must not read as infeasibility")
+	}
+	if cmp.DS == nil || cmp.CDS == nil {
+		t.Fatal("Basic panic killed DS/CDS runs")
+	}
+}
+
+// TestRunCtxCancellation pins the facade's cancellation contract.
+func TestRunCtxCancellation(t *testing.T) {
+	e := workloads.MPEG()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCtx(ctx, CDS, e.Arch, e.Part); !errors.Is(err, scherr.ErrCanceled) {
+		t.Fatalf("RunCtx on dead context: %v, want ErrCanceled", err)
+	}
+	if cmp, err := CompareAllCtx(ctx, e.Arch, e.Part); !errors.Is(err, scherr.ErrCanceled) {
+		t.Fatalf("CompareAllCtx on dead context: %v (cmp=%v), want ErrCanceled", err, cmp != nil)
+	}
+}
+
+// TestRunVerifiedOnSeedWorkloads: the verifying entry point accepts all
+// clean schedules (the verifier's negative cases live in internal/verify).
+func TestRunVerifiedOnSeedWorkloads(t *testing.T) {
+	e := workloads.MPEG()
+	for _, kind := range []SchedulerKind{Basic, DS, CDS} {
+		res, err := RunVerified(context.Background(), kind, e.Arch, e.Part)
+		if err != nil || res == nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+}
