@@ -27,7 +27,8 @@ func BenchmarkSweep(b *testing.B) {
 // BenchmarkBatch measures the batch runner on an arch x workload grid:
 // three machine generations crossed with every Table 1 row.
 func BenchmarkBatch(b *testing.B) {
-	jobs := sweep.Grid(sweep.PresetArchs("M1/4", "M1", "M2"), workloads.All())
+	archs, _ := sweep.PresetArchs("M1/4", "M1", "M2")
+	jobs := sweep.Grid(archs, workloads.All())
 	for i := 0; i < b.N; i++ {
 		outcomes := sweep.Batch(jobs, 0)
 		if len(outcomes) != len(jobs) {

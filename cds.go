@@ -189,6 +189,18 @@ type Comparison struct {
 	DTBytes int
 }
 
+// Degraded reports whether the comparison lost a data scheduler's result
+// (DS or CDS failed) and the remaining fields describe a partial run. A
+// Basic failure alone is NOT degradation — it is the paper's
+// memory-floor outcome, carried in BasicErr as data. Serving layers use
+// this to answer a request with the surviving results instead of a hard
+// failure.
+func (c *Comparison) Degraded() bool { return c.DSErr != nil || c.CDSErr != nil }
+
+// Usable reports whether the comparison carries at least one data
+// scheduler's result worth returning to a caller.
+func (c *Comparison) Usable() bool { return c.DS != nil || c.CDS != nil }
+
 // CompareAll runs Basic, DS and CDS on the same workload and computes the
 // paper's comparison metrics. It is CompareAllCtx with a background
 // context.

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 
 	"cds"
 	"cds/internal/arch"
@@ -29,7 +31,7 @@ import (
 
 type options struct {
 	csvOut, mdOut, floor, detail bool
-	runOne, dump                 string
+	runOne, dump, archOver       string
 	workers                      int
 }
 
@@ -41,6 +43,7 @@ func main() {
 	flag.BoolVar(&opts.floor, "floor", false, "also run the MPEG memory-floor experiment (FB = 1K)")
 	flag.BoolVar(&opts.detail, "detail", false, "print a per-experiment breakdown (timing, retention, context overlap)")
 	flag.StringVar(&opts.dump, "dump", "", "export one experiment's application as editable JSON to stdout")
+	flag.StringVar(&opts.archOver, "arch", "", "run every experiment on this machine preset (e.g. M2) instead of its Table 1 machine")
 	flag.IntVar(&opts.workers, "workers", 0, "worker pool size for running experiments (0 = one per CPU)")
 	timeout := flag.Duration("timeout", 0, "abort the evaluation after this duration (0 = no limit)")
 	flag.Parse()
@@ -83,6 +86,22 @@ func run(ctx context.Context, opts options) error {
 	}
 	if opts.floor {
 		exps = append(exps, workloads.MPEGFloor())
+	}
+	if opts.archOver != "" {
+		// Preset typos must fail loudly, not shrink the run: PresetArchs
+		// reports what it skipped and we refuse to continue on it.
+		archs, skipped := sweep.PresetArchs(opts.archOver)
+		if len(skipped) > 0 {
+			known := make([]string, 0, len(arch.Presets()))
+			for name := range arch.Presets() {
+				known = append(known, name)
+			}
+			sort.Strings(known)
+			return fmt.Errorf("unknown machine preset %q (known: %s)", opts.archOver, strings.Join(known, ", "))
+		}
+		for i := range exps {
+			exps[i].Arch = archs[0].Params
+		}
 	}
 
 	// The rows are independent comparisons: run them through the sweep

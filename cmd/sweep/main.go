@@ -9,10 +9,15 @@
 // points it measured; abandoned points carry an error matching
 // scherr.ErrCanceled.
 //
+// Grid sweeps are also crash-safe: -journal FILE appends every completed
+// point to a JSONL checkpoint as it finishes, and re-running the same
+// command resumes from it — completed points are not recomputed and the
+// merged output is byte-identical to an uninterrupted run.
+//
 // Usage:
 //
 //	sweep -experiment MPEG [-from 512] [-to 4096] [-step 256] [-csv]
-//	sweep -grid [-archs M1/4,M1,M2] [-workers N] [-timeout 30s] [-csv]
+//	sweep -grid [-archs M1/4,M1,M2] [-workers N] [-timeout 30s] [-csv] [-journal FILE]
 package main
 
 import (
@@ -21,8 +26,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 
+	"cds/internal/arch"
 	"cds/internal/sweep"
 	"cds/internal/workloads"
 )
@@ -38,6 +45,7 @@ func main() {
 	archNames := flag.String("archs", "M1/4,M1,M2", "comma-separated machine presets for -grid")
 	workers := flag.Int("workers", 0, "worker pool size for -grid (0 = one per CPU)")
 	timeout := flag.Duration("timeout", 0, "abort the sweep after this duration (0 = no limit)")
+	journal := flag.String("journal", "", "crash-safe checkpoint file for -grid (resume by re-running)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -51,7 +59,7 @@ func main() {
 	var err error
 	switch {
 	case *grid:
-		err = runGrid(ctx, *archNames, *workers, *csvOut)
+		err = runGrid(ctx, *archNames, *workers, *csvOut, *journal)
 	case *sharing:
 		err = runSharing(ctx)
 	default:
@@ -63,16 +71,46 @@ func main() {
 	}
 }
 
-func runGrid(ctx context.Context, archNames string, workers int, csvOut bool) error {
-	archs := sweep.PresetArchs(strings.Split(archNames, ",")...)
+func runGrid(ctx context.Context, archNames string, workers int, csvOut bool, journal string) error {
+	archs, skipped := sweep.PresetArchs(strings.Split(archNames, ",")...)
+	if len(skipped) > 0 {
+		known := make([]string, 0, len(arch.Presets()))
+		for name := range arch.Presets() {
+			known = append(known, name)
+		}
+		sort.Strings(known)
+		fmt.Fprintf(os.Stderr, "sweep: skipping unknown presets %s (known: %s)\n",
+			strings.Join(skipped, ", "), strings.Join(known, ", "))
+	}
 	if len(archs) == 0 {
 		return fmt.Errorf("no known presets in %q", archNames)
 	}
-	outcomes := sweep.BatchCtx(ctx, sweep.Grid(archs, workloads.All()), workers)
-	if csvOut {
-		sweep.CSVBatch(os.Stdout, outcomes)
+	jobs := sweep.Grid(archs, workloads.All())
+
+	var rows []sweep.Row
+	if journal != "" {
+		j, prior, err := sweep.OpenJournal(journal)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		if n := len(sweep.Completed(prior)); n > 0 {
+			fmt.Fprintf(os.Stderr, "sweep: resuming from %s: %d of %d points already journaled\n", journal, n, len(jobs))
+		}
+		rows, err = sweep.RunJournaled(ctx, j, prior, jobs, workers, nil)
+		if err != nil && ctx.Err() == nil {
+			return err
+		}
 	} else {
-		sweep.WriteBatch(os.Stdout, outcomes)
+		rows = sweep.Rows(sweep.BatchCtx(ctx, jobs, workers))
+	}
+
+	if csvOut {
+		if err := sweep.CSVRows(os.Stdout, rows); err != nil {
+			return err
+		}
+	} else {
+		sweep.WriteRows(os.Stdout, rows)
 	}
 	// Partial results were printed above; a dead context is still a
 	// failed run for the caller's exit status.

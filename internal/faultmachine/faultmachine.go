@@ -26,6 +26,7 @@ import (
 
 	"cds/internal/core"
 	"cds/internal/machine"
+	"cds/internal/scherr"
 )
 
 // ErrFault classifies all injected faults that abort a run. Use
@@ -43,14 +44,29 @@ type FaultError struct {
 	AbsIter int
 	// N is the 1-based index of the transfer in DMA order.
 	N int
+	// Permanent marks a hard fault (a dead channel, not a glitched
+	// transfer): the error does NOT match scherr.ErrTransient, so the
+	// retry layer fails fast instead of re-running the schedule.
+	Permanent bool
 }
 
 func (e *FaultError) Error() string {
-	return fmt.Sprintf("faultmachine: injected %s failure on %s@%d (transfer %d)", e.Op, e.Datum, e.AbsIter, e.N)
+	kind := "transient"
+	if e.Permanent {
+		kind = "permanent"
+	}
+	return fmt.Sprintf("faultmachine: injected %s %s failure on %s@%d (transfer %d)", kind, e.Op, e.Datum, e.AbsIter, e.N)
 }
 
-// Is makes every FaultError match ErrFault.
-func (e *FaultError) Is(target error) bool { return target == ErrFault }
+// Is makes every FaultError match ErrFault, and the transient ones (the
+// default) additionally match scherr.ErrTransient — the class the retry
+// layer (internal/retry) re-attempts.
+func (e *FaultError) Is(target error) bool {
+	if target == ErrFault {
+		return true
+	}
+	return target == scherr.ErrTransient && !e.Permanent
+}
 
 // Config selects which transfers fault. The zero value injects nothing.
 type Config struct {
@@ -67,6 +83,10 @@ type Config struct {
 	FailEvery int
 	// FailLoadsOnly restricts injected failures to loads.
 	FailLoadsOnly bool
+	// FailPermanent marks injected failures as permanent (hard) faults:
+	// the resulting *FaultError does not match scherr.ErrTransient and
+	// must not be retried.
+	FailPermanent bool
 }
 
 // Stats reports what the harness injected during one run.
@@ -115,7 +135,7 @@ func (in *injector) transfer(op, datum string, absIter int) error {
 	}
 	if in.cfg.FailEvery > 0 && n%in.cfg.FailEvery == 0 {
 		if !(in.cfg.FailLoadsOnly && op == "store") {
-			return &FaultError{Op: op, Datum: datum, AbsIter: absIter, N: n}
+			return &FaultError{Op: op, Datum: datum, AbsIter: absIter, N: n, Permanent: in.cfg.FailPermanent}
 		}
 	}
 	return nil
@@ -142,4 +162,49 @@ func Run(s *core.Schedule, seed int64, sem machine.Semantics, cfg Config) (*mach
 	in := newInjector(cfg)
 	res, err := machine.RunWithHooks(s, seed, sem, in.hooks())
 	return res, in.stats, err
+}
+
+// Runner executes schedules under a bounded transient-fault window: the
+// first FailRuns executions inject the configured transfer failures,
+// later executions inject only the stalls. It models an external-memory
+// fault that clears after a few attempts — exactly the shape the retry
+// layer (internal/retry) is designed to absorb: a request that arrives
+// during the window fails, is retried, and succeeds once the window has
+// passed, with outputs byte-identical to a fault-free run.
+//
+// A Runner is safe for concurrent use; the run counter is shared across
+// all goroutines so the window is global, like the fault it models.
+type Runner struct {
+	mu  sync.Mutex
+	cfg Config
+	// failRuns is the width of the fault window; negative keeps it open
+	// forever (a persistent fault that retries never clear).
+	failRuns int
+	runs     int
+}
+
+// NewRunner returns a Runner whose first failRuns executions inject the
+// configured failures (failRuns < 0: every execution does). Stalls are
+// injected on every run regardless — they are survivable by design.
+func NewRunner(cfg Config, failRuns int) *Runner {
+	return &Runner{cfg: cfg, failRuns: failRuns}
+}
+
+// Run executes one schedule under the runner's current window position.
+func (r *Runner) Run(s *core.Schedule, seed int64, sem machine.Semantics) (*machine.Result, Stats, error) {
+	r.mu.Lock()
+	cfg := r.cfg
+	r.runs++
+	if r.failRuns >= 0 && r.runs > r.failRuns {
+		cfg.FailEvery = 0 // window passed: stalls only
+	}
+	r.mu.Unlock()
+	return Run(s, seed, sem, cfg)
+}
+
+// Runs reports how many executions the runner has performed.
+func (r *Runner) Runs() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.runs
 }

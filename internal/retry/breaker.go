@@ -1,0 +1,164 @@
+package retry
+
+// The circuit breaker protects a repeatedly-failing target from retry
+// amplification: once a target has failed threshold consecutive times,
+// further calls fail immediately (with a Retry-After hint) instead of
+// burning backend work, until a cooldown passes and a single half-open
+// probe decides whether to close the circuit again. Time is a seam
+// (now func) so tests drive the state machine on a seeded fake clock.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrOpen classifies calls rejected by an open circuit. Match with
+// errors.Is; the concrete *OpenError carries the Retry-After hint.
+var ErrOpen = errors.New("retry: circuit open")
+
+// OpenError is the typed rejection of an open circuit.
+type OpenError struct {
+	// RetryAfter is how long until the breaker will next admit a probe.
+	RetryAfter time.Duration
+}
+
+func (e *OpenError) Error() string {
+	return fmt.Sprintf("retry: circuit open, retry after %s", e.RetryAfter)
+}
+
+// Is makes every OpenError match ErrOpen.
+func (e *OpenError) Is(target error) bool { return target == ErrOpen }
+
+// State is a breaker's position in the closed -> open -> half-open cycle.
+type State int
+
+const (
+	// Closed admits every call (the healthy state).
+	Closed State = iota
+	// Open rejects every call until the cooldown elapses.
+	Open
+	// HalfOpen has admitted one probe and rejects everything else until
+	// the probe's outcome is recorded.
+	HalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Breaker is a consecutive-failure circuit breaker. The zero value is
+// not usable; construct with NewBreaker. All methods are safe for
+// concurrent use.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+	state     State
+	fails     int
+	openedAt  time.Time
+}
+
+// NewBreaker returns a breaker that opens after threshold consecutive
+// failures (default 5 when <= 0) and half-opens one probe after cooldown
+// (default 5s when <= 0). now substitutes the clock; nil means
+// time.Now.
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// Allow reports whether a call may proceed: nil from a closed breaker or
+// for the single half-open probe, an error matching ErrOpen otherwise.
+// Every allowed call MUST be followed by exactly one Record.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return nil
+	case Open:
+		elapsed := b.now().Sub(b.openedAt)
+		if elapsed >= b.cooldown {
+			b.state = HalfOpen // admit exactly one probe
+			return nil
+		}
+		return &OpenError{RetryAfter: b.cooldown - elapsed}
+	default: // HalfOpen: a probe is already in flight
+		return &OpenError{RetryAfter: b.cooldown}
+	}
+}
+
+// Record reports an allowed call's outcome. Successes close the circuit
+// and reset the failure run; failures extend it and (re)open the circuit
+// at the threshold. Callers should record only successes and
+// TRANSIENT failures — a client's invalid spec says nothing about the
+// target's health.
+func (b *Breaker) Record(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if success {
+		b.state = Closed
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.state == HalfOpen || b.fails >= b.threshold {
+		b.state = Open
+		b.openedAt = b.now()
+	}
+}
+
+// State returns the breaker's current position (for tests and metrics).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// BreakerSet lazily keys breakers by target name so each workload (or
+// backend) trips independently: one poisoned target must not open the
+// circuit for its healthy siblings.
+type BreakerSet struct {
+	mu        sync.Mutex
+	m         map[string]*Breaker
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+}
+
+// NewBreakerSet returns a set whose breakers share the given
+// configuration (same defaulting as NewBreaker).
+func NewBreakerSet(threshold int, cooldown time.Duration, now func() time.Time) *BreakerSet {
+	return &BreakerSet{m: map[string]*Breaker{}, threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// Get returns the target's breaker, creating it closed on first use.
+func (s *BreakerSet) Get(target string) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[target]
+	if !ok {
+		b = NewBreaker(s.threshold, s.cooldown, s.now)
+		s.m[target] = b
+	}
+	return b
+}

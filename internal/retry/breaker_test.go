@@ -1,0 +1,137 @@
+package retry
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is the seeded clock the breaker tests drive by hand.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func TestBreakerOpensAfterFailureRun(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(3, 10*time.Second, clk.Now)
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker rejected call %d: %v", i, err)
+		}
+		b.Record(false)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v after 2 failures, want closed (threshold 3)", b.State())
+	}
+	b.Allow()
+	b.Record(false) // third consecutive failure: open
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	err := b.Allow()
+	if !errors.Is(err, ErrOpen) {
+		t.Fatalf("open breaker admitted a call: %v", err)
+	}
+	var oe *OpenError
+	if !errors.As(err, &oe) || oe.RetryAfter <= 0 || oe.RetryAfter > 10*time.Second {
+		t.Fatalf("OpenError.RetryAfter = %v, want (0, 10s]", oe.RetryAfter)
+	}
+}
+
+func TestBreakerSuccessResetsRun(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(3, 10*time.Second, clk.Now)
+	// Failures interleaved with successes never reach the threshold:
+	// only CONSECUTIVE failures open the circuit.
+	for i := 0; i < 10; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("call %d rejected: %v", i, err)
+		}
+		b.Record(i%2 == 0)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(2, 10*time.Second, clk.Now)
+	b.Allow()
+	b.Record(false)
+	b.Allow()
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatal("breaker not open")
+	}
+
+	clk.Advance(9 * time.Second)
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("breaker admitted a call before the cooldown: %v", err)
+	}
+
+	clk.Advance(2 * time.Second) // past the cooldown: one probe
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open breaker rejected the probe: %v", err)
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("half-open breaker admitted a second concurrent call: %v", err)
+	}
+
+	// Probe failure reopens with a fresh cooldown.
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatalf("state = %v after failed probe, want open", b.State())
+	}
+	clk.Advance(10 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe after fresh cooldown rejected: %v", err)
+	}
+	// Probe success closes the circuit completely.
+	b.Record(true)
+	if b.State() != Closed {
+		t.Fatalf("state = %v after successful probe, want closed", b.State())
+	}
+	for i := 0; i < 5; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker rejected call %d: %v", i, err)
+		}
+		b.Record(true)
+	}
+}
+
+func TestBreakerSetIsolatesTargets(t *testing.T) {
+	clk := newFakeClock()
+	set := NewBreakerSet(1, 10*time.Second, clk.Now)
+	set.Get("poisoned").Record(false)
+	if set.Get("poisoned").State() != Open {
+		t.Fatal("poisoned target's breaker did not open")
+	}
+	if err := set.Get("healthy").Allow(); err != nil {
+		t.Fatalf("healthy target rejected because a sibling tripped: %v", err)
+	}
+	if got := set.Get("poisoned"); got.State() != Open {
+		t.Fatalf("Get returned a fresh breaker instead of the tripped one: %v", got.State())
+	}
+}

@@ -1,0 +1,163 @@
+package retry
+
+// Integration of the retry layer with the fault-injection harness: the
+// exact failure shapes schedd absorbs in production. A transient fault
+// window clears after k retries with byte-identical outputs; a permanent
+// fault is never retried; a persistent transient fault walks the circuit
+// breaker through open -> half-open -> closed on the seeded clock.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"cds/internal/core"
+	"cds/internal/faultmachine"
+	"cds/internal/machine"
+	"cds/internal/scherr"
+	"cds/internal/workloads"
+)
+
+func mpegCDSSchedule(t *testing.T) *core.Schedule {
+	t.Helper()
+	e, err := workloads.ByName("MPEG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.CompleteDataScheduler{}.Schedule(e.Arch, e.Part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestTransientFaultClearsUnderRetry pins the end-to-end survival story:
+// a seeded fault window (DMA stalls every run, transfer failures for the
+// first k runs) costs exactly k retries, and the run that succeeds
+// produces outputs byte-identical to a fault-free execution.
+func TestTransientFaultClearsUnderRetry(t *testing.T) {
+	s := mpegCDSSchedule(t)
+	clean, err := machine.Run(s, 7, nil)
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+
+	const window = 2 // the first two executions fail
+	runner := faultmachine.NewRunner(faultmachine.Config{Seed: 3, StallProbPct: 50, FailEvery: 4}, window)
+	var delays []time.Duration
+	var res *machine.Result
+	attempts := 0
+	p := Policy{MaxAttempts: 5, Seed: 11, Sleep: recordingSleep(&delays)}
+	err = p.Do(context.Background(), func(context.Context) error {
+		attempts++
+		r, _, rerr := runner.Run(s, 7, nil)
+		if rerr != nil {
+			return rerr
+		}
+		res = r
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("retry did not absorb the fault window: %v", err)
+	}
+	if attempts != window+1 {
+		t.Fatalf("attempts = %d, want %d (window %d + the clean run)", attempts, window+1, window)
+	}
+	if runner.Runs() != window+1 {
+		t.Fatalf("runner executed %d times, want %d", runner.Runs(), window+1)
+	}
+	if len(res.Ext) != len(clean.Ext) {
+		t.Fatalf("%d ext entries after retries, want %d", len(res.Ext), len(clean.Ext))
+	}
+	for k, want := range clean.Ext {
+		if !bytes.Equal(res.Ext[k], want) {
+			t.Fatalf("output %s differs from the fault-free run", k)
+		}
+	}
+}
+
+// TestPermanentFaultNeverRetried pins fail-fast: a permanent *FaultError
+// (a dead channel, not a glitch) does not match scherr.ErrTransient and
+// must cost exactly one attempt.
+func TestPermanentFaultNeverRetried(t *testing.T) {
+	s := mpegCDSSchedule(t)
+	runner := faultmachine.NewRunner(faultmachine.Config{Seed: 3, FailEvery: 4, FailPermanent: true}, -1)
+	var delays []time.Duration
+	attempts := 0
+	p := Policy{MaxAttempts: 5, Sleep: recordingSleep(&delays)}
+	err := p.Do(context.Background(), func(context.Context) error {
+		attempts++
+		_, _, rerr := runner.Run(s, 7, nil)
+		return rerr
+	})
+	if attempts != 1 || len(delays) != 0 {
+		t.Fatalf("permanent fault retried: attempts=%d sleeps=%d, want 1/0", attempts, len(delays))
+	}
+	var fe *faultmachine.FaultError
+	if !errors.As(err, &fe) || !fe.Permanent {
+		t.Fatalf("err = %v, want a permanent *FaultError", err)
+	}
+	if !errors.Is(err, faultmachine.ErrFault) {
+		t.Fatalf("err = %v, must still match ErrFault", err)
+	}
+	if errors.Is(err, scherr.ErrTransient) {
+		t.Fatalf("permanent fault classified transient: %v", err)
+	}
+}
+
+// TestBreakerCycleUnderPersistentFault drives the serving loop's breaker
+// discipline against a persistent transient fault: the configured run of
+// failures opens the circuit, the seeded clock half-opens it after the
+// cooldown, and the probe (issued after the fault window passed) closes
+// it again.
+func TestBreakerCycleUnderPersistentFault(t *testing.T) {
+	s := mpegCDSSchedule(t)
+	const threshold = 3
+	// The window is exactly the failure run that opens the breaker: the
+	// half-open probe is the first clean execution.
+	runner := faultmachine.NewRunner(faultmachine.Config{Seed: 3, FailEvery: 4}, threshold)
+	clk := newFakeClock()
+	b := NewBreaker(threshold, 10*time.Second, clk.Now)
+	p := Policy{MaxAttempts: 1, Sleep: recordingSleep(&[]time.Duration{})}
+
+	request := func() error {
+		if err := b.Allow(); err != nil {
+			return err
+		}
+		err := p.Do(context.Background(), func(context.Context) error {
+			_, _, rerr := runner.Run(s, 7, nil)
+			return rerr
+		})
+		if err == nil {
+			b.Record(true)
+		} else if errors.Is(err, scherr.ErrTransient) {
+			b.Record(false)
+		}
+		return err
+	}
+
+	for i := 0; i < threshold; i++ {
+		if err := request(); !errors.Is(err, faultmachine.ErrFault) {
+			t.Fatalf("request %d: err = %v, want an injected fault", i, err)
+		}
+	}
+	if b.State() != Open {
+		t.Fatalf("breaker state = %v after %d transient failures, want open", b.State(), threshold)
+	}
+	if err := request(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("open breaker let a request through: %v", err)
+	}
+	if runner.Runs() != threshold {
+		t.Fatalf("runner ran %d times, want %d — the open circuit must not burn backend work", runner.Runs(), threshold)
+	}
+
+	clk.Advance(10 * time.Second) // cooldown: half-open probe
+	if err := request(); err != nil {
+		t.Fatalf("half-open probe failed: %v", err)
+	}
+	if b.State() != Closed {
+		t.Fatalf("breaker state = %v after successful probe, want closed", b.State())
+	}
+}

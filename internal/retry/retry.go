@@ -1,0 +1,181 @@
+// Package retry is the fault-absorption layer of the scheduling stack:
+// exponential backoff with deterministic seeded jitter, error
+// classification over the scherr taxonomy, and a per-target circuit
+// breaker. The serving daemon (cmd/schedd via internal/serve) wraps every
+// backend call in it so a transient DMA fault costs the client a few
+// milliseconds of backoff instead of a failed request.
+//
+// Classification is by TYPE, not by message: an error is retried exactly
+// when it matches scherr.ErrTransient (an injected DMA glitch, a
+// momentary external-memory fault). Everything else in the taxonomy —
+// ErrInvalidSpec, ErrInfeasible, ErrCapacity, ErrVerify — is a
+// deterministic property of the request and fails fast; ErrCanceled
+// stops the loop immediately because the caller has already left.
+//
+// Determinism: the jitter stream is a pure function of Policy.Seed, so a
+// test (or an incident replay) sees the identical backoff sequence every
+// run. Policies are values; Do re-derives the stream per call, which also
+// makes a shared Policy safe for concurrent use.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"cds/internal/scherr"
+)
+
+// Class is the retry layer's verdict on one error.
+type Class int
+
+const (
+	// Transient errors may clear on a re-attempt; retry with backoff.
+	Transient Class = iota
+	// Permanent errors are deterministic; fail fast, never retry.
+	Permanent
+)
+
+// Classifier maps an error to its retry class. A nil error never reaches
+// the classifier.
+type Classifier func(error) Class
+
+// Classify is the stack's default classifier: transient exactly when the
+// error matches scherr.ErrTransient, permanent otherwise. Cancellation is
+// handled before classification by Do itself.
+func Classify(err error) Class {
+	if errors.Is(err, scherr.ErrTransient) {
+		return Transient
+	}
+	return Permanent
+}
+
+// Policy configures one retry loop. The zero value is usable: it becomes
+// 4 attempts, 10ms base delay doubling to a 1s cap, seed 0, Classify as
+// the classifier and a context-aware timer sleep.
+type Policy struct {
+	// MaxAttempts is the total number of tries, first attempt included.
+	MaxAttempts int
+	// BaseDelay is the pre-jitter delay after the first failure; each
+	// further failure multiplies it by Multiplier, capped at MaxDelay.
+	BaseDelay, MaxDelay time.Duration
+	// Multiplier grows the delay between attempts (default 2).
+	Multiplier float64
+	// Seed drives the deterministic jitter stream: equal seeds yield
+	// byte-identical backoff sequences.
+	Seed int64
+	// Classify decides which errors are worth another attempt.
+	Classify Classifier
+	// Sleep is the backoff seam; tests substitute a recording no-op. It
+	// must return a non-nil error (matching scherr.ErrCanceled) if ctx
+	// ends before the delay elapses.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = 2
+	}
+	if p.Classify == nil {
+		p.Classify = Classify
+	}
+	if p.Sleep == nil {
+		p.Sleep = SleepCtx
+	}
+	return p
+}
+
+// Do runs op until it succeeds, fails permanently, exhausts MaxAttempts,
+// or ctx ends. Transient failures back off exponentially with seeded
+// jitter between attempts. The returned error preserves the last op
+// error in its Is/As chain, so callers still branch on the scherr
+// taxonomy (and errors.As against *faultmachine.FaultError) through it.
+func (p Policy) Do(ctx context.Context, op func(context.Context) error) error {
+	p = p.withDefaults()
+	rng := jitterState(p.Seed)
+	for attempt := 1; ; attempt++ {
+		if cerr := scherr.FromContext(ctx); cerr != nil {
+			return cerr
+		}
+		err := op(ctx)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, scherr.ErrCanceled) || ctx.Err() != nil {
+			return err
+		}
+		if p.Classify(err) != Transient {
+			return err
+		}
+		if attempt >= p.MaxAttempts {
+			return fmt.Errorf("retry: %d attempts exhausted: %w", attempt, err)
+		}
+		if serr := p.Sleep(ctx, p.delay(&rng, attempt)); serr != nil {
+			return fmt.Errorf("retry: backoff after attempt %d interrupted: %w (last error: %w)", attempt, serr, err)
+		}
+	}
+}
+
+// delay computes the post-jitter backoff for the given 1-based attempt:
+// exponential growth capped at MaxDelay, then "equal jitter" — half the
+// window fixed, half drawn from the seeded stream — so delays spread
+// without ever collapsing to zero.
+func (p Policy) delay(rng *uint64, attempt int) time.Duration {
+	d := float64(p.BaseDelay)
+	for i := 1; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	half := time.Duration(d) / 2
+	if half <= 0 {
+		return time.Duration(d)
+	}
+	return half + time.Duration(nextRand(rng)%uint64(half))
+}
+
+// jitterState seeds the xorshift64 stream (same construction as
+// faultmachine's injector, so seed 0 is safe).
+func jitterState(seed int64) uint64 {
+	state := uint64(seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	if state == 0 {
+		state = 1
+	}
+	return state
+}
+
+func nextRand(state *uint64) uint64 {
+	*state ^= *state << 13
+	*state ^= *state >> 7
+	*state ^= *state << 17
+	return *state
+}
+
+// SleepCtx is the default backoff sleep: a timer that loses to ctx. It
+// returns nil after d, or an error matching scherr.ErrCanceled if ctx
+// ends first.
+func SleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return scherr.FromContext(ctx)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return scherr.Canceled(ctx.Err())
+	}
+}

@@ -1,0 +1,182 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"cds/internal/scherr"
+)
+
+// recordingSleep returns a no-op Sleep that records the requested delays.
+func recordingSleep(delays *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(_ context.Context, d time.Duration) error {
+		*delays = append(*delays, d)
+		return nil
+	}
+}
+
+func transientErr(msg string) error {
+	return fmt.Errorf("%s: %w", msg, scherr.ErrTransient)
+}
+
+func TestTransientRetriesUntilSuccess(t *testing.T) {
+	var delays []time.Duration
+	attempts := 0
+	p := Policy{MaxAttempts: 5, Seed: 3, Sleep: recordingSleep(&delays)}
+	err := p.Do(context.Background(), func(context.Context) error {
+		attempts++
+		if attempts < 3 {
+			return transientErr("glitch")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+	if len(delays) != 2 {
+		t.Fatalf("slept %d times, want 2 (between attempts only)", len(delays))
+	}
+}
+
+func TestPermanentFailsFast(t *testing.T) {
+	for _, perm := range []error{scherr.ErrInvalidSpec, scherr.ErrInfeasible, scherr.ErrCapacity, scherr.ErrVerify} {
+		attempts := 0
+		var delays []time.Duration
+		p := Policy{MaxAttempts: 5, Sleep: recordingSleep(&delays)}
+		err := p.Do(context.Background(), func(context.Context) error {
+			attempts++
+			return fmt.Errorf("deterministic: %w", perm)
+		})
+		if attempts != 1 || len(delays) != 0 {
+			t.Fatalf("%v: attempts = %d, sleeps = %d; permanent errors must fail fast", perm, attempts, len(delays))
+		}
+		if !errors.Is(err, perm) {
+			t.Fatalf("error lost its class: %v", err)
+		}
+	}
+}
+
+func TestExhaustionKeepsErrorChain(t *testing.T) {
+	attempts := 0
+	var delays []time.Duration
+	p := Policy{MaxAttempts: 4, Sleep: recordingSleep(&delays)}
+	err := p.Do(context.Background(), func(context.Context) error {
+		attempts++
+		return transientErr("never clears")
+	})
+	if attempts != 4 {
+		t.Fatalf("attempts = %d, want MaxAttempts=4", attempts)
+	}
+	if len(delays) != 3 {
+		t.Fatalf("slept %d times, want 3", len(delays))
+	}
+	if !errors.Is(err, scherr.ErrTransient) {
+		t.Fatalf("exhausted error lost the transient class: %v", err)
+	}
+}
+
+// TestJitterDeterministic pins the seeded jitter: equal seeds produce the
+// identical backoff sequence, different seeds do not.
+func TestJitterDeterministic(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		var delays []time.Duration
+		p := Policy{MaxAttempts: 6, Seed: seed, Sleep: recordingSleep(&delays)}
+		p.Do(context.Background(), func(context.Context) error { return transientErr("x") })
+		return delays
+	}
+	a, b, c := run(7), run(7), run(8)
+	if len(a) != 5 {
+		t.Fatalf("want 5 delays, got %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at delay %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the identical jitter sequence")
+	}
+}
+
+// TestBackoffGrowsAndCaps pins the exponential envelope: every delay sits
+// in [half, full] of its pre-jitter value, growth is monotone up to the
+// cap, and the cap holds.
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	base, max := 10*time.Millisecond, 80*time.Millisecond
+	var delays []time.Duration
+	p := Policy{MaxAttempts: 8, BaseDelay: base, MaxDelay: max, Seed: 1, Sleep: recordingSleep(&delays)}
+	p.Do(context.Background(), func(context.Context) error { return transientErr("x") })
+	want := base
+	for i, d := range delays {
+		if d < want/2 || d > want {
+			t.Fatalf("delay %d = %v outside equal-jitter window [%v, %v]", i, d, want/2, want)
+		}
+		if want < max {
+			want *= 2
+			if want > max {
+				want = max
+			}
+		}
+	}
+	if last := delays[len(delays)-1]; last > max {
+		t.Fatalf("cap violated: %v > %v", last, max)
+	}
+}
+
+func TestCanceledContextStopsLoop(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	attempts := 0
+	err := Policy{MaxAttempts: 5, Sleep: recordingSleep(&[]time.Duration{})}.Do(ctx, func(context.Context) error {
+		attempts++
+		return transientErr("x")
+	})
+	if attempts != 0 {
+		t.Fatalf("op ran %d times on a dead context, want 0", attempts)
+	}
+	if !errors.Is(err, scherr.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestCancellationDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	attempts := 0
+	p := Policy{MaxAttempts: 5, Sleep: func(ctx context.Context, _ time.Duration) error {
+		cancel() // the caller leaves while we back off
+		return scherr.Canceled(context.Canceled)
+	}}
+	err := p.Do(ctx, func(context.Context) error {
+		attempts++
+		return transientErr("x")
+	})
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (no attempt after interrupted backoff)", attempts)
+	}
+	if !errors.Is(err, scherr.ErrCanceled) || !errors.Is(err, scherr.ErrTransient) {
+		t.Fatalf("err = %v, want both the cancellation and the last transient error in the chain", err)
+	}
+}
+
+func TestSleepCtxHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := SleepCtx(ctx, time.Hour); !errors.Is(err, scherr.ErrCanceled) {
+		t.Fatalf("SleepCtx on dead ctx = %v, want ErrCanceled", err)
+	}
+	if err := SleepCtx(context.Background(), time.Microsecond); err != nil {
+		t.Fatalf("SleepCtx: %v", err)
+	}
+}

@@ -9,6 +9,7 @@
 //	errors.Is(err, scherr.ErrCapacity)    // an on-chip resource overflowed
 //	errors.Is(err, scherr.ErrCanceled)    // the caller's context ended it
 //	errors.Is(err, scherr.ErrVerify)      // a schedule broke an invariant
+//	errors.Is(err, scherr.ErrTransient)   // a fault worth retrying
 //
 // The sentinels deliberately carry no state; rich detail lives in the
 // concrete error types that wrap them (core.InfeasibleError,
@@ -44,6 +45,12 @@ var (
 	// ErrVerify classifies post-hoc invariant violations found by the
 	// schedule verifier (internal/verify).
 	ErrVerify = errors.New("verification failed")
+
+	// ErrTransient classifies faults that a retry may clear: a glitched
+	// DMA transfer, a momentary external-memory fault. The retry layer
+	// (internal/retry) retries exactly the errors matching this class;
+	// everything else in the taxonomy is deterministic and fails fast.
+	ErrTransient = errors.New("transient fault")
 )
 
 // Canceled wraps a context error (context.Canceled or

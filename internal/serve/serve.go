@@ -1,0 +1,572 @@
+// Package serve is the scheduling service behind cmd/schedd: an
+// HTTP/JSON API over cds.CompareAllCtx and the sweep batch runner,
+// hardened the way a long-lived daemon has to be:
+//
+//   - Admission control: a fixed number of execution slots plus a
+//     bounded wait queue; when the queue is full the request is shed
+//     immediately with 429 and a Retry-After hint instead of piling up.
+//   - Retry with backoff: every compare call runs under internal/retry,
+//     so a transient DMA fault (scherr.ErrTransient) costs backoff
+//     milliseconds, not a failed request; deterministic errors
+//     (invalid spec, infeasible) fail fast.
+//   - Per-target circuit breaking: a workload that keeps failing
+//     transiently trips its own breaker and is rejected with 503 +
+//     Retry-After until a cooldown probe succeeds, without affecting
+//     healthy targets.
+//   - Per-request deadlines: every request inherits the server's
+//     RequestTimeout through PR 2's context plumbing, so a stuck point
+//     cannot hold an execution slot forever.
+//   - Crash-safe sweeps: a sweep request naming a journal checkpoints
+//     every completed point (sweep.RunJournaled); re-POSTing after a
+//     crash resumes instead of recomputing.
+//   - Graceful shutdown: Drain flips /readyz to 503 (so load balancers
+//     stop sending), lets in-flight requests finish within the deadline,
+//     then cancels the base context so journaled sweeps record their
+//     abandoned points as canceled.
+//
+// Endpoints: POST /v1/compare, POST /v1/sweep, GET /healthz, GET /readyz.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"cds"
+	"cds/internal/faultmachine"
+	"cds/internal/retry"
+	"cds/internal/scherr"
+	"cds/internal/spec"
+	"cds/internal/sweep"
+	"cds/internal/workloads"
+)
+
+// CompareFunc is the backend seam for /v1/compare: production uses
+// cds.CompareAllCtx; tests substitute blocking or failing backends.
+type CompareFunc func(ctx context.Context, pa cds.Arch, part *cds.Part) (*cds.Comparison, error)
+
+// Config parameterizes the server. The zero value is usable: 2 workers,
+// a queue of 8, 30s request timeout, default retry policy and breakers,
+// no journal directory (sweep journaling disabled), no fault injection.
+type Config struct {
+	// Workers is the number of concurrent execution slots.
+	Workers int
+	// Queue bounds how many admitted requests may wait for a slot; the
+	// next one is shed with 429 + Retry-After.
+	Queue int
+	// RequestTimeout is the per-request deadline.
+	RequestTimeout time.Duration
+	// DrainGrace is how long Drain keeps serving (answering /readyz with
+	// 503) after readiness flips, so load balancers observe the flip and
+	// stop routing before connections start being refused.
+	DrainGrace time.Duration
+	// Retry wraps every compare backend call.
+	Retry retry.Policy
+	// BreakerThreshold and BreakerCooldown configure the per-target
+	// circuit breakers (NewBreaker defaulting applies).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// JournalDir, when set, enables sweep checkpointing: a request's
+	// journal name maps to <JournalDir>/<name>.jsonl.
+	JournalDir string
+	// Machine, when set, additionally executes the CDS schedule of every
+	// comparison on the functional machine under this fault-injection
+	// runner. Injected transient failures are absorbed by the retry
+	// policy; stalls must leave results untouched. Used for soak and
+	// chaos testing (schedd's -fault-* flags).
+	Machine *faultmachine.Runner
+	// MachineSeed seeds the functional machine runs.
+	MachineSeed int64
+	// Compare substitutes the compare backend (default cds.CompareAllCtx
+	// plus the optional Machine execution).
+	Compare CompareFunc
+	// Now substitutes the clock for the breakers (tests).
+	Now func() time.Time
+	// Logf receives one line per served request and lifecycle event; nil
+	// disables logging.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.Queue <= 0 {
+		c.Queue = 8
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is the scheduling service. Construct with New; drive with
+// Serve (or Handler for tests) and Drain.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	http     *http.Server
+	ready    atomic.Bool
+	slots    chan struct{}
+	waiters  atomic.Int64
+	shed     atomic.Int64
+	served   atomic.Int64
+	breakers *retry.BreakerSet
+	baseCtx  context.Context
+	cancel   context.CancelFunc
+}
+
+// New builds a server from the config.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		slots:    make(chan struct{}, cfg.Workers),
+		breakers: retry.NewBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Now),
+	}
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("POST /v1/compare", s.handleCompare)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.http = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return s.baseCtx },
+	}
+	return s
+}
+
+// Handler exposes the mux for in-process tests. Requests served through
+// it do not inherit the base context; use Serve for lifecycle tests.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve marks the server ready and serves connections on l until Drain
+// (or a listener error). Like http.Server.Serve it returns
+// http.ErrServerClosed after a shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	s.ready.Store(true)
+	s.cfg.Logf("serve: listening on %s (workers=%d queue=%d)", l.Addr(), s.cfg.Workers, s.cfg.Queue)
+	return s.http.Serve(l)
+}
+
+// Drain gracefully shuts the server down: readiness flips to 503
+// immediately, in-flight (and queued) requests run to completion within
+// ctx's deadline, and if the deadline expires first the base context is
+// canceled — handlers then stop cooperatively and journaled sweeps
+// record their abandoned points as canceled — before the listener is
+// force-closed. Returns nil when everything drained in time.
+func (s *Server) Drain(ctx context.Context) error {
+	s.ready.Store(false)
+	s.cfg.Logf("serve: draining (served=%d shed=%d)", s.served.Load(), s.shed.Load())
+	if s.cfg.DrainGrace > 0 {
+		t := time.NewTimer(s.cfg.DrainGrace)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+		}
+	}
+	err := s.http.Shutdown(ctx)
+	if err != nil {
+		// Deadline expired with requests still in flight: cancel their
+		// contexts so they abort (journaling canceled points), then close.
+		s.cancel()
+		s.http.Close()
+		return fmt.Errorf("serve: drain deadline expired: %w", err)
+	}
+	s.cancel()
+	s.cfg.Logf("serve: drained cleanly")
+	return nil
+}
+
+// Ready reports whether the server currently answers /readyz with 200.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// Shed reports how many requests were load-shed with 429 so far.
+func (s *Server) Shed() int64 { return s.shed.Load() }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// admit implements the bounded work queue: an execution slot when one is
+// free, a bounded wait otherwise, immediate 429 + Retry-After beyond the
+// queue bound. ok=false means the response has been written.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	select {
+	case s.slots <- struct{}{}:
+		return func() { <-s.slots }, true
+	default:
+	}
+	if s.waiters.Add(1) > int64(s.cfg.Queue) {
+		s.waiters.Add(-1)
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSONError(w, http.StatusTooManyRequests, "queue full, load shed", "overload")
+		return nil, false
+	}
+	defer s.waiters.Add(-1)
+	select {
+	case s.slots <- struct{}{}:
+		return func() { <-s.slots }, true
+	case <-r.Context().Done():
+		s.writeErr(w, scherr.Canceled(r.Context().Err()))
+		return nil, false
+	}
+}
+
+// CompareRequest selects a workload either by Table 1 name (with
+// optional architecture preset and FB-size overrides) or as a full
+// embedded spec (the internal/spec JSON schema).
+type CompareRequest struct {
+	Workload string          `json:"workload,omitempty"`
+	Arch     string          `json:"arch,omitempty"`
+	FBBytes  int             `json:"fb_bytes,omitempty"`
+	Spec     json.RawMessage `json:"spec,omitempty"`
+}
+
+// SchedulerResult is one scheduler's slice of a CompareResponse.
+type SchedulerResult struct {
+	TotalCycles int    `json:"total_cycles,omitempty"`
+	Error       string `json:"error,omitempty"`
+}
+
+// CompareResponse is the JSON answer of /v1/compare.
+type CompareResponse struct {
+	Target         string          `json:"target"`
+	Basic          SchedulerResult `json:"basic"`
+	DS             SchedulerResult `json:"ds"`
+	CDS            SchedulerResult `json:"cds"`
+	BasicFeasible  bool            `json:"basic_feasible"`
+	RF             int             `json:"rf"`
+	DSImprovement  float64         `json:"ds_improvement"`
+	CDSImprovement float64         `json:"cds_improvement"`
+	DTBytes        int             `json:"dt_bytes"`
+	Degraded       bool            `json:"degraded,omitempty"`
+	Attempts       int             `json:"attempts"`
+	// FaultStalls/FaultTransfers report the functional machine's
+	// fault-injection stats when the server runs one (chaos mode).
+	FaultTransfers int `json:"fault_transfers,omitempty"`
+	FaultStalls    int `json:"fault_stalls,omitempty"`
+}
+
+// resolve turns a compare request into (arch, partition, breaker target).
+func (s *Server) resolve(req CompareRequest) (cds.Arch, *cds.Part, string, error) {
+	if len(req.Spec) > 0 {
+		if req.Workload != "" {
+			return cds.Arch{}, nil, "", fmt.Errorf("request names both a workload and a spec: %w", scherr.ErrInvalidSpec)
+		}
+		part, pa, err := spec.Parse(req.Spec)
+		if err != nil {
+			return cds.Arch{}, nil, "", err
+		}
+		return pa, part, "spec:" + part.App.Name, nil
+	}
+	if req.Workload == "" {
+		return cds.Arch{}, nil, "", fmt.Errorf("request needs a workload name or a spec: %w", scherr.ErrInvalidSpec)
+	}
+	e, err := workloads.ByName(req.Workload)
+	if err != nil {
+		return cds.Arch{}, nil, "", fmt.Errorf("%w: %w", err, scherr.ErrInvalidSpec)
+	}
+	pa := e.Arch
+	if req.Arch != "" {
+		archs, skipped := sweep.PresetArchs(req.Arch)
+		if len(skipped) > 0 {
+			return cds.Arch{}, nil, "", fmt.Errorf("unknown architecture preset %q: %w", req.Arch, scherr.ErrInvalidSpec)
+		}
+		pa = archs[0].Params
+	}
+	if req.FBBytes > 0 {
+		pa.FBSetBytes = req.FBBytes
+	}
+	return pa, e.Part, req.Workload, nil
+}
+
+// compare is the retried backend call: the comparison itself plus the
+// optional functional-machine execution under fault injection.
+func (s *Server) compare(ctx context.Context, pa cds.Arch, part *cds.Part) (*cds.Comparison, faultmachine.Stats, error) {
+	var stats faultmachine.Stats
+	if s.cfg.Compare != nil {
+		cmp, err := s.cfg.Compare(ctx, pa, part)
+		return cmp, stats, err
+	}
+	cmp, err := cds.CompareAllCtx(ctx, pa, part)
+	if err != nil {
+		return cmp, stats, err
+	}
+	if s.cfg.Machine != nil && cmp.CDS != nil {
+		_, st, merr := s.cfg.Machine.Run(cmp.CDS.Schedule, s.cfg.MachineSeed, nil)
+		if merr != nil {
+			return cmp, st, merr
+		}
+		stats = st
+	}
+	return cmp, stats, nil
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	s.served.Add(1)
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	var req CompareRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		s.writeErr(w, fmt.Errorf("decoding request body: %v: %w", err, scherr.ErrInvalidSpec))
+		return
+	}
+	pa, part, target, err := s.resolve(req)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+
+	br := s.breakers.Get(target)
+	if err := br.Allow(); err != nil {
+		s.cfg.Logf("serve: compare %s: breaker open", target)
+		s.writeErr(w, err)
+		return
+	}
+
+	var cmp *cds.Comparison
+	var stats faultmachine.Stats
+	attempts := 0
+	err = s.cfg.Retry.Do(ctx, func(ctx context.Context) error {
+		attempts++
+		c, st, cerr := s.compare(ctx, pa, part)
+		if cerr != nil {
+			// Transient and canceled errors bubble to the retry loop; a
+			// deterministic failure that still left usable results is
+			// served degraded rather than failed.
+			if errors.Is(cerr, scherr.ErrTransient) || errors.Is(cerr, scherr.ErrCanceled) {
+				return cerr
+			}
+			if c == nil || !c.Usable() {
+				return cerr
+			}
+		}
+		cmp, stats = c, st
+		return nil
+	})
+	// The breaker tracks target health: successes and transient failures
+	// count; a caller's deterministic error says nothing about the target.
+	if err == nil {
+		br.Record(true)
+	} else if errors.Is(err, scherr.ErrTransient) {
+		br.Record(false)
+	}
+	if err != nil {
+		s.cfg.Logf("serve: compare %s: %v (attempts=%d)", target, err, attempts)
+		s.writeErr(w, err)
+		return
+	}
+
+	resp := CompareResponse{
+		Target:         target,
+		BasicFeasible:  cmp.BasicErr == nil,
+		RF:             cmp.RF,
+		DSImprovement:  cmp.ImprovementDS,
+		CDSImprovement: cmp.ImprovementCDS,
+		DTBytes:        cmp.DTBytes,
+		Degraded:       cmp.Degraded(),
+		Attempts:       attempts,
+		FaultTransfers: stats.Transfers,
+		FaultStalls:    stats.Stalls,
+	}
+	fill := func(out *SchedulerResult, res *cds.Result, err error) {
+		if res != nil && res.Timing != nil {
+			out.TotalCycles = res.Timing.TotalCycles
+		}
+		if err != nil {
+			out.Error = err.Error()
+		}
+	}
+	fill(&resp.Basic, cmp.Basic, cmp.BasicErr)
+	fill(&resp.DS, cmp.DS, cmp.DSErr)
+	fill(&resp.CDS, cmp.CDS, cmp.CDSErr)
+	s.cfg.Logf("serve: compare %s: ok (attempts=%d degraded=%v)", target, attempts, resp.Degraded)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// SweepRequest selects a grid: architecture presets crossed with Table 1
+// workloads (all of them when the list is empty). Journal, when the
+// server has a journal directory, names a crash-safe checkpoint: re-POST
+// the same request after a crash and completed points are not recomputed.
+type SweepRequest struct {
+	Archs     []string `json:"archs"`
+	Workloads []string `json:"workloads,omitempty"`
+	Workers   int      `json:"workers,omitempty"`
+	Journal   string   `json:"journal,omitempty"`
+}
+
+// SweepResponse is the JSON answer of /v1/sweep.
+type SweepResponse struct {
+	Rows []sweep.Row `json:"rows"`
+	// SkippedArchs lists requested presets that do not exist.
+	SkippedArchs []string `json:"skipped_archs,omitempty"`
+	// Resumed counts points answered from the journal instead of run.
+	Resumed int `json:"resumed,omitempty"`
+}
+
+var journalNameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]*$`)
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	s.served.Add(1)
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	var req SweepRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		s.writeErr(w, fmt.Errorf("decoding request body: %v: %w", err, scherr.ErrInvalidSpec))
+		return
+	}
+	archs, skipped := sweep.PresetArchs(req.Archs...)
+	if len(archs) == 0 {
+		s.writeErr(w, fmt.Errorf("no known architecture presets in %v: %w", req.Archs, scherr.ErrInvalidSpec))
+		return
+	}
+	exps := workloads.All()
+	if len(req.Workloads) > 0 {
+		exps = exps[:0]
+		for _, name := range req.Workloads {
+			e, err := workloads.ByName(name)
+			if err != nil {
+				s.writeErr(w, fmt.Errorf("%w: %w", err, scherr.ErrInvalidSpec))
+				return
+			}
+			exps = append(exps, e)
+		}
+	}
+	jobs := sweep.Grid(archs, exps)
+
+	resp := SweepResponse{SkippedArchs: skipped}
+	if req.Journal != "" {
+		if s.cfg.JournalDir == "" {
+			s.writeErr(w, fmt.Errorf("journaling disabled (no -journal-dir): %w", scherr.ErrInvalidSpec))
+			return
+		}
+		if !journalNameRE.MatchString(req.Journal) {
+			s.writeErr(w, fmt.Errorf("bad journal name %q: %w", req.Journal, scherr.ErrInvalidSpec))
+			return
+		}
+		j, prior, err := sweep.OpenJournal(filepath.Join(s.cfg.JournalDir, req.Journal+".jsonl"))
+		if err != nil {
+			s.writeErr(w, err)
+			return
+		}
+		defer j.Close()
+		resp.Resumed = len(sweep.Completed(prior))
+		rows, err := sweep.RunJournaled(ctx, j, prior, jobs, req.Workers, nil)
+		if err != nil {
+			s.cfg.Logf("serve: sweep %s: %v (%d rows journaled)", req.Journal, err, len(rows))
+			s.writeErr(w, err)
+			return
+		}
+		resp.Rows = rows
+		s.cfg.Logf("serve: sweep %s: %d rows (%d resumed)", req.Journal, len(rows), resp.Resumed)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	outcomes := sweep.BatchCtx(ctx, jobs, req.Workers)
+	if err := scherr.FromContext(ctx); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	resp.Rows = sweep.Rows(outcomes)
+	s.cfg.Logf("serve: sweep: %d rows", len(resp.Rows))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// errorBody is the JSON error envelope every non-2xx response carries.
+type errorBody struct {
+	Error string `json:"error"`
+	Class string `json:"class"`
+}
+
+// writeErr maps a taxonomy error onto an HTTP status:
+//
+//	ErrInvalidSpec        400  the request is malformed
+//	ErrInfeasible         422  the workload cannot be scheduled
+//	ErrOpen (breaker)     503  + Retry-After
+//	ErrTransient          503  + Retry-After (fault outlived the retries)
+//	deadline exceeded     504
+//	other cancellation    503  (shutdown/drain)
+//	anything else         500
+func (s *Server) writeErr(w http.ResponseWriter, err error) {
+	status, class := http.StatusInternalServerError, "internal"
+	var open *retry.OpenError
+	switch {
+	case errors.As(err, &open):
+		status, class = http.StatusServiceUnavailable, "circuit_open"
+		w.Header().Set("Retry-After", retryAfterSeconds(open.RetryAfter))
+	case errors.Is(err, scherr.ErrInvalidSpec):
+		status, class = http.StatusBadRequest, "invalid_spec"
+	case errors.Is(err, scherr.ErrInfeasible):
+		status, class = http.StatusUnprocessableEntity, "infeasible"
+	case errors.Is(err, context.DeadlineExceeded):
+		status, class = http.StatusGatewayTimeout, "deadline"
+	case errors.Is(err, scherr.ErrCanceled):
+		status, class = http.StatusServiceUnavailable, "canceled"
+	case errors.Is(err, scherr.ErrTransient):
+		status, class = http.StatusServiceUnavailable, "transient_fault"
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSONError(w, status, err.Error(), class)
+}
+
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+func writeJSONError(w http.ResponseWriter, status int, msg, class string) {
+	writeJSON(w, status, errorBody{Error: msg, Class: class})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,280 @@
+package serve
+
+// The ISSUE's acceptance soak: N requests hammered through the real
+// backend (cds.CompareAllCtx plus a functional-machine execution under
+// seeded stall/failure injection) against a small worker pool. Every
+// response must be a 200 or a 429 — the retry layer absorbs the fault
+// window, admission control sheds the overflow, and nothing else leaks
+// out. A second phase drains the server mid-soak and proves in-flight
+// requests finish while the drain still returns clean.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cds"
+	"cds/internal/faultmachine"
+	"cds/internal/retry"
+	"cds/internal/scherr"
+)
+
+// soakConfig is the shared server shape: 2 slots, a queue of 2, a fault
+// window of 4 machine runs (every one of them < MaxAttempts away from a
+// clean run, so retries always absorb it), and breakers wide enough to
+// never trip during the soak.
+func soakConfig() Config {
+	return Config{
+		Workers:          2,
+		Queue:            2,
+		RequestTimeout:   30 * time.Second,
+		Retry:            retry.Policy{MaxAttempts: 6, Seed: 9, Sleep: fastSleep},
+		BreakerThreshold: 100,
+		Machine: faultmachine.NewRunner(faultmachine.Config{
+			Seed:         42,
+			StallProbPct: 60,
+			FailEvery:    5,
+		}, 4),
+		MachineSeed: 7,
+	}
+}
+
+// TestCompareChaosMode pins the server's own fault-injection path (the
+// -fault-* flags): the CDS schedule of every comparison runs on the
+// functional machine, injected transient failures are absorbed by the
+// retry policy, and the stall stats surface in the response.
+func TestCompareChaosMode(t *testing.T) {
+	cfg := soakConfig()
+	cfg.Machine = faultmachine.NewRunner(faultmachine.Config{
+		Seed:         42,
+		StallProbPct: 100, // every transfer stalls: stats must be visible
+		FailEvery:    5,
+	}, 1) // exactly the first machine run fails
+	s := New(cfg)
+	w := post(t, s.Handler(), "/v1/compare", `{"workload":"MPEG"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("chaos compare = %d: %s", w.Code, w.Body.String())
+	}
+	resp := decode[CompareResponse](t, w)
+	if resp.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (one injected failure, one retry)", resp.Attempts)
+	}
+	if resp.FaultStalls == 0 || resp.FaultTransfers == 0 {
+		t.Fatalf("fault stats missing from the response: %+v", resp)
+	}
+	if resp.CDSImprovement <= 0 {
+		t.Fatalf("chaos mode changed the comparison result: %+v", resp)
+	}
+}
+
+func TestSoakUnderStallInjection(t *testing.T) {
+	const requests = 200
+
+	// The real backend plus the seeded fault runner, holding the
+	// execution slot for a short emulated device latency. Without it a
+	// 1-CPU box finishes every CPU-bound handler within its scheduler
+	// timeslice and the admission queue can never fill.
+	runner := faultmachine.NewRunner(faultmachine.Config{
+		Seed:         42,
+		StallProbPct: 60,
+		FailEvery:    5,
+	}, 4)
+	var stalls atomic.Int64
+	cfg := soakConfig()
+	cfg.Machine = nil
+	cfg.Compare = func(ctx context.Context, pa cds.Arch, part *cds.Part) (*cds.Comparison, error) {
+		cmp, err := cds.CompareAllCtx(ctx, pa, part)
+		if err != nil {
+			return cmp, err
+		}
+		if cmp.CDS != nil {
+			_, st, merr := runner.Run(cmp.CDS.Schedule, 7, nil)
+			if merr != nil {
+				return cmp, merr
+			}
+			stalls.Add(int64(st.Stalls))
+		}
+		select {
+		case <-time.After(3 * time.Millisecond):
+		case <-ctx.Done():
+			return nil, scherr.Canceled(ctx.Err())
+		}
+		return cmp, nil
+	}
+	s := New(cfg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(l) }()
+	base := "http://" + l.Addr().String()
+
+	var (
+		ok200, shed429 atomic.Int64
+		mu             sync.Mutex
+		bad            []string
+	)
+	reject := func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		bad = append(bad, fmt.Sprintf(format, args...))
+	}
+
+	// The whole soak fires as one concurrent burst: 200 clients against
+	// 2 slots + 2 queue places is overload by construction, so admission
+	// control MUST shed. Clients behave: a 429 backs off and retries, so
+	// every request eventually succeeds — zero non-429 errors.
+	var wg sync.WaitGroup
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for {
+				resp, err := http.Post(base+"/v1/compare", "application/json", strings.NewReader(`{"workload":"MPEG"}`))
+				if err != nil {
+					reject("request %d: %v", i, err)
+					return
+				}
+				if resp.StatusCode == http.StatusTooManyRequests {
+					shed429.Add(1)
+					if resp.Header.Get("Retry-After") == "" {
+						reject("request %d: 429 without Retry-After", i)
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					time.Sleep(2 * time.Millisecond)
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					body, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					reject("request %d: status %d: %s", i, resp.StatusCode, body)
+					return
+				}
+				var cr CompareResponse
+				if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+					reject("request %d: decoding 200 body: %v", i, err)
+				} else if cr.CDSImprovement <= 0 {
+					reject("request %d: 200 with cds_improvement %v", i, cr.CDSImprovement)
+				} else {
+					ok200.Add(1)
+				}
+				resp.Body.Close()
+				return
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for _, msg := range bad {
+		t.Error(msg)
+	}
+	if ok200.Load() != requests {
+		t.Fatalf("%d of %d requests succeeded", ok200.Load(), requests)
+	}
+	// Overload by construction: the queue bound working at all is part
+	// of the acceptance.
+	if shed429.Load() == 0 {
+		t.Fatal("no request was load-shed; the queue bound is not enforced")
+	}
+	if s.Shed() != shed429.Load() {
+		t.Fatalf("Shed() = %d but clients saw %d 429s", s.Shed(), shed429.Load())
+	}
+	// The injected stalls really ran: fault injection was not silently off.
+	if stalls.Load() == 0 {
+		t.Fatal("no DMA stalls reported; fault injection did not engage")
+	}
+	if runner.Runs() <= requests/2 {
+		t.Fatalf("machine ran %d times for %d served requests", runner.Runs(), requests)
+	}
+	t.Logf("soak: %d ok, %d shed, %d injected stalls, %d machine runs", ok200.Load(), shed429.Load(), stalls.Load(), runner.Runs())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("post-soak drain: %v", err)
+	}
+	if err := <-serveErr; err != http.ErrServerClosed {
+		t.Fatalf("Serve = %v, want http.ErrServerClosed", err)
+	}
+}
+
+// TestSoakDrainMidFlight fires a request wave and drains the server in
+// the middle of it: every response that arrives is a valid 200/429,
+// connection errors only ever happen after the drain began, and Drain
+// itself returns nil because the in-flight requests finish in time.
+func TestSoakDrainMidFlight(t *testing.T) {
+	const wave = 48
+	s := New(soakConfig())
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(l) }()
+	base := "http://" + l.Addr().String()
+
+	var (
+		drainStarted atomic.Bool
+		responses    atomic.Int64
+		lateErrors   atomic.Int64
+		mu           sync.Mutex
+		bad          []string
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < wave; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(base+"/v1/compare", "application/json", strings.NewReader(`{"workload":"MPEG"}`))
+			if err != nil {
+				if !drainStarted.Load() {
+					mu.Lock()
+					bad = append(bad, fmt.Sprintf("request %d failed before the drain began: %v", i, err))
+					mu.Unlock()
+				} else {
+					lateErrors.Add(1)
+				}
+				return
+			}
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body)
+			responses.Add(1)
+			if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+				mu.Lock()
+				bad = append(bad, fmt.Sprintf("request %d: status %d", i, resp.StatusCode))
+				mu.Unlock()
+			}
+		}(i)
+	}
+
+	// Let part of the wave land, then pull the plug.
+	time.Sleep(5 * time.Millisecond)
+	drainStarted.Store(true)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("mid-soak drain: %v", err)
+	}
+	wg.Wait()
+
+	for _, msg := range bad {
+		t.Error(msg)
+	}
+	if responses.Load() == 0 {
+		t.Fatal("no request completed before the drain")
+	}
+	if err := <-serveErr; err != http.ErrServerClosed {
+		t.Fatalf("Serve = %v, want http.ErrServerClosed", err)
+	}
+	t.Logf("drain mid-soak: %d responses, %d post-drain connection errors", responses.Load(), lateErrors.Load())
+}

@@ -10,8 +10,10 @@ package sweep
 
 import (
 	"context"
+	"encoding/csv"
 	"fmt"
 	"io"
+	"strconv"
 
 	"cds"
 	"cds/internal/arch"
@@ -53,6 +55,15 @@ func Batch(jobs []Job, workers int) []Outcome {
 // measured and which were abandoned. A panicking job records its
 // *conc.PanicError in its own Outcome without killing sibling workers.
 func BatchCtx(ctx context.Context, jobs []Job, workers int) []Outcome {
+	return batchCtx(ctx, jobs, workers, nil)
+}
+
+// batchCtx is BatchCtx plus a per-completion observer: observe(out[i])
+// fires from the worker goroutine as soon as job i finishes (it is never
+// called for jobs skipped by cancellation). The journal rides on it so a
+// crash loses at most the in-flight points. observe may be called
+// concurrently; observers serialize internally.
+func batchCtx(ctx context.Context, jobs []Job, workers int, observe func(Outcome)) []Outcome {
 	out := make([]Outcome, len(jobs))
 	for i := range jobs {
 		out[i].Job = jobs[i]
@@ -69,6 +80,9 @@ func BatchCtx(ctx context.Context, jobs []Job, workers int) []Outcome {
 			return err
 		})
 		out[i].done = true
+		if observe != nil {
+			observe(out[i])
+		}
 		return nil
 	})
 	if err := scherr.FromContext(ctx); err != nil {
@@ -89,17 +103,20 @@ type NamedArch struct {
 }
 
 // PresetArchs resolves architecture preset names (arch.Presets keys,
-// e.g. "M1/4", "M1", "M2") into grid columns, skipping unknown names so
-// a grid over a preset list degrades instead of panicking.
-func PresetArchs(names ...string) []NamedArch {
+// e.g. "M1/4", "M1", "M2") into grid columns. Unknown names are skipped
+// so a grid over a preset list degrades instead of panicking, but they
+// are RETURNED — callers must surface them, or a typoed -archs value
+// silently shrinks the grid.
+func PresetArchs(names ...string) (archs []NamedArch, skipped []string) {
 	presets := arch.Presets()
-	var out []NamedArch
 	for _, name := range names {
 		if p, ok := presets[name]; ok {
-			out = append(out, NamedArch{Name: name, Params: p})
+			archs = append(archs, NamedArch{Name: name, Params: p})
+		} else {
+			skipped = append(skipped, name)
 		}
 	}
-	return out
+	return archs, skipped
 }
 
 // Grid crosses architectures with workloads into a job list, named
@@ -120,34 +137,96 @@ func Grid(archs []NamedArch, exps []workloads.Experiment) []Job {
 	return jobs
 }
 
+// Row is one grid point's result flattened to the fields the reports
+// (table, CSV, journal, schedd responses) need. Unlike Outcome it is
+// self-contained and JSON-serializable, so a journaled row reconstructs
+// its report line without re-running the point.
+type Row struct {
+	Job           string  `json:"job"`
+	FBBytes       int     `json:"fb_bytes"`
+	BasicFeasible bool    `json:"basic_feasible"`
+	RF            int     `json:"rf"`
+	DSImp         float64 `json:"ds_improvement"`
+	CDSImp        float64 `json:"cds_improvement"`
+	DTBytes       int     `json:"dt_bytes"`
+	// Err is the per-point failure text ("" on success). When set, the
+	// comparison fields are meaningless and report as blank.
+	Err string `json:"error,omitempty"`
+}
+
+// RowOf flattens one outcome into its report row.
+func RowOf(o Outcome) Row {
+	r := Row{Job: o.Job.Name, FBBytes: o.Job.Arch.FBSetBytes}
+	if o.Err != nil {
+		r.Err = o.Err.Error()
+		return r
+	}
+	r.BasicFeasible = o.Cmp.BasicErr == nil
+	r.RF = o.Cmp.RF
+	r.DSImp = o.Cmp.ImprovementDS
+	r.CDSImp = o.Cmp.ImprovementCDS
+	r.DTBytes = o.Cmp.DTBytes
+	return r
+}
+
+// Rows flattens a batch, one row per outcome in the same order.
+func Rows(outcomes []Outcome) []Row {
+	rows := make([]Row, len(outcomes))
+	for i, o := range outcomes {
+		rows[i] = RowOf(o)
+	}
+	return rows
+}
+
 // WriteBatch renders batch outcomes as a table: one row per job, errors
 // inline so a partly-failed grid still reads as a grid.
 func WriteBatch(w io.Writer, outcomes []Outcome) {
+	WriteRows(w, Rows(outcomes))
+}
+
+// WriteRows renders report rows as the batch table.
+func WriteRows(w io.Writer, rows []Row) {
 	fmt.Fprintf(w, "%-24s %8s %4s %10s %10s %8s\n", "job", "FB", "RF", "DS impr", "CDS impr", "DT/iter")
-	for _, o := range outcomes {
-		if o.Err != nil {
-			fmt.Fprintf(w, "%-24s %8s  error: %v\n", o.Job.Name, arch.FormatSize(o.Job.Arch.FBSetBytes), o.Err)
+	for _, r := range rows {
+		if r.Err != "" {
+			fmt.Fprintf(w, "%-24s %8s  error: %s\n", r.Job, arch.FormatSize(r.FBBytes), r.Err)
 			continue
 		}
-		ds, cdsImp := fmt.Sprintf("%.1f%%", o.Cmp.ImprovementDS), fmt.Sprintf("%.1f%%", o.Cmp.ImprovementCDS)
-		if o.Cmp.BasicErr != nil {
+		ds, cdsImp := fmt.Sprintf("%.1f%%", r.DSImp), fmt.Sprintf("%.1f%%", r.CDSImp)
+		if !r.BasicFeasible {
 			ds, cdsImp = "-", "-" // basic infeasible: no baseline
 		}
 		fmt.Fprintf(w, "%-24s %8s %4d %10s %10s %7dB\n",
-			o.Job.Name, arch.FormatSize(o.Job.Arch.FBSetBytes), o.Cmp.RF, ds, cdsImp, o.Cmp.DTBytes)
+			r.Job, arch.FormatSize(r.FBBytes), r.RF, ds, cdsImp, r.DTBytes)
 	}
 }
 
 // CSVBatch writes batch outcomes as comma-separated values.
-func CSVBatch(w io.Writer, outcomes []Outcome) {
-	fmt.Fprintln(w, "job,fb_bytes,basic_feasible,rf,ds_improvement,cds_improvement,dt_bytes,error")
-	for _, o := range outcomes {
-		if o.Err != nil {
-			fmt.Fprintf(w, "%s,%d,,,,,,%q\n", o.Job.Name, o.Job.Arch.FBSetBytes, o.Err.Error())
-			continue
-		}
-		fmt.Fprintf(w, "%s,%d,%v,%d,%.2f,%.2f,%d,\n",
-			o.Job.Name, o.Job.Arch.FBSetBytes, o.Cmp.BasicErr == nil, o.Cmp.RF,
-			o.Cmp.ImprovementDS, o.Cmp.ImprovementCDS, o.Cmp.DTBytes)
+func CSVBatch(w io.Writer, outcomes []Outcome) error {
+	return CSVRows(w, Rows(outcomes))
+}
+
+// CSVRows writes report rows as CSV through encoding/csv, so job names
+// and error texts containing commas, quotes or newlines stay one field
+// instead of corrupting the table.
+func CSVRows(w io.Writer, rows []Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"job", "fb_bytes", "basic_feasible", "rf", "ds_improvement", "cds_improvement", "dt_bytes", "error"}); err != nil {
+		return err
 	}
+	for _, r := range rows {
+		rec := []string{r.Job, strconv.Itoa(r.FBBytes), "", "", "", "", "", r.Err}
+		if r.Err == "" {
+			rec[2] = strconv.FormatBool(r.BasicFeasible)
+			rec[3] = strconv.Itoa(r.RF)
+			rec[4] = strconv.FormatFloat(r.DSImp, 'f', 2, 64)
+			rec[5] = strconv.FormatFloat(r.CDSImp, 'f', 2, 64)
+			rec[6] = strconv.Itoa(r.DTBytes)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }

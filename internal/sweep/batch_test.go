@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"encoding/csv"
 	"strings"
 	"testing"
 
@@ -41,7 +42,8 @@ func TestBatchOrderAndErrorCapture(t *testing.T) {
 // TestBatchDeterministic pins that worker interleaving cannot change
 // the numbers: two runs of the same grid are identical.
 func TestBatchDeterministic(t *testing.T) {
-	jobs := Grid(PresetArchs("M1/4", "M1"), workloads.All()[:4])
+	archs, _ := PresetArchs("M1/4", "M1")
+	jobs := Grid(archs, workloads.All()[:4])
 	a := Batch(jobs, 4)
 	b := Batch(jobs, 1)
 	for i := range a {
@@ -60,9 +62,12 @@ func TestBatchDeterministic(t *testing.T) {
 }
 
 func TestGridAndPresets(t *testing.T) {
-	archs := PresetArchs("M1", "nope", "M2")
+	archs, skipped := PresetArchs("M1", "nope", "M2")
 	if len(archs) != 2 {
 		t.Fatalf("PresetArchs kept %d presets, want 2 (unknown skipped)", len(archs))
+	}
+	if len(skipped) != 1 || skipped[0] != "nope" {
+		t.Fatalf("PresetArchs skipped = %v, want [nope] — unknown names must be reported, not dropped", skipped)
 	}
 	exps := workloads.All()[:3]
 	jobs := Grid(archs, exps)
@@ -95,12 +100,50 @@ func TestBatchRendering(t *testing.T) {
 		}
 	}
 	var c strings.Builder
-	CSVBatch(&c, outcomes)
+	if err := CSVBatch(&c, outcomes); err != nil {
+		t.Fatalf("CSVBatch: %v", err)
+	}
 	lines := strings.Split(strings.TrimSpace(c.String()), "\n")
 	if len(lines) != 3 {
 		t.Fatalf("CSVBatch has %d lines, want 3", len(lines))
 	}
 	if !strings.Contains(lines[2], "\"") {
 		t.Errorf("error row lacks quoted error: %q", lines[2])
+	}
+}
+
+// TestCSVHostileFields pins the encoding/csv bugfix: a job name (or an
+// error string) containing commas, quotes and newlines must survive a
+// CSV round trip as a single field instead of corrupting the table.
+func TestCSVHostileFields(t *testing.T) {
+	hostile := `evil,"job"` + "\nname"
+	rows := []Row{
+		{Job: hostile, FBBytes: 2048, BasicFeasible: true, RF: 2, DSImp: 12.5, CDSImp: 25.0, DTBytes: 64},
+		{Job: "failed", FBBytes: 1024, Err: `bad "arch", really`},
+	}
+	var b strings.Builder
+	if err := CSVRows(&b, rows); err != nil {
+		t.Fatalf("CSVRows: %v", err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("output does not parse back as CSV: %v\n%s", err, b.String())
+	}
+	if len(recs) != 3 {
+		t.Fatalf("parsed %d records, want 3 (header + 2 rows)", len(recs))
+	}
+	if got := recs[1][0]; got != hostile {
+		t.Errorf("hostile job name corrupted: %q != %q", got, hostile)
+	}
+	if got := recs[1][4]; got != "12.50" {
+		t.Errorf("ds_improvement = %q, want 12.50", got)
+	}
+	if got := recs[2][7]; got != `bad "arch", really` {
+		t.Errorf("hostile error corrupted: %q", got)
+	}
+	for i, rec := range recs {
+		if len(rec) != 8 {
+			t.Errorf("record %d has %d fields, want 8", i, len(rec))
+		}
 	}
 }

@@ -18,7 +18,8 @@ import (
 
 func TestBatchCancelMidGrid(t *testing.T) {
 	base := runtime.NumGoroutine()
-	jobs := Grid(PresetArchs("M1/4", "M1", "M2"), workloads.All())
+	archs, _ := PresetArchs("M1/4", "M1", "M2")
+	jobs := Grid(archs, workloads.All())
 	if len(jobs) < 10 {
 		t.Fatalf("grid too small for a cancellation test: %d jobs", len(jobs))
 	}

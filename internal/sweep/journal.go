@@ -1,0 +1,218 @@
+package sweep
+
+// Crash-safe sweep checkpointing: a batch run appends one JSONL record
+// per grid point to an append-only journal the moment the point
+// completes, fsyncing each record. A killed sweep therefore keeps every
+// finished point on disk; re-running with the same journal skips them
+// and produces output byte-identical to an uninterrupted run.
+//
+// Journal format — one JSON object per line:
+//
+//	{"status":"done","row":{"job":"M1/MPEG","fb_bytes":2048,...}}
+//
+// Status is "done" (the point ran, Err empty), "error" (the point ran
+// and failed deterministically; its error text is the result) or
+// "canceled" (the point was abandoned by cancellation or shutdown).
+// Resume skips done and error records — both are the outcome of an
+// actual run — and re-runs canceled ones. A torn final line (the crash
+// arrived mid-write) is truncated away on open.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"cds/internal/scherr"
+)
+
+// Journal statuses.
+const (
+	StatusDone     = "done"
+	StatusError    = "error"
+	StatusCanceled = "canceled"
+)
+
+// Record is one journal line: a report row plus how the point ended.
+type Record struct {
+	Status string `json:"status"`
+	Row    Row    `json:"row"`
+}
+
+// recordOf classifies one outcome into its journal record.
+func recordOf(o Outcome) Record {
+	rec := Record{Status: StatusDone, Row: RowOf(o)}
+	switch {
+	case o.Err == nil:
+	case errors.Is(o.Err, scherr.ErrCanceled):
+		rec.Status = StatusCanceled
+	default:
+		rec.Status = StatusError
+	}
+	return rec
+}
+
+// Journal is an append-only, fsync-per-record JSONL checkpoint file.
+// Appends are serialized internally, so the batch pool's workers may
+// share one Journal.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// OpenJournal opens (creating if missing) the journal at path and
+// replays its records. A partial final line — the signature of a crash
+// mid-append — is truncated away so the next append starts a clean line;
+// anything unparseable beyond that fails the open rather than silently
+// dropping completed work.
+func OpenJournal(path string) (*Journal, []Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("sweep: journal %s: %w", path, err)
+	}
+	var recs []Record
+	valid := 0 // byte offset just past the last fully-parsed record
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // torn tail: no terminating newline
+		}
+		line := data[off : off+nl]
+		var rec Record
+		if jerr := json.Unmarshal(line, &rec); jerr != nil {
+			if off+nl+1 >= len(data) {
+				break // torn tail: last line does not parse
+			}
+			return nil, nil, fmt.Errorf("sweep: journal %s: corrupt record at byte %d: %w", path, off, jerr)
+		}
+		recs = append(recs, rec)
+		off += nl + 1
+		valid = off
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sweep: journal %s: %w", path, err)
+	}
+	if err := f.Truncate(int64(valid)); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("sweep: journal %s: truncating torn tail: %w", path, err)
+	}
+	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("sweep: journal %s: %w", path, err)
+	}
+	return &Journal{f: f, path: path}, recs, nil
+}
+
+// Append writes one record and syncs it to disk before returning, so a
+// crash after Append never loses the point.
+func (j *Journal) Append(rec Record) error {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("sweep: journal %s: %w", j.path, err)
+	}
+	raw = append(raw, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(raw); err != nil {
+		return fmt.Errorf("sweep: journal %s: %w", j.path, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("sweep: journal %s: %w", j.path, err)
+	}
+	return nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close closes the underlying file.
+func (j *Journal) Close() error { return j.f.Close() }
+
+// Completed indexes the replayed records that must not re-run: done and
+// error outcomes, keyed by job name. Canceled records are deliberately
+// absent — an abandoned point never produced a result, so resume runs
+// it. A job journaled more than once keeps its latest completed record.
+func Completed(recs []Record) map[string]Row {
+	done := make(map[string]Row)
+	for _, rec := range recs {
+		if rec.Status == StatusDone || rec.Status == StatusError {
+			done[rec.Row.Job] = rec.Row
+		}
+	}
+	return done
+}
+
+// RunJournaled is the checkpointing batch runner: jobs whose outcome the
+// journal already holds (per Completed over prior) are skipped; the rest
+// run through the batch pool, each outcome journaled the moment it
+// completes; points abandoned by cancellation are journaled as canceled
+// so an operator can see what a shutdown left behind. onRecord, when
+// non-nil, observes every appended record (it may be called from worker
+// goroutines).
+//
+// The returned rows cover EVERY job in job order — journaled and fresh
+// merged — so the report of a resumed sweep is byte-identical to an
+// uninterrupted one. The error is nil on a full run, matches
+// scherr.ErrCanceled when ctx ended first, and reports the first journal
+// write failure (the run continues past it; completed points are still
+// in the returned rows, just not durably recorded).
+func RunJournaled(ctx context.Context, j *Journal, prior []Record, jobs []Job, workers int, onRecord func(Record)) ([]Row, error) {
+	done := Completed(prior)
+	todo := make([]Job, 0, len(jobs))
+	for _, job := range jobs {
+		if _, ok := done[job.Name]; !ok {
+			todo = append(todo, job)
+		}
+	}
+
+	var appendErr struct {
+		mu  sync.Mutex
+		err error
+	}
+	record := func(rec Record) {
+		if err := j.Append(rec); err != nil {
+			appendErr.mu.Lock()
+			if appendErr.err == nil {
+				appendErr.err = err
+			}
+			appendErr.mu.Unlock()
+		}
+		if onRecord != nil {
+			onRecord(rec)
+		}
+	}
+
+	outcomes := batchCtx(ctx, todo, workers, func(o Outcome) {
+		record(recordOf(o))
+	})
+	fresh := make(map[string]Row, len(outcomes))
+	for _, o := range outcomes {
+		if !o.done {
+			// Abandoned by cancellation: journal the abandonment (the
+			// observer never saw the point because it never ran).
+			record(recordOf(o))
+		}
+		fresh[o.Job.Name] = RowOf(o)
+	}
+
+	rows := make([]Row, 0, len(jobs))
+	for _, job := range jobs {
+		if row, ok := done[job.Name]; ok {
+			rows = append(rows, row)
+		} else {
+			rows = append(rows, fresh[job.Name])
+		}
+	}
+	if err := scherr.FromContext(ctx); err != nil {
+		return rows, err
+	}
+	appendErr.mu.Lock()
+	defer appendErr.mu.Unlock()
+	return rows, appendErr.err
+}

@@ -1,0 +1,266 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cds/internal/scherr"
+	"cds/internal/workloads"
+)
+
+func journalJobs(t *testing.T) []Job {
+	t.Helper()
+	archs, skipped := PresetArchs("M1/4", "M1")
+	if len(skipped) > 0 {
+		t.Fatalf("unexpected skipped presets: %v", skipped)
+	}
+	return Grid(archs, workloads.All()[:4])
+}
+
+func csvOf(t *testing.T, rows []Row) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := CSVRows(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// TestJournalResumeByteIdentical is the crash-safety pin: a batch
+// canceled at a seeded mid-run point, then resumed from its journal,
+// produces CSV output byte-identical to an uninterrupted run — and no
+// grid point executes twice.
+func TestJournalResumeByteIdentical(t *testing.T) {
+	jobs := journalJobs(t)
+	dir := t.TempDir()
+
+	// Uninterrupted reference run (journaled too, to keep paths equal).
+	jRef, prior, err := OpenJournal(filepath.Join(dir, "ref.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prior) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(prior))
+	}
+	refRows, err := RunJournaled(context.Background(), jRef, nil, jobs, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jRef.Close()
+	want := csvOf(t, refRows)
+
+	// Interrupted run: cancel after the k-th journaled point (k picked
+	// by a seeded roll so the cut moves between test evolutions without
+	// becoming nondeterministic within one).
+	seed := uint64(0x9e3779b97f4a7c15)
+	k := int(seed%uint64(len(jobs)-2)) + 1
+	path := filepath.Join(dir, "run.jsonl")
+	j1, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var seen atomic.Int64
+	_, err = RunJournaled(ctx, j1, nil, jobs, 1, func(Record) {
+		if seen.Add(1) == int64(k) {
+			cancel()
+		}
+	})
+	cancel()
+	if !errors.Is(err, scherr.ErrCanceled) {
+		t.Fatalf("interrupted run returned %v, want ErrCanceled", err)
+	}
+	j1.Close() // the "crash"
+
+	// Resume: completed points come from the journal, the rest run.
+	j2, prior, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	done := Completed(prior)
+	if len(done) < k {
+		t.Fatalf("journal kept %d completed points, want >= %d", len(done), k)
+	}
+	if len(done) >= len(jobs) {
+		t.Fatalf("every point completed before the cancel (k=%d); the resume path is untested", k)
+	}
+	resumedRows, err := RunJournaled(context.Background(), j2, prior, jobs, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := csvOf(t, resumedRows)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed CSV differs from uninterrupted run:\n--- want\n%s\n--- got\n%s", want, got)
+	}
+
+	// No point ran twice: across both passes the journal holds exactly
+	// one done record per job (canceled markers are re-run, not re-done).
+	_, final, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doneCount := map[string]int{}
+	for _, rec := range final {
+		if rec.Status == StatusDone || rec.Status == StatusError {
+			doneCount[rec.Row.Job]++
+		}
+	}
+	for _, job := range jobs {
+		if doneCount[job.Name] != 1 {
+			t.Errorf("point %q has %d completed journal records, want exactly 1", job.Name, doneCount[job.Name])
+		}
+	}
+}
+
+// TestJournalTornTail pins crash-mid-append recovery: a partial final
+// line is truncated away on open, the full records before it survive,
+// and the journal keeps appending cleanly afterwards.
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.jsonl")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Status: StatusDone, Row: Row{Job: "a", FBBytes: 1024, RF: 2}},
+		{Status: StatusError, Row: Row{Job: "b", FBBytes: 2048, Err: "infeasible"}},
+	}
+	for _, rec := range recs {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// The crash: half a record, no newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"status":"done","row":{"job":"c","fb`)
+	f.Close()
+
+	j2, replayed, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("open over torn tail: %v", err)
+	}
+	if len(replayed) != 2 {
+		t.Fatalf("replayed %d records, want 2 (torn tail dropped)", len(replayed))
+	}
+	if replayed[0].Row.Job != "a" || replayed[1].Row.Job != "b" {
+		t.Fatalf("replay corrupted: %+v", replayed)
+	}
+	if err := j2.Append(Record{Status: StatusDone, Row: Row{Job: "c", FBBytes: 4096}}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	_, again, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 3 || again[2].Row.Job != "c" {
+		t.Fatalf("append after torn-tail recovery lost records: %+v", again)
+	}
+}
+
+// TestJournalCorruptMiddleFails pins the difference between a torn tail
+// (recoverable) and corruption in the middle of the file (must fail the
+// open rather than silently dropping completed work).
+func TestJournalCorruptMiddleFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.jsonl")
+	content := `{"status":"done","row":{"job":"a"}}` + "\n" +
+		"NOT JSON\n" +
+		`{"status":"done","row":{"job":"b"}}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(path); err == nil {
+		t.Fatal("corrupt middle record did not fail the open")
+	}
+}
+
+// TestJournalCanceledPointsRerun pins the abandonment contract: points
+// journaled as canceled (a drain's leftovers) are re-run on resume.
+func TestJournalCanceledPointsRerun(t *testing.T) {
+	jobs := journalJobs(t)
+	path := filepath.Join(t.TempDir(), "cancel.jsonl")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // nothing may run: every point is journaled as canceled
+	rows, err := RunJournaled(ctx, j, nil, jobs, 2, nil)
+	if !errors.Is(err, scherr.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if len(rows) != len(jobs) {
+		t.Fatalf("rows = %d, want %d (abandoned points still report)", len(rows), len(jobs))
+	}
+	j.Close()
+
+	j2, prior, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	canceled := 0
+	for _, rec := range prior {
+		if rec.Status == StatusCanceled {
+			canceled++
+		}
+	}
+	if canceled != len(jobs) {
+		t.Fatalf("journal holds %d canceled records, want %d", canceled, len(jobs))
+	}
+	if n := len(Completed(prior)); n != 0 {
+		t.Fatalf("Completed counts %d canceled points as done", n)
+	}
+	rows, err = RunJournaled(context.Background(), j2, prior, jobs, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Err != "" {
+			t.Errorf("point %q still failed after resume: %s", r.Job, r.Err)
+		}
+	}
+}
+
+// TestJournalConcurrentAppend pins that the batch pool's workers can
+// share one journal: concurrent appends never interleave bytes.
+func TestJournalConcurrentAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "conc.jsonl")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for n := 0; n < 20; n++ {
+				j.Append(Record{Status: StatusDone, Row: Row{Job: strings.Repeat("x", i+1), FBBytes: n}})
+			}
+		}(i)
+	}
+	wg.Wait()
+	j.Close()
+	_, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("concurrent appends corrupted the journal: %v", err)
+	}
+	if len(recs) != 160 {
+		t.Fatalf("replayed %d records, want 160", len(recs))
+	}
+}
