@@ -24,7 +24,9 @@
 // additionally executes on the functional machine under deterministic
 // fault injection (internal/faultmachine), exercising the retry path in
 // production configuration. SIGTERM (and SIGINT) drain gracefully:
-// readiness flips immediately, in-flight requests finish within
+// readiness flips immediately, -drain-grace holds a 503-on-/readyz
+// window for load balancers (clamped to half of -drain-timeout so the
+// drain itself always keeps time), in-flight requests finish within
 // -drain-timeout, and the exit status is 0 exactly when everything
 // drained.
 package main

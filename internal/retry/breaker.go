@@ -88,7 +88,9 @@ func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Br
 
 // Allow reports whether a call may proceed: nil from a closed breaker or
 // for the single half-open probe, an error matching ErrOpen otherwise.
-// Every allowed call MUST be followed by exactly one Record.
+// Every allowed call MUST be settled by exactly one Record or Abort —
+// otherwise a half-open probe stays in flight forever and the breaker
+// rejects every future call.
 func (b *Breaker) Allow() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -122,6 +124,22 @@ func (b *Breaker) Record(success bool) {
 	}
 	b.fails++
 	if b.state == HalfOpen || b.fails >= b.threshold {
+		b.state = Open
+		b.openedAt = b.now()
+	}
+}
+
+// Abort settles an allowed call that produced no verdict about the
+// target's health: the caller canceled, the deadline expired, or the
+// request failed for a reason of its own (invalid spec, infeasible). A
+// half-open probe that ends this way proved nothing, so the breaker
+// returns to Open with a fresh cooldown — the failure run is NOT
+// extended — and the next probe waits its turn. A closed breaker is
+// untouched.
+func (b *Breaker) Abort() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == HalfOpen {
 		b.state = Open
 		b.openedAt = b.now()
 	}

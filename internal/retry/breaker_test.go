@@ -121,6 +121,53 @@ func TestBreakerHalfOpenProbe(t *testing.T) {
 	}
 }
 
+// TestBreakerAbortSettlesProbe pins the anti-wedge contract: a
+// half-open probe whose call ends without a health verdict (canceled,
+// deadline, deterministic request error) is settled by Abort — the
+// breaker returns to Open with a fresh cooldown instead of rejecting
+// every future call forever — and the failure run is not extended.
+func TestBreakerAbortSettlesProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(2, 10*time.Second, clk.Now)
+	b.Allow()
+	b.Record(false)
+	b.Allow()
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatal("breaker not open")
+	}
+
+	clk.Advance(10 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open probe rejected: %v", err)
+	}
+	b.Abort() // the probe's call was canceled: no verdict
+	if b.State() != Open {
+		t.Fatalf("state = %v after aborted probe, want open", b.State())
+	}
+
+	// The cooldown restarted; the next probe is admitted after it and a
+	// success closes the circuit — the breaker never wedged.
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("probe admitted immediately after an abort: %v", err)
+	}
+	clk.Advance(10 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe after aborted-probe cooldown rejected: %v", err)
+	}
+	b.Record(true)
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+
+	// Abort on a closed breaker is a no-op and does not count as failure.
+	b.Allow()
+	b.Abort()
+	if b.State() != Closed {
+		t.Fatalf("state = %v after closed-state abort, want closed", b.State())
+	}
+}
+
 func TestBreakerSetIsolatesTargets(t *testing.T) {
 	clk := newFakeClock()
 	set := NewBreakerSet(1, 10*time.Second, clk.Now)

@@ -37,6 +37,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -66,7 +67,9 @@ type Config struct {
 	RequestTimeout time.Duration
 	// DrainGrace is how long Drain keeps serving (answering /readyz with
 	// 503) after readiness flips, so load balancers observe the flip and
-	// stop routing before connections start being refused.
+	// stop routing before connections start being refused. The window is
+	// clamped to half of Drain's remaining deadline so the shutdown
+	// always keeps time to drain in-flight requests.
 	DrainGrace time.Duration
 	// Retry wraps every compare backend call.
 	Retry retry.Policy
@@ -125,6 +128,11 @@ type Server struct {
 	breakers *retry.BreakerSet
 	baseCtx  context.Context
 	cancel   context.CancelFunc
+
+	// journals tracks which journal names have a sweep in flight, so two
+	// concurrent requests cannot append to the same checkpoint file.
+	jmu      sync.Mutex
+	journals map[string]bool
 }
 
 // New builds a server from the config.
@@ -135,6 +143,7 @@ func New(cfg Config) *Server {
 		mux:      http.NewServeMux(),
 		slots:    make(chan struct{}, cfg.Workers),
 		breakers: retry.NewBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Now),
+		journals: map[string]bool{},
 	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -171,12 +180,23 @@ func (s *Server) Serve(l net.Listener) error {
 func (s *Server) Drain(ctx context.Context) error {
 	s.ready.Store(false)
 	s.cfg.Logf("serve: draining (served=%d shed=%d)", s.served.Load(), s.shed.Load())
-	if s.cfg.DrainGrace > 0 {
-		t := time.NewTimer(s.cfg.DrainGrace)
-		select {
-		case <-t.C:
-		case <-ctx.Done():
-			t.Stop()
+	if grace := s.cfg.DrainGrace; grace > 0 {
+		// The grace window spends the caller's drain budget, so cap it at
+		// half the remaining deadline — a misconfigured grace >= deadline
+		// must not leave Shutdown an already-expired context that would
+		// force-close idle servers.
+		if d, ok := ctx.Deadline(); ok {
+			if rem := time.Until(d); grace > rem/2 {
+				grace = rem / 2
+			}
+		}
+		if grace > 0 {
+			t := time.NewTimer(grace)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+			}
 		}
 	}
 	err := s.http.Shutdown(ctx)
@@ -379,11 +399,16 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	// The breaker tracks target health: successes and transient failures
-	// count; a caller's deterministic error says nothing about the target.
-	if err == nil {
+	// count; everything else (cancellation, deadline, a caller's
+	// deterministic error) says nothing about the target, but must still
+	// settle the call — an unsettled half-open probe wedges the breaker.
+	switch {
+	case err == nil:
 		br.Record(true)
-	} else if errors.Is(err, scherr.ErrTransient) {
+	case errors.Is(err, scherr.ErrTransient):
 		br.Record(false)
+	default:
+		br.Abort()
 	}
 	if err != nil {
 		s.cfg.Logf("serve: compare %s: %v (attempts=%d)", target, err, attempts)
@@ -419,9 +444,12 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 }
 
 // SweepRequest selects a grid: architecture presets crossed with Table 1
-// workloads (all of them when the list is empty). Journal, when the
-// server has a journal directory, names a crash-safe checkpoint: re-POST
-// the same request after a crash and completed points are not recomputed.
+// workloads (all of them when the list is empty). Workers asks for a
+// smaller pool than the server's worker budget (0 or anything larger is
+// clamped to the budget). Journal, when the server has a journal
+// directory, names a crash-safe checkpoint: re-POST the same request
+// after a crash and completed points are not recomputed; a journal with
+// a sweep already in flight answers 409.
 type SweepRequest struct {
 	Archs     []string `json:"archs"`
 	Workloads []string `json:"workloads,omitempty"`
@@ -439,6 +467,35 @@ type SweepResponse struct {
 }
 
 var journalNameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]*$`)
+
+// lockJournal claims name for one in-flight sweep; false means another
+// sweep is already appending to that journal.
+func (s *Server) lockJournal(name string) bool {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	if s.journals[name] {
+		return false
+	}
+	s.journals[name] = true
+	return true
+}
+
+func (s *Server) unlockJournal(name string) {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	delete(s.journals, name)
+}
+
+// sweepWorkers bounds a sweep's parallelism by the server's own worker
+// budget: a request may ask for less, never more (0 = the full budget).
+// Without the clamp one /v1/sweep could saturate every CPU regardless
+// of the operator's admission config.
+func sweepWorkers(requested, budget int) int {
+	if requested <= 0 || requested > budget {
+		return budget
+	}
+	return requested
+}
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	release, ok := s.admit(w, r)
@@ -474,6 +531,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	jobs := sweep.Grid(archs, exps)
+	workers := sweepWorkers(req.Workers, s.cfg.Workers)
 
 	resp := SweepResponse{SkippedArchs: skipped}
 	if req.Journal != "" {
@@ -485,6 +543,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			s.writeErr(w, fmt.Errorf("bad journal name %q: %w", req.Journal, scherr.ErrInvalidSpec))
 			return
 		}
+		if !s.lockJournal(req.Journal) {
+			s.cfg.Logf("serve: sweep %s: rejected, journal busy", req.Journal)
+			w.Header().Set("Retry-After", "1")
+			writeJSONError(w, http.StatusConflict,
+				fmt.Sprintf("journal %q already has a sweep in flight", req.Journal), "journal_busy")
+			return
+		}
+		defer s.unlockJournal(req.Journal)
 		j, prior, err := sweep.OpenJournal(filepath.Join(s.cfg.JournalDir, req.Journal+".jsonl"))
 		if err != nil {
 			s.writeErr(w, err)
@@ -492,7 +558,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		defer j.Close()
 		resp.Resumed = len(sweep.Completed(prior))
-		rows, err := sweep.RunJournaled(ctx, j, prior, jobs, req.Workers, nil)
+		rows, err := sweep.RunJournaled(ctx, j, prior, jobs, workers, nil)
 		if err != nil {
 			s.cfg.Logf("serve: sweep %s: %v (%d rows journaled)", req.Journal, err, len(rows))
 			s.writeErr(w, err)
@@ -504,7 +570,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	outcomes := sweep.BatchCtx(ctx, jobs, req.Workers)
+	outcomes := sweep.BatchCtx(ctx, jobs, workers)
 	if err := scherr.FromContext(ctx); err != nil {
 		s.writeErr(w, err)
 		return

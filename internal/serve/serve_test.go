@@ -324,6 +324,148 @@ func TestBreakerTripsPerTarget(t *testing.T) {
 	}
 }
 
+// TestBreakerProbeAbortNoWedge pins the half-open anti-wedge: when the
+// single cooldown probe ends with an error that says nothing about the
+// target (here a cancellation), the breaker must NOT stay half-open
+// forever rejecting every call — the next cooldown admits a fresh probe
+// and a now-healthy target closes the circuit.
+func TestBreakerProbeAbortNoWedge(t *testing.T) {
+	clk := newFakeClock()
+	var mode atomic.Int32 // 0 = transient fail, 1 = canceled, 2 = healthy
+	s := New(Config{
+		Retry:            retry.Policy{MaxAttempts: 1, Sleep: fastSleep},
+		BreakerThreshold: 1,
+		BreakerCooldown:  10 * time.Second,
+		Now:              clk.Now,
+		Compare: func(context.Context, cds.Arch, *cds.Part) (*cds.Comparison, error) {
+			switch mode.Load() {
+			case 0:
+				return nil, fmt.Errorf("injected DMA fault: %w", scherr.ErrTransient)
+			case 1:
+				return nil, scherr.Canceled(context.Canceled)
+			default:
+				return &cds.Comparison{CDS: &cds.Result{}}, nil
+			}
+		},
+	})
+	body := `{"workload":"MPEG"}`
+
+	// Trip the breaker, then feed the half-open probe a verdict-free
+	// cancellation.
+	if w := post(t, s.Handler(), "/v1/compare", body); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("tripping request = %d, want 503", w.Code)
+	}
+	clk.Advance(11 * time.Second)
+	mode.Store(1)
+	if w := post(t, s.Handler(), "/v1/compare", body); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("canceled probe = %d, want 503", w.Code)
+	}
+
+	// Still open while the restarted cooldown runs...
+	mode.Store(2)
+	w := post(t, s.Handler(), "/v1/compare", body)
+	if e := decode[errorBody](t, w); w.Code != http.StatusServiceUnavailable || e.Class != "circuit_open" {
+		t.Fatalf("mid-cooldown request = %d/%q, want 503/circuit_open", w.Code, e.Class)
+	}
+	// ...but the next probe gets through: the breaker did not wedge.
+	clk.Advance(11 * time.Second)
+	if w := post(t, s.Handler(), "/v1/compare", body); w.Code != http.StatusOK {
+		t.Fatalf("probe after aborted probe = %d, want 200: %s", w.Code, w.Body.String())
+	}
+	if w := post(t, s.Handler(), "/v1/compare", body); w.Code != http.StatusOK {
+		t.Fatalf("post-recovery request = %d, want 200", w.Code)
+	}
+}
+
+// TestSweepJournalBusy pins per-journal serialization: while one sweep
+// holds a journal name, a second request naming it is rejected with 409
+// + Retry-After instead of interleaving appends into the same file, and
+// the name is usable again once released.
+func TestSweepJournalBusy(t *testing.T) {
+	s := New(Config{JournalDir: t.TempDir()})
+	body := `{"archs":["M1/4"],"workloads":["MPEG"],"journal":"nightly"}`
+
+	if !s.lockJournal("nightly") {
+		t.Fatal("fresh journal name could not be locked")
+	}
+	w := post(t, s.Handler(), "/v1/sweep", body)
+	if w.Code != http.StatusConflict {
+		t.Fatalf("busy journal = %d, want 409: %s", w.Code, w.Body.String())
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("journal_busy response missing Retry-After")
+	}
+	if e := decode[errorBody](t, w); e.Class != "journal_busy" {
+		t.Fatalf("class = %q, want journal_busy", e.Class)
+	}
+
+	// Other journal names are unaffected.
+	w = post(t, s.Handler(), "/v1/sweep", `{"archs":["M1/4"],"workloads":["MPEG"],"journal":"other"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("sibling journal = %d, want 200: %s", w.Code, w.Body.String())
+	}
+
+	s.unlockJournal("nightly")
+	w = post(t, s.Handler(), "/v1/sweep", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("released journal = %d, want 200: %s", w.Code, w.Body.String())
+	}
+	// The handler released its own lock too: a re-POST resumes cleanly.
+	w = post(t, s.Handler(), "/v1/sweep", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("re-POST after handler = %d, want 200: %s", w.Code, w.Body.String())
+	}
+	if resp := decode[SweepResponse](t, w); resp.Resumed != 1 {
+		t.Fatalf("resumed = %d, want 1", resp.Resumed)
+	}
+}
+
+// TestSweepWorkersClamp pins that a sweep's parallelism never exceeds
+// the server's worker budget, whatever the client asks for.
+func TestSweepWorkersClamp(t *testing.T) {
+	cases := []struct {
+		requested, budget, want int
+	}{
+		{0, 2, 2},  // default: the full budget
+		{-3, 2, 2}, // nonsense: the full budget
+		{1, 2, 1},  // asking for less is honored
+		{64, 2, 2}, // asking for more is clamped
+		{2, 2, 2},  // exactly the budget
+	}
+	for _, tc := range cases {
+		if got := sweepWorkers(tc.requested, tc.budget); got != tc.want {
+			t.Errorf("sweepWorkers(%d, %d) = %d, want %d", tc.requested, tc.budget, got, tc.want)
+		}
+	}
+}
+
+// TestDrainGraceClampedToDeadline pins the grace/deadline interaction:
+// a DrainGrace far beyond the drain deadline must not eat the whole
+// budget — an idle server still drains cleanly (nil) inside the
+// deadline instead of force-closing and failing.
+func TestDrainGraceClampedToDeadline(t *testing.T) {
+	s := New(Config{DrainGrace: time.Hour})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(l) }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("idle drain with grace >= deadline = %v, want nil", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("drain took %v, beyond the 2s deadline", elapsed)
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		t.Fatalf("Serve = %v, want http.ErrServerClosed", err)
+	}
+}
+
 // TestDrainGracefulWithInFlight runs the full lifecycle on a real
 // listener: readiness flips to 503 the moment Drain starts (while the
 // listener still answers, thanks to DrainGrace), the in-flight request

@@ -257,8 +257,12 @@ func TestSoakDrainMidFlight(t *testing.T) {
 		}(i)
 	}
 
-	// Let part of the wave land, then pull the plug.
-	time.Sleep(5 * time.Millisecond)
+	// Let part of the wave land, then pull the plug. Waiting for a real
+	// response (not a fixed sleep) keeps the "something completed before
+	// the drain" invariant deterministic under -race on a loaded box.
+	for i := 0; responses.Load() == 0 && i < 5000; i++ {
+		time.Sleep(time.Millisecond)
+	}
 	drainStarted.Store(true)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

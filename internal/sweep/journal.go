@@ -14,8 +14,12 @@ package sweep
 // and failed deterministically; its error text is the result) or
 // "canceled" (the point was abandoned by cancellation or shutdown).
 // Resume skips done and error records — both are the outcome of an
-// actual run — and re-runs canceled ones. A torn final line (the crash
-// arrived mid-write) is truncated away on open.
+// actual run — and re-runs canceled ones. A torn final line (no
+// terminating newline — the crash arrived mid-write) is truncated away
+// on open; any newline-terminated line that does not parse is treated
+// as corruption and fails the open. The open also takes an exclusive
+// advisory lock on the file, so two processes cannot append to the same
+// journal concurrently.
 
 import (
 	"bytes"
@@ -66,13 +70,26 @@ type Journal struct {
 }
 
 // OpenJournal opens (creating if missing) the journal at path and
-// replays its records. A partial final line — the signature of a crash
-// mid-append — is truncated away so the next append starts a clean line;
-// anything unparseable beyond that fails the open rather than silently
-// dropping completed work.
+// replays its records. The file is held under an exclusive advisory
+// lock until Close, so a second process (or a second OpenJournal in the
+// same process) journaling to the same path fails the open instead of
+// interleaving records. A torn tail — a final line with no terminating
+// newline, the signature of a crash mid-append — is truncated away so
+// the next append starts a clean line; any newline-terminated line that
+// does not parse is corruption and fails the open rather than silently
+// dropping an fsync'd completed point.
 func OpenJournal(path string) (*Journal, []Record, error) {
-	data, err := os.ReadFile(path)
-	if err != nil && !errors.Is(err, os.ErrNotExist) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sweep: journal %s: %w", path, err)
+	}
+	if err := lockFile(f); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("sweep: journal %s: %w", path, err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
 		return nil, nil, fmt.Errorf("sweep: journal %s: %w", path, err)
 	}
 	var recs []Record
@@ -85,26 +102,16 @@ func OpenJournal(path string) (*Journal, []Record, error) {
 		line := data[off : off+nl]
 		var rec Record
 		if jerr := json.Unmarshal(line, &rec); jerr != nil {
-			if off+nl+1 >= len(data) {
-				break // torn tail: last line does not parse
-			}
+			f.Close()
 			return nil, nil, fmt.Errorf("sweep: journal %s: corrupt record at byte %d: %w", path, off, jerr)
 		}
 		recs = append(recs, rec)
 		off += nl + 1
 		valid = off
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
-	if err != nil {
-		return nil, nil, fmt.Errorf("sweep: journal %s: %w", path, err)
-	}
 	if err := f.Truncate(int64(valid)); err != nil {
 		f.Close()
 		return nil, nil, fmt.Errorf("sweep: journal %s: truncating torn tail: %w", path, err)
-	}
-	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("sweep: journal %s: %w", path, err)
 	}
 	return &Journal{f: f, path: path}, recs, nil
 }

@@ -84,7 +84,6 @@ func TestJournalResumeByteIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer j2.Close()
 	done := Completed(prior)
 	if len(done) < k {
 		t.Fatalf("journal kept %d completed points, want >= %d", len(done), k)
@@ -100,13 +99,15 @@ func TestJournalResumeByteIdentical(t *testing.T) {
 	if !bytes.Equal(got, want) {
 		t.Fatalf("resumed CSV differs from uninterrupted run:\n--- want\n%s\n--- got\n%s", want, got)
 	}
+	j2.Close() // release the journal lock before the verification replay
 
 	// No point ran twice: across both passes the journal holds exactly
 	// one done record per job (canceled markers are re-run, not re-done).
-	_, final, err := OpenJournal(path)
+	j3, final, err := OpenJournal(path)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer j3.Close()
 	doneCount := map[string]int{}
 	for _, rec := range final {
 		if rec.Status == StatusDone || rec.Status == StatusError {
@@ -185,6 +186,24 @@ func TestJournalCorruptMiddleFails(t *testing.T) {
 	}
 	if _, _, err := OpenJournal(path); err == nil {
 		t.Fatal("corrupt middle record did not fail the open")
+	}
+}
+
+// TestJournalCorruptTailFails pins the tail contract's other half: a
+// complete, newline-terminated final line that does not parse is
+// corruption (an fsync'd record damaged in place), NOT a torn tail — it
+// must fail the open loudly instead of silently re-running the point. A
+// genuine crash mid-append almost always loses the newline, which is
+// the only case truncated away.
+func TestJournalCorruptTailFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tail.jsonl")
+	content := `{"status":"done","row":{"job":"a"}}` + "\n" +
+		"NOT JSON BUT TERMINATED\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(path); err == nil {
+		t.Fatal("newline-terminated corrupt final record did not fail the open")
 	}
 }
 

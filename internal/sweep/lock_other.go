@@ -1,0 +1,10 @@
+//go:build !unix
+
+package sweep
+
+import "os"
+
+// lockFile is a no-op where advisory file locks are unavailable; the
+// server-side per-name serialization in internal/serve still protects
+// journals from concurrent sweeps within one daemon.
+func lockFile(*os.File) error { return nil }

@@ -1,0 +1,36 @@
+//go:build unix
+
+package sweep
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestJournalExclusiveLock pins the single-writer contract: while a
+// journal is open, a second OpenJournal on the same path — the shape of
+// a concurrent cmd/sweep -journal on a shared file — fails instead of
+// interleaving appends; closing the first releases the lock.
+func TestJournalExclusiveLock(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "locked.jsonl")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(path); err == nil {
+		t.Fatal("second OpenJournal on a held journal succeeded")
+	}
+	if err := j.Append(Record{Status: StatusDone, Row: Row{Job: "a"}}); err != nil {
+		t.Fatalf("append under lock: %v", err)
+	}
+	j.Close()
+
+	j2, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	defer j2.Close()
+	if len(recs) != 1 || recs[0].Row.Job != "a" {
+		t.Fatalf("replay after relock = %+v, want the one appended record", recs)
+	}
+}
