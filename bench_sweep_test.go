@@ -7,6 +7,7 @@ package cds_test
 import (
 	"testing"
 
+	"cds/internal/rescache"
 	"cds/internal/sweep"
 	"cds/internal/workloads"
 )
@@ -16,6 +17,7 @@ import (
 // points, the shape the worker pool parallelizes and the analysis cache
 // deduplicates.
 func BenchmarkSweep(b *testing.B) {
+	b.ReportAllocs()
 	e := workloads.MPEG()
 	for i := 0; i < b.N; i++ {
 		if _, err := sweep.FB(e.Arch, e.Part, 768, 8192, 128); err != nil {
@@ -27,12 +29,29 @@ func BenchmarkSweep(b *testing.B) {
 // BenchmarkBatch measures the batch runner on an arch x workload grid:
 // three machine generations crossed with every Table 1 row.
 func BenchmarkBatch(b *testing.B) {
+	b.ReportAllocs()
 	archs, _ := sweep.PresetArchs("M1/4", "M1", "M2")
 	jobs := sweep.Grid(archs, workloads.All())
 	for i := 0; i < b.N; i++ {
 		outcomes := sweep.Batch(jobs, 0)
 		if len(outcomes) != len(jobs) {
 			b.Fatalf("outcomes = %d, want %d", len(outcomes), len(jobs))
+		}
+	}
+}
+
+// BenchmarkSweepUncached is BenchmarkSweep with the result caches
+// disabled: every point pays full scheduling cost each iteration. The
+// ratio to BenchmarkSweep is the repeated-point win of the result cache;
+// this variant tracks the raw scheduling core.
+func BenchmarkSweepUncached(b *testing.B) {
+	b.ReportAllocs()
+	prev := rescache.SetEnabled(false)
+	defer rescache.SetEnabled(prev)
+	e := workloads.MPEG()
+	for i := 0; i < b.N; i++ {
+		if _, err := sweep.FB(e.Arch, e.Part, 768, 8192, 128); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

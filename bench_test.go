@@ -36,6 +36,7 @@ import (
 // reports the paper's metrics.
 func benchComparison(b *testing.B, e workloads.Experiment) {
 	b.Helper()
+	b.ReportAllocs()
 	var cmp *Comparison
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -58,6 +59,7 @@ func benchComparison(b *testing.B, e workloads.Experiment) {
 
 // BenchmarkTable1 regenerates every Table 1 row / Figure 6 bar pair.
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	for _, e := range workloads.All() {
 		e := e
 		b.Run(e.Name, func(b *testing.B) { benchComparison(b, e) })
@@ -68,6 +70,7 @@ func BenchmarkTable1(b *testing.B) {
 // at FB = 1K the Basic Scheduler is infeasible while DS and CDS run; the
 // reported metric is the CDS execution time there.
 func BenchmarkMPEGMemoryFloor(b *testing.B) {
+	b.ReportAllocs()
 	e := workloads.MPEGFloor()
 	var cycles int
 	for i := 0; i < b.N; i++ {
@@ -90,6 +93,7 @@ func BenchmarkMPEGMemoryFloor(b *testing.B) {
 // BenchmarkFigure5Allocation replays the section 5 allocation algorithm
 // (the Figure 5 timeline) for the MPEG CDS schedule.
 func BenchmarkFigure5Allocation(b *testing.B) {
+	b.ReportAllocs()
 	e := workloads.MPEG()
 	s, err := (core.CompleteDataScheduler{}).Schedule(e.Arch, e.Part)
 	if err != nil {
@@ -113,6 +117,7 @@ func BenchmarkFigure5Allocation(b *testing.B) {
 // on a workload where the frame buffer can keep only one of two competing
 // shared objects: the TF ranking keeps the one avoiding more transfers.
 func BenchmarkAblationRanking(b *testing.B) {
+	b.ReportAllocs()
 	e := workloads.RankingAblation()
 	basicS, err := (core.Basic{}).Schedule(e.Arch, e.Part)
 	if err != nil {
@@ -133,6 +138,7 @@ func BenchmarkAblationRanking(b *testing.B) {
 	for _, rk := range rankings {
 		rk := rk
 		b.Run(rk.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var imp, avoided float64
 			for i := 0; i < b.N; i++ {
 				s, err := (core.CompleteDataScheduler{Ranking: rk.fn}).Schedule(e.Arch, e.Part)
@@ -157,6 +163,7 @@ func BenchmarkAblationRanking(b *testing.B) {
 // shows the mechanism is never needed on these workloads but costs
 // nothing to have).
 func BenchmarkAblationSplit(b *testing.B) {
+	b.ReportAllocs()
 	e := workloads.MPEG()
 	s, err := (core.CompleteDataScheduler{}).Schedule(e.Arch, e.Part)
 	if err != nil {
@@ -169,6 +176,7 @@ func BenchmarkAblationSplit(b *testing.B) {
 			name = "allowed"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Allocate(s, allow); err != nil {
 					b.Fatal(err)
@@ -182,6 +190,7 @@ func BenchmarkAblationSplit(b *testing.B) {
 // (the paper uses first-fit) on the MPEG schedule: splits and peak
 // occupancy are the quality metrics, ns/op the cost.
 func BenchmarkAblationFit(b *testing.B) {
+	b.ReportAllocs()
 	e := workloads.MPEG()
 	s, err := (core.CompleteDataScheduler{}).Schedule(e.Arch, e.Part)
 	if err != nil {
@@ -198,6 +207,7 @@ func BenchmarkAblationFit(b *testing.B) {
 	for _, pol := range policies {
 		pol := pol
 		b.Run(pol.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var rep *core.AllocationReport
 			for i := 0; i < b.N; i++ {
 				rep, err = core.AllocateWithOptions(s, core.AllocOptions{AllowSplit: true, FitPolicy: pol.p})
@@ -220,6 +230,7 @@ func BenchmarkAblationFit(b *testing.B) {
 // BenchmarkAblationTwoSided measures the paper's data-top/results-bottom
 // placement discipline against placing everything from the top.
 func BenchmarkAblationTwoSided(b *testing.B) {
+	b.ReportAllocs()
 	e := workloads.MPEG()
 	s, err := (core.CompleteDataScheduler{}).Schedule(e.Arch, e.Part)
 	if err != nil {
@@ -232,6 +243,7 @@ func BenchmarkAblationTwoSided(b *testing.B) {
 			name = "one-sided"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var rep *core.AllocationReport
 			for i := 0; i < b.N; i++ {
 				rep, err = core.AllocateWithOptions(s, core.AllocOptions{AllowSplit: true, OneSided: oneSided})
@@ -254,6 +266,7 @@ func BenchmarkAblationTwoSided(b *testing.B) {
 // metric is how many experiments the sweep actually improves (the paper's
 // simpler policy is validated if this stays at 0).
 func BenchmarkAblationCommonRF(b *testing.B) {
+	b.ReportAllocs()
 	exps := workloads.All()
 	var wins int
 	for i := 0; i < b.N; i++ {
@@ -287,9 +300,11 @@ func BenchmarkAblationCommonRF(b *testing.B) {
 // retention selection, allocation, timing) on growing synthetic
 // workloads.
 func BenchmarkScaling(b *testing.B) {
+	b.ReportAllocs()
 	for _, clusters := range []int{4, 8, 16, 32} {
 		clusters := clusters
 		b.Run(benchName("clusters", clusters), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := workloads.DefaultSynthetic()
 			cfg.Clusters = clusters
 			part, err := workloads.Synthetic(cfg, 42)
@@ -316,6 +331,7 @@ func benchName(prefix string, n int) string {
 // every Table 1 row pays. The synthetic variants grow the cluster count
 // so the analysis and scheduling cost dominates the harness.
 func BenchmarkCompareAll(b *testing.B) {
+	b.ReportAllocs()
 	cases := []struct {
 		name string
 		arch Arch
@@ -343,6 +359,7 @@ func BenchmarkCompareAll(b *testing.B) {
 	for _, c := range cases {
 		c := c
 		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := CompareAll(c.arch, c.part); err != nil {
 					b.Fatal(err)
@@ -356,9 +373,11 @@ func BenchmarkCompareAll(b *testing.B) {
 // Buffer buys: the same CDS schedule simulated with and without
 // transfer/compute overlap, per experiment.
 func BenchmarkAblationOverlap(b *testing.B) {
+	b.ReportAllocs()
 	for _, name := range []string{"E1*", "MPEG", "ATR-SLD"} {
 		name := name
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			e, err := workloads.ByName(name)
 			if err != nil {
 				b.Fatal(err)
@@ -383,6 +402,7 @@ func BenchmarkAblationOverlap(b *testing.B) {
 // the equivalence property hot: Basic and CDS must produce identical
 // final outputs while moving different traffic.
 func BenchmarkFunctionalMachine(b *testing.B) {
+	b.ReportAllocs()
 	e := workloads.MPEG()
 	sBasic, err := (core.Basic{}).Schedule(e.Arch, e.Part)
 	if err != nil {
@@ -418,11 +438,13 @@ func BenchmarkFunctionalMachine(b *testing.B) {
 // presets, reporting how a bigger machine (M2: 4x FB, 2x CM, 2x bus)
 // shifts the CDS result.
 func BenchmarkGenerations(b *testing.B) {
+	b.ReportAllocs()
 	part := workloads.MPEG().Part
 	for _, name := range []string{"M1/4", "M1", "M2"} {
 		name := name
 		pa := arch.Presets()[name]
 		b.Run(strings.ReplaceAll(name, "/", "_"), func(b *testing.B) {
+			b.ReportAllocs()
 			var cycles, rf int
 			for i := 0; i < b.N; i++ {
 				s, err := (core.CompleteDataScheduler{}).Schedule(pa, part)
@@ -438,5 +460,20 @@ func BenchmarkGenerations(b *testing.B) {
 			b.ReportMetric(float64(cycles), "cycles")
 			b.ReportMetric(float64(rf), "rf")
 		})
+	}
+}
+
+// BenchmarkCompareAllUncached is BenchmarkCompareAll with result caching
+// off: the cost of actually scheduling, not of hitting the cache. This
+// is the number that tracks the scheduling core itself.
+func BenchmarkCompareAllUncached(b *testing.B) {
+	b.ReportAllocs()
+	prev := SetResultCaching(false)
+	defer SetResultCaching(prev)
+	e := workloads.MPEG()
+	for i := 0; i < b.N; i++ {
+		if _, err := CompareAll(e.Arch, e.Part); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

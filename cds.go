@@ -23,12 +23,14 @@ package cds
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"cds/internal/app"
 	"cds/internal/arch"
 	"cds/internal/conc"
 	"cds/internal/core"
+	"cds/internal/rescache"
 	"cds/internal/scherr"
 	"cds/internal/sim"
 	"cds/internal/verify"
@@ -222,8 +224,33 @@ func CompareAll(pa Arch, part *Part) (*Comparison, error) {
 // callers still see failures, while degradation-aware callers read the
 // partial Comparison instead. A Basic failure is the paper's
 // memory-floor outcome and is only reported in BasicErr.
+//
+// Comparisons are memoized under the spec's content fingerprint (see
+// ComparisonKey): re-posing a solved (arch, partition) point returns
+// the cached *Comparison — shared and immutable, like the analysis Info
+// — in O(hash). Only clean outcomes are cached; errors (including
+// cancellation) always recompute. SetResultCaching(false) restores the
+// uncached pipeline.
 func CompareAllCtx(ctx context.Context, pa Arch, part *Part) (*Comparison, error) {
-	return compareAll(ctx, pa, part, nil)
+	if !cachingEnabled.Load() || !rescache.Enabled() {
+		return compareAll(ctx, pa, part, nil)
+	}
+	// A dead context must report cancellation, not a cache hit: callers
+	// distinguish "answered" from "gave up" by the error.
+	if err := scherr.FromContext(ctx); err != nil {
+		return nil, err
+	}
+	v := comparisonCache.Do(ComparisonKey(pa, part), func() (any, bool) {
+		cmp, err := compareAll(ctx, pa, part, nil)
+		return compareOutcome{cmp, err}, err == nil
+	})
+	o := v.(compareOutcome)
+	if o.err != nil && errors.Is(o.err, scherr.ErrCanceled) && scherr.FromContext(ctx) == nil {
+		// The singleflight leader's context died, not ours: its
+		// cancellation must not poison this caller. Compute directly.
+		return compareAll(ctx, pa, part, nil)
+	}
+	return o.cmp, o.err
 }
 
 // compareAll is the seam CompareAllCtx runs through. override, when

@@ -1,0 +1,201 @@
+// Command benchjson runs the repo's benchmarks with -benchmem and
+// writes the results as machine-readable JSON — the artifact the
+// bench-compare CI job uploads and the BENCH_*.json files in the repo
+// root are generated from. Pointing -baseline at a previous file embeds
+// its numbers next to the fresh ones with relative deltas, so a
+// regression reads directly out of the JSON.
+//
+// Usage:
+//
+//	benchjson [-bench regex] [-pkg ./...] [-benchtime 1s] [-count 1]
+//	          [-baseline OLD.json] [-out BENCH.json]
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Baseline numbers and relative deltas appear when -baseline names a
+	// previous report containing this benchmark. Delta < 0 is faster /
+	// leaner than the baseline.
+	BaselineNsPerOp     float64 `json:"baseline_ns_per_op,omitempty"`
+	BaselineBytesPerOp  int64   `json:"baseline_bytes_per_op,omitempty"`
+	BaselineAllocsPerOp int64   `json:"baseline_allocs_per_op,omitempty"`
+	NsDelta             string  `json:"ns_delta,omitempty"`
+	AllocsDelta         string  `json:"allocs_delta,omitempty"`
+}
+
+// Report is the whole JSON document.
+type Report struct {
+	Go         string   `json:"go"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	BenchRegex string   `json:"bench_regex"`
+	Packages   string   `json:"packages"`
+	Results    []Result `json:"results"`
+}
+
+func main() {
+	bench := flag.String("bench", ".", "benchmark regex (go test -bench)")
+	pkg := flag.String("pkg", "./...", "package pattern to benchmark")
+	benchtime := flag.String("benchtime", "", "go test -benchtime value (empty = default)")
+	count := flag.Int("count", 1, "go test -count value")
+	baseline := flag.String("baseline", "", "previous benchjson report to embed as baseline")
+	out := flag.String("out", "", "output file (empty = stdout)")
+	flag.Parse()
+
+	if err := run(*bench, *pkg, *benchtime, *count, *baseline, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, pkg, benchtime string, count int, baseline, out string) error {
+	args := []string{"test", "-run", "^$", "-bench", bench, "-benchmem", "-count", strconv.Itoa(count)}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	args = append(args, pkg)
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	fmt.Fprintf(os.Stderr, "benchjson: go %s\n", strings.Join(args, " "))
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go test: %w", err)
+	}
+
+	results, err := parse(&buf)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmarks matched %q in %s", bench, pkg)
+	}
+	if baseline != "" {
+		if err := embedBaseline(results, baseline); err != nil {
+			return err
+		}
+	}
+
+	report := Report{
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		BenchRegex: bench,
+		Packages:   pkg,
+		Results:    results,
+	}
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(raw)
+		return err
+	}
+	return os.WriteFile(out, raw, 0o644)
+}
+
+// parse extracts Benchmark lines from `go test -bench -benchmem` output:
+//
+//	BenchmarkName-8  100  123 ns/op  456 B/op  7 allocs/op
+//
+// Repeated names (from -count > 1) average their ns/op and keep the
+// maximum B/op and allocs/op (the conservative regression signal).
+func parse(buf *bytes.Buffer) ([]Result, error) {
+	var results []Result
+	index := map[string]int{}
+	seen := map[string]int{}
+	sc := bufio.NewScanner(buf)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 3 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.Atoi(f[1])
+		if err != nil {
+			continue
+		}
+		r := Result{Name: f[0], Iterations: iters}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
+			}
+			switch f[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = int64(v)
+			case "allocs/op":
+				r.AllocsPerOp = int64(v)
+			}
+		}
+		if at, ok := index[r.Name]; ok {
+			n := float64(seen[r.Name])
+			prev := &results[at]
+			prev.NsPerOp = (prev.NsPerOp*n + r.NsPerOp) / (n + 1)
+			prev.BytesPerOp = max(prev.BytesPerOp, r.BytesPerOp)
+			prev.AllocsPerOp = max(prev.AllocsPerOp, r.AllocsPerOp)
+			seen[r.Name]++
+			continue
+		}
+		index[r.Name] = len(results)
+		seen[r.Name] = 1
+		results = append(results, r)
+	}
+	return results, sc.Err()
+}
+
+func embedBaseline(results []Result, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	byName := map[string]Result{}
+	for _, r := range base.Results {
+		byName[r.Name] = r
+	}
+	for i := range results {
+		b, ok := byName[results[i].Name]
+		if !ok {
+			continue
+		}
+		results[i].BaselineNsPerOp = b.NsPerOp
+		results[i].BaselineBytesPerOp = b.BytesPerOp
+		results[i].BaselineAllocsPerOp = b.AllocsPerOp
+		results[i].NsDelta = delta(results[i].NsPerOp, b.NsPerOp)
+		results[i].AllocsDelta = delta(float64(results[i].AllocsPerOp), float64(b.AllocsPerOp))
+	}
+	return nil
+}
+
+// delta formats the relative change from base to cur, e.g. "-41.3%".
+func delta(cur, base float64) string {
+	if base == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(cur-base)/base)
+}

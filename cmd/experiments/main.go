@@ -22,6 +22,7 @@ import (
 	"cds"
 	"cds/internal/arch"
 	"cds/internal/csched"
+	"cds/internal/profiling"
 	"cds/internal/report"
 	"cds/internal/sim"
 	"cds/internal/spec"
@@ -46,7 +47,15 @@ func main() {
 	flag.StringVar(&opts.archOver, "arch", "", "run every experiment on this machine preset (e.g. M2) instead of its Table 1 machine")
 	flag.IntVar(&opts.workers, "workers", 0, "worker pool size for running experiments (0 = one per CPU)")
 	timeout := flag.Duration("timeout", 0, "abort the evaluation after this duration (0 = no limit)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -55,7 +64,11 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if err := run(ctx, opts); err != nil {
+	err = run(ctx, opts)
+	if perr := stopProf(); perr != nil && err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}

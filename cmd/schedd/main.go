@@ -14,7 +14,7 @@
 //
 // Usage:
 //
-//	schedd [-addr :8080] [-workers 2] [-queue 8] [-request-timeout 30s]
+//	schedd [-addr :8080] [-debug-addr localhost:6060] [-workers 2] [-queue 8] [-request-timeout 30s]
 //	       [-drain-timeout 10s] [-journal-dir DIR]
 //	       [-retry-attempts 4] [-retry-base 10ms] [-retry-seed 1]
 //	       [-breaker-threshold 5] [-breaker-cooldown 5s]
@@ -33,11 +33,13 @@ package main
 
 import (
 	"context"
+	_ "expvar" // /debug/vars on the debug listener
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // /debug/pprof on the debug listener
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,6 +52,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	debugAddr := flag.String("debug-addr", "", "optional debug listener for /debug/pprof and /debug/vars (empty disables; bind to localhost)")
 	workers := flag.Int("workers", 2, "concurrent execution slots")
 	queue := flag.Int("queue", 8, "admission queue bound beyond the slots (load shed past it)")
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline")
@@ -89,6 +92,18 @@ func main() {
 			FailEvery:    *faultFailEvery,
 		}, *faultFailRuns)
 		cfg.MachineSeed = *faultSeed
+	}
+
+	if *debugAddr != "" {
+		// Profiling and counters (including the "rescache" hit/miss
+		// expvar) live on their own listener so they never share a port —
+		// or an ACL — with the service traffic.
+		go func() {
+			log.Printf("schedd: debug listener on %s (/debug/pprof, /debug/vars)", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("schedd: debug listener: %v", err)
+			}
+		}()
 	}
 
 	if err := run(*addr, cfg, *drainTimeout); err != nil {

@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"cds/internal/arch"
+	"cds/internal/profiling"
 	"cds/internal/sweep"
 	"cds/internal/workloads"
 )
@@ -46,7 +47,15 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size for -grid (0 = one per CPU)")
 	timeout := flag.Duration("timeout", 0, "abort the sweep after this duration (0 = no limit)")
 	journal := flag.String("journal", "", "crash-safe checkpoint file for -grid (resume by re-running)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -56,7 +65,6 @@ func main() {
 		defer cancel()
 	}
 
-	var err error
 	switch {
 	case *grid:
 		err = runGrid(ctx, *archNames, *workers, *csvOut, *journal)
@@ -64,6 +72,9 @@ func main() {
 		err = runSharing(ctx)
 	default:
 		err = runFB(ctx, *expName, *from, *to, *step, *csvOut)
+	}
+	if perr := stopProf(); perr != nil && err == nil {
+		err = perr
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)

@@ -130,9 +130,14 @@ func New(size int, allowSplit bool) *FB {
 	if size <= 0 {
 		panic(fmt.Sprintf("alloc: non-positive FB size %d", size))
 	}
+	// The free list rarely exceeds a handful of blocks (two-sided
+	// placement keeps fragmentation low); preallocating its capacity
+	// keeps steady-state carve/insert churn allocation-free.
+	free := make([]Extent, 1, 8)
+	free[0] = Extent{Addr: 0, Len: size}
 	return &FB{
 		size:       size,
-		free:       []Extent{{Addr: 0, Len: size}},
+		free:       free,
 		live:       make(map[string]Placement),
 		allowSplit: allowSplit,
 	}
@@ -195,10 +200,12 @@ func (fb *FB) Live() []string {
 	return names
 }
 
-// Reset empties the FB and clears statistics.
+// Reset empties the FB and clears statistics. The free list's backing
+// array and the live map are reused, so per-sweep-point FB churn (Reset
+// between points) does not allocate.
 func (fb *FB) Reset() {
-	fb.free = []Extent{{Addr: 0, Len: fb.size}}
-	fb.live = make(map[string]Placement)
+	fb.free = append(fb.free[:0], Extent{Addr: 0, Len: fb.size})
+	clear(fb.live)
 	fb.used, fb.peakUsed, fb.splitCount, fb.allocCount = 0, 0, 0, 0
 }
 
@@ -260,14 +267,11 @@ func (fb *FB) Release(name string) error {
 }
 
 // regionFree reports whether [addr, addr+size) lies entirely inside one
-// free block.
+// free block. The free list is sorted by address, so the only block that
+// can contain addr is the last one starting at or before it.
 func (fb *FB) regionFree(addr, size int) bool {
-	for _, e := range fb.free {
-		if e.Addr <= addr && addr+size <= e.End() {
-			return true
-		}
-	}
-	return false
+	i := sort.Search(len(fb.free), func(i int) bool { return fb.free[i].Addr > addr }) - 1
+	return i >= 0 && addr+size <= fb.free[i].End()
 }
 
 // firstFit finds a free block that can hold size whole under the active
@@ -275,36 +279,39 @@ func (fb *FB) regionFree(addr, size int) bool {
 // to occupy.
 func (fb *FB) firstFit(size int, dir Dir) (Extent, bool) {
 	best := -1
-	consider := func(i int) bool {
-		e := fb.free[i]
-		if e.Len < size {
-			return false
-		}
-		switch fb.policy {
-		case FirstFit:
-			best = i
-			return true // stop at the first fit
-		case BestFit:
-			if best < 0 || e.Len < fb.free[best].Len {
-				best = i
+	if fb.policy == FirstFit {
+		// Stop at the first fitting block in scan direction.
+		if dir == FromBottom {
+			for i := 0; i < len(fb.free); i++ {
+				if fb.free[i].Len >= size {
+					best = i
+					break
+				}
 			}
-		case WorstFit:
-			if best < 0 || e.Len > fb.free[best].Len {
-				best = i
-			}
-		}
-		return false
-	}
-	if dir == FromBottom {
-		for i := 0; i < len(fb.free); i++ {
-			if consider(i) {
-				break
+		} else {
+			for i := len(fb.free) - 1; i >= 0; i-- {
+				if fb.free[i].Len >= size {
+					best = i
+					break
+				}
 			}
 		}
 	} else {
-		for i := len(fb.free) - 1; i >= 0; i-- {
-			if consider(i) {
-				break
+		// Best/worst fit scan every block; the scan direction breaks
+		// ties (strict improvement keeps the first seen).
+		for j := 0; j < len(fb.free); j++ {
+			i := j
+			if dir == FromTop {
+				i = len(fb.free) - 1 - j
+			}
+			l := fb.free[i].Len
+			if l < size {
+				continue
+			}
+			if best < 0 ||
+				(fb.policy == BestFit && l < fb.free[best].Len) ||
+				(fb.policy == WorstFit && l > fb.free[best].Len) {
+				best = i
 			}
 		}
 	}
@@ -358,22 +365,32 @@ func (fb *FB) splitFit(size int, dir Dir) []Extent {
 	return extents
 }
 
-// carve removes the (guaranteed free) extent from the free list.
+// carve removes the (guaranteed free) extent from the free list. The
+// containing block is found by binary search and the list is spliced in
+// place: no allocation unless a middle carve splits one block into two
+// past the list's capacity.
 func (fb *FB) carve(x Extent) {
-	for i, e := range fb.free {
-		if e.Addr <= x.Addr && x.End() <= e.End() {
-			var repl []Extent
-			if x.Addr > e.Addr {
-				repl = append(repl, Extent{Addr: e.Addr, Len: x.Addr - e.Addr})
-			}
-			if x.End() < e.End() {
-				repl = append(repl, Extent{Addr: x.End(), Len: e.End() - x.End()})
-			}
-			fb.free = append(fb.free[:i], append(repl, fb.free[i+1:]...)...)
-			return
-		}
+	i := sort.Search(len(fb.free), func(i int) bool { return fb.free[i].Addr > x.Addr }) - 1
+	if i < 0 || x.End() > fb.free[i].End() {
+		panic(fmt.Sprintf("alloc: carve of non-free extent %+v (free list %+v)", x, fb.free))
 	}
-	panic(fmt.Sprintf("alloc: carve of non-free extent %+v (free list %+v)", x, fb.free))
+	e := fb.free[i]
+	headLen := x.Addr - e.Addr
+	tailLen := e.End() - x.End()
+	switch {
+	case headLen > 0 && tailLen > 0:
+		// Middle carve: the block splits in two.
+		fb.free[i] = Extent{Addr: e.Addr, Len: headLen}
+		fb.free = append(fb.free, Extent{})
+		copy(fb.free[i+2:], fb.free[i+1:])
+		fb.free[i+1] = Extent{Addr: x.End(), Len: tailLen}
+	case headLen > 0:
+		fb.free[i] = Extent{Addr: e.Addr, Len: headLen}
+	case tailLen > 0:
+		fb.free[i] = Extent{Addr: x.End(), Len: tailLen}
+	default:
+		fb.free = append(fb.free[:i], fb.free[i+1:]...)
+	}
 }
 
 // insertFree adds an extent to the free list, keeping it sorted and

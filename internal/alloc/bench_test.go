@@ -13,6 +13,7 @@ func BenchmarkAllocReleaseChurn(b *testing.B) {
 	for i := range names {
 		names[i] = fmt.Sprintf("o%d", i)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for j, n := range names {
@@ -51,6 +52,7 @@ func BenchmarkFirstFitFragmented(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := fb.Alloc("probe", 128, FromTop, -1); err != nil {

@@ -75,6 +75,14 @@ type App struct {
 	dataIdx   map[string]int
 	producer  map[string]int   // datum -> producing kernel index
 	consumers map[string][]int // datum -> consuming kernel indices, ascending
+
+	// Interned-ID tables, built by finalize (see intern.go). A datum's
+	// dense ID is its index into Data; hot paths index these slices
+	// instead of hashing names.
+	kernelIn   [][]int32 // per kernel: input datum IDs in declared order
+	kernelOut  [][]int32 // per kernel: output datum IDs in declared order
+	producerID []int32   // per datum: producing kernel index, -1 if external
+	lastUseID  []int32   // per datum: last consuming kernel index, -1 if none
 }
 
 // NumKernels returns the number of kernels in the sequence.
@@ -246,5 +254,6 @@ func (a *App) finalize() error {
 			return fmt.Errorf("app %q: datum %q is neither produced nor consumed", a.Name, d.Name)
 		}
 	}
+	a.internIDs()
 	return nil
 }

@@ -1,0 +1,108 @@
+package app
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+	"sort"
+)
+
+// Content fingerprinting. A Partition's fingerprint is a deterministic
+// hash over its canonical spec — everything the schedulers read and
+// nothing else — so structurally identical partitions hash equal no
+// matter how or where they were built. Caches key on this instead of
+// pointer identity.
+//
+// Canonicalization rules:
+//   - Data are encoded sorted by name: declaration order of the data
+//     table carries no meaning, so permuted-but-equal specs hash equal.
+//   - Kernel sequence order and each kernel's input/output declaration
+//     order ARE semantic (they fix execution order and load order) and
+//     are encoded as declared.
+//   - Every string is length-prefixed, so no two distinct specs share
+//     an encoding by concatenation accident.
+
+// fpWriter wraps a hash with the canonical primitive encoders.
+type fpWriter struct {
+	h   hash.Hash
+	buf [binary.MaxVarintLen64]byte
+}
+
+func (w *fpWriter) num(v int) {
+	n := binary.PutUvarint(w.buf[:], uint64(int64(v)))
+	w.h.Write(w.buf[:n])
+}
+
+func (w *fpWriter) str(s string) {
+	w.num(len(s))
+	w.h.Write([]byte(s))
+}
+
+func (w *fpWriter) flag(b bool) {
+	if b {
+		w.h.Write([]byte{1})
+	} else {
+		w.h.Write([]byte{0})
+	}
+}
+
+// writeApp encodes the application's canonical form.
+func (w *fpWriter) writeApp(a *App) {
+	w.str("cds/app/v1")
+	w.str(a.Name)
+	w.num(a.Iterations)
+
+	order := make([]int, len(a.Data))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return a.Data[order[i]].Name < a.Data[order[j]].Name })
+	w.num(len(a.Data))
+	for _, i := range order {
+		d := a.Data[i]
+		w.str(d.Name)
+		w.num(d.Size)
+		w.flag(d.Final)
+		w.flag(d.Streamed)
+	}
+
+	w.num(len(a.Kernels))
+	for _, k := range a.Kernels {
+		w.str(k.Name)
+		w.num(k.ContextWords)
+		w.num(k.ComputeCycles)
+		w.str(k.CtxGroup())
+		w.num(len(k.Inputs))
+		for _, in := range k.Inputs {
+			w.str(in)
+		}
+		w.num(len(k.Outputs))
+		for _, out := range k.Outputs {
+			w.str(out)
+		}
+	}
+}
+
+// Fingerprint returns the partition's content fingerprint: a SHA-256
+// over the canonical encoding of the app spec plus the cluster
+// decomposition. It is memoized; Partition contents must not change
+// after the first call (they never do — partitions are sealed by
+// construction).
+func (p *Partition) Fingerprint() [32]byte {
+	p.fpOnce.Do(func() {
+		w := &fpWriter{h: sha256.New()}
+		w.str("cds/partition/v1")
+		w.writeApp(p.App)
+		w.num(len(p.Clusters))
+		for _, c := range p.Clusters {
+			w.num(c.Index)
+			w.num(c.Set)
+			w.num(len(c.Kernels))
+			for _, ki := range c.Kernels {
+				w.num(ki)
+			}
+		}
+		w.h.Sum(p.fp[:0])
+	})
+	return p.fp
+}

@@ -1,0 +1,150 @@
+package app
+
+import "testing"
+
+// fpApp builds a small two-kernel app with the data table in the given
+// order. The dataflow is identical regardless of declaration order.
+func fpApp(t *testing.T, name string, dataOrder []string) *Partition {
+	t.Helper()
+	sizes := map[string]int{"in": 512, "mid": 256, "out": 128}
+	b := NewBuilder(name, 8)
+	for _, d := range dataOrder {
+		b.Datum(d, sizes[d])
+	}
+	b.Kernel("k0", 64, 1000).In("in").Out("mid")
+	b.Kernel("k1", 32, 800).In("mid").Out("out")
+	a, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPartition(a, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFingerprintPermutationInvariant(t *testing.T) {
+	p := fpApp(t, "fp", []string{"in", "mid", "out"})
+	q := fpApp(t, "fp", []string{"out", "in", "mid"})
+	if p == q {
+		t.Fatal("want distinct partitions")
+	}
+	if p.Fingerprint() != q.Fingerprint() {
+		t.Error("permuting the data table changed the fingerprint; declaration order must be canonicalized away")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fpApp(t, "fp", []string{"in", "mid", "out"})
+
+	mutations := map[string]func() *Partition{
+		"app name": func() *Partition { return fpApp(t, "fp2", []string{"in", "mid", "out"}) },
+		"data size": func() *Partition {
+			b := NewBuilder("fp", 8)
+			b.Datum("in", 1024) // was 512
+			b.Datum("mid", 256)
+			b.Datum("out", 128)
+			b.Kernel("k0", 64, 1000).In("in").Out("mid")
+			b.Kernel("k1", 32, 800).In("mid").Out("out")
+			a, err := b.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return MustPartition(a, 2, 1, 1)
+		},
+		"kernel context words": func() *Partition {
+			b := NewBuilder("fp", 8)
+			b.Datum("in", 512).Datum("mid", 256).Datum("out", 128)
+			b.Kernel("k0", 96, 1000).In("in").Out("mid") // was 64 words
+			b.Kernel("k1", 32, 800).In("mid").Out("out")
+			a, err := b.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return MustPartition(a, 2, 1, 1)
+		},
+		"iterations": func() *Partition {
+			b := NewBuilder("fp", 16)
+			b.Datum("in", 512).Datum("mid", 256).Datum("out", 128)
+			b.Kernel("k0", 64, 1000).In("in").Out("mid")
+			b.Kernel("k1", 32, 800).In("mid").Out("out")
+			a, err := b.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return MustPartition(a, 2, 1, 1)
+		},
+		"cluster split": func() *Partition {
+			same := fpApp(t, "fp", []string{"in", "mid", "out"})
+			return MustPartition(same.App, 2, 2) // one cluster instead of two
+		},
+		"streamed flag": func() *Partition {
+			b := NewBuilder("fp", 8)
+			b.app.Data = append(b.app.Data,
+				Datum{Name: "in", Size: 512, Streamed: true},
+				Datum{Name: "mid", Size: 256},
+				Datum{Name: "out", Size: 128})
+			b.Kernel("k0", 64, 1000).In("in").Out("mid")
+			b.Kernel("k1", 32, 800).In("mid").Out("out")
+			a, err := b.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return MustPartition(a, 2, 1, 1)
+		},
+	}
+	for what, build := range mutations {
+		if build().Fingerprint() == base.Fingerprint() {
+			t.Errorf("changing %s did not change the fingerprint", what)
+		}
+	}
+}
+
+func TestFingerprintMemoized(t *testing.T) {
+	p := fpApp(t, "fp", []string{"in", "mid", "out"})
+	if a, b := p.Fingerprint(), p.Fingerprint(); a != b {
+		t.Fatal("fingerprint not stable across calls")
+	}
+}
+
+func TestInternedIDs(t *testing.T) {
+	p := fpApp(t, "fp", []string{"out", "in", "mid"})
+	a := p.App
+	if a.NumData() != 3 {
+		t.Fatalf("NumData = %d, want 3", a.NumData())
+	}
+	for _, name := range []string{"in", "mid", "out"} {
+		id := a.DatumID(name)
+		if id < 0 || a.DatumName(int32(id)) != name {
+			t.Fatalf("DatumID/DatumName roundtrip failed for %q (id=%d)", name, id)
+		}
+		if got, want := a.SizeByID(int32(id)), a.SizeOf(name); got != want {
+			t.Errorf("SizeByID(%q) = %d, want %d", name, got, want)
+		}
+	}
+	if a.DatumID("nope") != -1 {
+		t.Error("unknown datum should have ID -1")
+	}
+	mid := int32(a.DatumID("mid"))
+	if got := a.ProducerID(mid); got != 0 {
+		t.Errorf("ProducerID(mid) = %d, want 0", got)
+	}
+	if got := a.ProducerID(int32(a.DatumID("in"))); got != -1 {
+		t.Errorf("ProducerID(in) = %d, want -1 (external)", got)
+	}
+	if got := a.LastUseID(mid); got != 1 {
+		t.Errorf("LastUseID(mid) = %d, want 1", got)
+	}
+	if got := a.LastUseID(int32(a.DatumID("out"))); got != -1 {
+		t.Errorf("LastUseID(out) = %d, want -1", got)
+	}
+	in0 := a.KernelInputIDs(0)
+	if len(in0) != 1 || a.DatumName(in0[0]) != "in" {
+		t.Errorf("KernelInputIDs(0) = %v, want [in]", in0)
+	}
+	out1 := a.KernelOutputIDs(1)
+	if len(out1) != 1 || a.DatumName(out1[0]) != "out" {
+		t.Errorf("KernelOutputIDs(1) = %v, want [out]", out1)
+	}
+}

@@ -1,6 +1,9 @@
 package app
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Cluster is a set of consecutive kernels assigned to the same Frame
 // Buffer set and executed back to back. Clusters are the unit the data
@@ -25,6 +28,11 @@ func (c Cluster) Contains(ki int) bool {
 type Partition struct {
 	App      *App
 	Clusters []Cluster
+
+	// Memoized content fingerprint (see Fingerprint). The zero value is
+	// ready to use, so hand-assembled literals stay valid.
+	fpOnce sync.Once
+	fp     [32]byte
 }
 
 // NewPartition splits the app's kernel sequence into clusters of the given

@@ -163,13 +163,16 @@ func remoteFor(retained []Retained, c app.Cluster) map[string]bool {
 // feasibleRF reports whether every cluster fits its FB set when executing
 // rf iterations per visit with the given retained objects.
 func feasibleRF(fbSetBytes int, info *extract.Info, rf int, inPlace bool, retained []Retained) (bool, *InfeasibleError) {
+	sc := getScratch(info.P.App.NumData())
+	defer putScratch(sc)
+	return feasibleRFScratch(fbSetBytes, info, rf, inPlace, retained, sc)
+}
+
+// feasibleRFScratch is feasibleRF against a caller-leased scratch, so
+// tight trial loops (selectRetention) skip the pool round-trip.
+func feasibleRFScratch(fbSetBytes int, info *extract.Info, rf int, inPlace bool, retained []Retained, sc *fpScratch) (bool, *InfeasibleError) {
 	for _, ci := range info.Clusters {
-		opts := FootprintOpts{
-			InPlaceRelease: inPlace,
-			Pinned:         pinnedFor(retained, ci.Cluster),
-			Remote:         remoteFor(retained, ci.Cluster),
-		}
-		need := rf * ClusterFootprint(info, ci.Cluster.Index, opts)
+		need := rf * clusterFootprintFast(info, ci.Cluster.Index, inPlace, retained, sc)
 		if need > fbSetBytes {
 			return false, &InfeasibleError{
 				Cluster: ci.Cluster.Index,

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"cds/internal/extract"
+	"cds/internal/workloads"
+)
+
+// TestFootprintFastMatchesSlow pins the compiled-walk footprint engine
+// to the readable map-based model over every workload, both release
+// modes, and every retention set the CDS would actually try (each
+// prefix of the TF ranking).
+func TestFootprintFastMatchesSlow(t *testing.T) {
+	for _, e := range workloads.All() {
+		for _, crossSet := range []bool{false, true} {
+			info := extract.AnalyzeCached(e.Part, extract.Opts{CrossSetReuse: crossSet})
+			cands := collectCandidates(info)
+			RankTF(cands)
+			retainedSets := [][]Retained{nil}
+			prefix := []Retained{}
+			for _, c := range cands {
+				prefix = append(prefix, c.Retained)
+				retainedSets = append(retainedSets, append([]Retained(nil), prefix...))
+			}
+			sc := getScratch(e.Part.App.NumData())
+			for _, retained := range retainedSets {
+				for _, inPlace := range []bool{false, true} {
+					for c := range info.Clusters {
+						slow := ClusterFootprint(info, c, FootprintOpts{
+							InPlaceRelease: inPlace,
+							Pinned:         pinnedFor(retained, info.Clusters[c].Cluster),
+							Remote:         remoteFor(retained, info.Clusters[c].Cluster),
+						})
+						fast := clusterFootprintFast(info, c, inPlace, retained, sc)
+						if fast != slow {
+							t.Fatalf("%s crossSet=%v cluster %d inPlace=%v retained=%d: fast=%d slow=%d",
+								e.Name, crossSet, c, inPlace, len(retained), fast, slow)
+						}
+					}
+				}
+			}
+			putScratch(sc)
+		}
+	}
+}
+
+// TestFootprintFastFallback: an Info without compiled walks (hand-made)
+// must still evaluate through the map model.
+func TestFootprintFastFallback(t *testing.T) {
+	e := workloads.MPEG()
+	info := extract.Analyze(e.Part)
+	bare := &extract.Info{P: info.P, Clusters: info.Clusters, TDS: info.TDS}
+	sc := getScratch(e.Part.App.NumData())
+	defer putScratch(sc)
+	for c := range bare.Clusters {
+		want := ClusterFootprint(bare, c, FootprintOpts{InPlaceRelease: true})
+		if got := clusterFootprintFast(bare, c, true, nil, sc); got != want {
+			t.Fatalf("cluster %d: fallback=%d, want %d", c, got, want)
+		}
+	}
+}

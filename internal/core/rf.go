@@ -24,13 +24,10 @@ import "cds/internal/extract"
 func CommonRF(fbSetBytes int, info *extract.Info, inPlace bool, retained []Retained) int {
 	iters := info.P.App.Iterations
 	rf := iters
+	sc := getScratch(info.P.App.NumData())
+	defer putScratch(sc)
 	for _, ci := range info.Clusters {
-		opts := FootprintOpts{
-			InPlaceRelease: inPlace,
-			Pinned:         pinnedFor(retained, ci.Cluster),
-			Remote:         remoteFor(retained, ci.Cluster),
-		}
-		fp := ClusterFootprint(info, ci.Cluster.Index, opts)
+		fp := clusterFootprintFast(info, ci.Cluster.Index, inPlace, retained, sc)
 		if fp == 0 {
 			continue
 		}

@@ -130,12 +130,19 @@ func selectRetention(fbSetBytes int, info *extract.Info, rf int, rank RankFunc) 
 		return nil
 	}
 	rank(cands)
-	var kept []Retained
+	// Grow the kept set in place: append the candidate, test, and pop it
+	// again on failure. One backing array serves every trial.
+	sc := getScratch(info.P.App.NumData())
+	defer putScratch(sc)
+	kept := make([]Retained, 0, len(cands))
 	for _, cand := range cands {
-		trial := append(append([]Retained(nil), kept...), cand.Retained)
-		if ok, _ := feasibleRF(fbSetBytes, info, rf, true, trial); ok {
-			kept = trial
+		kept = append(kept, cand.Retained)
+		if ok, _ := feasibleRFScratch(fbSetBytes, info, rf, true, kept, sc); !ok {
+			kept = kept[:len(kept)-1]
 		}
+	}
+	if len(kept) == 0 {
+		return nil
 	}
 	return kept
 }

@@ -7,23 +7,26 @@ package extract
 // writes to it — which is what makes sharing it across goroutines safe;
 // the race-detector tests in cds exercise exactly that.
 //
-// The key uses the partition's pointer identity: partitions are built
-// once (app.NewPartition, spec loader, workloads) and never mutated
-// afterwards, so the pointer is a faithful identity. A hand-modified
-// partition must be re-created (or analyzed with AnalyzeWithOpts) to get
-// fresh analysis.
+// The key is the partition's content fingerprint (app.Partition.
+// Fingerprint): a deterministic hash over the canonical spec. Two
+// structurally identical partitions — same app, same cluster split,
+// regardless of where or how they were built — share one cache entry.
+// Analysis is a pure function of the spec, so content addressing is
+// sound where the previous pointer-identity key merely happened to work.
 
 import (
 	"container/list"
+	"expvar"
 	"sync"
+	"sync/atomic"
 
 	"cds/internal/app"
 )
 
-// cacheKey identifies one analysis: the partition by pointer identity
+// cacheKey identifies one analysis: the partition's content fingerprint
 // plus the extractor options (Opts is a comparable struct).
 type cacheKey struct {
-	p    *app.Partition
+	fp   [32]byte
 	opts Opts
 }
 
@@ -43,6 +46,10 @@ type analysisCache struct {
 	max     int
 	entries map[cacheKey]*cacheEntry
 	order   *list.List // of cacheKey, oldest first
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
 // defaultCacheSize is generous for any realistic design-space run: a
@@ -55,18 +62,36 @@ var cache = &analysisCache{
 	order:   list.New(),
 }
 
+func init() {
+	// One process-wide snapshot under /debug/vars; expvar.Publish panics
+	// on duplicate names, so this must happen exactly once (package init).
+	expvar.Publish("extract.analysis_cache", expvar.Func(func() any {
+		hits, misses, evictions := CacheStats()
+		return map[string]int64{
+			"hits":      hits,
+			"misses":    misses,
+			"evictions": evictions,
+			"entries":   int64(CacheLen()),
+		}
+	}))
+}
+
 func (c *analysisCache) get(p *app.Partition, opts Opts) *Info {
-	key := cacheKey{p, opts}
+	key := cacheKey{p.Fingerprint(), opts}
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	if !ok {
+		c.misses.Add(1)
 		e = &cacheEntry{}
 		c.entries[key] = e
 		c.order.PushBack(key)
 		for c.order.Len() > c.max {
 			oldest := c.order.Remove(c.order.Front()).(cacheKey)
 			delete(c.entries, oldest)
+			c.evictions.Add(1)
 		}
+	} else {
+		c.hits.Add(1)
 	}
 	c.mu.Unlock()
 	// Compute outside the lock: other keys proceed concurrently, and
@@ -76,7 +101,7 @@ func (c *analysisCache) get(p *app.Partition, opts Opts) *Info {
 }
 
 // AnalyzeCached returns the memoized analysis for the partition under the
-// given options, computing it at most once per (partition, Opts) pair.
+// given options, computing it at most once per (fingerprint, Opts) pair.
 // The returned Info is shared: treat it as read-only (every Info already
 // is — see the package comment above).
 func AnalyzeCached(p *app.Partition, opts Opts) *Info {
@@ -88,4 +113,10 @@ func CacheLen() int {
 	cache.mu.Lock()
 	defer cache.mu.Unlock()
 	return len(cache.entries)
+}
+
+// CacheStats reports cumulative hit/miss/eviction counts. Also exported
+// to expvar as "extract.analysis_cache".
+func CacheStats() (hits, misses, evictions int64) {
+	return cache.hits.Load(), cache.misses.Load(), cache.evictions.Load()
 }

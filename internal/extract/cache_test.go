@@ -99,3 +99,27 @@ func TestCacheEviction(t *testing.T) {
 		t.Error("resident entry recomputed")
 	}
 }
+
+// TestAnalyzeCachedContentKey: the cache keys on the content
+// fingerprint, so two structurally identical partitions — distinct
+// pointers, same spec — share ONE entry and one Info.
+func TestAnalyzeCachedContentKey(t *testing.T) {
+	p := cachePart(t, "content-key")
+	q := cachePart(t, "content-key")
+	if p == q {
+		t.Fatal("want distinct partition pointers")
+	}
+	before := CacheLen()
+	h0, _, _ := CacheStats()
+	a := AnalyzeCached(p, Opts{})
+	b := AnalyzeCached(q, Opts{})
+	if a != b {
+		t.Error("structurally identical partitions did not share one Info")
+	}
+	if grown := CacheLen() - before; grown > 1 {
+		t.Errorf("two identical partitions grew the cache by %d entries, want <= 1", grown)
+	}
+	if h1, _, _ := CacheStats(); h1 != h0+1 {
+		t.Errorf("hit counter moved %d, want exactly 1 (second partition is a content hit)", h1-h0)
+	}
+}

@@ -144,6 +144,10 @@ type Info struct {
 	SharedResults []SharedResult
 	// TDS is the paper's total data and result size per iteration.
 	TDS int
+
+	// walks holds the compiled per-cluster footprint walks (see
+	// walk.go); nil for hand-assembled Infos.
+	walks []FootprintWalk
 }
 
 // Opts tunes the extractor.
@@ -252,6 +256,7 @@ func AnalyzeWithOpts(p *app.Partition, opts Opts) *Info {
 			})
 		}
 	}
+	info.compileWalks()
 	return info
 }
 

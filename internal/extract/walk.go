@@ -1,0 +1,99 @@
+package extract
+
+// Compiled footprint walks. The schedulers evaluate the paper's DS(C)
+// footprint model O(candidates² × clusters) times while selecting a
+// retention set; deriving the walk order from strings and maps on every
+// evaluation dominated their profile. The extractor therefore compiles,
+// once per analysis, a per-cluster walk over interned datum IDs that the
+// core footprint engine replays against epoch-stamped scratch arrays —
+// no map, no string hash, no allocation per evaluation.
+
+// FootprintStep is one kernel's effect on the resident set, in interned
+// datum IDs.
+type FootprintStep struct {
+	// StreamIn lists the kernel's streamed inputs: they arrive just in
+	// time for this kernel instead of before the cluster starts. May
+	// repeat IDs (a kernel may list an operand twice); the walker
+	// dedupes against the live set.
+	StreamIn []int32
+	// Out lists the kernel's outputs, which materialize while its
+	// inputs are still resident.
+	Out []int32
+	// Release lists the objects whose last in-cluster use is this
+	// kernel: external inputs owned by it (the paper's d_j) and
+	// intermediates it is the last consumer of. Applied only under
+	// InPlaceRelease, and never to pinned or remote objects.
+	Release []int32
+}
+
+// FootprintWalk is the compiled footprint model of one cluster.
+type FootprintWalk struct {
+	// Preload lists the non-streamed external inputs resident before
+	// the cluster starts, in first-use order.
+	Preload []int32
+	// Produced lists every datum written by the cluster's kernels.
+	// Pinned objects produced here materialize at their producing
+	// kernel, not at cluster start.
+	Produced []int32
+	// Steps holds one entry per cluster kernel, in execution order.
+	Steps []FootprintStep
+}
+
+// Walk returns cluster c's compiled walk, or nil for hand-assembled
+// Infos that never went through AnalyzeWithOpts (callers fall back to
+// the string-keyed model).
+func (info *Info) Walk(c int) *FootprintWalk {
+	if info.walks == nil {
+		return nil
+	}
+	return &info.walks[c]
+}
+
+// compileWalks builds the per-cluster walks from the finished analysis.
+func (info *Info) compileWalks() {
+	a := info.P.App
+	if !a.Finalized() {
+		// Unfinalized hand-assembled App: no interned tables. Leave
+		// walks nil; footprint evaluation takes the string path.
+		return
+	}
+	info.walks = make([]FootprintWalk, len(info.Clusters))
+	for c := range info.Clusters {
+		ci := &info.Clusters[c]
+		w := &info.walks[c]
+
+		for _, name := range ci.ExternalIn {
+			if !a.IsStreamed(name) {
+				w.Preload = append(w.Preload, int32(a.DatumID(name)))
+			}
+		}
+		for _, ki := range ci.Cluster.Kernels {
+			w.Produced = append(w.Produced, a.KernelOutputIDs(ki)...)
+		}
+
+		// releaseAt maps an app kernel index to the IDs released after
+		// it: the kernel's own d_j plus every intermediate whose last
+		// in-cluster consumer it is.
+		releaseAt := make(map[int][]int32)
+		for _, kc := range ci.PerKernel {
+			for _, d := range kc.D {
+				releaseAt[kc.Kernel] = append(releaseAt[kc.Kernel], int32(a.DatumID(d)))
+			}
+			for out, t := range kc.R {
+				releaseAt[t] = append(releaseAt[t], int32(a.DatumID(out)))
+			}
+		}
+
+		w.Steps = make([]FootprintStep, len(ci.PerKernel))
+		for i, kc := range ci.PerKernel {
+			st := &w.Steps[i]
+			for _, id := range a.KernelInputIDs(kc.Kernel) {
+				if a.IsStreamedID(id) {
+					st.StreamIn = append(st.StreamIn, id)
+				}
+			}
+			st.Out = a.KernelOutputIDs(kc.Kernel)
+			st.Release = releaseAt[kc.Kernel]
+		}
+	}
+}

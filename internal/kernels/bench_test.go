@@ -21,6 +21,7 @@ func BenchmarkKernels(b *testing.B) {
 			if err := a.LoadFB(0, in); err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := k.Run(a, 0, k.InWords); err != nil {

@@ -15,6 +15,7 @@ func BenchmarkExplore(b *testing.B) {
 		b.Run(fmt.Sprintf("kernels=%d", n), func(b *testing.B) {
 			a := chain(n, 4, 80, 32, 200)
 			pa := testArch(4096, 128)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := Explore(pa, a, Options{Scheduler: core.DataScheduler{}}); err != nil {

@@ -10,6 +10,7 @@ func BenchmarkStepRowBroadcast(b *testing.B) {
 		ctx[i] = Context{Op: OpMac, A: SrcReg0, B: SrcImm, Imm: 3, Dest: 1}
 	}
 	steps := []Step{{Mode: RowMode, Ctx: ctx}}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := a.Execute(steps); err != nil {
@@ -21,6 +22,7 @@ func BenchmarkStepRowBroadcast(b *testing.B) {
 // BenchmarkEncodeDecode measures context word packing.
 func BenchmarkEncodeDecode(b *testing.B) {
 	c := Context{Op: OpMac, A: SrcFB, B: SrcImm, Imm: -1234, Dest: 2, WriteFB: true}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		w := c.Encode()
 		if _, err := Decode(w); err != nil {

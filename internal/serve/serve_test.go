@@ -625,3 +625,41 @@ func TestSweepJournalValidation(t *testing.T) {
 		t.Fatalf("class = %q, want invalid_spec", e.Class)
 	}
 }
+
+// TestCompareCacheFastPath: a re-posed spec is answered from the result
+// cache — marked in the body and the Server-Timing header — and the
+// answer matches the computed one.
+func TestCompareCacheFastPath(t *testing.T) {
+	s := New(Config{})
+	// An FB size no other test uses, so the first request is a genuine miss.
+	body := `{"workload":"MPEG","fb_bytes":2944}`
+	w1 := post(t, s.Handler(), "/v1/compare", body)
+	if w1.Code != http.StatusOK {
+		t.Fatalf("fill = %d: %s", w1.Code, w1.Body.String())
+	}
+	if got := w1.Header().Get("Server-Timing"); got != "cache;desc=miss" {
+		t.Errorf("fill Server-Timing = %q, want cache;desc=miss", got)
+	}
+	fill := decode[CompareResponse](t, w1)
+	if fill.Cached {
+		t.Error("first request claims to be cached")
+	}
+
+	w2 := post(t, s.Handler(), "/v1/compare", body)
+	if w2.Code != http.StatusOK {
+		t.Fatalf("hit = %d: %s", w2.Code, w2.Body.String())
+	}
+	if got := w2.Header().Get("Server-Timing"); got != "cache;desc=hit" {
+		t.Errorf("hit Server-Timing = %q, want cache;desc=hit", got)
+	}
+	hit := decode[CompareResponse](t, w2)
+	if !hit.Cached || hit.Attempts != 1 {
+		t.Errorf("cached=%v attempts=%d, want true/1", hit.Cached, hit.Attempts)
+	}
+	if hit.CDS.TotalCycles != fill.CDS.TotalCycles || hit.RF != fill.RF || hit.DTBytes != fill.DTBytes {
+		t.Errorf("cached answer drifted: fill=%+v hit=%+v", fill, hit)
+	}
+	if n := s.cacheHits.Load(); n != 1 {
+		t.Errorf("cacheHits = %d, want 1", n)
+	}
+}

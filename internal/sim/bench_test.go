@@ -29,6 +29,7 @@ func BenchmarkRunSerial(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := RunSerial(s); err != nil {
 			b.Fatal(err)

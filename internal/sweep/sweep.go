@@ -16,6 +16,7 @@ import (
 	"cds/internal/arch"
 	"cds/internal/conc"
 	"cds/internal/core"
+	"cds/internal/rescache"
 	"cds/internal/scherr"
 	"cds/internal/sim"
 	"cds/internal/workloads"
@@ -82,12 +83,56 @@ func FBCtx(ctx context.Context, pa arch.Params, part *app.Partition, lo, hi, ste
 	return points, nil
 }
 
+// pointCache memoizes fbPoint samples under the content fingerprint of
+// (arch-with-FB-size, partition). Overlapping sweep ranges, repeated
+// sweeps of one workload, and batch grids that revisit a configuration
+// all hit instead of rescheduling three policies per sample.
+var pointCache = rescache.New("sweep.fb_point", 4096)
+
+// pointTag versions the cached computation.
+const pointTag = "fb-point/v1"
+
+// pointOutcome is the memoized fbPoint result. Only clean outcomes
+// (err == nil) are kept; infeasible floors (ok=false) are legitimate
+// results and cache like any other.
+type pointOutcome struct {
+	pt Point
+	ok bool
+}
+
 // fbPoint samples one FB size; ok is false below the data schedulers'
 // feasibility floor (the sample is skipped, not an error — recognized by
-// TYPE via scherr.ErrInfeasible, not by matching behavior).
+// TYPE via scherr.ErrInfeasible, not by matching behavior). Samples are
+// memoized content-addressed in pointCache: the FB size folds into the
+// arch params, so every grid point has its own key.
 func fbPoint(ctx context.Context, pa arch.Params, part *app.Partition, fb int) (Point, bool, error) {
 	cfg := pa
 	cfg.FBSetBytes = fb
+	if !rescache.Enabled() {
+		return fbPointUncached(ctx, cfg, part, fb)
+	}
+	if err := scherr.FromContext(ctx); err != nil {
+		return Point{}, false, err
+	}
+	type outcome struct {
+		pointOutcome
+		err error
+	}
+	v := pointCache.Do(rescache.KeyOf(cfg, part, pointTag), func() (any, bool) {
+		pt, ok, err := fbPointUncached(ctx, cfg, part, fb)
+		return outcome{pointOutcome{pt, ok}, err}, err == nil
+	})
+	o := v.(outcome)
+	if o.err != nil && errors.Is(o.err, scherr.ErrCanceled) && scherr.FromContext(ctx) == nil {
+		// The in-flight leader was canceled but this caller's context is
+		// alive: don't let a stranger's cancellation poison this sweep.
+		return fbPointUncached(ctx, cfg, part, fb)
+	}
+	return o.pt, o.ok, o.err
+}
+
+// fbPointUncached is the raw sample: cfg already carries the FB size.
+func fbPointUncached(ctx context.Context, cfg arch.Params, part *app.Partition, fb int) (Point, bool, error) {
 	pt := Point{FBBytes: fb}
 
 	dsS, err := (core.DataScheduler{}).ScheduleCtx(ctx, cfg, part)

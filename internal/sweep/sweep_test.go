@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"cds/internal/rescache"
 	"cds/internal/workloads"
 )
 
@@ -116,5 +117,39 @@ func TestSharingSweep(t *testing.T) {
 	WriteSharing(&b, points)
 	if !strings.Contains(b.String(), "CDS-DS") {
 		t.Error("WriteSharing output malformed")
+	}
+}
+
+// TestFBSweepCachedMatchesUncached: the memoized sweep must render the
+// exact same CSV as the raw pipeline — cache fill and cache hit alike.
+func TestFBSweepCachedMatchesUncached(t *testing.T) {
+	e := workloads.MPEG()
+	render := func(points []Point) string {
+		var sb strings.Builder
+		CSV(&sb, points)
+		return sb.String()
+	}
+
+	prev := rescache.SetEnabled(false)
+	uncached, err := FB(e.Arch, e.Part, 768, 4096, 256)
+	rescache.SetEnabled(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fill, err := FB(e.Arch, e.Part, 768, 4096, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, err := FB(e.Arch, e.Part, 768, 4096, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := render(uncached)
+	if got := render(fill); got != want {
+		t.Errorf("cache-fill sweep differs from uncached sweep:\n--- want\n%s--- got\n%s", want, got)
+	}
+	if got := render(hit); got != want {
+		t.Errorf("cache-hit sweep differs from uncached sweep:\n--- want\n%s--- got\n%s", want, got)
 	}
 }

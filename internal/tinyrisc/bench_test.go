@@ -24,6 +24,7 @@ func BenchmarkCompileAndRun(b *testing.B) {
 	for _, k := range s.P.App.Kernels {
 		cycles[k.Name] = k.ComputeCycles
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tp, err := Compile(src)

@@ -1,0 +1,76 @@
+package cds
+
+// Result caching for the facade. CompareAllCtx is a pure function of
+// (arch.Params, *Part): the schedulers, the allocator replay and the
+// simulator read nothing but the spec, and a finished Comparison is
+// immutable. That makes full comparisons safe to memoize under the
+// content fingerprint — design-space sweeps, batch grids and schedd
+// requests that re-pose a solved point get the answer in O(hash).
+//
+// Only clean outcomes are kept. Anything carrying an error — a
+// cancellation, a panic surfaced by conc, a degraded comparison — is
+// handed to its concurrent sharers and then dropped, so a later call
+// recomputes instead of replaying a transient failure.
+
+import (
+	"sync/atomic"
+
+	"cds/internal/rescache"
+)
+
+// comparisonCache memoizes CompareAllCtx outcomes. 512 entries hold a
+// full three-generation × all-workloads × 58-point FB sweep with room
+// to spare.
+var comparisonCache = rescache.New("cds.compare_all", 512)
+
+// compareTag versions the cached computation: bump it when the
+// scheduler pipeline changes meaning without a spec change.
+const compareTag = "compare-all/v1"
+
+// cachingEnabled gates CompareAllCtx's memoization without disabling
+// the process-wide rescache switch (benchmarks flip both
+// independently).
+var cachingEnabled atomic.Bool
+
+func init() { cachingEnabled.Store(true) }
+
+// SetResultCaching turns CompareAllCtx result caching on or off and
+// returns the previous setting. On by default; the golden tests and
+// uncached benchmarks switch it off to exercise the raw pipeline.
+func SetResultCaching(on bool) (prev bool) { return cachingEnabled.Swap(on) }
+
+// ComparisonKey returns the content fingerprint CompareAllCtx caches
+// under: a deterministic hash of every arch parameter and the
+// partition's canonical spec.
+func ComparisonKey(pa Arch, part *Part) rescache.Key {
+	return rescache.KeyOf(pa, part, compareTag)
+}
+
+// compareOutcome is the cached value type: the comparison plus the
+// error handed to concurrent sharers of one in-flight computation.
+// Only err == nil outcomes stay resident.
+type compareOutcome struct {
+	cmp *Comparison
+	err error
+}
+
+// LookupComparison returns the memoized comparison for the spec if a
+// clean one is resident, without scheduling anything. Serving layers
+// use it to answer requests before paying for queue admission.
+func LookupComparison(pa Arch, part *Part) (*Comparison, bool) {
+	if !cachingEnabled.Load() {
+		return nil, false
+	}
+	v, ok := comparisonCache.Get(ComparisonKey(pa, part))
+	if !ok {
+		return nil, false
+	}
+	return v.(compareOutcome).cmp, true
+}
+
+// ComparisonCacheStats reports the comparison cache's cumulative
+// hit/miss/eviction counters (also published under the "rescache"
+// expvar).
+func ComparisonCacheStats() (hits, misses, evictions int64) {
+	return comparisonCache.Stats()
+}
