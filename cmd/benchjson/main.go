@@ -41,11 +41,16 @@ type Result struct {
 	AllocsDelta         string  `json:"allocs_delta,omitempty"`
 }
 
-// Report is the whole JSON document.
+// Report is the whole JSON document. The header pins the machine
+// configuration the numbers were measured under — benchmark deltas
+// across reports only mean something when GOMAXPROCS and the platform
+// match.
 type Report struct {
 	Go         string   `json:"go"`
 	GOOS       string   `json:"goos"`
 	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
 	BenchRegex string   `json:"bench_regex"`
 	Packages   string   `json:"packages"`
 	Results    []Result `json:"results"`
@@ -98,6 +103,8 @@ func run(bench, pkg, benchtime string, count int, baseline, out string) error {
 		Go:         runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		BenchRegex: bench,
 		Packages:   pkg,
 		Results:    results,

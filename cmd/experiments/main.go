@@ -27,12 +27,14 @@ import (
 	"cds/internal/sim"
 	"cds/internal/spec"
 	"cds/internal/sweep"
+	"cds/internal/trace"
 	"cds/internal/workloads"
 )
 
 type options struct {
 	csvOut, mdOut, floor, detail bool
 	runOne, dump, archOver       string
+	traceOut, traceFmt           string
 	workers                      int
 }
 
@@ -46,6 +48,8 @@ func main() {
 	flag.StringVar(&opts.dump, "dump", "", "export one experiment's application as editable JSON to stdout")
 	flag.StringVar(&opts.archOver, "arch", "", "run every experiment on this machine preset (e.g. M2) instead of its Table 1 machine")
 	flag.IntVar(&opts.workers, "workers", 0, "worker pool size for running experiments (0 = one per CPU)")
+	flag.StringVar(&opts.traceOut, "trace", "", `write one experiment's basic/ds/cds timelines to this file ("-" for stdout; needs -run)`)
+	flag.StringVar(&opts.traceFmt, "trace-format", "chrome", "timeline format: chrome, svg, summary or diff")
 	timeout := flag.Duration("timeout", 0, "abort the evaluation after this duration (0 = no limit)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -87,6 +91,10 @@ func run(ctx context.Context, opts options) error {
 		os.Stdout.Write(raw)
 		fmt.Println()
 		return nil
+	}
+
+	if opts.traceOut != "" && opts.runOne == "" {
+		return fmt.Errorf("-trace needs -run <experiment> (one workload per trace)")
 	}
 
 	exps := workloads.All()
@@ -135,6 +143,20 @@ func run(ctx context.Context, opts options) error {
 			if err := printDetail(ctx, exps[i]); err != nil {
 				return err
 			}
+		}
+	}
+
+	if opts.traceOut != "" {
+		tc, err := cds.CompareAllTraced(ctx, exps[0].Arch, exps[0].Part)
+		if err != nil {
+			return fmt.Errorf("%s: %w", exps[0].Name, err)
+		}
+		if err := trace.ExportFile(opts.traceOut, opts.traceFmt, tc.Timelines...); err != nil {
+			return err
+		}
+		if opts.traceOut != "-" {
+			fmt.Fprintf(os.Stderr, "wrote %s %s timelines (%d schedulers) to %s\n",
+				exps[0].Name, opts.traceFmt, len(tc.Timelines), opts.traceOut)
 		}
 	}
 

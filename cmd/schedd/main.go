@@ -8,7 +8,9 @@
 // Endpoints:
 //
 //	POST /v1/compare  {"workload":"MPEG"} | {"workload":"MPEG","arch":"M2","fb_bytes":2048} | {"spec":{...}}
+//	                  ?trace=1 adds per-scheduler timeline analytics to the answer
 //	POST /v1/sweep    {"archs":["M1/4","M1"],"workloads":["MPEG","E1"],"journal":"nightly"}
+//	GET  /debug/traces  bounded ring of recently traced comparisons (?full=1 adds Chrome payloads)
 //	GET  /healthz     process liveness
 //	GET  /readyz      load-balancer readiness (503 while draining)
 //
@@ -68,6 +70,9 @@ func main() {
 	faultStallPct := flag.Int("fault-stall-pct", 0, "chaos mode: per-transfer DMA stall probability (percent)")
 	faultFailEvery := flag.Int("fault-fail-every", 0, "chaos mode: fail every Nth transfer while the fault window is open")
 	faultFailRuns := flag.Int("fault-fail-runs", 0, "chaos mode: width of the transient fault window in runs (<0 = persistent)")
+	traceEntries := flag.Int("trace-ring-entries", 32, "max traced comparisons kept for /debug/traces")
+	traceBytes := flag.Int("trace-ring-bytes", 1<<20, "byte budget of the /debug/traces ring's Chrome payloads")
+	traceSample := flag.Int("trace-sample-every", 1, "keep every Nth ?trace=1 answer's full trace in the ring")
 	flag.Parse()
 
 	cfg := serve.Config{
@@ -83,6 +88,9 @@ func main() {
 		},
 		BreakerThreshold: *brThreshold,
 		BreakerCooldown:  *brCooldown,
+		TraceRingEntries: *traceEntries,
+		TraceRingBytes:   *traceBytes,
+		TraceSampleEvery: *traceSample,
 		Logf:             log.Printf,
 	}
 	if *faultStallPct > 0 || *faultFailEvery > 0 {

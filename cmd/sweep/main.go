@@ -29,9 +29,11 @@ import (
 	"sort"
 	"strings"
 
+	"cds"
 	"cds/internal/arch"
 	"cds/internal/profiling"
 	"cds/internal/sweep"
+	"cds/internal/trace"
 	"cds/internal/workloads"
 )
 
@@ -47,6 +49,8 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size for -grid (0 = one per CPU)")
 	timeout := flag.Duration("timeout", 0, "abort the sweep after this duration (0 = no limit)")
 	journal := flag.String("journal", "", "crash-safe checkpoint file for -grid (resume by re-running)")
+	traceOut := flag.String("trace", "", `write the swept workload's basic/ds/cds timelines at its Table 1 machine to this file ("-" for stdout; FB sweeps only)`)
+	traceFmt := flag.String("trace-format", "chrome", "timeline format: chrome, svg, summary or diff")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -67,11 +71,19 @@ func main() {
 
 	switch {
 	case *grid:
-		err = runGrid(ctx, *archNames, *workers, *csvOut, *journal)
+		if *traceOut != "" {
+			err = fmt.Errorf("-trace applies to FB sweeps, not -grid")
+		} else {
+			err = runGrid(ctx, *archNames, *workers, *csvOut, *journal)
+		}
 	case *sharing:
-		err = runSharing(ctx)
+		if *traceOut != "" {
+			err = fmt.Errorf("-trace applies to FB sweeps, not -sharing")
+		} else {
+			err = runSharing(ctx)
+		}
 	default:
-		err = runFB(ctx, *expName, *from, *to, *step, *csvOut)
+		err = runFB(ctx, *expName, *from, *to, *step, *csvOut, *traceOut, *traceFmt)
 	}
 	if perr := stopProf(); perr != nil && err == nil {
 		err = perr
@@ -139,7 +151,7 @@ func runSharing(ctx context.Context) error {
 	return nil
 }
 
-func runFB(ctx context.Context, expName string, from, to, step int, csvOut bool) error {
+func runFB(ctx context.Context, expName string, from, to, step int, csvOut bool, traceOut, traceFmt string) error {
 	e, err := workloads.ByName(expName)
 	if err != nil {
 		return err
@@ -152,6 +164,21 @@ func runFB(ctx context.Context, expName string, from, to, step int, csvOut bool)
 		sweep.CSV(os.Stdout, points)
 	} else {
 		sweep.Write(os.Stdout, points)
+	}
+	if traceOut != "" {
+		// Trace the workload at its Table 1 machine, so the timelines
+		// explain the curve's reference point.
+		tc, err := cds.CompareAllTraced(ctx, e.Arch, e.Part)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.Name, err)
+		}
+		if err := trace.ExportFile(traceOut, traceFmt, tc.Timelines...); err != nil {
+			return err
+		}
+		if traceOut != "-" {
+			fmt.Fprintf(os.Stderr, "sweep: wrote %s %s timelines (%d schedulers) to %s\n",
+				e.Name, traceFmt, len(tc.Timelines), traceOut)
+		}
 	}
 	return nil
 }

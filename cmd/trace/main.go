@@ -1,0 +1,144 @@
+// Command trace records and compares schedule-execution timelines: it
+// runs a workload (a built-in paper experiment or a JSON spec) under
+// one or more schedulers, records every DMA transfer, compute interval
+// and FB set switch, and renders the timelines side by side — the
+// paper's Figure 6 overlap argument as an inspectable artifact.
+//
+// Usage:
+//
+//	trace -experiment MPEG                           # analytics diff of basic/ds/cds
+//	trace -experiment MPEG -format svg -out mpeg.svg # stacked Gantt chart
+//	trace -spec app.json -schedulers ds,cds -format chrome -out app.json.trace
+//	trace -validate mpeg.trace.json                  # check an exported Chrome trace
+//
+// Formats: diff (default, side-by-side analytics table), summary
+// (per-timeline analytics), chrome (Chrome trace_event JSON for
+// chrome://tracing or Perfetto) and svg (self-contained Gantt chart).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+
+	"cds"
+	"cds/internal/app"
+	"cds/internal/arch"
+	"cds/internal/sim"
+	"cds/internal/spec"
+	"cds/internal/trace"
+	"cds/internal/workloads"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "JSON application spec")
+	expName := flag.String("experiment", "", "built-in paper experiment (e.g. MPEG, E1, ATR-SLD*)")
+	scheds := flag.String("schedulers", "basic,ds,cds", "comma-separated schedulers to trace (first is the diff baseline)")
+	format := flag.String("format", "diff", "output format: diff, summary, chrome or svg")
+	out := flag.String("out", "-", `output file ("-" for stdout)`)
+	validate := flag.String("validate", "", "validate an exported Chrome trace file instead of tracing")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, *specPath, *expName, *scheds, *format, *out, *validate); err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, specPath, expName, scheds, format, out, validate string) error {
+	if validate != "" {
+		f, err := os.Open(validate)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		n, err := trace.ValidateChrome(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: valid Chrome trace, %d complete events\n", validate, n)
+		return nil
+	}
+
+	part, pa, err := load(specPath, expName)
+	if err != nil {
+		return err
+	}
+	kinds, err := parseSchedulers(scheds)
+	if err != nil {
+		return err
+	}
+
+	var tls []*trace.Timeline
+	for _, kind := range kinds {
+		res, err := cds.RunCtx(ctx, kind, pa, part)
+		if err != nil {
+			// A scheduler that cannot run the workload (the paper's
+			// memory-floor case) is reported, not fatal: the others
+			// still trace.
+			fmt.Fprintf(os.Stderr, "trace: %s: %v\n", kind, err)
+			continue
+		}
+		_, tl, err := sim.Trace(res.Schedule)
+		if err != nil {
+			return err
+		}
+		tls = append(tls, tl)
+	}
+	if len(tls) == 0 {
+		return fmt.Errorf("no scheduler produced a timeline")
+	}
+	return trace.ExportFile(out, format, tls...)
+}
+
+func load(specPath, expName string) (*app.Partition, arch.Params, error) {
+	switch {
+	case specPath != "" && expName != "":
+		return nil, arch.Params{}, fmt.Errorf("use either -spec or -experiment, not both")
+	case expName != "":
+		e, err := workloads.ByName(expName)
+		if err != nil {
+			return nil, arch.Params{}, err
+		}
+		return e.Part, e.Arch, nil
+	case specPath != "":
+		raw, err := os.ReadFile(specPath)
+		if err != nil {
+			return nil, arch.Params{}, err
+		}
+		return spec.Parse(raw)
+	}
+	return nil, arch.Params{}, fmt.Errorf("need -spec <file>, -experiment <name> or -validate <trace.json>")
+}
+
+func parseSchedulers(list string) ([]cds.SchedulerKind, error) {
+	var kinds []cds.SchedulerKind
+	for _, name := range strings.Split(list, ",") {
+		switch strings.TrimSpace(name) {
+		case "basic":
+			kinds = append(kinds, cds.Basic)
+		case "ds":
+			kinds = append(kinds, cds.DS)
+		case "cds":
+			kinds = append(kinds, cds.CDS)
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown scheduler %q (want basic, ds or cds)", name)
+		}
+	}
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("no schedulers in %q", list)
+	}
+	return kinds, nil
+}

@@ -87,6 +87,13 @@ type Config struct {
 	// the resulting *FaultError does not match scherr.ErrTransient and
 	// must not be retried.
 	FailPermanent bool
+	// Observe, when non-nil, fires once per attempted transfer — in DMA
+	// order, before the fault decision, including a transfer the harness
+	// then fails. It lets tests record the exact hook sequence the
+	// machine drives under injection without stacking a second set of
+	// machine.Hooks. Observe runs under the injector lock: keep it cheap
+	// and do not call back into the harness.
+	Observe func(op, datum string, absIter, size int)
 }
 
 // Stats reports what the harness injected during one run.
@@ -124,11 +131,14 @@ func (in *injector) roll() int {
 	return int(in.rng % 100)
 }
 
-func (in *injector) transfer(op, datum string, absIter int) error {
+func (in *injector) transfer(op, datum string, absIter, size int) error {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.stats.Transfers++
 	n := in.stats.Transfers
+	if in.cfg.Observe != nil {
+		in.cfg.Observe(op, datum, absIter, size)
+	}
 	if in.roll() < in.cfg.StallProbPct {
 		in.stats.Stalls++
 		in.stats.StallCycles += in.cfg.StallCycles
@@ -146,10 +156,10 @@ func (in *injector) transfer(op, datum string, absIter int) error {
 func (in *injector) hooks() *machine.Hooks {
 	return &machine.Hooks{
 		OnLoad: func(datum string, absIter, size int) error {
-			return in.transfer("load", datum, absIter)
+			return in.transfer("load", datum, absIter, size)
 		},
 		OnStore: func(datum string, absIter, size int) error {
-			return in.transfer("store", datum, absIter)
+			return in.transfer("store", datum, absIter, size)
 		},
 	}
 }

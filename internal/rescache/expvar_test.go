@@ -1,0 +1,40 @@
+package rescache
+
+import (
+	"expvar"
+	"strings"
+	"testing"
+
+	"cds/internal/arch"
+)
+
+// TestExpvarOncePerProcess pins the registration discipline: the
+// "rescache" var publishes lazily on the first New and never again —
+// constructing many caches (two servers in one process, tests building
+// caches repeatedly) must not panic on a duplicate expvar.Publish, and
+// every cache must appear in the published snapshot.
+func TestExpvarOncePerProcess(t *testing.T) {
+	// Each New would panic the process here if it re-Published.
+	a := New("expvar.a", 4)
+	b := New("expvar.b", 4)
+
+	v := expvar.Get("rescache")
+	if v == nil {
+		t.Fatal("rescache expvar not published after New")
+	}
+
+	key := KeyOf(arch.M1(), testPart(t, "expvar", 64), "expvar-test")
+	a.Do(key, func() (any, bool) { return 1, true })
+	a.Do(key, func() (any, bool) { return 2, true })
+	b.Do(key, func() (any, bool) { return 3, true })
+
+	out := v.String()
+	for _, want := range []string{`"expvar.a"`, `"expvar.b"`, "hits", "misses"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("expvar snapshot missing %s: %s", want, out)
+		}
+	}
+	if hits, misses, _ := a.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("cache a stats hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}

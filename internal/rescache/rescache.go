@@ -108,34 +108,42 @@ type Cache struct {
 }
 
 var (
-	registryMu sync.Mutex
-	registry   []*Cache
+	registryMu  sync.Mutex
+	registry    []*Cache
+	publishOnce sync.Once
 )
 
-func init() {
-	// One expvar for every cache: Publish panics on duplicate names, so
-	// per-Cache vars would forbid multiple caches (and re-registration
-	// in tests). A single Func snapshots the registry on demand.
-	expvar.Publish("rescache", expvar.Func(func() any {
-		registryMu.Lock()
-		defer registryMu.Unlock()
-		out := make(map[string]map[string]int64, len(registry))
-		for _, c := range registry {
-			hits, misses, evictions := c.Stats()
-			out[c.name] = map[string]int64{
-				"hits":      hits,
-				"misses":    misses,
-				"evictions": evictions,
-				"entries":   int64(c.Len()),
+// publishExpvar registers the process-wide "rescache" var lazily, on
+// the first New. One expvar serves every cache: Publish panics on
+// duplicate names, so per-Cache vars would forbid multiple caches (and
+// re-registration in tests), and the sync.Once guard makes New safe to
+// call any number of times — two servers in one process, tests
+// constructing caches repeatedly — where a second Publish would crash
+// the process. A single Func snapshots the registry on demand.
+func publishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("rescache", expvar.Func(func() any {
+			registryMu.Lock()
+			defer registryMu.Unlock()
+			out := make(map[string]map[string]int64, len(registry))
+			for _, c := range registry {
+				hits, misses, evictions := c.Stats()
+				out[c.name] = map[string]int64{
+					"hits":      hits,
+					"misses":    misses,
+					"evictions": evictions,
+					"entries":   int64(c.Len()),
+				}
 			}
-		}
-		return out
-	}))
+			return out
+		}))
+	})
 }
 
 // New returns a cache holding at most max entries, registered under
 // name in the process-wide "rescache" expvar.
 func New(name string, max int) *Cache {
+	publishExpvar()
 	if max < 1 {
 		max = 1
 	}

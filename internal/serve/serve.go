@@ -5,26 +5,37 @@
 //   - Admission control: a fixed number of execution slots plus a
 //     bounded wait queue; when the queue is full the request is shed
 //     immediately with 429 and a Retry-After hint instead of piling up.
+//
 //   - Retry with backoff: every compare call runs under internal/retry,
 //     so a transient DMA fault (scherr.ErrTransient) costs backoff
 //     milliseconds, not a failed request; deterministic errors
 //     (invalid spec, infeasible) fail fast.
+//
 //   - Per-target circuit breaking: a workload that keeps failing
 //     transiently trips its own breaker and is rejected with 503 +
 //     Retry-After until a cooldown probe succeeds, without affecting
 //     healthy targets.
+//
 //   - Per-request deadlines: every request inherits the server's
 //     RequestTimeout through PR 2's context plumbing, so a stuck point
 //     cannot hold an execution slot forever.
+//
 //   - Crash-safe sweeps: a sweep request naming a journal checkpoints
 //     every completed point (sweep.RunJournaled); re-POSTing after a
 //     crash resumes instead of recomputing.
+//
 //   - Graceful shutdown: Drain flips /readyz to 503 (so load balancers
 //     stop sending), lets in-flight requests finish within the deadline,
 //     then cancels the base context so journaled sweeps record their
 //     abandoned points as canceled.
 //
-// Endpoints: POST /v1/compare, POST /v1/sweep, GET /healthz, GET /readyz.
+//   - Execution tracing: /v1/compare?trace=1 answers with per-scheduler
+//     timeline analytics (utilization, overlap efficiency, critical-path
+//     decomposition), and a sampled, byte-budgeted ring keeps recent full
+//     traces for GET /debug/traces.
+//
+// Endpoints: POST /v1/compare, POST /v1/sweep, GET /debug/traces,
+// GET /healthz, GET /readyz.
 package serve
 
 import (
@@ -47,6 +58,7 @@ import (
 	"cds/internal/scherr"
 	"cds/internal/spec"
 	"cds/internal/sweep"
+	"cds/internal/trace"
 	"cds/internal/workloads"
 )
 
@@ -91,6 +103,16 @@ type Config struct {
 	// Compare substitutes the compare backend (default cds.CompareAllCtx
 	// plus the optional Machine execution).
 	Compare CompareFunc
+	// TraceRingEntries and TraceRingBytes bound the /debug/traces ring
+	// (defaults: 32 entries, 1 MiB of Chrome payloads). The ring only
+	// ever holds what both bounds allow, so a long-lived daemon's trace
+	// memory is fixed.
+	TraceRingEntries int
+	TraceRingBytes   int
+	// TraceSampleEvery keeps every Nth ?trace=1 answer's full Chrome
+	// payload in the ring (1 = every one, the default). Analytics are
+	// always returned inline regardless of sampling.
+	TraceSampleEvery int
 	// Now substitutes the clock for the breakers (tests).
 	Now func() time.Time
 	// Logf receives one line per served request and lifecycle event; nil
@@ -107,6 +129,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 30 * time.Second
+	}
+	if c.TraceSampleEvery <= 0 {
+		c.TraceSampleEvery = 1
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -128,6 +153,11 @@ type Server struct {
 	// cacheHits counts /v1/compare answers served straight from the
 	// result cache, bypassing admission and retry.
 	cacheHits atomic.Int64
+	// traces is the bounded ring behind /debug/traces; traceReqs counts
+	// ?trace=1 answers, traceSeen drives the sampling cadence.
+	traces    *trace.Ring
+	traceReqs atomic.Int64
+	traceSeen atomic.Int64
 	breakers  *retry.BreakerSet
 	baseCtx   context.Context
 	cancel    context.CancelFunc
@@ -145,6 +175,7 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		mux:      http.NewServeMux(),
 		slots:    make(chan struct{}, cfg.Workers),
+		traces:   trace.NewRing(cfg.TraceRingEntries, cfg.TraceRingBytes),
 		breakers: retry.NewBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Now),
 		journals: map[string]bool{},
 	}
@@ -153,6 +184,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("POST /v1/compare", s.handleCompare)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	registerTraceExpvar(s)
 	s.http = &http.Server{
 		Handler:           s.mux,
 		ReadHeaderTimeout: 5 * time.Second,
@@ -299,6 +332,12 @@ type CompareResponse struct {
 	// fault-injection stats when the server runs one (chaos mode).
 	FaultTransfers int `json:"fault_transfers,omitempty"`
 	FaultStalls    int `json:"fault_stalls,omitempty"`
+	// Traces carries per-scheduler timeline analytics (utilization,
+	// overlap efficiency, critical-path decomposition) when the request
+	// asked for them with ?trace=1 — in Basic, DS, CDS order, failed
+	// schedulers skipped. Cached answers trace too: timelines are
+	// re-derived from the deterministic schedules.
+	Traces []trace.Analytics `json:"traces,omitempty"`
 }
 
 // resolve turns a compare request into (arch, partition, breaker target).
@@ -367,6 +406,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, err)
 		return
 	}
+	wantTrace := r.URL.Query().Get("trace") == "1"
 
 	// Cache fast path: a resident memoized comparison answers before the
 	// request pays for queue admission, breaker accounting, or the retry
@@ -380,7 +420,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 			s.cacheHits.Add(1)
 			w.Header().Set("Server-Timing", "cache;desc=hit")
 			s.cfg.Logf("serve: compare %s: ok (cache hit, degraded=%v)", target, cmp.Degraded())
-			s.writeCompare(w, target, cmp, faultmachine.Stats{}, 1, true)
+			s.writeCompare(w, target, cmp, faultmachine.Stats{}, 1, true, s.maybeTrace(wantTrace, target, cmp))
 			return
 		}
 		w.Header().Set("Server-Timing", "cache;desc=miss")
@@ -442,11 +482,11 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.cfg.Logf("serve: compare %s: ok (attempts=%d degraded=%v)", target, attempts, cmp.Degraded())
-	s.writeCompare(w, target, cmp, stats, attempts, false)
+	s.writeCompare(w, target, cmp, stats, attempts, false, s.maybeTrace(wantTrace, target, cmp))
 }
 
 // writeCompare renders one comparison as the /v1/compare JSON answer.
-func (s *Server) writeCompare(w http.ResponseWriter, target string, cmp *cds.Comparison, stats faultmachine.Stats, attempts int, cached bool) {
+func (s *Server) writeCompare(w http.ResponseWriter, target string, cmp *cds.Comparison, stats faultmachine.Stats, attempts int, cached bool, traces []trace.Analytics) {
 	resp := CompareResponse{
 		Target:         target,
 		BasicFeasible:  cmp.BasicErr == nil,
@@ -459,6 +499,7 @@ func (s *Server) writeCompare(w http.ResponseWriter, target string, cmp *cds.Com
 		Cached:         cached,
 		FaultTransfers: stats.Transfers,
 		FaultStalls:    stats.Stalls,
+		Traces:         traces,
 	}
 	fill := func(out *SchedulerResult, res *cds.Result, err error) {
 		if res != nil && res.Timing != nil {

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"cds/internal/core"
+	"cds/internal/trace"
 )
 
 // Result is the outcome of simulating one schedule.
@@ -58,6 +59,35 @@ func (r *Result) DMABusy() int { return r.DataCycles + r.CtxCycles }
 //
 // Trailing stores after the last visit are drained at the end.
 func Run(s *core.Schedule) (*Result, error) {
+	return run(s, nil)
+}
+
+// RunTraced simulates the schedule while recording every DMA transfer,
+// compute interval and FB set switch into rec as cycle-stamped spans.
+// It is the same walk as Run — a nil recorder short-circuits every
+// recording call — so traced and untraced results are identical by
+// construction.
+func RunTraced(s *core.Schedule, rec *trace.Recorder) (*Result, error) {
+	return run(s, rec)
+}
+
+// Trace simulates the schedule and returns both the result and the
+// recorded timeline, labeled by the schedule's scheduler name.
+func Trace(s *core.Schedule) (*Result, *trace.Timeline, error) {
+	rec := trace.NewRecorder()
+	r, err := run(s, rec)
+	if err != nil {
+		return nil, nil, err
+	}
+	label := "schedule"
+	if s.Scheduler != "" {
+		label = s.Scheduler
+	}
+	return r, rec.Timeline(label, r.TotalCycles), nil
+}
+
+// run is the single simulation walk behind Run and RunTraced.
+func run(s *core.Schedule, rec *trace.Recorder) (*Result, error) {
 	if s == nil {
 		return nil, fmt.Errorf("sim: nil schedule")
 	}
@@ -81,15 +111,30 @@ func Run(s *core.Schedule) (*Result, error) {
 	rcFree := 0  // next cycle the RC array is available
 	computeEnd := make([]int, len(s.Visits))
 
-	storeCost := func(vi int) int {
-		cost := 0
-		for _, m := range s.Visits[vi].Stores {
-			cost += p.DataCycles(m.Bytes)
+	// drainStores issues visit vi's stores on the DMA, no earlier than
+	// the visit's compute end, one span per movement.
+	drainStores := func(vi int) {
+		v := &s.Visits[vi]
+		start := dmaFree
+		if computeEnd[vi] > start {
+			start = computeEnd[vi]
+		}
+		for _, m := range v.Stores {
+			cost := p.DataCycles(m.Bytes)
+			rec.Span(trace.Span{
+				Resource: trace.DMA, Kind: trace.KindStore, Name: m.Datum,
+				Start: start, End: start + cost,
+				Cluster: v.Cluster, Block: v.Block, Visit: vi, Set: v.Set,
+				Bytes: m.Bytes,
+			})
+			start += cost
+			res.DataCycles += cost
 			res.StoreBytes += m.Bytes
 		}
-		return cost
+		dmaFree = start
 	}
 
+	prevSet := -1
 	for vi := range s.Visits {
 		v := &s.Visits[vi]
 
@@ -98,26 +143,32 @@ func Run(s *core.Schedule) (*Result, error) {
 		// and they must finish before this visit's loads overwrite
 		// the set.
 		if prev := pendingStore[v.Set]; prev >= 0 {
-			start := dmaFree
-			if computeEnd[prev] > start {
-				start = computeEnd[prev]
-			}
-			cost := storeCost(prev)
-			dmaFree = start + cost
-			res.DataCycles += cost
+			drainStores(prev)
 		}
 
-		// Context loads, then data loads, for this visit.
+		// Context loads (one CM load burst), then data loads.
 		ctxCost := p.ContextCycles(v.CtxWords)
+		rec.Span(trace.Span{
+			Resource: trace.DMA, Kind: trace.KindContext,
+			Start: dmaFree, End: dmaFree + ctxCost,
+			Cluster: v.Cluster, Block: v.Block, Visit: vi, Set: v.Set,
+			Words: v.CtxWords,
+		})
 		res.CtxCycles += ctxCost
 		res.CtxWords += v.CtxWords
-		loadCost := 0
+		dmaFree += ctxCost
 		for _, m := range v.Loads {
-			loadCost += p.DataCycles(m.Bytes)
+			cost := p.DataCycles(m.Bytes)
+			rec.Span(trace.Span{
+				Resource: trace.DMA, Kind: trace.KindLoad, Name: m.Datum,
+				Start: dmaFree, End: dmaFree + cost,
+				Cluster: v.Cluster, Block: v.Block, Visit: vi, Set: v.Set,
+				Bytes: m.Bytes,
+			})
+			dmaFree += cost
+			res.DataCycles += cost
 			res.LoadBytes += m.Bytes
 		}
-		res.DataCycles += loadCost
-		dmaFree += ctxCost + loadCost
 		transfersDone := dmaFree
 
 		// Compute.
@@ -131,19 +182,25 @@ func Run(s *core.Schedule) (*Result, error) {
 		res.VisitEnd[vi] = computeEnd[vi]
 		res.ComputeCycles += v.ComputeCycles
 		rcFree = computeEnd[vi]
+		rec.Span(trace.Span{
+			Resource: trace.RCArray, Kind: trace.KindCompute,
+			Start: start, End: computeEnd[vi],
+			Cluster: v.Cluster, Block: v.Block, Visit: vi, Set: v.Set,
+		})
+		if vi > 0 && v.Set != prevSet {
+			rec.Mark(trace.Mark{
+				Kind: trace.MarkFBSwitch, Cycle: start, Visit: vi,
+				Name: fmt.Sprintf("set %d -> %d", prevSet, v.Set),
+			})
+		}
+		prevSet = v.Set
 
 		pendingStore[v.Set] = vi
 	}
 
 	// Drain trailing stores.
 	for _, vi := range sortedPending(pendingStore) {
-		start := dmaFree
-		if computeEnd[vi] > start {
-			start = computeEnd[vi]
-		}
-		cost := storeCost(vi)
-		dmaFree = start + cost
-		res.DataCycles += cost
+		drainStores(vi)
 	}
 
 	res.TotalCycles = rcFree

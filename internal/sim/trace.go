@@ -1,127 +1,32 @@
 package sim
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 
 	"cds/internal/core"
+	"cds/internal/trace"
 )
-
-// traceEvent is one Chrome trace-event ("Trace Event Format", the JSON
-// consumed by chrome://tracing and Perfetto). Durations use the "X"
-// (complete event) phase; timestamps are in microseconds, so one RC cycle
-// maps to one microsecond for viewing convenience.
-type traceEvent struct {
-	Name  string            `json:"name"`
-	Cat   string            `json:"cat"`
-	Phase string            `json:"ph"`
-	TS    int               `json:"ts"`
-	Dur   int               `json:"dur"`
-	PID   int               `json:"pid"`
-	TID   int               `json:"tid"`
-	Args  map[string]string `json:"args,omitempty"`
-}
 
 // WriteTrace exports the simulated execution as a Chrome trace: the RC
 // array's compute intervals on one track and the DMA channel's transfer
 // intervals on another, so the overlap structure can be inspected
 // visually in chrome://tracing or Perfetto.
+//
+// The trace is produced by re-running the simulation with a recorder
+// (the walk is deterministic, so this is exact, not a reconstruction)
+// and must agree with the caller's result; a result that does not match
+// the schedule is rejected.
 func WriteTrace(w io.Writer, s *core.Schedule, r *Result) error {
-	if len(r.VisitStart) != len(s.Visits) {
+	if s == nil || r == nil || len(r.VisitStart) != len(s.Visits) {
 		return fmt.Errorf("sim: result does not match schedule")
 	}
-	const (
-		pid      = 1
-		tidArray = 1
-		tidDMA   = 2
-	)
-	var events []traceEvent
-
-	// Compute intervals come straight from the result.
-	for vi := range s.Visits {
-		v := &s.Visits[vi]
-		events = append(events, traceEvent{
-			Name:  fmt.Sprintf("cluster %d (block %d)", v.Cluster, v.Block),
-			Cat:   "compute",
-			Phase: "X",
-			TS:    r.VisitStart[vi],
-			Dur:   r.VisitEnd[vi] - r.VisitStart[vi],
-			PID:   pid,
-			TID:   tidArray,
-			Args: map[string]string{
-				"set":        fmt.Sprint(v.Set),
-				"iterations": fmt.Sprint(v.Iters),
-			},
-		})
+	rr, tl, err := Trace(s)
+	if err != nil {
+		return err
 	}
-
-	// DMA intervals are reconstructed with the same walk Run uses.
-	p := s.Arch
-	pendingStore := map[int]int{}
-	for _, v := range s.Visits {
-		pendingStore[v.Set] = -1
+	if rr.TotalCycles != r.TotalCycles || rr.ComputeCycles != r.ComputeCycles {
+		return fmt.Errorf("sim: result does not match schedule")
 	}
-	dmaFree := 0
-	computeEnd := r.VisitEnd
-	emitDMA := func(name, cat string, start, dur int) {
-		if dur == 0 {
-			return
-		}
-		events = append(events, traceEvent{
-			Name: name, Cat: cat, Phase: "X",
-			TS: start, Dur: dur, PID: pid, TID: tidDMA,
-		})
-	}
-	for vi := range s.Visits {
-		v := &s.Visits[vi]
-		if prev := pendingStore[v.Set]; prev >= 0 {
-			start := dmaFree
-			if computeEnd[prev] > start {
-				start = computeEnd[prev]
-			}
-			cost := 0
-			for _, m := range s.Visits[prev].Stores {
-				cost += p.DataCycles(m.Bytes)
-			}
-			emitDMA(fmt.Sprintf("store c%d b%d", s.Visits[prev].Cluster, s.Visits[prev].Block),
-				"store", start, cost)
-			dmaFree = start + cost
-		}
-		ctx := p.ContextCycles(v.CtxWords)
-		emitDMA(fmt.Sprintf("ctx c%d b%d", v.Cluster, v.Block), "context", dmaFree, ctx)
-		dmaFree += ctx
-		load := 0
-		for _, m := range v.Loads {
-			load += p.DataCycles(m.Bytes)
-		}
-		emitDMA(fmt.Sprintf("load c%d b%d", v.Cluster, v.Block), "load", dmaFree, load)
-		dmaFree += load
-		pendingStore[v.Set] = vi
-	}
-	for _, vi := range sortedPending(pendingStore) {
-		start := dmaFree
-		if computeEnd[vi] > start {
-			start = computeEnd[vi]
-		}
-		cost := 0
-		for _, m := range s.Visits[vi].Stores {
-			cost += p.DataCycles(m.Bytes)
-		}
-		emitDMA(fmt.Sprintf("store c%d b%d", s.Visits[vi].Cluster, s.Visits[vi].Block),
-			"store", start, cost)
-		dmaFree = start + cost
-	}
-
-	// Thread names.
-	meta := []traceEvent{
-		{Name: "thread_name", Phase: "M", PID: pid, TID: tidArray,
-			Args: map[string]string{"name": "RC array"}},
-		{Name: "thread_name", Phase: "M", PID: pid, TID: tidDMA,
-			Args: map[string]string{"name": "DMA channel"}},
-	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(struct {
-		TraceEvents []traceEvent `json:"traceEvents"`
-	}{append(meta, events...)})
+	return trace.WriteChrome(w, tl)
 }

@@ -1,0 +1,75 @@
+package sweep
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// The CSV headers are a public contract: downstream parsers (and the
+// README's schema docs) key on these exact column names and positions.
+// Changing one must be a deliberate act that shows up in review as a
+// golden-test edit, never a silent drive-by.
+const (
+	fbCSVHeader    = "fb_bytes,basic_feasible,rf,ds_improvement,cds_improvement,retained_bytes,dt_bytes"
+	batchCSVHeader = "job,fb_bytes,basic_feasible,rf,ds_improvement,cds_improvement,dt_bytes,error"
+)
+
+func TestCSVHeaderStability(t *testing.T) {
+	var fb bytes.Buffer
+	CSV(&fb, nil)
+	if got := strings.TrimRight(fb.String(), "\n"); got != fbCSVHeader {
+		t.Errorf("FB sweep CSV header changed:\n got %q\nwant %q", got, fbCSVHeader)
+	}
+
+	var batch bytes.Buffer
+	if err := CSVRows(&batch, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimRight(batch.String(), "\n"); got != batchCSVHeader {
+		t.Errorf("batch CSV header changed:\n got %q\nwant %q", got, batchCSVHeader)
+	}
+}
+
+// TestCSVRowFieldCount pins that data rows stay aligned with the header
+// in both the happy and the error shape — a row with a different column
+// count corrupts every downstream table.
+func TestCSVRowFieldCount(t *testing.T) {
+	var buf bytes.Buffer
+	rows := []Row{
+		{Job: "M1/MPEG", FBBytes: 2048, BasicFeasible: true, RF: 2, DSImp: 32.88, CDSImp: 38.61, DTBytes: 832},
+		{Job: "M1/16,weird", FBBytes: 512, Err: "schedule: infeasible"},
+	}
+	if err := CSVRows(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d CSV lines, want header + 2 rows:\n%s", len(lines), buf.String())
+	}
+	wantCols := strings.Count(batchCSVHeader, ",") + 1
+	for i, line := range lines {
+		// The quoted comma in the hostile job name must not add a column.
+		if got := strings.Count(strings.ReplaceAll(line, `"M1/16,weird"`, "x"), ",") + 1; got != wantCols {
+			t.Errorf("line %d has %d columns, want %d: %q", i, got, wantCols, line)
+		}
+	}
+	if !strings.Contains(lines[2], `"M1/16,weird",512,,,,,,schedule: infeasible`) {
+		t.Errorf("error row shape changed: %q", lines[2])
+	}
+}
+
+// TestCSVHeadersDocumented keeps the README's schema section honest:
+// the exact header lines this package emits must appear verbatim there.
+func TestCSVHeadersDocumented(t *testing.T) {
+	readme, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Skipf("README not readable: %v", err)
+	}
+	for _, h := range []string{fbCSVHeader, batchCSVHeader} {
+		if !bytes.Contains(readme, []byte(h)) {
+			t.Errorf("README does not document the CSV header %q", h)
+		}
+	}
+}

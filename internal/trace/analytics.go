@@ -1,0 +1,221 @@
+package trace
+
+// The derived-analytics layer: everything here is computed from the raw
+// span timeline alone, so any recorded run — simulator, replayed
+// journal, diffed pair — answers the same questions: how busy was each
+// resource, how much transfer time hid under computation, and where did
+// the makespan actually go.
+
+import "sort"
+
+// ClusterStats is one cluster's slice of the timeline.
+type ClusterStats struct {
+	Cluster int `json:"cluster"`
+	// ComputeCycles is the cluster's total RC-array busy time.
+	ComputeCycles int `json:"compute_cycles"`
+	// CtxCycles, LoadCycles and StoreCycles are the cluster's DMA busy
+	// times by traffic kind.
+	CtxCycles   int `json:"ctx_cycles"`
+	LoadCycles  int `json:"load_cycles"`
+	StoreCycles int `json:"store_cycles"`
+	// LoadBytes and StoreBytes are the cluster's data volumes; CtxWords
+	// its context volume.
+	LoadBytes  int `json:"load_bytes"`
+	StoreBytes int `json:"store_bytes"`
+	CtxWords   int `json:"ctx_words"`
+	// Visits counts the cluster's visits.
+	Visits int `json:"visits"`
+}
+
+// CriticalPath decomposes the makespan into where the cycles went. The
+// five buckets tile the makespan exactly:
+//
+//	Makespan = Compute + ExposedCtx + ExposedLoad + ExposedStore + Dead
+//
+// Compute counts every RC-array busy cycle (transfers under it are
+// free — that is the overlap the schedulers fight for). The Exposed
+// buckets count DMA cycles the RC array sat idle for, attributed to the
+// transfer kind that occupied the channel. Dead counts cycles where
+// both resources idled (scheduling gaps; 0 for the simulator's
+// work-conserving model except where the model forces serialization).
+type CriticalPath struct {
+	Compute      int `json:"compute"`
+	ExposedCtx   int `json:"exposed_ctx"`
+	ExposedLoad  int `json:"exposed_load"`
+	ExposedStore int `json:"exposed_store"`
+	Dead         int `json:"dead"`
+}
+
+// Analytics is the derived report over one timeline.
+type Analytics struct {
+	Label    string `json:"label"`
+	Makespan int    `json:"makespan"`
+
+	// DMABusy/RCBusy are the per-resource busy cycle totals;
+	// DMAUtilPct/RCUtilPct the same as a percentage of the makespan.
+	DMABusy    int     `json:"dma_busy"`
+	RCBusy     int     `json:"rc_busy"`
+	DMAUtilPct float64 `json:"dma_util_pct"`
+	RCUtilPct  float64 `json:"rc_util_pct"`
+
+	// CtxCycles/LoadCycles/StoreCycles split the DMA busy time by kind.
+	CtxCycles   int `json:"ctx_cycles"`
+	LoadCycles  int `json:"load_cycles"`
+	StoreCycles int `json:"store_cycles"`
+
+	// OverlapCycles counts cycles where the DMA channel was busy UNDER
+	// a computing RC array — the paper's hidden-transfer time.
+	// OverlapPct is that as a percentage of all DMA busy cycles: 100
+	// means every transfer hid under computation (perfect prefetch),
+	// 0 means every transfer was exposed on the critical path.
+	OverlapCycles int     `json:"overlap_cycles"`
+	OverlapPct    float64 `json:"overlap_pct"`
+
+	// Path is the critical-path decomposition of the makespan.
+	Path CriticalPath `json:"path"`
+
+	// FBSwitches counts Frame Buffer set switches.
+	FBSwitches int `json:"fb_switches"`
+	// CMLoads counts Context Memory load bursts (context spans).
+	CMLoads int `json:"cm_loads"`
+
+	// Clusters is the per-cluster breakdown, ordered by cluster index.
+	Clusters []ClusterStats `json:"clusters,omitempty"`
+}
+
+// Analyze computes the derived analytics of one timeline.
+func Analyze(tl *Timeline) Analytics {
+	a := Analytics{Label: tl.Label, Makespan: tl.Makespan}
+	byCluster := map[int]*ClusterStats{}
+	cluster := func(c int) *ClusterStats {
+		cs, ok := byCluster[c]
+		if !ok {
+			cs = &ClusterStats{Cluster: c}
+			byCluster[c] = cs
+		}
+		return cs
+	}
+	for _, s := range tl.Spans {
+		cs := cluster(s.Cluster)
+		switch s.Kind {
+		case KindCompute:
+			a.RCBusy += s.Dur()
+			cs.ComputeCycles += s.Dur()
+			cs.Visits++
+		case KindContext:
+			a.DMABusy += s.Dur()
+			a.CtxCycles += s.Dur()
+			a.CMLoads++
+			cs.CtxCycles += s.Dur()
+			cs.CtxWords += s.Words
+		case KindLoad:
+			a.DMABusy += s.Dur()
+			a.LoadCycles += s.Dur()
+			cs.LoadCycles += s.Dur()
+			cs.LoadBytes += s.Bytes
+		case KindStore:
+			a.DMABusy += s.Dur()
+			a.StoreCycles += s.Dur()
+			cs.StoreCycles += s.Dur()
+			cs.StoreBytes += s.Bytes
+		}
+	}
+	for _, m := range tl.Marks {
+		if m.Kind == MarkFBSwitch {
+			a.FBSwitches++
+		}
+	}
+	if tl.Makespan > 0 {
+		a.DMAUtilPct = 100 * float64(a.DMABusy) / float64(tl.Makespan)
+		a.RCUtilPct = 100 * float64(a.RCBusy) / float64(tl.Makespan)
+	}
+
+	a.OverlapCycles, a.Path = decompose(tl)
+	if a.DMABusy > 0 {
+		a.OverlapPct = 100 * float64(a.OverlapCycles) / float64(a.DMABusy)
+	}
+
+	clusters := make([]int, 0, len(byCluster))
+	for c := range byCluster {
+		clusters = append(clusters, c)
+	}
+	sort.Ints(clusters)
+	for _, c := range clusters {
+		a.Clusters = append(a.Clusters, *byCluster[c])
+	}
+	return a
+}
+
+// decompose sweeps the two resource tracks through every elementary
+// interval between span boundaries and buckets each cycle by what the
+// two resources were doing: both busy (overlap), DMA-only (exposed
+// transfer time, attributed by kind), RC-only (compute with a quiet
+// channel) and both idle (dead time).
+func decompose(tl *Timeline) (overlap int, path CriticalPath) {
+	dma := tl.ByResource(DMA)
+	rc := tl.ByResource(RCArray)
+
+	// Boundary sweep: both lists are sorted and non-overlapping within
+	// their track (verify pins that), so a two-pointer walk suffices.
+	di, ri := 0, 0
+	cursor := 0
+	for cursor < tl.Makespan {
+		// Skip spans that ended at or before the cursor.
+		for di < len(dma) && dma[di].End <= cursor {
+			di++
+		}
+		for ri < len(rc) && rc[ri].End <= cursor {
+			ri++
+		}
+		// The current segment runs until the nearest span boundary
+		// ahead of the cursor on either track.
+		next := tl.Makespan
+		dmaBusy, rcBusy := false, false
+		var dmaKind Kind
+		if di < len(dma) {
+			if dma[di].Start <= cursor {
+				dmaBusy = true
+				dmaKind = dma[di].Kind
+				if dma[di].End < next {
+					next = dma[di].End
+				}
+			} else if dma[di].Start < next {
+				next = dma[di].Start
+			}
+		}
+		if ri < len(rc) {
+			if rc[ri].Start <= cursor {
+				rcBusy = true
+				if rc[ri].End < next {
+					next = rc[ri].End
+				}
+			} else if rc[ri].Start < next {
+				next = rc[ri].Start
+			}
+		}
+		seg := next - cursor
+		if seg <= 0 {
+			break // defensive: malformed timeline, bail out of the sweep
+		}
+		switch {
+		case rcBusy:
+			path.Compute += seg
+			if dmaBusy {
+				overlap += seg
+			}
+		case dmaBusy:
+			switch dmaKind {
+			case KindContext:
+				path.ExposedCtx += seg
+			case KindLoad:
+				path.ExposedLoad += seg
+			case KindStore:
+				path.ExposedStore += seg
+			}
+		default:
+			path.Dead += seg
+		}
+		cursor = next
+	}
+	return overlap, path
+}

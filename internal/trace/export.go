@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Export renders the timelines in the named format — the dispatcher
+// behind every CLI's -trace-format flag:
+//
+//	chrome  — Chrome trace_event JSON (chrome://tracing, Perfetto)
+//	svg     — self-contained SVG Gantt chart
+//	summary — per-timeline text analytics
+//	diff    — side-by-side analytics table (first timeline is baseline)
+func Export(w io.Writer, format string, tls ...*Timeline) error {
+	switch format {
+	case "chrome":
+		return WriteChrome(w, tls...)
+	case "svg":
+		return WriteSVG(w, tls...)
+	case "summary":
+		n := 0
+		for _, tl := range tls {
+			if tl != nil {
+				WriteSummary(w, tl)
+				n++
+			}
+		}
+		if n == 0 {
+			return fmt.Errorf("trace: no timelines to summarize")
+		}
+		return nil
+	case "diff":
+		WriteDiff(w, tls...)
+		return nil
+	}
+	return fmt.Errorf("trace: unknown format %q (want chrome, svg, summary or diff)", format)
+}
+
+// ExportFile renders the timelines to path in the named format; "-"
+// writes to stdout.
+func ExportFile(path, format string, tls ...*Timeline) error {
+	if path == "-" {
+		return Export(os.Stdout, format, tls...)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Export(f, format, tls...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,103 @@
+package trace
+
+import "sync"
+
+// RingEntry is one recorded trace in a Ring.
+type RingEntry struct {
+	// Label identifies the traced run (e.g. "cds/MPEG").
+	Label string `json:"label"`
+	// Seq is the entry's monotone admission number (1-based), so a
+	// reader can tell how many traces were recorded before this one.
+	Seq int64 `json:"seq"`
+	// Analytics is the derived summary of the timeline.
+	Analytics Analytics `json:"analytics"`
+	// Chrome is the Chrome trace_event JSON of the timeline.
+	Chrome []byte `json:"-"`
+}
+
+// RingStats snapshots the ring's counters.
+type RingStats struct {
+	// Recorded counts entries ever admitted; Evicted those displaced to
+	// fit the bounds; Oversize those rejected outright because their
+	// payload alone exceeds the byte budget.
+	Recorded, Evicted, Oversize int64
+	// Entries and Bytes gauge the current residency.
+	Entries int
+	Bytes   int
+}
+
+// Ring is a bounded in-memory buffer of recent trace entries for a
+// serving process: bounded twice, by entry count and by a total byte
+// budget over the entries' exported payloads, so a long-lived daemon
+// can keep "the last few traces" forever without unbounded growth.
+// Construct with NewRing; safe for concurrent use.
+type Ring struct {
+	mu      sync.Mutex
+	entries []RingEntry
+	maxN    int
+	budget  int
+	bytes   int
+	stats   RingStats
+}
+
+// NewRing returns a ring holding at most maxEntries entries whose
+// Chrome payloads total at most byteBudget bytes. Non-positive values
+// default to 32 entries and 1 MiB.
+func NewRing(maxEntries, byteBudget int) *Ring {
+	if maxEntries <= 0 {
+		maxEntries = 32
+	}
+	if byteBudget <= 0 {
+		byteBudget = 1 << 20
+	}
+	return &Ring{maxN: maxEntries, budget: byteBudget}
+}
+
+// Add admits one entry, evicting the oldest entries as needed to
+// respect both bounds. An entry whose payload alone exceeds the byte
+// budget is dropped (counted in Oversize) — truncating a trace would
+// serve corrupt JSON.
+func (r *Ring) Add(e RingEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(e.Chrome) > r.budget {
+		r.stats.Oversize++
+		return
+	}
+	r.stats.Recorded++
+	e.Seq = r.stats.Recorded
+	for len(r.entries) >= r.maxN || r.bytes+len(e.Chrome) > r.budget {
+		r.evictOldestLocked()
+	}
+	r.entries = append(r.entries, e)
+	r.bytes += len(e.Chrome)
+}
+
+func (r *Ring) evictOldestLocked() {
+	old := r.entries[0]
+	// Clear the slot so the backing array does not pin the payload.
+	r.entries[0] = RingEntry{}
+	r.entries = r.entries[1:]
+	r.bytes -= len(old.Chrome)
+	r.stats.Evicted++
+}
+
+// Snapshot returns the resident entries, oldest first. The slice is a
+// copy; the payload bytes are shared (the ring never mutates them).
+func (r *Ring) Snapshot() []RingEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]RingEntry, len(r.entries))
+	copy(out, r.entries)
+	return out
+}
+
+// Stats snapshots the counters and residency gauges.
+func (r *Ring) Stats() RingStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.stats
+	s.Entries = len(r.entries)
+	s.Bytes = r.bytes
+	return s
+}

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The SVG Gantt exporter: a self-contained (no scripts, no external
+// assets) chart of one or more timelines, two tracks each — RC array on
+// top, DMA channel below — with spans colored by kind and FB set
+// switches as dashed cycle markers. It answers the paper's Figure 6
+// question at a glance: how much of the DMA track hides under the
+// compute track.
+
+// svg layout constants (pixels).
+const (
+	svgWidth      = 960
+	svgMarginL    = 110
+	svgMarginR    = 16
+	svgTrackH     = 26
+	svgTrackGap   = 8
+	svgGroupGap   = 30
+	svgHeaderH    = 34
+	svgAxisH      = 28
+	svgLegendH    = 24
+	svgPlotW      = svgWidth - svgMarginL - svgMarginR
+	svgMinSpanPx  = 0.5
+	svgAxisTicks  = 8
+	svgTitleSize  = 13
+	svgLabelSize  = 11
+	svgSpanStroke = "#ffffff"
+)
+
+// svgFill maps span kinds to fills.
+func svgFill(k Kind) string {
+	switch k {
+	case KindCompute:
+		return "#4878a8"
+	case KindContext:
+		return "#c2803d"
+	case KindLoad:
+		return "#5b9a68"
+	case KindStore:
+		return "#a85a5a"
+	}
+	return "#888888"
+}
+
+// WriteSVG renders the timelines as one stacked SVG Gantt chart. All
+// timelines share one time axis scaled to the longest makespan, so a
+// Basic/DS/CDS triple reads as a direct visual diff.
+func WriteSVG(w io.Writer, tls ...*Timeline) error {
+	var kept []*Timeline
+	maxSpan := 1
+	for _, tl := range tls {
+		if tl == nil {
+			continue
+		}
+		kept = append(kept, tl)
+		if tl.Makespan > maxSpan {
+			maxSpan = tl.Makespan
+		}
+	}
+	if len(kept) == 0 {
+		return fmt.Errorf("trace: no timelines to render")
+	}
+
+	groupH := svgHeaderH + 2*svgTrackH + svgTrackGap
+	height := svgLegendH + len(kept)*(groupH+svgGroupGap) + svgAxisH
+	x := func(cycle int) float64 {
+		return svgMarginL + float64(cycle)/float64(maxSpan)*svgPlotW
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="ui-monospace, SFMono-Regular, Menlo, monospace">`+"\n",
+		svgWidth, height, svgWidth, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="#fcfcf9"/>` + "\n")
+
+	// Legend.
+	lx := svgMarginL
+	for _, k := range []Kind{KindCompute, KindContext, KindLoad, KindStore} {
+		fmt.Fprintf(&b, `<rect x="%d" y="6" width="12" height="12" fill="%s"/>`+"\n", lx, svgFill(k))
+		fmt.Fprintf(&b, `<text x="%d" y="16" font-size="%d" fill="#333">%s</text>`+"\n", lx+16, svgLabelSize, k)
+		lx += 18 + 8*len(k.String()) + 18
+	}
+
+	for gi, tl := range kept {
+		top := svgLegendH + gi*(groupH+svgGroupGap)
+		a := Analyze(tl)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="%d" fill="#111" font-weight="bold">%s</text>`+"\n",
+			svgMarginL, top+14, svgTitleSize, svgEscape(tl.Label))
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="%d" fill="#555">%d cycles, RC %.0f%%, DMA %.0f%%, overlap %.0f%%</text>`+"\n",
+			svgMarginL, top+28, svgLabelSize, tl.Makespan, a.RCUtilPct, a.DMAUtilPct, a.OverlapPct)
+
+		tracks := []struct {
+			name string
+			res  Resource
+		}{{"RC array", RCArray}, {"DMA", DMA}}
+		for ti, tr := range tracks {
+			y := top + svgHeaderH + ti*(svgTrackH+svgTrackGap)
+			fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="%d" fill="#333" text-anchor="end">%s</text>`+"\n",
+				svgMarginL-8, y+svgTrackH/2+4, svgLabelSize, tr.name)
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="#eeeee8"/>`+"\n",
+				svgMarginL, y, svgPlotW, svgTrackH)
+			for _, s := range tl.ByResource(tr.res) {
+				x0, x1 := x(s.Start), x(s.End)
+				wpx := x1 - x0
+				if wpx < svgMinSpanPx {
+					wpx = svgMinSpanPx
+				}
+				fmt.Fprintf(&b, `<rect x="%.2f" y="%d" width="%.2f" height="%d" fill="%s" stroke="%s" stroke-width="0.3"><title>%s [%d,%d) %d cycles</title></rect>`+"\n",
+					x0, y+2, wpx, svgTrackH-4, svgFill(s.Kind), svgSpanStroke,
+					svgEscape(chromeName(s)), s.Start, s.End, s.Dur())
+			}
+		}
+		// FB set switches: dashed markers across both tracks.
+		for _, m := range tl.Marks {
+			if m.Kind != MarkFBSwitch {
+				continue
+			}
+			mx := x(m.Cycle)
+			fmt.Fprintf(&b, `<line x1="%.2f" y1="%d" x2="%.2f" y2="%d" stroke="#6a4a8a" stroke-width="1" stroke-dasharray="3,2"><title>%s @%d</title></line>`+"\n",
+				mx, top+svgHeaderH, mx, top+svgHeaderH+2*svgTrackH+svgTrackGap, svgEscape(m.Name), m.Cycle)
+		}
+	}
+
+	// Shared time axis.
+	ay := height - svgAxisH + 6
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#999"/>`+"\n",
+		svgMarginL, ay, svgMarginL+svgPlotW, ay)
+	for i := 0; i <= svgAxisTicks; i++ {
+		cycle := maxSpan * i / svgAxisTicks
+		tx := x(cycle)
+		fmt.Fprintf(&b, `<line x1="%.2f" y1="%d" x2="%.2f" y2="%d" stroke="#999"/>`+"\n", tx, ay, tx, ay+4)
+		fmt.Fprintf(&b, `<text x="%.2f" y="%d" font-size="%d" fill="#555" text-anchor="middle">%d</text>`+"\n",
+			tx, ay+16, svgLabelSize, cycle)
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="%d" fill="#555" text-anchor="end">cycles</text>`+"\n",
+		svgMarginL+svgPlotW, ay-6, svgLabelSize)
+
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// svgEscape escapes the XML-significant characters of span names (datum
+// names are caller-controlled in specs).
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

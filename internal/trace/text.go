@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteSummary renders one timeline's analytics as a compact text
+// report: utilization, overlap efficiency and the critical-path
+// decomposition, plus the per-cluster breakdown.
+func WriteSummary(w io.Writer, tl *Timeline) {
+	a := Analyze(tl)
+	fmt.Fprintf(w, "%s: %d cycles\n", a.Label, a.Makespan)
+	fmt.Fprintf(w, "  RC array   busy %7d cycles (%5.1f%%)\n", a.RCBusy, a.RCUtilPct)
+	fmt.Fprintf(w, "  DMA        busy %7d cycles (%5.1f%%): ctx %d, loads %d, stores %d\n",
+		a.DMABusy, a.DMAUtilPct, a.CtxCycles, a.LoadCycles, a.StoreCycles)
+	fmt.Fprintf(w, "  overlap    %d of %d DMA cycles hidden under compute (%.1f%%)\n",
+		a.OverlapCycles, a.DMABusy, a.OverlapPct)
+	fmt.Fprintf(w, "  makespan   = compute %d + exposed ctx %d + exposed loads %d + exposed stores %d + dead %d\n",
+		a.Path.Compute, a.Path.ExposedCtx, a.Path.ExposedLoad, a.Path.ExposedStore, a.Path.Dead)
+	fmt.Fprintf(w, "  events     %d FB set switches, %d CM load bursts\n", a.FBSwitches, a.CMLoads)
+	if len(a.Clusters) > 0 {
+		fmt.Fprintf(w, "  %-9s %8s %8s %8s %8s %9s %9s %7s\n",
+			"cluster", "compute", "ctx cyc", "load cyc", "stor cyc", "load B", "store B", "visits")
+		for _, c := range a.Clusters {
+			fmt.Fprintf(w, "  c%-8d %8d %8d %8d %8d %9d %9d %7d\n",
+				c.Cluster, c.ComputeCycles, c.CtxCycles, c.LoadCycles, c.StoreCycles,
+				c.LoadBytes, c.StoreBytes, c.Visits)
+		}
+	}
+}
+
+// WriteDiff renders several timelines' analytics side by side — the
+// Basic vs DS vs CDS overlap comparison cmd/trace serves. The first
+// timeline is the baseline for the relative makespan column.
+func WriteDiff(w io.Writer, tls ...*Timeline) {
+	var as []Analytics
+	for _, tl := range tls {
+		if tl != nil {
+			as = append(as, Analyze(tl))
+		}
+	}
+	if len(as) == 0 {
+		fmt.Fprintln(w, "no timelines")
+		return
+	}
+	base := float64(as[0].Makespan)
+	fmt.Fprintf(w, "%-16s %10s %8s %7s %7s %9s %11s %11s %10s\n",
+		"timeline", "makespan", "vs base", "RC%", "DMA%", "overlap%", "exposed ctx", "exposed mem", "dead")
+	for _, a := range as {
+		rel := "-"
+		if base > 0 {
+			rel = fmt.Sprintf("%+.1f%%", 100*(float64(a.Makespan)-base)/base)
+		}
+		fmt.Fprintf(w, "%-16s %10d %8s %6.1f%% %6.1f%% %8.1f%% %11d %11d %10d\n",
+			a.Label, a.Makespan, rel, a.RCUtilPct, a.DMAUtilPct, a.OverlapPct,
+			a.Path.ExposedCtx, a.Path.ExposedLoad+a.Path.ExposedStore, a.Path.Dead)
+	}
+}

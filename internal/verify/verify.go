@@ -17,6 +17,10 @@
 //	                holds: wall clock dominates both the serialized DMA
 //	                busy time and compute+stall, and visits execute in
 //	                order on the RC array
+//	timeline      — the traced execution is exact: per-resource spans
+//	                tile the makespan (busy + idle, no overlaps) and
+//	                the trace's busy totals equal the simulator's
+//	                reported compute and transfer cycles
 //	residency     — the generated transfer program passes codegen.Check
 //	                (contexts resident before EXEC, FB ranges legal,
 //	                volumes matching the schedule)
@@ -31,12 +35,13 @@ import (
 	"cds/internal/core"
 	"cds/internal/scherr"
 	"cds/internal/sim"
+	"cds/internal/trace"
 )
 
 // Error is one invariant violation found by the verifier.
 type Error struct {
 	// Invariant names the violated family: "structure", "capacity",
-	// "liveness", "serialization" or "residency".
+	// "liveness", "serialization", "timeline" or "residency".
 	Invariant string
 	// Err details the violation.
 	Err error
@@ -77,6 +82,9 @@ func Schedule(s *core.Schedule) error {
 		return err
 	}
 	if err := checkSerialization(s); err != nil {
+		return err
+	}
+	if err := checkTimeline(s); err != nil {
 		return err
 	}
 	prog, err := codegen.Generate(s)
@@ -171,6 +179,32 @@ func checkSerialization(s *core.Schedule) error {
 			return violated("serialization", "visit %d starts at %d while visit %d computes until %d — RC array double-booked",
 				vi, res.VisitStart[vi], vi-1, res.VisitEnd[vi-1])
 		}
+	}
+	return nil
+}
+
+// checkTimeline runs the traced simulation and asserts the recorded
+// execution is exact: on each resource the spans tile the makespan —
+// non-overlapping, in bounds, busy plus idle equal to the wall clock —
+// and the trace's busy totals agree with the simulator's accounting
+// (DMA spans sum to the reported transfer cycles, compute spans to the
+// reported compute cycles).
+func checkTimeline(s *core.Schedule) error {
+	res, tl, err := sim.Trace(s)
+	if err != nil {
+		return &Error{Invariant: "timeline", Err: err}
+	}
+	if _, err := trace.Tile(tl); err != nil {
+		return &Error{Invariant: "timeline", Err: err}
+	}
+	if busy := tl.Busy(trace.DMA); busy != res.DMABusy() {
+		return violated("timeline", "DMA spans sum to %d cycles, simulator reports %d", busy, res.DMABusy())
+	}
+	if busy := tl.Busy(trace.RCArray); busy != res.ComputeCycles {
+		return violated("timeline", "compute spans sum to %d cycles, simulator reports %d", busy, res.ComputeCycles)
+	}
+	if busy := tl.BusyKind(trace.KindContext); busy != res.CtxCycles {
+		return violated("timeline", "context spans sum to %d cycles, simulator reports %d", busy, res.CtxCycles)
 	}
 	return nil
 }

@@ -1,0 +1,78 @@
+package cds
+
+import (
+	"context"
+
+	"cds/internal/scherr"
+	"cds/internal/sim"
+	"cds/internal/trace"
+)
+
+// Re-exported tracing types: the recorded execution timeline and its
+// derived analytics (see internal/trace for the exporters).
+type (
+	// Timeline is the cycle-stamped record of one simulated execution:
+	// every DMA transfer, compute interval and FB set switch.
+	Timeline = trace.Timeline
+	// TimelineAnalytics is the derived summary of a Timeline: resource
+	// utilization, overlap efficiency and the critical-path
+	// decomposition of the makespan.
+	TimelineAnalytics = trace.Analytics
+)
+
+// AnalyzeTimeline derives per-resource utilization, overlap efficiency
+// and the critical-path decomposition from a recorded timeline.
+func AnalyzeTimeline(tl *Timeline) TimelineAnalytics { return trace.Analyze(tl) }
+
+// RunTraced is RunCtx plus a recorded execution timeline. Tracing is
+// observational: the traced simulation is the same walk Run uses, so
+// the returned Result is identical to an untraced run's.
+func RunTraced(ctx context.Context, kind SchedulerKind, pa Arch, part *Part) (*Result, *Timeline, error) {
+	res, err := RunCtx(ctx, kind, pa, part)
+	if err != nil {
+		return nil, nil, err
+	}
+	_, tl, err := sim.Trace(res.Schedule)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, tl, nil
+}
+
+// TracedComparison is a Comparison plus the recorded timeline of every
+// scheduler that produced a result.
+type TracedComparison struct {
+	*Comparison
+	// Timelines holds one timeline per surviving scheduler, in
+	// Basic, DS, CDS order (failed schedulers are skipped), labeled by
+	// scheduler name. The first entry is the natural diff baseline.
+	Timelines []*Timeline
+}
+
+// CompareAllTraced is CompareAllCtx plus recorded timelines for the
+// surviving schedulers. The comparison itself still flows through the
+// result cache — timelines are re-derived from the (deterministic)
+// schedules, so a cache hit and a fresh computation trace identically.
+// Like CompareAllCtx, a partial comparison is returned alongside the
+// first DS/CDS failure.
+func CompareAllTraced(ctx context.Context, pa Arch, part *Part) (*TracedComparison, error) {
+	cmp, err := CompareAllCtx(ctx, pa, part)
+	if cmp == nil {
+		return nil, err
+	}
+	tc := &TracedComparison{Comparison: cmp}
+	for _, res := range []*Result{cmp.Basic, cmp.DS, cmp.CDS} {
+		if res == nil {
+			continue
+		}
+		if cerr := scherr.FromContext(ctx); cerr != nil {
+			return nil, cerr
+		}
+		_, tl, terr := sim.Trace(res.Schedule)
+		if terr != nil {
+			return nil, terr
+		}
+		tc.Timelines = append(tc.Timelines, tl)
+	}
+	return tc, err
+}

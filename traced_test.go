@@ -1,0 +1,104 @@
+package cds
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cds/internal/trace"
+)
+
+// TestRunTracedIdentity pins the facade-level conservativeness
+// guarantee: a traced run returns the same Result as an untraced run,
+// plus a timeline whose busy totals match the timing report.
+func TestRunTracedIdentity(t *testing.T) {
+	part := facadePartition(t)
+	pa := facadeArch()
+	for _, kind := range []SchedulerKind{Basic, DS, CDS} {
+		plain, err := Run(kind, pa, part)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		traced, tl, err := RunTraced(context.Background(), kind, pa, part)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !reflect.DeepEqual(plain.Timing, traced.Timing) {
+			t.Errorf("%s: traced timing differs:\nplain:  %+v\ntraced: %+v",
+				kind, plain.Timing, traced.Timing)
+		}
+		if tl.Makespan != plain.Timing.TotalCycles {
+			t.Errorf("%s: timeline makespan %d != total %d", kind, tl.Makespan, plain.Timing.TotalCycles)
+		}
+		if got := tl.Busy(trace.DMA); got != plain.Timing.DMABusy() {
+			t.Errorf("%s: timeline DMA busy %d != %d", kind, got, plain.Timing.DMABusy())
+		}
+		a := AnalyzeTimeline(tl)
+		if a.Makespan != tl.Makespan || a.Label != kind.String() {
+			t.Errorf("%s: analytics %q/%d for timeline %q/%d", kind, a.Label, a.Makespan, tl.Label, tl.Makespan)
+		}
+	}
+}
+
+func TestCompareAllTraced(t *testing.T) {
+	part := facadePartition(t)
+	pa := facadeArch()
+	tc, err := CompareAllTraced(context.Background(), pa, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tc.Timelines) != 3 {
+		t.Fatalf("%d timelines, want 3", len(tc.Timelines))
+	}
+	wantLabels := []string{"basic", "ds", "cds"}
+	for i, tl := range tc.Timelines {
+		if tl.Label != wantLabels[i] {
+			t.Errorf("timeline %d labeled %q, want %q", i, tl.Label, wantLabels[i])
+		}
+	}
+	if tc.Timelines[0].Makespan != tc.Basic.Timing.TotalCycles ||
+		tc.Timelines[2].Makespan != tc.CDS.Timing.TotalCycles {
+		t.Error("timeline makespans do not match comparison timings")
+	}
+	// The traced comparison flows through the result cache; a second
+	// call (cache hit) must trace identically.
+	tc2, err := CompareAllTraced(context.Background(), pa, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tc.Timelines {
+		if !reflect.DeepEqual(tc.Timelines[i], tc2.Timelines[i]) {
+			t.Errorf("timeline %d differs between cached and fresh comparison", i)
+		}
+	}
+
+	// The timelines render through every exporter.
+	var b strings.Builder
+	if err := trace.WriteChrome(&b, tc.Timelines...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.ValidateChrome(strings.NewReader(b.String())); err != nil {
+		t.Errorf("comparison trace invalid: %v", err)
+	}
+	b.Reset()
+	if err := trace.WriteSVG(&b, tc.Timelines...); err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	trace.WriteDiff(&b, tc.Timelines...)
+	for _, want := range wantLabels {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("diff missing %q", want)
+		}
+	}
+}
+
+func TestCompareAllTracedCanceled(t *testing.T) {
+	part := facadePartition(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CompareAllTraced(ctx, facadeArch(), part); err == nil {
+		t.Error("canceled context accepted")
+	}
+}
