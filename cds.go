@@ -100,11 +100,23 @@ func (k SchedulerKind) scheduler() (core.Scheduler, error) {
 	case Basic:
 		return core.Basic{}, nil
 	case DS:
-		return core.DataScheduler{}, nil
+		return core.DataScheduler{Eval: simCycles}, nil
 	case CDS:
-		return core.CompleteDataScheduler{}, nil
+		return core.CompleteDataScheduler{Eval: simCycles}, nil
 	}
 	return nil, fmt.Errorf("cds: unknown scheduler kind %d", int(k))
+}
+
+// simCycles is the timing evaluator wired into the data schedulers' RF
+// guard: candidate reuse factors are scored by the event-driven simulator
+// so the chosen schedule is fastest under the machine model, not merely
+// lightest on DMA traffic (core cannot import internal/sim itself).
+func simCycles(s *core.Schedule) (int, error) {
+	r, err := sim.Run(s)
+	if err != nil {
+		return 0, err
+	}
+	return r.TotalCycles, nil
 }
 
 // Result bundles everything one scheduler run produces.

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"cds/internal/scherr"
 )
 
 func TestM1Defaults(t *testing.T) {
@@ -217,6 +219,33 @@ func TestContextMemoryAccountingInvariant(t *testing.T) {
 		if cm.Used() > cm.Capacity() {
 			t.Fatalf("step %d: used=%d exceeds capacity=%d", step, cm.Used(), cm.Capacity())
 		}
+	}
+}
+
+// TestContextMemoryCorruptAccountingIsError: a CM whose accounting has
+// broken (words counted used with nothing evictable) must report a typed
+// error from the eviction path, not panic. The state is unreachable
+// through the public API, so the test corrupts it directly; the error
+// must match both ErrCMCorrupt and the taxonomy's ErrInternal so a long
+// sweep can report the item and keep going.
+func TestContextMemoryCorruptAccountingIsError(t *testing.T) {
+	cm := NewContextMemory(64)
+	mustLoad(t, cm, "a", 40)
+	// Corrupt: drop the eviction order while words stay accounted used.
+	cm.order = nil
+	moved, err := cm.Load("b", 40) // needs eviction, nothing to evict
+	if moved != 0 {
+		t.Fatalf("corrupt Load moved %d words, want 0", moved)
+	}
+	if !errors.Is(err, ErrCMCorrupt) {
+		t.Fatalf("err = %v, want ErrCMCorrupt", err)
+	}
+	if !errors.Is(err, scherr.ErrInternal) {
+		t.Fatalf("err = %v does not match scherr.ErrInternal", err)
+	}
+	// The expected capacity outcome stays distinct from corruption.
+	if errors.Is(err, ErrDoesNotFit) {
+		t.Fatalf("corruption error %v must not match ErrDoesNotFit", err)
 	}
 }
 

@@ -1,6 +1,18 @@
 package arch
 
-import "fmt"
+import (
+	"fmt"
+
+	"cds/internal/scherr"
+)
+
+// ErrCMCorrupt reports that the Context Memory's residency accounting has
+// broken: words are counted as used but no resident group can be evicted
+// to free them. It can only arise from a bug in this package (no public
+// call sequence reaches it), so it joins the taxonomy as
+// scherr.ErrInternal — an error the caller reports rather than a panic
+// that takes down a whole fuzzing sweep or scheduling service.
+var ErrCMCorrupt = scherr.Sentinel(scherr.ErrInternal, "arch: context memory accounting corrupted")
 
 // ContextMemory tracks which kernels' context planes currently reside in
 // the on-chip Context Memory. The context scheduler uses it to decide when
@@ -58,7 +70,9 @@ func (cm *ContextMemory) Load(kernel string, words int) (int, error) {
 		return 0, nil
 	}
 	for cm.used+words > cm.capacity {
-		cm.evictOldest()
+		if err := cm.evictOldest(); err != nil {
+			return 0, err
+		}
 	}
 	cm.resident[kernel] = words
 	cm.order = append(cm.order, kernel)
@@ -89,9 +103,11 @@ func (cm *ContextMemory) Reset() {
 	cm.used = 0
 }
 
-func (cm *ContextMemory) evictOldest() {
+func (cm *ContextMemory) evictOldest() error {
 	if len(cm.order) == 0 {
-		panic("arch: context memory accounting corrupted: nothing to evict")
+		return fmt.Errorf("arch: %d context words counted used but nothing to evict: %w",
+			cm.used, ErrCMCorrupt)
 	}
 	cm.Evict(cm.order[0])
+	return nil
 }

@@ -178,14 +178,22 @@ func Generate(s *core.Schedule) (*Program, error) {
 			live[liveKey{ev.Set, ev.Object}] = ev
 		}
 		for _, m := range v.Loads {
-			if a.IsStreamed(m.Datum) {
-				continue // emitted when its placement event arrives
-			}
 			per := m.Bytes / v.Iters
 			for iter := 0; iter < v.Iters; iter++ {
 				inst := instanceName(m.Datum, iter)
 				placed, ok := live[liveKey{v.Set, inst}]
 				if !ok {
+					if a.IsStreamed(m.Datum) {
+						// Arrives just in time for its first
+						// consumer; emitted when its in-visit
+						// placement event arrives. A streamed
+						// datum that is RETAINED is instead
+						// placed pre-visit (phase 1 of the
+						// allocator), so it is already live here
+						// and its one charged load is emitted
+						// below like any resident input.
+						continue
+					}
 					return nil, fmt.Errorf("codegen: load of unplaced %s (visit c%d b%d)", inst, v.Cluster, v.Block)
 				}
 				in := base

@@ -38,10 +38,32 @@ func (Basic) ScheduleCtx(ctx context.Context, pa arch.Params, part *app.Partitio
 	})
 }
 
+// TimingEvaluator scores a candidate schedule, returning its estimated
+// execution time in cycles. The schedulers that pick a reuse factor accept
+// one so the choice can be checked against the machine's timing model
+// (internal/sim, wired in by the top-level cds package — core itself
+// cannot import the simulator) instead of assuming more context reuse is
+// always at least as fast. See the RF guard note on DataScheduler.
+type TimingEvaluator func(*Schedule) (int, error)
+
 // DataScheduler is the ISSS'01 Data Scheduler: within-cluster space reuse
 // (in-place replacement of dead data) and loop fission with the highest
 // common context reuse factor RF, but no inter-cluster retention.
-type DataScheduler struct{}
+//
+// The paper picks the highest RF the Frame Buffer permits, arguing more
+// context reuse can only reduce DMA traffic. That is true of traffic but
+// not of execution time: batching RF iterations into one visit also
+// batches the final visit's stores into one burst that cannot overlap any
+// computation, so a corner-case workload can run slower at a higher RF
+// (found by differential fuzzing; see internal/workloads regression
+// "regress/rf-tail-store"). When Eval is set, the scheduler therefore
+// sweeps the feasible reuse factors, scores each candidate schedule with
+// the timing model, and keeps the fastest — preferring the paper's higher
+// RF on ties. A nil Eval keeps the paper's literal RF-max policy.
+type DataScheduler struct {
+	// Eval, when non-nil, guards the RF choice with a timing model.
+	Eval TimingEvaluator
+}
 
 // Name implements Scheduler.
 func (DataScheduler) Name() string { return "ds" }
@@ -52,11 +74,12 @@ func (d DataScheduler) Schedule(pa arch.Params, part *app.Partition) (*Schedule,
 }
 
 // ScheduleCtx implements Scheduler.
-func (DataScheduler) ScheduleCtx(ctx context.Context, pa arch.Params, part *app.Partition) (*Schedule, error) {
+func (d DataScheduler) ScheduleCtx(ctx context.Context, pa arch.Params, part *app.Partition) (*Schedule, error) {
 	return schedule(ctx, "ds", pa, part, scheduleOpts{
 		rfEnabled:      true,
 		inPlaceRelease: true,
 		retention:      false,
+		evaluate:       d.Eval,
 	})
 }
 
@@ -94,6 +117,10 @@ type CompleteDataScheduler struct {
 	CrossSetReuse bool
 	// RF selects the reuse-factor policy (the paper's RFMax by default).
 	RF RFPolicy
+	// Eval, when non-nil, guards the RF choice with a timing model —
+	// see the note on DataScheduler. Ignored under RFSweep, which runs
+	// its own joint RF/retention sweep.
+	Eval TimingEvaluator
 }
 
 // Name implements Scheduler.
@@ -118,6 +145,7 @@ func (c CompleteDataScheduler) ScheduleCtx(ctx context.Context, pa arch.Params, 
 		crossSet:       c.CrossSetReuse,
 	}
 	if c.RF != RFSweep {
+		opts.evaluate = c.Eval
 		return schedule(ctx, "cds", pa, part, opts)
 	}
 	// Sweep: build one schedule per feasible RF and keep the one with
@@ -194,6 +222,9 @@ type scheduleOpts struct {
 	// forcedRF overrides the reuse factor when > 0 (RF sweep).
 	forcedRF int
 	ranking  RankFunc
+	// evaluate, when non-nil, guards the RF choice with a timing model
+	// (see DataScheduler.Eval).
+	evaluate TimingEvaluator
 }
 
 // schedule is the shared pipeline: analyze, check feasibility, pick RF,
@@ -230,21 +261,58 @@ func schedule(ctx context.Context, name string, pa arch.Params, part *app.Partit
 		rf = opts.forcedRF
 	}
 
-	var retained []Retained
-	if opts.retention {
-		retained = selectRetention(pa.FBSetBytes, info, rf, opts.ranking)
+	build := func(rf int) (*Schedule, error) {
+		var retained []Retained
+		if opts.retention {
+			retained = selectRetention(pa.FBSetBytes, info, rf, opts.ranking)
+		}
+		s := &Schedule{
+			Scheduler:      name,
+			Arch:           pa,
+			P:              part,
+			Info:           info,
+			RF:             rf,
+			Retained:       retained,
+			InPlaceRelease: opts.inPlaceRelease,
+		}
+		if err := buildVisits(s, pa, info, rf, retained, opts.perKernelLoads); err != nil {
+			return nil, fmt.Errorf("core: %s scheduler: %w", name, err)
+		}
+		return s, nil
 	}
-
-	s := &Schedule{
-		Scheduler:      name,
-		Arch:           pa,
-		P:              part,
-		Info:           info,
-		RF:             rf,
-		Retained:       retained,
-		InPlaceRelease: opts.inPlaceRelease,
+	s, err := build(rf)
+	if err != nil {
+		return nil, err
 	}
-	buildVisits(s, pa, info, rf, retained, opts.perKernelLoads)
+	if opts.evaluate == nil || opts.forcedRF > 0 || rf <= 1 {
+		return s, nil
+	}
+	// RF guard: more context reuse always cuts DMA traffic, but a higher
+	// RF also batches the last visit's stores into one burst the RC array
+	// can never overlap, so RF-max can lose wall-clock time in corner
+	// cases. Score every feasible RF (retention re-selected per RF) with
+	// the timing model and keep the fastest, walking downward from the
+	// paper's choice so ties keep the higher RF.
+	best, err := opts.evaluate(s)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s scheduler: rf guard: %w", name, err)
+	}
+	for r := rf - 1; r >= 1; r-- {
+		if ok, _ := feasibleRF(pa.FBSetBytes, info, r, opts.inPlaceRelease, nil); !ok {
+			continue // footprint holes are possible below the common RF
+		}
+		cand, err := build(r)
+		if err != nil {
+			return nil, err
+		}
+		t, err := opts.evaluate(cand)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s scheduler: rf guard: %w", name, err)
+		}
+		if t < best {
+			s, best = cand, t
+		}
+	}
 	return s, nil
 }
 
@@ -310,7 +378,10 @@ func buildRetainedLookups(retained []Retained, info *extract.Info) retainedLooku
 
 // buildVisits fills s.Visits: one visit per (block, cluster), in execution
 // order, with context traffic counted by replaying the Context Memory.
-func buildVisits(s *Schedule, pa arch.Params, info *extract.Info, rf int, retained []Retained, perKernelLoads bool) {
+// The replay can only fail on a broken Context Memory invariant
+// (scherr.ErrInternal); the expected arch.ErrDoesNotFit outcome for a
+// kernel bigger than the whole CM is absorbed as a full reload per visit.
+func buildVisits(s *Schedule, pa arch.Params, info *extract.Info, rf int, retained []Retained, perKernelLoads bool) error {
 	a := info.P.App
 	rl := buildRetainedLookups(retained, info)
 	cm := arch.NewContextMemory(pa.CMWords)
@@ -327,11 +398,23 @@ func buildVisits(s *Schedule, pa arch.Params, info *extract.Info, rf int, retain
 			// Data loads.
 			if perKernelLoads {
 				// Basic Scheduler: each kernel transfers its own
-				// copy of its cluster-external inputs.
+				// copy of its cluster-external inputs. Streamed
+				// inputs are the exception even here: a streamed
+				// datum arrives just in time for its first consumer
+				// and stays placed for the rest of the visit, so a
+				// second consumer reads the resident copy rather
+				// than transferring its own.
+				streamedCharged := map[string]bool{}
 				for _, ki := range c.Kernels {
 					for _, name := range a.Kernels[ki].Inputs {
 						if p, produced := a.Producer(name); produced && c.Contains(p) {
 							continue // intra-cluster intermediate
+						}
+						if a.IsStreamed(name) {
+							if streamedCharged[name] {
+								continue
+							}
+							streamedCharged[name] = true
 						}
 						v.Loads = append(v.Loads, Movement{Datum: name, Bytes: iters * a.SizeOf(name)})
 					}
@@ -367,6 +450,14 @@ func buildVisits(s *Schedule, pa arch.Params, info *extract.Info, rf int, retain
 				k := a.Kernels[ki]
 				moved, err := cm.Load(k.CtxGroup(), k.ContextWords)
 				if err != nil {
+					if !errors.Is(err, arch.ErrDoesNotFit) {
+						// Anything but the expected
+						// too-big-for-the-CM outcome means the
+						// replay state itself broke; surface it
+						// instead of mis-charging traffic.
+						return fmt.Errorf("core: context memory replay (cluster %d block %d): %w",
+							c.Index, b, err)
+					}
 					// A kernel whose contexts exceed the whole
 					// CM reloads in pieces every visit; charge
 					// the full volume.
@@ -381,4 +472,5 @@ func buildVisits(s *Schedule, pa arch.Params, info *extract.Info, rf int, retain
 			s.Visits = append(s.Visits, v)
 		}
 	}
+	return nil
 }

@@ -1,0 +1,202 @@
+// Package diffuzz is the differential fuzzing harness for the three
+// schedulers: it runs Basic, DS and CDS over generated workload specs
+// (internal/workloads' corpus generator), audits every produced schedule
+// with the post-hoc invariant verifier (internal/verify) and asserts the
+// paper's dominance claims as machine-checked invariants:
+//
+//   - verification — every schedule any scheduler emits passes all
+//     invariant families (structure, capacity, liveness, serialization,
+//     timeline, residency);
+//   - cycle dominance — CDS is never slower than DS, DS is never slower
+//     than Basic (the central claim of the paper's evaluation);
+//   - feasibility monotonicity — a workload the Basic Scheduler can run,
+//     the data schedulers can run too (in-place release and retention
+//     only relax the footprint).
+//
+// A spec that breaks any of these is a counterexample: the harness
+// delta-minimizes it (see Minimize) while the failure signature
+// reproduces and emits the shrunken spec as a committable regression
+// workload.
+package diffuzz
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"cds"
+	"cds/internal/scherr"
+	"cds/internal/spec"
+	"cds/internal/verify"
+)
+
+// Verdict classes. Anything outside ok/infeasible/canceled is a failure
+// signature and marks a counterexample.
+const (
+	// VerdictOK: every produced schedule verified and dominance held.
+	VerdictOK = "ok"
+	// VerdictInfeasible: no scheduler could run the spec — an expected
+	// corpus outcome (the generator probes the infeasibility frontier).
+	VerdictInfeasible = "infeasible"
+	// VerdictCanceled: the check was abandoned by cancellation; the
+	// point carries no information and a resumed run re-checks it.
+	VerdictCanceled = "canceled"
+)
+
+// Failure signature prefixes. The signature is the minimization target:
+// shrinking steps must reproduce the same signature, so a counterexample
+// never morphs into a different bug while shrinking.
+const (
+	SigInvalidSpec = "invalid-spec" // generator emitted an unbuildable spec
+	SigVerify      = "verify"       // verify:<scheduler>:<invariant>
+	SigDominance   = "dominance"    // dominance:ds>basic | dominance:cds>ds
+	SigFeasibility = "feasibility"  // feasibility:<scheduler> — basic ran, data scheduler refused
+	SigError       = "error"        // error:<scheduler> — a non-taxonomy failure
+)
+
+// Result is one corpus point's differential outcome. It is
+// JSON-serializable so the journal can persist it and a resumed run can
+// rebuild the summary without re-checking.
+type Result struct {
+	// Name keys the point (workloads.SpecName) in journals and reports.
+	Name string `json:"name"`
+	// Index is the point's position in the seed's corpus stream; with
+	// the seed it regenerates the exact spec (minimization needs this).
+	Index int `json:"index"`
+	// Class is the generator structure class the point came from.
+	Class string `json:"class"`
+	// Verdict is VerdictOK, VerdictInfeasible, VerdictCanceled or a
+	// failure signature ("verify:cds:capacity", "dominance:ds>basic").
+	Verdict string `json:"verdict"`
+	// Detail is the human-readable failure description ("" when ok).
+	Detail string `json:"detail,omitempty"`
+	// Cycles per scheduler (0 when that scheduler did not run).
+	BasicCycles int `json:"basic_cycles,omitempty"`
+	DSCycles    int `json:"ds_cycles,omitempty"`
+	CDSCycles   int `json:"cds_cycles,omitempty"`
+	// RF is the reuse factor CDS settled on.
+	RF int `json:"rf,omitempty"`
+}
+
+// Counterexample reports whether the verdict is a failure signature.
+func (r Result) Counterexample() bool {
+	switch r.Verdict {
+	case VerdictOK, VerdictInfeasible, VerdictCanceled:
+		return false
+	}
+	return true
+}
+
+// Check runs the full differential oracle on one spec: build, compare
+// the three schedulers, verify every produced schedule and assert the
+// dominance invariants. It never returns an error — every outcome,
+// including harness-level surprises, is encoded in the Result's verdict
+// so batch runs treat failures as data.
+func Check(ctx context.Context, sp *spec.Spec) Result {
+	res := Result{Name: sp.Name}
+	part, pa, err := sp.Build()
+	if err != nil {
+		res.Verdict = SigInvalidSpec
+		res.Detail = err.Error()
+		return res
+	}
+
+	cmp, _ := cds.CompareAllCtx(ctx, pa, part)
+	if scherr.FromContext(ctx) != nil || cmp == nil {
+		res.Verdict = VerdictCanceled
+		return res
+	}
+
+	// Classify the per-scheduler outcomes first: an unexpected error
+	// class (not infeasible, not canceled) is itself a counterexample.
+	basicFeasible := cmp.BasicErr == nil && cmp.Basic != nil
+	if cmp.BasicErr != nil && !errors.Is(cmp.BasicErr, scherr.ErrInfeasible) {
+		return fail(res, "error:basic", cmp.BasicErr)
+	}
+	infeasible := map[string]bool{}
+	for _, s := range []struct {
+		name string
+		res  *cds.Result
+		err  error
+	}{
+		{"ds", cmp.DS, cmp.DSErr},
+		{"cds", cmp.CDS, cmp.CDSErr},
+	} {
+		if s.err == nil {
+			continue
+		}
+		if errors.Is(s.err, scherr.ErrCanceled) {
+			res.Verdict = VerdictCanceled
+			return res
+		}
+		if !errors.Is(s.err, scherr.ErrInfeasible) {
+			return fail(res, "error:"+s.name, s.err)
+		}
+		infeasible[s.name] = true
+		// Infeasible data scheduler: legal only if Basic is infeasible
+		// too — in-place release and retention never shrink the set of
+		// schedulable workloads.
+		if basicFeasible {
+			return fail(res, "feasibility:"+s.name, fmt.Errorf(
+				"basic runs the workload but the %s scheduler reports: %w", s.name, s.err))
+		}
+	}
+	// DS and CDS share the same RF=1 feasibility baseline, so exactly
+	// one of them refusing the workload is a bug in whichever disagrees.
+	if infeasible["ds"] != infeasible["cds"] {
+		return fail(res, "feasibility:ds-vs-cds", fmt.Errorf(
+			"ds infeasible=%v but cds infeasible=%v on the same workload",
+			infeasible["ds"], infeasible["cds"]))
+	}
+	if !basicFeasible && cmp.DS == nil && cmp.CDS == nil {
+		res.Verdict = VerdictInfeasible
+		return res
+	}
+
+	// Verify every schedule that was produced.
+	for _, s := range []struct {
+		name string
+		res  *cds.Result
+	}{{"basic", cmp.Basic}, {"ds", cmp.DS}, {"cds", cmp.CDS}} {
+		if s.res == nil {
+			continue
+		}
+		if err := verify.Schedule(s.res.Schedule); err != nil {
+			sig := SigVerify + ":" + s.name
+			var verr *verify.Error
+			if errors.As(err, &verr) {
+				sig += ":" + verr.Invariant
+			}
+			return fail(res, sig, err)
+		}
+	}
+
+	// Dominance: the paper's ordering, as strict cycle inequalities.
+	if cmp.Basic != nil {
+		res.BasicCycles = cmp.Basic.Timing.TotalCycles
+	}
+	if cmp.DS != nil {
+		res.DSCycles = cmp.DS.Timing.TotalCycles
+	}
+	if cmp.CDS != nil {
+		res.CDSCycles = cmp.CDS.Timing.TotalCycles
+		res.RF = cmp.RF
+	}
+	if cmp.Basic != nil && cmp.DS != nil && res.DSCycles > res.BasicCycles {
+		return fail(res, "dominance:ds>basic", fmt.Errorf(
+			"ds takes %d cycles, basic %d", res.DSCycles, res.BasicCycles))
+	}
+	if cmp.DS != nil && cmp.CDS != nil && res.CDSCycles > res.DSCycles {
+		return fail(res, "dominance:cds>ds", fmt.Errorf(
+			"cds takes %d cycles, ds %d", res.CDSCycles, res.DSCycles))
+	}
+
+	res.Verdict = VerdictOK
+	return res
+}
+
+func fail(res Result, sig string, err error) Result {
+	res.Verdict = sig
+	res.Detail = err.Error()
+	return res
+}

@@ -1,0 +1,226 @@
+package diffuzz
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"testing"
+
+	"cds/internal/spec"
+	"cds/internal/workloads"
+)
+
+// TestRegressionsPinned: every minimized counterexample the fuzzer has
+// found (and whose bug has since been fixed) must check clean forever.
+// A regression here means a fixed scheduler bug came back.
+func TestRegressionsPinned(t *testing.T) {
+	for _, sp := range workloads.Regressions() {
+		r := Check(context.Background(), sp)
+		if r.Verdict != VerdictOK {
+			t.Errorf("%s: verdict %q (%s), want %q", sp.Name, r.Verdict, r.Detail, VerdictOK)
+		}
+	}
+}
+
+// TestCheckOKOnPaperWorkloads: the differential check must pass on every
+// Table 1 workload (they are the calibrated ground truth).
+func TestCheckOKOnPaperWorkloads(t *testing.T) {
+	for _, e := range workloads.All() {
+		sp := spec.FromPartition(e.Part, e.Arch)
+		sp.Name = e.Name
+		r := Check(context.Background(), sp)
+		if r.Verdict != VerdictOK {
+			t.Errorf("%s: verdict %q (%s)", e.Name, r.Verdict, r.Detail)
+		}
+	}
+}
+
+// TestCheckFlagsInvalidSpec: an unbuildable spec is a generator bug and
+// must surface as a counterexample, not be skipped.
+func TestCheckFlagsInvalidSpec(t *testing.T) {
+	sp := &spec.Spec{Name: "bad", Iterations: 0}
+	r := Check(context.Background(), sp)
+	if r.Verdict != SigInvalidSpec {
+		t.Fatalf("verdict %q, want %q", r.Verdict, SigInvalidSpec)
+	}
+	if !r.Counterexample() {
+		t.Fatal("invalid-spec result not classed as a counterexample")
+	}
+}
+
+// TestCheckCanceled: a canceled context yields a canceled verdict that is
+// NOT a counterexample (the point was never decided).
+func TestCheckCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := Check(ctx, workloads.GenSpec(1, 0))
+	if r.Verdict != VerdictCanceled {
+		t.Fatalf("verdict %q, want %q", r.Verdict, VerdictCanceled)
+	}
+	if r.Counterexample() {
+		t.Fatal("canceled result classed as a counterexample")
+	}
+}
+
+// TestMinimizeShrinksToPredicateKernel: with a synthetic predicate the
+// minimizer must find the smallest spec that still satisfies it, without
+// mutating the input.
+func TestMinimizeShrinksToPredicateKernel(t *testing.T) {
+	sp := workloads.GenSpec(3, 7) // arbitrary multi-kernel corpus point
+	if len(sp.Kernels) < 3 {
+		t.Fatalf("test wants a multi-kernel spec, got %d kernels", len(sp.Kernels))
+	}
+	orig, err := sp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := sp.Kernels[0].Name
+	keep := func(cand *spec.Spec) bool {
+		for _, k := range cand.Kernels {
+			if k.Name == target {
+				return true
+			}
+		}
+		return false
+	}
+	min, evals := Minimize(sp, keep, 0)
+	if evals <= 0 || evals > DefaultMinimizeBudget {
+		t.Fatalf("evals = %d, want within (0, %d]", evals, DefaultMinimizeBudget)
+	}
+	if len(min.Kernels) != 1 || min.Kernels[0].Name != target {
+		t.Fatalf("minimized to %d kernels (%v), want just %q", len(min.Kernels), min.Kernels, target)
+	}
+	if len(min.Clusters) != 1 || min.Clusters[0] != 1 {
+		t.Fatalf("minimized clusters = %v, want [1]", min.Clusters)
+	}
+	// Scalars halve toward 1 under an always-true-for-target predicate.
+	if min.Iterations != 1 {
+		t.Fatalf("minimized iterations = %d, want 1", min.Iterations)
+	}
+	after, err := sp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig, after) {
+		t.Fatal("Minimize mutated its input spec")
+	}
+}
+
+// TestMinimizeRespectsBudget: a tiny budget bounds the evaluation count.
+func TestMinimizeRespectsBudget(t *testing.T) {
+	sp := workloads.GenSpec(3, 7)
+	calls := 0
+	_, evals := Minimize(sp, func(*spec.Spec) bool { calls++; return true }, 5)
+	if evals != 5 || calls != 5 {
+		t.Fatalf("evals = %d, calls = %d, want both 5", evals, calls)
+	}
+}
+
+// TestRunSummaryIdenticalAcrossWorkers: the fuzzing loop must produce a
+// byte-identical summary no matter how the work is spread over workers.
+func TestRunSummaryIdenticalAcrossWorkers(t *testing.T) {
+	const n = 24
+	var texts []string
+	for _, workers := range []int{1, 4, 13} {
+		results, err := Run(context.Background(), Config{Seed: 5, N: n, Workers: workers}, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		Summarize(5, results).WriteText(&buf)
+		var csv bytes.Buffer
+		if err := WriteCSV(&csv, results); err != nil {
+			t.Fatal(err)
+		}
+		texts = append(texts, buf.String()+csv.String())
+	}
+	for i := 1; i < len(texts); i++ {
+		if texts[i] != texts[0] {
+			t.Fatalf("summary/CSV differs between worker counts:\n%s\nvs\n%s", texts[0], texts[i])
+		}
+	}
+}
+
+// TestRunJournaledResumes: a journaled run that stops partway must resume
+// from the journal — already-checked points are not re-run, and the final
+// result set is identical to an uninterrupted run.
+func TestRunJournaledResumes(t *testing.T) {
+	const n = 12
+	cfg := Config{Seed: 9, N: n, Workers: 2}
+	path := filepath.Join(t.TempDir(), "diffuzz.journal")
+
+	// Pass 1: journal only the first few points by canceling after 4.
+	ctx, cancel := context.WithCancel(context.Background())
+	j, prior, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prior) != 0 {
+		t.Fatalf("fresh journal has %d records", len(prior))
+	}
+	seen := 0
+	_, runErr := RunJournaled(ctx, j, prior, cfg, func(Result) {
+		if seen++; seen == 4 {
+			cancel()
+		}
+	})
+	j.Close()
+	if runErr == nil {
+		t.Fatal("canceled run reported no error")
+	}
+
+	// Pass 2: resume. The journaled points must come back as done and
+	// must not be re-checked.
+	j, prior, err = OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	done := Completed(prior)
+	if len(done) == 0 {
+		t.Fatal("no completed records journaled before cancellation")
+	}
+	rechecked := 0
+	results, err := RunJournaled(context.Background(), j, prior, cfg, func(r Result) {
+		if _, ok := done[r.Name]; ok {
+			rechecked++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rechecked != 0 {
+		t.Fatalf("%d journaled points were re-checked on resume", rechecked)
+	}
+
+	// The merged result set matches an uninterrupted run byte for byte.
+	plain, err := Run(context.Background(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := WriteCSV(&a, results); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&b, plain); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("resumed run differs from uninterrupted run:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+// TestMinimizeCounterexamplesOnCleanRun: nothing to minimize on a clean
+// sweep.
+func TestMinimizeCounterexamplesOnCleanRun(t *testing.T) {
+	results, err := Run(context.Background(), Config{Seed: 1, N: 12}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cexs := MinimizeCounterexamples(context.Background(), Config{Seed: 1, N: 12}, results); len(cexs) != 0 {
+		t.Fatalf("clean run produced %d counterexamples", len(cexs))
+	}
+	if !Summarize(1, results).Clean() {
+		t.Fatal("summary of clean run not Clean()")
+	}
+}

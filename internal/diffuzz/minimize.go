@@ -1,0 +1,203 @@
+package diffuzz
+
+// Delta minimization: shrink a counterexample spec while the failure
+// keeps reproducing, so the committed regression workload is the small
+// kernel of the bug rather than a 16-kernel random tangle. The algorithm
+// is a deterministic greedy fixed point over structural and scalar
+// reduction passes:
+//
+//	1. drop whole clusters       (coarse structure)
+//	2. drop single kernels       (fine structure)
+//	3. drop kernel inputs        (dependency edges)
+//	4. shrink iterations, datum sizes, context words, compute cycles
+//	   (scalars, halving toward 1)
+//
+// Every candidate is validated by the caller-supplied predicate — in
+// production, "Check still returns the same failure signature" — so a
+// shrinking step can never morph one bug into another. Candidates that
+// no longer build are skipped (unless the signature IS invalid-spec, in
+// which case rebuildability is exactly what the predicate tests). The
+// loop re-runs the pass list until a full sweep makes no progress or the
+// evaluation budget is exhausted.
+
+import (
+	"context"
+
+	"cds/internal/spec"
+)
+
+// DefaultMinimizeBudget bounds how many candidate evaluations one
+// minimization may spend. Each evaluation is a full three-scheduler
+// comparison plus verification, so the budget is the knob that keeps a
+// pathological counterexample from stalling the whole fuzzing run.
+const DefaultMinimizeBudget = 500
+
+// Minimize shrinks sp while keep(candidate) stays true, spending at most
+// budget predicate evaluations (DefaultMinimizeBudget when <= 0). It
+// returns the smallest reproducing spec found and the number of
+// evaluations spent. sp itself is never mutated.
+func Minimize(sp *spec.Spec, keep func(*spec.Spec) bool, budget int) (*spec.Spec, int) {
+	if budget <= 0 {
+		budget = DefaultMinimizeBudget
+	}
+	cur := cloneSpec(sp)
+	spent := 0
+	try := func(cand *spec.Spec) bool {
+		if spent >= budget {
+			return false
+		}
+		spent++
+		if keep(cand) {
+			cur = cand
+			return true
+		}
+		return false
+	}
+
+	for progress := true; progress && spent < budget; {
+		progress = false
+
+		// Pass 1: drop whole clusters, largest index first so the
+		// surviving kernel indices stay stable within a sweep.
+		for c := len(cur.Clusters) - 1; c >= 0 && len(cur.Clusters) > 1; c-- {
+			if try(dropCluster(cur, c)) {
+				progress = true
+			}
+		}
+		// Pass 2: drop single kernels.
+		for k := len(cur.Kernels) - 1; k >= 0 && len(cur.Kernels) > 1; k-- {
+			if try(dropKernel(cur, k)) {
+				progress = true
+			}
+		}
+		// Pass 3: drop dependency edges (kernel inputs).
+		for k := len(cur.Kernels) - 1; k >= 0; k-- {
+			for i := len(cur.Kernels[k].Inputs) - 1; i >= 0; i-- {
+				if try(dropInput(cur, k, i)) {
+					progress = true
+				}
+			}
+		}
+		// Pass 4: scalar shrinking, halving toward 1.
+		if cur.Iterations > 1 {
+			cand := cloneSpec(cur)
+			cand.Iterations = cand.Iterations / 2
+			if try(cand) {
+				progress = true
+			}
+		}
+		for d := range cur.Data {
+			if cur.Data[d].Size > 1 {
+				cand := cloneSpec(cur)
+				cand.Data[d].Size = cand.Data[d].Size / 2
+				if try(cand) {
+					progress = true
+				}
+			}
+		}
+		for k := range cur.Kernels {
+			if cur.Kernels[k].ContextWords > 1 {
+				cand := cloneSpec(cur)
+				cand.Kernels[k].ContextWords = cand.Kernels[k].ContextWords / 2
+				if try(cand) {
+					progress = true
+				}
+			}
+			if cur.Kernels[k].ComputeCycles > 1 {
+				cand := cloneSpec(cur)
+				cand.Kernels[k].ComputeCycles = cand.Kernels[k].ComputeCycles / 2
+				if try(cand) {
+					progress = true
+				}
+			}
+		}
+	}
+	return cur, spent
+}
+
+// MinimizeResult is the production entry point: shrink a counterexample
+// while Check keeps returning the same failure signature. The context
+// bounds the whole minimization; a cancellation mid-way returns the
+// smallest reproducer found so far.
+func MinimizeResult(ctx context.Context, sp *spec.Spec, signature string, budget int) (*spec.Spec, int) {
+	return Minimize(sp, func(cand *spec.Spec) bool {
+		if ctx.Err() != nil {
+			return false
+		}
+		r := Check(ctx, cand)
+		return r.Verdict == signature
+	}, budget)
+}
+
+// cloneSpec deep-copies a spec so candidate surgery never aliases the
+// original's slices.
+func cloneSpec(sp *spec.Spec) *spec.Spec {
+	out := &spec.Spec{
+		Name:       sp.Name,
+		Iterations: sp.Iterations,
+		Data:       append([]spec.Datum(nil), sp.Data...),
+		Clusters:   append([]int(nil), sp.Clusters...),
+	}
+	if sp.Arch != nil {
+		a := *sp.Arch
+		out.Arch = &a
+	}
+	out.Kernels = make([]spec.Kernel, len(sp.Kernels))
+	for i, k := range sp.Kernels {
+		k.Inputs = append([]string(nil), k.Inputs...)
+		k.Outputs = append([]string(nil), k.Outputs...)
+		out.Kernels[i] = k
+	}
+	return out
+}
+
+// kernelRange returns the [lo, hi) kernel index range of cluster c.
+func kernelRange(sp *spec.Spec, c int) (lo, hi int) {
+	for i := 0; i < c; i++ {
+		lo += sp.Clusters[i]
+	}
+	return lo, lo + sp.Clusters[c]
+}
+
+// dropCluster removes cluster c and all its kernels.
+func dropCluster(sp *spec.Spec, c int) *spec.Spec {
+	out := cloneSpec(sp)
+	lo, hi := kernelRange(out, c)
+	out.Kernels = append(out.Kernels[:lo], out.Kernels[hi:]...)
+	out.Clusters = append(out.Clusters[:c], out.Clusters[c+1:]...)
+	pruneOrphans(out)
+	return out
+}
+
+// dropKernel removes kernel k, shrinking (or dropping) its cluster.
+func dropKernel(sp *spec.Spec, k int) *spec.Spec {
+	out := cloneSpec(sp)
+	out.Kernels = append(out.Kernels[:k], out.Kernels[k+1:]...)
+	lo := 0
+	for c := range out.Clusters {
+		if k < lo+out.Clusters[c] {
+			out.Clusters[c]--
+			if out.Clusters[c] == 0 {
+				out.Clusters = append(out.Clusters[:c], out.Clusters[c+1:]...)
+			}
+			break
+		}
+		lo += out.Clusters[c]
+	}
+	pruneOrphans(out)
+	return out
+}
+
+// dropInput removes input i of kernel k.
+func dropInput(sp *spec.Spec, k, i int) *spec.Spec {
+	out := cloneSpec(sp)
+	ins := out.Kernels[k].Inputs
+	out.Kernels[k].Inputs = append(ins[:i], ins[i+1:]...)
+	pruneOrphans(out)
+	return out
+}
+
+// pruneOrphans removes data no kernel references: a datum that is
+// neither produced nor consumed fails validation, and keeping unused
+// declarations around defeats the point of minimizing.
+func pruneOrphans(sp *spec.Spec) { sp.PruneOrphanData() }

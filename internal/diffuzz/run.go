@@ -1,0 +1,207 @@
+package diffuzz
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"cds/internal/conc"
+	"cds/internal/journal"
+	"cds/internal/scherr"
+	"cds/internal/spec"
+	"cds/internal/workloads"
+)
+
+// Config parameterizes one fuzzing run.
+type Config struct {
+	// Seed selects the corpus stream; N is how many points to check.
+	Seed int64
+	N    int
+	// Workers bounds the pool (<= 0: one per CPU).
+	Workers int
+	// MinimizeBudget caps predicate evaluations per counterexample
+	// minimization (<= 0: DefaultMinimizeBudget).
+	MinimizeBudget int
+}
+
+// Record is one journal line: a corpus point's result plus whether the
+// check actually ran. Status reuses the sweep journal vocabulary: "done"
+// for any completed check (ok, infeasible or counterexample — all three
+// are outcomes) and "canceled" for points a shutdown abandoned, which a
+// resumed run re-checks.
+type Record struct {
+	Status string `json:"status"`
+	Result Result `json:"result"`
+}
+
+// Journal statuses (matching the sweep journal vocabulary).
+const (
+	StatusDone     = "done"
+	StatusCanceled = "canceled"
+)
+
+// Journal is the fuzzer's crash-safe checkpoint file.
+type Journal = journal.Journal[Record]
+
+// OpenJournal opens (creating if missing) and replays a diffuzz journal;
+// see internal/journal for the durability rules.
+func OpenJournal(path string) (*Journal, []Record, error) {
+	j, recs, err := journal.Open[Record](path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("diffuzz: %w", err)
+	}
+	return j, recs, nil
+}
+
+// Completed indexes replayed records a resumed run must not re-check:
+// done outcomes keyed by point name. Canceled records are absent — an
+// abandoned point carries no information.
+func Completed(recs []Record) map[string]Result {
+	done := make(map[string]Result, len(recs))
+	for _, rec := range recs {
+		if rec.Status == StatusDone {
+			done[rec.Result.Name] = rec.Result
+		}
+	}
+	return done
+}
+
+// Run checks corpus points [0, cfg.N) of cfg.Seed's stream across a
+// bounded worker pool and returns one Result per point, in index order
+// regardless of completion order — the summary over the returned slice
+// is therefore deterministic for a given (seed, n), independent of
+// worker count. A canceled run still returns every slot; unchecked
+// points carry VerdictCanceled. onResult, when non-nil, observes each
+// completed result from the worker goroutine that produced it.
+func Run(ctx context.Context, cfg Config, onResult func(Result)) ([]Result, error) {
+	return run(ctx, cfg, nil, onResult)
+}
+
+// RunJournaled is Run with crash-safe checkpointing: points whose
+// outcome the journal already holds are not re-checked (their journaled
+// results fill the slots), fresh outcomes are fsync'd to the journal the
+// moment they complete, and abandoned points are journaled as canceled.
+// The merged result slice is identical to an uninterrupted run's.
+func RunJournaled(ctx context.Context, j *Journal, prior []Record, cfg Config, onResult func(Result)) ([]Result, error) {
+	return run(ctx, cfg, &journaled{j: j, done: Completed(prior)}, onResult)
+}
+
+type journaled struct {
+	j    *Journal
+	done map[string]Result
+	mu   sync.Mutex
+	err  error
+}
+
+func (jn *journaled) append(rec Record) {
+	if err := jn.j.Append(rec); err != nil {
+		jn.mu.Lock()
+		if jn.err == nil {
+			jn.err = err
+		}
+		jn.mu.Unlock()
+	}
+}
+
+func run(ctx context.Context, cfg Config, jn *journaled, onResult func(Result)) ([]Result, error) {
+	results := make([]Result, cfg.N)
+	classes := workloads.Classes()
+	// Pre-fill every slot with its identity and a canceled verdict, so
+	// abandoned points are self-describing in reports and journals.
+	for i := range results {
+		results[i] = Result{
+			Name:    workloads.SpecName(cfg.Seed, i),
+			Index:   i,
+			Class:   string(classes[i%len(classes)]),
+			Verdict: VerdictCanceled,
+		}
+	}
+
+	todo := make([]int, 0, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		if jn != nil {
+			if r, ok := jn.done[results[i].Name]; ok {
+				results[i] = r
+				continue
+			}
+		}
+		todo = append(todo, i)
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = conc.DefaultLimit()
+	}
+	ran := make([]bool, cfg.N)
+	_ = conc.ForEach(ctx, workers, len(todo), func(ti int) error {
+		i := todo[ti]
+		sp := workloads.GenSpec(cfg.Seed, i)
+		r := Check(ctx, sp)
+		r.Index = i
+		r.Class = results[i].Class
+		if r.Verdict == VerdictCanceled {
+			// Abandoned mid-check: keep the pre-filled canceled slot so
+			// a resumed run re-checks it.
+			return nil
+		}
+		results[i] = r
+		ran[i] = true
+		if jn != nil {
+			jn.append(Record{Status: StatusDone, Result: r})
+		}
+		if onResult != nil {
+			onResult(r)
+		}
+		return nil
+	})
+
+	if jn != nil {
+		// Journal the abandonments so an operator sees what a shutdown
+		// left behind; resume re-checks them.
+		for _, i := range todo {
+			if !ran[i] {
+				jn.append(Record{Status: StatusCanceled, Result: results[i]})
+			}
+		}
+	}
+	if err := scherr.FromContext(ctx); err != nil {
+		return results, err
+	}
+	if jn != nil {
+		jn.mu.Lock()
+		defer jn.mu.Unlock()
+		return results, jn.err
+	}
+	return results, nil
+}
+
+// Counterexample pairs a failing corpus point with its minimized
+// reproducer.
+type Counterexample struct {
+	Result Result
+	// Spec is the original generated spec; Minimized the smallest
+	// reproducer found within the budget (equal to Spec when no
+	// shrinking step kept the signature).
+	Spec, Minimized *spec.Spec
+	// Evals is how many predicate evaluations minimization spent.
+	Evals int
+}
+
+// MinimizeCounterexamples regenerates and delta-minimizes every
+// counterexample in results, serially and in index order (counterexamples
+// should be rare; determinism of the emitted reproducers matters more
+// than latency). The minimized spec keeps the corpus point's name plus a
+// "-min" suffix so the committed regression names its origin.
+func MinimizeCounterexamples(ctx context.Context, cfg Config, results []Result) []Counterexample {
+	var out []Counterexample
+	for _, r := range results {
+		if !r.Counterexample() {
+			continue
+		}
+		sp := workloads.GenSpec(cfg.Seed, r.Index)
+		min, evals := MinimizeResult(ctx, sp, r.Verdict, cfg.MinimizeBudget)
+		min.Name = sp.Name + "-min"
+		out = append(out, Counterexample{Result: r, Spec: sp, Minimized: min, Evals: evals})
+	}
+	return out
+}

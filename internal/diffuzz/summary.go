@@ -1,0 +1,118 @@
+package diffuzz
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"cds/internal/workloads"
+)
+
+// Summary aggregates one fuzzing run: per-class outcome counts plus the
+// list of counterexamples. It is built from the index-ordered result
+// slice only, so for a given (seed, n) the summary — and its rendered
+// text — is byte-identical across worker counts, resumes and reruns.
+type Summary struct {
+	Seed int64 `json:"seed"`
+	N    int   `json:"n"`
+	// PerClass maps each structure class to its outcome tally.
+	PerClass map[string]*Tally `json:"per_class"`
+	// Total is the whole-corpus tally.
+	Total Tally `json:"total"`
+	// Counterexamples lists every failing point in index order.
+	Counterexamples []Result `json:"counterexamples,omitempty"`
+}
+
+// Tally counts outcomes of one bucket.
+type Tally struct {
+	OK              int `json:"ok"`
+	Infeasible      int `json:"infeasible"`
+	Counterexamples int `json:"counterexamples"`
+	Canceled        int `json:"canceled"`
+}
+
+func (t *Tally) add(r Result) {
+	switch {
+	case r.Verdict == VerdictOK:
+		t.OK++
+	case r.Verdict == VerdictInfeasible:
+		t.Infeasible++
+	case r.Verdict == VerdictCanceled:
+		t.Canceled++
+	default:
+		t.Counterexamples++
+	}
+}
+
+// Summarize builds the run summary from index-ordered results.
+func Summarize(seed int64, results []Result) *Summary {
+	s := &Summary{Seed: seed, N: len(results), PerClass: map[string]*Tally{}}
+	for _, cls := range workloads.Classes() {
+		s.PerClass[string(cls)] = &Tally{}
+	}
+	for _, r := range results {
+		s.Total.add(r)
+		t, ok := s.PerClass[r.Class]
+		if !ok {
+			t = &Tally{}
+			s.PerClass[r.Class] = t
+		}
+		t.add(r)
+		if r.Counterexample() {
+			s.Counterexamples = append(s.Counterexamples, r)
+		}
+	}
+	return s
+}
+
+// Clean reports whether the run finished fully (nothing canceled) and
+// found no counterexample.
+func (s *Summary) Clean() bool {
+	return s.Total.Counterexamples == 0 && s.Total.Canceled == 0
+}
+
+// WriteText renders the corpus-summary table. Classes print in their
+// stream rotation order, so the layout is stable.
+func (s *Summary) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "diffuzz corpus: seed=%d n=%d\n", s.Seed, s.N)
+	fmt.Fprintf(w, "%-12s %6s %12s %16s %10s\n", "class", "ok", "infeasible", "counterexamples", "canceled")
+	for _, cls := range workloads.Classes() {
+		t := s.PerClass[string(cls)]
+		if t == nil {
+			t = &Tally{}
+		}
+		fmt.Fprintf(w, "%-12s %6d %12d %16d %10d\n", cls, t.OK, t.Infeasible, t.Counterexamples, t.Canceled)
+	}
+	fmt.Fprintf(w, "%-12s %6d %12d %16d %10d\n", "total", s.Total.OK, s.Total.Infeasible, s.Total.Counterexamples, s.Total.Canceled)
+	for _, r := range s.Counterexamples {
+		fmt.Fprintf(w, "COUNTEREXAMPLE %s: %s (%s)\n", r.Name, r.Verdict, r.Detail)
+	}
+}
+
+// WriteCSV renders one row per corpus point (index order) through
+// encoding/csv, so hostile detail strings stay one field.
+func WriteCSV(w io.Writer, results []Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"name", "index", "class", "verdict", "basic_cycles", "ds_cycles", "cds_cycles", "rf", "detail"}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		rec := []string{
+			r.Name,
+			strconv.Itoa(r.Index),
+			r.Class,
+			r.Verdict,
+			strconv.Itoa(r.BasicCycles),
+			strconv.Itoa(r.DSCycles),
+			strconv.Itoa(r.CDSCycles),
+			strconv.Itoa(r.RF),
+			r.Detail,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

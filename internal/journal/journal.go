@@ -1,0 +1,102 @@
+// Package journal is the crash-safe JSONL checkpoint layer shared by the
+// long-running batch runners (grid sweeps, the differential fuzzer): an
+// append-only file of one JSON record per line, each record fsync'd the
+// moment it is written, opened under an exclusive advisory lock and
+// replayed on open with torn-tail recovery.
+//
+// The record type is a caller-supplied type parameter, so each runner
+// journals its own schema (sweep.Record, diffuzz.Record) through one
+// implementation of the durability rules:
+//
+//   - a torn final line (no terminating newline — the signature of a
+//     crash mid-append) is truncated away so the next append starts a
+//     clean line;
+//   - any newline-terminated line that does not parse is corruption and
+//     fails the open rather than silently dropping an fsync'd record;
+//   - the exclusive lock lives on the open file description, so a second
+//     opener — another process or this one — fails instead of
+//     interleaving appends.
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Journal is an append-only, fsync-per-record JSONL checkpoint file over
+// records of type T. Appends are serialized internally, so a worker pool
+// may share one Journal.
+type Journal[T any] struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// Open opens (creating if missing) the journal at path, locks it and
+// replays its records. See the package comment for the recovery rules.
+func Open[T any](path string) (*Journal[T], []T, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal %s: %w", path, err)
+	}
+	if err := lockFile(f); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal %s: %w", path, err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal %s: %w", path, err)
+	}
+	var recs []T
+	valid := 0 // byte offset just past the last fully-parsed record
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // torn tail: no terminating newline
+		}
+		line := data[off : off+nl]
+		var rec T
+		if jerr := json.Unmarshal(line, &rec); jerr != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("journal %s: corrupt record at byte %d: %w", path, off, jerr)
+		}
+		recs = append(recs, rec)
+		off += nl + 1
+		valid = off
+	}
+	if err := f.Truncate(int64(valid)); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal %s: truncating torn tail: %w", path, err)
+	}
+	return &Journal[T]{f: f, path: path}, recs, nil
+}
+
+// Append writes one record and syncs it to disk before returning, so a
+// crash after Append never loses the record.
+func (j *Journal[T]) Append(rec T) error {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal %s: %w", j.path, err)
+	}
+	raw = append(raw, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(raw); err != nil {
+		return fmt.Errorf("journal %s: %w", j.path, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal %s: %w", j.path, err)
+	}
+	return nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal[T]) Path() string { return j.path }
+
+// Close closes (and thereby unlocks) the underlying file.
+func (j *Journal[T]) Close() error { return j.f.Close() }

@@ -1,6 +1,6 @@
 //go:build unix
 
-package sweep
+package journal
 
 import (
 	"fmt"
@@ -9,9 +9,9 @@ import (
 )
 
 // lockFile takes a non-blocking exclusive advisory lock on f. The lock
-// lives on the open file description, so a concurrent OpenJournal —
-// from another process or from this one — fails instead of interleaving
-// appends. It is released automatically when the file is closed.
+// lives on the open file description, so a concurrent Open — from another
+// process or from this one — fails instead of interleaving appends. It is
+// released automatically when the file is closed.
 func lockFile(f *os.File) error {
 	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
 		return fmt.Errorf("locked by another journal writer: %w", err)

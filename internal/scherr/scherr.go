@@ -10,6 +10,7 @@
 //	errors.Is(err, scherr.ErrCanceled)    // the caller's context ended it
 //	errors.Is(err, scherr.ErrVerify)      // a schedule broke an invariant
 //	errors.Is(err, scherr.ErrTransient)   // a fault worth retrying
+//	errors.Is(err, scherr.ErrInternal)    // a broken internal invariant (a bug here)
 //
 // The sentinels deliberately carry no state; rich detail lives in the
 // concrete error types that wrap them (core.InfeasibleError,
@@ -51,6 +52,14 @@ var (
 	// (internal/retry) retries exactly the errors matching this class;
 	// everything else in the taxonomy is deterministic and fails fast.
 	ErrTransient = errors.New("transient fault")
+
+	// ErrInternal classifies broken internal invariants: states that no
+	// input should be able to reach (corrupted accounting, impossible
+	// replay states). Unlike the classes above it always indicates a bug
+	// in this codebase, but it is still an error, not a panic: a long
+	// fuzzing sweep or the scheduling service must be able to report the
+	// failed work item and keep going.
+	ErrInternal = errors.New("internal invariant violated")
 )
 
 // Canceled wraps a context error (context.Canceled or

@@ -1,6 +1,10 @@
-package spec
+package spec_test
 
-import "testing"
+import (
+	"testing"
+
+	"cds/internal/spec"
+)
 
 // FuzzParse: arbitrary input must never panic; accepted specs must
 // produce a valid partition.
@@ -9,7 +13,7 @@ func FuzzParse(f *testing.F) {
 	f.Add([]byte("{"))
 	f.Add([]byte(`{"name":"x","iterations":1,"data":[{"name":"d","size":4}],"kernels":[{"name":"k","contextWords":1,"computeCycles":1,"inputs":["d"]}],"clusters":[1]}`))
 	f.Fuzz(func(t *testing.T, raw []byte) {
-		part, pa, err := Parse(raw)
+		part, pa, err := spec.Parse(raw)
 		if err != nil {
 			return
 		}

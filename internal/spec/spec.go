@@ -87,6 +87,14 @@ func (sp *Spec) Validate() error {
 	if sp.Iterations < 1 {
 		return invalid("iterations", "must be >= 1, got %d", sp.Iterations)
 	}
+	// Effective machine limits: overrides when declared, M1 defaults
+	// otherwise (mirroring Build). A datum that cannot fit one Frame
+	// Buffer set can never be scheduled, so it is a spec error, not a
+	// scheduling outcome.
+	fbSet := arch.M1().FBSetBytes
+	if sp.Arch != nil && sp.Arch.FBSetBytes > 0 {
+		fbSet = sp.Arch.FBSetBytes
+	}
 	dataNames := make(map[string]int, len(sp.Data))
 	for i, d := range sp.Data {
 		path := fmt.Sprintf("data[%d]", i)
@@ -95,6 +103,9 @@ func (sp *Spec) Validate() error {
 		}
 		if d.Size <= 0 {
 			return invalid(path+".size", "must be positive, got %d", d.Size)
+		}
+		if d.Size > fbSet {
+			return invalid(path+".size", "%d bytes exceeds the %d-byte frame-buffer set (%q cannot ever be resident)", d.Size, fbSet, d.Name)
 		}
 		if prev, dup := dataNames[d.Name]; dup {
 			return invalid(path+".name", "duplicates data[%d] (%q)", prev, d.Name)
@@ -120,14 +131,27 @@ func (sp *Spec) Validate() error {
 		if k.ComputeCycles <= 0 {
 			return invalid(path+".computeCycles", "must be positive, got %d", k.ComputeCycles)
 		}
+		seenIn := make(map[string]int, len(k.Inputs))
 		for j, in := range k.Inputs {
 			if _, ok := dataNames[in]; !ok {
 				return invalid(fmt.Sprintf("%s.inputs[%d]", path, j), "references undeclared datum %q", in)
 			}
+			if prev, dup := seenIn[in]; dup {
+				return invalid(fmt.Sprintf("%s.inputs[%d]", path, j), "duplicates inputs[%d] (%q)", prev, in)
+			}
+			seenIn[in] = j
 		}
+		seenOut := make(map[string]int, len(k.Outputs))
 		for j, out := range k.Outputs {
 			if _, ok := dataNames[out]; !ok {
 				return invalid(fmt.Sprintf("%s.outputs[%d]", path, j), "references undeclared datum %q", out)
+			}
+			if prev, dup := seenOut[out]; dup {
+				return invalid(fmt.Sprintf("%s.outputs[%d]", path, j), "duplicates outputs[%d] (%q)", prev, out)
+			}
+			seenOut[out] = j
+			if _, self := seenIn[out]; self {
+				return invalid(fmt.Sprintf("%s.outputs[%d]", path, j), "kernel %q both reads and writes %q (self-dependency)", k.Name, out)
 			}
 		}
 	}
@@ -235,4 +259,27 @@ func FromPartition(part *app.Partition, pa arch.Params) *Spec {
 // Marshal renders a spec as indented JSON.
 func (sp *Spec) Marshal() ([]byte, error) {
 	return json.MarshalIndent(sp, "", "  ")
+}
+
+// PruneOrphanData removes data no kernel references. A datum that is
+// neither produced nor consumed fails validation, so programmatic spec
+// producers (the corpus generator, the delta minimizer) call this after
+// surgery that may leave declarations behind.
+func (sp *Spec) PruneOrphanData() {
+	used := make(map[string]bool, len(sp.Data))
+	for _, k := range sp.Kernels {
+		for _, n := range k.Inputs {
+			used[n] = true
+		}
+		for _, n := range k.Outputs {
+			used[n] = true
+		}
+	}
+	kept := sp.Data[:0]
+	for _, d := range sp.Data {
+		if used[d.Name] {
+			kept = append(kept, d)
+		}
+	}
+	sp.Data = kept
 }

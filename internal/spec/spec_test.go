@@ -1,4 +1,4 @@
-package spec
+package spec_test
 
 import (
 	"errors"
@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"cds/internal/scherr"
+	"cds/internal/spec"
 	"cds/internal/workloads"
 )
 
@@ -29,7 +30,7 @@ const goodSpec = `{
 }`
 
 func TestParseGoodSpec(t *testing.T) {
-	part, pa, err := Parse([]byte(goodSpec))
+	part, pa, err := spec.Parse([]byte(goodSpec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestParseGoodSpec(t *testing.T) {
 
 func TestParseDefaultsArch(t *testing.T) {
 	raw := strings.Replace(goodSpec, `"arch": {"fbSetBytes": 2048, "cmWords": 256},`, "", 1)
-	_, pa, err := Parse([]byte(raw))
+	_, pa, err := spec.Parse([]byte(raw))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,6 +92,11 @@ func TestParseErrors(t *testing.T) {
 		{"zero cluster", `"clusters": [1, 1]`, `"clusters": [0, 2]`, "clusters[0]"},
 		{"no clusters", `"clusters": [1, 1]`, `"clusters": []`, "clusters"},
 		{"negative FB", `"fbSetBytes": 2048`, `"fbSetBytes": -1`, "arch.fbSetBytes"},
+		{"duplicate input", `"inputs": ["in", "tile"]`, `"inputs": ["in", "in"]`, "kernels[0].inputs[1]"},
+		{"duplicate output", `"outputs": ["mid"]`, `"outputs": ["mid", "mid"]`, "kernels[0].outputs[1]"},
+		{"self dependency", `"inputs": ["mid"], "outputs": ["out"]`,
+			`"inputs": ["mid"], "outputs": ["mid"]`, "kernels[1].outputs[0]"},
+		{"datum exceeds FB set", `{"name": "in", "size": 100}`, `{"name": "in", "size": 4096}`, "data[0].size"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -98,7 +104,7 @@ func TestParseErrors(t *testing.T) {
 			if raw == goodSpec {
 				t.Fatalf("mutation %q did not apply", tt.old)
 			}
-			_, _, err := Parse([]byte(raw))
+			_, _, err := spec.Parse([]byte(raw))
 			if err == nil {
 				t.Fatal("Parse accepted a broken spec")
 			}
@@ -112,13 +118,34 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+// TestOversizeDatumAgainstDefaultArch: the frame-buffer footprint check
+// applies against the M1 default when the spec declares no arch block —
+// a datum that cannot fit one FB set is a spec error even before any
+// scheduling runs.
+func TestOversizeDatumAgainstDefaultArch(t *testing.T) {
+	raw := `{"name":"x","iterations":1,
+	  "data":[{"name":"d","size":99999}],
+	  "kernels":[{"name":"k","contextWords":1,"computeCycles":1,"inputs":["d"]}],
+	  "clusters":[1]}`
+	_, _, err := spec.Parse([]byte(raw))
+	if err == nil {
+		t.Fatal("Parse accepted a datum bigger than the default frame-buffer set")
+	}
+	if !strings.Contains(err.Error(), "data[0].size") {
+		t.Errorf("error %q does not name data[0].size", err)
+	}
+	if !errors.Is(err, scherr.ErrInvalidSpec) {
+		t.Errorf("error %q does not match scherr.ErrInvalidSpec", err)
+	}
+}
+
 // TestSemanticErrorsStayTyped covers rejections only app.Finalize can
 // see (dataflow ordering, double producers): they keep the taxonomy
 // class even though they have no single field path.
 func TestSemanticErrorsStayTyped(t *testing.T) {
 	raw := strings.Replace(goodSpec, `"outputs": ["out"], "contextGroup": "k1"`,
 		`"outputs": ["mid"], "contextGroup": "k1"`, 1)
-	_, _, err := Parse([]byte(raw))
+	_, _, err := spec.Parse([]byte(raw))
 	if err == nil {
 		t.Fatal("double producer accepted")
 	}
@@ -129,14 +156,14 @@ func TestSemanticErrorsStayTyped(t *testing.T) {
 
 func TestValidateAcceptsAllPaperWorkloads(t *testing.T) {
 	for _, e := range workloads.All() {
-		if err := FromPartition(e.Part, e.Arch).Validate(); err != nil {
+		if err := spec.FromPartition(e.Part, e.Arch).Validate(); err != nil {
 			t.Errorf("%s: %v", e.Name, err)
 		}
 	}
 }
 
 func TestParsedSpecSchedules(t *testing.T) {
-	part, pa, err := Parse([]byte(goodSpec))
+	part, pa, err := spec.Parse([]byte(goodSpec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +181,7 @@ func TestParseShippedExampleSpec(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	part, pa, err := Parse(raw)
+	part, pa, err := spec.Parse(raw)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,16 +194,16 @@ func TestParseShippedExampleSpec(t *testing.T) {
 }
 
 func TestFromPartitionRoundTrip(t *testing.T) {
-	part, pa, err := Parse([]byte(goodSpec))
+	part, pa, err := spec.Parse([]byte(goodSpec))
 	if err != nil {
 		t.Fatal(err)
 	}
-	sp := FromPartition(part, pa)
+	sp := spec.FromPartition(part, pa)
 	raw, err := sp.Marshal()
 	if err != nil {
 		t.Fatal(err)
 	}
-	part2, pa2, err := Parse(raw)
+	part2, pa2, err := spec.Parse(raw)
 	if err != nil {
 		t.Fatalf("%v\njson:\n%s", err, raw)
 	}
@@ -195,12 +222,12 @@ func TestFromPartitionRoundTrip(t *testing.T) {
 
 func TestDumpAllPaperWorkloads(t *testing.T) {
 	for _, e := range workloads.All() {
-		sp := FromPartition(e.Part, e.Arch)
+		sp := spec.FromPartition(e.Part, e.Arch)
 		raw, err := sp.Marshal()
 		if err != nil {
 			t.Fatalf("%s: %v", e.Name, err)
 		}
-		part, _, err := Parse(raw)
+		part, _, err := spec.Parse(raw)
 		if err != nil {
 			t.Fatalf("%s: re-parse: %v", e.Name, err)
 		}

@@ -14,23 +14,19 @@ package sweep
 // and failed deterministically; its error text is the result) or
 // "canceled" (the point was abandoned by cancellation or shutdown).
 // Resume skips done and error records — both are the outcome of an
-// actual run — and re-runs canceled ones. A torn final line (no
-// terminating newline — the crash arrived mid-write) is truncated away
-// on open; any newline-terminated line that does not parse is treated
-// as corruption and fails the open. The open also takes an exclusive
-// advisory lock on the file, so two processes cannot append to the same
-// journal concurrently.
+// actual run — and re-runs canceled ones.
+//
+// The durability rules (fsync per record, exclusive advisory lock,
+// torn-tail truncation, corruption detection) live in internal/journal,
+// which this file instantiates with the sweep's Record schema.
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
-	"os"
 	"sync"
 
+	"cds/internal/journal"
 	"cds/internal/scherr"
 )
 
@@ -60,14 +56,10 @@ func recordOf(o Outcome) Record {
 	return rec
 }
 
-// Journal is an append-only, fsync-per-record JSONL checkpoint file.
-// Appends are serialized internally, so the batch pool's workers may
-// share one Journal.
-type Journal struct {
-	mu   sync.Mutex
-	f    *os.File
-	path string
-}
+// Journal is an append-only, fsync-per-record JSONL checkpoint file of
+// sweep records. Appends are serialized internally, so the batch pool's
+// workers may share one Journal.
+type Journal = journal.Journal[Record]
 
 // OpenJournal opens (creating if missing) the journal at path and
 // replays its records. The file is held under an exclusive advisory
@@ -79,67 +71,12 @@ type Journal struct {
 // does not parse is corruption and fails the open rather than silently
 // dropping an fsync'd completed point.
 func OpenJournal(path string) (*Journal, []Record, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	j, recs, err := journal.Open[Record](path)
 	if err != nil {
-		return nil, nil, fmt.Errorf("sweep: journal %s: %w", path, err)
+		return nil, nil, fmt.Errorf("sweep: %w", err)
 	}
-	if err := lockFile(f); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("sweep: journal %s: %w", path, err)
-	}
-	data, err := io.ReadAll(f)
-	if err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("sweep: journal %s: %w", path, err)
-	}
-	var recs []Record
-	valid := 0 // byte offset just past the last fully-parsed record
-	for off := 0; off < len(data); {
-		nl := bytes.IndexByte(data[off:], '\n')
-		if nl < 0 {
-			break // torn tail: no terminating newline
-		}
-		line := data[off : off+nl]
-		var rec Record
-		if jerr := json.Unmarshal(line, &rec); jerr != nil {
-			f.Close()
-			return nil, nil, fmt.Errorf("sweep: journal %s: corrupt record at byte %d: %w", path, off, jerr)
-		}
-		recs = append(recs, rec)
-		off += nl + 1
-		valid = off
-	}
-	if err := f.Truncate(int64(valid)); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("sweep: journal %s: truncating torn tail: %w", path, err)
-	}
-	return &Journal{f: f, path: path}, recs, nil
+	return j, recs, nil
 }
-
-// Append writes one record and syncs it to disk before returning, so a
-// crash after Append never loses the point.
-func (j *Journal) Append(rec Record) error {
-	raw, err := json.Marshal(rec)
-	if err != nil {
-		return fmt.Errorf("sweep: journal %s: %w", j.path, err)
-	}
-	raw = append(raw, '\n')
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if _, err := j.f.Write(raw); err != nil {
-		return fmt.Errorf("sweep: journal %s: %w", j.path, err)
-	}
-	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("sweep: journal %s: %w", j.path, err)
-	}
-	return nil
-}
-
-// Path returns the journal's file path.
-func (j *Journal) Path() string { return j.path }
-
-// Close closes the underlying file.
-func (j *Journal) Close() error { return j.f.Close() }
 
 // Completed indexes the replayed records that must not re-run: done and
 // error outcomes, keyed by job name. Canceled records are deliberately

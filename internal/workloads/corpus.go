@@ -1,0 +1,368 @@
+package workloads
+
+// The corpus generator is the scenario factory behind the differential
+// fuzzer (internal/diffuzz): a seeded stream of JSON workload specs that
+// spans the structure space the paper's twelve hand-built experiments only
+// sample. Each spec is self-contained (application + machine overrides),
+// buildable through internal/spec, and small enough that a three-scheduler
+// comparison plus full verification runs in milliseconds — thousands of
+// specs per fuzzing run.
+//
+// The stream is deterministic and random-access: spec i of seed s depends
+// only on (s, i), never on generation order, so a worker pool can generate
+// points independently and a resumed run regenerates exactly the specs it
+// skipped. Classes rotate round-robin over the stream index, giving every
+// class an equal share of any corpus prefix.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cds/internal/arch"
+	"cds/internal/spec"
+)
+
+// Class names one region of the workload structure space.
+type Class string
+
+// The six structure classes, chosen to stress different scheduler
+// mechanisms: deep chains serialize the dataflow, fan-out multiplies
+// consumers of one datum, shared-heavy maximizes retention candidates,
+// context-heavy drives the Context Memory to eviction, degenerate probes
+// boundary shapes (single kernels, producer-only kernels, one-cluster
+// apps) and mode-switching cycles a few shared context groups the way a
+// multi-mode application alternates configurations.
+const (
+	ClassChain      Class = "chain"
+	ClassFanout     Class = "fanout"
+	ClassShared     Class = "shared"
+	ClassCtxHeavy   Class = "ctx-heavy"
+	ClassDegenerate Class = "degenerate"
+	ClassModeSwitch Class = "mode-switch"
+)
+
+// Classes lists every structure class in stream rotation order.
+func Classes() []Class {
+	return []Class{ClassChain, ClassFanout, ClassShared, ClassCtxHeavy, ClassDegenerate, ClassModeSwitch}
+}
+
+// splitmix64 scrambles (seed, index) into an independent per-spec seed, so
+// the stream is random-access: neighbouring indices get decorrelated
+// generators without any shared rand state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SpecName is the canonical name of corpus point i of a seed's stream:
+// the class plus the coordinates that regenerate it. Diffuzz journals key
+// on it.
+func SpecName(seed int64, index int) string {
+	cls := Classes()[index%len(Classes())]
+	return fmt.Sprintf("corpus/s%d/%06d-%s", seed, index, cls)
+}
+
+// GenSpec generates corpus point i of the seed's stream. The result is
+// always structurally valid (it builds through spec.Build); whether it is
+// schedulable on its machine is deliberately open — probing the
+// infeasibility frontier is part of the corpus's job.
+func GenSpec(seed int64, index int) *spec.Spec {
+	classes := Classes()
+	cls := classes[index%len(classes)]
+	sub := splitmix64(uint64(seed)*0x9e3779b97f4a7c15 + uint64(index)*0xda942042e4dd58b5)
+	rng := rand.New(rand.NewSource(int64(sub)))
+
+	g := &genState{rng: rng, sp: &spec.Spec{
+		Name:       SpecName(seed, index),
+		Iterations: 1 + rng.Intn(24),
+	}}
+	// Machine: an FB/CM ladder around the paper's design points. Sizes
+	// generated below stay within one FB set and one CM, so degeneracy
+	// comes from structure, not from trivially-impossible inputs.
+	fbLadder := []int{512, 1 * arch.KiB, 2 * arch.KiB, 3 * arch.KiB, 4 * arch.KiB, 8 * arch.KiB}
+	cmLadder := []int{128, 256, 512, 1024}
+	g.fb = fbLadder[rng.Intn(len(fbLadder))]
+	g.cm = cmLadder[rng.Intn(len(cmLadder))]
+	g.sp.Arch = &spec.Arch{FBSetBytes: g.fb, CMWords: g.cm}
+
+	switch cls {
+	case ClassChain:
+		g.genChain()
+	case ClassFanout:
+		g.genFanout()
+	case ClassShared:
+		g.genShared()
+	case ClassCtxHeavy:
+		g.genCtxHeavy()
+	case ClassDegenerate:
+		g.genDegenerate()
+	case ClassModeSwitch:
+		g.genModeSwitch()
+	}
+	// Classes that draw shared pools (tables, reuse candidates) can
+	// leave a declared datum unused; an unreferenced datum fails spec
+	// validation, so drop them.
+	g.sp.PruneOrphanData()
+	return g.sp
+}
+
+// genState accumulates one spec under construction.
+type genState struct {
+	rng    *rand.Rand
+	sp     *spec.Spec
+	fb, cm int
+}
+
+// datum declares a fresh datum and returns its name.
+func (g *genState) datum(prefix string, size int, streamed, final bool) string {
+	name := fmt.Sprintf("%s%d", prefix, len(g.sp.Data))
+	g.sp.Data = append(g.sp.Data, spec.Datum{Name: name, Size: size, Streamed: streamed, Final: final})
+	return name
+}
+
+// size draws a datum size in [8, max] (at least 8).
+func (g *genState) size(max int) int {
+	if max < 8 {
+		max = 8
+	}
+	return 8 + g.rng.Intn(max-7)
+}
+
+// dataSize draws a size small relative to the FB so multi-datum clusters
+// usually fit, with a heavy tail that sometimes pushes a cluster past the
+// footprint limit — the infeasibility frontier.
+func (g *genState) dataSize() int {
+	s := g.size(g.fb / 8)
+	if g.rng.Float64() < 0.08 {
+		s = g.size(g.fb / 2) // tail: a big object
+	}
+	return s
+}
+
+// ctxWords draws a context volume comfortably under the CM.
+func (g *genState) ctxWords() int {
+	w := 8 + g.rng.Intn(g.cm/4)
+	return w
+}
+
+// kernel appends a kernel reading ins and producing nOut fresh outputs,
+// returning the output names.
+func (g *genState) kernel(ctxWords int, group string, ins []string, nOut int, outPrefix string) []string {
+	k := spec.Kernel{
+		Name:          fmt.Sprintf("k%d", len(g.sp.Kernels)),
+		ContextWords:  ctxWords,
+		ComputeCycles: 10 + g.rng.Intn(400),
+		Inputs:        ins,
+		ContextGroup:  group,
+	}
+	var outs []string
+	for o := 0; o < nOut; o++ {
+		final := g.rng.Float64() < 0.1
+		outs = append(outs, g.datum(outPrefix, g.dataSize(), false, final))
+	}
+	k.Outputs = outs
+	g.sp.Kernels = append(g.sp.Kernels, k)
+	return outs
+}
+
+// input declares a fresh external input (sometimes streamed).
+func (g *genState) input() string {
+	return g.datum("in", g.dataSize(), g.rng.Float64() < 0.1, false)
+}
+
+// clusterSizes splits n kernels into cluster sizes between lo and hi.
+func (g *genState) clusterSizes(n, lo, hi int) {
+	g.sp.Clusters = nil
+	for n > 0 {
+		sz := lo
+		if hi > lo {
+			sz += g.rng.Intn(hi - lo + 1)
+		}
+		if sz > n {
+			sz = n
+		}
+		g.sp.Clusters = append(g.sp.Clusters, sz)
+		n -= sz
+	}
+}
+
+// genChain builds a deep dependency chain: every kernel consumes its
+// predecessor's output (serial dataflow across clusters and FB sets),
+// optionally plus a private external input.
+func (g *genState) genChain() {
+	depth := 6 + g.rng.Intn(11) // 6..16 kernels
+	prev := ""
+	for i := 0; i < depth; i++ {
+		var ins []string
+		if prev != "" {
+			ins = append(ins, prev)
+		}
+		if prev == "" || g.rng.Float64() < 0.5 {
+			ins = append(ins, g.input())
+		}
+		outs := g.kernel(g.ctxWords(), "", ins, 1, "d")
+		prev = outs[0]
+	}
+	g.clusterSizes(depth, 1, 2)
+}
+
+// genFanout builds wide fan-out: one early producer whose output (and one
+// shared external table) is read by most downstream kernels.
+func (g *genState) genFanout() {
+	width := 6 + g.rng.Intn(10) // consumers
+	table := g.input()
+	root := g.kernel(g.ctxWords(), "", []string{g.input()}, 1, "hub")[0]
+	for i := 0; i < width; i++ {
+		ins := []string{root}
+		if g.rng.Float64() < 0.7 {
+			ins = append(ins, table)
+		}
+		if g.rng.Float64() < 0.3 {
+			ins = append(ins, g.input())
+		}
+		g.kernel(g.ctxWords(), "", ins, 1, "d")
+	}
+	g.clusterSizes(width+1, 1, 3)
+}
+
+// genShared builds a shared-data-heavy app in the style of the paper's
+// experiments, but denser: several tables shared across clusters, shared
+// results feeding later clusters, plus random backward data edges.
+func (g *genState) genShared() {
+	clusters := 4 + g.rng.Intn(5) // 4..8 clusters
+	perCluster := 1 + g.rng.Intn(3)
+	nTables := 1 + g.rng.Intn(3)
+	tables := make([]string, nTables)
+	for i := range tables {
+		tables[i] = g.input()
+	}
+	var produced []string // all outputs so far, candidates for reuse
+	n := 0
+	for c := 0; c < clusters; c++ {
+		for k := 0; k < perCluster; k++ {
+			var ins []string
+			if g.rng.Float64() < 0.8 {
+				ins = append(ins, tables[g.rng.Intn(nTables)])
+			}
+			if len(produced) > 0 && g.rng.Float64() < 0.6 {
+				ins = append(ins, produced[g.rng.Intn(len(produced))])
+			}
+			if len(ins) == 0 || g.rng.Float64() < 0.4 {
+				ins = append(ins, g.input())
+			}
+			ins = dedup(ins)
+			outs := g.kernel(g.ctxWords(), "", ins, 1, "d")
+			produced = append(produced, outs...)
+			n++
+		}
+	}
+	g.clusterSizes(n, perCluster, perCluster)
+}
+
+// genCtxHeavy builds a context-dominated app: tiny data, context volumes
+// near the CM capacity and many single- or two-kernel clusters, so context
+// reloads dominate and the CM cycles through eviction.
+func (g *genState) genCtxHeavy() {
+	kn := 5 + g.rng.Intn(8)
+	for i := 0; i < kn; i++ {
+		words := g.cm/3 + g.rng.Intn(g.cm/2) // big: 1/3..5/6 of the CM
+		if words > g.cm {
+			words = g.cm
+		}
+		ins := []string{g.datum("in", g.size(32), false, false)}
+		k := spec.Kernel{
+			Name:          fmt.Sprintf("k%d", len(g.sp.Kernels)),
+			ContextWords:  words,
+			ComputeCycles: 10 + g.rng.Intn(100),
+			Inputs:        ins,
+			Outputs:       []string{g.datum("out", g.size(24), false, false)},
+		}
+		g.sp.Kernels = append(g.sp.Kernels, k)
+	}
+	g.clusterSizes(kn, 1, 2)
+}
+
+// genDegenerate builds boundary shapes: a single-kernel app, producer-only
+// kernels (no inputs), one-cluster apps, iteration count 1.
+func (g *genState) genDegenerate() {
+	switch g.rng.Intn(4) {
+	case 0: // the smallest possible app
+		g.sp.Iterations = 1
+		g.kernel(g.ctxWords(), "", []string{g.input()}, 1, "out")
+		g.sp.Clusters = []int{1}
+	case 1: // producer-only kernel feeding one consumer
+		outs := g.kernel(g.ctxWords(), "", nil, 1, "gen")
+		g.kernel(g.ctxWords(), "", outs, 1, "out")
+		g.sp.Clusters = []int{1, 1}
+	case 2: // one big cluster holding the whole app
+		kn := 3 + g.rng.Intn(4)
+		prev := ""
+		for i := 0; i < kn; i++ {
+			var ins []string
+			if prev != "" {
+				ins = append(ins, prev)
+			} else {
+				ins = append(ins, g.input())
+			}
+			prev = g.kernel(g.ctxWords(), "", ins, 1, "d")[0]
+		}
+		g.sp.Clusters = []int{kn}
+	default: // many single-kernel clusters, zero sharing
+		kn := 4 + g.rng.Intn(6)
+		for i := 0; i < kn; i++ {
+			g.kernel(g.ctxWords(), "", []string{g.input()}, 1, "d")
+		}
+		g.clusterSizes(kn, 1, 1)
+	}
+}
+
+// genModeSwitch builds a multi-mode app: kernels cycle through a few
+// shared context groups (modes), so the same configurations alternate in
+// the Context Memory the way a mode-switching application re-enters its
+// modes. All kernels of a mode share one context volume, matching the
+// tiling contract behind ContextGroup.
+func (g *genState) genModeSwitch() {
+	modes := 2 + g.rng.Intn(2) // 2..3 modes
+	words := make([]int, modes)
+	for m := range words {
+		words[m] = g.cm/4 + g.rng.Intn(g.cm/3)
+	}
+	kn := 6 + g.rng.Intn(9)
+	prev := ""
+	for i := 0; i < kn; i++ {
+		m := i % modes
+		var ins []string
+		if prev != "" && g.rng.Float64() < 0.6 {
+			ins = append(ins, prev)
+		}
+		if len(ins) == 0 || g.rng.Float64() < 0.4 {
+			ins = append(ins, g.input())
+		}
+		outs := []string{g.datum("d", g.dataSize(), false, false)}
+		g.sp.Kernels = append(g.sp.Kernels, spec.Kernel{
+			Name:          fmt.Sprintf("k%d", len(g.sp.Kernels)),
+			ContextWords:  words[m],
+			ComputeCycles: 10 + g.rng.Intn(200),
+			Inputs:        ins,
+			Outputs:       outs,
+			ContextGroup:  fmt.Sprintf("mode%d", m),
+		})
+		prev = outs[0]
+	}
+	g.clusterSizes(kn, 1, 3)
+}
+
+// dedup removes duplicate names preserving first occurrence.
+func dedup(names []string) []string {
+	seen := make(map[string]bool, len(names))
+	out := names[:0]
+	for _, n := range names {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package workloads
+
+import "cds/internal/spec"
+
+// Regressions returns the minimized counterexample workloads the
+// differential fuzzer (cmd/diffuzz) has found, each pinned by a test in
+// internal/diffuzz. Every entry is the delta-minimized kernel of one real
+// scheduler bug, kept small on purpose: the spec IS the bug report.
+//
+// Keep the list append-only; a future fuzzing run that finds a new bug
+// adds its minimized spec here under a "regress/" name after the fix.
+func Regressions() []*spec.Spec {
+	return []*spec.Spec{
+		regressRFTailStore(),
+		regressStreamedSharedConsumers(),
+		regressStreamedRetained(),
+	}
+}
+
+// regressRFTailStore reproduced a Basic/DS dominance inversion (seed 1,
+// point 000004): two input-less single-kernel clusters over two
+// iterations. At RF = 2 the Data Scheduler batches each cluster's stores
+// into one burst, and the final visit's burst lands entirely after the
+// last compute cycle — one bus beat more exposed tail than Basic's
+// per-iteration stores, which overlap computation. Fixed by guarding the
+// reuse-factor choice with the timing model (core.DataScheduler.Eval):
+// the scheduler now keeps RF = 1 here.
+func regressRFTailStore() *spec.Spec {
+	return &spec.Spec{
+		Name:       "regress/rf-tail-store",
+		Iterations: 2,
+		Arch:       &spec.Arch{FBSetBytes: 8192, CMWords: 1024},
+		Data: []spec.Datum{
+			{Name: "gen0", Size: 1},
+			{Name: "out1", Size: 4},
+		},
+		Kernels: []spec.Kernel{
+			{Name: "k0", ContextWords: 1, ComputeCycles: 12, Outputs: []string{"gen0"}},
+			{Name: "k1", ContextWords: 1, ComputeCycles: 11, Outputs: []string{"out1"}},
+		},
+		Clusters: []int{1, 1},
+	}
+}
+
+// regressStreamedSharedConsumers reproduced a Basic Scheduler residency
+// violation (seed 1, point 000038): a streamed datum read by two kernels
+// of the same cluster was charged once per consumer in the schedule's
+// load list, but the allocator places a streamed tile exactly once (just
+// in time for its first consumer), so the generated program moved fewer
+// bytes than the schedule claimed. Fixed in core.buildVisits: streamed
+// inputs are exempt from Basic's per-kernel duplication.
+func regressStreamedSharedConsumers() *spec.Spec {
+	return &spec.Spec{
+		Name:       "regress/streamed-shared-consumers",
+		Iterations: 1,
+		Arch:       &spec.Arch{FBSetBytes: 3072, CMWords: 512},
+		Data: []spec.Datum{
+			{Name: "in1", Size: 1, Streamed: true},
+			{Name: "d6", Size: 1, Final: true},
+			{Name: "d8", Size: 1, Final: true},
+		},
+		Kernels: []spec.Kernel{
+			{Name: "k2", ContextWords: 1, ComputeCycles: 1, Inputs: []string{"in1"}, Outputs: []string{"d6"}},
+			{Name: "k3", ContextWords: 1, ComputeCycles: 1, Inputs: []string{"in1"}, Outputs: []string{"d8"}},
+		},
+		Clusters: []int{2},
+	}
+}
+
+// regressStreamedRetained reproduced a Complete Data Scheduler residency
+// violation (seed 1, point 000050): a streamed datum shared by two
+// same-set clusters becomes a retention candidate, and the retaining
+// cluster places it in the allocator's pre-visit phase — but codegen only
+// emitted streamed loads at in-visit placement events, so the one charged
+// load never appeared in the program. Fixed in codegen.Generate: a
+// streamed instance already resident when the visit's load list is walked
+// is emitted there like any retained input.
+func regressStreamedRetained() *spec.Spec {
+	return &spec.Spec{
+		Name:       "regress/streamed-retained",
+		Iterations: 1,
+		Arch:       &spec.Arch{FBSetBytes: 2048, CMWords: 128},
+		Data: []spec.Datum{
+			{Name: "in0", Size: 1, Streamed: true},
+			{Name: "d3", Size: 1},
+			{Name: "d7", Size: 1},
+			{Name: "d10", Size: 1},
+		},
+		Kernels: []spec.Kernel{
+			{Name: "k0", ContextWords: 1, ComputeCycles: 1, Inputs: []string{"in0"}, Outputs: []string{"d3"}},
+			{Name: "k2", ContextWords: 1, ComputeCycles: 1, Outputs: []string{"d7"}},
+			{Name: "k4", ContextWords: 1, ComputeCycles: 1, Inputs: []string{"in0"}, Outputs: []string{"d10"}},
+		},
+		Clusters: []int{1, 1, 1},
+	}
+}
