@@ -8,11 +8,15 @@
 // Endpoints:
 //
 //	POST /v1/compare  {"workload":"MPEG"} | {"workload":"MPEG","arch":"M2","fb_bytes":2048} | {"spec":{...}}
-//	                  ?trace=1 adds per-scheduler timeline analytics to the answer
+//	                  ?trace=1 adds per-scheduler timeline analytics to the answer;
+//	                  an Idempotency-Key header makes duplicated submissions replay
+//	                  instead of double-running
 //	POST /v1/sweep    {"archs":["M1/4","M1"],"workloads":["MPEG","E1"],"journal":"nightly"}
 //	GET  /debug/traces  bounded ring of recently traced comparisons (?full=1 adds Chrome payloads)
 //	GET  /healthz     process liveness
-//	GET  /readyz      load-balancer readiness (503 while draining)
+//	GET  /readyz      load-balancer readiness: 503 while draining OR while the
+//	                  admission queue is saturated, with queue depth/capacity
+//	                  in the JSON body
 //
 // Usage:
 //
@@ -21,133 +25,29 @@
 //	       [-retry-attempts 4] [-retry-base 10ms] [-retry-seed 1]
 //	       [-breaker-threshold 5] [-breaker-cooldown 5s]
 //	       [-fault-seed N -fault-stall-pct P -fault-fail-every K -fault-fail-runs R]
+//	       [-sweep-point-delay D]
 //
 // The -fault-* flags enable chaos mode: every comparison's CDS schedule
 // additionally executes on the functional machine under deterministic
 // fault injection (internal/faultmachine), exercising the retry path in
-// production configuration. SIGTERM (and SIGINT) drain gracefully:
-// readiness flips immediately, -drain-grace holds a 503-on-/readyz
-// window for load balancers (clamped to half of -drain-timeout so the
-// drain itself always keeps time), in-flight requests finish within
-// -drain-timeout, and the exit status is 0 exactly when everything
-// drained.
+// production configuration; -sweep-point-delay paces journaled sweeps so
+// the chaos harness (cmd/chaos) can land a SIGKILL at a chosen journal
+// record count. SIGTERM (and SIGINT) drain gracefully: readiness flips
+// immediately, -drain-grace holds a 503-on-/readyz window for load
+// balancers (clamped to half of -drain-timeout so the drain itself
+// always keeps time), in-flight requests finish within -drain-timeout,
+// and the exit status is 0 exactly when everything drained.
+//
+// The implementation lives in internal/daemon so the chaos harness can
+// re-execute the identical daemon as a supervised child process.
 package main
 
 import (
-	"context"
-	_ "expvar" // /debug/vars on the debug listener
-	"flag"
-	"fmt"
-	"log"
-	"net"
-	"net/http"
-	_ "net/http/pprof" // /debug/pprof on the debug listener
 	"os"
-	"os/signal"
-	"syscall"
-	"time"
 
-	"cds/internal/faultmachine"
-	"cds/internal/retry"
-	"cds/internal/serve"
+	"cds/internal/daemon"
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	debugAddr := flag.String("debug-addr", "", "optional debug listener for /debug/pprof and /debug/vars (empty disables; bind to localhost)")
-	workers := flag.Int("workers", 2, "concurrent execution slots")
-	queue := flag.Int("queue", 8, "admission queue bound beyond the slots (load shed past it)")
-	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline")
-	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline")
-	drainGrace := flag.Duration("drain-grace", 0, "503-on-/readyz window before the listener closes (for load balancers)")
-	journalDir := flag.String("journal-dir", "", "directory for sweep journals (empty disables journaling)")
-	retryAttempts := flag.Int("retry-attempts", 4, "total attempts per compare request")
-	retryBase := flag.Duration("retry-base", 10*time.Millisecond, "base backoff delay")
-	retrySeed := flag.Int64("retry-seed", 1, "seed of the deterministic backoff jitter")
-	brThreshold := flag.Int("breaker-threshold", 5, "consecutive transient failures that open a target's circuit")
-	brCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open-circuit cooldown before a half-open probe")
-	faultSeed := flag.Int64("fault-seed", 0, "chaos mode: fault-injection seed")
-	faultStallPct := flag.Int("fault-stall-pct", 0, "chaos mode: per-transfer DMA stall probability (percent)")
-	faultFailEvery := flag.Int("fault-fail-every", 0, "chaos mode: fail every Nth transfer while the fault window is open")
-	faultFailRuns := flag.Int("fault-fail-runs", 0, "chaos mode: width of the transient fault window in runs (<0 = persistent)")
-	traceEntries := flag.Int("trace-ring-entries", 32, "max traced comparisons kept for /debug/traces")
-	traceBytes := flag.Int("trace-ring-bytes", 1<<20, "byte budget of the /debug/traces ring's Chrome payloads")
-	traceSample := flag.Int("trace-sample-every", 1, "keep every Nth ?trace=1 answer's full trace in the ring")
-	flag.Parse()
-
-	cfg := serve.Config{
-		Workers:        *workers,
-		Queue:          *queue,
-		RequestTimeout: *reqTimeout,
-		DrainGrace:     *drainGrace,
-		JournalDir:     *journalDir,
-		Retry: retry.Policy{
-			MaxAttempts: *retryAttempts,
-			BaseDelay:   *retryBase,
-			Seed:        *retrySeed,
-		},
-		BreakerThreshold: *brThreshold,
-		BreakerCooldown:  *brCooldown,
-		TraceRingEntries: *traceEntries,
-		TraceRingBytes:   *traceBytes,
-		TraceSampleEvery: *traceSample,
-		Logf:             log.Printf,
-	}
-	if *faultStallPct > 0 || *faultFailEvery > 0 {
-		cfg.Machine = faultmachine.NewRunner(faultmachine.Config{
-			Seed:         *faultSeed,
-			StallProbPct: *faultStallPct,
-			FailEvery:    *faultFailEvery,
-		}, *faultFailRuns)
-		cfg.MachineSeed = *faultSeed
-	}
-
-	if *debugAddr != "" {
-		// Profiling and counters (including the "rescache" hit/miss
-		// expvar) live on their own listener so they never share a port —
-		// or an ACL — with the service traffic.
-		go func() {
-			log.Printf("schedd: debug listener on %s (/debug/pprof, /debug/vars)", *debugAddr)
-			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
-				log.Printf("schedd: debug listener: %v", err)
-			}
-		}()
-	}
-
-	if err := run(*addr, cfg, *drainTimeout); err != nil {
-		fmt.Fprintf(os.Stderr, "schedd: %v\n", err)
-		os.Exit(1)
-	}
-}
-
-func run(addr string, cfg serve.Config, drainTimeout time.Duration) error {
-	srv := serve.New(cfg)
-	l, err := net.Listen("tcp", addr)
-	if err != nil {
-		return err
-	}
-
-	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(l) }()
-
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
-
-	select {
-	case err := <-errc:
-		return err // listener died before any signal
-	case sig := <-sigc:
-		log.Printf("schedd: %v: draining (deadline %s)", sig, drainTimeout)
-	}
-	signal.Stop(sigc) // a second signal kills the process the hard way
-
-	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
-	defer cancel()
-	if err := srv.Drain(ctx); err != nil {
-		return err
-	}
-	if err := <-errc; err != nil && err != http.ErrServerClosed {
-		return err
-	}
-	return nil
+	os.Exit(daemon.Main(os.Args[1:], os.Stderr))
 }

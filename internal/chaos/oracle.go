@@ -1,0 +1,256 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"cds/internal/schedclient"
+	"cds/internal/serve"
+	"cds/internal/sweep"
+	"cds/internal/workloads"
+)
+
+// OracleResult is one recovery invariant's verdict. A chaos run passes
+// only when every oracle is OK; Detail carries the evidence either way,
+// so a failing report is diagnosable without a re-run.
+type OracleResult struct {
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail"`
+}
+
+func oracle(name string, ok bool, format string, args ...any) OracleResult {
+	return OracleResult{Name: name, OK: ok, Detail: fmt.Sprintf(format, args...)}
+}
+
+// CompletePrefix trims b to its last newline: the durable,
+// complete-record prefix that journal recovery guarantees to preserve.
+// A crash may leave a torn tail after it; nothing before it may change.
+func CompletePrefix(b []byte) []byte {
+	i := bytes.LastIndexByte(b, '\n')
+	if i < 0 {
+		return nil
+	}
+	return b[:i+1]
+}
+
+// CountRecords parses a journal's bytes and counts complete records by
+// status: done points (resumable) and everything else (canceled,
+// failed). A torn tail is ignored, exactly as recovery ignores it.
+func CountRecords(data []byte) (done, other int) {
+	for _, line := range bytes.Split(CompletePrefix(data), []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var rec sweep.Record
+		if json.Unmarshal(line, &rec) != nil {
+			continue // corrupt line: recovery rejects it, don't count it
+		}
+		if rec.Status == sweep.StatusDone {
+			done++
+		} else {
+			other++
+		}
+	}
+	return done, other
+}
+
+// ResumeIdentity asserts the journal's core crash contract: every
+// complete record that was on disk when the process died is still
+// there, byte for byte, after recovery ran and the sweep finished.
+func ResumeIdentity(postCrash, final []byte) OracleResult {
+	prefix := CompletePrefix(postCrash)
+	if !bytes.HasPrefix(final, prefix) {
+		n := len(prefix)
+		if len(final) < n {
+			n = len(final)
+		}
+		div := 0
+		for div < n && prefix[div] == final[div] {
+			div++
+		}
+		return oracle("resume-identity", false,
+			"final journal diverges from the pre-crash prefix at byte %d (prefix %d bytes, final %d bytes)",
+			div, len(prefix), len(final))
+	}
+	return oracle("resume-identity", true,
+		"pre-crash prefix (%d bytes, torn tail of %d bytes discarded) is byte-identical in the final journal (%d bytes)",
+		len(prefix), len(postCrash)-len(prefix), len(final))
+}
+
+// NoLostAcceptedWork asserts the harness's headline invariant for
+// sweeps: after a crash and resume, the answer covers every grid point,
+// none report errors, and exactly the journaled done points were
+// resumed instead of re-run — accepted work survived, and surviving
+// work was not silently recomputed.
+func NoLostAcceptedWork(preDone int, resp *serve.SweepResponse, wantPoints int) OracleResult {
+	if resp == nil {
+		return oracle("no-lost-accepted-work", false, "no sweep answer at all")
+	}
+	if len(resp.Rows) != wantPoints {
+		return oracle("no-lost-accepted-work", false, "answer has %d rows, want %d", len(resp.Rows), wantPoints)
+	}
+	for _, row := range resp.Rows {
+		if row.Err != "" {
+			return oracle("no-lost-accepted-work", false, "point %s resumed with error %q", row.Job, row.Err)
+		}
+	}
+	if resp.Resumed != preDone {
+		return oracle("no-lost-accepted-work", false,
+			"%d points resumed from the journal, want the %d completed before the crash", resp.Resumed, preDone)
+	}
+	return oracle("no-lost-accepted-work", true,
+		"all %d points answered, %d resumed from the pre-crash journal, %d re-run", wantPoints, preDone, wantPoints-preDone)
+}
+
+// RowsIdentity recomputes the grid in-process — no daemon, no journal,
+// no faults — and asserts the recovered answer is byte-identical JSON.
+// This is the end-to-end correctness oracle: recovery must not just
+// answer, it must answer exactly what an undisturbed run answers.
+func RowsIdentity(rows []sweep.Row, archNames, wlNames []string, workers int) OracleResult {
+	archs, skipped := sweep.PresetArchs(archNames...)
+	if len(skipped) > 0 {
+		return oracle("rows-identity", false, "unknown arch presets %v", skipped)
+	}
+	exps := make([]workloads.Experiment, 0, len(wlNames))
+	for _, name := range wlNames {
+		e, err := workloads.ByName(name)
+		if err != nil {
+			return oracle("rows-identity", false, "unknown workload %q", name)
+		}
+		exps = append(exps, e)
+	}
+	ref := sweep.Rows(sweep.Batch(sweep.Grid(archs, exps), workers))
+	got, err1 := json.Marshal(rows)
+	want, err2 := json.Marshal(ref)
+	if err1 != nil || err2 != nil {
+		return oracle("rows-identity", false, "marshal: %v / %v", err1, err2)
+	}
+	if !bytes.Equal(got, want) {
+		return oracle("rows-identity", false,
+			"recovered rows differ from the undisturbed in-process reference:\n got: %s\nwant: %s", got, want)
+	}
+	return oracle("rows-identity", true,
+		"%d recovered rows byte-identical to the undisturbed in-process reference", len(rows))
+}
+
+// ReadyzTruthful asserts one readiness observation: the JSON status
+// matches expectation and the HTTP status tells the same story (200
+// exactly for "ready"), with a sane queue gauge.
+func ReadyzTruthful(when string, status int, r serve.ReadyzResponse, want string) OracleResult {
+	name := "readyz-" + when
+	if r.Status != want {
+		return oracle(name, false, "readyz says %q (%d, queue %d/%d), want %q",
+			r.Status, status, r.QueueDepth, r.QueueCapacity, want)
+	}
+	wantHTTP := http.StatusServiceUnavailable
+	if want == "ready" {
+		wantHTTP = http.StatusOK
+	}
+	if status != wantHTTP {
+		return oracle(name, false, "readyz status %q came with HTTP %d, want %d", want, status, wantHTTP)
+	}
+	if r.QueueDepth < 0 || r.QueueDepth > r.QueueCapacity {
+		return oracle(name, false, "impossible queue gauge %d/%d", r.QueueDepth, r.QueueCapacity)
+	}
+	if want == "saturated" && r.QueueDepth < r.QueueCapacity {
+		return oracle(name, false, "saturated with queue %d/%d", r.QueueDepth, r.QueueCapacity)
+	}
+	return oracle(name, true, "readyz truthfully %q (HTTP %d, queue %d/%d)", want, status, r.QueueDepth, r.QueueCapacity)
+}
+
+// ExactlyOnce asserts the proxy scenario's invariant from the client's
+// ledger: every logical call was accepted despite the faults, truncated
+// answers forced application-level retries, and resets and duplicates
+// were answered from the server's idempotency store rather than re-run.
+// (A reset before response bytes is retried by net/http's transport
+// itself — it treats Idempotency-Key requests as replayable — so resets
+// surface as replays, not as extra application attempts; a truncated
+// body arrives after the headers, which only the schedclient retry loop
+// can recover.)
+func ExactlyOnce(st schedclient.Stats, events []ProxyEvent) OracleResult {
+	var resets, dups, truncs int
+	for _, e := range events {
+		switch e.Fault {
+		case "reset":
+			resets++
+		case "duplicate":
+			dups++
+		case "truncate":
+			truncs++
+		}
+	}
+	if st.Accepted != st.Calls {
+		return oracle("exactly-once", false, "%d of %d calls accepted (faults: %d resets, %d truncates, %d duplicates)",
+			st.Accepted, st.Calls, resets, truncs, dups)
+	}
+	if truncs > 0 && st.Attempts <= st.Calls {
+		return oracle("exactly-once", false, "%d truncated answers injected but no call retried (%d attempts / %d calls)",
+			truncs, st.Attempts, st.Calls)
+	}
+	if resets+dups > 0 && st.Replayed == 0 {
+		return oracle("exactly-once", false,
+			"%d resets and %d duplicates injected but no answer was an idempotent replay — the work ran twice",
+			resets, dups)
+	}
+	return oracle("exactly-once", true,
+		"%d/%d calls accepted through %d attempts; %d replayed (faults: %d resets, %d truncates, %d duplicates)",
+		st.Accepted, st.Calls, st.Attempts, st.Replayed, resets, truncs, dups)
+}
+
+// ProbeEvent is one timestamped answer of the breaker probe loop.
+type ProbeEvent struct {
+	T      time.Duration `json:"t"`
+	Status int           `json:"status"`
+	Class  string        `json:"class,omitempty"`
+}
+
+// BreakerRecovery asserts the open-then-recover timeline: the breaker
+// actually opened (503 circuit_open answers observed), the service
+// recovered (a 200 after the last open), and recovery respected the
+// cooldown — the first success comes no sooner than about one cooldown
+// after the breaker first opened (half tolerance for probe timing).
+func BreakerRecovery(events []ProbeEvent, cooldown time.Duration) OracleResult {
+	firstOpen, lastOpen := time.Duration(-1), time.Duration(-1)
+	firstOKAfterOpen := time.Duration(-1)
+	lastStatus := 0
+	for _, e := range events {
+		lastStatus = e.Status
+		if e.Class == "circuit_open" {
+			if firstOpen < 0 {
+				firstOpen = e.T
+			}
+			lastOpen = e.T
+		}
+		if e.Status == http.StatusOK && firstOpen >= 0 && firstOKAfterOpen < 0 {
+			firstOKAfterOpen = e.T
+		}
+	}
+	if firstOpen < 0 {
+		return oracle("breaker-recovery", false, "breaker never opened across %d probes", len(events))
+	}
+	if firstOKAfterOpen < 0 || lastStatus != http.StatusOK {
+		return oracle("breaker-recovery", false,
+			"breaker opened at %s but the service never settled recovered (last status %d)", firstOpen, lastStatus)
+	}
+	if gap := firstOKAfterOpen - firstOpen; gap < cooldown/2 {
+		return oracle("breaker-recovery", false,
+			"first success only %s after the breaker opened — shorter than the %s cooldown allows", gap, cooldown)
+	}
+	return oracle("breaker-recovery", true,
+		"opened at %s, last open at %s, recovered at %s (cooldown %s, %d probes)",
+		firstOpen, lastOpen, firstOKAfterOpen, cooldown, len(events))
+}
+
+// AllOK folds oracle verdicts.
+func AllOK(results []OracleResult) bool {
+	for _, r := range results {
+		if !r.OK {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,169 @@
+// Package chaos is the failure harness for schedd: it orchestrates real
+// daemon processes and verifies that they recover. Where
+// internal/faultmachine injects faults into the DMA model in-process,
+// this package injects them around the process — SIGKILL mid-sweep,
+// torn writes on the journal's filesystem, a flaky network between
+// client and server — and asserts the recovery invariants the service
+// documents, chief among them no-lost-accepted-work: every request the
+// server accepted (answered 2xx) is completed or journaled, never
+// silently lost.
+//
+// Three injection seams:
+//
+//   - a process supervisor (supervisor.go) that launches schedd children
+//     and executes a seeded fault plan: SIGKILL at a chosen journal
+//     record count, SIGTERM mid-drain, restart against the same journal;
+//   - the journal filesystem seam (journal.FaultFS), producing ENOSPC,
+//     short writes and fsync errors on the plan's schedule;
+//   - a fault-injecting HTTP proxy (proxy.go) between a
+//     schedclient-driven load generator and the daemon: latency,
+//     connection resets, truncated answers, duplicated submissions.
+//
+// Every run is reproducible from (plan name, seed): DerivePlan is a
+// pure function, and all fault schedules (which record to kill at,
+// which request indices the proxy disturbs, which filesystem operation
+// fails) come from its output. Wall-clock timing varies between runs;
+// the fault schedule does not.
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"cds/internal/journal"
+)
+
+// PlanNames lists the scenarios, in the order "all" runs them.
+func PlanNames() []string {
+	return []string{"kill-resume", "term-drain", "fs-faults", "proxy", "overload", "breaker"}
+}
+
+// Plan is one fully-derived chaos scenario: everything a run needs, so
+// that (Name, Seed) reproduces the identical fault schedule.
+type Plan struct {
+	Name string `json:"name"`
+	Seed int64  `json:"seed"`
+
+	// The sweep grid the scenarios drive (kill-resume, term-drain,
+	// overload, fs-faults).
+	Archs     []string `json:"archs,omitempty"`
+	Workloads []string `json:"workloads,omitempty"`
+
+	// PointDelay paces journaled sweep points in the child
+	// (-sweep-point-delay), widening the kill window.
+	PointDelay time.Duration `json:"point_delay,omitempty"`
+
+	// KillAtRecord: SIGKILL (or SIGTERM for term-drain) the child once
+	// the journal holds at least this many records.
+	KillAtRecord int `json:"kill_at_record,omitempty"`
+
+	// Proxy is the network fault schedule (proxy scenario).
+	Proxy ProxyPlan `json:"proxy,omitempty"`
+	// ProxyCalls is how many logical compare calls the load generator
+	// issues through the proxy.
+	ProxyCalls int `json:"proxy_calls,omitempty"`
+
+	// FSFaults is the filesystem fault schedule (fs-faults scenario).
+	FSFaults []journal.Fault `json:"fs_faults,omitempty"`
+
+	// Breaker scenario knobs: the child's fault window (in functional
+	// machine runs) and the breaker cooldown.
+	BreakerFailRuns int           `json:"breaker_fail_runs,omitempty"`
+	BreakerCooldown time.Duration `json:"breaker_cooldown,omitempty"`
+}
+
+// planGrid is the sweep grid shared by the process scenarios: small
+// enough to finish in seconds, big enough that a kill lands mid-sweep.
+var planArchs = []string{"M1/4", "M1", "M2"}
+var planWorkloads = []string{"E1", "E2", "E3", "MPEG"}
+
+// gridSize is len(planArchs) * len(planWorkloads).
+const gridSize = 12
+
+// DerivePlan expands (name, seed) into a fully-specified Plan. It is a
+// pure function: equal inputs yield equal plans, which is what makes a
+// failing chaos run reproducible from its report alone.
+func DerivePlan(name string, seed int64) (Plan, error) {
+	r := newRNG(seed)
+	p := Plan{Name: name, Seed: seed, Archs: planArchs, Workloads: planWorkloads}
+	switch name {
+	case "kill-resume":
+		// Kill somewhere strictly inside the sweep: after at least two
+		// records, with at least three still to run.
+		p.KillAtRecord = 2 + r.intn(gridSize-5)
+		p.PointDelay = 40 * time.Millisecond
+	case "term-drain":
+		p.KillAtRecord = 2 + r.intn(gridSize/2)
+		p.PointDelay = 30 * time.Millisecond
+	case "fs-faults":
+		// One to three faults over the first gridSize journal appends,
+		// mixing clean ENOSPC, torn short writes and fsync errors.
+		n := 1 + r.intn(3)
+		used := map[int]bool{}
+		for len(p.FSFaults) < n {
+			// Fault the i-th write/sync, i in [2, gridSize]: never the
+			// first append, so recovery always has a durable prefix.
+			i := 2 + r.intn(gridSize-1)
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			switch r.intn(3) {
+			case 0:
+				p.FSFaults = append(p.FSFaults, journal.Fault{Op: journal.OpWrite, N: i})
+			case 1:
+				p.FSFaults = append(p.FSFaults, journal.Fault{Op: journal.OpWrite, N: i, ShortBytes: 1 + r.intn(20)})
+			default:
+				p.FSFaults = append(p.FSFaults, journal.Fault{Op: journal.OpSync, N: i})
+			}
+		}
+	case "proxy":
+		p.ProxyCalls = 22 + r.intn(8)
+		// Truncate and duplicate periods are fixed primes above the reset
+		// range so no fault class is eclipsed by reset's precedence at
+		// shared indices (see ProxyPlan).
+		p.Proxy = ProxyPlan{
+			LatencyEveryN:   2,
+			Latency:         time.Duration(5+r.intn(20)) * time.Millisecond,
+			ResetEveryN:     3 + r.intn(3),
+			TruncateEveryN:  7,
+			DuplicateEveryN: 11,
+		}
+	case "overload":
+		// The full grid paced slowly, so concurrent sweeps hold the
+		// admission slot long enough to observe queue saturation.
+		p.PointDelay = 50 * time.Millisecond
+	case "breaker":
+		p.BreakerFailRuns = 8 + 2*r.intn(3)
+		p.BreakerCooldown = time.Duration(200+50*r.intn(3)) * time.Millisecond
+	default:
+		return Plan{}, fmt.Errorf("chaos: unknown plan %q (known: %v)", name, PlanNames())
+	}
+	return p, nil
+}
+
+// rng is the same xorshift64 construction as internal/retry's jitter
+// stream: deterministic, seed-0-safe.
+type rng struct{ s uint64 }
+
+func newRNG(seed int64) *rng {
+	s := uint64(seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	if s == 0 {
+		s = 1
+	}
+	return &rng{s: s}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}

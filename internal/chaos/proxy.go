@@ -1,0 +1,208 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ProxyPlan is the deterministic fault schedule of a Proxy, expressed
+// per request index (1-based): every ResetEveryN-th request has its
+// client connection reset AFTER the backend processed it, every
+// TruncateEveryN-th answer is cut short mid-body, every
+// DuplicateEveryN-th request is submitted to the backend twice, and
+// every LatencyEveryN-th is delayed by Latency. Zero disables a fault.
+// Precedence when several divide the same index: reset, truncate,
+// duplicate (latency stacks on top of any of them).
+type ProxyPlan struct {
+	LatencyEveryN   int           `json:"latency_every_n,omitempty"`
+	Latency         time.Duration `json:"latency,omitempty"`
+	ResetEveryN     int           `json:"reset_every_n,omitempty"`
+	TruncateEveryN  int           `json:"truncate_every_n,omitempty"`
+	DuplicateEveryN int           `json:"duplicate_every_n,omitempty"`
+}
+
+// ProxyEvent records one injected fault, for the run report.
+type ProxyEvent struct {
+	Index int    `json:"index"` // request index the fault hit
+	Fault string `json:"fault"` // "latency", "reset", "truncate", "duplicate"
+}
+
+// Proxy is a fault-injecting HTTP proxy in front of one backend. The
+// faults it injects are exactly the ones a hardened client must absorb:
+// a reset after the server did the work (the retry must replay, not
+// re-run), a truncated answer (the retry must not trust a parse
+// failure), a duplicated submission (the server's idempotency layer
+// must collapse it).
+type Proxy struct {
+	backend string
+	plan    ProxyPlan
+	logf    func(string, ...any)
+
+	l     net.Listener
+	srv   *http.Server
+	index atomic.Int64
+
+	mu     sync.Mutex
+	events []ProxyEvent
+}
+
+// StartProxy listens on a fresh loopback port and forwards to backend
+// (host:port) under the plan's fault schedule.
+func StartProxy(backend string, plan ProxyPlan, logf func(string, ...any)) (*Proxy, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("chaos: proxy listen: %w", err)
+	}
+	p := &Proxy{backend: backend, plan: plan, logf: logf, l: l}
+	p.srv = &http.Server{Handler: http.HandlerFunc(p.handle)}
+	go p.srv.Serve(l)
+	return p, nil
+}
+
+// Addr is the proxy's listen address (host:port).
+func (p *Proxy) Addr() string { return p.l.Addr().String() }
+
+// Events snapshots the injected-fault log in arrival order.
+func (p *Proxy) Events() []ProxyEvent {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]ProxyEvent(nil), p.events...)
+}
+
+// Close stops accepting and tears the proxy down.
+func (p *Proxy) Close() error { return p.srv.Close() }
+
+func (p *Proxy) record(idx int, fault string) {
+	p.mu.Lock()
+	p.events = append(p.events, ProxyEvent{Index: idx, Fault: fault})
+	p.mu.Unlock()
+	p.logf("chaos: proxy request %d: %s", idx, fault)
+}
+
+func divides(n int, idx int) bool { return n > 0 && idx%n == 0 }
+
+func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
+	idx := int(p.index.Add(1))
+	if divides(p.plan.LatencyEveryN, idx) && p.plan.Latency > 0 {
+		p.record(idx, "latency")
+		time.Sleep(p.plan.Latency)
+	}
+
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxProxyBody))
+	if err != nil {
+		http.Error(w, "proxy: reading request", http.StatusBadGateway)
+		return
+	}
+
+	switch {
+	case divides(p.plan.ResetEveryN, idx):
+		// Let the backend do the work, then reset the client connection
+		// before the answer escapes: the cruelest fault for exactly-once.
+		if resp, err := p.forward(r, body); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		p.record(idx, "reset")
+		p.reset(w)
+		return
+	case divides(p.plan.TruncateEveryN, idx):
+		resp, err := p.forward(r, body)
+		if err != nil {
+			http.Error(w, "proxy: "+err.Error(), http.StatusBadGateway)
+			return
+		}
+		full, _ := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
+		resp.Body.Close()
+		p.record(idx, "truncate")
+		p.truncate(w, resp, full)
+		return
+	case divides(p.plan.DuplicateEveryN, idx):
+		// Submit twice — a retrying middlebox — and relay the SECOND
+		// answer, so the client sees the duplicate's fate.
+		if first, err := p.forward(r, body); err == nil {
+			io.Copy(io.Discard, first.Body)
+			first.Body.Close()
+		}
+		p.record(idx, "duplicate")
+	}
+
+	resp, err := p.forward(r, body)
+	if err != nil {
+		http.Error(w, "proxy: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	copyHeader(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+const maxProxyBody = 16 << 20
+
+func (p *Proxy) forward(r *http.Request, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, "http://"+p.backend+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header = r.Header.Clone()
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+// reset hijacks the client connection and closes it with linger 0,
+// turning the close into a TCP RST: the client sees "connection reset
+// by peer" with no HTTP response at all.
+func (p *Proxy) reset(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		panic("chaos: proxy ResponseWriter is not a Hijacker")
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	conn.Close()
+}
+
+// truncate hijacks the connection and writes a response that PROMISES
+// the full Content-Length but delivers only half the body before
+// closing: the client's read ends in an unexpected EOF.
+func (p *Proxy) truncate(w http.ResponseWriter, resp *http.Response, full []byte) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		panic("chaos: proxy ResponseWriter is not a Hijacker")
+	}
+	conn, buf, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	fmt.Fprintf(buf, "HTTP/1.1 %d %s\r\n", resp.StatusCode, http.StatusText(resp.StatusCode))
+	fmt.Fprintf(buf, "Content-Type: %s\r\n", resp.Header.Get("Content-Type"))
+	fmt.Fprintf(buf, "Content-Length: %d\r\n", len(full))
+	fmt.Fprintf(buf, "Connection: close\r\n\r\n")
+	buf.Write(full[:len(full)/2])
+	buf.Flush()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+}
+
+func copyHeader(dst, src http.Header) {
+	for k, vv := range src {
+		for _, v := range vv {
+			dst.Add(k, v)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package daemon is the schedd process entry point behind cmd/schedd:
+// flag parsing, listener setup, signal handling and graceful drain
+// around an internal/serve Server. It lives here rather than in the cmd
+// package so the chaos harness (internal/chaos, cmd/chaos) can run the
+// REAL daemon — same flags, same drain discipline, same exit statuses —
+// as a re-executed child process without shelling out to go build.
+package daemon
+
+import (
+	"context"
+	_ "expvar" // /debug/vars on the debug listener
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // /debug/pprof on the debug listener
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cds/internal/faultmachine"
+	"cds/internal/retry"
+	"cds/internal/serve"
+)
+
+// ChildEnv is the environment variable that marks a process as a
+// re-executed schedd child: binaries that embed the harness (cmd/chaos,
+// the chaos test binary) call Main when it is set, before doing
+// anything else.
+const ChildEnv = "CHAOS_SCHEDD_CHILD"
+
+// Main runs the schedd daemon with the given argument list (not
+// including the program name) and returns the process exit status: 0
+// after a clean drain, 1 on any error, 2 on a flag error. stderr
+// receives error reports; logs go through the standard logger.
+func Main(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("schedd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address")
+	debugAddr := fs.String("debug-addr", "", "optional debug listener for /debug/pprof and /debug/vars (empty disables; bind to localhost)")
+	workers := fs.Int("workers", 2, "concurrent execution slots")
+	queue := fs.Int("queue", 8, "admission queue bound beyond the slots (load shed past it)")
+	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request deadline")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline")
+	drainGrace := fs.Duration("drain-grace", 0, "503-on-/readyz window before the listener closes (for load balancers)")
+	journalDir := fs.String("journal-dir", "", "directory for sweep journals (empty disables journaling)")
+	retryAttempts := fs.Int("retry-attempts", 4, "total attempts per compare request")
+	retryBase := fs.Duration("retry-base", 10*time.Millisecond, "base backoff delay")
+	retrySeed := fs.Int64("retry-seed", 1, "seed of the deterministic backoff jitter")
+	brThreshold := fs.Int("breaker-threshold", 5, "consecutive transient failures that open a target's circuit")
+	brCooldown := fs.Duration("breaker-cooldown", 5*time.Second, "open-circuit cooldown before a half-open probe")
+	faultSeed := fs.Int64("fault-seed", 0, "chaos mode: fault-injection seed")
+	faultStallPct := fs.Int("fault-stall-pct", 0, "chaos mode: per-transfer DMA stall probability (percent)")
+	faultFailEvery := fs.Int("fault-fail-every", 0, "chaos mode: fail every Nth transfer while the fault window is open")
+	faultFailRuns := fs.Int("fault-fail-runs", 0, "chaos mode: width of the transient fault window in runs (<0 = persistent)")
+	pointDelay := fs.Duration("sweep-point-delay", 0, "chaos mode: pause after each journaled sweep point (widens the kill window)")
+	traceEntries := fs.Int("trace-ring-entries", 32, "max traced comparisons kept for /debug/traces")
+	traceBytes := fs.Int("trace-ring-bytes", 1<<20, "byte budget of the /debug/traces ring's Chrome payloads")
+	traceSample := fs.Int("trace-sample-every", 1, "keep every Nth ?trace=1 answer's full trace in the ring")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := serve.Config{
+		Workers:        *workers,
+		Queue:          *queue,
+		RequestTimeout: *reqTimeout,
+		DrainGrace:     *drainGrace,
+		JournalDir:     *journalDir,
+		Retry: retry.Policy{
+			MaxAttempts: *retryAttempts,
+			BaseDelay:   *retryBase,
+			Seed:        *retrySeed,
+		},
+		BreakerThreshold: *brThreshold,
+		BreakerCooldown:  *brCooldown,
+		SweepPointDelay:  *pointDelay,
+		TraceRingEntries: *traceEntries,
+		TraceRingBytes:   *traceBytes,
+		TraceSampleEvery: *traceSample,
+		Logf:             log.Printf,
+	}
+	if *faultStallPct > 0 || *faultFailEvery > 0 {
+		cfg.Machine = faultmachine.NewRunner(faultmachine.Config{
+			Seed:         *faultSeed,
+			StallProbPct: *faultStallPct,
+			FailEvery:    *faultFailEvery,
+		}, *faultFailRuns)
+		cfg.MachineSeed = *faultSeed
+	}
+
+	if *debugAddr != "" {
+		// Profiling and counters (including the "rescache" hit/miss
+		// expvar) live on their own listener so they never share a port —
+		// or an ACL — with the service traffic.
+		go func() {
+			log.Printf("schedd: debug listener on %s (/debug/pprof, /debug/vars)", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("schedd: debug listener: %v", err)
+			}
+		}()
+	}
+
+	if err := run(*addr, cfg, *drainTimeout); err != nil {
+		fmt.Fprintf(stderr, "schedd: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func run(addr string, cfg serve.Config, drainTimeout time.Duration) error {
+	srv := serve.New(cfg)
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+
+	select {
+	case err := <-errc:
+		return err // listener died before any signal
+	case sig := <-sigc:
+		log.Printf("schedd: %v: draining (deadline %s)", sig, drainTimeout)
+	}
+	signal.Stop(sigc) // a second signal kills the process the hard way
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}

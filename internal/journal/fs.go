@@ -1,0 +1,182 @@
+package journal
+
+// The filesystem seam: every file operation the journal performs goes
+// through the FS interface, so the chaos harness (internal/chaos) can
+// inject the failures a real disk produces — ENOSPC, short writes, fsync
+// errors — on a deterministic schedule instead of hand-crafting corrupt
+// files. Production code never notices: Open uses OS, which delegates
+// straight to package os.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+)
+
+// File is the slice of *os.File the journal needs. Fd exposes the
+// descriptor for the advisory lock; fault wrappers forward it to the
+// real file underneath.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Stat() (os.FileInfo, error)
+	Fd() uintptr
+}
+
+// FS abstracts the filesystem operations behind a journal. OS is the
+// production implementation; FaultFS injects failures for chaos tests.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// SyncDir fsyncs the directory itself, making a just-created file's
+	// directory entry durable: without it a crash immediately after
+	// create can lose the file even though the create returned.
+	SyncDir(dir string) error
+}
+
+// OS is the production filesystem: package os, plus a real directory
+// fsync.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// OpKind names one class of filesystem operation a Fault can target.
+type OpKind string
+
+const (
+	OpOpen    OpKind = "open"
+	OpWrite   OpKind = "write"
+	OpSync    OpKind = "sync"
+	OpSyncDir OpKind = "syncdir"
+)
+
+// Fault is one scheduled filesystem failure: the N'th operation of the
+// given kind (1-based, counted per kind across the FaultFS's lifetime)
+// fails with Err. For OpWrite, ShortBytes > 0 makes it a torn write
+// instead of a clean failure: that many bytes reach the file before the
+// error returns — exactly what a crash mid-write leaves behind.
+type Fault struct {
+	Op OpKind `json:"op"`
+	N  int    `json:"n"`
+	// Err is the injected error; nil defaults to ENOSPC for writes and
+	// EIO for syncs.
+	Err error `json:"-"`
+	// ShortBytes, for OpWrite, is how many bytes land before the error.
+	ShortBytes int `json:"short_bytes,omitempty"`
+}
+
+func (f Fault) err() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	if f.Op == OpWrite {
+		return syscall.ENOSPC
+	}
+	return syscall.EIO
+}
+
+// FaultFS wraps an inner FS (usually OS: faults are injected on top of
+// real files, so recovery is exercised against what is actually on
+// disk) and fails scheduled operations. Operations are counted per
+// kind; a Fault fires once, when its kind's counter reaches N. The
+// zero-fault FaultFS is transparent. Not safe for concurrent use by
+// multiple journals — each chaos run builds its own.
+type FaultFS struct {
+	Inner  FS
+	faults []Fault
+	counts map[OpKind]int
+	// Fired records the faults that have triggered, in order (tests and
+	// chaos reports read it back).
+	Fired []Fault
+}
+
+// NewFaultFS builds a fault-injecting filesystem over inner (nil means
+// OS) firing the given faults.
+func NewFaultFS(inner FS, faults ...Fault) *FaultFS {
+	if inner == nil {
+		inner = OS
+	}
+	return &FaultFS{Inner: inner, faults: faults, counts: map[OpKind]int{}}
+}
+
+// trip advances kind's counter and returns the fault scheduled for this
+// occurrence, if any.
+func (ff *FaultFS) trip(kind OpKind) *Fault {
+	ff.counts[kind]++
+	n := ff.counts[kind]
+	for _, f := range ff.faults {
+		if f.Op == kind && f.N == n {
+			ff.Fired = append(ff.Fired, f)
+			return &f
+		}
+	}
+	return nil
+}
+
+func (ff *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if f := ff.trip(OpOpen); f != nil {
+		return nil, fmt.Errorf("faultfs: open %s: %w", name, f.err())
+	}
+	inner, err := ff.Inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: inner, fs: ff}, nil
+}
+
+func (ff *FaultFS) SyncDir(dir string) error {
+	if f := ff.trip(OpSyncDir); f != nil {
+		return fmt.Errorf("faultfs: syncdir %s: %w", dir, f.err())
+	}
+	return ff.Inner.SyncDir(dir)
+}
+
+// faultFile intercepts writes and syncs on an open file.
+type faultFile struct {
+	File
+	fs *FaultFS
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if ft := f.fs.trip(OpWrite); ft != nil {
+		short := ft.ShortBytes
+		if short > len(p) {
+			short = len(p)
+		}
+		n := 0
+		if short > 0 {
+			// A torn write: part of the record reaches the disk before
+			// the failure, leaving a tail with no terminating newline.
+			n, _ = f.File.Write(p[:short])
+		}
+		return n, fmt.Errorf("faultfs: write: %w", ft.err())
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if ft := f.fs.trip(OpSync); ft != nil {
+		return fmt.Errorf("faultfs: sync: %w", ft.err())
+	}
+	return f.File.Sync()
+}

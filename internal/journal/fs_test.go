@@ -1,0 +1,220 @@
+package journal
+
+// Fault-filesystem tests: the durability rules exercised by injected
+// failures — torn writes rolled back, fsync errors surfaced, the parent
+// directory fsync'd on create — instead of hand-crafted corrupt files.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+type rec struct {
+	ID int    `json:"id"`
+	S  string `json:"s"`
+}
+
+func openT(t *testing.T, fsys FS, path string) (*Journal[rec], []rec) {
+	t.Helper()
+	j, recs, err := OpenFS[rec](fsys, path)
+	if err != nil {
+		t.Fatalf("OpenFS(%s): %v", path, err)
+	}
+	return j, recs
+}
+
+func TestFaultFSTransparentWithoutFaults(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	ff := NewFaultFS(nil)
+	j, recs := openT(t, ff, path)
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(rec{ID: i, S: "x"}); err != nil {
+			t.Fatalf("Append(%d): %v", i, err)
+		}
+	}
+	j.Close()
+	_, recs = openT(t, OS, path)
+	if len(recs) != 3 {
+		t.Fatalf("replayed %d records, want 3", len(recs))
+	}
+}
+
+func TestCreateSyncsParentDir(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	ff := NewFaultFS(nil)
+	j, _ := openT(t, ff, path)
+	defer j.Close()
+	var kinds []OpKind
+	for k := range ff.counts {
+		kinds = append(kinds, k)
+	}
+	if ff.counts[OpSyncDir] != 1 {
+		t.Fatalf("creating a journal performed %d dir syncs (ops seen: %v), want 1", ff.counts[OpSyncDir], kinds)
+	}
+}
+
+func TestCreateDirSyncFailureFailsOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	ff := NewFaultFS(nil, Fault{Op: OpSyncDir, N: 1})
+	if _, _, err := OpenFS[rec](ff, path); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("open with failing dir sync = %v, want EIO", err)
+	}
+	// The failed open must not leave the lock held.
+	j, _ := openT(t, OS, path)
+	j.Close()
+}
+
+func TestExistingJournalSkipsDirSync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, _ := openT(t, OS, path)
+	if err := j.Append(rec{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// A non-empty journal's directory entry is already durable; a
+	// scheduled syncdir fault must never fire.
+	ff := NewFaultFS(nil, Fault{Op: OpSyncDir, N: 1})
+	j2, recs := openT(t, ff, path)
+	defer j2.Close()
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records, want 1", len(recs))
+	}
+	if len(ff.Fired) != 0 {
+		t.Fatalf("dir-sync fault fired on existing journal: %v", ff.Fired)
+	}
+}
+
+func TestAppendENOSPCCleanFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	// Write #1 is the first Append (opening performs no writes).
+	ff := NewFaultFS(nil, Fault{Op: OpWrite, N: 2})
+	j, _ := openT(t, ff, path)
+	if err := j.Append(rec{ID: 1, S: "ok"}); err != nil {
+		t.Fatalf("Append #1: %v", err)
+	}
+	if err := j.Append(rec{ID: 2, S: "lost"}); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Append under ENOSPC = %v, want ENOSPC", err)
+	}
+	// The journal stays appendable: the failed write left nothing behind.
+	if err := j.Append(rec{ID: 3, S: "after"}); err != nil {
+		t.Fatalf("Append after ENOSPC: %v", err)
+	}
+	j.Close()
+	_, recs := openT(t, OS, path)
+	if len(recs) != 2 || recs[0].ID != 1 || recs[1].ID != 3 {
+		t.Fatalf("replayed %+v, want records 1 and 3", recs)
+	}
+}
+
+func TestAppendShortWriteRolledBack(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	ff := NewFaultFS(nil, Fault{Op: OpWrite, N: 2, ShortBytes: 5})
+	j, _ := openT(t, ff, path)
+	if err := j.Append(rec{ID: 1, S: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(rec{ID: 2, S: "torn"}); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("torn Append = %v, want ENOSPC", err)
+	}
+	// The rollback truncated the 5 torn bytes: the next append starts a
+	// clean line and a reopen sees no corruption.
+	if err := j.Append(rec{ID: 3, S: "after"}); err != nil {
+		t.Fatalf("Append after torn write: %v", err)
+	}
+	j.Close()
+	_, recs := openT(t, OS, path)
+	if len(recs) != 2 || recs[0].ID != 1 || recs[1].ID != 3 {
+		t.Fatalf("replayed %+v, want records 1 and 3", recs)
+	}
+}
+
+func TestAppendShortWriteCrashRecoversOnReopen(t *testing.T) {
+	// A torn write followed by a crash (no rollback possible — simulate
+	// by failing the rollback's truncate... simplest: close without
+	// rollback by writing the torn bytes directly).
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, _ := openT(t, OS, path)
+	if err := j.Append(rec{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"id":2,`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	// Reopen: the torn tail (no newline) is truncated away.
+	j2, recs := openT(t, OS, path)
+	if len(recs) != 1 || recs[0].ID != 1 {
+		t.Fatalf("replayed %+v, want just record 1", recs)
+	}
+	if err := j2.Append(rec{ID: 3}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	_, recs = openT(t, OS, path)
+	if len(recs) != 2 || recs[1].ID != 3 {
+		t.Fatalf("replayed %+v, want records 1 and 3", recs)
+	}
+}
+
+func TestAppendFsyncErrorSurfacesButKeepsLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	// Sync #1 is Append #1's fsync (open syncs only the directory).
+	ff := NewFaultFS(nil, Fault{Op: OpSync, N: 1})
+	j, _ := openT(t, ff, path)
+	if err := j.Append(rec{ID: 1, S: "unsynced"}); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Append under fsync error = %v, want EIO", err)
+	}
+	// The record's durability is unknown — the caller treats it as not
+	// journaled — but the file keeps a clean, complete line, so further
+	// appends (and the reopen) are unaffected.
+	if err := j.Append(rec{ID: 2, S: "ok"}); err != nil {
+		t.Fatalf("Append after fsync error: %v", err)
+	}
+	j.Close()
+	_, recs := openT(t, OS, path)
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records, want 2 (unsynced line intact on a live fs)", len(recs))
+	}
+}
+
+func TestBrokenJournalRefusesAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	// Fail write #1 as a torn write AND fail the rollback's sync (sync
+	// #1 under this schedule is the rollback's, since the append never
+	// reached its own fsync).
+	ff := NewFaultFS(nil,
+		Fault{Op: OpWrite, N: 1, ShortBytes: 3},
+		Fault{Op: OpSync, N: 1},
+	)
+	j, _ := openT(t, ff, path)
+	err := j.Append(rec{ID: 1})
+	if err == nil || !strings.Contains(err.Error(), "rollback") {
+		t.Fatalf("torn Append with failed rollback = %v, want rollback failure", err)
+	}
+	if err := j.Append(rec{ID: 2}); err == nil || !strings.Contains(err.Error(), "broken") {
+		t.Fatalf("Append on broken journal = %v, want broken", err)
+	}
+	j.Close()
+}
+
+func TestCorruptCompleteLineFailsOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	if err := os.WriteFile(path, []byte("{\"id\":1}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenFS[rec](OS, path); err == nil || !strings.Contains(err.Error(), "corrupt record") {
+		t.Fatalf("open over corrupt complete line = %v, want corrupt-record failure", err)
+	}
+}

@@ -15,7 +15,18 @@
 //     fails the open rather than silently dropping an fsync'd record;
 //   - the exclusive lock lives on the open file description, so a second
 //     opener — another process or this one — fails instead of
-//     interleaving appends.
+//     interleaving appends;
+//   - creating the journal fsyncs the parent directory, so a crash
+//     immediately after create cannot lose the file itself;
+//   - a short (torn) write during Append is rolled back by truncating
+//     the partial bytes, so the next append starts a clean line; if the
+//     rollback itself fails the journal marks itself broken and refuses
+//     further appends rather than risk corrupting a durable record.
+//
+// Every file operation goes through the FS seam (fs.go), so the chaos
+// harness injects ENOSPC, short writes and fsync failures on a
+// deterministic schedule and these rules are exercised by real injected
+// faults instead of hand-crafted files.
 package journal
 
 import (
@@ -24,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 )
 
@@ -31,21 +43,43 @@ import (
 // records of type T. Appends are serialized internally, so a worker pool
 // may share one Journal.
 type Journal[T any] struct {
-	mu   sync.Mutex
-	f    *os.File
-	path string
+	mu     sync.Mutex
+	f      File
+	path   string
+	broken error // set when a failed torn-write rollback left an unclean tail
 }
 
-// Open opens (creating if missing) the journal at path, locks it and
-// replays its records. See the package comment for the recovery rules.
+// Open opens (creating if missing) the journal at path on the real
+// filesystem, locks it and replays its records. See the package comment
+// for the recovery rules.
 func Open[T any](path string) (*Journal[T], []T, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	return OpenFS[T](OS, path)
+}
+
+// OpenFS is Open through an explicit filesystem seam; chaos tests pass a
+// FaultFS to drive the recovery rules with injected failures.
+func OpenFS[T any](fsys FS, path string) (*Journal[T], []T, error) {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("journal %s: %w", path, err)
 	}
 	if err := lockFile(f); err != nil {
 		f.Close()
 		return nil, nil, fmt.Errorf("journal %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal %s: %w", path, err)
+	}
+	if st.Size() == 0 {
+		// Freshly created (or never written): fsync the parent directory
+		// so a crash right after create cannot lose the file's directory
+		// entry — the file would otherwise exist only in cache.
+		if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("journal %s: syncing parent dir: %w", path, err)
+		}
 	}
 	data, err := io.ReadAll(f)
 	if err != nil {
@@ -77,7 +111,12 @@ func Open[T any](path string) (*Journal[T], []T, error) {
 }
 
 // Append writes one record and syncs it to disk before returning, so a
-// crash after Append never loses the record.
+// crash after Append never loses the record. A failed write that left
+// partial bytes (a torn write, e.g. ENOSPC mid-record) is rolled back by
+// truncating them away, so the journal stays appendable; if the rollback
+// itself fails the journal is broken and every further Append returns
+// the rollback error — reopening the file applies the torn-tail
+// recovery rules.
 func (j *Journal[T]) Append(rec T) error {
 	raw, err := json.Marshal(rec)
 	if err != nil {
@@ -86,13 +125,41 @@ func (j *Journal[T]) Append(rec T) error {
 	raw = append(raw, '\n')
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if _, err := j.f.Write(raw); err != nil {
+	if j.broken != nil {
+		return fmt.Errorf("journal %s: broken by earlier failed rollback: %w", j.path, j.broken)
+	}
+	n, err := j.f.Write(raw)
+	if err != nil {
+		if n > 0 {
+			// Torn write: n bytes of this record reached the file. Roll
+			// them back so the next append starts a clean line.
+			if rerr := j.rollback(int64(n)); rerr != nil {
+				j.broken = rerr
+				return fmt.Errorf("journal %s: %w (rollback of %d torn bytes failed: %v)", j.path, err, n, rerr)
+			}
+		}
 		return fmt.Errorf("journal %s: %w", j.path, err)
 	}
 	if err := j.f.Sync(); err != nil {
+		// The line is complete on the file but its durability is unknown;
+		// the caller must treat the record as not durably journaled. The
+		// file itself stays clean for further appends.
 		return fmt.Errorf("journal %s: %w", j.path, err)
 	}
 	return nil
+}
+
+// rollback truncates the last n appended bytes (the torn part of a
+// failed write) and syncs the truncation.
+func (j *Journal[T]) rollback(n int64) error {
+	st, err := j.f.Stat()
+	if err != nil {
+		return err
+	}
+	if err := j.f.Truncate(st.Size() - n); err != nil {
+		return err
+	}
+	return j.f.Sync()
 }
 
 // Path returns the journal's file path.

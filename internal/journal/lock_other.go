@@ -2,10 +2,8 @@
 
 package journal
 
-import "os"
-
 // lockFile is a no-op where advisory file locks are unavailable; callers
 // that serialize journal writers at a higher layer (e.g. the schedd
 // per-name sweep serialization) still protect journals within one
 // process.
-func lockFile(*os.File) error { return nil }
+func lockFile(File) error { return nil }

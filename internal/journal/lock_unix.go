@@ -4,7 +4,6 @@ package journal
 
 import (
 	"fmt"
-	"os"
 	"syscall"
 )
 
@@ -12,7 +11,7 @@ import (
 // lives on the open file description, so a concurrent Open — from another
 // process or from this one — fails instead of interleaving appends. It is
 // released automatically when the file is closed.
-func lockFile(f *os.File) error {
+func lockFile(f File) error {
 	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
 		return fmt.Errorf("locked by another journal writer: %w", err)
 	}

@@ -1,0 +1,108 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"cds/internal/scherr"
+)
+
+// hintedErr is a transient failure carrying a server Retry-After hint.
+type hintedErr struct{ after time.Duration }
+
+func (e *hintedErr) Error() string                 { return fmt.Sprintf("throttled, retry after %s", e.after) }
+func (e *hintedErr) Unwrap() error                 { return scherr.ErrTransient }
+func (e *hintedErr) RetryAfterHint() time.Duration { return e.after }
+
+func TestDoHonorsRetryAfterHint(t *testing.T) {
+	var slept []time.Duration
+	p := Policy{
+		MaxAttempts: 3,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    500 * time.Millisecond,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	}
+	calls := 0
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return &hintedErr{after: 200 * time.Millisecond}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do = %v", err)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(slept))
+	}
+	for i, d := range slept {
+		if d != 200*time.Millisecond {
+			t.Fatalf("sleep %d = %s, want the 200ms hint (computed backoff is shorter)", i, d)
+		}
+	}
+}
+
+func TestDoClampsHintToMaxDelay(t *testing.T) {
+	var slept []time.Duration
+	p := Policy{
+		MaxAttempts: 2,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    50 * time.Millisecond,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	}
+	calls := 0
+	_ = p.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls == 1 {
+			return &hintedErr{after: time.Hour}
+		}
+		return nil
+	})
+	if len(slept) != 1 || slept[0] != 50*time.Millisecond {
+		t.Fatalf("slept %v, want exactly MaxDelay (hint clamped)", slept)
+	}
+}
+
+func TestDoIgnoresShorterHint(t *testing.T) {
+	var slept []time.Duration
+	p := Policy{
+		MaxAttempts: 2,
+		BaseDelay:   40 * time.Millisecond,
+		MaxDelay:    time.Second,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	}
+	calls := 0
+	_ = p.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls == 1 {
+			return &hintedErr{after: time.Millisecond}
+		}
+		return nil
+	})
+	// Equal jitter keeps the computed delay in [20ms, 40ms]; a 1ms hint
+	// must not shrink it below the backoff floor.
+	if len(slept) != 1 || slept[0] < 20*time.Millisecond {
+		t.Fatalf("slept %v, want computed backoff >= 20ms", slept)
+	}
+}
+
+func TestOpenErrorCarriesHint(t *testing.T) {
+	var h AfterHinter
+	err := error(&OpenError{RetryAfter: 3 * time.Second})
+	if !errors.As(err, &h) || h.RetryAfterHint() != 3*time.Second {
+		t.Fatalf("OpenError hint = %v, want 3s", h)
+	}
+}

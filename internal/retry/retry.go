@@ -120,11 +120,45 @@ func (p Policy) Do(ctx context.Context, op func(context.Context) error) error {
 		if attempt >= p.MaxAttempts {
 			return fmt.Errorf("retry: %d attempts exhausted: %w", attempt, err)
 		}
-		if serr := p.Sleep(ctx, p.delay(&rng, attempt)); serr != nil {
+		delay := p.delay(&rng, attempt)
+		// A server that answered with an explicit Retry-After knows more
+		// about its own recovery than our backoff curve does: honor the
+		// hint when it exceeds the computed delay, capped at MaxDelay so
+		// a hostile or confused server cannot park the client forever.
+		if hint := hintOf(err); hint > delay {
+			if hint > p.MaxDelay {
+				hint = p.MaxDelay
+			}
+			if hint > delay {
+				delay = hint
+			}
+		}
+		if serr := p.Sleep(ctx, delay); serr != nil {
 			return fmt.Errorf("retry: backoff after attempt %d interrupted: %w (last error: %w)", attempt, serr, err)
 		}
 	}
 }
+
+// AfterHinter is implemented by errors carrying a server-supplied
+// Retry-After hint (an HTTP 429/503 answer, an open circuit). Do sleeps
+// the hint instead of the computed backoff when the hint is longer,
+// clamped to the policy's MaxDelay.
+type AfterHinter interface {
+	RetryAfterHint() time.Duration
+}
+
+func hintOf(err error) time.Duration {
+	var h AfterHinter
+	if errors.As(err, &h) {
+		return h.RetryAfterHint()
+	}
+	return 0
+}
+
+// RetryAfterHint makes an open circuit's rejection carry its cooldown as
+// a hint, so a retry loop wrapped around a breaker-guarded call waits
+// out the cooldown instead of burning attempts against an open circuit.
+func (e *OpenError) RetryAfterHint() time.Duration { return e.RetryAfter }
 
 // delay computes the post-jitter backoff for the given 1-based attempt:
 // exponential growth capped at MaxDelay, then "equal jitter" — half the

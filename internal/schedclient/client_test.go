@@ -1,0 +1,187 @@
+package schedclient
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"cds/internal/retry"
+	"cds/internal/scherr"
+	"cds/internal/serve"
+)
+
+func fastPolicy() retry.Policy {
+	return retry.Policy{
+		MaxAttempts: 4,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+		Sleep:       func(context.Context, time.Duration) error { return nil },
+	}
+}
+
+func TestCompareRetriesTransientStatusesWithOneKey(t *testing.T) {
+	var mu sync.Mutex
+	var keys []string
+	fails := 2
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		keys = append(keys, r.Header.Get("Idempotency-Key"))
+		remaining := fails
+		fails--
+		mu.Unlock()
+		if remaining > 0 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"warming up","class":"transient_fault"}`))
+			return
+		}
+		w.Write([]byte(`{"target":"MPEG","basic":{},"ds":{},"cds":{},"attempts":1}`))
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	p := fastPolicy()
+	p.Sleep = func(_ context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+	p.MaxDelay = 2 * time.Second
+	c := New(Config{BaseURL: srv.URL, Retry: p, Seed: 7})
+	resp, err := c.Compare(context.Background(), serve.CompareRequest{Workload: "MPEG"})
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if resp.Target != "MPEG" {
+		t.Fatalf("target = %q", resp.Target)
+	}
+	if len(keys) != 3 {
+		t.Fatalf("server saw %d attempts, want 3", len(keys))
+	}
+	for i, k := range keys {
+		if k == "" || k != keys[0] {
+			t.Fatalf("attempt %d used key %q, want the same non-empty key across retries (%q)", i, k, keys[0])
+		}
+	}
+	if want := IdemKey(7, 1); keys[0] != want {
+		t.Fatalf("key = %q, want deterministic %q", keys[0], want)
+	}
+	// Retry-After: 1s beats the millisecond backoff; both sleeps honor it.
+	for i, d := range slept {
+		if d != time.Second {
+			t.Fatalf("sleep %d = %s, want the 1s Retry-After hint", i, d)
+		}
+	}
+	st := c.Stats()
+	if st.Calls != 1 || st.Attempts != 3 || st.Accepted != 1 {
+		t.Fatalf("stats = %+v, want 1 call, 3 attempts, 1 accepted", st)
+	}
+}
+
+func TestCompareFailsFastOnRequestErrors(t *testing.T) {
+	hits := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"bad spec","class":"invalid_spec"}`))
+	}))
+	defer srv.Close()
+	c := New(Config{BaseURL: srv.URL, Retry: fastPolicy()})
+	_, err := c.Compare(context.Background(), serve.CompareRequest{})
+	if !errors.Is(err, scherr.ErrInvalidSpec) {
+		t.Fatalf("err = %v, want ErrInvalidSpec", err)
+	}
+	var he *HTTPError
+	if !errors.As(err, &he) || he.Status != 400 || he.Class != "invalid_spec" {
+		t.Fatalf("err = %v, want HTTPError{400, invalid_spec}", err)
+	}
+	if hits != 1 {
+		t.Fatalf("server hit %d times, want 1 (no retries on 400)", hits)
+	}
+}
+
+func TestCompareRetriesTruncatedAnswer(t *testing.T) {
+	hits := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		if hits == 1 {
+			// A truncated 200: half a JSON object.
+			w.Write([]byte(`{"target":"MP`))
+			return
+		}
+		w.Write([]byte(`{"target":"MPEG","basic":{},"ds":{},"cds":{},"attempts":1}`))
+	}))
+	defer srv.Close()
+	c := New(Config{BaseURL: srv.URL, Retry: fastPolicy()})
+	resp, err := c.Compare(context.Background(), serve.CompareRequest{Workload: "MPEG"})
+	if err != nil || resp.Target != "MPEG" {
+		t.Fatalf("Compare = %v, %v; want recovered answer", resp, err)
+	}
+	if hits != 2 {
+		t.Fatalf("hits = %d, want 2 (truncated answer retried)", hits)
+	}
+}
+
+func TestCompareRetriesConnectionFailure(t *testing.T) {
+	// A server that dies after the first accept: the retry must survive
+	// a connection error and succeed against the restarted listener.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"target":"MPEG","basic":{},"ds":{},"cds":{},"attempts":1}`))
+	}))
+	addr := srv.URL
+	srv.Close() // connection refused now
+	c := New(Config{BaseURL: addr, Retry: retry.Policy{
+		MaxAttempts: 2,
+		BaseDelay:   time.Millisecond,
+		Sleep:       func(context.Context, time.Duration) error { return nil },
+	}})
+	_, err := c.Compare(context.Background(), serve.CompareRequest{Workload: "MPEG"})
+	if !errors.Is(err, scherr.ErrTransient) {
+		t.Fatalf("err against dead server = %v, want transient classification", err)
+	}
+}
+
+func TestSweepRetries409JournalBusy(t *testing.T) {
+	hits := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		if hits == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusConflict)
+			w.Write([]byte(`{"error":"journal busy","class":"journal_busy"}`))
+			return
+		}
+		w.Write([]byte(`{"rows":[{"job":"M1/MPEG","fb_bytes":512}],"resumed":1}`))
+	}))
+	defer srv.Close()
+	c := New(Config{BaseURL: srv.URL, Retry: fastPolicy()})
+	resp, err := c.Sweep(context.Background(), serve.SweepRequest{Archs: []string{"M1"}, Journal: "j"})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if len(resp.Rows) != 1 || resp.Resumed != 1 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if hits != 2 {
+		t.Fatalf("hits = %d, want 2 (409 retried as the duplicate waits for the first copy)", hits)
+	}
+}
+
+func TestReadyzRawAnswer(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"status":"saturated","queue_depth":8,"queue_capacity":8}`))
+	}))
+	defer srv.Close()
+	c := New(Config{BaseURL: srv.URL, Retry: fastPolicy()})
+	status, r, err := c.Readyz(context.Background())
+	if err != nil {
+		t.Fatalf("Readyz: %v", err)
+	}
+	if status != 503 || r.Status != "saturated" || r.QueueDepth != 8 {
+		t.Fatalf("readyz = %d %+v, want raw 503 saturated", status, r)
+	}
+}

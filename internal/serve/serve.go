@@ -113,6 +113,15 @@ type Config struct {
 	// payload in the ring (1 = every one, the default). Analytics are
 	// always returned inline regardless of sampling.
 	TraceSampleEvery int
+	// SweepPointDelay, when positive, paces journaled sweeps: after each
+	// journaled point the worker waits this long before taking the next.
+	// A chaos/testing knob (schedd -sweep-point-delay): it widens the
+	// window in which a process kill lands mid-sweep, making
+	// kill-at-record-N plans deterministic.
+	SweepPointDelay time.Duration
+	// IdempotencyEntries bounds the /v1/compare idempotency map
+	// (default 256 completed keys, FIFO eviction).
+	IdempotencyEntries int
 	// Now substitutes the clock for the breakers (tests).
 	Now func() time.Time
 	// Logf receives one line per served request and lifecycle event; nil
@@ -158,9 +167,15 @@ type Server struct {
 	traces    *trace.Ring
 	traceReqs atomic.Int64
 	traceSeen atomic.Int64
-	breakers  *retry.BreakerSet
-	baseCtx   context.Context
-	cancel    context.CancelFunc
+	// panics counts handler panics recovered by the middleware; idemHits
+	// counts /v1/compare answers replayed from the idempotency store.
+	panics   atomic.Int64
+	idemHits atomic.Int64
+	idem     *idemStore
+	handler  http.Handler
+	breakers *retry.BreakerSet
+	baseCtx  context.Context
+	cancel   context.CancelFunc
 
 	// journals tracks which journal names have a sweep in flight, so two
 	// concurrent requests cannot append to the same checkpoint file.
@@ -178,6 +193,7 @@ func New(cfg Config) *Server {
 		traces:   trace.NewRing(cfg.TraceRingEntries, cfg.TraceRingBytes),
 		breakers: retry.NewBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Now),
 		journals: map[string]bool{},
+		idem:     newIdemStore(cfg.IdempotencyEntries),
 	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -185,18 +201,21 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/compare", s.handleCompare)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	s.handler = s.withRecover(s.mux)
 	registerTraceExpvar(s)
+	registerHardenExpvars()
 	s.http = &http.Server{
-		Handler:           s.mux,
+		Handler:           s.handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		BaseContext:       func(net.Listener) context.Context { return s.baseCtx },
 	}
 	return s
 }
 
-// Handler exposes the mux for in-process tests. Requests served through
-// it do not inherit the base context; use Serve for lifecycle tests.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler exposes the full middleware chain (panic recovery over the
+// mux) for in-process tests. Requests served through it do not inherit
+// the base context; use Serve for lifecycle tests.
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Serve marks the server ready and serves connections on l until Drain
 // (or a listener error). Like http.Server.Serve it returns
@@ -259,14 +278,33 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// ReadyzResponse is the JSON answer of /readyz. Status is "ready"
+// (200), "draining" (503, the server is shutting down) or "saturated"
+// (503, the admission queue is full: the next request would be shed).
+// Supervisors and routers steer traffic on it, so it must be truthful —
+// a saturated server answering 200 invites the load balancer to pile
+// more work onto a queue that is already shedding.
+type ReadyzResponse struct {
+	Status        string `json:"status"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+}
+
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if !s.ready.Load() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "draining")
-		return
+	resp := ReadyzResponse{
+		Status:        "ready",
+		QueueDepth:    int(s.waiters.Load()),
+		QueueCapacity: s.cfg.Queue,
 	}
-	fmt.Fprintln(w, "ready")
+	status := http.StatusOK
+	switch {
+	case !s.ready.Load():
+		resp.Status, status = "draining", http.StatusServiceUnavailable
+	case resp.QueueDepth >= resp.QueueCapacity:
+		resp.Status, status = "saturated", http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, resp)
 }
 
 // admit implements the bounded work queue: an execution slot when one is
@@ -396,6 +434,18 @@ func (s *Server) compare(ctx context.Context, pa cds.Arch, part *cds.Part) (*cds
 }
 
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	// Idempotency: a duplicated submission (a client retry through a
+	// flaky network) with the same Idempotency-Key never double-runs —
+	// it waits for the first attempt and replays its 2xx answer.
+	if key := r.Header.Get("Idempotency-Key"); key != "" {
+		finish, proceed := s.idemBegin(w, r, key)
+		if !proceed {
+			return
+		}
+		rec := &responseRecorder{ResponseWriter: w}
+		w = rec
+		defer func() { finish(rec.status, rec.buf.Bytes()) }()
+	}
 	var req CompareRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
 		s.writeErr(w, fmt.Errorf("decoding request body: %v: %w", err, scherr.ErrInvalidSpec))
@@ -630,7 +680,20 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		defer j.Close()
 		resp.Resumed = len(sweep.Completed(prior))
-		rows, err := sweep.RunJournaled(ctx, j, prior, jobs, workers, nil)
+		// The chaos pacing knob: holding the worker after each journaled
+		// point widens the window in which a SIGKILL lands mid-sweep.
+		var pace func(sweep.Record)
+		if d := s.cfg.SweepPointDelay; d > 0 {
+			pace = func(sweep.Record) {
+				t := time.NewTimer(d)
+				defer t.Stop()
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+				}
+			}
+		}
+		rows, err := sweep.RunJournaled(ctx, j, prior, jobs, workers, pace)
 		if err != nil {
 			s.cfg.Logf("serve: sweep %s: %v (%d rows journaled)", req.Journal, err, len(rows))
 			s.writeErr(w, err)

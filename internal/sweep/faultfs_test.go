@@ -1,0 +1,163 @@
+package sweep
+
+// Torn-write recovery tests: the journal's documented truncate-vs-fail
+// rules driven by real injected filesystem faults (journal.FaultFS)
+// during an actual journaled sweep, instead of hand-crafted files:
+//
+//   - a record whose write failed (clean ENOSPC or a torn short write,
+//     rolled back in place) is simply absent: resume re-runs the point;
+//   - a record whose fsync failed is reported as not durably journaled
+//     but its complete line replays on reopen: resume skips the point;
+//   - a torn tail left by a crash (no rollback ran) is truncated away
+//     on open; a corrupt newline-terminated line fails the open.
+//
+// In every recovered case the resumed rows must be byte-identical to an
+// uninterrupted run's.
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cds/internal/journal"
+)
+
+func TestJournaledSweepRecoversFromInjectedFaults(t *testing.T) {
+	jobs := journalJobs(t)
+	dir := t.TempDir()
+
+	// Uninterrupted reference.
+	jRef, _, err := OpenJournal(filepath.Join(dir, "ref.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRows, err := RunJournaled(context.Background(), jRef, nil, jobs, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jRef.Close()
+	want := csvOf(t, refRows)
+
+	cases := []struct {
+		name  string
+		fault journal.Fault
+		// journaledAfterRun is how many of the len(jobs) records must
+		// survive in the journal after the faulted run (-1 = any).
+		missing int // records lost to the fault
+	}{
+		// Write #2 is the second Append: faults land mid-run, not at the
+		// first or last record, so resume exercises skip AND re-run.
+		{"enospc-clean", journal.Fault{Op: journal.OpWrite, N: 2}, 1},
+		{"short-write-torn", journal.Fault{Op: journal.OpWrite, N: 2, ShortBytes: 7}, 1},
+		// Sync #2 is Append #2's fsync; the line itself is complete, so
+		// nothing is actually lost on a live filesystem.
+		{"fsync-error", journal.Fault{Op: journal.OpSync, N: 2}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, tc.name+".jsonl")
+			ff := journal.NewFaultFS(nil, tc.fault)
+			j, prior, err := OpenJournalFS(ff, path)
+			if err != nil {
+				t.Fatalf("open under fault fs: %v", err)
+			}
+			if len(prior) != 0 {
+				t.Fatalf("fresh journal replayed %d records", len(prior))
+			}
+			rows, err := RunJournaled(context.Background(), j, prior, jobs, 1, nil)
+			j.Close()
+			if err == nil {
+				t.Fatal("faulted run reported no journal write failure")
+			}
+			if got := csvOf(t, rows); string(got) != string(want) {
+				t.Fatalf("faulted run rows diverged:\n got: %s\nwant: %s", got, want)
+			}
+			if len(ff.Fired) != 1 {
+				t.Fatalf("fired faults = %v, want exactly the scheduled one", ff.Fired)
+			}
+
+			// Recovery: reopen on the real fs and resume. Only the points
+			// the fault actually lost may re-run.
+			j2, prior2, err := OpenJournal(path)
+			if err != nil {
+				t.Fatalf("reopen after fault: %v", err)
+			}
+			if got, wantN := len(Completed(prior2)), len(jobs)-tc.missing; got != wantN {
+				t.Fatalf("journal kept %d completed points, want %d", got, wantN)
+			}
+			reruns := 0
+			rows2, err := RunJournaled(context.Background(), j2, prior2, jobs, 1, func(Record) { reruns++ })
+			j2.Close()
+			if err != nil {
+				t.Fatalf("resume: %v", err)
+			}
+			if reruns != tc.missing {
+				t.Fatalf("resume re-ran %d points, want %d", reruns, tc.missing)
+			}
+			if got := csvOf(t, rows2); string(got) != string(want) {
+				t.Fatalf("resumed rows not byte-identical:\n got: %s\nwant: %s", got, want)
+			}
+		})
+	}
+}
+
+func TestJournaledSweepTornTailTruncatedCorruptLineFails(t *testing.T) {
+	jobs := journalJobs(t)
+	dir := t.TempDir()
+
+	path := filepath.Join(dir, "tail.jsonl")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := RunJournaled(context.Background(), j, nil, jobs, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	want := csvOf(t, rows)
+
+	// A crash mid-append leaves a torn tail (no terminating newline):
+	// truncated away on open, the half-written point re-runs.
+	if f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0); err != nil {
+		t.Fatal(err)
+	} else {
+		if _, err := f.WriteString(`{"status":"done","row":{"job":"torn`); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	j2, prior, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("open over torn tail: %v", err)
+	}
+	if got := len(Completed(prior)); got != len(jobs) {
+		t.Fatalf("torn-tail open replayed %d completed points, want %d", got, len(jobs))
+	}
+	rows2, err := RunJournaled(context.Background(), j2, prior, jobs, 1, func(Record) {
+		t.Error("fully-journaled resume ran a point")
+	})
+	j2.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := csvOf(t, rows2); string(got) != string(want) {
+		t.Fatalf("resume after torn-tail truncation diverged:\n got: %s\nwant: %s", got, want)
+	}
+
+	// A corrupt COMPLETE line is not a torn tail: open must fail rather
+	// than silently drop an fsync'd record.
+	if f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0); err != nil {
+		t.Fatal(err)
+	} else {
+		if _, err := f.WriteString("not json\n"); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	if _, _, err := OpenJournal(path); err == nil || !strings.Contains(err.Error(), "corrupt record") {
+		t.Fatalf("open over corrupt complete line = %v, want corrupt-record failure", err)
+	}
+}

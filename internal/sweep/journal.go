@@ -71,7 +71,14 @@ type Journal = journal.Journal[Record]
 // does not parse is corruption and fails the open rather than silently
 // dropping an fsync'd completed point.
 func OpenJournal(path string) (*Journal, []Record, error) {
-	j, recs, err := journal.Open[Record](path)
+	return OpenJournalFS(journal.OS, path)
+}
+
+// OpenJournalFS is OpenJournal through an explicit filesystem seam: the
+// chaos harness passes a journal.FaultFS so torn writes, ENOSPC and
+// fsync failures exercise the recovery rules with real injected faults.
+func OpenJournalFS(fsys journal.FS, path string) (*Journal, []Record, error) {
+	j, recs, err := journal.OpenFS[Record](fsys, path)
 	if err != nil {
 		return nil, nil, fmt.Errorf("sweep: %w", err)
 	}
