@@ -25,6 +25,25 @@
 //	breaker      a child whose machine fails inside a finite window;
 //	             verifies the circuit opens and recovery respects the
 //	             cooldown
+//
+// Fleet plans (a schedrouter child fronting three schedd children; the
+// harness predicts routing from its own copy of the consistent-hash
+// ring, so prediction/observation disagreement is itself a failure):
+//
+//	router-kill-worker      SIGKILL the ring owner of an in-flight
+//	                        sweep; verifies failover to the exact next
+//	                        replica, ejection, single-ejection ring
+//	                        affinity, same-identity readmission, and a
+//	                        byte-identical journal resume
+//	router-drain-rebalance  SIGTERM a worker mid-sweep; verifies the
+//	                        router sees the truthful draining readyz,
+//	                        the in-flight sweep is served intact with
+//	                        no shadow re-run, exit 0, and exactly the
+//	                        drained worker's keys rebalance
+//	router-split-cache      one worker computes a comparison; verifies
+//	                        the other two serve the identical answer
+//	                        from its cache via GET /v1/cache/{key}
+//
 //	all          every plan above, same seed
 //
 // Exit status: 0 when every oracle passes, 1 when any fails (the

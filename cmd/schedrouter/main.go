@@ -1,0 +1,32 @@
+// Command schedrouter fronts a fleet of schedd workers with a
+// failure-aware consistent-hash router.
+//
+//	schedrouter -addr :8079 \
+//	    -workers w0=127.0.0.1:7100,w1=127.0.0.1:7101,w2=127.0.0.1:7102
+//
+// Requests hash by content — /v1/compare by the workload's partition
+// fingerprint, /v1/sweep by journal name — so each key range sticks to
+// one worker and its warm caches/journals. Workers are health-checked
+// through their truthful /readyz (jittered probes; -eject-threshold
+// consecutive failures eject, -readmit-cooldown paces half-open
+// readmission); a dead worker's requests fail over along the ring with
+// the same Idempotency-Key so replay stores dedupe; draining workers
+// (SIGTERM) leave the ring without dropping in-flight work.
+//
+// Endpoints: POST /v1/compare, POST /v1/sweep (forwarded),
+// GET /v1/ring (membership + health snapshot), GET /healthz,
+// GET /readyz (503 once zero workers are routable).
+//
+// Exit status: 0 after a clean SIGTERM/SIGINT drain, 1 on errors, 2 on
+// flag errors.
+package main
+
+import (
+	"os"
+
+	"cds/internal/cluster"
+)
+
+func main() {
+	os.Exit(cluster.Main(os.Args[1:], os.Stderr))
+}

@@ -91,6 +91,12 @@ func Run(cfg Config) (*Report, error) {
 		rep, err = r.overload(ctx, plan)
 	case "breaker":
 		rep, err = r.breaker(ctx, plan)
+	case "router-kill-worker":
+		rep, err = r.routerKillWorker(ctx, plan)
+	case "router-drain-rebalance":
+		rep, err = r.routerDrainRebalance(ctx, plan)
+	case "router-split-cache":
+		rep, err = r.routerSplitCache(ctx, plan)
 	default:
 		err = fmt.Errorf("chaos: plan %q has no runner", plan.Name)
 	}

@@ -1,0 +1,189 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cds/internal/serve"
+)
+
+// TestRouterKillWorkerScenario runs the headline fleet drill end to
+// end against real processes: a router child fronting three schedd
+// children, the ring owner of an in-flight sweep SIGKILLed, and every
+// cluster oracle (failover, ejection, affinity, readmission,
+// byte-identical resume) must pass.
+func TestRouterKillWorkerScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process fleet drill")
+	}
+	rep, err := Run(Config{Seed: 1, Plan: "router-kill-worker", Dir: t.TempDir(), Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, o := range rep.Oracles {
+		if !o.OK {
+			t.Errorf("oracle %s failed: %s", o.Name, o.Detail)
+		}
+	}
+	if !rep.OK {
+		t.Fatal("router-kill-worker drill failed")
+	}
+	again, err := DerivePlan("router-kill-worker", 1)
+	if err != nil || !reflect.DeepEqual(rep.Plan, again) {
+		t.Fatalf("report plan %+v does not rederive from its seed (%+v, %v)", rep.Plan, again, err)
+	}
+}
+
+// TestRouterSplitCacheScenario proves the peer cache fill across real
+// process boundaries: one worker computes, the other two serve the
+// identical answer from its cache over GET /v1/cache/{key}.
+func TestRouterSplitCacheScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process fleet drill")
+	}
+	rep, err := Run(Config{Seed: 1, Plan: "router-split-cache", Dir: t.TempDir(), Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, o := range rep.Oracles {
+		if !o.OK {
+			t.Errorf("oracle %s failed: %s", o.Name, o.Detail)
+		}
+	}
+}
+
+// TestFleetSoak is the cluster burn-in: 200 concurrent clients hammer
+// the router with compares while one worker is SIGKILLed, ejected,
+// restarted and readmitted mid-burst. The router contract under that
+// churn: zero transport errors at the client, and nothing but 200
+// (served, possibly via failover), 429 (truthful shedding) or 503
+// (truthful unavailability) on the wire.
+func TestFleetSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process fleet soak")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	r := &runner{cfg: Config{Seed: 7}, dir: t.TempDir(), logf: t.Logf}
+	r.sup = &Supervisor{Logf: t.Logf}
+	p := Plan{Name: "soak", Seed: 7, FleetWorkers: 3, Archs: planArchs, Workloads: planWorkloads}
+	fl, err := r.startFleet(ctx, p, nil)
+	if err != nil {
+		t.Fatalf("startFleet: %v", err)
+	}
+	defer fl.Stop()
+	base := fl.base()
+
+	// A pooled client: 200 lanes through the default transport's two
+	// idle conns per host would measure port churn, not the router.
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        512,
+		MaxIdleConnsPerHost: 256,
+	}}
+
+	var stop atomic.Bool
+	var mu sync.Mutex
+	codes := map[int]int{}
+	var reqs, failovers int
+	var transportErrs []string
+
+	post := func(lane, i int) {
+		creq := serve.CompareRequest{
+			Workload: planWorkloads[(lane+i)%len(planWorkloads)],
+			Arch:     planArchs[(lane*7+i)%len(planArchs)],
+		}
+		body, _ := json.Marshal(creq)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/compare", bytes.NewReader(body))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		status, attempts := 0, ""
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			status, attempts = resp.StatusCode, resp.Header.Get("Router-Attempts")
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		reqs++
+		if err != nil {
+			if len(transportErrs) < 5 {
+				transportErrs = append(transportErrs, err.Error())
+			}
+			return
+		}
+		codes[status]++
+		if attempts != "" && attempts != "1" {
+			failovers++
+		}
+	}
+
+	const lanes = 200
+	var wg sync.WaitGroup
+	for lane := 0; lane < lanes; lane++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				post(lane, i)
+				time.Sleep(5 * time.Millisecond)
+			}
+		}(lane)
+	}
+
+	// Mid-burst: kill one worker, watch the router eject it, bring it
+	// back, watch it readmit — all while the 200 lanes keep firing.
+	time.Sleep(100 * time.Millisecond)
+	victim := 1
+	oldPID := fl.workers[victim].Pid()
+	if err := fl.workers[victim].Kill(); err != nil {
+		t.Fatalf("killing %s: %v", fl.ids[victim], err)
+	}
+	fl.workers[victim].Stop()
+	if _, err := fl.waitWorkerStatus(ctx, fl.ids[victim], "ejected", 10*time.Second); err != nil {
+		t.Errorf("ejection under load: %v", err)
+	}
+	c2, err := fl.restart(ctx, victim)
+	if err != nil {
+		t.Fatalf("restarting %s: %v", fl.ids[victim], err)
+	}
+	ws, err := fl.waitWorkerStatus(ctx, fl.ids[victim], "ready", 10*time.Second)
+	if err != nil {
+		t.Errorf("readmission under load: %v", err)
+	} else if ws.PID != c2.Pid() || ws.PID == oldPID {
+		t.Errorf("readmitted pid %d, want restarted pid %d (killed pid was %d)", ws.PID, c2.Pid(), oldPID)
+	}
+	time.Sleep(200 * time.Millisecond) // keep bursting against the healed fleet
+	stop.Store(true)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(transportErrs) > 0 {
+		t.Errorf("router dropped connections under soak: %v", transportErrs)
+	}
+	for status := range codes {
+		switch status {
+		case http.StatusOK, http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		default:
+			t.Errorf("soak saw status %d (%d times); only 200/429/503 are truthful under churn",
+				status, codes[status])
+		}
+	}
+	if codes[http.StatusOK] == 0 {
+		t.Error("soak produced no successful answers at all")
+	}
+	t.Logf("soak: %d clients, %d requests, %d failovers, codes %v (worker %s killed and readmitted mid-burst)",
+		lanes, reqs, failovers, codes, fl.ids[victim])
+}

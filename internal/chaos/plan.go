@@ -33,9 +33,14 @@ import (
 	"cds/internal/journal"
 )
 
-// PlanNames lists the scenarios, in the order "all" runs them.
+// PlanNames lists the scenarios, in the order "all" runs them. The
+// router-* plans drill a whole fleet — N schedd workers behind a
+// schedrouter — instead of a single daemon.
 func PlanNames() []string {
-	return []string{"kill-resume", "term-drain", "fs-faults", "proxy", "overload", "breaker"}
+	return []string{
+		"kill-resume", "term-drain", "fs-faults", "proxy", "overload", "breaker",
+		"router-kill-worker", "router-drain-rebalance", "router-split-cache",
+	}
 }
 
 // Plan is one fully-derived chaos scenario: everything a run needs, so
@@ -70,6 +75,14 @@ type Plan struct {
 	// machine runs) and the breaker cooldown.
 	BreakerFailRuns int           `json:"breaker_fail_runs,omitempty"`
 	BreakerCooldown time.Duration `json:"breaker_cooldown,omitempty"`
+
+	// Fleet scenario knobs (router-* plans): how many schedd workers the
+	// schedrouter fronts, which worker index the drain drill SIGTERMs,
+	// and which (workload, arch) point the split-cache drill computes.
+	FleetWorkers  int    `json:"fleet_workers,omitempty"`
+	DrainWorker   int    `json:"drain_worker,omitempty"`
+	CacheWorkload string `json:"cache_workload,omitempty"`
+	CacheArch     string `json:"cache_arch,omitempty"`
 }
 
 // planGrid is the sweep grid shared by the process scenarios: small
@@ -136,6 +149,21 @@ func DerivePlan(name string, seed int64) (Plan, error) {
 	case "breaker":
 		p.BreakerFailRuns = 8 + 2*r.intn(3)
 		p.BreakerCooldown = time.Duration(200+50*r.intn(3)) * time.Millisecond
+	case "router-kill-worker":
+		// SIGKILL the ring owner of a routed sweep strictly mid-sweep,
+		// like kill-resume, but the loss must be absorbed by failover.
+		p.FleetWorkers = 3
+		p.KillAtRecord = 2 + r.intn(gridSize-5)
+		p.PointDelay = 40 * time.Millisecond
+	case "router-drain-rebalance":
+		p.FleetWorkers = 3
+		p.DrainWorker = r.intn(3)
+		p.KillAtRecord = 2 + r.intn(gridSize/2)
+		p.PointDelay = 30 * time.Millisecond
+	case "router-split-cache":
+		p.FleetWorkers = 3
+		p.CacheWorkload = planWorkloads[r.intn(len(planWorkloads))]
+		p.CacheArch = planArchs[r.intn(len(planArchs))]
 	default:
 		return Plan{}, fmt.Errorf("chaos: unknown plan %q (known: %v)", name, PlanNames())
 	}

@@ -12,15 +12,19 @@ import (
 	"syscall"
 	"time"
 
+	"cds/internal/cluster"
 	"cds/internal/daemon"
 )
 
-// MaybeChild dispatches to the real schedd daemon when this process was
-// re-executed as a supervised child (daemon.ChildEnv set). Binaries
-// that embed the harness — cmd/chaos, and the chaos package's test
-// binary via TestMain — must call it before doing anything else; it
-// does not return in a child.
+// MaybeChild dispatches to the real schedd daemon (daemon.ChildEnv set)
+// or the real schedrouter (cluster.ChildEnv set) when this process was
+// re-executed as a supervised child. Binaries that embed the harness —
+// cmd/chaos, and the chaos package's test binary via TestMain — must
+// call it before doing anything else; it does not return in a child.
 func MaybeChild() {
+	if os.Getenv(cluster.ChildEnv) != "" {
+		os.Exit(cluster.Main(os.Args[1:], os.Stderr))
+	}
 	if os.Getenv(daemon.ChildEnv) == "" {
 		return
 	}
@@ -57,11 +61,14 @@ type Child struct {
 
 // Supervisor launches schedd children. SchedCmd is the daemon binary;
 // empty means re-execute the current binary (os.Args[0]) with
-// daemon.ChildEnv set, which runs the identical daemon through
-// MaybeChild.
+// ChildEnvVar set, which runs the identical process through MaybeChild.
 type Supervisor struct {
 	SchedCmd string
-	Logf     func(format string, args ...any)
+	// ChildEnvVar selects what a re-executed child becomes:
+	// daemon.ChildEnv (the default) runs schedd, cluster.ChildEnv runs
+	// schedrouter. Ignored when SchedCmd names an external binary.
+	ChildEnvVar string
+	Logf        func(format string, args ...any)
 }
 
 // Start launches one schedd child on addr with the extra flags
@@ -75,7 +82,11 @@ func (s *Supervisor) Start(addr string, extra ...string) (*Child, error) {
 	env := os.Environ()
 	if bin == "" {
 		bin = os.Args[0]
-		env = append(env, daemon.ChildEnv+"=1")
+		childVar := s.ChildEnvVar
+		if childVar == "" {
+			childVar = daemon.ChildEnv
+		}
+		env = append(env, childVar+"=1")
 	}
 	args := append([]string{"-addr", addr}, extra...)
 	c := &Child{Addr: addr, logf: logf, exited: make(chan struct{})}
@@ -85,7 +96,7 @@ func (s *Supervisor) Start(addr string, extra ...string) (*Child, error) {
 	if err := c.cmd.Start(); err != nil {
 		return nil, fmt.Errorf("chaos: starting schedd child: %w", err)
 	}
-	logf("chaos: started schedd pid %d on %s (args %v)", c.cmd.Process.Pid, addr, args)
+	logf("chaos: started child pid %d on %s (args %v)", c.cmd.Process.Pid, addr, args)
 	go func() {
 		c.waitOnce.Do(func() { c.waitErr = c.cmd.Wait() })
 		close(c.exited)

@@ -1,0 +1,113 @@
+package cluster
+
+// The schedrouter process entry point (cmd/schedrouter is a thin
+// wrapper). It lives here — mirroring internal/daemon for schedd — so
+// the chaos harness can re-exec the REAL router as a supervised child:
+// same flags, same drain discipline, same exit statuses.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// ChildEnv marks a re-executed schedrouter child process: harness
+// binaries call Main when it is set, before anything else (see
+// chaos.MaybeChild).
+const ChildEnv = "CHAOS_SCHEDROUTER_CHILD"
+
+// Main runs the router with the given argument list (without the
+// program name) and returns the process exit status: 0 after a clean
+// drain, 1 on any error, 2 on a flag error.
+func Main(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("schedrouter", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8079", "listen address")
+	workers := fs.String("workers", "", "comma-separated fleet members, id=host:port (required)")
+	vnodes := fs.Int("vnodes", DefaultVnodes, "virtual nodes per worker on the hash ring")
+	probeInterval := fs.Duration("probe-interval", 500*time.Millisecond, "mean readyz probe spacing per worker (jittered)")
+	probeTimeout := fs.Duration("probe-timeout", time.Second, "per-probe HTTP deadline")
+	ejectThreshold := fs.Int("eject-threshold", 3, "consecutive probe/forward failures that eject a worker")
+	readmitCooldown := fs.Duration("readmit-cooldown", 2*time.Second, "ejection cooldown before a half-open readmission probe")
+	failover := fs.Int("failover-attempts", 0, "max distinct replicas per request (0 = all candidates)")
+	seed := fs.Int64("seed", 1, "seed for probe jitter and minted idempotency keys")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	members, err := ParseMembers(*workers)
+	if err != nil {
+		fmt.Fprintf(stderr, "schedrouter: %v\n", err)
+		return 2
+	}
+
+	fleet := NewFleet(FleetConfig{
+		Workers:         members,
+		Vnodes:          *vnodes,
+		ProbeInterval:   *probeInterval,
+		ProbeTimeout:    *probeTimeout,
+		EjectThreshold:  *ejectThreshold,
+		ReadmitCooldown: *readmitCooldown,
+		Seed:            *seed,
+		Logf:            log.Printf,
+	})
+	router := NewRouter(RouterConfig{
+		Fleet:            fleet,
+		FailoverAttempts: *failover,
+		Seed:             *seed,
+		Logf:             log.Printf,
+	})
+
+	if err := run(*addr, fleet, router, *drainTimeout); err != nil {
+		fmt.Fprintf(stderr, "schedrouter: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func run(addr string, fleet *Fleet, router *Router, drainTimeout time.Duration) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fleet.Start()
+	defer fleet.Stop()
+
+	srv := &http.Server{Handler: router, ReadHeaderTimeout: 5 * time.Second}
+	log.Printf("schedrouter: listening on %s (%d workers)", l.Addr(), len(fleet.cfg.Workers))
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+
+	select {
+	case err := <-errc:
+		return err // listener died before any signal
+	case sig := <-sigc:
+		log.Printf("schedrouter: %v: draining (deadline %s)", sig, drainTimeout)
+	}
+	signal.Stop(sigc)
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		srv.Close()
+		return fmt.Errorf("schedrouter: drain deadline expired: %w", err)
+	}
+	served, failed, failovers := router.Stats()
+	log.Printf("schedrouter: drained cleanly (served=%d failed=%d failovers=%d)", served, failed, failovers)
+	if err := <-errc; err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package cluster
+
+// Worker-side peer cache fill. Each worker knows the full static fleet
+// and the same ring the router uses; on a local compare-cache miss it
+// asks ONE ring peer — the first walk member that is not itself — for
+// the memoized answer (GET /v1/cache/{key}) before paying to compute.
+//
+// Why one peer and not a broadcast: the ring owner of a fingerprint is
+// where the router lands that fingerprint's traffic, so the owner's
+// cache is overwhelmingly the one that has it. A worker asked directly
+// (bypassing the router) walks to the owner in one hop; the owner
+// itself walks to its first replica, which catches results computed
+// during a failover window. Anything beyond that is latency spent on a
+// miss that local compute would beat.
+//
+// The filled answer is deliberately NOT inserted into the local cache:
+// a peer's JSON answer carries the response, not the *Comparison the
+// cache stores, and re-deriving one from the other would duplicate the
+// scheduler's output schema here. The trade: repeated off-owner misses
+// re-ask the peer — one cheap HTTP GET each — while cache residency
+// stays exactly "what this worker computed", which keeps the rows-
+// identity chaos oracle byte-exact.
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net/http"
+	"time"
+
+	"cds/internal/rescache"
+	"cds/internal/serve"
+)
+
+// PeerFill implements serve.Config.PeerFill over a static fleet.
+type PeerFill struct {
+	self  string
+	ring  *Ring
+	addrs map[string]string
+	http  *http.Client
+	logf  func(format string, args ...any)
+}
+
+// NewPeerFill builds the fill client for the worker named self (its
+// WorkerID) inside members. timeout bounds one peer lookup (default
+// 250ms — a peer slower than that loses to just computing); logf may be
+// nil.
+func NewPeerFill(self string, members []Member, timeout time.Duration, logf func(string, ...any)) *PeerFill {
+	if timeout <= 0 {
+		timeout = 250 * time.Millisecond
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	ids := make([]string, len(members))
+	addrs := make(map[string]string, len(members))
+	for i, m := range members {
+		ids[i] = m.ID
+		addrs[m.ID] = m.Addr
+	}
+	return &PeerFill{
+		self:  self,
+		ring:  NewRing(0, ids...),
+		addrs: addrs,
+		http:  &http.Client{Timeout: timeout},
+		logf:  logf,
+	}
+}
+
+// Fill asks the fingerprint's first non-self ring member for the cached
+// comparison under key. ok=false on any miss, error, or timeout — the
+// caller computes locally and nothing is retried.
+func (p *PeerFill) Fill(ctx context.Context, fp [32]byte, key rescache.Key) (*serve.CompareResponse, bool) {
+	var peer string
+	for _, id := range p.ring.Lookup(CompareKey(fp), 0) {
+		if id != p.self {
+			peer = id
+			break
+		}
+	}
+	if peer == "" {
+		return nil, false // single-worker fleet
+	}
+	url := "http://" + p.addrs[peer] + "/v1/cache/" + hex.EncodeToString(key[:])
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, false
+	}
+	resp, err := p.http.Do(req)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, false
+	}
+	var out serve.CompareResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, false
+	}
+	p.logf("cluster: peer fill from %s", peer)
+	return &out, true
+}

@@ -1,0 +1,222 @@
+// Package cluster is the fleet layer of the scheduling service: a
+// failure-aware consistent-hash router (cmd/schedrouter) in front of N
+// schedd workers, plus the worker-side peer cache fill that lets one
+// worker's rescache hit serve the whole fleet.
+//
+// Routing is by content, not by connection: /v1/compare requests hash by
+// the partition's canonical fingerprint (internal/app) and /v1/sweep
+// requests by their journal name, so a given spec always lands on the
+// same worker while the membership holds — that worker's result cache
+// and journal directory stay warm across calls, which is the run-time
+// prefetch framing (Resano et al.) applied to a fleet: keep the working
+// set where it already is.
+//
+// Membership is ID-stable: the ring hashes worker IDs, not addresses,
+// so a worker restarted on the same (or a different) port keeps its key
+// range, and a fleet of three always partitions the key space the same
+// way from run to run. Failure handling is layered:
+//
+//   - a jittered probe loop health-checks every worker's truthful
+//     /readyz; consecutive probe failures open a per-worker
+//     internal/retry breaker, ejecting the worker from the ring, and the
+//     breaker's half-open cooldown paces readmission probes;
+//   - a worker answering "draining" (503 on /readyz during SIGTERM
+//     drain) leaves the ring immediately WITHOUT breaker penalty — it is
+//     healthy, just leaving — and its in-flight requests are untouched;
+//   - a forward that dies on the wire (connect error, mid-body EOF)
+//     fails over to the next ring replica with the SAME Idempotency-Key,
+//     so the worker-side replay store dedupes any double submission.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Member is one fleet worker: a stable logical ID (what the ring
+// hashes) and the address it currently serves on.
+type Member struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// ParseMembers parses a comma-separated "-workers" flag value: each
+// element is "id=host:port" or a bare "host:port" (whose ID is the
+// address itself). IDs must be unique; order is preserved.
+func ParseMembers(s string) ([]Member, error) {
+	var ms []Member
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		m := Member{ID: part, Addr: part}
+		if i := strings.IndexByte(part, '='); i >= 0 {
+			m.ID, m.Addr = part[:i], part[i+1:]
+		}
+		if m.ID == "" || m.Addr == "" {
+			return nil, fmt.Errorf("cluster: bad worker %q (want id=host:port or host:port)", part)
+		}
+		if seen[m.ID] {
+			return nil, fmt.Errorf("cluster: duplicate worker id %q", m.ID)
+		}
+		seen[m.ID] = true
+		ms = append(ms, m)
+	}
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("cluster: no workers in %q", s)
+	}
+	return ms, nil
+}
+
+// DefaultVnodes is the virtual-node count per member: enough that a
+// 3-worker fleet splits the key space within a few percent of evenly,
+// small enough that ring construction stays microseconds.
+const DefaultVnodes = 64
+
+// ringPoint is one virtual node: a position on the hash circle owned by
+// a member ID.
+type ringPoint struct {
+	hash uint64
+	id   string
+}
+
+// Ring is an immutable consistent-hash ring over member IDs. Lookup
+// order is a pure function of (member set, key): equal inputs yield
+// equal walks no matter the construction order, and removing a member
+// moves only the keys that member owned (the defining property the
+// ring tests pin).
+type Ring struct {
+	vnodes int
+	points []ringPoint
+	ids    []string
+}
+
+// NewRing builds a ring with vnodes virtual nodes per member
+// (DefaultVnodes when <= 0). Duplicate IDs collapse; input order is
+// irrelevant.
+func NewRing(vnodes int, ids ...string) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	set := map[string]bool{}
+	var uniq []string
+	for _, id := range ids {
+		if id == "" || set[id] {
+			continue
+		}
+		set[id] = true
+		uniq = append(uniq, id)
+	}
+	sort.Strings(uniq)
+	r := &Ring{vnodes: vnodes, ids: uniq}
+	r.points = make([]ringPoint, 0, vnodes*len(uniq))
+	for _, id := range uniq {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(id, i), id: id})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A 64-bit collision between two members' virtual nodes is
+		// effectively impossible, but the tie-break keeps construction
+		// deterministic even then.
+		return r.points[i].id < r.points[j].id
+	})
+	return r
+}
+
+// Members returns the member IDs, sorted.
+func (r *Ring) Members() []string { return append([]string(nil), r.ids...) }
+
+// Len reports the member count.
+func (r *Ring) Len() int { return len(r.ids) }
+
+// Owner returns the member owning key: the first virtual node at or
+// clockwise after the key's hash. ok is false on an empty ring.
+func (r *Ring) Owner(key []byte) (id string, ok bool) {
+	w := r.Lookup(key, 1)
+	if len(w) == 0 {
+		return "", false
+	}
+	return w[0], true
+}
+
+// Lookup returns the first n DISTINCT members encountered walking
+// clockwise from the key's position: the owner first, then the failover
+// replicas in deterministic order. n <= 0 (or n > members) returns the
+// full walk.
+func (r *Ring) Lookup(key []byte, n int) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	if n <= 0 || n > len(r.ids) {
+		n = len(r.ids)
+	}
+	h := keyHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := map[string]bool{}
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.id] {
+			continue
+		}
+		seen[p.id] = true
+		out = append(out, p.id)
+	}
+	return out
+}
+
+// pointHash positions the i-th virtual node of a member: the first 8
+// bytes of a domain-separated SHA-256, so member IDs of any shape
+// spread uniformly.
+func pointHash(id string, i int) uint64 {
+	h := sha256.New()
+	var buf [binary.MaxVarintLen64]byte
+	h.Write([]byte("cds/ring/point/v1\x00"))
+	h.Write([]byte(id))
+	h.Write([]byte{0})
+	n := binary.PutUvarint(buf[:], uint64(i))
+	h.Write(buf[:n])
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// keyHash positions a routing key on the circle, domain-separated from
+// the virtual-node hashes.
+func keyHash(key []byte) uint64 {
+	h := sha256.New()
+	h.Write([]byte("cds/ring/key/v1\x00"))
+	h.Write(key)
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// CompareKey is the routing key of a compare request: the partition's
+// canonical content fingerprint. Every architecture variant of one
+// partition routes to the same worker, so its cached comparisons pile
+// up in one rescache instead of spreading thinly across the fleet.
+func CompareKey(fp [32]byte) []byte {
+	return append([]byte("compare/"), fp[:]...)
+}
+
+// SweepKey is the routing key of a sweep request: the journal name when
+// the request has one — a resumed sweep MUST land on the worker holding
+// the journal file — else a hash of the request body, so identical
+// unjournaled sweeps at least share a worker's warm caches.
+func SweepKey(journal string, body []byte) []byte {
+	if journal != "" {
+		return append([]byte("sweep/journal/"), journal...)
+	}
+	sum := sha256.Sum256(body)
+	return append([]byte("sweep/body/"), sum[:]...)
+}

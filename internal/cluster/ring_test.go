@@ -1,0 +1,265 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// testKeys returns n distinct routing keys shaped like real compare
+// keys (fingerprint-derived).
+func testKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		fp := sha256.Sum256([]byte(fmt.Sprintf("partition-%d", i)))
+		keys[i] = CompareKey(fp)
+	}
+	return keys
+}
+
+func TestParseMembers(t *testing.T) {
+	t.Parallel()
+	ms, err := ParseMembers("w0=127.0.0.1:7100, w1=127.0.0.1:7101,127.0.0.1:7102")
+	if err != nil {
+		t.Fatalf("ParseMembers: %v", err)
+	}
+	want := []Member{
+		{ID: "w0", Addr: "127.0.0.1:7100"},
+		{ID: "w1", Addr: "127.0.0.1:7101"},
+		{ID: "127.0.0.1:7102", Addr: "127.0.0.1:7102"},
+	}
+	if !reflect.DeepEqual(ms, want) {
+		t.Fatalf("ParseMembers = %+v, want %+v", ms, want)
+	}
+	for _, bad := range []string{"", " , ", "w0=", "=addr", "w0=a,w0=b"} {
+		if _, err := ParseMembers(bad); err == nil {
+			t.Errorf("ParseMembers(%q): want error", bad)
+		}
+	}
+}
+
+func TestRingDeterminism(t *testing.T) {
+	t.Parallel()
+	keys := testKeys(200)
+	// Same member set in any insertion order must produce identical
+	// ownership and identical full replica walks.
+	a := NewRing(0, "w0", "w1", "w2")
+	b := NewRing(0, "w2", "w0", "w1", "w0") // shuffled + duplicate
+	if !reflect.DeepEqual(a.Members(), []string{"w0", "w1", "w2"}) {
+		t.Fatalf("Members = %v", a.Members())
+	}
+	for _, k := range keys {
+		wa, wb := a.Lookup(k, 0), b.Lookup(k, 0)
+		if !reflect.DeepEqual(wa, wb) {
+			t.Fatalf("walk differs for %x: %v vs %v", k[:8], wa, wb)
+		}
+		if len(wa) != 3 {
+			t.Fatalf("full walk has %d members, want 3", len(wa))
+		}
+	}
+}
+
+func TestRingLookupWalk(t *testing.T) {
+	t.Parallel()
+	r := NewRing(0, "w0", "w1", "w2", "w3")
+	for _, k := range testKeys(100) {
+		full := r.Lookup(k, 0)
+		if len(full) != 4 {
+			t.Fatalf("full walk = %v", full)
+		}
+		// Distinct members, prefix-consistent for every n.
+		seen := map[string]bool{}
+		for _, id := range full {
+			if seen[id] {
+				t.Fatalf("duplicate member %s in walk %v", id, full)
+			}
+			seen[id] = true
+		}
+		for n := 1; n <= 4; n++ {
+			if got := r.Lookup(k, n); !reflect.DeepEqual(got, full[:n]) {
+				t.Fatalf("Lookup(k,%d) = %v, want prefix %v", n, got, full[:n])
+			}
+		}
+		owner, ok := r.Owner(k)
+		if !ok || owner != full[0] {
+			t.Fatalf("Owner = %q/%v, walk head %q", owner, ok, full[0])
+		}
+	}
+	empty := NewRing(0)
+	if _, ok := empty.Owner(testKeys(1)[0]); ok {
+		t.Fatal("empty ring claims an owner")
+	}
+	if w := empty.Lookup(testKeys(1)[0], 3); w != nil {
+		t.Fatalf("empty ring walk = %v", w)
+	}
+}
+
+// TestRingLeaveMovesOnlyRemovedKeys pins the defining consistent-hash
+// property: removing one member relocates exactly the keys that member
+// owned; every other key keeps its owner.
+func TestRingLeaveMovesOnlyRemovedKeys(t *testing.T) {
+	t.Parallel()
+	keys := testKeys(500)
+	before := NewRing(0, "w0", "w1", "w2")
+	after := NewRing(0, "w0", "w2") // w1 leaves
+	moved, owned := 0, 0
+	for _, k := range keys {
+		a, _ := before.Owner(k)
+		b, _ := after.Owner(k)
+		if a == "w1" {
+			owned++
+			if b == "w1" {
+				t.Fatalf("removed member still owns %x", k[:8])
+			}
+			// The key must fall to w1's failover replica from the old
+			// ring — that is what makes router failover hit the same
+			// worker a future ring rebuild would pick.
+			if want := before.Lookup(k, 2)[1]; b != want {
+				t.Fatalf("key %x moved to %s, want old replica %s", k[:8], b, want)
+			}
+			continue
+		}
+		if a != b {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys not owned by the removed member moved", moved)
+	}
+	if owned == 0 {
+		t.Fatal("test vacuous: removed member owned no keys")
+	}
+}
+
+// TestRingJoinMovementBounded pins that a join steals keys only for the
+// new member and not many more than its fair share 1/n.
+func TestRingJoinMovementBounded(t *testing.T) {
+	t.Parallel()
+	keys := testKeys(2000)
+	before := NewRing(0, "w0", "w1", "w2")
+	after := NewRing(0, "w0", "w1", "w2", "w3") // w3 joins
+	moved := 0
+	for _, k := range keys {
+		a, _ := before.Owner(k)
+		b, _ := after.Owner(k)
+		if a != b {
+			if b != "w3" {
+				t.Fatalf("key %x moved %s→%s, not to the joiner", k[:8], a, b)
+			}
+			moved++
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	// Fair share is 1/4; allow 2× for vnode placement variance.
+	if frac == 0 || frac > 0.5 {
+		t.Fatalf("join moved %.1f%% of keys, want (0%%, 50%%]", 100*frac)
+	}
+}
+
+// TestRingBalance sanity-checks that vnodes spread ownership: no member
+// of a 3-ring owns more than 60% or less than 10% of keys.
+func TestRingBalance(t *testing.T) {
+	t.Parallel()
+	r := NewRing(0, "w0", "w1", "w2")
+	counts := map[string]int{}
+	keys := testKeys(3000)
+	for _, k := range keys {
+		id, _ := r.Owner(k)
+		counts[id]++
+	}
+	for id, c := range counts {
+		frac := float64(c) / float64(len(keys))
+		if frac < 0.10 || frac > 0.60 {
+			t.Fatalf("member %s owns %.1f%% of keys: %v", id, 100*frac, counts)
+		}
+	}
+}
+
+func TestRoutingKeys(t *testing.T) {
+	t.Parallel()
+	var fp1, fp2 [32]byte
+	fp1[0], fp2[0] = 1, 2
+	if string(CompareKey(fp1)) == string(CompareKey(fp2)) {
+		t.Fatal("distinct fingerprints share a compare key")
+	}
+	if string(CompareKey(fp1)) != string(CompareKey(fp1)) {
+		t.Fatal("compare key not deterministic")
+	}
+	// Journal name dominates body for sweeps; bodies only matter when
+	// unjournaled.
+	if string(SweepKey("j1", []byte("a"))) != string(SweepKey("j1", []byte("b"))) {
+		t.Fatal("journaled sweep key depends on body")
+	}
+	if string(SweepKey("j1", nil)) == string(SweepKey("j2", nil)) {
+		t.Fatal("distinct journals share a sweep key")
+	}
+	if string(SweepKey("", []byte("a"))) == string(SweepKey("", []byte("b"))) {
+		t.Fatal("unjournaled sweeps with distinct bodies share a key")
+	}
+}
+
+// FuzzRing churns membership and checks structural invariants: walks
+// are duplicate-free, cover min(n, members), and ownership of keys not
+// adjacent to the change survives single-member removal.
+func FuzzRing(f *testing.F) {
+	f.Add(uint64(1), 3, 5)
+	f.Add(uint64(42), 1, 1)
+	f.Add(uint64(7), 8, 16)
+	f.Fuzz(func(t *testing.T, seed uint64, members, nkeys int) {
+		if members < 1 {
+			members = 1
+		}
+		if members > 12 {
+			members = 12
+		}
+		if nkeys < 1 {
+			nkeys = 1
+		}
+		if nkeys > 64 {
+			nkeys = 64
+		}
+		rng := rand.New(rand.NewSource(int64(seed)))
+		ids := make([]string, members)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("m%d-%d", i, rng.Intn(1000))
+		}
+		r := NewRing(16, ids...)
+		keys := testKeys(nkeys)
+		for _, k := range keys {
+			walk := r.Lookup(k, 0)
+			if len(walk) != r.Len() {
+				t.Fatalf("walk %v covers %d of %d members", walk, len(walk), r.Len())
+			}
+			seen := map[string]bool{}
+			for _, id := range walk {
+				if seen[id] {
+					t.Fatalf("duplicate %s in walk %v", id, walk)
+				}
+				seen[id] = true
+			}
+		}
+		if r.Len() < 2 {
+			return
+		}
+		// Remove a random member: survivors' keys must not move.
+		gone := r.Members()[rng.Intn(r.Len())]
+		var rest []string
+		for _, id := range r.Members() {
+			if id != gone {
+				rest = append(rest, id)
+			}
+		}
+		shrunk := NewRing(16, rest...)
+		for _, k := range keys {
+			a, _ := r.Owner(k)
+			if a == gone {
+				continue
+			}
+			if b, _ := shrunk.Owner(k); a != b {
+				t.Fatalf("key %x moved %s→%s though %s left", k[:8], a, b, gone)
+			}
+		}
+	})
+}

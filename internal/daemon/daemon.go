@@ -21,6 +21,7 @@ import (
 	"syscall"
 	"time"
 
+	"cds/internal/cluster"
 	"cds/internal/faultmachine"
 	"cds/internal/retry"
 	"cds/internal/serve"
@@ -60,6 +61,9 @@ func Main(args []string, stderr io.Writer) int {
 	traceEntries := fs.Int("trace-ring-entries", 32, "max traced comparisons kept for /debug/traces")
 	traceBytes := fs.Int("trace-ring-bytes", 1<<20, "byte budget of the /debug/traces ring's Chrome payloads")
 	traceSample := fs.Int("trace-sample-every", 1, "keep every Nth ?trace=1 answer's full trace in the ring")
+	workerID := fs.String("worker-id", "", "fleet mode: this worker's stable identity on the router's hash ring (reported on /readyz)")
+	peers := fs.String("peers", "", "fleet mode: full member list (id=host:port,...) for peer cache fill; requires -worker-id")
+	peerTimeout := fs.Duration("peer-timeout", 250*time.Millisecond, "fleet mode: per-peer cache lookup deadline")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -81,7 +85,21 @@ func Main(args []string, stderr io.Writer) int {
 		TraceRingEntries: *traceEntries,
 		TraceRingBytes:   *traceBytes,
 		TraceSampleEvery: *traceSample,
+		WorkerID:         *workerID,
 		Logf:             log.Printf,
+	}
+	if *peers != "" {
+		if *workerID == "" {
+			fmt.Fprintln(stderr, "schedd: -peers requires -worker-id")
+			return 2
+		}
+		members, err := cluster.ParseMembers(*peers)
+		if err != nil {
+			fmt.Fprintf(stderr, "schedd: %v\n", err)
+			return 2
+		}
+		pf := cluster.NewPeerFill(*workerID, members, *peerTimeout, log.Printf)
+		cfg.PeerFill = pf.Fill
 	}
 	if *faultStallPct > 0 || *faultFailEvery > 0 {
 		cfg.Machine = faultmachine.NewRunner(faultmachine.Config{

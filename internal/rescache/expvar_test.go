@@ -38,3 +38,34 @@ func TestExpvarOncePerProcess(t *testing.T) {
 		t.Errorf("cache a stats hits=%d misses=%d, want 1/1", hits, misses)
 	}
 }
+
+// TestPeerFillAccounting pins the per-source split: a miss answered by a
+// fleet peer counts under peer_fills, never as a local hit — the local
+// hit/miss counters keep describing only this cache's own contents.
+func TestPeerFillAccounting(t *testing.T) {
+	c := New("expvar.peer", 4)
+	key := KeyOf(arch.M1(), testPart(t, "peer", 64), "peer-test")
+
+	// A local lookup that misses, then is satisfied by a peer.
+	if _, ok := c.Get(key); ok {
+		t.Fatal("fresh cache reports a hit")
+	}
+	c.NotePeerFill()
+
+	hits, misses, _ := c.Stats()
+	if hits != 0 {
+		t.Errorf("peer fill double-counted as a local hit: hits=%d", hits)
+	}
+	if misses != 1 {
+		t.Errorf("misses=%d, want 1 (the local lookup that preceded the fill)", misses)
+	}
+	if got := c.PeerFills(); got != 1 {
+		t.Errorf("PeerFills=%d, want 1", got)
+	}
+
+	// The expvar snapshot carries the new counter.
+	out := expvar.Get("rescache").String()
+	if !strings.Contains(out, "peer_fills") {
+		t.Errorf("expvar snapshot missing peer_fills: %s", out)
+	}
+}

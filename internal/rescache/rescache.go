@@ -105,6 +105,11 @@ type Cache struct {
 	hits      atomic.Int64
 	misses    atomic.Int64
 	evictions atomic.Int64
+	// peerFills counts values obtained from a fleet peer's cache after a
+	// local miss (cluster peer fill). A peer fill is accounted on top of
+	// the local miss that triggered it — never as a local hit — so
+	// hits/misses keep describing THIS cache's contents truthfully.
+	peerFills atomic.Int64
 }
 
 var (
@@ -129,10 +134,11 @@ func publishExpvar() {
 			for _, c := range registry {
 				hits, misses, evictions := c.Stats()
 				out[c.name] = map[string]int64{
-					"hits":      hits,
-					"misses":    misses,
-					"evictions": evictions,
-					"entries":   int64(c.Len()),
+					"hits":       hits,
+					"misses":     misses,
+					"evictions":  evictions,
+					"peer_fills": c.PeerFills(),
+					"entries":    int64(c.Len()),
 				}
 			}
 			return out
@@ -238,3 +244,15 @@ func (c *Cache) Len() int {
 func (c *Cache) Stats() (hits, misses, evictions int64) {
 	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
 }
+
+// NotePeerFill records that a local miss on this cache was answered by a
+// fleet peer's cache instead of a recomputation. It does not touch the
+// hit/miss counters: the lookup that preceded it already counted as a
+// local miss, and counting the peer's answer as a local hit would make
+// local hit rates lie. Per-source accounting is the point — "local"
+// effectiveness is hits/(hits+misses), "peer" effectiveness is
+// peer_fills/misses.
+func (c *Cache) NotePeerFill() { c.peerFills.Add(1) }
+
+// PeerFills reports how many local misses were answered by a peer.
+func (c *Cache) PeerFills() int64 { return c.peerFills.Load() }

@@ -49,6 +49,14 @@ const maxBody = 8 << 20
 type Config struct {
 	// BaseURL is the server (or fault proxy) root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// BaseURLs, when set, lists failover targets: attempt n of a logical
+	// call goes to BaseURLs[(n-1) % len], so a retry after a dead or
+	// failing server walks the replica list instead of hammering one
+	// address. Every attempt of one logical Compare reuses the SAME
+	// Idempotency-Key across targets, so a failover that lands on a
+	// worker that already saw the submission replays instead of
+	// re-running. Overrides BaseURL.
+	BaseURLs []string
 	// HTTP substitutes the transport; nil means a fresh http.Client.
 	HTTP *http.Client
 	// Retry wraps every call. Its MaxDelay caps honored Retry-After hints.
@@ -75,6 +83,7 @@ type Stats struct {
 // Client is safe for concurrent use.
 type Client struct {
 	cfg      Config
+	targets  []string
 	http     *http.Client
 	calls    atomic.Int64
 	attempts atomic.Int64
@@ -91,7 +100,11 @@ func New(cfg Config) *Client {
 	if h == nil {
 		h = &http.Client{}
 	}
-	return &Client{cfg: cfg, http: h}
+	targets := cfg.BaseURLs
+	if len(targets) == 0 {
+		targets = []string{cfg.BaseURL}
+	}
+	return &Client{cfg: cfg, targets: targets, http: h}
 }
 
 // Stats snapshots the counters.
@@ -200,7 +213,7 @@ func (c *Client) Healthz(ctx context.Context) (int, error) {
 }
 
 func (c *Client) get(ctx context.Context, path string) (int, []byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+path, nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.targets[0]+path, nil)
 	if err != nil {
 		return 0, nil, fmt.Errorf("schedclient: %w", err)
 	}
@@ -219,50 +232,74 @@ func (c *Client) get(ctx context.Context, path string) (int, []byte, error) {
 // do POSTs body to path under the retry policy, decoding a 2xx answer
 // into out. A transport failure, a response that cannot be read or
 // parsed (truncation), and every retryable status are transient; the
-// rest fail fast with their taxonomy class.
+// rest fail fast with their taxonomy class. With multiple targets
+// configured, attempt n walks the replica list; when every attempt is
+// exhausted the returned error joins the per-attempt errors
+// (errors.Join), so a caller sees what happened at EVERY replica, not
+// just the last one.
 func (c *Client) do(ctx context.Context, path string, body []byte, idemKey string, out any) error {
 	attempt := 0
-	return c.cfg.Retry.Do(ctx, func(ctx context.Context) error {
+	var attemptErrs []error
+	err := c.cfg.Retry.Do(ctx, func(ctx context.Context) error {
 		attempt++
 		c.attempts.Add(1)
+		target := c.targets[(attempt-1)%len(c.targets)]
 		if attempt > 1 {
-			c.cfg.Logf("schedclient: %s attempt %d", path, attempt)
+			c.cfg.Logf("schedclient: %s attempt %d (target %s)", path, attempt, target)
 		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+path, bytes.NewReader(body))
-		if err != nil {
-			return fmt.Errorf("schedclient: %w", err)
+		aerr := c.post(ctx, target, path, body, idemKey, out)
+		if aerr != nil {
+			attemptErrs = append(attemptErrs, fmt.Errorf("%s: %w", target, aerr))
 		}
-		req.Header.Set("Content-Type", "application/json")
-		if idemKey != "" {
-			req.Header.Set("Idempotency-Key", idemKey)
-		}
-		resp, err := c.http.Do(req)
-		if err != nil {
-			if cerr := scherr.FromContext(ctx); cerr != nil {
-				return cerr
-			}
-			// Connection refused, reset mid-request, proxy dropped us:
-			// all worth a retry against a recovering server.
-			return fmt.Errorf("schedclient: %s: %v: %w", path, err, scherr.ErrTransient)
-		}
-		data, rerr := io.ReadAll(io.LimitReader(resp.Body, maxBody))
-		resp.Body.Close()
-		if rerr != nil {
-			return fmt.Errorf("schedclient: reading %s response: %v: %w", path, rerr, scherr.ErrTransient)
-		}
-		if resp.StatusCode < 200 || resp.StatusCode > 299 {
-			return newHTTPError(resp, data)
-		}
-		if err := json.Unmarshal(data, out); err != nil {
-			// A 2xx that does not parse is a truncated or mangled answer,
-			// not a server verdict: retry it.
-			return fmt.Errorf("schedclient: decoding %s answer (%d bytes): %v: %w", path, len(data), err, scherr.ErrTransient)
-		}
-		if resp.Header.Get("Idempotency-Replayed") == "true" {
-			c.replayed.Add(1)
-		}
-		return nil
+		return aerr
 	})
+	if err != nil && len(attemptErrs) > 1 &&
+		errors.Is(err, scherr.ErrTransient) && !errors.Is(err, scherr.ErrCanceled) {
+		// Replicas exhausted: surface the whole per-attempt chain. The
+		// join keeps every attempt reachable through errors.Is/As, so the
+		// transient classification (and any HTTPError) still matches.
+		return fmt.Errorf("schedclient: %s: all %d attempts failed: %w",
+			path, len(attemptErrs), errors.Join(attemptErrs...))
+	}
+	return err
+}
+
+// post is one HTTP attempt against one target.
+func (c *Client) post(ctx context.Context, target, path string, body []byte, idemKey string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("schedclient: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if idemKey != "" {
+		req.Header.Set("Idempotency-Key", idemKey)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		if cerr := scherr.FromContext(ctx); cerr != nil {
+			return cerr
+		}
+		// Connection refused, reset mid-request, proxy dropped us:
+		// all worth a retry against a recovering server.
+		return fmt.Errorf("schedclient: %s: %v: %w", path, err, scherr.ErrTransient)
+	}
+	data, rerr := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+	resp.Body.Close()
+	if rerr != nil {
+		return fmt.Errorf("schedclient: reading %s response: %v: %w", path, rerr, scherr.ErrTransient)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return newHTTPError(resp, data)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		// A 2xx that does not parse is a truncated or mangled answer,
+		// not a server verdict: retry it.
+		return fmt.Errorf("schedclient: decoding %s answer (%d bytes): %v: %w", path, len(data), err, scherr.ErrTransient)
+	}
+	if resp.Header.Get("Idempotency-Replayed") == "true" {
+		c.replayed.Add(1)
+	}
+	return nil
 }
 
 // newHTTPError decodes the server's error envelope (best effort) and

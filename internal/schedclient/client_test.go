@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -167,6 +168,112 @@ func TestSweepRetries409JournalBusy(t *testing.T) {
 	}
 	if hits != 2 {
 		t.Fatalf("hits = %d, want 2 (409 retried as the duplicate waits for the first copy)", hits)
+	}
+}
+
+// TestCompareFailoverKeepsOneKeyAcrossTargets pins the cross-worker
+// dedup contract: when a logical call fails over to another replica,
+// the second target sees the SAME non-empty Idempotency-Key as the
+// first — that key is what lets the fleet's replay stores dedupe a
+// double submission.
+func TestCompareFailoverKeepsOneKeyAcrossTargets(t *testing.T) {
+	var mu sync.Mutex
+	keysByTarget := map[string][]string{}
+	record := func(name string, r *http.Request) {
+		mu.Lock()
+		keysByTarget[name] = append(keysByTarget[name], r.Header.Get("Idempotency-Key"))
+		mu.Unlock()
+	}
+	// Target A always fails transiently; target B answers.
+	a := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		record("a", r)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"dying","class":"transient_fault"}`))
+	}))
+	defer a.Close()
+	b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		record("b", r)
+		w.Write([]byte(`{"target":"MPEG","basic":{},"ds":{},"cds":{},"attempts":1}`))
+	}))
+	defer b.Close()
+
+	c := New(Config{BaseURLs: []string{a.URL, b.URL}, Retry: fastPolicy(), Seed: 11})
+	resp, err := c.Compare(context.Background(), serve.CompareRequest{Workload: "MPEG"})
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if resp.Target != "MPEG" {
+		t.Fatalf("target = %q", resp.Target)
+	}
+	if len(keysByTarget["a"]) != 1 || len(keysByTarget["b"]) != 1 {
+		t.Fatalf("attempt spread = %v, want one attempt per target", keysByTarget)
+	}
+	ka, kb := keysByTarget["a"][0], keysByTarget["b"][0]
+	if ka == "" || ka != kb {
+		t.Fatalf("failover changed the idempotency key: %q at a, %q at b", ka, kb)
+	}
+	if want := IdemKey(11, 1); ka != want {
+		t.Fatalf("key = %q, want deterministic %q", ka, want)
+	}
+}
+
+// TestCompareExhaustionJoinsPerAttemptErrors pins that exhausting every
+// replica surfaces the whole error chain: each target's failure is
+// reachable through errors.Is/As on the returned error, not just the
+// last one.
+func TestCompareExhaustionJoinsPerAttemptErrors(t *testing.T) {
+	// Target A answers a transient 503; target B is a dead listener, so
+	// the two attempts fail in structurally different ways.
+	a := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"overloaded","class":"transient_fault"}`))
+	}))
+	defer a.Close()
+	b := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	deadURL := b.URL
+	b.Close()
+
+	c := New(Config{BaseURLs: []string{a.URL, deadURL}, Retry: retry.Policy{
+		MaxAttempts: 2,
+		BaseDelay:   time.Millisecond,
+		Sleep:       func(context.Context, time.Duration) error { return nil },
+	}})
+	_, err := c.Compare(context.Background(), serve.CompareRequest{Workload: "MPEG"})
+	if err == nil {
+		t.Fatal("Compare succeeded against a 503 + a dead listener")
+	}
+	if !errors.Is(err, scherr.ErrTransient) {
+		t.Fatalf("joined error lost its transient classification: %v", err)
+	}
+	var he *HTTPError
+	if !errors.As(err, &he) || he.Status != 503 {
+		t.Fatalf("target a's HTTPError not reachable through the join: %v", err)
+	}
+	// Both targets' stories appear in the message.
+	msg := err.Error()
+	for _, want := range []string{"all 2 attempts failed", a.URL, deadURL} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+// TestCompareSingleAttemptErrorUnchanged pins that fail-fast request
+// errors keep their original shape: no join wrapper for a single
+// attempt, so existing callers' error handling is untouched.
+func TestCompareSingleAttemptErrorUnchanged(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"bad","class":"invalid_spec"}`))
+	}))
+	defer srv.Close()
+	c := New(Config{BaseURLs: []string{srv.URL, "http://127.0.0.1:1"}, Retry: fastPolicy()})
+	_, err := c.Compare(context.Background(), serve.CompareRequest{})
+	if !errors.Is(err, scherr.ErrInvalidSpec) {
+		t.Fatalf("err = %v, want ErrInvalidSpec", err)
+	}
+	if strings.Contains(err.Error(), "attempts failed") {
+		t.Fatalf("fail-fast error wrapped in a join: %v", err)
 	}
 }
 

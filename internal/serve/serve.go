@@ -34,8 +34,17 @@
 //     decomposition), and a sampled, byte-budgeted ring keeps recent full
 //     traces for GET /debug/traces.
 //
-// Endpoints: POST /v1/compare, POST /v1/sweep, GET /debug/traces,
-// GET /healthz, GET /readyz.
+//   - Fleet membership: a worker given a WorkerID reports its identity
+//     (ID, PID, uptime, journal dir) on /readyz so routers and chaos
+//     oracles can tell a restarted worker from its predecessor on the
+//     same port, stamps every answer with a Schedd-Worker header, serves
+//     its result cache to ring peers on GET /v1/cache/{key}, and — via
+//     the PeerFill seam — consults a peer's cache on a local miss before
+//     computing (internal/cluster wires the ring; serve stays
+//     cluster-agnostic).
+//
+// Endpoints: POST /v1/compare, POST /v1/sweep, GET /v1/cache/{key},
+// GET /debug/traces, GET /healthz, GET /readyz.
 package serve
 
 import (
@@ -45,6 +54,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strconv"
@@ -54,6 +64,7 @@ import (
 
 	"cds"
 	"cds/internal/faultmachine"
+	"cds/internal/rescache"
 	"cds/internal/retry"
 	"cds/internal/scherr"
 	"cds/internal/spec"
@@ -65,6 +76,14 @@ import (
 // CompareFunc is the backend seam for /v1/compare: production uses
 // cds.CompareAllCtx; tests substitute blocking or failing backends.
 type CompareFunc func(ctx context.Context, pa cds.Arch, part *cds.Part) (*cds.Comparison, error)
+
+// PeerFillFunc is the fleet seam for peer cache fill: given a compare
+// request's partition fingerprint (the ring routing key) and its result
+// cache key, return a peer's cached answer if one exists. Implemented
+// by internal/cluster; serve itself knows nothing about ring topology.
+// The function must be fast-or-absent: a miss, an unreachable peer, or
+// a slow peer all return ok=false and the worker computes locally.
+type PeerFillFunc func(ctx context.Context, fp [32]byte, key rescache.Key) (*CompareResponse, bool)
 
 // Config parameterizes the server. The zero value is usable: 2 workers,
 // a queue of 8, 30s request timeout, default retry policy and breakers,
@@ -122,6 +141,14 @@ type Config struct {
 	// IdempotencyEntries bounds the /v1/compare idempotency map
 	// (default 256 completed keys, FIFO eviction).
 	IdempotencyEntries int
+	// WorkerID is this worker's stable fleet identity: what the router's
+	// ring hashes and what /readyz and the Schedd-Worker header report.
+	// Empty outside a fleet (single-daemon deployments change nothing).
+	WorkerID string
+	// PeerFill, when set, is consulted on a /v1/compare local cache miss
+	// before the request pays for admission and computation: one fleet
+	// worker's cached result serves them all. Wired by internal/cluster.
+	PeerFill PeerFillFunc
 	// Now substitutes the clock for the breakers (tests).
 	Now func() time.Time
 	// Logf receives one line per served request and lifecycle event; nil
@@ -160,8 +187,13 @@ type Server struct {
 	shed    atomic.Int64
 	served  atomic.Int64
 	// cacheHits counts /v1/compare answers served straight from the
-	// result cache, bypassing admission and retry.
+	// result cache, bypassing admission and retry; peerHits counts the
+	// subset answered by a fleet peer's cache after a local miss.
 	cacheHits atomic.Int64
+	peerHits  atomic.Int64
+	// start anchors the uptime /readyz reports; a restart on the same
+	// port resets it, which is how oracles tell the two apart.
+	start time.Time
 	// traces is the bounded ring behind /debug/traces; traceReqs counts
 	// ?trace=1 answers, traceSeen drives the sampling cadence.
 	traces    *trace.Ring
@@ -194,14 +226,16 @@ func New(cfg Config) *Server {
 		breakers: retry.NewBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Now),
 		journals: map[string]bool{},
 		idem:     newIdemStore(cfg.IdempotencyEntries),
+		start:    time.Now(),
 	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("POST /v1/compare", s.handleCompare)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheLookup)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
-	s.handler = s.withRecover(s.mux)
+	s.handler = s.withRecover(s.withWorkerHeader(s.mux))
 	registerTraceExpvar(s)
 	registerHardenExpvars()
 	s.http = &http.Server{
@@ -288,6 +322,15 @@ type ReadyzResponse struct {
 	Status        string `json:"status"`
 	QueueDepth    int    `json:"queue_depth"`
 	QueueCapacity int    `json:"queue_capacity"`
+	// WorkerID/PID/UptimeMS/JournalDir identify the worker process behind
+	// this port. A worker restarted on the same address keeps its
+	// WorkerID (ring placement is ID-stable) but shows a new PID and a
+	// reset uptime — exactly the distinction the router's readmission
+	// logic and the chaos restart-identity oracle need.
+	WorkerID   string `json:"worker_id,omitempty"`
+	PID        int    `json:"pid,omitempty"`
+	UptimeMS   int64  `json:"uptime_ms,omitempty"`
+	JournalDir string `json:"journal_dir,omitempty"`
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
@@ -295,6 +338,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		Status:        "ready",
 		QueueDepth:    int(s.waiters.Load()),
 		QueueCapacity: s.cfg.Queue,
+		WorkerID:      s.cfg.WorkerID,
+		PID:           os.Getpid(),
+		UptimeMS:      time.Since(s.start).Milliseconds(),
+		JournalDir:    s.cfg.JournalDir,
 	}
 	status := http.StatusOK
 	switch {
@@ -366,6 +413,14 @@ type CompareResponse struct {
 	// skipped queue admission, the breaker and the retry loop entirely
 	// (also surfaced as a Server-Timing: cache;desc=hit header).
 	Cached bool `json:"cached,omitempty"`
+	// WorkerID names the fleet worker that produced this answer (empty
+	// outside a fleet). CacheSource distinguishes where a cached answer
+	// came from: "local" (this worker's rescache) or "peer" (a ring
+	// peer's cache consulted after a local miss); CacheWorker names that
+	// peer.
+	WorkerID    string `json:"worker_id,omitempty"`
+	CacheSource string `json:"cache_source,omitempty"`
+	CacheWorker string `json:"cache_worker,omitempty"`
 	// FaultStalls/FaultTransfers report the functional machine's
 	// fault-injection stats when the server runs one (chaos mode).
 	FaultTransfers int `json:"fault_transfers,omitempty"`
@@ -470,8 +525,29 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 			s.cacheHits.Add(1)
 			w.Header().Set("Server-Timing", "cache;desc=hit")
 			s.cfg.Logf("serve: compare %s: ok (cache hit, degraded=%v)", target, cmp.Degraded())
-			s.writeCompare(w, target, cmp, faultmachine.Stats{}, 1, true, s.maybeTrace(wantTrace, target, cmp))
+			s.writeCompare(w, target, cmp, faultmachine.Stats{}, 1, "local", s.maybeTrace(wantTrace, target, cmp))
 			return
+		}
+		// Local miss: ask a ring peer's cache before computing. Traced
+		// requests always compute locally — analytics need the concrete
+		// *Comparison, which a peer's JSON answer does not carry.
+		if s.cfg.PeerFill != nil && !wantTrace {
+			if resp, ok := s.cfg.PeerFill(r.Context(), part.Fingerprint(), cds.ComparisonKey(pa, part)); ok {
+				s.served.Add(1)
+				s.cacheHits.Add(1)
+				s.peerHits.Add(1)
+				cds.NoteComparisonPeerFill()
+				resp.Target = target
+				resp.CacheWorker = resp.WorkerID
+				resp.WorkerID = s.cfg.WorkerID
+				resp.CacheSource = "peer"
+				resp.Cached = true
+				resp.Attempts = 1
+				w.Header().Set("Server-Timing", "cache;desc=peer")
+				s.cfg.Logf("serve: compare %s: ok (peer cache fill from %s)", target, resp.CacheWorker)
+				writeJSON(w, http.StatusOK, resp)
+				return
+			}
 		}
 		w.Header().Set("Server-Timing", "cache;desc=miss")
 	}
@@ -532,11 +608,12 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.cfg.Logf("serve: compare %s: ok (attempts=%d degraded=%v)", target, attempts, cmp.Degraded())
-	s.writeCompare(w, target, cmp, stats, attempts, false, s.maybeTrace(wantTrace, target, cmp))
+	s.writeCompare(w, target, cmp, stats, attempts, "", s.maybeTrace(wantTrace, target, cmp))
 }
 
 // writeCompare renders one comparison as the /v1/compare JSON answer.
-func (s *Server) writeCompare(w http.ResponseWriter, target string, cmp *cds.Comparison, stats faultmachine.Stats, attempts int, cached bool, traces []trace.Analytics) {
+// cacheSource is "" (computed now), "local" or "peer".
+func (s *Server) writeCompare(w http.ResponseWriter, target string, cmp *cds.Comparison, stats faultmachine.Stats, attempts int, cacheSource string, traces []trace.Analytics) {
 	resp := CompareResponse{
 		Target:         target,
 		BasicFeasible:  cmp.BasicErr == nil,
@@ -546,7 +623,9 @@ func (s *Server) writeCompare(w http.ResponseWriter, target string, cmp *cds.Com
 		DTBytes:        cmp.DTBytes,
 		Degraded:       cmp.Degraded(),
 		Attempts:       attempts,
-		Cached:         cached,
+		Cached:         cacheSource != "",
+		WorkerID:       s.cfg.WorkerID,
+		CacheSource:    cacheSource,
 		FaultTransfers: stats.Transfers,
 		FaultStalls:    stats.Stalls,
 		Traces:         traces,

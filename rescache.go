@@ -68,6 +68,27 @@ func LookupComparison(pa Arch, part *Part) (*Comparison, bool) {
 	return v.(compareOutcome).cmp, true
 }
 
+// LookupComparisonByKey is LookupComparison addressed by the raw cache
+// key instead of (arch, partition). The fleet's peer-fill endpoint
+// (GET /v1/cache/{key}) uses it: the asking worker already computed the
+// key, and shipping 32 bytes beats re-shipping (and re-parsing) the
+// whole spec just to recompute the same hash.
+func LookupComparisonByKey(key rescache.Key) (*Comparison, bool) {
+	if !cachingEnabled.Load() {
+		return nil, false
+	}
+	v, ok := comparisonCache.Get(key)
+	if !ok {
+		return nil, false
+	}
+	return v.(compareOutcome).cmp, true
+}
+
+// NoteComparisonPeerFill records that a local comparison-cache miss was
+// answered by a fleet peer (per-source accounting on the "rescache"
+// expvar; peer fills never count as local hits).
+func NoteComparisonPeerFill() { comparisonCache.NotePeerFill() }
+
 // ComparisonCacheStats reports the comparison cache's cumulative
 // hit/miss/eviction counters (also published under the "rescache"
 // expvar).
