@@ -38,7 +38,7 @@ func Main(args []string, stderr io.Writer) int {
 	ejectThreshold := fs.Int("eject-threshold", 3, "consecutive probe/forward failures that eject a worker")
 	readmitCooldown := fs.Duration("readmit-cooldown", 2*time.Second, "ejection cooldown before a half-open readmission probe")
 	failover := fs.Int("failover-attempts", 0, "max distinct replicas per request (0 = all candidates)")
-	seed := fs.Int64("seed", 1, "seed for probe jitter and minted idempotency keys")
+	seed := fs.Int64("seed", 1, "seed for probe jitter (minted idempotency keys carry a per-boot random nonce)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -62,7 +62,6 @@ func Main(args []string, stderr io.Writer) int {
 	router := NewRouter(RouterConfig{
 		Fleet:            fleet,
 		FailoverAttempts: *failover,
-		Seed:             *seed,
 		Logf:             log.Printf,
 	})
 

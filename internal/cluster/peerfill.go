@@ -43,10 +43,12 @@ type PeerFill struct {
 }
 
 // NewPeerFill builds the fill client for the worker named self (its
-// WorkerID) inside members. timeout bounds one peer lookup (default
-// 250ms — a peer slower than that loses to just computing); logf may be
-// nil.
-func NewPeerFill(self string, members []Member, timeout time.Duration, logf func(string, ...any)) *PeerFill {
+// WorkerID) inside members. vnodes MUST match the router's ring setting
+// (DefaultVnodes when <= 0) — a disagreeing ring would walk to a
+// non-owner peer and mostly miss. timeout bounds one peer lookup
+// (default 250ms — a peer slower than that loses to just computing);
+// logf may be nil.
+func NewPeerFill(self string, members []Member, vnodes int, timeout time.Duration, logf func(string, ...any)) *PeerFill {
 	if timeout <= 0 {
 		timeout = 250 * time.Millisecond
 	}
@@ -61,7 +63,7 @@ func NewPeerFill(self string, members []Member, timeout time.Duration, logf func
 	}
 	return &PeerFill{
 		self:  self,
-		ring:  NewRing(0, ids...),
+		ring:  NewRing(vnodes, ids...),
 		addrs: addrs,
 		http:  &http.Client{Timeout: timeout},
 		logf:  logf,

@@ -21,13 +21,19 @@ package cluster
 //     request error will not get better on a different replica, and a
 //     truthful 429 must reach the client's backoff.
 //   - Every forwarded attempt of one request carries the SAME
-//     Idempotency-Key — the client's if present, a router-minted
-//     deterministic one otherwise — so a failover after a worker
-//     accepted-but-couldn't-answer is deduped by the replay store when
-//     it lands back on that worker.
+//     Idempotency-Key — the client's if present, a router-minted one
+//     otherwise — so a failover after a worker accepted-but-couldn't-
+//     answer is deduped by the replay store when it lands back on that
+//     worker. Minted keys carry a per-process random nonce: a restarted
+//     router (or a second router in front of the same fleet) must never
+//     re-issue a key some earlier request already burned, or the
+//     worker's replay store would answer the OLD request's result.
 
 import (
 	"bytes"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -55,8 +61,6 @@ type RouterConfig struct {
 	// FailoverAttempts caps how many distinct replicas one request may
 	// visit (0 = every candidate).
 	FailoverAttempts int
-	// Seed makes router-minted idempotency keys deterministic.
-	Seed int64
 	// HTTP substitutes the forwarding transport; nil means a plain
 	// client (no client-side timeout: forwards inherit the request
 	// context, and long journaled sweeps legitimately run for minutes).
@@ -67,10 +71,15 @@ type RouterConfig struct {
 
 // Router is the http.Handler. Construct with NewRouter.
 type Router struct {
-	cfg     RouterConfig
-	fleet   *Fleet
-	http    *http.Client
-	mux     *http.ServeMux
+	cfg   RouterConfig
+	fleet *Fleet
+	http  *http.Client
+	mux   *http.ServeMux
+	// nonce namespaces minted idempotency keys to this router process:
+	// the minted counter restarts at zero with the process, and only the
+	// nonce keeps a rebooted router's key stream disjoint from the one it
+	// issued before the restart.
+	nonce   string
 	minted  atomic.Int64
 	served  atomic.Int64
 	failed  atomic.Int64
@@ -93,13 +102,24 @@ func NewRouter(cfg RouterConfig) *Router {
 			IdleConnTimeout:     90 * time.Second,
 		}}
 	}
-	rt := &Router{cfg: cfg, fleet: cfg.Fleet, http: h, mux: http.NewServeMux()}
+	rt := &Router{cfg: cfg, fleet: cfg.Fleet, http: h, mux: http.NewServeMux(), nonce: bootNonce()}
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	rt.mux.HandleFunc("GET /readyz", rt.handleReadyz)
 	rt.mux.HandleFunc("GET /v1/ring", rt.handleRing)
 	rt.mux.HandleFunc("POST /v1/compare", rt.handleCompare)
 	rt.mux.HandleFunc("POST /v1/sweep", rt.handleSweep)
 	return rt
+}
+
+// bootNonce draws the per-process key namespace. The crypto/rand
+// failure path (exotic: no urandom) falls back to the boot clock —
+// still distinct across restarts, which is all the nonce must be.
+func bootNonce() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		binary.LittleEndian.PutUint64(b[:], uint64(time.Now().UnixNano()))
+	}
+	return hex.EncodeToString(b[:])
 }
 
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.ServeHTTP(w, r) }
@@ -166,7 +186,7 @@ func (rt *Router) handleCompare(w http.ResponseWriter, r *http.Request) {
 	// none, reused verbatim across every failover attempt.
 	idemKey := r.Header.Get("Idempotency-Key")
 	if idemKey == "" {
-		idemKey = fmt.Sprintf("rt-%x-%d", uint64(rt.cfg.Seed)*0x9e3779b97f4a7c15+1, rt.minted.Add(1))
+		idemKey = fmt.Sprintf("rt-%s-%d", rt.nonce, rt.minted.Add(1))
 	}
 	rt.forward(w, r, compareRoutingKey(body), body, idemKey)
 }
@@ -205,6 +225,18 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, key, body []by
 		}
 		resp, err := rt.tryWorker(r, addr, body, idemKey)
 		if err != nil {
+			if r.Context().Err() != nil {
+				// The CLIENT vanished (disconnect or deadline) while the
+				// forward was in flight. That is not the worker's fault —
+				// a breaker penalty here would let a burst of impatient
+				// clients eject a healthy worker pinned to a hot key —
+				// and the failover walk is pointless: every further
+				// attempt dies the same way. Answer best-effort and stop.
+				rt.failed.Add(1)
+				rt.cfg.Logf("cluster: %s %s: client gone during forward to %s (%v)", r.Method, r.URL.Path, id, err)
+				writeRouterErr(w, http.StatusServiceUnavailable, "client canceled while forwarding: "+err.Error(), "canceled")
+				return
+			}
 			// Dead on the wire: count it against the worker and move on.
 			rt.fleet.ReportForwardFailure(id)
 			transportErrs = append(transportErrs, fmt.Sprintf("%s: %v", id, err))
@@ -292,9 +324,15 @@ func (rt *Router) tryWorker(r *http.Request, addr string, body []byte, idemKey s
 		return nil, err
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, maxForwardBody))
+	// Read one byte past the relay budget: an answer that overflows it is
+	// a forward failure (fail over, or 503 when candidates run out), never
+	// a silently truncated 200 relayed as if complete.
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxForwardBody+1))
 	if err != nil {
 		return nil, fmt.Errorf("reading worker answer: %w", err)
+	}
+	if len(data) > maxForwardBody {
+		return nil, fmt.Errorf("worker answer exceeds the %d-byte relay budget", maxForwardBody)
 	}
 	return &bufferedResponse{status: resp.StatusCode, header: resp.Header, body: data}, nil
 }

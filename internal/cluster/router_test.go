@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -124,7 +125,7 @@ func waitFor(t *testing.T, what string, timeout time.Duration, cond func() bool)
 
 func routerFor(t *testing.T, fleet *Fleet) *httptest.Server {
 	t.Helper()
-	rt := NewRouter(RouterConfig{Fleet: fleet, Seed: 1})
+	rt := NewRouter(RouterConfig{Fleet: fleet})
 	srv := httptest.NewServer(rt)
 	t.Cleanup(srv.Close)
 	return srv
@@ -254,7 +255,7 @@ func mustFingerprint(t *testing.T) [32]byte {
 	return e.Part.Fingerprint()
 }
 
-func TestRouterMintsDeterministicKeyWhenClientSendsNone(t *testing.T) {
+func TestRouterMintsKeysWhenClientSendsNone(t *testing.T) {
 	w0 := newFakeWorker(t, "w0")
 	fleet := fastFleet(t, w0)
 	waitFor(t, "fleet ready", 2*time.Second, func() bool { return fleet.EligibleCount() == 1 })
@@ -272,6 +273,117 @@ func TestRouterMintsDeterministicKeyWhenClientSendsNone(t *testing.T) {
 	}
 	if !strings.HasPrefix(keys[0], "rt-") {
 		t.Fatalf("minted key %q missing router prefix", keys[0])
+	}
+
+	// A second router over the same fleet — the restart scenario, where
+	// the minted counter restarts at zero — must mint from a DISJOINT key
+	// stream, or the workers' replay store would answer the old router's
+	// request N to the new router's unrelated request N.
+	srv2 := routerFor(t, fleet)
+	resp, data := postJSON(t, srv2.URL+"/v1/compare", `{"workload":"MPEG"}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compare via second router = %d: %s", resp.StatusCode, data)
+	}
+	_, keys = w0.snapshot()
+	if len(keys) != 3 || keys[2] == keys[0] || keys[2] == keys[1] {
+		t.Fatalf("minted keys = %v, want the second router's key distinct from the first's", keys)
+	}
+}
+
+func TestRouterClientCancelDoesNotPenalizeWorker(t *testing.T) {
+	w0 := newFakeWorker(t, "w0")
+	w0.setWork(func(w http.ResponseWriter, r *http.Request) {
+		// Consume the body first (as the real daemon does): the net/http
+		// server only watches for a client disconnect — which is what
+		// cancels r.Context() — once the request body is drained.
+		io.Copy(io.Discard, r.Body)
+		<-r.Context().Done() // a slow sweep, outlived by the client
+	})
+	fleet := fastFleet(t, w0)
+	waitFor(t, "fleet ready", 2*time.Second, func() bool { return fleet.EligibleCount() == 1 })
+	srv := routerFor(t, fleet)
+
+	// fastFleet ejects at 2 consecutive failures: if client cancellations
+	// counted against the breaker, these three would eject w0.
+	for i := 0; i < 3; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/v1/compare", strings.NewReader(`{"workload":"MPEG"}`))
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if resp, err := http.DefaultClient.Do(req); err == nil {
+			resp.Body.Close()
+		}
+		cancel()
+	}
+	if n := fleet.EligibleCount(); n != 1 {
+		t.Fatalf("eligible workers after client cancellations = %d, want 1 (impatient clients must not eject a healthy worker)", n)
+	}
+	w0.setWork(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"target":"MPEG","basic":{},"ds":{},"cds":{},"attempts":1,"worker_id":"w0"}`)
+	})
+	resp, data := postJSON(t, srv.URL+"/v1/compare", `{"workload":"MPEG"}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compare after cancellations = %d: %s", resp.StatusCode, data)
+	}
+}
+
+func TestRouterOversizedWorkerAnswerFailsOver(t *testing.T) {
+	ws := []*fakeWorker{newFakeWorker(t, "w0"), newFakeWorker(t, "w1"), newFakeWorker(t, "w2")}
+	fleet := fastFleet(t, ws...)
+	waitFor(t, "fleet ready", 2*time.Second, func() bool { return fleet.EligibleCount() == 3 })
+	srv := routerFor(t, fleet)
+	owner := mpegOwner(t, fleet.Ring())
+
+	// The owner answers 200 with a body past the relay budget: relaying a
+	// truncated prefix as a complete 200 would be a silent wrong answer,
+	// so the router must treat it as a forward failure and walk on.
+	huge := bytes.Repeat([]byte("x"), maxForwardBody+1)
+	for _, w := range ws {
+		if w.id == owner {
+			w.setWork(func(w http.ResponseWriter, r *http.Request) {
+				w.Write(huge)
+			})
+		}
+	}
+	resp, data := postJSON(t, srv.URL+"/v1/compare", `{"workload":"MPEG"}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("answer = %d: %s", resp.StatusCode, data[:min(len(data), 200)])
+	}
+	if got := resp.Header.Get(serve.WorkerHeader); got == owner || got == "" {
+		t.Fatalf("served by %q, want a replica (oversized answers must not be relayed)", got)
+	}
+	if got := resp.Header.Get(AttemptsHeader); got != "2" {
+		t.Fatalf("attempts = %q, want 2", got)
+	}
+	if len(data) > maxForwardBody {
+		t.Fatalf("relayed body is %d bytes, past the budget", len(data))
+	}
+}
+
+// TestPeerFillRingMatchesRouterVnodes pins the vnodes plumbing: a
+// worker-side peer-fill ring built with the router's (non-default)
+// vnode count must pick the same owner the router's ring does for
+// every fingerprint.
+func TestPeerFillRingMatchesRouterVnodes(t *testing.T) {
+	members := []Member{
+		{ID: "w0", Addr: "127.0.0.1:1"},
+		{ID: "w1", Addr: "127.0.0.1:2"},
+		{ID: "w2", Addr: "127.0.0.1:3"},
+	}
+	const vnodes = 7 // deliberately not DefaultVnodes
+	routerRing := NewRing(vnodes, "w0", "w1", "w2")
+	pf := NewPeerFill("w1", members, vnodes, time.Second, nil)
+	for i := 0; i < 64; i++ {
+		key := CompareKey([32]byte{byte(i), byte(i >> 8)})
+		want, _ := routerRing.Owner(key)
+		got, _ := pf.ring.Owner(key)
+		if got != want {
+			t.Fatalf("key %d: peer-fill ring owner = %q, router ring owner = %q (vnodes disagreement)", i, got, want)
+		}
 	}
 }
 
@@ -486,7 +598,7 @@ func TestPeerFillWalksRingAndDecodes(t *testing.T) {
 	peerAddr := strings.TrimPrefix(peer.URL, "http://")
 
 	members := []Member{{ID: "w-owner", Addr: peerAddr}, {ID: "w-self", Addr: "127.0.0.1:1"}}
-	pf := NewPeerFill("w-self", members, time.Second, nil)
+	pf := NewPeerFill("w-self", members, DefaultVnodes, time.Second, nil)
 
 	var fp [32]byte
 	fp[0] = 9
@@ -501,13 +613,13 @@ func TestPeerFillWalksRingAndDecodes(t *testing.T) {
 	}
 
 	// Single-member fleet: no peer to ask.
-	solo := NewPeerFill("w-self", []Member{{ID: "w-self", Addr: "127.0.0.1:1"}}, time.Second, nil)
+	solo := NewPeerFill("w-self", []Member{{ID: "w-self", Addr: "127.0.0.1:1"}}, DefaultVnodes, time.Second, nil)
 	if _, ok := solo.Fill(context.Background(), fp, key); ok {
 		t.Fatal("solo fleet found a peer")
 	}
 
 	// Dead peer: a miss, never an error.
-	deadFirst := NewPeerFill("w-self", []Member{{ID: "w-owner", Addr: "127.0.0.1:1"}, {ID: "w-self", Addr: peerAddr}}, 100*time.Millisecond, nil)
+	deadFirst := NewPeerFill("w-self", []Member{{ID: "w-owner", Addr: "127.0.0.1:1"}, {ID: "w-self", Addr: peerAddr}}, DefaultVnodes, 100*time.Millisecond, nil)
 	if _, ok := deadFirst.Fill(context.Background(), fp, key); ok {
 		t.Fatal("dead peer produced a fill")
 	}

@@ -63,6 +63,7 @@ func Main(args []string, stderr io.Writer) int {
 	traceSample := fs.Int("trace-sample-every", 1, "keep every Nth ?trace=1 answer's full trace in the ring")
 	workerID := fs.String("worker-id", "", "fleet mode: this worker's stable identity on the router's hash ring (reported on /readyz)")
 	peers := fs.String("peers", "", "fleet mode: full member list (id=host:port,...) for peer cache fill; requires -worker-id")
+	peerVnodes := fs.Int("peer-vnodes", cluster.DefaultVnodes, "fleet mode: virtual nodes per worker on the peer-fill ring (must match the router's -vnodes)")
 	peerTimeout := fs.Duration("peer-timeout", 250*time.Millisecond, "fleet mode: per-peer cache lookup deadline")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -98,7 +99,7 @@ func Main(args []string, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "schedd: %v\n", err)
 			return 2
 		}
-		pf := cluster.NewPeerFill(*workerID, members, *peerTimeout, log.Printf)
+		pf := cluster.NewPeerFill(*workerID, members, *peerVnodes, *peerTimeout, log.Printf)
 		cfg.PeerFill = pf.Fill
 	}
 	if *faultStallPct > 0 || *faultFailEvery > 0 {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 
 	"cds/internal/spec"
@@ -158,9 +159,11 @@ func TestRunJournaledResumes(t *testing.T) {
 	if len(prior) != 0 {
 		t.Fatalf("fresh journal has %d records", len(prior))
 	}
-	seen := 0
+	// The progress callback runs from the worker pool: counters it
+	// touches must be atomic.
+	var seen atomic.Int32
 	_, runErr := RunJournaled(ctx, j, prior, cfg, func(Result) {
-		if seen++; seen == 4 {
+		if seen.Add(1) == 4 {
 			cancel()
 		}
 	})
@@ -180,17 +183,17 @@ func TestRunJournaledResumes(t *testing.T) {
 	if len(done) == 0 {
 		t.Fatal("no completed records journaled before cancellation")
 	}
-	rechecked := 0
+	var rechecked atomic.Int32
 	results, err := RunJournaled(context.Background(), j, prior, cfg, func(r Result) {
 		if _, ok := done[r.Name]; ok {
-			rechecked++
+			rechecked.Add(1)
 		}
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rechecked != 0 {
-		t.Fatalf("%d journaled points were re-checked on resume", rechecked)
+	if rechecked.Load() != 0 {
+		t.Fatalf("%d journaled points were re-checked on resume", rechecked.Load())
 	}
 
 	// The merged result set matches an uninterrupted run byte for byte.

@@ -194,8 +194,9 @@ func (c *Client) Sweep(ctx context.Context, req serve.SweepRequest) (*serve.Swee
 }
 
 // Readyz probes readiness WITHOUT retry — a truthfulness oracle needs
-// the raw answer, 503s included. The response body is decoded
-// best-effort (older servers answered plain text).
+// the raw answer, 503s included — though a target that cannot even be
+// reached yields to the next replica in BaseURLs. The response body is
+// decoded best-effort (older servers answered plain text).
 func (c *Client) Readyz(ctx context.Context) (int, serve.ReadyzResponse, error) {
 	var r serve.ReadyzResponse
 	status, data, err := c.get(ctx, "/readyz")
@@ -212,21 +213,38 @@ func (c *Client) Healthz(ctx context.Context) (int, error) {
 	return status, err
 }
 
+// get walks the replica list like do does, but without the retry
+// policy: one pass, first target that ANSWERS wins — any status, 503s
+// included, so readiness probes stay truthful — while a dead first
+// replica no longer blinds every GET helper. Exhausting the targets
+// joins the per-target errors.
 func (c *Client) get(ctx context.Context, path string) (int, []byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.targets[0]+path, nil)
-	if err != nil {
-		return 0, nil, fmt.Errorf("schedclient: %w", err)
+	var targetErrs []error
+	for _, target := range c.targets {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+path, nil)
+		if err != nil {
+			return 0, nil, fmt.Errorf("schedclient: %w", err)
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			targetErrs = append(targetErrs, fmt.Errorf("%s: %w", target, err))
+			if ctx.Err() != nil {
+				break // canceled: the remaining targets would fail the same way
+			}
+			continue
+		}
+		data, rerr := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+		resp.Body.Close()
+		if rerr != nil {
+			return resp.StatusCode, nil, fmt.Errorf("schedclient: reading %s: %w", path, rerr)
+		}
+		return resp.StatusCode, data, nil
 	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return 0, nil, fmt.Errorf("schedclient: %w", err)
+	if len(targetErrs) == 1 {
+		return 0, nil, fmt.Errorf("schedclient: %w", targetErrs[0])
 	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
-	if err != nil {
-		return resp.StatusCode, nil, fmt.Errorf("schedclient: reading %s: %w", path, err)
-	}
-	return resp.StatusCode, data, nil
+	return 0, nil, fmt.Errorf("schedclient: %s: all %d targets failed: %w",
+		path, len(targetErrs), errors.Join(targetErrs...))
 }
 
 // do POSTs body to path under the retry policy, decoding a 2xx answer

@@ -277,6 +277,45 @@ func TestCompareSingleAttemptErrorUnchanged(t *testing.T) {
 	}
 }
 
+// TestGetWalksTargetsOnTransportFailure pins that the GET helpers fail
+// over across BaseURLs like POSTs do: a dead first replica must not
+// blind health probes to the healthy rest of the fleet — while an
+// ANSWER from any target, 503s included, is still returned raw.
+func TestGetWalksTargetsOnTransportFailure(t *testing.T) {
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"status":"draining"}`))
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer live.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close()
+
+	c := New(Config{BaseURLs: []string{deadURL, live.URL}, Retry: fastPolicy()})
+	status, err := c.Healthz(context.Background())
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("Healthz = %d, %v; want 200 from the second target", status, err)
+	}
+	// The walk stops at the first ANSWER: a truthful 503 is a verdict,
+	// not a reason to keep walking.
+	status, r, err := c.Readyz(context.Background())
+	if err != nil || status != http.StatusServiceUnavailable || r.Status != "draining" {
+		t.Fatalf("Readyz = %d %+v, %v; want the live target's raw 503", status, r, err)
+	}
+
+	// Every target dead: the error names them all.
+	allDead := New(Config{BaseURLs: []string{deadURL, "http://127.0.0.1:1"}, Retry: fastPolicy()})
+	if _, err := allDead.Healthz(context.Background()); err == nil {
+		t.Fatal("Healthz succeeded with every target dead")
+	} else if !strings.Contains(err.Error(), "all 2 targets failed") {
+		t.Fatalf("error %q missing the per-target join", err)
+	}
+}
+
 func TestReadyzRawAnswer(t *testing.T) {
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusServiceUnavailable)

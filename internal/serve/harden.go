@@ -14,12 +14,18 @@ package serve
 //     replay the stored answer (marked Idempotency-Replayed: true)
 //     instead of re-running the work. Non-2xx outcomes are deliberately
 //     not stored: a failed attempt's duplicate re-executes for real.
+//     Every entry remembers the request body's hash — a key that
+//     reappears under a DIFFERENT body (a restarted router re-minting
+//     its deterministic key stream, a client bug) is a collision, not a
+//     duplicate, and bypasses the store entirely: the request executes
+//     for real rather than replaying some other request's answer.
 //     Sweeps get the same guarantee from journal-name locking plus
 //     journaled resume, so a duplicated sweep submission re-runs no
 //     completed point.
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"expvar"
 	"fmt"
 	"net/http"
@@ -77,6 +83,15 @@ func registerHardenExpvars() {
 			}
 			return total
 		}))
+		expvar.Publish("schedd_idem_collisions", expvar.Func(func() any {
+			traceRegistryMu.Lock()
+			defer traceRegistryMu.Unlock()
+			var total int64
+			for _, srv := range traceRegistry {
+				total += srv.idemCollisions.Load()
+			}
+			return total
+		}))
 	})
 }
 
@@ -104,11 +119,14 @@ func (r *responseRecorder) Write(p []byte) (int, error) {
 }
 
 // idemEntry is one Idempotency-Key's state: in flight until done is
-// closed, replayable afterwards iff status is 2xx.
+// closed, replayable afterwards iff status is 2xx. bodyHash fingerprints
+// the request body the key was first seen with, so a colliding reuse of
+// the key for different work is detectable.
 type idemEntry struct {
-	done   chan struct{}
-	status int
-	body   []byte
+	done     chan struct{}
+	bodyHash [sha256.Size]byte
+	status   int
+	body     []byte
 }
 
 // idemStore is the bounded idempotency map. Eviction is FIFO over
@@ -129,14 +147,15 @@ func newIdemStore(bound int) *idemStore {
 }
 
 // begin claims key: (entry, true) makes the caller the owner who must
-// call complete; (entry, false) hands back an existing entry to wait on.
-func (st *idemStore) begin(key string) (*idemEntry, bool) {
+// call complete; (entry, false) hands back an existing entry — the
+// caller waits on it only if its bodyHash matches the new request's.
+func (st *idemStore) begin(key string, bodyHash [sha256.Size]byte) (*idemEntry, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if e, ok := st.m[key]; ok {
 		return e, false
 	}
-	e := &idemEntry{done: make(chan struct{})}
+	e := &idemEntry{done: make(chan struct{}), bodyHash: bodyHash}
 	st.m[key] = e
 	st.order = append(st.order, key)
 	if len(st.order) > st.bound {
@@ -167,17 +186,25 @@ func (st *idemStore) complete(key string, e *idemEntry, status int, body []byte)
 }
 
 // idemBegin implements the Idempotency-Key protocol for one request:
-// proceed=true means the caller owns the key and must run the work, then
-// call finish with the recorded answer. proceed=false means the response
-// has already been written (a replayed stored answer, or a cancellation
-// while waiting on the first attempt).
-func (s *Server) idemBegin(w http.ResponseWriter, r *http.Request, key string) (finish func(status int, body []byte), proceed bool) {
+// proceed=true means the caller must run the work — with finish non-nil
+// it owns the key and calls finish with the recorded answer; with finish
+// nil the key collided with a DIFFERENT body (a re-minted router key, a
+// client bug) and the request runs outside the store, so the collision
+// can never replay another request's answer. proceed=false means the
+// response has already been written (a replayed stored answer, or a
+// cancellation while waiting on the first attempt).
+func (s *Server) idemBegin(w http.ResponseWriter, r *http.Request, key string, bodyHash [sha256.Size]byte) (finish func(status int, body []byte), proceed bool) {
 	for {
-		e, owner := s.idem.begin(key)
+		e, owner := s.idem.begin(key, bodyHash)
 		if owner {
 			return func(status int, body []byte) {
 				s.idem.complete(key, e, status, body)
 			}, true
+		}
+		if e.bodyHash != bodyHash {
+			s.idemCollisions.Add(1)
+			s.cfg.Logf("serve: idempotency key %q reused with a different body; executing for real", key)
+			return nil, true
 		}
 		select {
 		case <-e.done:

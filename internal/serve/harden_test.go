@@ -224,3 +224,56 @@ func TestCompareIdempotencyFailedAttemptRetries(t *testing.T) {
 		t.Fatalf("backend calls = %d, want 2", calls)
 	}
 }
+
+// TestCompareIdempotencyKeyCollisionRunsForReal pins the body-hash
+// guard: an Idempotency-Key reused with a DIFFERENT body (a restarted
+// router re-minting its key stream, a buggy client) must never replay
+// the first request's stored answer — the colliding request executes
+// for real, bypassing the store.
+func TestCompareIdempotencyKeyCollisionRunsForReal(t *testing.T) {
+	var calls int32
+	var mu sync.Mutex
+	s := New(Config{
+		Compare: func(ctx context.Context, pa cds.Arch, part *cds.Part) (*cds.Comparison, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			calls++
+			return &cds.Comparison{DS: &cds.Result{}, CDS: &cds.Result{}}, nil
+		},
+	})
+	do := func(body string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, "/v1/compare", strings.NewReader(body))
+		req.Header.Set("Idempotency-Key", "k-collide")
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, req)
+		return w
+	}
+	if w := do(`{"workload":"MPEG"}`); w.Code != http.StatusOK {
+		t.Fatalf("first request = %d", w.Code)
+	}
+	w := do(`{"workload":"E1"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("colliding request = %d", w.Code)
+	}
+	if w.Header().Get("Idempotency-Replayed") == "true" {
+		t.Fatal("colliding key replayed another request's answer")
+	}
+	if !strings.Contains(w.Body.String(), `"E1"`) {
+		t.Fatalf("colliding answer = %s, want the E1 request's own result", w.Body.String())
+	}
+	if calls != 2 {
+		t.Fatalf("backend calls = %d, want 2 (the collision must execute for real)", calls)
+	}
+	if s.idemCollisions.Load() != 1 {
+		t.Fatalf("idemCollisions = %d, want 1", s.idemCollisions.Load())
+	}
+
+	// A true duplicate of the FIRST body still replays: the collision
+	// left the stored entry intact.
+	if w := do(`{"workload":"MPEG"}`); w.Header().Get("Idempotency-Replayed") != "true" {
+		t.Fatal("true duplicate after a collision lost its replay")
+	}
+	if calls != 2 {
+		t.Fatalf("backend calls = %d after replay, want still 2", calls)
+	}
+}

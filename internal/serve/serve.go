@@ -49,9 +49,11 @@ package serve
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -200,10 +202,13 @@ type Server struct {
 	traceReqs atomic.Int64
 	traceSeen atomic.Int64
 	// panics counts handler panics recovered by the middleware; idemHits
-	// counts /v1/compare answers replayed from the idempotency store.
-	panics   atomic.Int64
-	idemHits atomic.Int64
-	idem     *idemStore
+	// counts /v1/compare answers replayed from the idempotency store;
+	// idemCollisions counts key reuses with a different body, which
+	// bypass the store instead of replaying the wrong answer.
+	panics         atomic.Int64
+	idemHits       atomic.Int64
+	idemCollisions atomic.Int64
+	idem           *idemStore
 	handler  http.Handler
 	breakers *retry.BreakerSet
 	baseCtx  context.Context
@@ -489,20 +494,31 @@ func (s *Server) compare(ctx context.Context, pa cds.Arch, part *cds.Part) (*cds
 }
 
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	// The body is read up front so the idempotency store can fingerprint
+	// it: replay is only safe for a true duplicate (same key, same body).
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		s.writeErr(w, fmt.Errorf("reading request body: %v: %w", err, scherr.ErrInvalidSpec))
+		return
+	}
 	// Idempotency: a duplicated submission (a client retry through a
 	// flaky network) with the same Idempotency-Key never double-runs —
-	// it waits for the first attempt and replays its 2xx answer.
+	// it waits for the first attempt and replays its 2xx answer. A key
+	// reused with a DIFFERENT body is a collision: it runs for real,
+	// outside the store (finish == nil).
 	if key := r.Header.Get("Idempotency-Key"); key != "" {
-		finish, proceed := s.idemBegin(w, r, key)
+		finish, proceed := s.idemBegin(w, r, key, sha256.Sum256(body))
 		if !proceed {
 			return
 		}
-		rec := &responseRecorder{ResponseWriter: w}
-		w = rec
-		defer func() { finish(rec.status, rec.buf.Bytes()) }()
+		if finish != nil {
+			rec := &responseRecorder{ResponseWriter: w}
+			w = rec
+			defer func() { finish(rec.status, rec.buf.Bytes()) }()
+		}
 	}
 	var req CompareRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+	if err := json.Unmarshal(body, &req); err != nil {
 		s.writeErr(w, fmt.Errorf("decoding request body: %v: %w", err, scherr.ErrInvalidSpec))
 		return
 	}
