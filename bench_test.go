@@ -19,6 +19,7 @@ package cds
 
 import (
 	"bytes"
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -460,6 +461,44 @@ func BenchmarkGenerations(b *testing.B) {
 			b.ReportMetric(float64(cycles), "cycles")
 			b.ReportMetric(float64(rf), "rf")
 		})
+	}
+}
+
+// BenchmarkCompareAllKeyedHit measures a warm-cache comparison when the
+// caller hoists canonicalization: ComparisonKey runs once up front and
+// every hit goes through CompareAllKeyed. BenchmarkCompareAllUnkeyedHit
+// is the same hit through CompareAllCtx, which re-canonicalizes the
+// partition on each call. The allocation delta between the two pins
+// what the hoist saves schedd's hot compare path, where the same key
+// used to be derived up to three times per request.
+func BenchmarkCompareAllKeyedHit(b *testing.B) {
+	b.ReportAllocs()
+	e := workloads.MPEG()
+	if _, err := CompareAll(e.Arch, e.Part); err != nil {
+		b.Fatal(err)
+	}
+	key := ComparisonKey(e.Arch, e.Part)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CompareAllKeyed(ctx, e.Arch, e.Part, key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompareAllUnkeyedHit(b *testing.B) {
+	b.ReportAllocs()
+	e := workloads.MPEG()
+	if _, err := CompareAll(e.Arch, e.Part); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CompareAllCtx(ctx, e.Arch, e.Part); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

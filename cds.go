@@ -247,12 +247,25 @@ func CompareAllCtx(ctx context.Context, pa Arch, part *Part) (*Comparison, error
 	if !cachingEnabled.Load() || !rescache.Enabled() {
 		return compareAll(ctx, pa, part, nil)
 	}
+	return CompareAllKeyed(ctx, pa, part, ComparisonKey(pa, part))
+}
+
+// CompareAllKeyed is CompareAllCtx with the content fingerprint already
+// in hand. Serving layers compute ComparisonKey once per request (cache
+// lookup, peer fill and the comparison itself all address the same
+// key); recomputing the canonical hash for each step is pure waste —
+// BenchmarkCompareAllKeyedHit pins the saving. key MUST equal
+// ComparisonKey(pa, part); anything else poisons the result cache.
+func CompareAllKeyed(ctx context.Context, pa Arch, part *Part, key rescache.Key) (*Comparison, error) {
+	if !cachingEnabled.Load() || !rescache.Enabled() {
+		return compareAll(ctx, pa, part, nil)
+	}
 	// A dead context must report cancellation, not a cache hit: callers
 	// distinguish "answered" from "gave up" by the error.
 	if err := scherr.FromContext(ctx); err != nil {
 		return nil, err
 	}
-	v := comparisonCache.Do(ComparisonKey(pa, part), func() (any, bool) {
+	v := comparisonCache.Do(key, func() (any, bool) {
 		cmp, err := compareAll(ctx, pa, part, nil)
 		return compareOutcome{cmp, err}, err == nil
 	})

@@ -15,10 +15,17 @@
 // point is ok or infeasible, 1 on any counterexample, 2 on harness
 // errors.
 //
+// With -arrivals N, the run additionally checks N scenarios of the
+// bursty-arrival corpus against the streaming oracles: warm-memo
+// replans of an unchanged log must be byte-identical, every streamed
+// execution must pass the prefetch invariant family, and context
+// prefetch must never lose to the serialized online baseline.
+//
 // Usage:
 //
-//	diffuzz -seed 1 -n 2000 [-workers N] [-journal FILE] [-out DIR]
-//	        [-csv] [-timeout 10m] [-minimize-budget 500] [-no-minimize]
+//	diffuzz -seed 1 -n 2000 [-arrivals N] [-workers N] [-journal FILE]
+//	        [-out DIR] [-csv] [-timeout 10m] [-minimize-budget 500]
+//	        [-no-minimize]
 package main
 
 import (
@@ -37,6 +44,7 @@ import (
 func main() {
 	seed := flag.Int64("seed", 1, "corpus stream seed")
 	n := flag.Int("n", 1000, "number of corpus points to check")
+	arrivals := flag.Int("arrivals", 0, "number of bursty-arrival scenarios to check against the streaming oracles")
 	workers := flag.Int("workers", 0, "worker pool size (0 = one per CPU)")
 	journal := flag.String("journal", "", "crash-safe checkpoint file (resume by re-running)")
 	outDir := flag.String("out", "", "directory for minimized counterexample specs (JSON)")
@@ -46,13 +54,13 @@ func main() {
 	noMinimize := flag.Bool("no-minimize", false, "report counterexamples without minimizing them")
 	flag.Parse()
 
-	if err := run(*seed, *n, *workers, *journal, *outDir, *csvOut, *timeout, *minBudget, *noMinimize); err != nil {
+	if err := run(*seed, *n, *arrivals, *workers, *journal, *outDir, *csvOut, *timeout, *minBudget, *noMinimize); err != nil {
 		fmt.Fprintf(os.Stderr, "diffuzz: %v\n", err)
 		os.Exit(2)
 	}
 }
 
-func run(seed int64, n, workers int, journalPath, outDir string, csvOut bool, timeout time.Duration, minBudget int, noMinimize bool) error {
+func run(seed int64, n, arrivals, workers int, journalPath, outDir string, csvOut bool, timeout time.Duration, minBudget int, noMinimize bool) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if timeout > 0 {
@@ -82,13 +90,44 @@ func run(seed int64, n, workers int, journalPath, outDir string, csvOut bool, ti
 		return err
 	}
 
+	// The streaming oracles run over their own corpus; their
+	// counterexamples fail the run but are not spec-minimized (an arrival
+	// scenario shrinks along different axes than a spec).
+	var arrResults []diffuzz.Result
+	arrCex := 0
+	if arrivals > 0 {
+		arrResults, err = diffuzz.RunArrivals(ctx, diffuzz.Config{Seed: seed, N: arrivals, Workers: workers}, nil)
+		if err != nil && ctx.Err() == nil {
+			return err
+		}
+		for _, r := range arrResults {
+			if r.Counterexample() {
+				arrCex++
+				fmt.Fprintf(os.Stderr, "diffuzz: arrival counterexample %s: %s: %s\n", r.Name, r.Verdict, r.Detail)
+			}
+		}
+	}
+
 	summary := diffuzz.Summarize(seed, results)
 	if csvOut {
-		if err := diffuzz.WriteCSV(os.Stdout, results); err != nil {
+		if err := diffuzz.WriteCSV(os.Stdout, append(append([]diffuzz.Result{}, results...), arrResults...)); err != nil {
 			return err
 		}
 	} else {
 		summary.WriteText(os.Stdout)
+		if arrivals > 0 {
+			okN, inf := 0, 0
+			for _, r := range arrResults {
+				switch r.Verdict {
+				case diffuzz.VerdictOK:
+					okN++
+				case diffuzz.VerdictInfeasible:
+					inf++
+				}
+			}
+			fmt.Fprintf(os.Stdout, "arrivals: %d scenarios, %d ok, %d infeasible, %d counterexamples\n",
+				len(arrResults), okN, inf, arrCex)
+		}
 	}
 
 	if summary.Total.Counterexamples > 0 && !noMinimize {
@@ -107,8 +146,8 @@ func run(seed int64, n, workers int, journalPath, outDir string, csvOut bool, ti
 	if ctx.Err() != nil {
 		return context.Cause(ctx)
 	}
-	if summary.Total.Counterexamples > 0 {
-		fmt.Fprintf(os.Stderr, "diffuzz: %d counterexample(s) found\n", summary.Total.Counterexamples)
+	if total := summary.Total.Counterexamples + arrCex; total > 0 {
+		fmt.Fprintf(os.Stderr, "diffuzz: %d counterexample(s) found\n", total)
 		os.Exit(1)
 	}
 	return nil

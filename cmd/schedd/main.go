@@ -12,6 +12,10 @@
 //	                  an Idempotency-Key header makes duplicated submissions replay
 //	                  instead of double-running
 //	POST /v1/sweep    {"archs":["M1/4","M1"],"workloads":["MPEG","E1"],"journal":"nightly"}
+//	POST /v1/stream   {"log":{...}} — plan an arrival log incrementally: segment
+//	                  schedules are memoized under content fingerprints across
+//	                  requests (bound with -stream-memo), both streamed executions
+//	                  (serialized and prefetching) are verified before answering
 //	GET  /debug/traces  bounded ring of recently traced comparisons (?full=1 adds Chrome payloads)
 //	GET  /healthz     process liveness
 //	GET  /readyz      load-balancer readiness: 503 while draining OR while the
@@ -21,7 +25,7 @@
 // Usage:
 //
 //	schedd [-addr :8080] [-debug-addr localhost:6060] [-workers 2] [-queue 8] [-request-timeout 30s]
-//	       [-drain-timeout 10s] [-journal-dir DIR]
+//	       [-drain-timeout 10s] [-journal-dir DIR] [-stream-memo 256]
 //	       [-retry-attempts 4] [-retry-base 10ms] [-retry-seed 1]
 //	       [-breaker-threshold 5] [-breaker-cooldown 5s]
 //	       [-fault-seed N -fault-stall-pct P -fault-fail-every K -fault-fail-runs R]

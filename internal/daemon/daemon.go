@@ -58,6 +58,7 @@ func Main(args []string, stderr io.Writer) int {
 	faultFailEvery := fs.Int("fault-fail-every", 0, "chaos mode: fail every Nth transfer while the fault window is open")
 	faultFailRuns := fs.Int("fault-fail-runs", 0, "chaos mode: width of the transient fault window in runs (<0 = persistent)")
 	pointDelay := fs.Duration("sweep-point-delay", 0, "chaos mode: pause after each journaled sweep point (widens the kill window)")
+	streamMemo := fs.Int("stream-memo", 0, "segment schedules memoized for /v1/stream delta replanning (0 = default)")
 	traceEntries := fs.Int("trace-ring-entries", 32, "max traced comparisons kept for /debug/traces")
 	traceBytes := fs.Int("trace-ring-bytes", 1<<20, "byte budget of the /debug/traces ring's Chrome payloads")
 	traceSample := fs.Int("trace-sample-every", 1, "keep every Nth ?trace=1 answer's full trace in the ring")
@@ -80,14 +81,15 @@ func Main(args []string, stderr io.Writer) int {
 			BaseDelay:   *retryBase,
 			Seed:        *retrySeed,
 		},
-		BreakerThreshold: *brThreshold,
-		BreakerCooldown:  *brCooldown,
-		SweepPointDelay:  *pointDelay,
-		TraceRingEntries: *traceEntries,
-		TraceRingBytes:   *traceBytes,
-		TraceSampleEvery: *traceSample,
-		WorkerID:         *workerID,
-		Logf:             log.Printf,
+		BreakerThreshold:   *brThreshold,
+		BreakerCooldown:    *brCooldown,
+		SweepPointDelay:    *pointDelay,
+		StreamMemoSegments: *streamMemo,
+		TraceRingEntries:   *traceEntries,
+		TraceRingBytes:     *traceBytes,
+		TraceSampleEvery:   *traceSample,
+		WorkerID:           *workerID,
+		Logf:               log.Printf,
 	}
 	if *peers != "" {
 		if *workerID == "" {

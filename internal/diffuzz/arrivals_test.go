@@ -1,0 +1,52 @@
+package diffuzz
+
+import (
+	"context"
+	"testing"
+)
+
+// The arrival-soundness oracle over a slice of the bursty corpus: no
+// counterexamples, deterministic results, and at least one scenario
+// actually planned.
+func TestArrivalOracleClean(t *testing.T) {
+	cfg := Config{Seed: 5, N: 8}
+	results, err := RunArrivals(context.Background(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := 0
+	for _, r := range results {
+		if r.Counterexample() {
+			t.Errorf("%s: %s: %s", r.Name, r.Verdict, r.Detail)
+		}
+		if r.Verdict == VerdictOK {
+			ok++
+			if r.CDSCycles > r.DSCycles {
+				t.Errorf("%s: prefetch %d beats serialized %d the wrong way",
+					r.Name, r.CDSCycles, r.DSCycles)
+			}
+		}
+	}
+	if ok == 0 {
+		t.Error("no arrival scenario planned successfully")
+	}
+
+	again, err := RunArrivals(context.Background(), Config{Seed: 5, N: 8, Workers: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range results {
+		if results[i] != again[i] {
+			t.Errorf("scenario %d differs across runs: %+v vs %+v", i, results[i], again[i])
+		}
+	}
+}
+
+func TestCheckArrivalsCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := CheckArrivals(ctx, 5, 0)
+	if r.Verdict != VerdictCanceled {
+		t.Errorf("verdict = %s, want canceled", r.Verdict)
+	}
+}

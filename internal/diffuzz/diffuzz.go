@@ -52,6 +52,7 @@ const (
 	SigDominance   = "dominance"    // dominance:ds>basic | dominance:cds>ds
 	SigFeasibility = "feasibility"  // feasibility:<scheduler> — basic ran, data scheduler refused
 	SigError       = "error"        // error:<scheduler> — a non-taxonomy failure
+	SigStream      = "stream"       // stream:<oracle> — online scheduler disagrees with static CDS
 )
 
 // Result is one corpus point's differential outcome. It is
@@ -147,6 +148,12 @@ func Check(ctx context.Context, sp *spec.Spec) Result {
 		return fail(res, "feasibility:ds-vs-cds", fmt.Errorf(
 			"ds infeasible=%v but cds infeasible=%v on the same workload",
 			infeasible["ds"], infeasible["cds"]))
+	}
+	// Static equivalence: a one-segment stream arriving at t=0 is the
+	// offline problem, so the online planner must agree with static CDS
+	// on feasibility and on the schedule itself, visit for visit.
+	if out, bad := checkStream(ctx, sp, res, cmp.CDS); bad {
+		return out
 	}
 	if !basicFeasible && cmp.DS == nil && cmp.CDS == nil {
 		res.Verdict = VerdictInfeasible

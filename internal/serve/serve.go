@@ -43,8 +43,14 @@
 //     computing (internal/cluster wires the ring; serve stays
 //     cluster-agnostic).
 //
-// Endpoints: POST /v1/compare, POST /v1/sweep, GET /v1/cache/{key},
-// GET /debug/traces, GET /healthz, GET /readyz.
+//   - Incremental streaming: POST /v1/stream plans an arrival log with
+//     the online scheduler; segment schedules are memoized under their
+//     content fingerprints in a daemon-lived planner, so re-posting an
+//     evolved log replans only the divergent segments (delta
+//     replanning) and the answer reports the reuse split.
+//
+// Endpoints: POST /v1/compare, POST /v1/sweep, POST /v1/stream,
+// GET /v1/cache/{key}, GET /debug/traces, GET /healthz, GET /readyz.
 package serve
 
 import (
@@ -70,6 +76,7 @@ import (
 	"cds/internal/retry"
 	"cds/internal/scherr"
 	"cds/internal/spec"
+	"cds/internal/stream"
 	"cds/internal/sweep"
 	"cds/internal/trace"
 	"cds/internal/workloads"
@@ -143,6 +150,9 @@ type Config struct {
 	// IdempotencyEntries bounds the /v1/compare idempotency map
 	// (default 256 completed keys, FIFO eviction).
 	IdempotencyEntries int
+	// StreamMemoSegments bounds the /v1/stream segment-schedule memo
+	// (default stream.DefaultMemoSegments).
+	StreamMemoSegments int
 	// WorkerID is this worker's stable fleet identity: what the router's
 	// ring hashes and what /readyz and the Schedd-Worker header report.
 	// Empty outside a fleet (single-daemon deployments change nothing).
@@ -209,15 +219,23 @@ type Server struct {
 	idemHits       atomic.Int64
 	idemCollisions atomic.Int64
 	idem           *idemStore
-	handler  http.Handler
-	breakers *retry.BreakerSet
-	baseCtx  context.Context
-	cancel   context.CancelFunc
+	handler        http.Handler
+	breakers       *retry.BreakerSet
+	baseCtx        context.Context
+	cancel         context.CancelFunc
 
 	// journals tracks which journal names have a sweep in flight, so two
 	// concurrent requests cannot append to the same checkpoint file.
 	jmu      sync.Mutex
 	journals map[string]bool
+
+	// planner is the daemon-lived incremental stream scheduler behind
+	// POST /v1/stream: segment schedules memoized here survive across
+	// requests, so re-posting an evolved arrival log replans only the
+	// divergent segments. streamReqs/streamReused feed /readyz.
+	planner      *stream.Planner
+	streamReqs   atomic.Int64
+	streamReused atomic.Int64
 }
 
 // New builds a server from the config.
@@ -231,6 +249,7 @@ func New(cfg Config) *Server {
 		breakers: retry.NewBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Now),
 		journals: map[string]bool{},
 		idem:     newIdemStore(cfg.IdempotencyEntries),
+		planner:  stream.NewPlanner(cfg.StreamMemoSegments),
 		start:    time.Now(),
 	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
@@ -238,6 +257,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("POST /v1/compare", s.handleCompare)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/stream", s.handleStream)
 	s.mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheLookup)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	s.handler = s.withRecover(s.withWorkerHeader(s.mux))
@@ -472,14 +492,23 @@ func (s *Server) resolve(req CompareRequest) (cds.Arch, *cds.Part, string, error
 }
 
 // compare is the retried backend call: the comparison itself plus the
-// optional functional-machine execution under fault injection.
-func (s *Server) compare(ctx context.Context, pa cds.Arch, part *cds.Part) (*cds.Comparison, faultmachine.Stats, error) {
+// optional functional-machine execution under fault injection. key,
+// when non-nil, is the request's already-computed ComparisonKey — the
+// cache-fast path hands it down so the whole request hashes the spec
+// exactly once (lookup, peer fill and compute all share it).
+func (s *Server) compare(ctx context.Context, pa cds.Arch, part *cds.Part, key *rescache.Key) (*cds.Comparison, faultmachine.Stats, error) {
 	var stats faultmachine.Stats
 	if s.cfg.Compare != nil {
 		cmp, err := s.cfg.Compare(ctx, pa, part)
 		return cmp, stats, err
 	}
-	cmp, err := cds.CompareAllCtx(ctx, pa, part)
+	var cmp *cds.Comparison
+	var err error
+	if key != nil {
+		cmp, err = cds.CompareAllKeyed(ctx, pa, part, *key)
+	} else {
+		cmp, err = cds.CompareAllCtx(ctx, pa, part)
+	}
 	if err != nil {
 		return cmp, stats, err
 	}
@@ -535,8 +564,13 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	// a Compare test seam or a functional machine produces per-request
 	// state a cached answer cannot carry.
 	cacheFast := s.cfg.Compare == nil && s.cfg.Machine == nil
+	var key *rescache.Key
 	if cacheFast {
-		if cmp, ok := cds.LookupComparison(pa, part); ok {
+		// One canonical hash serves the whole request: the local lookup,
+		// the peer fill and the eventual computation all address it.
+		k := cds.ComparisonKey(pa, part)
+		key = &k
+		if cmp, ok := cds.LookupComparisonByKey(k); ok {
 			s.served.Add(1)
 			s.cacheHits.Add(1)
 			w.Header().Set("Server-Timing", "cache;desc=hit")
@@ -548,7 +582,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		// requests always compute locally — analytics need the concrete
 		// *Comparison, which a peer's JSON answer does not carry.
 		if s.cfg.PeerFill != nil && !wantTrace {
-			if resp, ok := s.cfg.PeerFill(r.Context(), part.Fingerprint(), cds.ComparisonKey(pa, part)); ok {
+			if resp, ok := s.cfg.PeerFill(r.Context(), part.Fingerprint(), *key); ok {
 				s.served.Add(1)
 				s.cacheHits.Add(1)
 				s.peerHits.Add(1)
@@ -590,7 +624,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	attempts := 0
 	err = s.cfg.Retry.Do(ctx, func(ctx context.Context) error {
 		attempts++
-		c, st, cerr := s.compare(ctx, pa, part)
+		c, st, cerr := s.compare(ctx, pa, part, key)
 		if cerr != nil {
 			// Transient and canceled errors bubble to the retry loop; a
 			// deterministic failure that still left usable results is

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"cds/internal/spec"
+	"cds/internal/stream"
+	"cds/internal/workloads"
+)
+
+// streamBody wraps an arrival log as a /v1/stream request body.
+func streamBody(t *testing.T, lg *stream.Log) string {
+	t.Helper()
+	raw, err := lg.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(StreamRequest{Log: raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func genLog(t *testing.T, seed int64, index int) *stream.Log {
+	t.Helper()
+	a := workloads.GenArrivals(seed, index)
+	lg, err := stream.Split(a.Spec, a.SegClusters, a.ArriveAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lg
+}
+
+// Re-posting the same log must reuse every segment from the planner's
+// memo; an evolved tail must replan only the divergent segment.
+func TestStreamEndpointDeltaReplans(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.cancel()
+	lg := genLog(t, 11, 1)
+
+	w := post(t, s.Handler(), "/v1/stream", streamBody(t, lg))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d body=%s", w.Code, w.Body.String())
+	}
+	first := decode[StreamResponse](t, w)
+	if first.Reused != 0 || first.Replanned != len(lg.Segments) {
+		t.Errorf("cold request reused/replanned = %d/%d, want 0/%d",
+			first.Reused, first.Replanned, len(lg.Segments))
+	}
+	if first.PrefetchCycles > first.SerialCycles {
+		t.Errorf("prefetch %d beats serialized %d the wrong way",
+			first.PrefetchCycles, first.SerialCycles)
+	}
+	if len(first.Segments) != len(lg.Segments) {
+		t.Fatalf("response carries %d segments, log has %d", len(first.Segments), len(lg.Segments))
+	}
+
+	w = post(t, s.Handler(), "/v1/stream", streamBody(t, lg))
+	again := decode[StreamResponse](t, w)
+	if again.Replanned != 0 || again.Reused != len(lg.Segments) {
+		t.Errorf("warm request reused/replanned = %d/%d, want %d/0",
+			again.Reused, again.Replanned, len(lg.Segments))
+	}
+	if again.SerialCycles != first.SerialCycles || again.PrefetchCycles != first.PrefetchCycles {
+		t.Errorf("warm request changed the makespans: %+v vs %+v", again, first)
+	}
+
+	// Evolve the tail: the last segment's kernel costs change.
+	last := &lg.Segments[len(lg.Segments)-1]
+	last.Kernels[0].ComputeCycles += 97
+	w = post(t, s.Handler(), "/v1/stream", streamBody(t, lg))
+	delta := decode[StreamResponse](t, w)
+	if delta.Replanned != 1 || delta.Reused != len(lg.Segments)-1 {
+		t.Errorf("delta request reused/replanned = %d/%d, want %d/1",
+			delta.Reused, delta.Replanned, len(lg.Segments)-1)
+	}
+	for i, seg := range delta.Segments[:len(delta.Segments)-1] {
+		if !seg.Reused {
+			t.Errorf("unchanged segment %d not reused", i)
+		}
+	}
+	if delta.Segments[len(delta.Segments)-1].Reused {
+		t.Error("mutated tail segment claims reuse")
+	}
+	if delta.MemoSegments == 0 {
+		t.Error("planner memo reported empty after three requests")
+	}
+}
+
+func TestStreamEndpointRejections(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.cancel()
+
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"malformed body", `{`, http.StatusBadRequest},
+		{"missing log", `{}`, http.StatusBadRequest},
+		{"invalid log", `{"log":{"name":"x","iterations":0,"segments":[]}}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if w := post(t, s.Handler(), "/v1/stream", c.body); w.Code != c.want {
+			t.Errorf("%s: status = %d, want %d (body %s)", c.name, w.Code, c.want, w.Body.String())
+		}
+	}
+
+	// A log whose segment is valid but cannot fit its machine (three
+	// set-sized inputs in one cluster) is unprocessable, not a server
+	// error.
+	lg := &stream.Log{
+		Name:       "fat",
+		Iterations: 1,
+		Arch:       &spec.Arch{FBSetBytes: 1024, CMWords: 256},
+		Segments: []stream.Segment{{
+			Data: []spec.Datum{
+				{Name: "a", Size: 1024},
+				{Name: "b", Size: 1024},
+				{Name: "c", Size: 1024},
+				{Name: "out", Size: 64, Final: true},
+			},
+			Kernels: []spec.Kernel{{
+				Name: "k", ContextWords: 8, ComputeCycles: 10,
+				Inputs: []string{"a", "b", "c"}, Outputs: []string{"out"},
+			}},
+			Clusters: []int{1},
+		}},
+	}
+	if w := post(t, s.Handler(), "/v1/stream", streamBody(t, lg)); w.Code != http.StatusUnprocessableEntity {
+		t.Errorf("infeasible log: status = %d, want 422 (body %s)", w.Code, w.Body.String())
+	}
+}
+
+// The memo bound holds under many distinct logs: residency never
+// exceeds the configured cap.
+func TestStreamEndpointMemoBounded(t *testing.T) {
+	s := New(Config{Workers: 1, StreamMemoSegments: 4})
+	defer s.cancel()
+	for i := 0; i < 6; i++ {
+		lg := genLog(t, 13, i)
+		w := post(t, s.Handler(), "/v1/stream", streamBody(t, lg))
+		if w.Code != http.StatusOK && w.Code != http.StatusUnprocessableEntity {
+			t.Fatalf("scenario %d: status = %d body=%s", i, w.Code, w.Body.String())
+		}
+		if w.Code != http.StatusOK {
+			continue
+		}
+		resp := decode[StreamResponse](t, w)
+		if resp.MemoSegments > 4 {
+			t.Fatalf("scenario %d: memo grew to %d segments, bound is 4", i, resp.MemoSegments)
+		}
+	}
+}

@@ -42,6 +42,12 @@ type Result struct {
 	// VisitStart/VisitEnd give each visit's compute interval, for
 	// inspection and tests (indexed like Schedule.Visits).
 	VisitStart, VisitEnd []int
+	// PrefetchCycles and PrefetchCount report the context traffic the
+	// streaming executor hoisted into the previous visit's compute
+	// window (RunStream with prefetch on); both are zero for the static
+	// Run and for the serialized streaming baseline.
+	PrefetchCycles int
+	PrefetchCount  int
 }
 
 // DMABusy returns the total DMA channel busy time.

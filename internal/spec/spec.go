@@ -21,6 +21,7 @@ package spec
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
 
 	"cds/internal/app"
 	"cds/internal/arch"
@@ -80,6 +81,13 @@ func invalid(path, format string, args ...any) error {
 	return fmt.Errorf("spec: %w: %s: %s", scherr.ErrInvalidSpec, path, fmt.Sprintf(format, args...))
 }
 
+// elem formats an indexed field path ("data[3]"). Only error branches
+// call it — Validate runs on every streaming replan, so the success
+// path must not format path strings per element.
+func elem(field string, i int) string {
+	return field + "[" + strconv.Itoa(i) + "]"
+}
+
 // Validate checks the decoded document field by field, before any
 // application semantics run, so a bad spec is reported by the JSON path
 // the author has to fix rather than by an internal app-model name.
@@ -97,18 +105,17 @@ func (sp *Spec) Validate() error {
 	}
 	dataNames := make(map[string]int, len(sp.Data))
 	for i, d := range sp.Data {
-		path := fmt.Sprintf("data[%d]", i)
 		if d.Name == "" {
-			return invalid(path+".name", "must not be empty")
+			return invalid(elem("data", i)+".name", "must not be empty")
 		}
 		if d.Size <= 0 {
-			return invalid(path+".size", "must be positive, got %d", d.Size)
+			return invalid(elem("data", i)+".size", "must be positive, got %d", d.Size)
 		}
 		if d.Size > fbSet {
-			return invalid(path+".size", "%d bytes exceeds the %d-byte frame-buffer set (%q cannot ever be resident)", d.Size, fbSet, d.Name)
+			return invalid(elem("data", i)+".size", "%d bytes exceeds the %d-byte frame-buffer set (%q cannot ever be resident)", d.Size, fbSet, d.Name)
 		}
 		if prev, dup := dataNames[d.Name]; dup {
-			return invalid(path+".name", "duplicates data[%d] (%q)", prev, d.Name)
+			return invalid(elem("data", i)+".name", "duplicates data[%d] (%q)", prev, d.Name)
 		}
 		dataNames[d.Name] = i
 	}
@@ -117,41 +124,40 @@ func (sp *Spec) Validate() error {
 	}
 	kernelNames := make(map[string]int, len(sp.Kernels))
 	for i, k := range sp.Kernels {
-		path := fmt.Sprintf("kernels[%d]", i)
 		if k.Name == "" {
-			return invalid(path+".name", "must not be empty")
+			return invalid(elem("kernels", i)+".name", "must not be empty")
 		}
 		if prev, dup := kernelNames[k.Name]; dup {
-			return invalid(path+".name", "duplicates kernels[%d] (%q)", prev, k.Name)
+			return invalid(elem("kernels", i)+".name", "duplicates kernels[%d] (%q)", prev, k.Name)
 		}
 		kernelNames[k.Name] = i
 		if k.ContextWords <= 0 {
-			return invalid(path+".contextWords", "must be positive, got %d", k.ContextWords)
+			return invalid(elem("kernels", i)+".contextWords", "must be positive, got %d", k.ContextWords)
 		}
 		if k.ComputeCycles <= 0 {
-			return invalid(path+".computeCycles", "must be positive, got %d", k.ComputeCycles)
+			return invalid(elem("kernels", i)+".computeCycles", "must be positive, got %d", k.ComputeCycles)
 		}
 		seenIn := make(map[string]int, len(k.Inputs))
 		for j, in := range k.Inputs {
 			if _, ok := dataNames[in]; !ok {
-				return invalid(fmt.Sprintf("%s.inputs[%d]", path, j), "references undeclared datum %q", in)
+				return invalid(elem(elem("kernels", i)+".inputs", j), "references undeclared datum %q", in)
 			}
 			if prev, dup := seenIn[in]; dup {
-				return invalid(fmt.Sprintf("%s.inputs[%d]", path, j), "duplicates inputs[%d] (%q)", prev, in)
+				return invalid(elem(elem("kernels", i)+".inputs", j), "duplicates inputs[%d] (%q)", prev, in)
 			}
 			seenIn[in] = j
 		}
 		seenOut := make(map[string]int, len(k.Outputs))
 		for j, out := range k.Outputs {
 			if _, ok := dataNames[out]; !ok {
-				return invalid(fmt.Sprintf("%s.outputs[%d]", path, j), "references undeclared datum %q", out)
+				return invalid(elem(elem("kernels", i)+".outputs", j), "references undeclared datum %q", out)
 			}
 			if prev, dup := seenOut[out]; dup {
-				return invalid(fmt.Sprintf("%s.outputs[%d]", path, j), "duplicates outputs[%d] (%q)", prev, out)
+				return invalid(elem(elem("kernels", i)+".outputs", j), "duplicates outputs[%d] (%q)", prev, out)
 			}
 			seenOut[out] = j
 			if _, self := seenIn[out]; self {
-				return invalid(fmt.Sprintf("%s.outputs[%d]", path, j), "kernel %q both reads and writes %q (self-dependency)", k.Name, out)
+				return invalid(elem(elem("kernels", i)+".outputs", j), "kernel %q both reads and writes %q (self-dependency)", k.Name, out)
 			}
 		}
 	}
@@ -161,7 +167,7 @@ func (sp *Spec) Validate() error {
 	total := 0
 	for i, n := range sp.Clusters {
 		if n < 1 {
-			return invalid(fmt.Sprintf("clusters[%d]", i), "must be >= 1, got %d", n)
+			return invalid(elem("clusters", i), "must be >= 1, got %d", n)
 		}
 		total += n
 	}

@@ -1,0 +1,113 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"cds/internal/spec"
+	"cds/internal/workloads"
+)
+
+// benchLog returns a long bursty arrival log: a fixed generated
+// scenario (15 segments) replayed several times with renamed content,
+// modelling a stream of similar-but-distinct bursts. Every segment
+// fingerprints differently, so a cold plan runs CDS on all of them —
+// the honest from-scratch baseline for the delta comparison.
+func benchLog(b *testing.B) *Log {
+	b.Helper()
+	a := workloads.GenArrivals(21, 1)
+	base, err := Split(a.Spec, a.SegClusters, a.ArriveAt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lg := &Log{Name: "bench", Iterations: base.Iterations, Arch: base.Arch}
+	at := 0
+	for r := 0; r < 6; r++ {
+		prefix := fmt.Sprintf("r%d.", r)
+		for si := range base.Segments {
+			seg := &base.Segments[si]
+			cp := Segment{
+				Name:     prefix + base.SegmentName(si),
+				At:       at + seg.At,
+				Clusters: append([]int(nil), seg.Clusters...),
+			}
+			for _, d := range seg.Data {
+				d.Name = prefix + d.Name
+				cp.Data = append(cp.Data, d)
+			}
+			for _, k := range seg.Kernels {
+				nk := spec.Kernel{
+					Name:          prefix + k.Name,
+					ContextWords:  k.ContextWords,
+					ComputeCycles: k.ComputeCycles,
+				}
+				if k.ContextGroup != "" {
+					nk.ContextGroup = prefix + k.ContextGroup
+				}
+				for _, in := range k.Inputs {
+					nk.Inputs = append(nk.Inputs, prefix+in)
+				}
+				for _, out := range k.Outputs {
+					nk.Outputs = append(nk.Outputs, prefix+out)
+				}
+				cp.Kernels = append(cp.Kernels, nk)
+			}
+			lg.Segments = append(lg.Segments, cp)
+		}
+		at = lg.Segments[len(lg.Segments)-1].At + 1000
+	}
+	if err := lg.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	return lg
+}
+
+// BenchmarkStreamReplanScratch prices a full from-scratch plan of the
+// arrival log: every segment runs CDS. This is what an online scheduler
+// without the fingerprint memo pays on every arrival.
+func BenchmarkStreamReplanScratch(b *testing.B) {
+	b.ReportAllocs()
+	lg := benchLog(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := NewPlanner(0).Plan(ctx, lg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if plan.Replanned != len(lg.Segments) {
+			b.Fatalf("scratch plan replanned %d of %d segments", plan.Replanned, len(lg.Segments))
+		}
+	}
+}
+
+// BenchmarkStreamReplanTail prices the delta path: the planner's memo
+// is warm with the whole log, and each iteration mutates only the tail
+// segment (a fresh compute cost, so the tail always misses) before
+// replanning. Only one segment runs CDS; the prefix is a memo walk.
+// The ratio against BenchmarkStreamReplanScratch is the acceptance
+// number for delta replanning (target ≥10× on tail-only changes).
+func BenchmarkStreamReplanTail(b *testing.B) {
+	b.ReportAllocs()
+	lg := benchLog(b)
+	ctx := context.Background()
+	pl := NewPlanner(0)
+	if _, err := pl.Plan(ctx, lg); err != nil {
+		b.Fatal(err)
+	}
+	tail := &lg.Segments[len(lg.Segments)-1]
+	base := tail.Kernels[0].ComputeCycles
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tail.Kernels[0].ComputeCycles = base + 1 + i
+		plan, err := pl.Plan(ctx, lg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if plan.Replanned != 1 || plan.Reused != len(lg.Segments)-1 {
+			b.Fatalf("tail replan ran CDS on %d segments (reused %d), want 1 (%d)",
+				plan.Replanned, plan.Reused, len(lg.Segments)-1)
+		}
+	}
+}

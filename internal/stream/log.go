@@ -1,0 +1,299 @@
+// Package stream is the online scheduler: kernels arrive as a stream of
+// segments instead of a whole application known at t=0, and the planner
+// (1) schedules each segment with the Complete Data Scheduler as it
+// arrives, (2) memoizes each segment's schedule under a content
+// fingerprint so a changed stream tail replans only from the first
+// divergent segment (delta replanning), and (3) executes the stitched
+// visit sequence under internal/sim's streaming model, where context
+// words for the next visit are prefetched on the DMA channel during the
+// current visit's compute window when FB/CM residency permits.
+//
+// The streaming semantics are segment-local: each segment is planned as
+// a self-contained sub-application (data produced by an earlier segment
+// and consumed later travels through external memory — the later
+// segment sees it as an external input), so a segment's schedule is a
+// pure function of (machine, iteration count, segment content). That
+// purity is what makes the fingerprint memo sound, makes incremental
+// output byte-identical to from-scratch planning, and makes a
+// single-segment stream at t=0 exactly the static CDS schedule — the
+// differential oracle internal/diffuzz checks.
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"cds/internal/arch"
+	"cds/internal/scherr"
+	"cds/internal/spec"
+)
+
+// Segment is one burst of the kernel stream: a self-contained
+// sub-application (data + kernels + cluster decomposition, in
+// internal/spec's vocabulary) arriving at cycle At. A segment must
+// declare every datum its kernels reference; a datum produced by an
+// earlier segment is re-declared here and read back from external
+// memory.
+type Segment struct {
+	// Name labels the segment in plans and traces; empty gets "seg<i>".
+	Name string `json:"name,omitempty"`
+	// At is the arrival cycle: no transfer for this segment's visits may
+	// issue earlier. Arrivals must be nondecreasing across the log.
+	At       int           `json:"at"`
+	Data     []spec.Datum  `json:"data,omitempty"`
+	Kernels  []spec.Kernel `json:"kernels"`
+	Clusters []int         `json:"clusters"`
+}
+
+// Log is a full arrival log: the stream header (name, iteration count,
+// machine overrides — fixed up front) plus the ordered segments.
+type Log struct {
+	Name       string     `json:"name"`
+	Iterations int        `json:"iterations"`
+	Arch       *spec.Arch `json:"arch,omitempty"`
+	Segments   []Segment  `json:"segments"`
+}
+
+// invalid builds a field-path validation error matching
+// scherr.ErrInvalidSpec, mirroring internal/spec's style.
+func invalid(path, format string, args ...any) error {
+	return fmt.Errorf("stream: %w: %s: %s", scherr.ErrInvalidSpec, path, fmt.Sprintf(format, args...))
+}
+
+// Params returns the effective machine for the log: M1 with the
+// header's overrides applied, exactly as spec.Build resolves them.
+func (lg *Log) Params() arch.Params {
+	pa := arch.M1()
+	if lg.Arch != nil {
+		if lg.Arch.FBSetBytes > 0 {
+			pa.FBSetBytes = lg.Arch.FBSetBytes
+		}
+		if lg.Arch.CMWords > 0 {
+			pa.CMWords = lg.Arch.CMWords
+		}
+	}
+	return pa
+}
+
+// SegmentName returns segment i's display name.
+func (lg *Log) SegmentName(i int) string {
+	if lg.Segments[i].Name != "" {
+		return lg.Segments[i].Name
+	}
+	return fmt.Sprintf("seg%d", i)
+}
+
+// validateHeader checks the log-level fields and the arrival ordering
+// but not the segments' sub-specs. Plan leans on it for the hot replan
+// path: segment content is validated on the memo-miss path (Build
+// re-validates before scheduling), and a memo hit proves the identical
+// content already built cleanly once — re-validating every unchanged
+// segment on every replan would dominate delta planning.
+func (lg *Log) validateHeader() error {
+	if lg.Iterations < 1 {
+		return invalid("iterations", "must be >= 1, got %d", lg.Iterations)
+	}
+	if len(lg.Segments) == 0 {
+		return invalid("segments", "must hold at least one segment")
+	}
+	prevAt := 0
+	for i := range lg.Segments {
+		seg := &lg.Segments[i]
+		if seg.At < 0 {
+			return invalid(fmt.Sprintf("segments[%d].at", i), "must not be negative, got %d", seg.At)
+		}
+		if seg.At < prevAt {
+			return invalid(fmt.Sprintf("segments[%d].at", i), "arrivals must be nondecreasing: %d after %d", seg.At, prevAt)
+		}
+		prevAt = seg.At
+	}
+	return nil
+}
+
+// Validate checks the log's header and arrival ordering, and each
+// segment's sub-spec field-by-field. All rejections match
+// scherr.ErrInvalidSpec.
+func (lg *Log) Validate() error {
+	if err := lg.validateHeader(); err != nil {
+		return err
+	}
+	for i := range lg.Segments {
+		if err := lg.segmentSpec(i).Validate(); err != nil {
+			return fmt.Errorf("stream: segments[%d]: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// segmentSpec materializes segment i as a self-contained spec document.
+func (lg *Log) segmentSpec(i int) *spec.Spec {
+	seg := &lg.Segments[i]
+	return &spec.Spec{
+		Name:       lg.SegmentName(i),
+		Iterations: lg.Iterations,
+		Arch:       lg.Arch,
+		Data:       seg.Data,
+		Kernels:    seg.Kernels,
+		Clusters:   seg.Clusters,
+	}
+}
+
+// ParseLog decodes and validates a JSON arrival log. Malformed JSON and
+// validation failures both match scherr.ErrInvalidSpec.
+func ParseLog(raw []byte) (*Log, error) {
+	var lg Log
+	if err := json.Unmarshal(raw, &lg); err != nil {
+		return nil, fmt.Errorf("stream: %w: %w", scherr.ErrInvalidSpec, err)
+	}
+	if err := lg.Validate(); err != nil {
+		return nil, err
+	}
+	return &lg, nil
+}
+
+// Marshal renders the log as indented JSON.
+func (lg *Log) Marshal() ([]byte, error) {
+	return json.MarshalIndent(lg, "", "  ")
+}
+
+// FromSpec wraps a whole application spec as a single-segment log
+// arriving at cycle at — the fully-known-in-advance stream. Planning it
+// reproduces the static CDS schedule exactly.
+func FromSpec(sp *spec.Spec, at int) *Log {
+	return &Log{
+		Name:       sp.Name,
+		Iterations: sp.Iterations,
+		Arch:       sp.Arch,
+		Segments: []Segment{{
+			Name:     sp.Name,
+			At:       at,
+			Data:     sp.Data,
+			Kernels:  sp.Kernels,
+			Clusters: sp.Clusters,
+		}},
+	}
+}
+
+// Split slices a whole application spec into an arrival log: sizes[i]
+// consecutive clusters become segment i, arriving at ats[i]. Each
+// segment declares every datum its kernels reference (copying the
+// declaration from the spec), so cross-segment dataflow becomes
+// external traffic, matching the streaming semantics. A datum produced
+// in one segment and consumed in a later one is marked Final in its
+// declaration — the producing segment must write it back to external
+// memory for the consumer to load — so the streamed app's storage
+// semantics stay consistent (Merged reflects the same marking).
+func Split(sp *spec.Spec, sizes []int, ats []int) (*Log, error) {
+	if len(sizes) == 0 {
+		return nil, invalid("sizes", "must name at least one segment")
+	}
+	if len(ats) != len(sizes) {
+		return nil, invalid("ats", "got %d arrival times for %d segments", len(ats), len(sizes))
+	}
+	total := 0
+	for _, n := range sizes {
+		if n < 1 {
+			return nil, invalid("sizes", "segment sizes must be >= 1, got %d", n)
+		}
+		total += n
+	}
+	if total != len(sp.Clusters) {
+		return nil, invalid("sizes", "sizes cover %d of %d clusters", total, len(sp.Clusters))
+	}
+	decl := make(map[string]spec.Datum, len(sp.Data))
+	for _, d := range sp.Data {
+		decl[d.Name] = d
+	}
+	// Kernel -> segment map, then mark data crossing a segment boundary
+	// (produced in one segment, consumed in a later one) Final.
+	segOfKernel := make([]int, len(sp.Kernels))
+	{
+		ci, ki := 0, 0
+		for si, n := range sizes {
+			for c := 0; c < n; c++ {
+				for k := 0; k < sp.Clusters[ci]; k++ {
+					segOfKernel[ki] = si
+					ki++
+				}
+				ci++
+			}
+		}
+	}
+	prodSeg := map[string]int{}
+	lastConsSeg := map[string]int{}
+	for ki, k := range sp.Kernels {
+		for _, out := range k.Outputs {
+			prodSeg[out] = segOfKernel[ki]
+		}
+		for _, in := range k.Inputs {
+			if segOfKernel[ki] > lastConsSeg[in] {
+				lastConsSeg[in] = segOfKernel[ki]
+			}
+		}
+	}
+	for name, ps := range prodSeg {
+		if lastConsSeg[name] > ps {
+			d := decl[name]
+			d.Final = true
+			decl[name] = d
+		}
+	}
+	lg := &Log{Name: sp.Name, Iterations: sp.Iterations, Arch: sp.Arch}
+	ci, ki := 0, 0
+	for si, n := range sizes {
+		seg := Segment{Name: fmt.Sprintf("%s/seg%d", sp.Name, si), At: ats[si]}
+		seen := map[string]bool{}
+		for c := 0; c < n; c++ {
+			kn := sp.Clusters[ci]
+			seg.Clusters = append(seg.Clusters, kn)
+			for k := 0; k < kn; k++ {
+				kernel := sp.Kernels[ki]
+				seg.Kernels = append(seg.Kernels, kernel)
+				for _, name := range append(append([]string{}, kernel.Inputs...), kernel.Outputs...) {
+					if seen[name] {
+						continue
+					}
+					seen[name] = true
+					d, ok := decl[name]
+					if !ok {
+						return nil, invalid("spec", "kernel %q references undeclared datum %q", kernel.Name, name)
+					}
+					seg.Data = append(seg.Data, d)
+				}
+				ki++
+			}
+			ci++
+		}
+		lg.Segments = append(lg.Segments, seg)
+	}
+	if err := lg.Validate(); err != nil {
+		return nil, err
+	}
+	return lg, nil
+}
+
+// Merged folds the log back into one whole-application spec — the
+// offline view a static scheduler gets when every arrival is known at
+// t=0. Duplicate datum declarations across segments must agree; kernel
+// names must be globally unique (spec validation enforces that).
+func (lg *Log) Merged() (*spec.Spec, error) {
+	sp := &spec.Spec{Name: lg.Name, Iterations: lg.Iterations, Arch: lg.Arch}
+	declared := map[string]spec.Datum{}
+	for i := range lg.Segments {
+		seg := &lg.Segments[i]
+		for _, d := range seg.Data {
+			if prev, ok := declared[d.Name]; ok {
+				if prev != d {
+					return nil, invalid(fmt.Sprintf("segments[%d].data", i),
+						"datum %q re-declared with different fields", d.Name)
+				}
+				continue
+			}
+			declared[d.Name] = d
+			sp.Data = append(sp.Data, d)
+		}
+		sp.Kernels = append(sp.Kernels, seg.Kernels...)
+		sp.Clusters = append(sp.Clusters, seg.Clusters...)
+	}
+	return sp, nil
+}

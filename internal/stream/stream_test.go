@@ -1,0 +1,327 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"cds/internal/core"
+	"cds/internal/scherr"
+	"cds/internal/spec"
+	"cds/internal/verify"
+	"cds/internal/workloads"
+)
+
+// testSpec is a small two-pipeline application: four single-kernel
+// clusters where k0→k1 and k2→k3 chain through intermediates. Split at
+// every cluster boundary, "mid" and "mid2" cross segments.
+func testSpec() *spec.Spec {
+	return &spec.Spec{
+		Name:       "t",
+		Iterations: 2,
+		Data: []spec.Datum{
+			{Name: "in", Size: 256},
+			{Name: "mid", Size: 128},
+			{Name: "out", Size: 64, Final: true},
+			{Name: "in2", Size: 256},
+			{Name: "mid2", Size: 128},
+			{Name: "out2", Size: 64, Final: true},
+		},
+		Kernels: []spec.Kernel{
+			{Name: "k0", ContextWords: 24, ComputeCycles: 400, Inputs: []string{"in"}, Outputs: []string{"mid"}},
+			{Name: "k1", ContextWords: 16, ComputeCycles: 300, Inputs: []string{"mid"}, Outputs: []string{"out"}},
+			{Name: "k2", ContextWords: 24, ComputeCycles: 400, Inputs: []string{"in2"}, Outputs: []string{"mid2"}},
+			{Name: "k3", ContextWords: 16, ComputeCycles: 300, Inputs: []string{"mid2"}, Outputs: []string{"out2"}},
+		},
+		Clusters: []int{1, 1, 1, 1},
+	}
+}
+
+func mustPlan(t *testing.T, pl *Planner, lg *Log) *Plan {
+	t.Helper()
+	p, err := pl.Plan(context.Background(), lg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// A single-segment stream at t=0 is the offline problem: the planner
+// must reproduce the static CDS schedule visit-for-visit.
+func TestPlanSingleSegmentMatchesStatic(t *testing.T) {
+	sp := testSpec()
+	plan := mustPlan(t, NewPlanner(0), FromSpec(sp, 0))
+
+	part, pa, err := sp.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := (core.CompleteDataScheduler{Eval: simEval}).Schedule(pa, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Schedule.Visits) != len(static.Visits) {
+		t.Fatalf("stream plan has %d visits, static CDS %d", len(plan.Schedule.Visits), len(static.Visits))
+	}
+	for i, v := range static.Visits {
+		if got := plan.Schedule.Visits[i]; got.Cluster != v.Cluster || got.Set != v.Set ||
+			got.CtxWords != v.CtxWords || got.ComputeCycles != v.ComputeCycles {
+			t.Errorf("visit %d differs: stream %+v static %+v", i, got, v)
+		}
+	}
+	if plan.Segments[0].RF != static.RF {
+		t.Errorf("RF = %d, static CDS chose %d", plan.Segments[0].RF, static.RF)
+	}
+}
+
+// Split marks cross-segment intermediates Final (the producing segment
+// must write them back for the consumer to load) and Merged folds the
+// log back into a consistent whole-application view.
+func TestSplitMarksCrossSegmentDataFinal(t *testing.T) {
+	lg, err := Split(testSpec(), []int{1, 1, 1, 1}, []int{0, 10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range lg.Segments[0].Data {
+		if d.Name == "mid" {
+			found = true
+			if !d.Final {
+				t.Error("datum \"mid\" crosses segments 0->1 but is not marked Final")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("segment 0 does not declare datum \"mid\"")
+	}
+	m, err := lg.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Kernels) != 4 || len(m.Clusters) != 4 {
+		t.Fatalf("merged spec has %d kernels/%d clusters, want 4/4", len(m.Kernels), len(m.Clusters))
+	}
+	// Splitting the merged view again must be stable: the Final marks
+	// already agree, so round two changes nothing.
+	lg2, err := Split(m, []int{1, 1, 1, 1}, []int{0, 10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := lg.Marshal()
+	b2, _ := lg2.Marshal()
+	if !bytes.Equal(b1, b2) {
+		t.Error("Split(Merged(log)) differs from Split(spec)")
+	}
+}
+
+// The golden delta test: replanning a stream whose tail changed, with a
+// warm memo, must produce byte-identical output to a from-scratch
+// planner on the same log.
+func TestPlanDeltaByteIdenticalToScratch(t *testing.T) {
+	lg, err := Split(testSpec(), []int{2, 2}, []int{0, 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := NewPlanner(0)
+	first := mustPlan(t, pl, lg)
+	if first.Reused != 0 || first.Replanned != 2 {
+		t.Fatalf("cold plan reused/replanned = %d/%d, want 0/2", first.Reused, first.Replanned)
+	}
+
+	// Mutate the tail: the last segment's final kernel gets a different
+	// compute cost.
+	raw, err := lg.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut, err := ParseLog(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := &mut.Segments[len(mut.Segments)-1]
+	last.Kernels[len(last.Kernels)-1].ComputeCycles += 111
+
+	warm := mustPlan(t, pl, mut)
+	if warm.Reused != 1 || warm.Replanned != 1 {
+		t.Errorf("delta plan reused/replanned = %d/%d, want 1/1", warm.Reused, warm.Replanned)
+	}
+	scratch := mustPlan(t, NewPlanner(0), mut)
+	if scratch.Reused != 0 {
+		t.Errorf("fresh planner reused %d segments", scratch.Reused)
+	}
+
+	wb, err := warm.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := scratch.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wb, sb) {
+		t.Errorf("delta-replanned plan differs from from-scratch plan:\nwarm:    %s\nscratch: %s", wb, sb)
+	}
+
+	// Replanning the unmutated log again is a pure memo walk.
+	again := mustPlan(t, pl, lg)
+	if again.Replanned != 0 || again.Reused != 2 {
+		t.Errorf("warm replan of unchanged log reused/replanned = %d/%d, want 2/0", again.Reused, again.Replanned)
+	}
+}
+
+// The fingerprint covers content, not arrival time: moving a burst in
+// time reuses its schedule; touching its content does not.
+func TestSegmentKeyContentOnly(t *testing.T) {
+	lg, err := Split(testSpec(), []int{2, 2}, []int{0, 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := lg.Params()
+	a := segmentKey(pa, lg.Iterations, &lg.Segments[1])
+
+	shifted := lg.Segments[1]
+	shifted.At += 10_000
+	if b := segmentKey(pa, lg.Iterations, &shifted); a != b {
+		t.Error("arrival-time shift changed the segment fingerprint")
+	}
+	mutated := lg.Segments[1]
+	mutated.Kernels = append([]spec.Kernel{}, mutated.Kernels...)
+	mutated.Kernels[0].ContextWords++
+	if b := segmentKey(pa, lg.Iterations, &mutated); a == b {
+		t.Error("kernel change did not move the segment fingerprint")
+	}
+	if b := segmentKey(pa, lg.Iterations+1, &lg.Segments[1]); a == b {
+		t.Error("iteration change did not move the segment fingerprint")
+	}
+	pb := pa
+	pb.CMWords *= 2
+	if b := segmentKey(pb, lg.Iterations, &lg.Segments[1]); a == b {
+		t.Error("machine change did not move the segment fingerprint")
+	}
+}
+
+// The memo is bounded: with room for one segment, a two-segment working
+// set thrashes rather than grows.
+func TestPlannerMemoBounded(t *testing.T) {
+	lg, err := Split(testSpec(), []int{2, 2}, []int{0, 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := NewPlanner(1)
+	mustPlan(t, pl, lg)
+	if n := pl.MemoLen(); n != 1 {
+		t.Errorf("memo holds %d segments, bound is 1", n)
+	}
+	// Both segments replan every time — neither survives the other's
+	// eviction.
+	p := mustPlan(t, pl, lg)
+	if p.Reused != 0 || p.Replanned != 2 {
+		t.Errorf("thrashing memo reused/replanned = %d/%d, want 0/2", p.Reused, p.Replanned)
+	}
+}
+
+// A planned stream must satisfy the prefetch invariant family, with and
+// without prefetch, and the prefetch makespan must not exceed the
+// serialized baseline.
+func TestPlanStreamsVerify(t *testing.T) {
+	lg, err := Split(testSpec(), []int{1, 1, 1, 1}, []int{0, 50, 600, 700})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := mustPlan(t, NewPlanner(0), lg)
+	for _, prefetch := range []bool{false, true} {
+		if err := verify.Stream(plan.Schedule, plan.Opts(prefetch)); err != nil {
+			t.Errorf("prefetch=%v: %v", prefetch, err)
+		}
+	}
+	serial, err := plan.Run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := plan.Run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.TotalCycles > serial.TotalCycles {
+		t.Errorf("prefetch makespan %d exceeds serialized %d", pre.TotalCycles, serial.TotalCycles)
+	}
+}
+
+// Generated arrival scenarios plan deterministically and stream-verify;
+// infeasible scenarios must fail identically across planners.
+func TestPlanGeneratedArrivals(t *testing.T) {
+	planned := 0
+	for i := 0; i < 12; i++ {
+		a := workloads.GenArrivals(7, i)
+		lg, err := Split(a.Spec, a.SegClusters, a.ArriveAt)
+		if err != nil {
+			t.Fatalf("%s: split: %v", a.Name, err)
+		}
+		p1, err1 := NewPlanner(0).Plan(context.Background(), lg)
+		p2, err2 := NewPlanner(0).Plan(context.Background(), lg)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s: planners disagree: %v vs %v", a.Name, err1, err2)
+		}
+		if err1 != nil {
+			continue // infeasible on its machine — legal for generated scenarios
+		}
+		planned++
+		b1, _ := p1.MarshalCanonical()
+		b2, _ := p2.MarshalCanonical()
+		if !bytes.Equal(b1, b2) {
+			t.Errorf("%s: non-deterministic plan", a.Name)
+		}
+		for _, prefetch := range []bool{false, true} {
+			if err := verify.Stream(p1.Schedule, p1.Opts(prefetch)); err != nil {
+				t.Errorf("%s prefetch=%v: %v", a.Name, prefetch, err)
+			}
+		}
+	}
+	if planned == 0 {
+		t.Error("no generated scenario planned successfully; corpus too hostile")
+	}
+}
+
+func TestParseLogRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  string
+	}{
+		{"malformed", `{"name":`},
+		{"no segments", `{"name":"x","iterations":1,"segments":[]}`},
+		{"bad iterations", `{"name":"x","iterations":0,"segments":[{"at":0,"kernels":[],"clusters":[]}]}`},
+		{"negative at", `{"name":"x","iterations":1,"segments":[{"at":-1,"kernels":[],"clusters":[]}]}`},
+	}
+	for _, c := range cases {
+		if _, err := ParseLog([]byte(c.raw)); !errors.Is(err, scherr.ErrInvalidSpec) {
+			t.Errorf("%s: err = %v, want ErrInvalidSpec", c.name, err)
+		}
+	}
+
+	lg, err := Split(testSpec(), []int{2, 2}, []int{0, 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Segments[1].At = 0
+	lg.Segments[0].At = 500
+	if err := lg.Validate(); !errors.Is(err, scherr.ErrInvalidSpec) {
+		t.Errorf("decreasing arrivals: err = %v, want ErrInvalidSpec", err)
+	}
+}
+
+func TestSplitRejections(t *testing.T) {
+	sp := testSpec()
+	if _, err := Split(sp, nil, nil); !errors.Is(err, scherr.ErrInvalidSpec) {
+		t.Error("empty sizes accepted")
+	}
+	if _, err := Split(sp, []int{4}, []int{0, 1}); !errors.Is(err, scherr.ErrInvalidSpec) {
+		t.Error("mismatched ats accepted")
+	}
+	if _, err := Split(sp, []int{3}, []int{0}); !errors.Is(err, scherr.ErrInvalidSpec) {
+		t.Error("partial cluster cover accepted")
+	}
+	if _, err := Split(sp, []int{0, 4}, []int{0, 1}); !errors.Is(err, scherr.ErrInvalidSpec) {
+		t.Error("zero-size segment accepted")
+	}
+}

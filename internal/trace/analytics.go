@@ -102,7 +102,7 @@ func Analyze(tl *Timeline) Analytics {
 			a.RCBusy += s.Dur()
 			cs.ComputeCycles += s.Dur()
 			cs.Visits++
-		case KindContext:
+		case KindContext, KindPrefetch:
 			a.DMABusy += s.Dur()
 			a.CtxCycles += s.Dur()
 			a.CMLoads++
@@ -205,7 +205,7 @@ func decompose(tl *Timeline) (overlap int, path CriticalPath) {
 			}
 		case dmaBusy:
 			switch dmaKind {
-			case KindContext:
+			case KindContext, KindPrefetch:
 				path.ExposedCtx += seg
 			case KindLoad:
 				path.ExposedLoad += seg

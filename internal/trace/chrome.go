@@ -99,6 +99,8 @@ func chromeName(s Span) string {
 		return fmt.Sprintf("cluster %d (block %d)", s.Cluster, s.Block)
 	case KindContext:
 		return fmt.Sprintf("ctx c%d b%d", s.Cluster, s.Block)
+	case KindPrefetch:
+		return fmt.Sprintf("prefetch ctx c%d b%d", s.Cluster, s.Block)
 	case KindLoad:
 		return fmt.Sprintf("load %s c%d b%d", s.Name, s.Cluster, s.Block)
 	case KindStore:

@@ -43,6 +43,8 @@ func svgFill(k Kind) string {
 		return "#5b9a68"
 	case KindStore:
 		return "#a85a5a"
+	case KindPrefetch:
+		return "#7a5fa8"
 	}
 	return "#888888"
 }
@@ -79,7 +81,7 @@ func WriteSVG(w io.Writer, tls ...*Timeline) error {
 
 	// Legend.
 	lx := svgMarginL
-	for _, k := range []Kind{KindCompute, KindContext, KindLoad, KindStore} {
+	for _, k := range []Kind{KindCompute, KindContext, KindPrefetch, KindLoad, KindStore} {
 		fmt.Fprintf(&b, `<rect x="%d" y="6" width="12" height="12" fill="%s"/>`+"\n", lx, svgFill(k))
 		fmt.Fprintf(&b, `<text x="%d" y="16" font-size="%d" fill="#333">%s</text>`+"\n", lx+16, svgLabelSize, k)
 		lx += 18 + 8*len(k.String()) + 18

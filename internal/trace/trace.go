@@ -67,6 +67,11 @@ const (
 	KindStore
 	// KindCompute is a cluster visit executing on the RC array.
 	KindCompute
+	// KindPrefetch is a context load the streaming executor hoisted into
+	// the previous visit's compute window (sim.RunStream with prefetch
+	// enabled): the same CM traffic as KindContext, distinguished so
+	// timelines and the verifier can see which bursts were hidden.
+	KindPrefetch
 
 	numKinds
 )
@@ -81,6 +86,8 @@ func (k Kind) String() string {
 		return "store"
 	case KindCompute:
 		return "compute"
+	case KindPrefetch:
+		return "prefetch"
 	}
 	return fmt.Sprintf("kind(%d)", int8(k))
 }

@@ -1,0 +1,170 @@
+package workloads
+
+// The bursty-arrival generator: seeded, random-access streams of
+// arrival scenarios for the online scheduler (internal/stream). Where
+// GenSpec emits whole applications known at t=0, GenArrivals emits the
+// same structure space as a stream: the scenario switches through a few
+// phases (each phase drawn from one corpus structure class), each phase
+// contributes a burst of segments whose arrival gaps follow a
+// phase-specific Poisson process (exponential inter-arrival times,
+// small inside a burst, large across phase switches), and later phases
+// sometimes consume data produced by earlier ones — cross-segment
+// dataflow that travels through external memory under the streaming
+// semantics.
+//
+// The result is the merged offline application plus the burst
+// structure; stream.Split(a.Spec, a.SegClusters, a.ArriveAt) turns it
+// into the arrival log. (The indirection keeps this package free of an
+// internal/stream — and therefore internal/sim — dependency, which the
+// simulator's own workload-driven tests would turn into a cycle.)
+//
+// Like GenSpec, the stream is pure in (seed, index): scenario i of seed
+// s depends on nothing else, so diffuzz workers generate points
+// independently and a replan benchmark regenerates exactly the log it
+// measured.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cds/internal/arch"
+	"cds/internal/spec"
+)
+
+// ArrivalStream is one generated arrival scenario.
+type ArrivalStream struct {
+	// Name is the scenario's canonical corpus name (see ArrivalName).
+	Name string
+	// Spec is the merged offline application every segment folds into.
+	Spec *spec.Spec
+	// SegClusters[i] consecutive clusters of Spec form segment i,
+	// arriving at cycle ArriveAt[i] (nondecreasing).
+	SegClusters []int
+	ArriveAt    []int
+}
+
+// ArrivalName is the canonical name of arrival scenario i of a seed's
+// stream; diffuzz journals and benchmarks key on it.
+func ArrivalName(seed int64, index int) string {
+	return fmt.Sprintf("arrivals/s%d/%06d", seed, index)
+}
+
+// GenArrivals generates arrival scenario i of the seed's stream. The
+// result always splits into a valid arrival log; whether every segment
+// is schedulable on its machine is deliberately open, like GenSpec.
+func GenArrivals(seed int64, index int) *ArrivalStream {
+	sub := splitmix64(uint64(seed)*0x9e3779b97f4a7c15 + uint64(index)*0xda942042e4dd58b5 + 0x1f83d9abfb41bd6b)
+	rng := rand.New(rand.NewSource(int64(sub)))
+
+	name := ArrivalName(seed, index)
+	iterations := 1 + rng.Intn(16)
+	fbLadder := []int{1 * arch.KiB, 2 * arch.KiB, 4 * arch.KiB, 8 * arch.KiB}
+	cmLadder := []int{256, 512, 1024}
+	fb := fbLadder[rng.Intn(len(fbLadder))]
+	cm := cmLadder[rng.Intn(len(cmLadder))]
+
+	classes := Classes()
+	start := rng.Intn(len(classes))
+	phases := 2 + rng.Intn(3) // 2..4 phase switches
+
+	a := &ArrivalStream{
+		Name: name,
+		Spec: &spec.Spec{
+			Name:       name,
+			Iterations: iterations,
+			Arch:       &spec.Arch{FBSetBytes: fb, CMWords: cm},
+		},
+	}
+	var produced []string // outputs of earlier phases, cross-link candidates
+	at := 0
+
+	for p := 0; p < phases; p++ {
+		cls := classes[(start+p)%len(classes)]
+		g := &genState{rng: rng, fb: fb, cm: cm, sp: &spec.Spec{
+			Name:       fmt.Sprintf("%s/p%d", name, p),
+			Iterations: iterations,
+		}}
+		g.genClass(cls)
+		g.sp.PruneOrphanData()
+		prefixSpec(g.sp, fmt.Sprintf("p%d.", p))
+
+		// Cross-phase dataflow: a kernel of this phase sometimes reads a
+		// result an earlier phase produced. The producing segment must
+		// write it back (stream.Split marks it Final), and this phase
+		// loads it from external memory — the streaming cost of
+		// splitting an app.
+		if len(produced) > 0 && rng.Float64() < 0.7 {
+			d := produced[rng.Intn(len(produced))]
+			k := &g.sp.Kernels[rng.Intn(len(g.sp.Kernels))]
+			if !contains(k.Inputs, d) && !contains(k.Outputs, d) {
+				k.Inputs = append(k.Inputs, d)
+			}
+		}
+		for _, k := range g.sp.Kernels {
+			produced = append(produced, k.Outputs...)
+		}
+		a.Spec.Data = append(a.Spec.Data, g.sp.Data...)
+		a.Spec.Kernels = append(a.Spec.Kernels, g.sp.Kernels...)
+		a.Spec.Clusters = append(a.Spec.Clusters, g.sp.Clusters...)
+
+		// The phase's clusters arrive as a burst of segments: 1..3
+		// clusters per segment, exponential gaps with a phase-specific
+		// rate (Poisson arrivals within the burst), and a larger
+		// mode-change gap at the phase switch.
+		if p > 0 {
+			at += 200 + int(rng.ExpFloat64()*400)
+		}
+		meanGap := float64(10 + rng.Intn(80))
+		remaining := len(g.sp.Clusters)
+		for remaining > 0 {
+			n := 1 + rng.Intn(3)
+			if n > remaining {
+				n = remaining
+			}
+			a.SegClusters = append(a.SegClusters, n)
+			a.ArriveAt = append(a.ArriveAt, at)
+			at += 1 + int(rng.ExpFloat64()*meanGap)
+			remaining -= n
+		}
+	}
+	return a
+}
+
+// prefixSpec renames every datum, kernel and context group of the spec
+// with a phase prefix, keeping names unique when phases merge into one
+// application. Name lists are rewritten into fresh slices: the corpus
+// generator may alias one kernel's Outputs as another's Inputs, and
+// in-place renames would hit the shared elements twice.
+func prefixSpec(sp *spec.Spec, prefix string) {
+	prefixed := func(names []string) []string {
+		if names == nil {
+			return nil
+		}
+		out := make([]string, len(names))
+		for i, n := range names {
+			out[i] = prefix + n
+		}
+		return out
+	}
+	for i := range sp.Data {
+		sp.Data[i].Name = prefix + sp.Data[i].Name
+	}
+	for i := range sp.Kernels {
+		k := &sp.Kernels[i]
+		k.Name = prefix + k.Name
+		if k.ContextGroup != "" {
+			k.ContextGroup = prefix + k.ContextGroup
+		}
+		k.Inputs = prefixed(k.Inputs)
+		k.Outputs = prefixed(k.Outputs)
+	}
+}
+
+func contains(names []string, name string) bool {
+	for _, n := range names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}

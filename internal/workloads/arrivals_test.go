@@ -1,0 +1,64 @@
+package workloads
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The arrival stream is pure in (seed, index): regeneration is exact,
+// order of generation is irrelevant, and neighbours differ.
+func TestGenArrivalsDeterministic(t *testing.T) {
+	a := GenArrivals(42, 3)
+	b := GenArrivals(42, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("regenerating the same scenario differs")
+	}
+	// Random access: generating other indices first must not disturb it.
+	GenArrivals(42, 9)
+	GenArrivals(42, 0)
+	if c := GenArrivals(42, 3); !reflect.DeepEqual(a, c) {
+		t.Error("scenario depends on generation order")
+	}
+	if d := GenArrivals(42, 4); reflect.DeepEqual(a.Spec, d.Spec) {
+		t.Error("adjacent indices generated identical scenarios")
+	}
+	if e := GenArrivals(43, 3); reflect.DeepEqual(a.Spec, e.Spec) {
+		t.Error("different seeds generated identical scenarios")
+	}
+}
+
+func TestGenArrivalsShape(t *testing.T) {
+	for i := 0; i < 24; i++ {
+		a := GenArrivals(1, i)
+		if a.Name != ArrivalName(1, i) {
+			t.Fatalf("scenario %d named %q, want %q", i, a.Name, ArrivalName(1, i))
+		}
+		if len(a.SegClusters) != len(a.ArriveAt) {
+			t.Fatalf("%s: %d segments but %d arrival times", a.Name, len(a.SegClusters), len(a.ArriveAt))
+		}
+		if len(a.SegClusters) < 2 {
+			t.Errorf("%s: only %d segments; bursts should split phases", a.Name, len(a.SegClusters))
+		}
+		total := 0
+		for _, n := range a.SegClusters {
+			if n < 1 {
+				t.Fatalf("%s: empty segment", a.Name)
+			}
+			total += n
+		}
+		if total != len(a.Spec.Clusters) {
+			t.Errorf("%s: segments cover %d of %d clusters", a.Name, total, len(a.Spec.Clusters))
+		}
+		prev := 0
+		for _, at := range a.ArriveAt {
+			if at < prev {
+				t.Fatalf("%s: arrivals not nondecreasing (%d after %d)", a.Name, at, prev)
+			}
+			prev = at
+		}
+		// The merged spec itself must be well-formed.
+		if _, _, err := a.Spec.Build(); err != nil {
+			t.Errorf("%s: merged spec does not build: %v", a.Name, err)
+		}
+	}
+}

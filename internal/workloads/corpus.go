@@ -87,6 +87,18 @@ func GenSpec(seed int64, index int) *spec.Spec {
 	g.cm = cmLadder[rng.Intn(len(cmLadder))]
 	g.sp.Arch = &spec.Arch{FBSetBytes: g.fb, CMWords: g.cm}
 
+	g.genClass(cls)
+	// Classes that draw shared pools (tables, reuse candidates) can
+	// leave a declared datum unused; an unreferenced datum fails spec
+	// validation, so drop them.
+	g.sp.PruneOrphanData()
+	return g.sp
+}
+
+// genClass dispatches to one structure class's generator. GenSpec and
+// the bursty-arrival generator (GenArrivals) share it, so the arrival
+// stream's phases draw from the same structure space as the spec corpus.
+func (g *genState) genClass(cls Class) {
 	switch cls {
 	case ClassChain:
 		g.genChain()
@@ -101,11 +113,6 @@ func GenSpec(seed int64, index int) *spec.Spec {
 	case ClassModeSwitch:
 		g.genModeSwitch()
 	}
-	// Classes that draw shared pools (tables, reuse candidates) can
-	// leave a declared datum unused; an unreferenced datum fails spec
-	// validation, so drop them.
-	g.sp.PruneOrphanData()
-	return g.sp
 }
 
 // genState accumulates one spec under construction.
