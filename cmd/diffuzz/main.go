@@ -21,11 +21,17 @@
 // execution must pass the prefetch invariant family, and context
 // prefetch must never lose to the serialized online baseline.
 //
+// With -tenants N, the run additionally checks N K-tenant mixes against
+// the multi-tenant oracles: every admitted mix must pass the fairness
+// invariant family (quotas, boundary-only preemption, strict priority,
+// bounded lag, execution dominance) and every tenant's schedule must be
+// byte-identical to its solo CDS run under the same quota.
+//
 // Usage:
 //
-//	diffuzz -seed 1 -n 2000 [-arrivals N] [-workers N] [-journal FILE]
-//	        [-out DIR] [-csv] [-timeout 10m] [-minimize-budget 500]
-//	        [-no-minimize]
+//	diffuzz -seed 1 -n 2000 [-arrivals N] [-tenants N] [-workers N]
+//	        [-journal FILE] [-out DIR] [-csv] [-timeout 10m]
+//	        [-minimize-budget 500] [-no-minimize]
 package main
 
 import (
@@ -45,6 +51,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "corpus stream seed")
 	n := flag.Int("n", 1000, "number of corpus points to check")
 	arrivals := flag.Int("arrivals", 0, "number of bursty-arrival scenarios to check against the streaming oracles")
+	tenants := flag.Int("tenants", 0, "number of multi-tenant mixes to check against the fairness oracles")
 	workers := flag.Int("workers", 0, "worker pool size (0 = one per CPU)")
 	journal := flag.String("journal", "", "crash-safe checkpoint file (resume by re-running)")
 	outDir := flag.String("out", "", "directory for minimized counterexample specs (JSON)")
@@ -54,13 +61,13 @@ func main() {
 	noMinimize := flag.Bool("no-minimize", false, "report counterexamples without minimizing them")
 	flag.Parse()
 
-	if err := run(*seed, *n, *arrivals, *workers, *journal, *outDir, *csvOut, *timeout, *minBudget, *noMinimize); err != nil {
+	if err := run(*seed, *n, *arrivals, *tenants, *workers, *journal, *outDir, *csvOut, *timeout, *minBudget, *noMinimize); err != nil {
 		fmt.Fprintf(os.Stderr, "diffuzz: %v\n", err)
 		os.Exit(2)
 	}
 }
 
-func run(seed int64, n, arrivals, workers int, journalPath, outDir string, csvOut bool, timeout time.Duration, minBudget int, noMinimize bool) error {
+func run(seed int64, n, arrivals, tenants, workers int, journalPath, outDir string, csvOut bool, timeout time.Duration, minBudget int, noMinimize bool) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if timeout > 0 {
@@ -108,9 +115,28 @@ func run(seed int64, n, arrivals, workers int, journalPath, outDir string, csvOu
 		}
 	}
 
+	// The multi-tenant oracles likewise sweep their own corpus; a mix
+	// that breaks fairness or solo equivalence fails the run.
+	var tenResults []diffuzz.Result
+	tenCex := 0
+	if tenants > 0 {
+		tenResults, err = diffuzz.RunTenantMixes(ctx, diffuzz.Config{Seed: seed, N: tenants, Workers: workers}, nil)
+		if err != nil && ctx.Err() == nil {
+			return err
+		}
+		for _, r := range tenResults {
+			if r.Counterexample() {
+				tenCex++
+				fmt.Fprintf(os.Stderr, "diffuzz: tenant counterexample %s: %s: %s\n", r.Name, r.Verdict, r.Detail)
+			}
+		}
+	}
+
 	summary := diffuzz.Summarize(seed, results)
 	if csvOut {
-		if err := diffuzz.WriteCSV(os.Stdout, append(append([]diffuzz.Result{}, results...), arrResults...)); err != nil {
+		all := append(append([]diffuzz.Result{}, results...), arrResults...)
+		all = append(all, tenResults...)
+		if err := diffuzz.WriteCSV(os.Stdout, all); err != nil {
 			return err
 		}
 	} else {
@@ -127,6 +153,19 @@ func run(seed int64, n, arrivals, workers int, journalPath, outDir string, csvOu
 			}
 			fmt.Fprintf(os.Stdout, "arrivals: %d scenarios, %d ok, %d infeasible, %d counterexamples\n",
 				len(arrResults), okN, inf, arrCex)
+		}
+		if tenants > 0 {
+			okN, inf := 0, 0
+			for _, r := range tenResults {
+				switch r.Verdict {
+				case diffuzz.VerdictOK:
+					okN++
+				case diffuzz.VerdictInfeasible:
+					inf++
+				}
+			}
+			fmt.Fprintf(os.Stdout, "tenants: %d mixes, %d ok, %d infeasible, %d counterexamples\n",
+				len(tenResults), okN, inf, tenCex)
 		}
 	}
 
@@ -146,7 +185,7 @@ func run(seed int64, n, arrivals, workers int, journalPath, outDir string, csvOu
 	if ctx.Err() != nil {
 		return context.Cause(ctx)
 	}
-	if total := summary.Total.Counterexamples + arrCex; total > 0 {
+	if total := summary.Total.Counterexamples + arrCex + tenCex; total > 0 {
 		fmt.Fprintf(os.Stderr, "diffuzz: %d counterexample(s) found\n", total)
 		os.Exit(1)
 	}

@@ -17,6 +17,8 @@
 //	                  requests (bound with -stream-memo), both streamed executions
 //	                  (serialized and prefetching) are verified before answering
 //	GET  /debug/traces  bounded ring of recently traced comparisons (?full=1 adds Chrome payloads)
+//	GET  /metrics     plain-text counters: admission, result-cache hit/miss/evict
+//	                  (rescache), and per-tenant queue depths in tenant mode
 //	GET  /healthz     process liveness
 //	GET  /readyz      load-balancer readiness: 503 while draining OR while the
 //	                  admission queue is saturated, with queue depth/capacity
@@ -26,6 +28,7 @@
 //
 //	schedd [-addr :8080] [-debug-addr localhost:6060] [-workers 2] [-queue 8] [-request-timeout 30s]
 //	       [-drain-timeout 10s] [-journal-dir DIR] [-stream-memo 256]
+//	       [-tenants "video:weight=3,budget=4;radar:weight=1"]
 //	       [-retry-attempts 4] [-retry-base 10ms] [-retry-seed 1]
 //	       [-breaker-threshold 5] [-breaker-cooldown 5s]
 //	       [-fault-seed N -fault-stall-pct P -fault-fail-every K -fault-fail-runs R]
@@ -41,6 +44,12 @@
 // balancers (clamped to half of -drain-timeout so the drain itself
 // always keeps time), in-flight requests finish within -drain-timeout,
 // and the exit status is 0 exactly when everything drained.
+//
+// -tenants turns on multi-tenant admission: requests name their tenant
+// in the X-Tenant header, each tenant gets its own admission budget
+// (its own 429 + Retry-After sized to the backlog) and execution slots
+// are granted across tenants by weighted fair queueing, mirroring the
+// array-level tenant interleaver (internal/tenant, cmd/tenants).
 //
 // The implementation lives in internal/daemon so the chaos harness can
 // re-execute the identical daemon as a supervised child process.

@@ -4,6 +4,13 @@
 //	schedrouter -addr :8079 \
 //	    -workers w0=127.0.0.1:7100,w1=127.0.0.1:7101,w2=127.0.0.1:7102
 //
+// Membership is either the static -workers list or a -workers-file
+// (one id=host:port per line, # comments); with a file, SIGHUP re-reads
+// it and swaps the fleet in place — joiners start probing immediately,
+// leavers' probe loops stop, kept workers carry their breaker state,
+// and only the key ranges owned by leavers move on the ring. A file
+// that fails to parse keeps the current membership.
+//
 // Requests hash by content — /v1/compare by the workload's partition
 // fingerprint, /v1/sweep by journal name — so each key range sticks to
 // one worker and its warm caches/journals. Workers are health-checked

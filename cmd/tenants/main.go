@@ -1,0 +1,296 @@
+// Command tenants schedules K applications time-sharing one array and
+// renders the result: per-tenant Gantt lanes (who held the RC array
+// when) and fairness curves (each tenant's cumulative service share
+// against its ideal weighted share). The plan is verified end to end
+// before anything is rendered: the fairness invariant family plus
+// per-tenant solo-equivalence.
+//
+// Tenants come from either source:
+//
+//	tenants -experiments E1,ATR-FI -weights 2,1 -fb 1024,1024 -cm 512,512
+//	tenants -experiments E1,E1,ATR-FI -weights 4,2,1 -base-fb 4K
+//	tenants -gen-seed 9 -gen-index 3            # a generated corpus mix
+//
+// Knobs parallel to -experiments (comma-separated, padded with their
+// last value): -weights, -priorities, -arrivals, -fb (bytes per FB
+// quota), -cm (CM words per quota). The base machine is an M1 with
+// -base-fb/-base-cm (defaults: the quota sums).
+//
+// Output: a text summary on stdout, plus -gantt FILE and -curves FILE
+// for the SVG renderings.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+
+	"cds/internal/arch"
+	"cds/internal/tenant"
+	"cds/internal/workloads"
+)
+
+func main() {
+	experiments := flag.String("experiments", "", "comma-separated Table-1 experiment names, one tenant each")
+	weights := flag.String("weights", "1", "comma-separated tenant weights")
+	priorities := flag.String("priorities", "0", "comma-separated tenant priority bands")
+	arrivals := flag.String("arrivals", "0", "comma-separated tenant arrival cycles")
+	fb := flag.String("fb", "", "comma-separated FB quotas in bytes (default: each experiment's own FB size)")
+	cm := flag.String("cm", "", "comma-separated CM quotas in words (default: each experiment's own CM size)")
+	baseFB := flag.String("base-fb", "", `base machine FB set size ("4K" or bytes; default: sum of quotas)`)
+	baseCM := flag.Int("base-cm", 0, "base machine CM words (default: sum of quotas)")
+	genSeed := flag.Int64("gen-seed", 0, "generate the mix from the tenant corpus with this seed")
+	genIndex := flag.Int("gen-index", 0, "corpus index of the generated mix")
+	gantt := flag.String("gantt", "", "write the per-tenant Gantt SVG to this file")
+	curves := flag.String("curves", "", "write the fairness-curves SVG to this file")
+	noVerify := flag.Bool("no-verify", false, "skip the fairness + solo-equivalence audit")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *experiments, *weights, *priorities, *arrivals, *fb, *cm,
+		*baseFB, *baseCM, *genSeed, *genIndex, *gantt, *curves, *noVerify); err != nil {
+		fmt.Fprintf(os.Stderr, "tenants: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, experiments, weights, priorities, arrivals, fb, cm, baseFB string,
+	baseCM int, genSeed int64, genIndex int, gantt, curves string, noVerify bool) error {
+	var base arch.Params
+	var tenants []tenant.Tenant
+	var err error
+	switch {
+	case genSeed != 0:
+		base, tenants, err = fromCorpus(genSeed, genIndex)
+	case experiments != "":
+		base, tenants, err = fromExperiments(experiments, weights, priorities, arrivals, fb, cm, baseFB, baseCM)
+	default:
+		return fmt.Errorf("need -experiments or -gen-seed (see -h)")
+	}
+	if err != nil {
+		return err
+	}
+
+	plan, err := tenant.Schedule(ctx, base, tenants)
+	if err != nil {
+		return err
+	}
+	if !noVerify {
+		if err := tenant.VerifyPlan(ctx, plan); err != nil {
+			return err
+		}
+	}
+
+	printSummary(plan, !noVerify)
+	if gantt != "" {
+		if err := writeSVG(gantt, plan, tenant.WriteGanttSVG); err != nil {
+			return err
+		}
+	}
+	if curves != "" {
+		if err := writeSVG(curves, plan, tenant.WriteCurvesSVG); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fromCorpus materializes a generated mix into schedulable tenants.
+func fromCorpus(seed int64, index int) (arch.Params, []tenant.Tenant, error) {
+	mix := workloads.GenTenantMix(seed, index)
+	tenants := make([]tenant.Tenant, len(mix.Tenants))
+	for i, ts := range mix.Tenants {
+		part, _, err := ts.Spec.Build()
+		if err != nil {
+			return arch.Params{}, nil, fmt.Errorf("%s: tenant %s: %w", mix.Name, ts.ID, err)
+		}
+		tenants[i] = tenant.Tenant{
+			ID:       ts.ID,
+			Weight:   ts.Weight,
+			Priority: ts.Priority,
+			Arrive:   ts.Arrive,
+			Quota:    tenant.Quota{FBBytes: ts.Spec.Arch.FBSetBytes, CMWords: ts.Spec.Arch.CMWords},
+			Part:     part,
+		}
+	}
+	fmt.Printf("mix %s on %s\n", mix.Name, mix.Base.Name)
+	return mix.Base, tenants, nil
+}
+
+// fromExperiments builds tenants from Table-1 experiment names plus the
+// parallel knob lists.
+func fromExperiments(experiments, weights, priorities, arrivals, fb, cm, baseFB string, baseCM int) (arch.Params, []tenant.Tenant, error) {
+	names := strings.Split(experiments, ",")
+	w, err := intList(weights, len(names), "weights")
+	if err != nil {
+		return arch.Params{}, nil, err
+	}
+	prio, err := intList(priorities, len(names), "priorities")
+	if err != nil {
+		return arch.Params{}, nil, err
+	}
+	arr, err := intList(arrivals, len(names), "arrivals")
+	if err != nil {
+		return arch.Params{}, nil, err
+	}
+
+	tenants := make([]tenant.Tenant, len(names))
+	sumFB, sumCM := 0, 0
+	var exps []workloads.Experiment
+	for _, name := range names {
+		e, err := workloads.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return arch.Params{}, nil, err
+		}
+		exps = append(exps, e)
+	}
+	fbq, err := quotaList(fb, exps, func(e workloads.Experiment) int { return e.Arch.FBSetBytes }, "fb")
+	if err != nil {
+		return arch.Params{}, nil, err
+	}
+	cmq, err := quotaList(cm, exps, func(e workloads.Experiment) int { return e.Arch.CMWords }, "cm")
+	if err != nil {
+		return arch.Params{}, nil, err
+	}
+	for i, e := range exps {
+		id := strings.ToLower(strings.Map(func(r rune) rune {
+			if r == '*' {
+				return '+'
+			}
+			return r
+		}, e.Name))
+		id = fmt.Sprintf("%s-%d", id, i)
+		tenants[i] = tenant.Tenant{
+			ID: id, Weight: w[i], Priority: prio[i], Arrive: arr[i],
+			Quota: tenant.Quota{FBBytes: fbq[i], CMWords: cmq[i]},
+			Part:  e.Part,
+		}
+		sumFB += fbq[i]
+		sumCM += cmq[i]
+	}
+
+	base := arch.M1()
+	base.FBSetBytes = sumFB
+	base.CMWords = sumCM
+	if baseFB != "" {
+		n, err := parseSize(baseFB)
+		if err != nil {
+			return arch.Params{}, nil, fmt.Errorf("-base-fb: %w", err)
+		}
+		base.FBSetBytes = n
+	}
+	if baseCM > 0 {
+		base.CMWords = baseCM
+	}
+	base.Name = fmt.Sprintf("M1[%s,%d]", arch.FormatSize(base.FBSetBytes), base.CMWords)
+	return base, tenants, nil
+}
+
+// intList parses a comma-separated int list, padding with the last value
+// up to n entries.
+func intList(s string, n int, what string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, n)
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("-%s: %q is not an integer", what, p)
+		}
+		out = append(out, v)
+	}
+	if len(out) > n {
+		return nil, fmt.Errorf("-%s: %d values for %d tenants", what, len(out), n)
+	}
+	for len(out) < n {
+		out = append(out, out[len(out)-1])
+	}
+	return out, nil
+}
+
+// quotaList parses a per-tenant quota list, defaulting each entry to the
+// experiment's own machine dimension.
+func quotaList(s string, exps []workloads.Experiment, dim func(workloads.Experiment) int, what string) ([]int, error) {
+	if s == "" {
+		out := make([]int, len(exps))
+		for i, e := range exps {
+			out[i] = dim(e)
+		}
+		return out, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(exps))
+	for _, p := range parts {
+		v, err := parseSize(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("-%s: %w", what, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) > len(exps) {
+		return nil, fmt.Errorf("-%s: %d values for %d tenants", what, len(out), len(exps))
+	}
+	for len(out) < len(exps) {
+		out = append(out, out[len(out)-1])
+	}
+	return out, nil
+}
+
+// parseSize accepts "2048" or "2K".
+func parseSize(s string) (int, error) {
+	if k, ok := strings.CutSuffix(strings.ToUpper(s), "K"); ok {
+		f, err := strconv.ParseFloat(k, 64)
+		if err != nil {
+			return 0, fmt.Errorf("%q is not a size", s)
+		}
+		return int(f * arch.KiB), nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("%q is not a size", s)
+	}
+	return n, nil
+}
+
+// printSummary renders the plan as a table plus the fairness facts.
+func printSummary(p *Plan, verified bool) {
+	fmt.Printf("%-12s %3s %4s %7s  %9s %9s  %9s %9s  %7s\n",
+		"tenant", "w", "prio", "arrive", "fb/cm", "slices", "solo", "end", "share")
+	for li, l := range p.Lanes {
+		solo := l.Tenant.Arrive + l.SoloLastCompute()
+		share := p.IdealShares()[li]
+		fmt.Printf("%-12s %3d %4d %7d  %4d/%-4d %9d  %9d %9d  %6.1f%%\n",
+			l.Tenant.ID, l.Tenant.Weight, l.Tenant.Priority, l.Tenant.Arrive,
+			l.Tenant.Quota.FBBytes, l.Tenant.Quota.CMWords, len(l.Slices),
+			solo, p.Exec.LaneEnd[li], 100*share)
+	}
+	fmt.Printf("makespan %d cycles, %d slices, max lag %.0f (bound %.0f)\n",
+		p.Exec.TotalCycles, len(p.Order), p.MaxLag, p.LagBound())
+	if verified {
+		fmt.Println("verified: fairness invariants + per-tenant solo equivalence")
+	}
+}
+
+// Plan aliases the tenant plan for the summary printer's signature.
+type Plan = tenant.Plan
+
+func writeSVG(path string, p *tenant.Plan, render func(w io.Writer, p *tenant.Plan) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f, p); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

@@ -35,7 +35,8 @@ import (
 
 // FleetConfig parameterizes fleet health tracking.
 type FleetConfig struct {
-	// Workers is the static membership (-workers flag).
+	// Workers is the initial membership (-workers flag or the first read
+	// of -workers-file); SetMembers replaces it at runtime.
 	Workers []Member
 	// Vnodes per member on the ring (DefaultVnodes when <= 0).
 	Vnodes int
@@ -84,7 +85,9 @@ func (c FleetConfig) withDefaults() FleetConfig {
 
 // workerState is one member's health record.
 type workerState struct {
-	member   Member
+	// member is atomic because a probe loop reads the address while
+	// SetMembers may be swapping it (a kept worker that moved ports).
+	member   atomic.Pointer[Member]
 	br       *retry.Breaker
 	draining atomic.Bool
 	// lastPID/lastUptimeMS snapshot the worker's most recent identity
@@ -92,73 +95,157 @@ type workerState struct {
 	// restart happened).
 	lastPID      atomic.Int64
 	lastUptimeMS atomic.Int64
+	// stop closes when the member leaves the fleet (SetMembers removal),
+	// ending its probe loop without touching the others.
+	stop chan struct{}
 }
 
-// Fleet tracks a static worker set's health and owns the routing ring.
-// Construct with NewFleet, then Start the probe loops; Stop before
-// discarding.
+// Fleet tracks a worker set's health and owns the routing ring. The
+// membership is dynamic: SetMembers swaps in a new worker list (the
+// router's -workers-file + SIGHUP reload), starting probe loops for
+// joiners and stopping them for leavers, while kept workers carry their
+// breaker state across the change. Construct with NewFleet, then Start
+// the probe loops; Stop before discarding.
 type Fleet struct {
-	cfg     FleetConfig
+	cfg  FleetConfig
+	http *http.Client
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	// mu guards the membership view: the member list, the ring built
+	// from it, and the health-state map. Probe loops and request paths
+	// read under RLock; only SetMembers writes.
+	mu      sync.RWMutex
+	members []Member
 	ring    *Ring
 	workers map[string]*workerState
-	http    *http.Client
-	stop    chan struct{}
-	wg      sync.WaitGroup
+	started bool
+	// laneSeq deals each probe loop (including late joiners) a distinct
+	// jitter stream.
+	laneSeq int64
 }
 
 // NewFleet builds the fleet state (no probes yet; call Start).
 func NewFleet(cfg FleetConfig) *Fleet {
 	cfg = cfg.withDefaults()
-	ids := make([]string, len(cfg.Workers))
-	workers := make(map[string]*workerState, len(cfg.Workers))
-	for i, m := range cfg.Workers {
-		ids[i] = m.ID
-		workers[m.ID] = &workerState{
-			member: m,
-			br:     retry.NewBreaker(cfg.EjectThreshold, cfg.ReadmitCooldown, nil),
-		}
-	}
 	h := cfg.HTTP
 	if h == nil {
 		h = &http.Client{Timeout: cfg.ProbeTimeout}
 	}
-	return &Fleet{
+	f := &Fleet{
 		cfg:     cfg,
-		ring:    NewRing(cfg.Vnodes, ids...),
-		workers: workers,
 		http:    h,
 		stop:    make(chan struct{}),
+		workers: map[string]*workerState{},
+		ring:    NewRing(cfg.Vnodes),
+	}
+	f.SetMembers(cfg.Workers)
+	return f
+}
+
+// Ring exposes the current consistent-hash ring.
+func (f *Fleet) Ring() *Ring {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.ring
+}
+
+// Members returns the current membership in configuration order.
+func (f *Fleet) Members() []Member {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return append([]Member(nil), f.members...)
+}
+
+// Start launches one probe goroutine per current worker. Each loop
+// probes immediately, so the fleet view converges within one probe
+// round of startup. Workers joining later (SetMembers) get their loops
+// started on arrival.
+func (f *Fleet) Start() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.started {
+		return
+	}
+	f.started = true
+	for _, m := range f.members {
+		f.startProbe(f.workers[m.ID])
 	}
 }
 
-// Ring exposes the (static) consistent-hash ring.
-func (f *Fleet) Ring() *Ring { return f.ring }
-
-// Start launches one probe goroutine per worker. Each loop probes
-// immediately, so the fleet view converges within one probe round of
-// startup.
-func (f *Fleet) Start() {
-	for i, m := range f.cfg.Workers {
-		st := f.workers[m.ID]
-		rng := newJitter(f.cfg.Seed, int64(i))
-		f.wg.Add(1)
-		go func() {
-			defer f.wg.Done()
-			for {
-				f.probe(st)
-				// Jitter to [interval/2, interval): steady cadence, no
-				// phase lock across workers.
-				d := f.cfg.ProbeInterval/2 + time.Duration(rng.next()%uint64(f.cfg.ProbeInterval/2+1))
-				t := time.NewTimer(d)
-				select {
-				case <-t.C:
-				case <-f.stop:
-					t.Stop()
-					return
-				}
+// startProbe (mu held) launches one worker's probe loop.
+func (f *Fleet) startProbe(st *workerState) {
+	rng := newJitter(f.cfg.Seed, f.laneSeq)
+	f.laneSeq++
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		for {
+			f.probe(st)
+			// Jitter to [interval/2, interval): steady cadence, no
+			// phase lock across workers.
+			d := f.cfg.ProbeInterval/2 + time.Duration(rng.next()%uint64(f.cfg.ProbeInterval/2+1))
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-st.stop:
+				t.Stop()
+				return
+			case <-f.stop:
+				t.Stop()
+				return
 			}
-		}()
+		}
+	}()
+}
+
+// SetMembers replaces the fleet membership. Kept workers (matched by
+// ID) carry their breaker and drain state — and their running probe
+// loop — across the change, with only their address updated; removed
+// workers' probe loops stop; added workers start fresh (and, once Start
+// has run, probing immediately). The ring rebuilds from the new ID set,
+// so only the keys owned by leavers move. Returns the joined and left
+// worker IDs.
+func (f *Fleet) SetMembers(members []Member) (added, removed []string) {
+	f.mu.Lock()
+	keep := make(map[string]bool, len(members))
+	ids := make([]string, len(members))
+	for i, m := range members {
+		keep[m.ID] = true
+		ids[i] = m.ID
+		m := m
+		if st, ok := f.workers[m.ID]; ok {
+			st.member.Store(&m) // the address may have moved
+			continue
+		}
+		st := &workerState{
+			br:   retry.NewBreaker(f.cfg.EjectThreshold, f.cfg.ReadmitCooldown, nil),
+			stop: make(chan struct{}),
+		}
+		st.member.Store(&m)
+		f.workers[m.ID] = st
+		added = append(added, m.ID)
+		if f.started {
+			f.startProbe(st)
+		}
 	}
+	for id, st := range f.workers {
+		if !keep[id] {
+			close(st.stop)
+			delete(f.workers, id)
+			removed = append(removed, id)
+		}
+	}
+	f.members = append([]Member(nil), members...)
+	f.ring = NewRing(f.cfg.Vnodes, ids...)
+	f.mu.Unlock()
+	for _, id := range added {
+		f.cfg.Logf("cluster: worker %s joined the fleet", id)
+	}
+	for _, id := range removed {
+		f.cfg.Logf("cluster: worker %s left the fleet", id)
+	}
+	return added, removed
 }
 
 // Stop terminates the probe loops and waits for them.
@@ -175,9 +262,10 @@ func (f *Fleet) probe(st *workerState) {
 	if err := st.br.Allow(); err != nil {
 		return // ejected, cooldown still running
 	}
+	m := st.member.Load()
 	ctx, cancel := context.WithTimeout(context.Background(), f.cfg.ProbeTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+st.member.Addr+"/readyz", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+m.Addr+"/readyz", nil)
 	if err != nil {
 		st.br.Abort()
 		return
@@ -187,7 +275,7 @@ func (f *Fleet) probe(st *workerState) {
 		wasIn := st.br.State() == retry.Closed
 		st.br.Record(false)
 		if wasIn && st.br.State() == retry.Open {
-			f.cfg.Logf("cluster: worker %s ejected (probe: %v)", st.member.ID, err)
+			f.cfg.Logf("cluster: worker %s ejected (probe: %v)", m.ID, err)
 		}
 		return
 	}
@@ -220,10 +308,10 @@ func (f *Fleet) probe(st *workerState) {
 		st.br.Record(false)
 	}
 	if wasOut && st.br.State() == retry.Closed {
-		f.cfg.Logf("cluster: worker %s readmitted (pid %d)", st.member.ID, rz.PID)
+		f.cfg.Logf("cluster: worker %s readmitted (pid %d)", m.ID, rz.PID)
 	}
 	if !wasDraining && st.draining.Load() {
-		f.cfg.Logf("cluster: worker %s draining, removed from candidates", st.member.ID)
+		f.cfg.Logf("cluster: worker %s draining, removed from candidates", m.ID)
 	}
 }
 
@@ -231,7 +319,9 @@ func (f *Fleet) probe(st *workerState) {
 // worker's breaker, so a dead worker is ejected after threshold real
 // requests even between probe ticks.
 func (f *Fleet) ReportForwardFailure(id string) {
+	f.mu.RLock()
 	st, ok := f.workers[id]
+	f.mu.RUnlock()
 	if !ok {
 		return
 	}
@@ -245,17 +335,21 @@ func (f *Fleet) ReportForwardFailure(id string) {
 // eligible reports whether a worker is a routing candidate: breaker
 // closed (healthy) and not draining.
 func (f *Fleet) eligible(id string) bool {
+	f.mu.RLock()
 	st, ok := f.workers[id]
+	f.mu.RUnlock()
 	return ok && st.br.State() == retry.Closed && !st.draining.Load()
 }
 
 // Addr returns a member's address.
 func (f *Fleet) Addr(id string) (string, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	st, ok := f.workers[id]
 	if !ok {
 		return "", false
 	}
-	return st.member.Addr, true
+	return st.member.Load().Addr, true
 }
 
 // Candidates returns up to max eligible workers for key, in ring walk
@@ -264,7 +358,7 @@ func (f *Fleet) Addr(id string) (string, bool) {
 // recovered worker beats refusing outright — the forward itself is the
 // cheapest possible probe.
 func (f *Fleet) Candidates(key []byte, max int) []string {
-	walk := f.ring.Lookup(key, 0)
+	walk := f.Ring().Lookup(key, 0)
 	var out []string
 	for _, id := range walk {
 		if f.eligible(id) {
@@ -283,9 +377,15 @@ func (f *Fleet) Candidates(key []byte, max int) []string {
 // EligibleCount reports how many workers are currently routing
 // candidates (router readiness).
 func (f *Fleet) EligibleCount() int {
+	f.mu.RLock()
+	states := make([]*workerState, 0, len(f.workers))
+	for _, st := range f.workers {
+		states = append(states, st)
+	}
+	f.mu.RUnlock()
 	n := 0
-	for id := range f.workers {
-		if f.eligible(id) {
+	for _, st := range states {
+		if st.br.State() == retry.Closed && !st.draining.Load() {
 			n++
 		}
 	}
@@ -309,11 +409,18 @@ type RingStatus struct {
 	Workers  []WorkerStatus `json:"workers"`
 }
 
-// Snapshot reports every member's current state, in -workers order.
+// Snapshot reports every member's current state, in membership order.
 func (f *Fleet) Snapshot() RingStatus {
 	out := RingStatus{Vnodes: f.cfg.Vnodes, Eligible: f.EligibleCount()}
-	for _, m := range f.cfg.Workers {
-		st := f.workers[m.ID]
+	f.mu.RLock()
+	members := append([]Member(nil), f.members...)
+	states := make([]*workerState, len(members))
+	for i, m := range members {
+		states[i] = f.workers[m.ID]
+	}
+	f.mu.RUnlock()
+	for i, m := range members {
+		st := states[i]
 		ws := WorkerStatus{
 			ID:       m.ID,
 			Addr:     m.Addr,

@@ -31,7 +31,8 @@ func Main(args []string, stderr io.Writer) int {
 	fs := flag.NewFlagSet("schedrouter", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", ":8079", "listen address")
-	workers := fs.String("workers", "", "comma-separated fleet members, id=host:port (required)")
+	workers := fs.String("workers", "", "comma-separated fleet members, id=host:port")
+	workersFile := fs.String("workers-file", "", "file with fleet members, one id=host:port per line (# comments); SIGHUP re-reads it")
 	vnodes := fs.Int("vnodes", DefaultVnodes, "virtual nodes per worker on the hash ring")
 	probeInterval := fs.Duration("probe-interval", 500*time.Millisecond, "mean readyz probe spacing per worker (jittered)")
 	probeTimeout := fs.Duration("probe-timeout", time.Second, "per-probe HTTP deadline")
@@ -43,7 +44,20 @@ func Main(args []string, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	members, err := ParseMembers(*workers)
+	var members []Member
+	var err error
+	switch {
+	case *workers != "" && *workersFile != "":
+		fmt.Fprintln(stderr, "schedrouter: -workers and -workers-file are mutually exclusive")
+		return 2
+	case *workersFile != "":
+		members, err = LoadMembersFile(*workersFile)
+	case *workers != "":
+		members, err = ParseMembers(*workers)
+	default:
+		fmt.Fprintln(stderr, "schedrouter: need -workers or -workers-file")
+		return 2
+	}
 	if err != nil {
 		fmt.Fprintf(stderr, "schedrouter: %v\n", err)
 		return 2
@@ -65,14 +79,31 @@ func Main(args []string, stderr io.Writer) int {
 		Logf:             log.Printf,
 	})
 
-	if err := run(*addr, fleet, router, *drainTimeout); err != nil {
+	var reload func()
+	if *workersFile != "" {
+		reload = func() { reloadWorkers(*workersFile, fleet, log.Printf) }
+	}
+	if err := run(*addr, fleet, router, *drainTimeout, reload); err != nil {
 		fmt.Fprintf(stderr, "schedrouter: %v\n", err)
 		return 1
 	}
 	return 0
 }
 
-func run(addr string, fleet *Fleet, router *Router, drainTimeout time.Duration) error {
+// reloadWorkers re-reads a -workers-file and swaps the fleet membership
+// (the SIGHUP handler). A file that fails to load keeps the current
+// membership — a half-edited file must never empty the fleet.
+func reloadWorkers(path string, fleet *Fleet, logf func(format string, args ...any)) {
+	members, err := LoadMembersFile(path)
+	if err != nil {
+		logf("schedrouter: reload %s: %v (keeping %d workers)", path, err, len(fleet.Members()))
+		return
+	}
+	added, removed := fleet.SetMembers(members)
+	logf("schedrouter: reloaded %s: %d workers (+%d -%d)", path, len(members), len(added), len(removed))
+}
+
+func run(addr string, fleet *Fleet, router *Router, drainTimeout time.Duration, reload func()) error {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -81,20 +112,32 @@ func run(addr string, fleet *Fleet, router *Router, drainTimeout time.Duration) 
 	defer fleet.Stop()
 
 	srv := &http.Server{Handler: router, ReadHeaderTimeout: 5 * time.Second}
-	log.Printf("schedrouter: listening on %s (%d workers)", l.Addr(), len(fleet.cfg.Workers))
+	log.Printf("schedrouter: listening on %s (%d workers)", l.Addr(), len(fleet.Members()))
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(l) }()
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
-
-	select {
-	case err := <-errc:
-		return err // listener died before any signal
-	case sig := <-sigc:
-		log.Printf("schedrouter: %v: draining (deadline %s)", sig, drainTimeout)
+	hupc := make(chan os.Signal, 1)
+	if reload != nil {
+		signal.Notify(hupc, syscall.SIGHUP)
+		defer signal.Stop(hupc)
 	}
+
+	var sig os.Signal
+drain:
+	for {
+		select {
+		case err := <-errc:
+			return err // listener died before any signal
+		case <-hupc:
+			reload()
+		case sig = <-sigc:
+			break drain
+		}
+	}
+	log.Printf("schedrouter: %v: draining (deadline %s)", sig, drainTimeout)
 	signal.Stop(sigc)
 
 	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)

@@ -32,6 +32,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 )
@@ -41,6 +42,18 @@ import (
 type Member struct {
 	ID   string `json:"id"`
 	Addr string `json:"addr"`
+}
+
+// parseMember parses one "id=host:port" (or bare "host:port") entry.
+func parseMember(s string) (Member, error) {
+	m := Member{ID: s, Addr: s}
+	if i := strings.IndexByte(s, '='); i >= 0 {
+		m.ID, m.Addr = s[:i], s[i+1:]
+	}
+	if m.ID == "" || m.Addr == "" {
+		return Member{}, fmt.Errorf("cluster: bad worker %q (want id=host:port or host:port)", s)
+	}
+	return m, nil
 }
 
 // ParseMembers parses a comma-separated "-workers" flag value: each
@@ -54,12 +67,9 @@ func ParseMembers(s string) ([]Member, error) {
 		if part == "" {
 			continue
 		}
-		m := Member{ID: part, Addr: part}
-		if i := strings.IndexByte(part, '='); i >= 0 {
-			m.ID, m.Addr = part[:i], part[i+1:]
-		}
-		if m.ID == "" || m.Addr == "" {
-			return nil, fmt.Errorf("cluster: bad worker %q (want id=host:port or host:port)", part)
+		m, err := parseMember(part)
+		if err != nil {
+			return nil, err
 		}
 		if seen[m.ID] {
 			return nil, fmt.Errorf("cluster: duplicate worker id %q", m.ID)
@@ -69,6 +79,41 @@ func ParseMembers(s string) ([]Member, error) {
 	}
 	if len(ms) == 0 {
 		return nil, fmt.Errorf("cluster: no workers in %q", s)
+	}
+	return ms, nil
+}
+
+// LoadMembersFile reads a fleet membership file (-workers-file): one
+// "id=host:port" (or bare "host:port") per line, blank lines and
+// #-comments ignored. The router re-reads it on SIGHUP, so operators
+// can resize the fleet without a restart.
+func LoadMembersFile(path string) ([]Member, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ms []Member
+	seen := map[string]bool{}
+	for ln, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		m, err := parseMember(line)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, ln+1, err)
+		}
+		if seen[m.ID] {
+			return nil, fmt.Errorf("%s:%d: duplicate worker id %q", path, ln+1, m.ID)
+		}
+		seen[m.ID] = true
+		ms = append(ms, m)
+	}
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("cluster: no workers in %s", path)
 	}
 	return ms, nil
 }

@@ -62,6 +62,7 @@ func Main(args []string, stderr io.Writer) int {
 	traceEntries := fs.Int("trace-ring-entries", 32, "max traced comparisons kept for /debug/traces")
 	traceBytes := fs.Int("trace-ring-bytes", 1<<20, "byte budget of the /debug/traces ring's Chrome payloads")
 	traceSample := fs.Int("trace-sample-every", 1, "keep every Nth ?trace=1 answer's full trace in the ring")
+	tenants := fs.String("tenants", "", `multi-tenant admission: "id:weight=N,budget=N;id2;..." (empty = single shared queue)`)
 	workerID := fs.String("worker-id", "", "fleet mode: this worker's stable identity on the router's hash ring (reported on /readyz)")
 	peers := fs.String("peers", "", "fleet mode: full member list (id=host:port,...) for peer cache fill; requires -worker-id")
 	peerVnodes := fs.Int("peer-vnodes", cluster.DefaultVnodes, "fleet mode: virtual nodes per worker on the peer-fill ring (must match the router's -vnodes)")
@@ -90,6 +91,14 @@ func Main(args []string, stderr io.Writer) int {
 		TraceSampleEvery:   *traceSample,
 		WorkerID:           *workerID,
 		Logf:               log.Printf,
+	}
+	if *tenants != "" {
+		specs, err := serve.ParseTenants(*tenants)
+		if err != nil {
+			fmt.Fprintf(stderr, "schedd: -tenants: %v\n", err)
+			return 2
+		}
+		cfg.Tenants = specs
 	}
 	if *peers != "" {
 		if *workerID == "" {

@@ -53,6 +53,7 @@ const (
 	SigFeasibility = "feasibility"  // feasibility:<scheduler> — basic ran, data scheduler refused
 	SigError       = "error"        // error:<scheduler> — a non-taxonomy failure
 	SigStream      = "stream"       // stream:<oracle> — online scheduler disagrees with static CDS
+	SigTenant      = "tenant"       // tenant:<oracle> — multi-tenant plan breaks fairness or solo equivalence
 )
 
 // Result is one corpus point's differential outcome. It is

@@ -1,0 +1,127 @@
+package diffuzz
+
+// The multi-tenant oracles. Over the K-tenant mix corpus
+// (workloads.GenTenantMix) each point asserts:
+//
+//   - admission soundness — a mix either schedules whole or is refused
+//     with the scherr taxonomy (infeasible-under-quota is an expected
+//     corpus outcome, any other error class is a counterexample);
+//   - fairness — the stitched plan passes the verifier's fairness
+//     family: quotas respected, preemption only at cluster boundaries,
+//     strict priority, bounded weighted-share lag, and the execution
+//     dominance facts (verify.Fairness re-derives everything from the
+//     raw parts);
+//   - solo equivalence — every tenant's schedule in the plan is
+//     byte-identical to a fresh solo CDS run under the same quota view
+//     (tenant.SoloEquivalence);
+//   - lag accounting — the interleaver's own recorded MaxLag stays
+//     within the plan's advertised LagBound.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"cds/internal/conc"
+	"cds/internal/scherr"
+	"cds/internal/tenant"
+	"cds/internal/verify"
+	"cds/internal/workloads"
+)
+
+// CheckTenantMix runs the multi-tenant oracle on mix index of seed's
+// stream.
+func CheckTenantMix(ctx context.Context, seed int64, index int) Result {
+	mix := workloads.GenTenantMix(seed, index)
+	res := Result{Name: mix.Name, Index: index, Class: "tenants"}
+
+	tenants := make([]tenant.Tenant, len(mix.Tenants))
+	for i, ts := range mix.Tenants {
+		part, _, err := ts.Spec.Build()
+		if err != nil {
+			return fail(res, SigInvalidSpec, fmt.Errorf("tenant %s: %w", ts.ID, err))
+		}
+		tenants[i] = tenant.Tenant{
+			ID:       ts.ID,
+			Weight:   ts.Weight,
+			Priority: ts.Priority,
+			Arrive:   ts.Arrive,
+			Quota:    tenant.Quota{FBBytes: ts.Spec.Arch.FBSetBytes, CMWords: ts.Spec.Arch.CMWords},
+			Part:     part,
+		}
+	}
+
+	plan, err := tenant.Schedule(ctx, mix.Base, tenants)
+	if err != nil {
+		switch {
+		case errors.Is(err, scherr.ErrCanceled):
+			res.Verdict = VerdictCanceled
+			return res
+		case errors.Is(err, scherr.ErrInfeasible):
+			// A tenant that cannot run under its quota is an expected
+			// corpus outcome: the generator probes the quota frontier.
+			res.Verdict = VerdictInfeasible
+			return res
+		default:
+			return fail(res, "error:tenant", err)
+		}
+	}
+
+	if plan.MaxLag > plan.LagBound() {
+		return fail(res, SigTenant+":lag", fmt.Errorf(
+			"interleaver reports lag %.0f over its own bound %.0f", plan.MaxLag, plan.LagBound()))
+	}
+	if err := verify.Fairness(mix.Base, plan.VerifyLanes(), plan.Order); err != nil {
+		sig := SigTenant + ":fairness"
+		var verr *verify.Error
+		if errors.As(err, &verr) {
+			sig = SigTenant + ":" + verr.Invariant
+		}
+		return fail(res, sig, err)
+	}
+	if err := tenant.SoloEquivalence(ctx, plan); err != nil {
+		if errors.Is(err, scherr.ErrCanceled) {
+			res.Verdict = VerdictCanceled
+			return res
+		}
+		if errors.Is(err, scherr.ErrVerify) {
+			return fail(res, SigTenant+":solo-equivalence", err)
+		}
+		return fail(res, "error:tenant", err)
+	}
+
+	res.CDSCycles = plan.Exec.TotalCycles
+	res.Verdict = VerdictOK
+	return res
+}
+
+// RunTenantMixes checks tenant mixes [0, cfg.N) of cfg.Seed's stream
+// across a bounded worker pool, mirroring RunArrivals' result-ordering
+// contract. Mixes are not journaled — the oracle re-runs whole.
+func RunTenantMixes(ctx context.Context, cfg Config, onResult func(Result)) ([]Result, error) {
+	results := make([]Result, cfg.N)
+	for i := range results {
+		results[i] = Result{
+			Name:    workloads.TenantMixName(cfg.Seed, i),
+			Index:   i,
+			Class:   "tenants",
+			Verdict: VerdictCanceled,
+		}
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = conc.DefaultLimit()
+	}
+	_ = conc.ForEach(ctx, workers, cfg.N, func(i int) error {
+		r := CheckTenantMix(ctx, cfg.Seed, i)
+		if r.Verdict == VerdictCanceled {
+			return nil
+		}
+		results[i] = r
+		if onResult != nil {
+			onResult(r)
+		}
+		return nil
+	})
+	return results, scherr.FromContext(ctx)
+}

@@ -1,0 +1,51 @@
+package diffuzz
+
+import (
+	"context"
+	"testing"
+)
+
+// The multi-tenant oracle over a slice of the mix corpus: no
+// counterexamples, deterministic results, and at least one mix actually
+// scheduled end to end.
+func TestTenantOracleClean(t *testing.T) {
+	cfg := Config{Seed: 9, N: 8}
+	results, err := RunTenantMixes(context.Background(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := 0
+	for _, r := range results {
+		if r.Counterexample() {
+			t.Errorf("%s: %s: %s", r.Name, r.Verdict, r.Detail)
+		}
+		if r.Verdict == VerdictOK {
+			ok++
+			if r.CDSCycles <= 0 {
+				t.Errorf("%s: scheduled mix reports %d cycles", r.Name, r.CDSCycles)
+			}
+		}
+	}
+	if ok == 0 {
+		t.Error("no tenant mix scheduled successfully")
+	}
+
+	again, err := RunTenantMixes(context.Background(), Config{Seed: 9, N: 8, Workers: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range results {
+		if results[i] != again[i] {
+			t.Errorf("mix %d differs across runs: %+v vs %+v", i, results[i], again[i])
+		}
+	}
+}
+
+func TestCheckTenantMixCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := CheckTenantMix(ctx, 9, 0)
+	if r.Verdict != VerdictCanceled {
+		t.Errorf("verdict = %s, want canceled", r.Verdict)
+	}
+}

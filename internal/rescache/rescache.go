@@ -146,6 +146,37 @@ func publishExpvar() {
 	})
 }
 
+// Counters is one cache's cumulative accounting, as surfaced by
+// Snapshot (and mirrored by the "rescache" expvar).
+type Counters struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	PeerFills int64
+	Entries   int64
+}
+
+// Snapshot reports every registered cache's counters keyed by cache
+// name. It backs plain-text metrics endpoints (schedd's /metrics) the
+// same way the expvar backs /debug/vars; caches sharing a name collapse
+// to the last registered, matching the expvar's behavior.
+func Snapshot() map[string]Counters {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	out := make(map[string]Counters, len(registry))
+	for _, c := range registry {
+		hits, misses, evictions := c.Stats()
+		out[c.name] = Counters{
+			Hits:      hits,
+			Misses:    misses,
+			Evictions: evictions,
+			PeerFills: c.PeerFills(),
+			Entries:   int64(c.Len()),
+		}
+	}
+	return out
+}
+
 // New returns a cache holding at most max entries, registered under
 // name in the process-wide "rescache" expvar.
 func New(name string, max int) *Cache {

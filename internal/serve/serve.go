@@ -49,8 +49,18 @@
 //     evolved log replans only the divergent segments (delta
 //     replanning) and the answer reports the reuse split.
 //
+//   - Multi-tenant admission: with Config.Tenants set (schedd -tenants)
+//     every compare/sweep request names its tenant via the X-Tenant
+//     header, each tenant gets its own bounded admission budget (its
+//     own 429, its own Retry-After sized to the backlog), and free
+//     execution slots are granted across tenants by weighted fair
+//     queueing — the service-level mirror of the array-level tenant
+//     interleaver (internal/tenant). GET /metrics reports per-tenant
+//     queue state alongside the result-cache counters.
+//
 // Endpoints: POST /v1/compare, POST /v1/sweep, POST /v1/stream,
-// GET /v1/cache/{key}, GET /debug/traces, GET /healthz, GET /readyz.
+// GET /v1/cache/{key}, GET /debug/traces, GET /metrics, GET /healthz,
+// GET /readyz.
 package serve
 
 import (
@@ -161,6 +171,12 @@ type Config struct {
 	// before the request pays for admission and computation: one fleet
 	// worker's cached result serves them all. Wired by internal/cluster.
 	PeerFill PeerFillFunc
+	// Tenants, when non-empty, switches admission to multi-tenant mode:
+	// compare/sweep requests must name a configured tenant in the
+	// X-Tenant header, each tenant waits in its own budgeted queue, and
+	// slots are granted by weighted fair queueing. Empty keeps the
+	// single shared queue exactly as before.
+	Tenants []TenantSpec
 	// Now substitutes the clock for the breakers (tests).
 	Now func() time.Time
 	// Logf receives one line per served request and lifecycle event; nil
@@ -236,6 +252,10 @@ type Server struct {
 	planner      *stream.Planner
 	streamReqs   atomic.Int64
 	streamReused atomic.Int64
+
+	// tq is the multi-tenant admission queue; nil outside tenant mode,
+	// in which case admit falls back to the single shared queue.
+	tq *tenantQueue
 }
 
 // New builds a server from the config.
@@ -252,6 +272,9 @@ func New(cfg Config) *Server {
 		planner:  stream.NewPlanner(cfg.StreamMemoSegments),
 		start:    time.Now(),
 	}
+	if len(cfg.Tenants) > 0 {
+		s.tq = newTenantQueue(cfg.Workers, cfg.Queue, cfg.Tenants)
+	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -259,6 +282,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/stream", s.handleStream)
 	s.mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheLookup)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	s.handler = s.withRecover(s.withWorkerHeader(s.mux))
 	registerTraceExpvar(s)
@@ -359,10 +383,16 @@ type ReadyzResponse struct {
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	depth, capacity := int(s.waiters.Load()), s.cfg.Queue
+	if s.tq != nil {
+		// Tenant mode: the honest queue picture is the summed per-tenant
+		// backlogs against the summed budgets.
+		depth, capacity = s.tq.depth()
+	}
 	resp := ReadyzResponse{
 		Status:        "ready",
-		QueueDepth:    int(s.waiters.Load()),
-		QueueCapacity: s.cfg.Queue,
+		QueueDepth:    depth,
+		QueueCapacity: capacity,
 		WorkerID:      s.cfg.WorkerID,
 		PID:           os.Getpid(),
 		UptimeMS:      time.Since(s.start).Milliseconds(),
@@ -381,8 +411,12 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 // admit implements the bounded work queue: an execution slot when one is
 // free, a bounded wait otherwise, immediate 429 + Retry-After beyond the
-// queue bound. ok=false means the response has been written.
+// queue bound. ok=false means the response has been written. In tenant
+// mode the wait goes through the per-tenant weighted-fair queue instead.
 func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	if s.tq != nil {
+		return s.admitTenant(w, r)
+	}
 	select {
 	case s.slots <- struct{}{}:
 		return func() { <-s.slots }, true
@@ -523,6 +557,12 @@ func (s *Server) compare(ctx context.Context, pa cds.Arch, part *cds.Part, key *
 }
 
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	// Tenant mode: the tenant must resolve before ANY work happens for
+	// the request — the cache fast path below bypasses admission, and an
+	// unknown tenant must not ride it to an answer.
+	if !s.checkTenant(w, r) {
+		return
+	}
 	// The body is read up front so the idempotency store can fingerprint
 	// it: replay is only safe for a true duplicate (same key, same body).
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
@@ -749,6 +789,9 @@ func sweepWorkers(requested, budget int) int {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if !s.checkTenant(w, r) {
+		return
+	}
 	release, ok := s.admit(w, r)
 	if !ok {
 		return

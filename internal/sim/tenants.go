@@ -1,0 +1,263 @@
+package sim
+
+// The multi-tenant executor: one RC array and one DMA channel time-shared
+// by K independent schedules. The tenant layer (internal/tenant) computes
+// each application's schedule against a quota-restricted machine view and
+// stitches the per-tenant cluster runs into one global emission order;
+// RunTenants executes that order under exactly the single-array model of
+// run(): the FB sets of DIFFERENT tenants are disjoint quota partitions,
+// so only the RC array and the DMA channel are contended, and a tenant's
+// own visit sequence keeps the same dependency structure it has solo.
+
+import (
+	"fmt"
+
+	"cds/internal/arch"
+	"cds/internal/core"
+)
+
+// TenantSlice addresses one contiguous run of visits of one lane's
+// schedule: visits [First, First+N) of scheds[Lane]. A global emission
+// order is a sequence of slices that covers every lane's visits exactly
+// once, in each lane's own order — the tenant interleaver guarantees
+// that and verify's fairness family re-checks it.
+type TenantSlice struct {
+	Lane  int `json:"lane"`
+	First int `json:"first"`
+	N     int `json:"n"`
+}
+
+// TenantResult is the outcome of one multi-tenant execution.
+type TenantResult struct {
+	// TotalCycles is the global makespan (all lanes' work and stores
+	// drained).
+	TotalCycles int
+	// ComputeCycles/DataCycles/CtxCycles/StallCycles aggregate across
+	// all lanes, with the same meaning as Result's fields.
+	ComputeCycles int
+	DataCycles    int
+	CtxCycles     int
+	StallCycles   int
+	// LaneVisitStart/LaneVisitEnd give each visit's compute interval,
+	// indexed [lane][visit] like the input schedules' Visits.
+	LaneVisitStart [][]int
+	LaneVisitEnd   [][]int
+	// LaneEnd is the cycle each lane's last compute finished; LaneDone
+	// additionally waits for the lane's trailing stores to drain.
+	LaneEnd  []int
+	LaneDone []int
+	// LaneCompute is each lane's RC-array busy time.
+	LaneCompute []int
+	// SliceStart/SliceEnd give each emitted slice's span on the shared
+	// machine (first transfer issue through last compute end), indexed
+	// like the order passed to RunTenants. Fairness curves plot service
+	// against SliceEnd.
+	SliceStart []int
+	SliceEnd   []int
+}
+
+// VisitCost prices one visit's busy cycles on the shared machine under
+// p: its context-load burst, its data loads and stores, and its compute.
+// The tenant interleaver charges virtual time by this cost and verify's
+// fairness lag bound is stated in units of it, so both must price a
+// visit identically — which is why it lives here, next to the walk that
+// realizes those cycles.
+func VisitCost(p arch.Params, v *core.Visit) int {
+	c := v.ComputeCycles + p.ContextCycles(v.CtxWords)
+	for _, m := range v.Loads {
+		c += p.DataCycles(m.Bytes)
+	}
+	for _, m := range v.Stores {
+		c += p.DataCycles(m.Bytes)
+	}
+	return c
+}
+
+// RunTenants executes K schedules interleaved on one machine, in the
+// given slice order. scheds[i] is lane i's schedule against its own
+// (quota-restricted) machine view; arrive[i] is the cycle lane i's work
+// becomes available — none of its DMA transfers may issue earlier (nil
+// means every lane is present at cycle 0).
+//
+// The walk generalizes run(): pending stores are tracked per (lane, FB
+// set) — tenant quotas partition the Frame Buffer spatially, so one
+// tenant's refill never waits on another tenant's stores — while the DMA
+// channel and the RC array are single shared timelines. Within a lane
+// the visit semantics are exactly the solo semantics: stores drain
+// before the set refills, context then data loads serialize on the DMA,
+// compute starts when both its transfers and the array are free.
+func RunTenants(scheds []*core.Schedule, arrive []int, order []TenantSlice) (*TenantResult, error) {
+	if len(scheds) == 0 {
+		return nil, fmt.Errorf("sim: no tenant schedules")
+	}
+	for i, s := range scheds {
+		if s == nil {
+			return nil, fmt.Errorf("sim: lane %d: nil schedule", i)
+		}
+		if err := s.Arch.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: lane %d: %w", i, err)
+		}
+	}
+	if arrive == nil {
+		arrive = make([]int, len(scheds))
+	}
+	if len(arrive) != len(scheds) {
+		return nil, fmt.Errorf("sim: %d arrival cycles for %d lanes", len(arrive), len(scheds))
+	}
+	for i, at := range arrive {
+		if at < 0 {
+			return nil, fmt.Errorf("sim: lane %d: negative arrival cycle %d", i, at)
+		}
+	}
+	// The order must cover each lane's visits exactly once, in order.
+	next := make([]int, len(scheds))
+	for si, sl := range order {
+		if sl.Lane < 0 || sl.Lane >= len(scheds) {
+			return nil, fmt.Errorf("sim: slice %d: lane %d out of range", si, sl.Lane)
+		}
+		if sl.N < 1 {
+			return nil, fmt.Errorf("sim: slice %d: empty slice", si)
+		}
+		if sl.First != next[sl.Lane] {
+			return nil, fmt.Errorf("sim: slice %d: lane %d visits start at %d, expected %d",
+				si, sl.Lane, sl.First, next[sl.Lane])
+		}
+		next[sl.Lane] += sl.N
+		if next[sl.Lane] > len(scheds[sl.Lane].Visits) {
+			return nil, fmt.Errorf("sim: slice %d: lane %d overruns its %d visits",
+				si, sl.Lane, len(scheds[sl.Lane].Visits))
+		}
+	}
+	for i, n := range next {
+		if n != len(scheds[i].Visits) {
+			return nil, fmt.Errorf("sim: order covers %d of lane %d's %d visits",
+				n, i, len(scheds[i].Visits))
+		}
+	}
+
+	res := &TenantResult{
+		LaneVisitStart: make([][]int, len(scheds)),
+		LaneVisitEnd:   make([][]int, len(scheds)),
+		LaneEnd:        make([]int, len(scheds)),
+		LaneDone:       make([]int, len(scheds)),
+		LaneCompute:    make([]int, len(scheds)),
+		SliceStart:     make([]int, len(order)),
+		SliceEnd:       make([]int, len(order)),
+	}
+	computeEnd := make([][]int, len(scheds))
+	for i, s := range scheds {
+		res.LaneVisitStart[i] = make([]int, len(s.Visits))
+		res.LaneVisitEnd[i] = make([]int, len(s.Visits))
+		computeEnd[i] = make([]int, len(s.Visits))
+	}
+
+	type setKey struct{ lane, set int }
+	// pendingStore[(lane,set)] is the visit on that lane's FB set whose
+	// stores have not been issued yet (-1 when none).
+	pendingStore := map[setKey]int{}
+	for li, s := range scheds {
+		for _, v := range s.Visits {
+			pendingStore[setKey{li, v.Set}] = -1
+		}
+	}
+
+	dmaFree := 0 // next cycle the shared DMA channel is available
+	rcFree := 0  // next cycle the shared RC array is available
+
+	// drainStores issues lane li's visit vi's stores on the shared DMA,
+	// no earlier than the visit's compute end.
+	drainStores := func(li, vi int) {
+		s := scheds[li]
+		v := &s.Visits[vi]
+		start := dmaFree
+		if computeEnd[li][vi] > start {
+			start = computeEnd[li][vi]
+		}
+		for _, m := range v.Stores {
+			cost := s.Arch.DataCycles(m.Bytes)
+			start += cost
+			res.DataCycles += cost
+		}
+		dmaFree = start
+		if start > res.LaneDone[li] {
+			res.LaneDone[li] = start
+		}
+	}
+
+	for si, sl := range order {
+		s := scheds[sl.Lane]
+		first := true
+		for vi := sl.First; vi < sl.First+sl.N; vi++ {
+			v := &s.Visits[vi]
+
+			// A lane's transfers never issue before its arrival: the DMA
+			// sits idle (or serves other lanes' later slices) until then.
+			if dmaFree < arrive[sl.Lane] {
+				dmaFree = arrive[sl.Lane]
+			}
+			if prev := pendingStore[setKey{sl.Lane, v.Set}]; prev >= 0 {
+				drainStores(sl.Lane, prev)
+			}
+			if first {
+				res.SliceStart[si] = dmaFree
+				first = false
+			}
+
+			ctxCost := s.Arch.ContextCycles(v.CtxWords)
+			res.CtxCycles += ctxCost
+			dmaFree += ctxCost
+			for _, m := range v.Loads {
+				cost := s.Arch.DataCycles(m.Bytes)
+				dmaFree += cost
+				res.DataCycles += cost
+			}
+			transfersDone := dmaFree
+
+			start := transfersDone
+			if rcFree > start {
+				start = rcFree
+			}
+			res.StallCycles += start - rcFree
+			res.LaneVisitStart[sl.Lane][vi] = start
+			computeEnd[sl.Lane][vi] = start + v.ComputeCycles
+			res.LaneVisitEnd[sl.Lane][vi] = computeEnd[sl.Lane][vi]
+			res.ComputeCycles += v.ComputeCycles
+			res.LaneCompute[sl.Lane] += v.ComputeCycles
+			rcFree = computeEnd[sl.Lane][vi]
+			res.LaneEnd[sl.Lane] = computeEnd[sl.Lane][vi]
+			if computeEnd[sl.Lane][vi] > res.LaneDone[sl.Lane] {
+				res.LaneDone[sl.Lane] = computeEnd[sl.Lane][vi]
+			}
+
+			pendingStore[setKey{sl.Lane, v.Set}] = vi
+		}
+		res.SliceEnd[si] = rcFree
+	}
+
+	// Drain trailing stores, oldest compute first across all lanes for a
+	// deterministic DMA order.
+	type tail struct{ lane, vi, end int }
+	var tails []tail
+	for k, vi := range pendingStore {
+		if vi >= 0 {
+			tails = append(tails, tail{k.lane, vi, computeEnd[k.lane][vi]})
+		}
+	}
+	for i := 0; i < len(tails); i++ {
+		for j := i + 1; j < len(tails); j++ {
+			ti, tj := tails[i], tails[j]
+			if tj.end < ti.end || (tj.end == ti.end && (tj.lane < ti.lane || (tj.lane == ti.lane && tj.vi < ti.vi))) {
+				tails[i], tails[j] = tails[j], tails[i]
+			}
+		}
+	}
+	for _, t := range tails {
+		drainStores(t.lane, t.vi)
+	}
+
+	res.TotalCycles = rcFree
+	if dmaFree > res.TotalCycles {
+		res.TotalCycles = dmaFree
+	}
+	return res, nil
+}

@@ -1,0 +1,139 @@
+package tenant
+
+// The weighted-fair interleaver. Classic virtual-time fair queueing
+// (WFQ) adapted to cluster granularity:
+//
+//   - the schedulable unit is a whole cluster run (Slice) — preemption
+//     only at cluster boundaries keeps every lane's sub-schedule a valid
+//     CDS schedule under its quota;
+//   - each lane carries a virtual time; serving a slice charges
+//     cost/weight, so heavier lanes drain virtual time slower and are
+//     picked more often;
+//   - strict priority bands sit above WFQ: while any higher-band lane is
+//     eligible, lower bands wait — "preemption" lands at the next
+//     boundary because the in-flight slice always finishes;
+//   - a lane arriving late (Arrive > 0) has its virtual time advanced to
+//     the current minimum among eligible lanes, so idle time never
+//     accumulates into a burst credit that would starve the others.
+//
+// The accounting clock is PLAN TIME: the running sum of emitted slice
+// costs (busy-cycle estimates), plus idle jumps while every pending lane
+// is yet to arrive. Plan time deliberately ignores the DMA/compute
+// overlap the simulator finds — credit accounting needs a deterministic,
+// schedule-independent currency, and busy cycles are exactly what a
+// slice takes from the shared machine.
+
+import "cds/internal/sim"
+
+// interleave stitches the lanes' slices into one global emission order.
+// It returns the order, the per-step credit bookkeeping, and the largest
+// lag any backlogged lane accumulated against its ideal weighted share.
+// The output is deterministic: ties in virtual time break by lane index.
+func interleave(lanes []*Lane) ([]sim.TenantSlice, []Step, float64) {
+	n := len(lanes)
+	next := make([]int, n)      // next slice per lane
+	vtime := make([]float64, n) // virtual time per lane
+	seeded := make([]bool, n)   // vtime initialized on first eligibility
+	ideal := make([]float64, n) // ideal weighted-share service per lane
+	service := make([]float64, n)
+	clock := 0
+	maxLag := 0.0
+
+	pending := func(i int) bool { return next[i] < len(lanes[i].Slices) }
+	eligible := func(i int) bool { return pending(i) && lanes[i].Tenant.Arrive <= clock }
+
+	var order []sim.TenantSlice
+	var steps []Step
+	for {
+		// Collect eligible lanes; if none is eligible but work remains,
+		// jump the clock to the earliest arrival (the machine idles).
+		var elig []int
+		anyPending := false
+		for i := 0; i < n; i++ {
+			if pending(i) {
+				anyPending = true
+				if eligible(i) {
+					elig = append(elig, i)
+				}
+			}
+		}
+		if !anyPending {
+			break
+		}
+		if len(elig) == 0 {
+			nextArrive := -1
+			for i := 0; i < n; i++ {
+				if pending(i) && (nextArrive < 0 || lanes[i].Tenant.Arrive < nextArrive) {
+					nextArrive = lanes[i].Tenant.Arrive
+				}
+			}
+			clock = nextArrive
+			continue
+		}
+
+		// Strict priority: only the top band competes.
+		band := lanes[elig[0]].Tenant.Priority
+		for _, i := range elig[1:] {
+			if p := lanes[i].Tenant.Priority; p > band {
+				band = p
+			}
+		}
+		var cands []int
+		for _, i := range elig {
+			if lanes[i].Tenant.Priority == band {
+				cands = append(cands, i)
+			}
+		}
+
+		// A lane newly eligible starts at the minimum virtual time of its
+		// band-mates: no credit for the time it was absent.
+		minV, haveMin := 0.0, false
+		for _, i := range cands {
+			if seeded[i] && (!haveMin || vtime[i] < minV) {
+				minV, haveMin = vtime[i], true
+			}
+		}
+		for _, i := range cands {
+			if !seeded[i] {
+				if haveMin && minV > vtime[i] {
+					vtime[i] = minV
+				}
+				seeded[i] = true
+			}
+		}
+
+		// Serve the minimum virtual time; ties break by lane index.
+		pick := cands[0]
+		for _, i := range cands[1:] {
+			if vtime[i] < vtime[pick] {
+				pick = i
+			}
+		}
+
+		sl := lanes[pick].Slices[next[pick]]
+		cost := float64(sl.Cost)
+
+		// Ideal accounting: while this slice runs, every band-mate with
+		// backlog would receive its weight's fraction under fluid GPS.
+		wsum := 0
+		for _, i := range cands {
+			wsum += lanes[i].Tenant.Weight
+		}
+		for _, i := range cands {
+			ideal[i] += cost * float64(lanes[i].Tenant.Weight) / float64(wsum)
+		}
+		service[pick] += cost
+		for _, i := range cands {
+			if lag := ideal[i] - service[i]; lag > maxLag {
+				maxLag = lag
+			}
+		}
+
+		vtime[pick] += cost / float64(lanes[pick].Tenant.Weight)
+		order = append(order, sim.TenantSlice{Lane: pick, First: sl.First, N: sl.N})
+		steps = append(steps, Step{Lane: pick, Slice: next[pick], Clock: clock, VTime: vtime[pick]})
+		clock += sl.Cost
+		next[pick]++
+	}
+	return order, steps, maxLag
+}

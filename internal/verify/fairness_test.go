@@ -1,0 +1,172 @@
+package verify_test
+
+// The fairness family is audited from OUTSIDE the package, building real
+// plans with the tenant layer and then perturbing the lanes/order the way
+// a buggy interleaver would: the verifier must accept the genuine plan
+// and name the right invariant for each perturbation.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"cds/internal/arch"
+	"cds/internal/scherr"
+	"cds/internal/sim"
+	"cds/internal/tenant"
+	"cds/internal/verify"
+	"cds/internal/workloads"
+)
+
+// fairPlan builds the canonical two-tenant plan used by every subtest.
+func fairPlan(t *testing.T, weights [2]int) (arch.Params, *tenant.Plan) {
+	t.Helper()
+	base := arch.M1()
+	tenants := []tenant.Tenant{
+		{ID: "video", Weight: weights[0], Quota: tenant.Quota{FBBytes: arch.KiB, CMWords: 512}, Part: workloads.E1().Part},
+		{ID: "radar", Weight: weights[1], Quota: tenant.Quota{FBBytes: arch.KiB, CMWords: 512}, Part: workloads.ATRFI(0).Part},
+	}
+	p, err := tenant.Schedule(context.Background(), base, tenants)
+	if err != nil {
+		t.Fatalf("tenant.Schedule: %v", err)
+	}
+	return base, p
+}
+
+func wantViolation(t *testing.T, err error, substr string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("fairness accepted a plan that violates %q", substr)
+	}
+	if !errors.Is(err, scherr.ErrVerify) {
+		t.Errorf("violation does not match scherr.ErrVerify: %v", err)
+	}
+	if !strings.Contains(err.Error(), "fairness") || !strings.Contains(err.Error(), substr) {
+		t.Errorf("error = %v, want fairness violation mentioning %q", err, substr)
+	}
+}
+
+func TestFairnessAcceptsGenuinePlan(t *testing.T) {
+	base, p := fairPlan(t, [2]int{2, 1})
+	if err := verify.Fairness(base, p.VerifyLanes(), p.Order); err != nil {
+		t.Fatalf("Fairness rejected a genuine plan: %v", err)
+	}
+}
+
+func TestFairnessQuotaOverrun(t *testing.T) {
+	base, p := fairPlan(t, [2]int{1, 1})
+	lanes := p.VerifyLanes()
+	lanes[0].FBQuota = lanes[0].Schedule.Arch.FBSetBytes - 1
+	wantViolation(t, verify.Fairness(base, lanes, p.Order), "quota overrun")
+
+	lanes = p.VerifyLanes()
+	lanes[0].FBQuota = base.FBSetBytes
+	wantViolation(t, verify.Fairness(base, lanes, p.Order), "quota overrun")
+}
+
+func TestFairnessBoundaryPreemption(t *testing.T) {
+	// A single-cluster application is one long cluster run: its visits
+	// form ONE slice, so any split lands mid-cluster.
+	mono, err := workloads.Synthetic(workloads.SyntheticConfig{
+		Clusters: 1, KernelsPerCluster: 2, Iterations: 8,
+		DataBytes: 64, CtxWords: 120, ComputeCycles: 100,
+	}, 1)
+	if err != nil {
+		t.Fatalf("Synthetic: %v", err)
+	}
+	base := arch.M1()
+	tenants := []tenant.Tenant{
+		{ID: "mono", Weight: 1, Quota: tenant.Quota{FBBytes: arch.KiB, CMWords: 512}, Part: mono},
+		{ID: "radar", Weight: 1, Quota: tenant.Quota{FBBytes: arch.KiB, CMWords: 512}, Part: workloads.ATRFI(0).Part},
+	}
+	p, err := tenant.Schedule(context.Background(), base, tenants)
+	if err != nil {
+		t.Fatalf("tenant.Schedule: %v", err)
+	}
+	var si int
+	for si = range p.Order {
+		if p.Order[si].N >= 2 {
+			break
+		}
+	}
+	first := p.Order[si]
+	if first.N < 2 {
+		t.Fatalf("no slice with >= 2 visits to split in %v", p.Order)
+	}
+	order := append(append([]sim.TenantSlice{}, p.Order[:si]...),
+		sim.TenantSlice{Lane: first.Lane, First: first.First, N: 1},
+		sim.TenantSlice{Lane: first.Lane, First: first.First + 1, N: first.N - 1})
+	order = append(order, p.Order[si+1:]...)
+	wantViolation(t, verify.Fairness(base, p.VerifyLanes(), order), "preempted inside cluster")
+}
+
+func TestFairnessStarvedOutright(t *testing.T) {
+	base, p := fairPlan(t, [2]int{1, 1})
+	wantViolation(t, verify.Fairness(base, p.VerifyLanes(), p.Order[:len(p.Order)-1]), "starved")
+}
+
+func TestFairnessOutOfOrderEmission(t *testing.T) {
+	base, p := fairPlan(t, [2]int{1, 1})
+	// Emit one lane's slices in reversed order.
+	var lane0 []sim.TenantSlice
+	var rest []sim.TenantSlice
+	for _, sl := range p.Order {
+		if sl.Lane == 0 {
+			lane0 = append(lane0, sl)
+		} else {
+			rest = append(rest, sl)
+		}
+	}
+	if len(lane0) < 2 {
+		t.Fatalf("lane 0 emitted %d slices, need >= 2", len(lane0))
+	}
+	var order []sim.TenantSlice
+	for i := len(lane0) - 1; i >= 0; i-- {
+		order = append(order, lane0[i])
+	}
+	order = append(order, rest...)
+	wantViolation(t, verify.Fairness(base, p.VerifyLanes(), order), "out-of-order")
+}
+
+func TestFairnessArrivalViolated(t *testing.T) {
+	base, p := fairPlan(t, [2]int{1, 1})
+	lanes := p.VerifyLanes()
+	// Claim the first-served lane arrives far in the future while the
+	// other lane is present from cycle 0: serving it first is a lie.
+	lanes[p.Order[0].Lane].Arrive = 1 << 30
+	wantViolation(t, verify.Fairness(base, lanes, p.Order), "before its arrival")
+}
+
+func TestFairnessPriorityInversion(t *testing.T) {
+	base, p := fairPlan(t, [2]int{1, 1})
+	lanes := p.VerifyLanes()
+	// Promote the lane that is NOT served first: the recorded order now
+	// serves a band-0 slice while band 1 had eligible work.
+	lanes[1-p.Order[0].Lane].Priority = 1
+	wantViolation(t, verify.Fairness(base, lanes, p.Order), "priority inversion")
+}
+
+func TestFairnessStarvationLagBound(t *testing.T) {
+	base, p := fairPlan(t, [2]int{1, 9})
+	// A run-to-completion order (all of lane 0, then all of lane 1)
+	// starves the weight-9 lane far past the K * max-slice-cost bound.
+	var order []sim.TenantSlice
+	for _, lane := range []int{0, 1} {
+		for _, sl := range p.Order {
+			if sl.Lane == lane {
+				order = append(order, sl)
+			}
+		}
+	}
+	wantViolation(t, verify.Fairness(base, p.VerifyLanes(), order), "starvation")
+}
+
+func TestFairnessChangedCostModel(t *testing.T) {
+	base, p := fairPlan(t, [2]int{1, 1})
+	lanes := p.VerifyLanes()
+	sched := *lanes[0].Schedule
+	sched.Arch.BusBytes *= 2
+	lanes[0].Schedule = &sched
+	wantViolation(t, verify.Fairness(base, lanes, p.Order), "cost model")
+}

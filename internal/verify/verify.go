@@ -24,6 +24,10 @@
 //	residency     — the generated transfer program passes codegen.Check
 //	                (contexts resident before EXEC, FB ranges legal,
 //	                volumes matching the schedule)
+//	fairness      — a multi-tenant plan (fairness.go) respects its
+//	                quotas, preempts only at cluster boundaries, keeps
+//	                weighted-share lag bounded and never beats any
+//	                tenant's solo lower bound
 //
 // All violations match scherr.ErrVerify under errors.Is.
 package verify

@@ -1,0 +1,129 @@
+package workloads
+
+// The multi-tenant mix generator: seeded, random-access K-tenant
+// scenarios for the tenant scheduler (internal/tenant) and its fuzzing
+// oracles. Each scenario carves one base machine's FB set and Context
+// Memory into K spatial quotas (summing within the machine by
+// construction), attaches to every quota an independently generated
+// application drawn from the same structure classes as the spec corpus,
+// and rolls weights, priority bands and arrival cycles — the knobs the
+// fairness invariants quantify over.
+//
+// Each tenant's spec carries its quota as the spec-level machine
+// override, so the spec is self-contained: it builds and schedules
+// standalone exactly as it will under the quota view, which is what the
+// solo-equivalence oracle leans on.
+//
+// Like GenSpec and GenArrivals, the stream is pure in (seed, index).
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cds/internal/arch"
+	"cds/internal/spec"
+)
+
+// TenantScenario is one tenant of a generated mix.
+type TenantScenario struct {
+	// ID names the tenant within the mix ("t0", "t1", ...).
+	ID string
+	// Weight, Priority and Arrive are the scheduling knobs (see
+	// tenant.Tenant).
+	Weight, Priority, Arrive int
+	// Spec is the tenant's application; its Arch override IS the
+	// tenant's FB/CM quota, so the spec builds standalone.
+	Spec *spec.Spec
+}
+
+// TenantMix is one generated K-tenant scenario.
+type TenantMix struct {
+	// Name is the scenario's canonical corpus name (see TenantMixName).
+	Name string
+	// Base is the shared machine; every tenant's quota was carved from
+	// it, so the quotas sum within Base by construction.
+	Base arch.Params
+	// Tenants holds the K tenants in lane order.
+	Tenants []TenantScenario
+}
+
+// TenantMixName is the canonical name of mix i of a seed's stream;
+// diffuzz journals and reports key on it.
+func TenantMixName(seed int64, index int) string {
+	return fmt.Sprintf("tenants/s%d/%06d", seed, index)
+}
+
+// GenTenantMix generates tenant mix i of the seed's stream: 2..4 tenants
+// on one machine. Every mix satisfies the spatial-partition precondition
+// (quotas sum within the base machine); whether every tenant is
+// schedulable under its quota is deliberately open — the infeasibility
+// frontier is part of what the oracle sweeps.
+func GenTenantMix(seed int64, index int) *TenantMix {
+	sub := splitmix64(uint64(seed)*0x9e3779b97f4a7c15 + uint64(index)*0xda942042e4dd58b5 + 0x6a09e667f3bcc909)
+	rng := rand.New(rand.NewSource(int64(sub)))
+
+	name := TenantMixName(seed, index)
+	k := 2 + rng.Intn(3) // 2..4 tenants
+
+	// Base machine: an M1 with the FB/CM ladder scaled so that K quotas
+	// of useful size fit. Quota floors (512 B FB, 128 CM words) keep the
+	// corpus focused on scheduling behavior rather than trivially
+	// impossible memories.
+	fbLadder := []int{2 * arch.KiB, 4 * arch.KiB, 8 * arch.KiB}
+	cmLadder := []int{512, 1024, 2048}
+	base := arch.M1()
+	base.FBSetBytes = fbLadder[rng.Intn(len(fbLadder))]
+	base.CMWords = cmLadder[rng.Intn(len(cmLadder))]
+	base.Name = fmt.Sprintf("M1[%s,%d]", arch.FormatSize(base.FBSetBytes), base.CMWords)
+
+	// Carve quotas: start from an even split, then skew by moving a
+	// random share from one tenant to another so unequal partitions are
+	// covered too.
+	fbQuota := make([]int, k)
+	cmQuota := make([]int, k)
+	for i := 0; i < k; i++ {
+		fbQuota[i] = base.FBSetBytes / k
+		cmQuota[i] = base.CMWords / k
+	}
+	if k > 1 && rng.Float64() < 0.6 {
+		from, to := rng.Intn(k), rng.Intn(k)
+		if from != to {
+			moveFB := fbQuota[from] / (2 + rng.Intn(3))
+			moveCM := cmQuota[from] / (2 + rng.Intn(3))
+			if fbQuota[from]-moveFB >= 512 && cmQuota[from]-moveCM >= 128 {
+				fbQuota[from] -= moveFB
+				fbQuota[to] += moveFB
+				cmQuota[from] -= moveCM
+				cmQuota[to] += moveCM
+			}
+		}
+	}
+
+	mix := &TenantMix{Name: name, Base: base}
+	classes := Classes()
+	start := rng.Intn(len(classes))
+	for i := 0; i < k; i++ {
+		cls := classes[(start+i)%len(classes)]
+		g := &genState{rng: rng, fb: fbQuota[i], cm: cmQuota[i], sp: &spec.Spec{
+			Name:       fmt.Sprintf("%s/t%d-%s", name, i, cls),
+			Iterations: 1 + rng.Intn(12),
+			Arch:       &spec.Arch{FBSetBytes: fbQuota[i], CMWords: cmQuota[i]},
+		}}
+		g.genClass(cls)
+		g.sp.PruneOrphanData()
+
+		t := TenantScenario{
+			ID:     fmt.Sprintf("t%d", i),
+			Weight: 1 + rng.Intn(4),
+			Spec:   g.sp,
+		}
+		if rng.Float64() < 0.15 {
+			t.Priority = 1
+		}
+		if rng.Float64() < 0.3 {
+			t.Arrive = int(rng.ExpFloat64() * 2000)
+		}
+		mix.Tenants = append(mix.Tenants, t)
+	}
+	return mix
+}

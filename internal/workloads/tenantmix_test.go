@@ -1,0 +1,70 @@
+package workloads
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestTenantMixDeterministic: GenTenantMix is pure in (seed, index) —
+// regenerating any point in any order yields an identical mix.
+func TestTenantMixDeterministic(t *testing.T) {
+	const n = 24
+	first := make([]*TenantMix, n)
+	for i := 0; i < n; i++ {
+		first[i] = GenTenantMix(7, i)
+	}
+	for i := n - 1; i >= 0; i-- {
+		if again := GenTenantMix(7, i); !reflect.DeepEqual(again, first[i]) {
+			t.Fatalf("mix %d differs between generation orders", i)
+		}
+	}
+}
+
+func TestTenantMixSeedsDiffer(t *testing.T) {
+	if reflect.DeepEqual(GenTenantMix(1, 0), GenTenantMix(2, 0)) {
+		t.Fatal("seeds 1 and 2 generated identical first mixes")
+	}
+}
+
+// TestTenantMixInvariants: every mix satisfies the spatial-partition
+// precondition by construction, names the tenants canonically and builds
+// every tenant spec standalone.
+func TestTenantMixInvariants(t *testing.T) {
+	for i := 0; i < 60; i++ {
+		mix := GenTenantMix(3, i)
+		if mix.Name != TenantMixName(3, i) {
+			t.Errorf("mix %d: name %q, want %q", i, mix.Name, TenantMixName(3, i))
+		}
+		if len(mix.Tenants) < 2 || len(mix.Tenants) > 4 {
+			t.Errorf("mix %d: %d tenants, want 2..4", i, len(mix.Tenants))
+		}
+		sumFB, sumCM := 0, 0
+		for ti, ts := range mix.Tenants {
+			if ts.Spec.Arch == nil {
+				t.Fatalf("mix %d tenant %d: no quota override on the spec", i, ti)
+			}
+			if ts.Spec.Arch.FBSetBytes < 512 || ts.Spec.Arch.CMWords < 128 {
+				t.Errorf("mix %d tenant %s: quota %d/%d below the corpus floor",
+					i, ts.ID, ts.Spec.Arch.FBSetBytes, ts.Spec.Arch.CMWords)
+			}
+			sumFB += ts.Spec.Arch.FBSetBytes
+			sumCM += ts.Spec.Arch.CMWords
+			if ts.Weight < 1 || ts.Arrive < 0 || ts.Priority < 0 {
+				t.Errorf("mix %d tenant %s: bad knobs w=%d p=%d a=%d",
+					i, ts.ID, ts.Weight, ts.Priority, ts.Arrive)
+			}
+			if _, _, err := ts.Spec.Build(); err != nil {
+				t.Errorf("mix %d tenant %s: spec does not build: %v", i, ts.ID, err)
+			}
+		}
+		if sumFB > mix.Base.FBSetBytes {
+			t.Errorf("mix %d: FB quotas sum to %d, base holds %d", i, sumFB, mix.Base.FBSetBytes)
+		}
+		if sumCM > mix.Base.CMWords {
+			t.Errorf("mix %d: CM quotas sum to %d, base holds %d", i, sumCM, mix.Base.CMWords)
+		}
+		if err := mix.Base.Validate(); err != nil {
+			t.Errorf("mix %d: base machine invalid: %v", i, err)
+		}
+	}
+}
